@@ -1,0 +1,78 @@
+//! P2 — discretisation algorithm throughput: the clinical-scheme path
+//! vs the algorithmic fall-backs of Kotsiantis & Kanellopoulos [17]
+//! (equal-width, equal-frequency, MDLP, ChiMerge) across input sizes.
+//! The DESIGN.md ablation: how much does the supervised machinery cost
+//! relative to clinician-supplied cut points?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etl::{table1_schemes, ChiMerge, Discretiser, EqualFrequency, EqualWidth, Mdlp};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// Synthetic FBG-like values with a class structure MDLP/ChiMerge can
+/// latch onto (diabetics above ~7, everyone else below).
+fn synth(n: usize) -> (Vec<f64>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut values = Vec::with_capacity(n);
+    let mut classes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let diabetic = rng.random::<f64>() < 0.25;
+        let v = if diabetic {
+            7.0 + rng.random::<f64>() * 6.0
+        } else {
+            4.0 + rng.random::<f64>() * 3.0
+        };
+        values.push(v);
+        classes.push(usize::from(diabetic));
+    }
+    (values, classes)
+}
+
+fn bench_discretisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discretisation/fit");
+    for n in [1_000usize, 10_000, 100_000] {
+        let (values, classes) = synth(n);
+        group.bench_with_input(BenchmarkId::new("equal_width", n), &n, |b, _| {
+            let d = EqualWidth::new(4);
+            b.iter(|| black_box(d.fit(black_box(&values), None).expect("fit")))
+        });
+        group.bench_with_input(BenchmarkId::new("equal_frequency", n), &n, |b, _| {
+            let d = EqualFrequency::new(4);
+            b.iter(|| black_box(d.fit(black_box(&values), None).expect("fit")))
+        });
+        group.bench_with_input(BenchmarkId::new("mdlp", n), &n, |b, _| {
+            let d = Mdlp::new();
+            b.iter(|| black_box(d.fit(black_box(&values), Some(&classes)).expect("fit")))
+        });
+        // ChiMerge is quadratic-ish in distinct values; cap its input.
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("chimerge", n), &n, |b, _| {
+                let d = ChiMerge::new(6);
+                b.iter(|| black_box(d.fit(black_box(&values), Some(&classes)).expect("fit")))
+            });
+        }
+    }
+    group.finish();
+
+    // The clinical path for contrast: fit is constant, assignment is
+    // the only cost.
+    let (values, _) = synth(100_000);
+    let scheme = &table1_schemes()[2];
+    c.bench_function("discretisation/clinical_assign_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in &values {
+                acc += scheme.bins.assign(black_box(*v));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_discretisation
+}
+criterion_main!(benches);

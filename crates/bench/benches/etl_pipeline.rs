@@ -1,0 +1,57 @@
+//! P5 — the Data Transformation stage end to end: cleaning,
+//! cardinality derivation, discretisation and trend abstraction over
+//! the raw attendance table, plus the missing-value imputation
+//! ablation (null-mask vs mean vs carry-forward).
+
+use bench::cohort;
+use criterion::{criterion_group, criterion_main, Criterion};
+use etl::{CleaningRules, Cleaner, ImputeStrategy, Imputer, TransformPipeline};
+use std::hint::black_box;
+
+fn bench_etl(c: &mut Criterion) {
+    let raw = &cohort().attendances;
+    println!(
+        "\n=== ETL input: {} raw attendances × {} attributes ===\n",
+        raw.len(),
+        raw.schema().len()
+    );
+
+    c.bench_function("etl/cleaning_only", |b| {
+        let cleaner = Cleaner::new(CleaningRules::discri_default());
+        b.iter(|| black_box(cleaner.clean(black_box(raw)).expect("clean")))
+    });
+
+    c.bench_function("etl/full_pipeline", |b| {
+        let pipeline = TransformPipeline::discri_default();
+        b.iter(|| black_box(pipeline.run(black_box(raw)).expect("pipeline")))
+    });
+
+    // Imputation ablation over the cleaned table.
+    let (clean, _) = Cleaner::new(CleaningRules::discri_default())
+        .clean(raw)
+        .expect("clean");
+    c.bench_function("etl/impute_mean_fbg_hba1c", |b| {
+        let imputer = Imputer::new()
+            .column("FBG", ImputeStrategy::Mean)
+            .column("HbA1c", ImputeStrategy::Mean);
+        b.iter(|| black_box(imputer.apply(black_box(&clean)).expect("impute")))
+    });
+
+    c.bench_function("etl/impute_carry_forward_fbg", |b| {
+        let imputer = Imputer::new().column(
+            "FBG",
+            ImputeStrategy::CarryForward {
+                patient_column: "PatientId".into(),
+                date_column: "TestDate".into(),
+            },
+        );
+        b.iter(|| black_box(imputer.apply(black_box(&clean)).expect("impute")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_etl
+}
+criterion_main!(benches);

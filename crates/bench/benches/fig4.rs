@@ -1,0 +1,75 @@
+//! F4 — the paper's Fig. 4: drag-and-drop query construction
+//! ("family history of diabetes by age group and by gender").
+//!
+//! Regenerates the pivot the BI Studio screenshot shows, then
+//! benchmarks the two query interfaces (builder and MDX) end to end.
+
+use bench::warehouse;
+use criterion::{criterion_group, criterion_main, Criterion};
+use olap::{execute_mdx, parse_mdx, QueryBuilder};
+use std::hint::black_box;
+
+const FIG4_MDX: &str = "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                        FROM [Medical Measures] MEASURE COUNT(*)";
+
+fn regenerate_fig4() {
+    println!("\n=== FIG 4: family history of diabetes by age group & gender ===");
+    let pivot = QueryBuilder::new(warehouse())
+        .on_rows("Age_Band")
+        .on_columns("Gender")
+        .where_equals("FamilyHistoryDiabetes", true)
+        .count()
+        .execute()
+        .expect("fig4 query");
+    print!("{}", pivot.render());
+    println!();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    regenerate_fig4();
+    let wh = warehouse();
+
+    c.bench_function("fig4/builder_query_end_to_end", |b| {
+        b.iter(|| {
+            black_box(
+                QueryBuilder::new(wh)
+                    .on_rows("Age_Band")
+                    .on_columns("Gender")
+                    .where_equals("FamilyHistoryDiabetes", true)
+                    .count()
+                    .execute()
+                    .expect("query"),
+            )
+        })
+    });
+
+    c.bench_function("fig4/mdx_parse_only", |b| {
+        b.iter(|| black_box(parse_mdx(black_box(FIG4_MDX)).expect("parse")))
+    });
+
+    c.bench_function("fig4/mdx_end_to_end", |b| {
+        b.iter(|| black_box(execute_mdx(wh, black_box(FIG4_MDX)).expect("exec")))
+    });
+
+    c.bench_function("fig4/drill_down_requery", |b| {
+        b.iter(|| {
+            black_box(
+                QueryBuilder::new(wh)
+                    .on_rows("Age_Band")
+                    .on_columns("Gender")
+                    .count()
+                    .drill_down("Age_Band")
+                    .expect("hierarchy")
+                    .execute()
+                    .expect("query"),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig4
+}
+criterion_main!(benches);

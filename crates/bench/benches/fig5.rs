@@ -1,0 +1,63 @@
+//! F5 — the paper's Fig. 5: age and gender distribution of patients
+//! with diabetes at two drill-down levels, including the reported
+//! gender crossover in the 70–80 decade.
+//!
+//! Regenerates both granularities with the reproduction verdicts, then
+//! benchmarks the coarse query, the drill-down and the chart render.
+
+use bench::warehouse;
+use clinical_types::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use olap::execute_mdx;
+use std::hint::black_box;
+use viz::GroupedBarChart;
+
+const COARSE: &str = "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                      FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' \
+                      MEASURE COUNT(DISTINCT [PatientId])";
+const FINE: &str = "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+                    FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' \
+                    MEASURE COUNT(DISTINCT [PatientId])";
+
+fn regenerate_fig5() {
+    println!("\n=== FIG 5: diabetic patients by age and gender ===");
+    let coarse = execute_mdx(warehouse(), COARSE).expect("coarse query");
+    print!("{}", coarse.render());
+    println!("--- drill-down to five-year sub-groups ---");
+    let fine = execute_mdx(warehouse(), FINE).expect("fine query");
+    print!("{}", fine.render());
+    let get = |r: &str, c: &str| fine.get(&Value::from(r), &Value::from(c)).unwrap_or(0.0);
+    println!(
+        "shape checks: males dominate 70-75: {} | females majority 75-80: {} | female drop >78: {}",
+        get("70-75", "M") > get("70-75", "F"),
+        get("75-80", "F") > get("75-80", "M"),
+        get("80-85", "F") + get(">=85", "F") < get("75-80", "F") * 0.8,
+    );
+    println!();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    regenerate_fig5();
+    let wh = warehouse();
+
+    c.bench_function("fig5/coarse_distribution_query", |b| {
+        b.iter(|| black_box(execute_mdx(wh, black_box(COARSE)).expect("query")))
+    });
+
+    c.bench_function("fig5/drilldown_distribution_query", |b| {
+        b.iter(|| black_box(execute_mdx(wh, black_box(FINE)).expect("query")))
+    });
+
+    c.bench_function("fig5/chart_render", |b| {
+        let pivot = execute_mdx(wh, FINE).expect("query");
+        let chart = GroupedBarChart::titled("fig5");
+        b.iter(|| black_box(chart.render(black_box(&pivot)).expect("render")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig5
+}
+criterion_main!(benches);

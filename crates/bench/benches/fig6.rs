@@ -1,0 +1,69 @@
+//! F6 — the paper's Fig. 6: years-since-hypertension-diagnosis bands
+//! by age group, with the drill-down that exposes the 5–10-year dip in
+//! the 70–75 and 75–80 sub-groups.
+
+use bench::warehouse;
+use clinical_types::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use olap::{execute_mdx, Cube, CubeFilter, CubeSpec};
+use std::hint::black_box;
+
+const COARSE: &str = "SELECT [DiagnosticHTYears_Band].MEMBERS ON COLUMNS, \
+                      [Age_Band].MEMBERS ON ROWS \
+                      FROM [Medical Measures] WHERE [HypertensionStatus] = 'yes' \
+                      MEASURE COUNT(*)";
+const FINE: &str = "SELECT [DiagnosticHTYears_Band].MEMBERS ON COLUMNS, \
+                    [Age_SubGroup].MEMBERS ON ROWS \
+                    FROM [Medical Measures] WHERE [HypertensionStatus] = 'yes' \
+                    MEASURE COUNT(*)";
+
+fn regenerate_fig6() {
+    println!("\n=== FIG 6: years since hypertension diagnosis by age group ===");
+    let fine = execute_mdx(warehouse(), FINE).expect("fine query");
+    print!("{}", fine.render());
+    let share = |age: &str| {
+        let five_ten = fine
+            .get(&Value::from(age), &Value::from("5-10"))
+            .unwrap_or(0.0);
+        let total: f64 = ["<2", "2-5", "5-10", "10-20", ">20"]
+            .iter()
+            .filter_map(|b| fine.get(&Value::from(age), &Value::from(*b)))
+            .sum();
+        if total > 0.0 { five_ten / total } else { 0.0 }
+    };
+    println!(
+        "5-10 band share: 65-70 {:.2} | 70-75 {:.2} | 75-80 {:.2}  (dip reproduced: {})",
+        share("65-70"),
+        share("70-75"),
+        share("75-80"),
+        share("70-75") < share("65-70") * 0.75 && share("75-80") < share("65-70") * 0.75
+    );
+    println!();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    regenerate_fig6();
+    let wh = warehouse();
+
+    c.bench_function("fig6/coarse_query", |b| {
+        b.iter(|| black_box(execute_mdx(wh, black_box(COARSE)).expect("query")))
+    });
+
+    c.bench_function("fig6/drilldown_query", |b| {
+        b.iter(|| black_box(execute_mdx(wh, black_box(FINE)).expect("query")))
+    });
+
+    // The same figure via the cube API directly (no MDX overhead).
+    c.bench_function("fig6/cube_api_direct", |b| {
+        let spec = CubeSpec::count(vec!["Age_SubGroup", "DiagnosticHTYears_Band"])
+            .with_filter(CubeFilter::all().equals("HypertensionStatus", "yes"));
+        b.iter(|| black_box(Cube::build(wh, black_box(&spec)).expect("cube")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig6
+}
+criterion_main!(benches);

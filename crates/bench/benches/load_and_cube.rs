@@ -1,0 +1,93 @@
+//! P3 — warehouse load and cube build scaling, plus two DESIGN.md
+//! ablations:
+//!
+//! * **group-by strategy** — hash vs sort vs parallel-hash cube build;
+//! * **surrogate keys** — dictionary-encoded dimension keys vs
+//!   grouping directly on materialised string keys (what a star schema
+//!   without surrogate keys would do).
+
+use bench::{load, transformed, transformed_at_scale};
+use clinical_types::Table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap::{BuildStrategy, Cube, CubeSpec};
+use std::collections::HashMap;
+use std::hint::black_box;
+use warehouse::LoadPlan;
+
+fn bench_load_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_and_cube/warehouse_load");
+    group.sample_size(10);
+    for scale in [2_500usize, 10_000, 40_000] {
+        let table = if scale == 2_500 {
+            transformed().clone()
+        } else {
+            transformed_at_scale(scale)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &table, |b, t| {
+            let plan = LoadPlan::discri_default();
+            b.iter(|| black_box(warehouse::Warehouse::load(&plan, black_box(t)).expect("load")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let table = transformed_at_scale(40_000);
+    let wh = load(&table);
+    let mut group = c.benchmark_group("load_and_cube/strategy_40k");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("hash", BuildStrategy::Hash),
+        ("sort", BuildStrategy::Sort),
+        ("parallel_hash", BuildStrategy::ParallelHash),
+    ] {
+        group.bench_function(name, |b| {
+            let spec = CubeSpec::count(vec!["Gender", "Age_SubGroup", "FBG_Band"])
+                .with_strategy(strategy);
+            b.iter(|| black_box(Cube::build(&wh, black_box(&spec)).expect("cube")))
+        });
+    }
+    group.finish();
+}
+
+/// The no-surrogate-keys baseline: group the raw table rows on string
+/// keys assembled per row.
+fn string_key_group_by(table: &Table, columns: &[&str]) -> HashMap<String, usize> {
+    let idx: Vec<usize> = columns
+        .iter()
+        .map(|c| table.schema().index_of(c).expect("column"))
+        .collect();
+    let mut groups: HashMap<String, usize> = HashMap::new();
+    for row in table.rows() {
+        let mut key = String::new();
+        for &i in &idx {
+            key.push_str(&row.values()[i].to_string());
+            key.push('\u{1f}');
+        }
+        *groups.entry(key).or_insert(0) += 1;
+    }
+    groups
+}
+
+fn bench_surrogate_ablation(c: &mut Criterion) {
+    let table = transformed_at_scale(40_000);
+    let wh = load(&table);
+    let columns = ["Gender", "Age_SubGroup", "FBG_Band"];
+    let mut group = c.benchmark_group("load_and_cube/surrogate_vs_string_keys_40k");
+    group.sample_size(10);
+    group.bench_function("surrogate_key_cube", |b| {
+        let spec = CubeSpec::count(columns.to_vec());
+        b.iter(|| black_box(Cube::build(&wh, black_box(&spec)).expect("cube")))
+    });
+    group.bench_function("string_key_scan", |b| {
+        b.iter(|| black_box(string_key_group_by(black_box(&table), &columns)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_load_scaling, bench_strategies, bench_surrogate_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! P4 — data analytics over isolated cubes: the classification /
+//! association / clustering triad of §IV on the DiScRi-shaped cohort,
+//! including the AWSum interaction scan that produces the §V insight.
+
+use bench::{transformed, warehouse};
+use clinical_types::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mining::{Apriori, AwSum, DatasetBuilder, DecisionTree, KMeans, NaiveBayes};
+use std::hint::black_box;
+
+const FEATURES: [&str; 7] = [
+    "KneeReflexRight",
+    "KneeReflexLeft",
+    "AnkleReflexRight",
+    "AnkleReflexLeft",
+    "FBG_Band",
+    "Age_Band",
+    "Gender",
+];
+
+fn bench_mining(c: &mut Criterion) {
+    let table = transformed();
+    let dataset = DatasetBuilder::new(FEATURES.to_vec(), "DiabetesStatus")
+        .build(table)
+        .expect("dataset");
+    println!(
+        "\n=== analytics dataset: {} rows × {} features, {} classes ===\n",
+        dataset.len(),
+        dataset.n_features(),
+        dataset.n_classes()
+    );
+
+    c.bench_function("mining/dataset_extraction", |b| {
+        let builder = DatasetBuilder::new(FEATURES.to_vec(), "DiabetesStatus");
+        b.iter(|| black_box(builder.build(black_box(table)).expect("dataset")))
+    });
+
+    c.bench_function("mining/naive_bayes_fit", |b| {
+        b.iter(|| black_box(NaiveBayes::fit(black_box(&dataset)).expect("fit")))
+    });
+
+    c.bench_function("mining/naive_bayes_predict_all", |b| {
+        let model = NaiveBayes::fit(&dataset).expect("fit");
+        b.iter(|| black_box(model.predict_all(black_box(&dataset)).expect("predict")))
+    });
+
+    c.bench_function("mining/decision_tree_fit", |b| {
+        b.iter(|| black_box(DecisionTree::fit(black_box(&dataset)).expect("fit")))
+    });
+
+    c.bench_function("mining/awsum_fit", |b| {
+        b.iter(|| black_box(AwSum::fit(black_box(&dataset)).expect("fit")))
+    });
+
+    c.bench_function("mining/awsum_interaction_scan", |b| {
+        let model = AwSum::fit(&dataset).expect("fit");
+        let yes = dataset
+            .class_labels
+            .iter()
+            .position(|c| c == "yes")
+            .expect("class");
+        b.iter(|| {
+            black_box(
+                model
+                    .top_interactions(black_box(&dataset), yes, 20, 8)
+                    .expect("interactions"),
+            )
+        })
+    });
+
+    c.bench_function("mining/apriori_rules", |b| {
+        let rule_data = DatasetBuilder::new(
+            vec!["AnkleReflexRight", "KneeReflexRight", "FBG_Band", "DiabetesStatus"],
+            "DiabetesStatus",
+        )
+        .build(table)
+        .expect("dataset");
+        let miner = Apriori::new(table.len() / 40, 0.6, 3);
+        b.iter(|| black_box(miner.rules(black_box(&rule_data), Some(3)).expect("rules")))
+    });
+
+    c.bench_function("mining/kmeans_patient_clusters", |b| {
+        // Cluster attendances in (FBG, BMI, SBP) space from the fact
+        // table — the "isolate a cube, then mine it" workflow.
+        let wh = warehouse();
+        let fbg = wh.measure("FBG").expect("measure");
+        let bmi = wh.measure("BMI").expect("measure");
+        let sbp = wh.measure("LyingSBPAverage").expect("measure");
+        let points: Vec<Vec<f64>> = (0..wh.n_facts())
+            .filter_map(|i| {
+                Some(vec![fbg.get(i)?, bmi.get(i)?, sbp.get(i)? / 10.0])
+            })
+            .collect();
+        let km = KMeans::new(3, 11);
+        b.iter(|| black_box(km.fit(black_box(&points)).expect("kmeans")))
+    });
+
+    // One-off: print the headline insight so bench logs double as
+    // experiment evidence.
+    let model = AwSum::fit(&dataset).expect("fit");
+    let yes = dataset
+        .class_labels
+        .iter()
+        .position(|c| c == "yes")
+        .expect("class");
+    if let Ok(interactions) = model.top_interactions(&dataset, yes, 20, 3) {
+        println!("\ntop AWSum interactions toward diabetes:");
+        for i in interactions {
+            println!(
+                "  {}={} & {}={} (joint {:.2} vs single {:.2}, n={})",
+                i.feature_a,
+                i.value_a,
+                i.feature_b,
+                Value::from(i.value_b.as_str()),
+                i.joint_confidence,
+                i.best_single_confidence,
+                i.support
+            );
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mining
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! P1 — the architectural claim: warehouse-mediated multivariate
+//! aggregation vs the flat transactional (DG-SQL-style) access path
+//! the DD-DGMS replaces.
+//!
+//! Both engines compute identical group-bys (verified in the
+//! `olap_oltp_consistency` integration test); here we measure latency
+//! as the number of grouping dimensions grows, at two data scales, and
+//! the amortised regime where one cube serves many slice queries.
+
+use bench::{transformed, transformed_at_scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap::{Cube, CubeSpec};
+use oltp::{AggFn, Predicate, QueryEngine, RowStore};
+use std::hint::black_box;
+
+const DIMS: [&str; 4] = ["Gender", "Age_Band", "FBG_Band", "VisitKind"];
+
+fn bench_group_by(c: &mut Criterion) {
+    let mut group = c.benchmark_group("olap_vs_oltp/group_by");
+    for scale in [2_500usize, 25_000] {
+        let table = if scale == 2_500 {
+            transformed().clone()
+        } else {
+            transformed_at_scale(scale)
+        };
+        let wh = bench::load(&table);
+        let store = RowStore::new(table.schema().clone());
+        store.load_table(&table).expect("load");
+        let engine = QueryEngine::new(store);
+
+        for n_dims in 1..=4usize {
+            let axes: Vec<&str> = DIMS[..n_dims].to_vec();
+            group.bench_with_input(
+                BenchmarkId::new(format!("cube_{scale}rows"), n_dims),
+                &n_dims,
+                |b, _| {
+                    let spec = CubeSpec::count(axes.clone());
+                    b.iter(|| black_box(Cube::build(&wh, black_box(&spec)).expect("cube")))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("flat_{scale}rows"), n_dims),
+                &n_dims,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            engine
+                                .group_by(&Predicate::True, black_box(&axes), AggFn::Count, None)
+                                .expect("group by"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The warehouse's structural advantage: once a cube exists, slices
+/// and roll-ups are sub-linear cube-to-cube transforms, while the flat
+/// path re-scans per question.
+fn bench_amortised(c: &mut Criterion) {
+    let table = transformed();
+    let wh = bench::load(table);
+    let store = RowStore::new(table.schema().clone());
+    store.load_table(table).expect("load");
+    let engine = QueryEngine::new(store);
+    let cube = Cube::build(&wh, &CubeSpec::count(vec!["Gender", "Age_Band", "FBG_Band"]))
+        .expect("cube");
+    let members = cube.axis_values("FBG_Band").expect("axis");
+
+    let mut group = c.benchmark_group("olap_vs_oltp/per_band_breakdown");
+    group.bench_function("cube_slice_per_band", |b| {
+        b.iter(|| {
+            for m in &members {
+                black_box(cube.slice("FBG_Band", black_box(m)).expect("slice"));
+            }
+        })
+    });
+    group.bench_function("flat_rescan_per_band", |b| {
+        b.iter(|| {
+            for m in &members {
+                let predicate = Predicate::Eq("FBG_Band".into(), m.clone());
+                black_box(
+                    engine
+                        .group_by(&predicate, &["Gender", "Age_Band"], AggFn::Count, None)
+                        .expect("group by"),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_group_by, bench_amortised
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! A2 — time-course prediction: fitting the Markov model over the
+//! cohort's FBG-band trajectories and the leave-last-visit-out
+//! evaluation against the majority baseline (printed as the
+//! EXPERIMENTS.md evidence).
+
+use bench::transformed;
+use criterion::{criterion_group, criterion_main, Criterion};
+use predict::{evaluate_predictor, extract_trajectories, MarkovModel, SimilarPatientPredictor};
+use std::hint::black_box;
+
+fn bench_prediction(c: &mut Criterion) {
+    let table = transformed();
+    let trajectories = extract_trajectories(table, "PatientId", "TestDate", "FBG_Band")
+        .expect("trajectories");
+    let report = evaluate_predictor(&trajectories, 3).expect("evaluation");
+    println!(
+        "\n=== time-course evaluation (n={}): markov {:.1}% | similar {:.1}% | baseline {:.1}% ===\n",
+        report.n_evaluated,
+        report.markov_accuracy * 100.0,
+        report.similar_accuracy * 100.0,
+        report.baseline_accuracy * 100.0
+    );
+
+    c.bench_function("prediction/extract_trajectories", |b| {
+        b.iter(|| {
+            black_box(
+                extract_trajectories(black_box(table), "PatientId", "TestDate", "FBG_Band")
+                    .expect("trajectories"),
+            )
+        })
+    });
+
+    c.bench_function("prediction/markov_fit", |b| {
+        b.iter(|| black_box(MarkovModel::fit(black_box(&trajectories)).expect("fit")))
+    });
+
+    c.bench_function("prediction/markov_predict_cohort", |b| {
+        let model = MarkovModel::fit(&trajectories).expect("fit");
+        b.iter(|| {
+            let mut hits = 0usize;
+            for t in &trajectories {
+                if let Some(last) = t.states.last() {
+                    if model.predict_next(black_box(last)) == *last {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    c.bench_function("prediction/similar_patient_predict", |b| {
+        let predictor =
+            SimilarPatientPredictor::new(trajectories.clone(), 3).expect("predictor");
+        let histories: Vec<&predict::Trajectory> =
+            trajectories.iter().filter(|t| t.len() >= 2).take(50).collect();
+        b.iter(|| {
+            for t in &histories {
+                let history = &t.states[..t.len() - 1];
+                black_box(predictor.predict_next(black_box(history), Some(t.patient_id)));
+            }
+        })
+    });
+
+    c.bench_function("prediction/leave_last_out_evaluation", |b| {
+        b.iter(|| black_box(evaluate_predictor(black_box(&trajectories), 3).expect("eval")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prediction
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! T1 — the paper's Table I: clinical discretisation schemes.
+//!
+//! Regenerates the table (scheme definitions + band populations over
+//! the synthetic cohort), then benchmarks scheme application.
+
+use bench::{cohort, transformed};
+use clinical_types::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use etl::{table1_schemes, Discretiser};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn regenerate_table1() {
+    println!("\n=== TABLE I: clinical discretisation schemes ===");
+    println!("{:<18} {:<44} scheme", "Attribute", "Description");
+    for s in table1_schemes() {
+        println!("{:<18} {:<44} {}", s.attribute, s.description, s.bins.labels().join(" | "));
+    }
+    println!("\nBand populations (synthetic DiScRi, seed 42):");
+    let table = &cohort().attendances;
+    for s in table1_schemes() {
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for v in table.column(&s.attribute).expect("attribute exists") {
+            if let Some(x) = v.as_f64() {
+                if x >= 0.0 {
+                    *counts.entry(s.bins.assign(x)).or_insert(0) += 1;
+                }
+            }
+        }
+        let rendered: Vec<String> = counts
+            .iter()
+            .map(|(bin, n)| format!("{}={n}", s.bins.labels()[*bin]))
+            .collect();
+        println!("  {:<18} {}", s.attribute, rendered.join("  "));
+    }
+    println!();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    regenerate_table1();
+    let fbg: Vec<f64> = transformed()
+        .column("FBG")
+        .expect("FBG exists")
+        .filter_map(Value::as_f64)
+        .collect();
+    let schemes = table1_schemes();
+    let fbg_scheme = &schemes[2];
+
+    c.bench_function("table1/assign_fbg_band_per_value", |b| {
+        b.iter(|| {
+            let mut counts = [0usize; 4];
+            for x in &fbg {
+                counts[fbg_scheme.bins.assign(black_box(*x))] += 1;
+            }
+            black_box(counts)
+        })
+    });
+
+    c.bench_function("table1/apply_all_schemes_to_cohort", |b| {
+        let table = &cohort().attendances;
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &schemes {
+                for v in table.column(&s.attribute).expect("attribute exists") {
+                    if let Some(x) = v.as_f64() {
+                        total += s.bins.assign(x);
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+
+    c.bench_function("table1/clinical_scheme_fit_is_constant", |b| {
+        b.iter(|| black_box(fbg_scheme.fit(&fbg, None).expect("fit")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Shared fixtures for the DD-DGMS benchmark suite.
+//!
+//! Every bench target regenerates one of the paper's tables/figures
+//! (printed before measurement, so `cargo bench` output doubles as the
+//! EXPERIMENTS.md evidence) and then measures the query paths that
+//! produce it. Fixtures are seeded and cached per process.
+
+use clinical_types::Table;
+use discri::{generate, Cohort, CohortConfig};
+use etl::TransformPipeline;
+use std::sync::OnceLock;
+use warehouse::{LoadPlan, Warehouse};
+
+/// The paper-scale cohort (seed 42: 900 patients / ~2500 attendances).
+pub fn cohort() -> &'static Cohort {
+    static COHORT: OnceLock<Cohort> = OnceLock::new();
+    COHORT.get_or_init(|| generate(&CohortConfig::default()))
+}
+
+/// The transformed attendance table for the paper-scale cohort.
+pub fn transformed() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        TransformPipeline::discri_default()
+            .run(&cohort().attendances)
+            .expect("pipeline runs")
+            .0
+    })
+}
+
+/// The loaded Fig. 3 warehouse for the paper-scale cohort.
+pub fn warehouse() -> &'static Warehouse {
+    static WH: OnceLock<Warehouse> = OnceLock::new();
+    WH.get_or_init(|| {
+        Warehouse::load(&LoadPlan::discri_default(), transformed()).expect("warehouse loads")
+    })
+}
+
+/// A transformed table scaled to roughly `n` attendances (for scaling
+/// sweeps). Not cached — callers cache per scale as needed.
+pub fn transformed_at_scale(n: usize) -> Table {
+    let cohort = generate(&CohortConfig::scaled_to_visits(42, n));
+    TransformPipeline::discri_default()
+        .run(&cohort.attendances)
+        .expect("pipeline runs")
+        .0
+}
+
+/// Load a transformed table into the Fig. 3 warehouse.
+pub fn load(table: &Table) -> Warehouse {
+    Warehouse::load(&LoadPlan::discri_default(), table).expect("warehouse loads")
+}

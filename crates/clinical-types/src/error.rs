@@ -1,0 +1,111 @@
+//! Error type shared by the data-model crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the shared data model and by the engines built on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A value did not match the declared [`crate::DataType`] of its field.
+    TypeMismatch {
+        /// Field whose declared type was violated.
+        field: String,
+        /// The declared type, rendered for the message.
+        expected: String,
+        /// The value that was supplied, rendered for the message.
+        got: String,
+    },
+    /// A field name was not present in the schema.
+    UnknownField(String),
+    /// A record had a different arity than its schema.
+    ArityMismatch {
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of values in the record.
+        got: usize,
+    },
+    /// A `NULL` was supplied for a non-nullable field.
+    UnexpectedNull(String),
+    /// A calendar date was out of range or malformed.
+    InvalidDate {
+        /// Year component as supplied.
+        year: i32,
+        /// Month component as supplied.
+        month: u32,
+        /// Day component as supplied.
+        day: u32,
+    },
+    /// Catch-all for engine-level failures (parse errors, missing
+    /// dimensions, …) raised by downstream crates that reuse this type.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch {
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for field `{field}`: expected {expected}, got {got}"
+            ),
+            Error::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "record arity mismatch: schema has {expected} fields, record has {got}")
+            }
+            Error::UnexpectedNull(field) => {
+                write!(f, "NULL supplied for non-nullable field `{field}`")
+            }
+            Error::InvalidDate { year, month, day } => {
+                write!(f, "invalid calendar date {year:04}-{month:02}-{day:02}")
+            }
+            Error::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build an [`Error::Invalid`] from anything displayable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        Error::Invalid(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = Error::TypeMismatch {
+            field: "FBG".into(),
+            expected: "Float".into(),
+            got: "Text(\"high\")".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("FBG"));
+        assert!(msg.contains("Float"));
+    }
+
+    #[test]
+    fn display_invalid_date_pads_components() {
+        let e = Error::InvalidDate {
+            year: 2013,
+            month: 2,
+            day: 30,
+        };
+        assert_eq!(e.to_string(), "invalid calendar date 2013-02-30");
+    }
+
+    #[test]
+    fn invalid_helper_wraps_message() {
+        let e = Error::invalid("cube has no axes");
+        assert_eq!(e, Error::Invalid("cube has no axes".into()));
+    }
+}

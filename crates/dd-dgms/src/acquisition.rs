@@ -1,0 +1,238 @@
+//! Data-acquisition queries — the fourth DGMS phase.
+//!
+//! §IV: *"in the final phase data acquisition queries are used as
+//! feedback to reduce ambiguity of decisions"*, and the conclusion
+//! envisages the architecture equipping clinical scientists *"to
+//! produce more refined and better informed test plans for future
+//! data collection"*.
+//!
+//! This module generates those test plans: it ranks attributes by how
+//! much decision ambiguity their missingness causes — the product of
+//! (a) how informative the attribute is about the decision class
+//! (mutual information on the observed rows) and (b) how often it is
+//! missing — then emits per-patient acquisition queries: "re-measure
+//! attribute X for patient P at their next attendance", prioritising
+//! patients whose *latest* attendance lacks the measurement.
+
+use clinical_types::{Error, Result, Table};
+use mining::{mutual_information_ranking, DatasetBuilder};
+use std::collections::HashMap;
+
+/// One attribute's contribution to decision ambiguity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeGap {
+    /// Attribute name.
+    pub attribute: String,
+    /// Mutual information with the decision class (bits, observed rows).
+    pub information: f64,
+    /// Fraction of rows with the measurement missing.
+    pub missing_rate: f64,
+    /// Ranking score: `information × missing_rate` — the expected
+    /// information recoverable by filling the gaps.
+    pub score: f64,
+}
+
+/// A concrete test-plan entry for one patient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcquisitionQuery {
+    /// Patient to re-measure.
+    pub patient_id: i64,
+    /// Attribute to collect at the next attendance.
+    pub attribute: String,
+}
+
+/// Rank candidate attributes by recoverable information.
+///
+/// `candidates` are the measurements a clinic could re-order;
+/// `class_column` is the decision the ambiguity is measured against.
+pub fn attribute_gaps(
+    table: &Table,
+    candidates: &[&str],
+    class_column: &str,
+) -> Result<Vec<AttributeGap>> {
+    if candidates.is_empty() {
+        return Err(Error::invalid("no candidate attributes supplied"));
+    }
+    // MI is computed over a dataset where missing is its own category;
+    // to score the *observed* signal we instead compute MI on the
+    // interned data and pair it with the missing rate separately.
+    let dataset = DatasetBuilder::new(candidates.to_vec(), class_column).build(table)?;
+    let ranking = mutual_information_ranking(&dataset)?;
+    let mi_by_feature: HashMap<usize, f64> = ranking.into_iter().collect();
+
+    let n = table.len().max(1) as f64;
+    let mut gaps = Vec::with_capacity(candidates.len());
+    for (fi, name) in candidates.iter().enumerate() {
+        let missing = table.column(name)?.filter(|v| v.is_null()).count() as f64;
+        let missing_rate = missing / n;
+        let information = mi_by_feature.get(&fi).copied().unwrap_or(0.0);
+        gaps.push(AttributeGap {
+            attribute: name.to_string(),
+            information,
+            missing_rate,
+            score: information * missing_rate,
+        });
+    }
+    gaps.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    Ok(gaps)
+}
+
+/// Build the per-patient test plan for the top `top_attributes`
+/// attribute gaps: one query per (patient, attribute) where the
+/// patient's most recent attendance is missing that measurement.
+pub fn acquisition_queries(
+    table: &Table,
+    candidates: &[&str],
+    class_column: &str,
+    top_attributes: usize,
+) -> Result<Vec<AcquisitionQuery>> {
+    let gaps = attribute_gaps(table, candidates, class_column)?;
+    let schema = table.schema();
+    let pid_idx = schema.index_of("PatientId")?;
+    let date_idx = schema.index_of("TestDate")?;
+
+    // Latest attendance row per patient.
+    let mut latest: HashMap<i64, usize> = HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let pid = row[pid_idx]
+            .as_i64()
+            .ok_or_else(|| Error::invalid("PatientId must be integer"))?;
+        match latest.get(&pid) {
+            Some(&j) if table.rows()[j][date_idx].as_date() >= row[date_idx].as_date() => {}
+            _ => {
+                latest.insert(pid, i);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for gap in gaps.iter().take(top_attributes) {
+        if gap.score <= 0.0 {
+            continue; // nothing recoverable
+        }
+        let attr_idx = schema.index_of(&gap.attribute)?;
+        let mut patients: Vec<i64> = latest
+            .iter()
+            .filter(|(_, &row)| table.rows()[row][attr_idx].is_null())
+            .map(|(&pid, _)| pid)
+            .collect();
+        patients.sort_unstable();
+        out.extend(patients.into_iter().map(|patient_id| AcquisitionQuery {
+            patient_id,
+            attribute: gap.attribute.clone(),
+        }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{DataType, Date, FieldDef, Record, Schema, Value};
+
+    /// `Signal` is informative but often missing; `Noise` is complete
+    /// but useless; `Rarely` is informative and almost complete.
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            FieldDef::required("PatientId", DataType::Int),
+            FieldDef::required("TestDate", DataType::Date),
+            FieldDef::nullable("Signal", DataType::Text),
+            FieldDef::nullable("Noise", DataType::Text),
+            FieldDef::nullable("Rarely", DataType::Text),
+            FieldDef::nullable("Class", DataType::Text),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..100i64 {
+            let class = if i % 2 == 0 { "yes" } else { "no" };
+            let signal = if i % 3 == 0 {
+                Value::Null // 1/3 missing
+            } else {
+                Value::from(class) // perfectly informative when present
+            };
+            let noise = Value::from(if i % 5 < 2 { "a" } else { "b" });
+            let rarely = if i == 0 { Value::Null } else { Value::from(class) };
+            rows.push(Record::new(vec![
+                Value::Int(i % 20 + 1), // 20 patients, 5 visits each
+                Value::Date(Date::new(2005 + (i / 20) as i32, 6, 1).unwrap()),
+                signal,
+                noise,
+                rarely,
+                Value::from(class),
+            ]));
+        }
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn gaps_rank_informative_and_missing_first() {
+        let gaps = attribute_gaps(&table(), &["Signal", "Noise", "Rarely"], "Class").unwrap();
+        assert_eq!(gaps[0].attribute, "Signal");
+        assert!(gaps[0].missing_rate > 0.3);
+        assert!(gaps[0].score > gaps[1].score);
+        // Noise has near-zero MI → near-zero score despite being complete.
+        let noise = gaps.iter().find(|g| g.attribute == "Noise").unwrap();
+        assert!(noise.score < 0.05, "noise score {}", noise.score);
+    }
+
+    #[test]
+    fn queries_target_patients_with_missing_latest_measurement() {
+        let queries = acquisition_queries(&table(), &["Signal", "Noise"], "Class", 1).unwrap();
+        assert!(!queries.is_empty());
+        for q in &queries {
+            assert_eq!(q.attribute, "Signal");
+        }
+        // Every targeted patient's latest visit indeed lacks Signal.
+        let t = table();
+        let schema = t.schema();
+        let (pid, date, sig) = (
+            schema.index_of("PatientId").unwrap(),
+            schema.index_of("TestDate").unwrap(),
+            schema.index_of("Signal").unwrap(),
+        );
+        for q in &queries {
+            let latest = t
+                .rows()
+                .iter()
+                .filter(|r| r[pid].as_i64() == Some(q.patient_id))
+                .max_by_key(|r| r[date].as_date())
+                .unwrap();
+            assert!(latest[sig].is_null());
+        }
+    }
+
+    #[test]
+    fn zero_score_attributes_produce_no_queries() {
+        // Only Noise (complete + uninformative) as candidate.
+        let queries = acquisition_queries(&table(), &["Noise"], "Class", 3).unwrap();
+        assert!(queries.is_empty());
+    }
+
+    #[test]
+    fn empty_candidates_error() {
+        assert!(attribute_gaps(&table(), &[], "Class").is_err());
+    }
+
+    #[test]
+    fn works_on_the_discri_cohort() {
+        let cohort = discri::generate(&discri::CohortConfig::small(121));
+        let (t, _) = etl::TransformPipeline::discri_default()
+            .run(&cohort.attendances)
+            .unwrap();
+        // The Ewing hand-grip is the paper's own example: informative
+        // for CAN risk but unmeasurable for many elderly patients.
+        let gaps = attribute_gaps(
+            &t,
+            &["FBG_Band", "AnkleReflexRight", "Age_Band"],
+            "DiabetesStatus",
+        )
+        .unwrap();
+        assert_eq!(gaps.len(), 3);
+        let queries =
+            acquisition_queries(&t, &["FBG_Band", "AnkleReflexRight"], "DiabetesStatus", 2)
+                .unwrap();
+        // Some attendances lack FBG (missing-rate injection), so the
+        // plan is non-trivial.
+        assert!(!queries.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! The two user groups of §IV.
+//!
+//! *"The first group comprises of users (operational level) interested
+//! in short term outcomes … The second group of users (strategic
+//! level) such as clinical administrators and policy makers seek
+//! information relevant for optimising treatment regimen … within the
+//! economic constraints of the current health care system."*
+//!
+//! The views are deliberately thin: they scope which features each
+//! group reaches first, while (as the paper notes) "the use of each
+//! feature is not strictly limited to a single group".
+
+use crate::system::DdDgms;
+use clinical_types::{Result, Table};
+use kb::{Finding, FindingStatus};
+use mining::Dataset;
+use olap::{PivotTable, QueryBuilder};
+use optimize::{RegimenOptimiser, RegimenOutcome};
+use predict::{evaluate_predictor, extract_trajectories, EvaluationReport};
+
+/// Operational-level access: reporting, prediction, visualisation.
+pub struct OperationalView<'s> {
+    system: &'s DdDgms,
+}
+
+impl<'s> OperationalView<'s> {
+    /// View over a system.
+    pub fn new(system: &'s DdDgms) -> Self {
+        OperationalView { system }
+    }
+
+    /// Start a reporting query (Fig. 4 semantics).
+    pub fn report(&self) -> QueryBuilder<'s> {
+        self.system.query()
+    }
+
+    /// MDX reporting.
+    pub fn mdx(&self, query: &str) -> Result<PivotTable> {
+        self.system.mdx(query)
+    }
+
+    /// Evaluate the time-course predictor over a state column.
+    pub fn prediction_quality(&self, state_column: &str) -> Result<EvaluationReport> {
+        let trajectories = extract_trajectories(
+            self.system.transformed(),
+            "PatientId",
+            "TestDate",
+            state_column,
+        )?;
+        evaluate_predictor(&trajectories, 3)
+    }
+
+    /// The transformed table (for chart-side drill downs).
+    pub fn data(&self) -> &Table {
+        self.system.transformed()
+    }
+}
+
+/// Strategic-level access: analytics, optimisation, the knowledge base.
+pub struct StrategicView<'s> {
+    system: &'s DdDgms,
+}
+
+impl<'s> StrategicView<'s> {
+    /// View over a system.
+    pub fn new(system: &'s DdDgms) -> Self {
+        StrategicView { system }
+    }
+
+    /// Isolate an analytics dataset (a cube region flattened for the
+    /// miners).
+    pub fn isolate_dataset(&self, features: Vec<&str>, class: &str) -> Result<Dataset> {
+        mining::DatasetBuilder::new(features, class).build(self.system.transformed())
+    }
+
+    /// Optimise a treatment regimen under a budget.
+    pub fn optimise_regimen(&self, budget: f64) -> Result<RegimenOutcome> {
+        RegimenOptimiser {
+            budget,
+            min_support: (self.system.warehouse().n_facts() / 100).clamp(3, 20),
+            ..RegimenOptimiser::default()
+        }
+        .optimise(self.system.warehouse())
+    }
+
+    /// Mature knowledge (validated or promoted findings).
+    pub fn guidelines(&self) -> Vec<Finding> {
+        let kb = self.system.knowledge_base();
+        let mut out = kb.by_status(FindingStatus::Validated);
+        out.extend(kb.by_status(FindingStatus::Promoted));
+        out
+    }
+
+    /// The next screening round's test plan: acquisition queries for
+    /// the `top_attributes` most ambiguity-reducing measurements (the
+    /// fourth DGMS phase, strategic side).
+    pub fn acquisition_plan(
+        &self,
+        candidates: &[&str],
+        class_column: &str,
+        top_attributes: usize,
+    ) -> Result<Vec<crate::acquisition::AcquisitionQuery>> {
+        crate::acquisition::acquisition_queries(
+            self.system.transformed(),
+            candidates,
+            class_column,
+            top_attributes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discri::{generate, CohortConfig};
+
+    fn system() -> DdDgms {
+        let cohort = generate(&CohortConfig::small(91));
+        DdDgms::from_raw_attendances(&cohort.attendances).unwrap()
+    }
+
+    #[test]
+    fn operational_view_reports_and_predicts() {
+        let s = system();
+        let op = OperationalView::new(&s);
+        let pivot = op
+            .report()
+            .on_rows("FBG_Band")
+            .count()
+            .execute()
+            .unwrap();
+        assert!(!pivot.row_headers.is_empty());
+        let quality = op.prediction_quality("FBG_Band").unwrap();
+        assert!(quality.n_evaluated > 0);
+    }
+
+    #[test]
+    fn strategic_view_isolates_and_optimises() {
+        let s = system();
+        let strat = StrategicView::new(&s);
+        let ds = strat
+            .isolate_dataset(vec!["FBG_Band", "Gender"], "DiabetesStatus")
+            .unwrap();
+        assert!(!ds.is_empty());
+        assert_eq!(ds.n_features(), 2);
+        let regimen = strat.optimise_regimen(2000.0).unwrap();
+        assert!(regimen.annual_cost <= 2000.0);
+        // A fresh system has no mature knowledge yet.
+        assert!(strat.guidelines().is_empty());
+    }
+
+    #[test]
+    fn strategic_view_plans_acquisition() {
+        let s = system();
+        let strat = StrategicView::new(&s);
+        let plan = strat
+            .acquisition_plan(&["FBG_Band", "AnkleReflexRight"], "DiabetesStatus", 2)
+            .unwrap();
+        // Missing-value injection guarantees some gaps to fill.
+        assert!(!plan.is_empty());
+    }
+}

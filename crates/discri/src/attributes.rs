@@ -1,0 +1,333 @@
+//! The 273-attribute catalogue of the synthetic DiScRi cohort.
+//!
+//! The paper reports "data on 273 attributes" per attendance. We model
+//! the clinically load-bearing attributes explicitly (identity,
+//! demographics, medical conditions, fasting bloods, limb health,
+//! exercise, blood pressure, ECG / Ewing battery, anthropometry) and
+//! fill the remainder with a generated biomarker panel — the paper
+//! itself lists "pro-inflammatory markers, oxidative stress markers"
+//! among the attribute families, which is exactly what wide screening
+//! panels look like. The catalogue is the single source of truth for
+//! the attendance-table schema: every generated row has one value per
+//! catalogue entry, in catalogue order.
+
+use clinical_types::{DataType, FieldDef, Schema};
+
+/// Total number of attributes per attendance, as reported by the paper.
+pub const TOTAL_ATTRIBUTES: usize = 273;
+
+/// Dimension affinity of an attribute — mirrors the dimensions of the
+/// paper's Fig. 3 dimensional model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeGroup {
+    /// Identity / visit bookkeeping (fact keys + cardinality dimension).
+    Identity,
+    /// Personal information dimension (stable per patient).
+    PersonalInformation,
+    /// Medical condition dimension.
+    MedicalCondition,
+    /// Fasting bloods dimension (includes the biomarker panels).
+    FastingBloods,
+    /// Limb health dimension.
+    LimbHealth,
+    /// Exercise routine dimension.
+    ExerciseRoutine,
+    /// Blood pressure dimension.
+    BloodPressure,
+    /// ECG dimension (includes the Ewing battery).
+    Ecg,
+    /// Anthropometry — numeric measures that live on the fact table.
+    Anthropometry,
+}
+
+impl AttributeGroup {
+    /// Human-readable dimension name as used in Fig. 3.
+    pub fn dimension_name(&self) -> &'static str {
+        match self {
+            AttributeGroup::Identity => "Cardinality",
+            AttributeGroup::PersonalInformation => "Personal Information",
+            AttributeGroup::MedicalCondition => "Medical Condition",
+            AttributeGroup::FastingBloods => "Fasting Bloods",
+            AttributeGroup::LimbHealth => "Limb Health",
+            AttributeGroup::ExerciseRoutine => "Exercise Routine",
+            AttributeGroup::BloodPressure => "Blood Pressure",
+            AttributeGroup::Ecg => "ECG",
+            AttributeGroup::Anthropometry => "Medical Measures",
+        }
+    }
+}
+
+/// One attribute of the attendance table.
+#[derive(Debug, Clone)]
+pub struct AttributeSpec {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Dimension affinity.
+    pub group: AttributeGroup,
+    /// Whether the measurement may be missing.
+    pub nullable: bool,
+    /// Multiplier on the cohort base missing rate (e.g. the Ewing
+    /// hand-grip test is frequently not attempted for elderly
+    /// participants, per §V of the paper).
+    pub missing_multiplier: f64,
+}
+
+impl AttributeSpec {
+    fn new(
+        name: &str,
+        dtype: DataType,
+        group: AttributeGroup,
+        nullable: bool,
+        missing_multiplier: f64,
+    ) -> Self {
+        AttributeSpec {
+            name: name.to_string(),
+            dtype,
+            group,
+            nullable,
+            missing_multiplier,
+        }
+    }
+}
+
+/// Names of the explicitly modelled (non-panel) attributes, with types
+/// and dimension affinities. Order defines column order.
+fn core_attributes() -> Vec<AttributeSpec> {
+    use AttributeGroup::*;
+    use DataType::*;
+    let a = AttributeSpec::new;
+    vec![
+        // Identity / cardinality.
+        a("PatientId", Int, Identity, false, 0.0),
+        a("VisitNo", Int, Identity, false, 0.0),
+        a("TestDate", Date, Identity, false, 0.0),
+        // Personal information.
+        a("Gender", Text, PersonalInformation, false, 0.0),
+        a("Age", Int, PersonalInformation, false, 0.0),
+        a("FamilyHistoryDiabetes", Bool, PersonalInformation, true, 0.3),
+        a("FamilyHistoryCVD", Bool, PersonalInformation, true, 0.3),
+        a("EducationYears", Int, PersonalInformation, true, 0.5),
+        a("Smoker", Bool, PersonalInformation, true, 0.3),
+        // Medical condition.
+        a("DiabetesStatus", Text, MedicalCondition, true, 0.1),
+        a("DiabetesDurationYears", Float, MedicalCondition, true, 1.0),
+        a("HypertensionStatus", Text, MedicalCondition, true, 0.1),
+        a("DiagnosticHTYears", Float, MedicalCondition, true, 0.5),
+        a("OnGlucoseMedication", Bool, MedicalCondition, true, 0.5),
+        a("MedicationCount", Int, MedicalCondition, true, 0.5),
+        // Fasting bloods.
+        a("FBG", Float, FastingBloods, true, 1.0),
+        a("HbA1c", Float, FastingBloods, true, 1.3),
+        a("TotalCholesterol", Float, FastingBloods, true, 1.0),
+        a("HDL", Float, FastingBloods, true, 1.0),
+        a("LDL", Float, FastingBloods, true, 1.1),
+        a("Triglycerides", Float, FastingBloods, true, 1.0),
+        a("Creatinine", Float, FastingBloods, true, 1.0),
+        a("EGFR", Float, FastingBloods, true, 1.0),
+        a("Urea", Float, FastingBloods, true, 1.2),
+        a("UricAcid", Float, FastingBloods, true, 1.2),
+        a("CRP", Float, FastingBloods, true, 1.5),
+        // Limb health.
+        a("KneeReflexRight", Text, LimbHealth, true, 1.0),
+        a("KneeReflexLeft", Text, LimbHealth, true, 1.0),
+        a("AnkleReflexRight", Text, LimbHealth, true, 1.0),
+        a("AnkleReflexLeft", Text, LimbHealth, true, 1.0),
+        a("MonofilamentScore", Int, LimbHealth, true, 1.2),
+        a("VibrationPerception", Float, LimbHealth, true, 1.2),
+        a("FootPulses", Text, LimbHealth, true, 1.0),
+        a("AnkleBrachialIndex", Float, LimbHealth, true, 1.5),
+        // Exercise routine.
+        a("ExerciseSessionsPerWeek", Int, ExerciseRoutine, true, 0.8),
+        a("ExerciseMinutesPerWeek", Float, ExerciseRoutine, true, 1.0),
+        a("ActivityType", Text, ExerciseRoutine, true, 1.0),
+        a("SedentaryHoursPerDay", Float, ExerciseRoutine, true, 1.2),
+        // Blood pressure.
+        a("LyingSBPAverage", Float, BloodPressure, true, 0.8),
+        a("LyingDBPAverage", Float, BloodPressure, true, 0.8),
+        a("StandingSBP", Float, BloodPressure, true, 1.0),
+        a("StandingDBP", Float, BloodPressure, true, 1.0),
+        a("RestingHeartRate", Float, BloodPressure, true, 0.8),
+        a("OrthostaticSBPDrop", Float, BloodPressure, true, 1.2),
+        // ECG and Ewing battery.
+        a("QRSDuration", Float, Ecg, true, 1.0),
+        a("QTInterval", Float, Ecg, true, 1.0),
+        a("QTc", Float, Ecg, true, 1.0),
+        a("PRInterval", Float, Ecg, true, 1.0),
+        a("SDNN", Float, Ecg, true, 1.3),
+        a("EwingHRRatio3015", Float, Ecg, true, 1.5),
+        a("EwingValsalvaRatio", Float, Ecg, true, 1.8),
+        // The hand-grip test is often impossible for elderly
+        // participants (arthritis) — very high missing multiplier,
+        // further scaled with age by the generator.
+        a("EwingHandGrip", Float, Ecg, true, 3.0),
+        a("EwingDeepBreathingHRV", Float, Ecg, true, 1.5),
+        // Anthropometry.
+        a("BMI", Float, Anthropometry, true, 0.6),
+        a("WeightKg", Float, Anthropometry, true, 0.6),
+        a("HeightCm", Float, Anthropometry, true, 0.6),
+        a("WaistCm", Float, Anthropometry, true, 1.0),
+        a("HipCm", Float, Anthropometry, true, 1.0),
+        a("WaistHipRatio", Float, Anthropometry, true, 1.0),
+    ]
+}
+
+/// Number of biomarkers in each generated panel.
+const INFLAMMATORY_PANEL: [&str; 8] = [
+    "IL6", "IL1B", "IL10", "TNFa", "IFNg", "MCP1", "VEGF", "Fibrinogen",
+];
+const OXIDATIVE_PANEL: [&str; 6] = ["MDA", "8OHdG", "GSH", "SOD", "CAT", "TAC"];
+
+/// Full 273-attribute catalogue: core attributes, the named biomarker
+/// panels, then numbered panel attributes up to [`TOTAL_ATTRIBUTES`].
+pub fn attribute_catalogue() -> Vec<AttributeSpec> {
+    let mut cat = core_attributes();
+    for name in INFLAMMATORY_PANEL {
+        cat.push(AttributeSpec::new(
+            &format!("Inflam_{name}"),
+            DataType::Float,
+            AttributeGroup::FastingBloods,
+            true,
+            1.5,
+        ));
+    }
+    for name in OXIDATIVE_PANEL {
+        cat.push(AttributeSpec::new(
+            &format!("OxStress_{name}"),
+            DataType::Float,
+            AttributeGroup::FastingBloods,
+            true,
+            1.5,
+        ));
+    }
+    let filler = TOTAL_ATTRIBUTES - cat.len();
+    for i in 0..filler {
+        cat.push(AttributeSpec::new(
+            &format!("Biomarker_{:03}", i + 1),
+            DataType::Float,
+            AttributeGroup::FastingBloods,
+            true,
+            1.4,
+        ));
+    }
+    debug_assert_eq!(cat.len(), TOTAL_ATTRIBUTES);
+    cat
+}
+
+/// Schema of the wide attendance table, in catalogue order.
+pub fn cohort_schema() -> Schema {
+    let fields = attribute_catalogue()
+        .into_iter()
+        .map(|a| FieldDef {
+            name: a.name,
+            dtype: a.dtype,
+            nullable: a.nullable,
+        })
+        .collect();
+    Schema::new(fields).expect("catalogue has unique attribute names")
+}
+
+/// Index of the first generated (panel) attribute within the catalogue.
+pub fn first_panel_index() -> usize {
+    core_attributes().len()
+}
+
+/// Render the attribute catalogue as a data dictionary — the document
+/// a screening programme publishes alongside its export so downstream
+/// users know what each of the 273 columns means.
+pub fn data_dictionary() -> String {
+    let mut out = String::from("# DiScRi synthetic cohort — data dictionary\n\n");
+    out.push_str("| # | Attribute | Type | Dimension | Nullable |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for (i, a) in attribute_catalogue().iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            i + 1,
+            a.name,
+            a.dtype,
+            a.group.dimension_name(),
+            if a.nullable { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalogue_has_exactly_273_attributes() {
+        assert_eq!(attribute_catalogue().len(), TOTAL_ATTRIBUTES);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let cat = attribute_catalogue();
+        let names: HashSet<&str> = cat.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names.len(), cat.len());
+    }
+
+    #[test]
+    fn schema_matches_catalogue_order() {
+        let cat = attribute_catalogue();
+        let schema = cohort_schema();
+        assert_eq!(schema.len(), TOTAL_ATTRIBUTES);
+        for (spec, field) in cat.iter().zip(schema.fields()) {
+            assert_eq!(spec.name, field.name);
+            assert_eq!(spec.dtype, field.dtype);
+        }
+    }
+
+    #[test]
+    fn table_one_attributes_are_present() {
+        // The attributes of the paper's Table I must exist.
+        let schema = cohort_schema();
+        for name in ["Age", "DiagnosticHTYears", "FBG", "LyingDBPAverage"] {
+            assert!(schema.contains(name), "missing Table I attribute {name}");
+        }
+    }
+
+    #[test]
+    fn every_fig3_dimension_is_covered() {
+        use AttributeGroup::*;
+        let cat = attribute_catalogue();
+        for g in [
+            Identity,
+            PersonalInformation,
+            MedicalCondition,
+            FastingBloods,
+            LimbHealth,
+            ExerciseRoutine,
+            BloodPressure,
+            Ecg,
+            Anthropometry,
+        ] {
+            assert!(
+                cat.iter().any(|a| a.group == g),
+                "no attribute in group {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn data_dictionary_lists_all_attributes() {
+        let dict = data_dictionary();
+        // One markdown row per attribute, plus the header row (the
+        // `|---|` separator doesn't match the `| ` prefix).
+        let rows = dict.lines().filter(|l| l.starts_with("| ")).count();
+        assert_eq!(rows, TOTAL_ATTRIBUTES + 1);
+        assert!(dict.contains("| FBG | Float | Fasting Bloods | yes |"));
+        assert!(dict.contains("| PatientId | Int | Cardinality | no |"));
+    }
+
+    #[test]
+    fn identity_attributes_are_required() {
+        let cat = attribute_catalogue();
+        for a in cat.iter().filter(|a| a.group == AttributeGroup::Identity) {
+            assert!(!a.nullable, "{} must be required", a.name);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Cohort generation parameters.
+
+/// Parameters for synthetic cohort generation.
+///
+/// The defaults reproduce the scale the paper reports for DiScRi:
+/// ~900 patients, ~2500 attendances over ten years (2002–2012),
+/// 273 attributes per attendance.
+#[derive(Debug, Clone)]
+pub struct CohortConfig {
+    /// RNG seed — every run with the same seed produces the same cohort.
+    pub seed: u64,
+    /// Number of distinct patients.
+    pub n_patients: usize,
+    /// Expected attendances per patient (geometric-ish, min 1).
+    pub mean_visits: f64,
+    /// Maximum attendances for any single patient.
+    pub max_visits: usize,
+    /// First year of the screening programme.
+    pub start_year: i32,
+    /// Last year of the screening programme.
+    pub end_year: i32,
+    /// Probability that any individual nullable measurement is missing.
+    /// Attribute-specific multipliers apply on top of this base rate.
+    pub missing_rate: f64,
+    /// Probability that a recorded numeric value is erroneous
+    /// (impossible magnitude / wrong sign), exercising ETL cleaning.
+    pub error_rate: f64,
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        CohortConfig {
+            seed: 42,
+            n_patients: 900,
+            mean_visits: 2.8,
+            max_visits: 10,
+            start_year: 2002,
+            end_year: 2012,
+            missing_rate: 0.06,
+            error_rate: 0.004,
+        }
+    }
+}
+
+impl CohortConfig {
+    /// A small cohort for fast unit tests.
+    pub fn small(seed: u64) -> Self {
+        CohortConfig {
+            seed,
+            n_patients: 120,
+            mean_visits: 2.2,
+            ..CohortConfig::default()
+        }
+    }
+
+    /// Scale the cohort to roughly `n` attendances (used by the
+    /// scaling benchmarks). Patient count is derived from the mean
+    /// visit rate.
+    pub fn scaled_to_visits(seed: u64, n: usize) -> Self {
+        let base = CohortConfig::default();
+        let patients = ((n as f64) / base.mean_visits).ceil().max(1.0) as usize;
+        CohortConfig {
+            seed,
+            n_patients: patients,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let c = CohortConfig::default();
+        assert_eq!(c.n_patients, 900);
+        assert_eq!(c.end_year - c.start_year, 10);
+        // 900 × 2.8 ≈ 2520 expected attendances ≈ the paper's "over 2500".
+        assert!((c.n_patients as f64 * c.mean_visits - 2500.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn scaled_to_visits_derives_patient_count() {
+        let c = CohortConfig::scaled_to_visits(1, 28_000);
+        assert_eq!(c.n_patients, 10_000);
+    }
+}

@@ -1,0 +1,975 @@
+//! Deterministic synthetic cohort generation.
+//!
+//! All of the distributional targets come from Section V of the paper
+//! (see the crate docs). The generator is organised in two stages:
+//! first the per-patient latent state ([`crate::Patient`]), then the
+//! per-attendance measurement rows. Every stochastic choice flows from
+//! a single seeded [`StdRng`], so a `(seed, config)` pair fully
+//! determines the cohort.
+
+use crate::attributes::{attribute_catalogue, cohort_schema, first_panel_index, AttributeSpec};
+use crate::config::CohortConfig;
+use crate::patient::{DiseasePhase, Gender, Patient};
+use clinical_types::{Date, Record, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// A generated cohort: the patient roster (latent ground truth) plus
+/// the wide raw attendance table (273 columns, one row per visit).
+///
+/// "Raw" means the table still contains the injected missing values
+/// and erroneous measurements; the ETL crate is responsible for
+/// cleaning it, exactly as §V.A of the paper describes.
+#[derive(Debug, Clone)]
+pub struct Cohort {
+    /// Configuration the cohort was generated from.
+    pub config: CohortConfig,
+    /// Latent per-patient ground truth.
+    pub patients: Vec<Patient>,
+    /// Raw attendance table (one row per visit).
+    pub attendances: Table,
+}
+
+impl Cohort {
+    /// Number of attendances (rows of the wide table).
+    pub fn n_attendances(&self) -> usize {
+        self.attendances.len()
+    }
+
+    /// Patient by 1-based id.
+    pub fn patient(&self, id: u32) -> Option<&Patient> {
+        self.patients.get((id as usize).checked_sub(1)?)
+    }
+}
+
+/// Generate a cohort from `config`. Deterministic in `config.seed`.
+pub fn generate(config: &CohortConfig) -> Cohort {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = cohort_schema();
+    let catalogue = attribute_catalogue();
+    let index: HashMap<&str, usize> = catalogue
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.name.as_str(), i))
+        .collect();
+
+    let patients: Vec<Patient> = (0..config.n_patients)
+        .map(|i| gen_patient(i as u32 + 1, config, &mut rng))
+        .collect();
+
+    let mut table = Table::new(schema.clone());
+    for p in &patients {
+        let visits = gen_visit_plan(p, config, &mut rng);
+        for v in &visits {
+            let row = gen_row(p, v, config, &catalogue, &index, &schema, &mut rng);
+            table.push_unchecked(Record::new(row));
+        }
+    }
+    Cohort {
+        config: config.clone(),
+        patients,
+        attendances: table,
+    }
+}
+
+/// One planned visit with its resolved latent phase.
+#[derive(Debug, Clone, Copy)]
+struct Visit {
+    visit_no: u32,
+    date: Date,
+    phase: DiseasePhase,
+    /// Years since this patient first reached [`DiseasePhase::Diabetic`],
+    /// if they have.
+    diabetic_for_years: Option<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// RNG helpers (rand ships uniform only; Box–Muller gives us normals).
+// ---------------------------------------------------------------------------
+
+fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sd * z
+}
+
+fn normal_clipped(rng: &mut StdRng, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+// ---------------------------------------------------------------------------
+// Patient-level generation.
+// ---------------------------------------------------------------------------
+
+/// Probability that a patient of mid-programme age `age` and gender `g`
+/// is (or becomes) diabetic during the programme. Encodes the Fig. 5
+/// shape: see crate docs.
+pub fn diabetes_probability(age: f64, gender: Gender) -> f64 {
+    // The boost/suppression windows are offset from the visible
+    // figure bands because risk is assigned at the patient's
+    // mid-programme age while Fig. 5 counts attendances by age at
+    // visit: a patient contributes visits roughly ±3 years around the
+    // assignment age, so each window is pulled ~1–2 years early and a
+    // counter-suppression keeps spill-over out of the adjacent band.
+    match gender {
+        Gender::Male => {
+            let mut p = 0.04 + 0.26 * sigmoid((age - 60.0) / 8.0);
+            if (69.0..74.0).contains(&age) {
+                p *= 1.8; // males dominate the 70–75 sub-group…
+            } else if (74.0..79.0).contains(&age) {
+                p *= 0.7; // …but not 75–80
+            }
+            p.min(0.85)
+        }
+        Gender::Female => {
+            let mut p = 0.04 + 0.26 * sigmoid((age - 63.0) / 8.0);
+            if (68.0..73.0).contains(&age) {
+                p *= 0.6; // minority in 70–75
+            } else if (73.0..78.0).contains(&age) {
+                p *= 1.9; // females are the majority in 75–80
+            } else if age >= 78.0 {
+                p *= 0.35; // …and the proportion drops substantially over 78
+            }
+            p.min(0.85)
+        }
+    }
+}
+
+/// Probability of hypertension by mid-programme age.
+pub fn hypertension_probability(age: f64) -> f64 {
+    (0.08 + 0.50 * sigmoid((age - 58.0) / 9.0)).min(0.9)
+}
+
+/// Band weights over years-since-HT-diagnosis: `<2, 2–5, 5–10, 10–20, >20`.
+/// Encodes the Fig. 6 dip of the 5–10 band in the 70–80 age range.
+pub fn ht_years_band_weights(age: f64) -> [f64; 5] {
+    // The dip window is wider than the visible 70–80 figure band and
+    // the 2–5 weight is also reduced, because years-since-diagnosis
+    // drifts upward across a patient's visits: a "2–5" assignment at
+    // entry crosses into "5–10" two visits later, and a patient whose
+    // mid-programme age is 81 still contributes early visits to the
+    // 75–80 sub-group.
+    if (69.0..83.0).contains(&age) {
+        [0.42, 0.14, 0.04, 0.24, 0.16]
+    } else {
+        [0.22, 0.26, 0.24, 0.20, 0.08]
+    }
+}
+
+fn gen_patient(id: u32, config: &CohortConfig, rng: &mut StdRng) -> Patient {
+    let gender = if rng.random::<f64>() < 0.55 {
+        Gender::Female
+    } else {
+        Gender::Male
+    };
+    // Screening cohorts skew older: mean 62, sd 12, clipped to [25, 92].
+    let entry_age = normal_clipped(rng, 62.0, 12.0, 25.0, 92.0);
+    let mid_age = entry_age + 2.0;
+
+    let subclinical_neuropathy = rng.random::<f64>() < 0.12;
+    let mut p_diab = diabetes_probability(mid_age, gender);
+    if subclinical_neuropathy {
+        // The latent driver of the §V insight: neuropathy precedes and
+        // predicts diabetes.
+        p_diab = (p_diab * 2.2).min(0.85);
+    }
+    let ever_diabetic = rng.random::<f64>() < p_diab;
+
+    let (entry_phase, progression_rate) = if ever_diabetic {
+        let r: f64 = rng.random();
+        let phase = if r < 0.55 {
+            DiseasePhase::Diabetic
+        } else if r < 0.85 {
+            DiseasePhase::PreDiabetic
+        } else {
+            DiseasePhase::Normal
+        };
+        (phase, 0.35)
+    } else {
+        let phase = if rng.random::<f64>() < 0.80 {
+            DiseasePhase::Normal
+        } else {
+            DiseasePhase::PreDiabetic
+        };
+        // Non-diabetics may drift Normal → PreDiabetic but never cross
+        // into Diabetic (the generator enforces the cap per-visit).
+        (phase, 0.05)
+    };
+
+    let hypertensive = rng.random::<f64>() < hypertension_probability(mid_age);
+    let entry_year = config.start_year
+        + rng.random_range(0..(config.end_year - config.start_year).max(1));
+    let ht_diagnosis_year = if hypertensive {
+        let w = ht_years_band_weights(mid_age);
+        let band = sample_weighted(rng, &w);
+        // Years before entry, uniform within the chosen band.
+        let years_before: f64 = match band {
+            0 => rng.random_range(0.0..2.0),
+            1 => rng.random_range(2.0..5.0),
+            2 => rng.random_range(5.0..10.0),
+            3 => rng.random_range(10.0..20.0),
+            _ => rng.random_range(20.0..35.0),
+        };
+        Some(entry_year - years_before.round() as i32)
+    } else {
+        None
+    };
+
+    let entry_date = Date::new(
+        entry_year,
+        rng.random_range(1..=12),
+        rng.random_range(1..=28),
+    )
+    .expect("generated entry date is valid");
+    let birth_year = entry_year - entry_age.round() as i32;
+    let birth_date = Date::new(
+        birth_year,
+        rng.random_range(1..=12),
+        rng.random_range(1..=28),
+    )
+    .expect("generated birth date is valid");
+
+    let family_history_diabetes =
+        rng.random::<f64>() < if ever_diabetic { 0.45 } else { 0.18 };
+
+    Patient {
+        id,
+        gender,
+        birth_date,
+        entry_date,
+        family_history_diabetes,
+        family_history_cvd: rng.random::<f64>() < 0.22,
+        education_years: rng.random_range(6..=18),
+        smoker: rng.random::<f64>() < 0.17,
+        entry_phase,
+        progression_rate,
+        subclinical_neuropathy,
+        hypertensive,
+        ht_diagnosis_year,
+        bmi_baseline: normal_clipped(
+            rng,
+            if ever_diabetic { 30.0 } else { 26.5 },
+            4.0,
+            17.0,
+            48.0,
+        ),
+        on_medication: ever_diabetic && rng.random::<f64>() < 0.65,
+        exercise_level: rng.random_range(0..=7),
+    }
+}
+
+fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+// ---------------------------------------------------------------------------
+// Visit planning.
+// ---------------------------------------------------------------------------
+
+fn gen_visit_plan(p: &Patient, config: &CohortConfig, rng: &mut StdRng) -> Vec<Visit> {
+    // 1 + Geometric(1/mean) visits, capped.
+    let p_stop = 1.0 / config.mean_visits.max(1.0);
+    let mut n = 1usize;
+    while n < config.max_visits && rng.random::<f64>() > p_stop {
+        n += 1;
+    }
+
+    // The first attendance is the patient's entry date — the same one
+    // gen_patient used to anchor ages and diagnosis years.
+    let mut date = p.entry_date;
+
+    let end = Date::new(config.end_year, 12, 31).expect("end date valid");
+    let mut phase = p.entry_phase;
+    let mut diabetic_since: Option<Date> = if phase == DiseasePhase::Diabetic {
+        // Entered already diabetic: diagnosed 0–10 years before entry.
+        Some(date.plus_days(-(rng.random_range(0..3650) as i64)))
+    } else {
+        None
+    };
+
+    let mut visits = Vec::with_capacity(n);
+    for visit_no in 1..=n as u32 {
+        let diabetic_for_years = diabetic_since
+            .map(|since| (date.days_since(since) as f64 / 365.25).max(0.0));
+        visits.push(Visit {
+            visit_no,
+            date,
+            phase,
+            diabetic_for_years,
+        });
+
+        // Advance roughly one year (±60 days) and maybe progress.
+        let gap = 365 + rng.random_range(-60..=60);
+        let next = date.plus_days(gap as i64);
+        if next > end {
+            break;
+        }
+        date = next;
+        if rng.random::<f64>() < p.progression_rate {
+            phase = match phase {
+                DiseasePhase::Normal => DiseasePhase::PreDiabetic,
+                DiseasePhase::PreDiabetic => {
+                    // Only ever-diabetic patients may cross into Diabetic.
+                    if p.progression_rate > 0.2 {
+                        DiseasePhase::Diabetic
+                    } else {
+                        DiseasePhase::PreDiabetic
+                    }
+                }
+                DiseasePhase::Diabetic => DiseasePhase::Diabetic,
+            };
+            if phase == DiseasePhase::Diabetic && diabetic_since.is_none() {
+                diabetic_since = Some(date);
+            }
+        }
+    }
+    visits
+}
+
+// ---------------------------------------------------------------------------
+// Per-visit measurement generation.
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn gen_row(
+    p: &Patient,
+    v: &Visit,
+    config: &CohortConfig,
+    catalogue: &[AttributeSpec],
+    index: &HashMap<&str, usize>,
+    schema: &Schema,
+    rng: &mut StdRng,
+) -> Vec<Value> {
+    let mut row = vec![Value::Null; schema.len()];
+    let set = |row: &mut Vec<Value>, name: &str, value: Value| {
+        row[*index.get(name).expect("attribute in catalogue")] = value;
+    };
+    let age = p.age_on(v.date);
+    let diabetic = v.phase == DiseasePhase::Diabetic;
+    let neuropathic = p.subclinical_neuropathy || (diabetic && rng.random::<f64>() < 0.5);
+
+    // Identity.
+    set(&mut row, "PatientId", Value::Int(i64::from(p.id)));
+    set(&mut row, "VisitNo", Value::Int(i64::from(v.visit_no)));
+    set(&mut row, "TestDate", Value::Date(v.date));
+
+    // Personal information.
+    set(&mut row, "Gender", Value::Text(p.gender.code().into()));
+    set(&mut row, "Age", Value::Int(i64::from(age)));
+    set(
+        &mut row,
+        "FamilyHistoryDiabetes",
+        Value::Bool(p.family_history_diabetes),
+    );
+    set(&mut row, "FamilyHistoryCVD", Value::Bool(p.family_history_cvd));
+    set(
+        &mut row,
+        "EducationYears",
+        Value::Int(i64::from(p.education_years)),
+    );
+    set(&mut row, "Smoker", Value::Bool(p.smoker));
+
+    // Medical condition.
+    set(
+        &mut row,
+        "DiabetesStatus",
+        Value::Text(if diabetic { "yes".into() } else { "no".into() }),
+    );
+    if let Some(years) = v.diabetic_for_years {
+        set(&mut row, "DiabetesDurationYears", Value::Float(round1(years)));
+    }
+    set(
+        &mut row,
+        "HypertensionStatus",
+        Value::Text(if p.hypertensive { "yes".into() } else { "no".into() }),
+    );
+    if let Some(dy) = p.ht_diagnosis_year {
+        let years = (v.date.year() - dy).max(0) as f64
+            + f64::from(v.date.month()) / 12.0;
+        set(&mut row, "DiagnosticHTYears", Value::Float(round1(years)));
+    }
+    let on_med = p.on_medication && diabetic;
+    set(&mut row, "OnGlucoseMedication", Value::Bool(on_med));
+    let med_count = i64::from(on_med) + i64::from(p.hypertensive) + rng.random_range(0..2);
+    set(&mut row, "MedicationCount", Value::Int(med_count));
+
+    // Fasting bloods. Medicated diabetics sit in the controlled
+    // mid-range — the load-bearing piece of the §V reflex+glucose
+    // insight (mid FBG alone looks benign; with absent reflexes it is
+    // highly predictive).
+    let fbg = match (v.phase, on_med) {
+        (DiseasePhase::Normal, _) => normal_clipped(rng, 5.0, 0.4, 3.6, 6.0),
+        (DiseasePhase::PreDiabetic, _) => normal_clipped(rng, 6.3, 0.45, 5.2, 7.4),
+        (DiseasePhase::Diabetic, true) => normal_clipped(rng, 6.4, 0.6, 5.3, 8.0),
+        (DiseasePhase::Diabetic, false) => normal_clipped(rng, 8.9, 1.4, 7.0, 16.0),
+    };
+    set(&mut row, "FBG", Value::Float(round1(fbg)));
+    set(
+        &mut row,
+        "HbA1c",
+        Value::Float(round1(4.5 + 0.45 * fbg + normal(rng, 0.0, 0.3))),
+    );
+    let tc = normal_clipped(rng, if diabetic { 5.6 } else { 5.1 }, 0.9, 2.5, 9.5);
+    let hdl = normal_clipped(rng, if diabetic { 1.15 } else { 1.4 }, 0.3, 0.5, 3.0);
+    set(&mut row, "TotalCholesterol", Value::Float(round1(tc)));
+    set(&mut row, "HDL", Value::Float(round2(hdl)));
+    set(
+        &mut row,
+        "LDL",
+        Value::Float(round1((tc - hdl - 0.5).max(0.5))),
+    );
+    set(
+        &mut row,
+        "Triglycerides",
+        Value::Float(round1(normal_clipped(
+            rng,
+            if diabetic { 2.1 } else { 1.4 },
+            0.6,
+            0.3,
+            6.0,
+        ))),
+    );
+    let creat = normal_clipped(rng, if diabetic { 95.0 } else { 80.0 }, 18.0, 40.0, 220.0);
+    set(&mut row, "Creatinine", Value::Float(round1(creat)));
+    set(
+        &mut row,
+        "EGFR",
+        Value::Float(round1((12000.0 / creat - f64::from(age) * 0.4).clamp(8.0, 120.0))),
+    );
+    set(
+        &mut row,
+        "Urea",
+        Value::Float(round1(normal_clipped(rng, 6.0, 1.6, 2.0, 20.0))),
+    );
+    set(
+        &mut row,
+        "UricAcid",
+        Value::Float(round2(normal_clipped(rng, 0.32, 0.07, 0.1, 0.7))),
+    );
+    set(
+        &mut row,
+        "CRP",
+        Value::Float(round1(lognormal(rng, if diabetic { 1.2 } else { 0.7 }, 0.6).min(80.0))),
+    );
+
+    // Limb health. Neuropathy (latent or diabetic) ablates reflexes.
+    let reflex = |rng: &mut StdRng, neuropathic: bool| -> &'static str {
+        let r: f64 = rng.random();
+        if neuropathic {
+            if r < 0.72 {
+                "absent"
+            } else if r < 0.92 {
+                "reduced"
+            } else {
+                "present"
+            }
+        } else if r < 0.05 {
+            "absent"
+        } else if r < 0.18 {
+            "reduced"
+        } else {
+            "present"
+        }
+    };
+    set(&mut row, "KneeReflexRight", Value::Text(reflex(rng, neuropathic).into()));
+    set(&mut row, "KneeReflexLeft", Value::Text(reflex(rng, neuropathic).into()));
+    set(&mut row, "AnkleReflexRight", Value::Text(reflex(rng, neuropathic).into()));
+    set(&mut row, "AnkleReflexLeft", Value::Text(reflex(rng, neuropathic).into()));
+    set(
+        &mut row,
+        "MonofilamentScore",
+        Value::Int(if neuropathic {
+            rng.random_range(2..=7)
+        } else {
+            rng.random_range(7..=10)
+        }),
+    );
+    set(
+        &mut row,
+        "VibrationPerception",
+        Value::Float(round1(normal_clipped(
+            rng,
+            if neuropathic { 14.0 } else { 7.0 },
+            3.0,
+            0.0,
+            50.0,
+        ))),
+    );
+    set(
+        &mut row,
+        "FootPulses",
+        Value::Text(
+            if rng.random::<f64>() < if diabetic { 0.25 } else { 0.06 } {
+                "diminished".into()
+            } else {
+                "normal".into()
+            },
+        ),
+    );
+    set(
+        &mut row,
+        "AnkleBrachialIndex",
+        Value::Float(round2(normal_clipped(
+            rng,
+            if diabetic { 0.95 } else { 1.08 },
+            0.12,
+            0.4,
+            1.4,
+        ))),
+    );
+
+    // Exercise routine.
+    let sessions = i64::from(p.exercise_level);
+    set(&mut row, "ExerciseSessionsPerWeek", Value::Int(sessions));
+    set(
+        &mut row,
+        "ExerciseMinutesPerWeek",
+        Value::Float(round1(sessions as f64 * normal_clipped(rng, 38.0, 10.0, 10.0, 90.0))),
+    );
+    let activity = match p.exercise_level {
+        0 => "none",
+        1..=2 => "walking",
+        3..=4 => "mixed",
+        5..=6 => "gym",
+        _ => "sport",
+    };
+    set(&mut row, "ActivityType", Value::Text(activity.into()));
+    set(
+        &mut row,
+        "SedentaryHoursPerDay",
+        Value::Float(round1(normal_clipped(
+            rng,
+            9.0 - 0.5 * sessions as f64,
+            1.5,
+            2.0,
+            16.0,
+        ))),
+    );
+
+    // Blood pressure.
+    let (sbp_m, dbp_m) = if p.hypertensive {
+        (151.0, 92.0)
+    } else {
+        (126.0, 75.0)
+    };
+    let sbp = normal_clipped(rng, sbp_m, 11.0, 85.0, 220.0);
+    let dbp = normal_clipped(rng, dbp_m, 8.0, 45.0, 130.0);
+    set(&mut row, "LyingSBPAverage", Value::Float(round1(sbp)));
+    set(&mut row, "LyingDBPAverage", Value::Float(round1(dbp)));
+    // Autonomic neuropathy produces an orthostatic drop.
+    let drop = if neuropathic {
+        normal_clipped(rng, 22.0, 8.0, 0.0, 60.0)
+    } else {
+        normal_clipped(rng, 6.0, 4.0, -5.0, 30.0)
+    };
+    set(&mut row, "StandingSBP", Value::Float(round1(sbp - drop)));
+    set(
+        &mut row,
+        "StandingDBP",
+        Value::Float(round1(dbp - drop * 0.4)),
+    );
+    set(
+        &mut row,
+        "RestingHeartRate",
+        Value::Float(round1(normal_clipped(
+            rng,
+            if neuropathic { 78.0 } else { 70.0 },
+            9.0,
+            40.0,
+            130.0,
+        ))),
+    );
+    set(&mut row, "OrthostaticSBPDrop", Value::Float(round1(drop)));
+
+    // ECG / Ewing battery. Cardiovascular autonomic neuropathy blunts
+    // the Ewing ratios and heart-rate variability.
+    set(
+        &mut row,
+        "QRSDuration",
+        Value::Float(round1(normal_clipped(rng, 96.0, 10.0, 60.0, 180.0))),
+    );
+    let qt = normal_clipped(rng, 395.0, 22.0, 300.0, 520.0);
+    set(&mut row, "QTInterval", Value::Float(round1(qt)));
+    set(
+        &mut row,
+        "QTc",
+        Value::Float(round1(qt + if neuropathic { 18.0 } else { 0.0 } + normal(rng, 10.0, 8.0))),
+    );
+    set(
+        &mut row,
+        "PRInterval",
+        Value::Float(round1(normal_clipped(rng, 162.0, 18.0, 90.0, 320.0))),
+    );
+    set(
+        &mut row,
+        "SDNN",
+        Value::Float(round1(normal_clipped(
+            rng,
+            if neuropathic { 26.0 } else { 48.0 },
+            10.0,
+            3.0,
+            150.0,
+        ))),
+    );
+    set(
+        &mut row,
+        "EwingHRRatio3015",
+        Value::Float(round2(normal_clipped(
+            rng,
+            if neuropathic { 1.0 } else { 1.12 },
+            0.06,
+            0.8,
+            1.5,
+        ))),
+    );
+    set(
+        &mut row,
+        "EwingValsalvaRatio",
+        Value::Float(round2(normal_clipped(
+            rng,
+            if neuropathic { 1.12 } else { 1.35 },
+            0.12,
+            0.8,
+            2.2,
+        ))),
+    );
+    set(
+        &mut row,
+        "EwingHandGrip",
+        Value::Float(round1(normal_clipped(
+            rng,
+            if neuropathic { 11.0 } else { 17.0 },
+            4.0,
+            0.0,
+            40.0,
+        ))),
+    );
+    set(
+        &mut row,
+        "EwingDeepBreathingHRV",
+        Value::Float(round1(normal_clipped(
+            rng,
+            if neuropathic { 9.0 } else { 19.0 },
+            5.0,
+            0.0,
+            50.0,
+        ))),
+    );
+
+    // Anthropometry.
+    let bmi = (p.bmi_baseline + normal(rng, 0.0, 0.8)).clamp(15.0, 55.0);
+    let height = normal_clipped(
+        rng,
+        match p.gender {
+            Gender::Female => 162.0,
+            Gender::Male => 176.0,
+        },
+        7.0,
+        140.0,
+        205.0,
+    );
+    let weight = bmi * (height / 100.0).powi(2);
+    set(&mut row, "BMI", Value::Float(round1(bmi)));
+    set(&mut row, "WeightKg", Value::Float(round1(weight)));
+    set(&mut row, "HeightCm", Value::Float(round1(height)));
+    let waist = normal_clipped(rng, 2.6 * bmi + 20.0, 6.0, 55.0, 160.0);
+    let hip = normal_clipped(rng, waist + 8.0, 5.0, 60.0, 170.0);
+    set(&mut row, "WaistCm", Value::Float(round1(waist)));
+    set(&mut row, "HipCm", Value::Float(round1(hip)));
+    set(&mut row, "WaistHipRatio", Value::Float(round2(waist / hip)));
+
+    // Panel biomarkers: log-normal panels, a subset weakly correlated
+    // with glycaemic phase so wide-feature mining has signal to find.
+    let phase_idx = match v.phase {
+        DiseasePhase::Normal => 0.0,
+        DiseasePhase::PreDiabetic => 1.0,
+        DiseasePhase::Diabetic => 2.0,
+    };
+    for (i, spec) in catalogue.iter().enumerate().skip(first_panel_index()) {
+        let k = i - first_panel_index();
+        let mu = 0.3 + (k % 17) as f64 * 0.2;
+        let mut val = lognormal(rng, mu, 0.35);
+        if k.is_multiple_of(7) {
+            val *= 1.0 + 0.18 * phase_idx;
+        }
+        row[*index.get(spec.name.as_str()).expect("panel attr")] = Value::Float(round2(val));
+    }
+
+    // Missing-value injection (nullable attributes only), with the
+    // age-dependent extra for the hand-grip test, then error injection.
+    inject_missing_and_errors(&mut row, catalogue, config, age, rng);
+    row
+}
+
+fn inject_missing_and_errors(
+    row: &mut [Value],
+    catalogue: &[AttributeSpec],
+    config: &CohortConfig,
+    age: i32,
+    rng: &mut StdRng,
+) {
+    for (i, spec) in catalogue.iter().enumerate() {
+        if !spec.nullable {
+            continue;
+        }
+        let mut p_missing = config.missing_rate * spec.missing_multiplier;
+        if spec.name == "EwingHandGrip" && age > 70 {
+            // §V: "procedures such as the hand grip test cannot be
+            // applied to the elderly".
+            p_missing += 0.45;
+        }
+        if rng.random::<f64>() < p_missing {
+            row[i] = Value::Null;
+            continue;
+        }
+        // Occasionally corrupt a numeric value (sign flip or a
+        // magnitude error), exercising the ETL cleaning stage.
+        if rng.random::<f64>() < config.error_rate {
+            if let Value::Float(f) = row[i] {
+                row[i] = if rng.random::<f64>() < 0.5 {
+                    Value::Float(-f)
+                } else {
+                    Value::Float(f * 100.0)
+                };
+            } else if let Value::Int(n) = row[i] {
+                row[i] = Value::Int(-n.abs() * 10);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cohort {
+        generate(&CohortConfig::small(7))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&CohortConfig::small(9));
+        let b = generate(&CohortConfig::small(9));
+        assert_eq!(a.n_attendances(), b.n_attendances());
+        for (ra, rb) in a.attendances.rows().iter().zip(b.attendances.rows()) {
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CohortConfig::small(1));
+        let b = generate(&CohortConfig::small(2));
+        let same = a.n_attendances() == b.n_attendances()
+            && a.attendances
+                .rows()
+                .iter()
+                .zip(b.attendances.rows())
+                .all(|(x, y)| x == y);
+        assert!(!same);
+    }
+
+    #[test]
+    fn default_scale_matches_paper() {
+        let c = generate(&CohortConfig::default());
+        assert_eq!(c.patients.len(), 900);
+        // "over 2500 attendances of nearly 900 patients"
+        assert!(
+            c.n_attendances() > 2000 && c.n_attendances() < 3200,
+            "attendances = {}",
+            c.n_attendances()
+        );
+        assert_eq!(c.attendances.schema().len(), 273);
+    }
+
+    #[test]
+    fn visit_numbers_are_sequential_per_patient() {
+        let c = small();
+        let mut last: std::collections::HashMap<i64, i64> = Default::default();
+        for r in c.attendances.rows() {
+            let pid = r[0].as_i64().unwrap();
+            let vno = r[1].as_i64().unwrap();
+            let prev = last.insert(pid, vno).unwrap_or(0);
+            assert_eq!(vno, prev + 1, "patient {pid} visit numbering");
+        }
+    }
+
+    #[test]
+    fn visit_dates_increase_per_patient() {
+        let c = small();
+        let schema = c.attendances.schema();
+        let di = schema.index_of("TestDate").unwrap();
+        let mut last: std::collections::HashMap<i64, clinical_types::Date> = Default::default();
+        for r in c.attendances.rows() {
+            let pid = r[0].as_i64().unwrap();
+            let d = r[di].as_date().unwrap();
+            if let Some(prev) = last.insert(pid, d) {
+                assert!(d > prev, "visits of patient {pid} out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn ages_are_plausible() {
+        let c = small();
+        for v in c.attendances.column("Age").unwrap() {
+            let age = v.as_i64().unwrap();
+            assert!((20..=100).contains(&age), "age {age}");
+        }
+    }
+
+    #[test]
+    fn phases_never_regress() {
+        let c = small();
+        let schema = c.attendances.schema();
+        let si = schema.index_of("DiabetesStatus").unwrap();
+        let mut seen: std::collections::HashMap<i64, bool> = Default::default();
+        for r in c.attendances.rows() {
+            let pid = r[0].as_i64().unwrap();
+            let diabetic = r[si].as_str() == Some("yes");
+            let was = seen.entry(pid).or_insert(false);
+            if *was {
+                assert!(diabetic, "patient {pid} regressed from diabetic");
+            }
+            *was = *was || diabetic;
+        }
+    }
+
+    #[test]
+    fn missing_values_present_but_bounded() {
+        let c = small();
+        let total = c.n_attendances() * c.attendances.schema().len();
+        let nulls: usize = c
+            .attendances
+            .rows()
+            .iter()
+            .map(|r| r.values().iter().filter(|v| v.is_null()).count())
+            .sum();
+        let frac = nulls as f64 / total as f64;
+        assert!(frac > 0.01 && frac < 0.25, "null fraction {frac}");
+    }
+
+    #[test]
+    fn handgrip_missing_more_for_elderly() {
+        let c = generate(&CohortConfig::default());
+        let schema = c.attendances.schema();
+        let ai = schema.index_of("Age").unwrap();
+        let hi = schema.index_of("EwingHandGrip").unwrap();
+        let (mut old_n, mut old_miss, mut young_n, mut young_miss) = (0u32, 0u32, 0u32, 0u32);
+        for r in c.attendances.rows() {
+            let age = r[ai].as_i64().unwrap();
+            let missing = r[hi].is_null();
+            if age > 70 {
+                old_n += 1;
+                old_miss += u32::from(missing);
+            } else {
+                young_n += 1;
+                young_miss += u32::from(missing);
+            }
+        }
+        let old_rate = f64::from(old_miss) / f64::from(old_n.max(1));
+        let young_rate = f64::from(young_miss) / f64::from(young_n.max(1));
+        assert!(
+            old_rate > young_rate + 0.2,
+            "elderly hand-grip missing {old_rate:.2} vs young {young_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn medicated_diabetics_sit_in_mid_fbg_range() {
+        let c = generate(&CohortConfig::default());
+        let schema = c.attendances.schema();
+        let fi = schema.index_of("FBG").unwrap();
+        let si = schema.index_of("DiabetesStatus").unwrap();
+        let mi = schema.index_of("OnGlucoseMedication").unwrap();
+        let mut mid = 0u32;
+        let mut n = 0u32;
+        for r in c.attendances.rows() {
+            if r[si].as_str() == Some("yes") && r[mi].as_bool() == Some(true) {
+                if let Some(f) = r[fi].as_f64() {
+                    if f > 0.0 && f < 50.0 {
+                        n += 1;
+                        if (5.5..7.0).contains(&f) {
+                            mid += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(n > 50, "too few medicated diabetic visits: {n}");
+        assert!(
+            f64::from(mid) / f64::from(n) > 0.4,
+            "only {mid}/{n} medicated diabetics in the 5.5–7 mid-range"
+        );
+    }
+
+    #[test]
+    fn erroneous_values_injected_at_low_rate() {
+        let c = generate(&CohortConfig::default());
+        // Negative FBG is impossible; some should exist pre-cleaning.
+        let negatives = c
+            .attendances
+            .column("FBG")
+            .unwrap()
+            .filter_map(Value::as_f64)
+            .filter(|f| *f < 0.0)
+            .count();
+        assert!(negatives > 0, "error injection produced no negative FBG");
+        assert!(
+            (negatives as f64) < 0.02 * c.n_attendances() as f64,
+            "too many corrupted FBG values"
+        );
+    }
+
+    #[test]
+    fn diabetes_probability_encodes_fig5_shape() {
+        // Males dominate at 72…
+        assert!(
+            diabetes_probability(72.0, Gender::Male)
+                > diabetes_probability(72.0, Gender::Female) * 1.2
+        );
+        // …females dominate at 76…
+        assert!(
+            diabetes_probability(76.0, Gender::Female)
+                > diabetes_probability(76.0, Gender::Male) * 1.2
+        );
+        // …and the female rate collapses past 78.
+        assert!(
+            diabetes_probability(80.0, Gender::Female)
+                < diabetes_probability(76.0, Gender::Female) * 0.6
+        );
+    }
+
+    #[test]
+    fn ht_band_weights_dip_in_the_seventies() {
+        let dip = ht_years_band_weights(74.0)[2];
+        let normal = ht_years_band_weights(65.0)[2];
+        assert!(dip < normal * 0.5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Patient-level latent state.
+
+use clinical_types::Date;
+use std::fmt;
+
+/// Biological sex as recorded by the screening programme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gender {
+    /// Female participant.
+    Female,
+    /// Male participant.
+    Male,
+}
+
+impl Gender {
+    /// Single-letter code used in the attendance table (`"F"` / `"M"`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Gender::Female => "F",
+            Gender::Male => "M",
+        }
+    }
+}
+
+impl fmt::Display for Gender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Glycaemic phase of a patient at a point in time.
+///
+/// This is the latent disease state behind the fasting-blood-glucose
+/// measurements; the prediction component (§IV "Prediction") learns
+/// the transition structure from the observed visits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiseasePhase {
+    /// Normoglycaemic.
+    Normal,
+    /// Impaired fasting glucose ("preDiabetic" in Table I's FBG scheme).
+    PreDiabetic,
+    /// Diabetic.
+    Diabetic,
+}
+
+impl DiseasePhase {
+    /// Stable label used in tables and as a classification target.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DiseasePhase::Normal => "Normal",
+            DiseasePhase::PreDiabetic => "PreDiabetic",
+            DiseasePhase::Diabetic => "Diabetic",
+        }
+    }
+
+    /// All phases in progression order.
+    pub fn all() -> [DiseasePhase; 3] {
+        [
+            DiseasePhase::Normal,
+            DiseasePhase::PreDiabetic,
+            DiseasePhase::Diabetic,
+        ]
+    }
+}
+
+impl fmt::Display for DiseasePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Latent, per-patient ground truth.
+///
+/// These fields drive every generated measurement; none of them except
+/// the demographics are exposed to the pipeline directly, so rediscovering
+/// them (e.g. the neuropathy → diabetes link) is a genuine mining task.
+#[derive(Debug, Clone)]
+pub struct Patient {
+    /// Stable identifier, 1-based.
+    pub id: u32,
+    /// Biological sex.
+    pub gender: Gender,
+    /// Date of birth.
+    pub birth_date: Date,
+    /// Date of the patient's first screening attendance; anchors ages
+    /// and diagnosis-year arithmetic for the whole visit sequence.
+    pub entry_date: Date,
+    /// Family history of diabetes (first-degree relative).
+    pub family_history_diabetes: bool,
+    /// Family history of cardiovascular disease.
+    pub family_history_cvd: bool,
+    /// Years of formal education (socio-economic covariate).
+    pub education_years: u8,
+    /// Smoker at entry.
+    pub smoker: bool,
+    /// Glycaemic phase at programme entry.
+    pub entry_phase: DiseasePhase,
+    /// Per-visit annual probability of progressing one phase.
+    pub progression_rate: f64,
+    /// Latent pre-clinical autonomic/peripheral neuropathy: drives
+    /// absent reflexes *and* elevated diabetes risk (the §V insight).
+    pub subclinical_neuropathy: bool,
+    /// Hypertensive at any point during the programme.
+    pub hypertensive: bool,
+    /// Year hypertension was first diagnosed (if hypertensive).
+    pub ht_diagnosis_year: Option<i32>,
+    /// Baseline body-mass index.
+    pub bmi_baseline: f64,
+    /// On glucose-lowering medication from entry.
+    pub on_medication: bool,
+    /// Weekly exercise sessions (0–7), a protective covariate.
+    pub exercise_level: u8,
+}
+
+impl Patient {
+    /// Patient's age in whole years on `date`.
+    pub fn age_on(&self, date: Date) -> i32 {
+        date.years_since(self.birth_date)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gender_codes() {
+        assert_eq!(Gender::Female.code(), "F");
+        assert_eq!(Gender::Male.to_string(), "M");
+    }
+
+    #[test]
+    fn phase_order_reflects_progression() {
+        assert!(DiseasePhase::Normal < DiseasePhase::PreDiabetic);
+        assert!(DiseasePhase::PreDiabetic < DiseasePhase::Diabetic);
+        assert_eq!(DiseasePhase::all().len(), 3);
+    }
+
+    #[test]
+    fn age_on_uses_calendar_years() {
+        let p = Patient {
+            id: 1,
+            gender: Gender::Female,
+            birth_date: Date::new(1950, 7, 1).unwrap(),
+            entry_date: Date::new(2005, 3, 10).unwrap(),
+            family_history_diabetes: false,
+            family_history_cvd: false,
+            education_years: 12,
+            smoker: false,
+            entry_phase: DiseasePhase::Normal,
+            progression_rate: 0.05,
+            subclinical_neuropathy: false,
+            hypertensive: false,
+            ht_diagnosis_year: None,
+            bmi_baseline: 26.0,
+            on_medication: false,
+            exercise_level: 3,
+        };
+        assert_eq!(p.age_on(Date::new(2010, 6, 30).unwrap()), 59);
+        assert_eq!(p.age_on(Date::new(2010, 7, 1).unwrap()), 60);
+    }
+}

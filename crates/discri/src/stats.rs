@@ -1,0 +1,153 @@
+//! Cohort summary statistics.
+//!
+//! Small, dependency-free descriptive statistics over the wide
+//! attendance table. These are used by tests (to assert the embedded
+//! Fig. 5 / Fig. 6 shapes actually hold in generated data) and by the
+//! examples to print cohort overviews.
+
+use crate::generator::Cohort;
+use clinical_types::{Result, Value};
+use std::collections::BTreeMap;
+
+/// Descriptive statistics over a generated cohort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortStats {
+    /// Number of distinct patients that appear in the attendance table.
+    pub n_patients: usize,
+    /// Number of attendances.
+    pub n_attendances: usize,
+    /// Attendances by gender code.
+    pub by_gender: BTreeMap<String, usize>,
+    /// Count of attendances with `DiabetesStatus = yes` keyed by
+    /// `(five-year age bucket start, gender code)`.
+    pub diabetic_by_age5_gender: BTreeMap<(i64, String), usize>,
+    /// Fraction of cells that are NULL.
+    pub null_fraction: f64,
+}
+
+impl CohortStats {
+    /// Compute statistics from a cohort.
+    pub fn from_cohort(cohort: &Cohort) -> Result<Self> {
+        let t = &cohort.attendances;
+        let schema = t.schema();
+        let pid = schema.index_of("PatientId")?;
+        let age_i = schema.index_of("Age")?;
+        let gender_i = schema.index_of("Gender")?;
+        let status_i = schema.index_of("DiabetesStatus")?;
+
+        let mut patients = std::collections::HashSet::new();
+        let mut by_gender: BTreeMap<String, usize> = BTreeMap::new();
+        let mut diabetic: BTreeMap<(i64, String), usize> = BTreeMap::new();
+        let mut nulls = 0usize;
+        for r in t.rows() {
+            patients.insert(r[pid].as_i64().unwrap_or(-1));
+            nulls += r.values().iter().filter(|v| v.is_null()).count();
+            let gender = r[gender_i].as_str().unwrap_or("?").to_string();
+            *by_gender.entry(gender.clone()).or_insert(0) += 1;
+            if r[status_i].as_str() == Some("yes") {
+                if let Some(age) = r[age_i].as_i64() {
+                    let bucket = (age / 5) * 5;
+                    *diabetic.entry((bucket, gender)).or_insert(0) += 1;
+                }
+            }
+        }
+        let total_cells = t.len() * schema.len();
+        Ok(CohortStats {
+            n_patients: patients.len(),
+            n_attendances: t.len(),
+            by_gender,
+            diabetic_by_age5_gender: diabetic,
+            null_fraction: if total_cells == 0 {
+                0.0
+            } else {
+                nulls as f64 / total_cells as f64
+            },
+        })
+    }
+
+    /// Diabetic attendance count for a five-year bucket and gender.
+    pub fn diabetic(&self, bucket: i64, gender: &str) -> usize {
+        self.diabetic_by_age5_gender
+            .get(&(bucket, gender.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Mean of a numeric column, ignoring nulls and non-numeric cells.
+pub fn column_mean(cohort: &Cohort, name: &str) -> Result<Option<f64>> {
+    let vals: Vec<f64> = cohort
+        .attendances
+        .column(name)?
+        .filter_map(Value::as_f64)
+        .collect();
+    if vals.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(vals.iter().sum::<f64>() / vals.len() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CohortConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn stats_cover_the_whole_cohort() {
+        let c = generate(&CohortConfig::small(3));
+        let s = CohortStats::from_cohort(&c).unwrap();
+        assert_eq!(s.n_attendances, c.n_attendances());
+        assert!(s.n_patients <= c.patients.len());
+        assert!(s.n_patients > 0);
+        let gender_total: usize = s.by_gender.values().sum();
+        assert_eq!(gender_total, s.n_attendances);
+    }
+
+    #[test]
+    fn fig5_shape_holds_at_default_scale() {
+        // The headline reproduction check: the generated cohort must
+        // exhibit the Fig. 5 gender crossover in the 70–80 decade.
+        let c = generate(&CohortConfig::default());
+        let s = CohortStats::from_cohort(&c).unwrap();
+        let m_7075 = s.diabetic(70, "M");
+        let f_7075 = s.diabetic(70, "F");
+        let m_7580 = s.diabetic(75, "M");
+        let f_7580 = s.diabetic(75, "F");
+        assert!(
+            m_7075 > f_7075,
+            "males should dominate 70–75: M={m_7075} F={f_7075}"
+        );
+        assert!(
+            f_7580 > m_7580,
+            "females should dominate 75–80: F={f_7580} M={m_7580}"
+        );
+        // Female proportion collapses past 80 (the >78 drop).
+        let f_80plus: usize = s
+            .diabetic_by_age5_gender
+            .iter()
+            .filter(|((b, g), _)| *b >= 80 && g == "F")
+            .map(|(_, n)| n)
+            .sum();
+        let m_80plus: usize = s
+            .diabetic_by_age5_gender
+            .iter()
+            .filter(|((b, g), _)| *b >= 80 && g == "M")
+            .map(|(_, n)| n)
+            .sum();
+        assert!(
+            f_80plus < m_80plus,
+            "female diabetics should fall behind males past 80: F={f_80plus} M={m_80plus}"
+        );
+    }
+
+    #[test]
+    fn fbg_mean_is_clinical() {
+        let c = generate(&CohortConfig::small(5));
+        let mean = column_mean(&c, "FBG").unwrap().unwrap();
+        assert!(
+            (4.0..8.0).contains(&mean),
+            "cohort FBG mean {mean} outside clinical range"
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Cardinality abstraction: distinguishing repeat attendances.
+//!
+//! §IV.3 of the paper: cardinality is "temporal abstraction applied to
+//! a group of variables that have a contextual association" — in the
+//! DiScRi trial, identifying *which attendance of which patient* a
+//! block of measurements belongs to. The warehouse models this as a
+//! dedicated Cardinality dimension (Fig. 3); this module derives it:
+//! it re-derives visit sequence numbers from `(patient, date)` order
+//! (never trusting upstream numbering), counts attendances per
+//! patient, and labels first vs. return visits.
+
+use clinical_types::{DataType, Error, FieldDef, Record, Result, Table, Value};
+use std::collections::HashMap;
+
+/// Summary of the per-patient attendance structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardinalityProfile {
+    /// Number of distinct patients.
+    pub n_patients: usize,
+    /// Number of attendances.
+    pub n_visits: usize,
+    /// Largest attendance count of any patient.
+    pub max_visits: usize,
+    /// Mean attendances per patient.
+    pub mean_visits: f64,
+}
+
+/// Derive the cardinality dimension columns.
+///
+/// Returns a new table with three columns appended:
+///
+/// * `DerivedVisitNo` — 1-based rank of the row among the patient's
+///   attendances, ordered by `date_col`.
+/// * `PatientVisitCount` — the patient's total attendance count.
+/// * `VisitKind` — `"first"` or `"return"`.
+///
+/// Errors if a patient has two attendances on the same date (the
+/// cardinality of the group of variables would be ambiguous — the
+/// conflict situation §IV warns about).
+pub fn derive_cardinality(
+    table: &Table,
+    patient_col: &str,
+    date_col: &str,
+) -> Result<(Table, CardinalityProfile)> {
+    let pid_idx = table.schema().index_of(patient_col)?;
+    let date_idx = table.schema().index_of(date_col)?;
+
+    // Group row indices per patient.
+    let mut per_patient: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let pid = row[pid_idx]
+            .as_i64()
+            .ok_or_else(|| Error::invalid(format!("non-integer {patient_col} in row {i}")))?;
+        per_patient.entry(pid).or_default().push(i);
+    }
+
+    // Order each patient's rows by date and assign ranks.
+    let mut visit_no = vec![0i64; table.len()];
+    let mut visit_count = vec![0i64; table.len()];
+    let mut max_visits = 0usize;
+    for (pid, rows) in per_patient.iter_mut() {
+        rows.sort_by_key(|&i| table.rows()[i][date_idx].as_date());
+        for w in rows.windows(2) {
+            let a = table.rows()[w[0]][date_idx].as_date();
+            let b = table.rows()[w[1]][date_idx].as_date();
+            match (a, b) {
+                (Some(a), Some(b)) if a == b => {
+                    return Err(Error::invalid(format!(
+                        "patient {pid} has two attendances dated {a}: cardinality ambiguous"
+                    )));
+                }
+                (None, _) | (_, None) => {
+                    return Err(Error::invalid(format!(
+                        "patient {pid} has an attendance without a {date_col}"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        for (rank, &i) in rows.iter().enumerate() {
+            visit_no[i] = rank as i64 + 1;
+            visit_count[i] = rows.len() as i64;
+        }
+        max_visits = max_visits.max(rows.len());
+    }
+
+    let mut schema = table.schema().clone();
+    schema.push(FieldDef::required("DerivedVisitNo", DataType::Int))?;
+    schema.push(FieldDef::required("PatientVisitCount", DataType::Int))?;
+    schema.push(FieldDef::required("VisitKind", DataType::Text))?;
+    let mut out = Table::new(schema);
+    for (i, row) in table.rows().iter().enumerate() {
+        let mut values = row.values().to_vec();
+        values.push(Value::Int(visit_no[i]));
+        values.push(Value::Int(visit_count[i]));
+        values.push(Value::Text(
+            if visit_no[i] == 1 { "first" } else { "return" }.to_string(),
+        ));
+        out.push_unchecked(Record::new(values));
+    }
+
+    let n_patients = per_patient.len();
+    let n_visits = table.len();
+    Ok((
+        out,
+        CardinalityProfile {
+            n_patients,
+            n_visits,
+            max_visits,
+            mean_visits: if n_patients == 0 {
+                0.0
+            } else {
+                n_visits as f64 / n_patients as f64
+            },
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{Date, Schema};
+
+    fn visits(rows: Vec<(i64, (i32, u32, u32))>) -> Table {
+        let schema = Schema::new(vec![
+            FieldDef::required("PatientId", DataType::Int),
+            FieldDef::required("TestDate", DataType::Date),
+        ])
+        .unwrap();
+        let records = rows
+            .into_iter()
+            .map(|(pid, (y, m, d))| {
+                Record::new(vec![
+                    Value::Int(pid),
+                    Value::Date(Date::new(y, m, d).unwrap()),
+                ])
+            })
+            .collect();
+        Table::from_rows(schema, records).unwrap()
+    }
+
+    #[test]
+    fn ranks_follow_date_order_not_row_order() {
+        // Patient 1's visits arrive out of chronological order.
+        let t = visits(vec![
+            (1, (2008, 5, 1)),
+            (2, (2006, 1, 1)),
+            (1, (2005, 3, 1)),
+            (1, (2006, 9, 1)),
+        ]);
+        let (out, profile) = derive_cardinality(&t, "PatientId", "TestDate").unwrap();
+        let v: Vec<i64> = out
+            .column("DerivedVisitNo")
+            .unwrap()
+            .map(|x| x.as_i64().unwrap())
+            .collect();
+        assert_eq!(v, vec![3, 1, 1, 2]);
+        assert_eq!(profile.n_patients, 2);
+        assert_eq!(profile.n_visits, 4);
+        assert_eq!(profile.max_visits, 3);
+        assert!((profile.mean_visits - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn visit_kind_marks_first_and_return() {
+        let t = visits(vec![(1, (2005, 1, 1)), (1, (2006, 1, 1))]);
+        let (out, _) = derive_cardinality(&t, "PatientId", "TestDate").unwrap();
+        assert_eq!(out.value(0, "VisitKind").unwrap().as_str(), Some("first"));
+        assert_eq!(out.value(1, "VisitKind").unwrap().as_str(), Some("return"));
+        assert_eq!(
+            out.value(0, "PatientVisitCount").unwrap().as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn duplicate_dates_for_one_patient_conflict() {
+        let t = visits(vec![(1, (2005, 1, 1)), (1, (2005, 1, 1))]);
+        assert!(derive_cardinality(&t, "PatientId", "TestDate").is_err());
+    }
+
+    #[test]
+    fn same_date_for_different_patients_is_fine() {
+        let t = visits(vec![(1, (2005, 1, 1)), (2, (2005, 1, 1))]);
+        assert!(derive_cardinality(&t, "PatientId", "TestDate").is_ok());
+    }
+
+    #[test]
+    fn empty_table_yields_empty_profile() {
+        let t = visits(vec![]);
+        let (out, profile) = derive_cardinality(&t, "PatientId", "TestDate").unwrap();
+        assert!(out.is_empty());
+        assert_eq!(profile.n_patients, 0);
+        assert_eq!(profile.mean_visits, 0.0);
+    }
+
+    #[test]
+    fn matches_generator_visit_numbers_on_discri_data() {
+        // The generator's own VisitNo must agree with the re-derived one.
+        let cohort = discri::generate(&discri::CohortConfig::small(13));
+        let (out, profile) =
+            derive_cardinality(&cohort.attendances, "PatientId", "TestDate").unwrap();
+        let schema = out.schema();
+        let orig = schema.index_of("VisitNo").unwrap();
+        let derived = schema.index_of("DerivedVisitNo").unwrap();
+        for row in out.rows() {
+            assert_eq!(row[orig].as_i64(), row[derived].as_i64());
+        }
+        assert!(profile.mean_visits > 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Clinician-supplied discretisation schemes.
+//!
+//! The paper's Table I lists four example schemes provided by the
+//! clinical scientist for the DiScRi trial. They are reproduced here
+//! verbatim; [`table1_schemes`] is the machine-readable Table I.
+
+use super::{Bins, Discretiser};
+use clinical_types::Result;
+
+/// A named, clinician-authored discretisation scheme for one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClinicalScheme {
+    /// Attribute the scheme applies to.
+    pub attribute: String,
+    /// Free-text description (Table I's "Description" column).
+    pub description: String,
+    /// The bins themselves.
+    pub bins: Bins,
+}
+
+impl ClinicalScheme {
+    /// Build a scheme.
+    pub fn new(
+        attribute: impl Into<String>,
+        description: impl Into<String>,
+        edges: Vec<f64>,
+        labels: Vec<&str>,
+    ) -> Result<Self> {
+        Ok(ClinicalScheme {
+            attribute: attribute.into(),
+            description: description.into(),
+            bins: Bins::with_labels(edges, labels.into_iter().map(String::from).collect())?,
+        })
+    }
+}
+
+/// A clinical scheme acts as a (pre-fitted) discretiser: `fit` ignores
+/// the data and returns the clinician's bins, which is exactly the
+/// paper's precedence rule — domain expertise overrides algorithms.
+impl Discretiser for ClinicalScheme {
+    fn method_name(&self) -> &'static str {
+        "clinical"
+    }
+
+    fn fit(&self, _values: &[f64], _classes: Option<&[usize]>) -> Result<Bins> {
+        Ok(self.bins.clone())
+    }
+}
+
+/// The paper's Table I, verbatim.
+///
+/// | Attribute | Scheme |
+/// |---|---|
+/// | Age | `<40, 40-60, 60-80, >80` |
+/// | DiagnosticHTYears | `<2, 2-5, 5-10, 10-20, >20` |
+/// | FBG | `<5.5 very good, 5.5-6.1 high, 6.1-7 preDiabetic, >=7 Diabetic` |
+/// | LyingDBPAverage | `<60 low, 60-80 normal, 80-90 high normal, >90 hypertension` |
+pub fn table1_schemes() -> Vec<ClinicalScheme> {
+    vec![
+        ClinicalScheme::new(
+            "Age",
+            "Participant's age on test date",
+            vec![40.0, 60.0, 80.0],
+            vec!["<40", "40-60", "60-80", ">80"],
+        )
+        .expect("Table I Age scheme is well-formed"),
+        ClinicalScheme::new(
+            "DiagnosticHTYears",
+            "Number of years since diagnosis of hypertension",
+            vec![2.0, 5.0, 10.0, 20.0],
+            vec!["<2", "2-5", "5-10", "10-20", ">20"],
+        )
+        .expect("Table I DiagnosticHTYears scheme is well-formed"),
+        ClinicalScheme::new(
+            "FBG",
+            "Fasting blood glucose level",
+            vec![5.5, 6.1, 7.0],
+            vec!["very good", "high", "preDiabetic", "Diabetic"],
+        )
+        .expect("Table I FBG scheme is well-formed"),
+        ClinicalScheme::new(
+            "LyingDBPAverage",
+            "Diastolic blood pressure when lying down",
+            vec![60.0, 80.0, 90.0],
+            vec!["low", "normal", "high normal", "hypertension"],
+        )
+        .expect("Table I LyingDBPAverage scheme is well-formed"),
+    ]
+}
+
+/// Five-year age sub-groups (60–65 … 85+), the drill-down level that
+/// Fig. 5 and Fig. 6 expand the coarse Age groups into.
+pub fn age_subgroup_scheme() -> ClinicalScheme {
+    let edges: Vec<f64> = (8..18).map(|k| (k * 5) as f64).collect(); // 40,45,…,85
+    let mut labels = vec!["<40".to_string()];
+    for k in 8..17 {
+        labels.push(format!("{}-{}", k * 5, k * 5 + 5));
+    }
+    labels.push(">=85".to_string());
+    ClinicalScheme {
+        attribute: "Age".into(),
+        description: "Five-year age sub-groups (drill-down level)".into(),
+        bins: Bins::with_labels(edges, labels).expect("age subgroup scheme is well-formed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_the_four_paper_schemes() {
+        let schemes = table1_schemes();
+        let names: Vec<&str> = schemes.iter().map(|s| s.attribute.as_str()).collect();
+        assert_eq!(names, vec!["Age", "DiagnosticHTYears", "FBG", "LyingDBPAverage"]);
+    }
+
+    #[test]
+    fn fbg_scheme_matches_paper_cutoffs() {
+        let schemes = table1_schemes();
+        let fbg = &schemes[2];
+        assert_eq!(fbg.bins.label_of(5.4), "very good");
+        assert_eq!(fbg.bins.label_of(5.5), "high");
+        assert_eq!(fbg.bins.label_of(6.0), "high");
+        assert_eq!(fbg.bins.label_of(6.5), "preDiabetic");
+        assert_eq!(fbg.bins.label_of(7.0), "Diabetic");
+        assert_eq!(fbg.bins.label_of(11.2), "Diabetic");
+    }
+
+    #[test]
+    fn dbp_scheme_matches_paper_cutoffs() {
+        let schemes = table1_schemes();
+        let dbp = &schemes[3];
+        assert_eq!(dbp.bins.label_of(55.0), "low");
+        assert_eq!(dbp.bins.label_of(75.0), "normal");
+        assert_eq!(dbp.bins.label_of(85.0), "high normal");
+        assert_eq!(dbp.bins.label_of(95.0), "hypertension");
+    }
+
+    #[test]
+    fn ht_years_scheme_matches_paper_bands() {
+        let schemes = table1_schemes();
+        let ht = &schemes[1];
+        assert_eq!(ht.bins.label_of(1.0), "<2");
+        assert_eq!(ht.bins.label_of(3.0), "2-5");
+        assert_eq!(ht.bins.label_of(7.5), "5-10");
+        assert_eq!(ht.bins.label_of(15.0), "10-20");
+        assert_eq!(ht.bins.label_of(25.0), ">20");
+    }
+
+    #[test]
+    fn clinical_fit_ignores_data() {
+        let schemes = table1_schemes();
+        let age = &schemes[0];
+        let bins = age.fit(&[1.0, 2.0, 3.0], None).unwrap();
+        assert_eq!(&bins, &age.bins);
+    }
+
+    #[test]
+    fn age_subgroups_refine_age_groups() {
+        let coarse = &table1_schemes()[0].bins;
+        let fine = age_subgroup_scheme().bins;
+        // Every fine band must sit entirely inside one coarse band:
+        // sample the midpoint of each fine interval.
+        assert_eq!(fine.label_of(62.0), "60-65");
+        assert_eq!(fine.label_of(73.0), "70-75");
+        assert_eq!(fine.label_of(77.0), "75-80");
+        assert_eq!(coarse.label_of(77.0), "60-80");
+        // Fine edges include every coarse edge, so refinement is exact.
+        for e in coarse.edges() {
+            assert!(fine.edges().contains(e), "coarse edge {e} missing from fine");
+        }
+    }
+}

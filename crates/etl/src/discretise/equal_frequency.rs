@@ -1,0 +1,120 @@
+//! Unsupervised discretisation: equal-frequency (quantile) binning.
+
+use super::{Bins, Discretiser};
+use clinical_types::{Error, Result};
+
+/// Places cut points at quantiles so every interval holds roughly the
+/// same number of observations. More robust to skew than equal-width —
+/// the natural default for the long-tailed biomarker panels.
+#[derive(Debug, Clone)]
+pub struct EqualFrequency {
+    /// Target number of intervals.
+    pub k: usize,
+}
+
+impl EqualFrequency {
+    /// Equal-frequency binning with `k` intervals (`k >= 1`).
+    pub fn new(k: usize) -> Self {
+        EqualFrequency { k }
+    }
+}
+
+impl Discretiser for EqualFrequency {
+    fn method_name(&self) -> &'static str {
+        "equal-frequency"
+    }
+
+    fn fit(&self, values: &[f64], _classes: Option<&[usize]>) -> Result<Bins> {
+        if self.k == 0 {
+            return Err(Error::invalid("equal-frequency needs k >= 1"));
+        }
+        if values.is_empty() {
+            return Err(Error::invalid("cannot fit bins to an empty column"));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(Error::invalid("cannot discretise non-finite values"));
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let mut edges = Vec::with_capacity(self.k.saturating_sub(1));
+        for i in 1..self.k {
+            let idx = (i * n) / self.k;
+            let cut = sorted[idx.min(n - 1)];
+            // Skip duplicate cut points caused by heavy ties.
+            if edges.last().is_none_or(|last: &f64| cut > *last) {
+                edges.push(cut);
+            }
+        }
+        // A cut equal to the minimum would create an empty first bin.
+        if edges.first().is_some_and(|e| *e <= sorted[0]) {
+            edges.remove(0);
+        }
+        Bins::from_edges(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quartiles_split_counts_evenly() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let bins = EqualFrequency::new(4).fit(&values, None).unwrap();
+        assert_eq!(bins.len(), 4);
+        let mut counts = vec![0usize; 4];
+        for v in &values {
+            counts[bins.assign(*v)] += 1;
+        }
+        for c in counts {
+            assert_eq!(c, 25);
+        }
+    }
+
+    #[test]
+    fn heavy_ties_collapse_bins_instead_of_failing() {
+        let values = vec![1.0; 50].into_iter().chain(vec![2.0; 2]).collect::<Vec<_>>();
+        let bins = EqualFrequency::new(4).fit(&values, None).unwrap();
+        assert!(bins.len() <= 4);
+        // Assignment still total.
+        assert!(bins.assign(1.0) < bins.len());
+        assert!(bins.assign(2.0) < bins.len());
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let bins = EqualFrequency::new(3).fit(&[7.0; 30], None).unwrap();
+        assert_eq!(bins.len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(EqualFrequency::new(0).fit(&[1.0], None).is_err());
+        assert!(EqualFrequency::new(2).fit(&[], None).is_err());
+        assert!(EqualFrequency::new(2).fit(&[f64::INFINITY], None).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn bins_are_balanced_within_factor_three(
+            values in proptest::collection::vec(-1e3f64..1e3, 40..400),
+            k in 2usize..8,
+        ) {
+            let bins = EqualFrequency::new(k).fit(&values, None).unwrap();
+            let mut counts = vec![0usize; bins.len()];
+            for v in &values {
+                counts[bins.assign(*v)] += 1;
+            }
+            // With distinct-ish floats every bin should be populated.
+            if bins.len() == k {
+                let target = values.len() / k;
+                for c in counts {
+                    prop_assert!(c > 0);
+                    prop_assert!(c <= target * 3 + 2, "bin count {c} vs target {target}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! The composed DiScRi transformation pipeline.
+//!
+//! Mirrors §V.A of the paper: clean → cardinality → discretise
+//! (clinical schemes first, algorithmic fall-back) → temporal trend
+//! abstraction. The output table carries both the original continuous
+//! attributes and the derived band/trend/cardinality columns, ready
+//! for the warehouse loader.
+
+use crate::cardinality::{derive_cardinality, CardinalityProfile};
+use crate::clean::{CleaningReport, CleaningRules, Cleaner};
+use crate::discretise::clinical::{age_subgroup_scheme, table1_schemes, ClinicalScheme};
+use crate::discretise::equal_frequency::EqualFrequency;
+use crate::discretise::mdlp::Mdlp;
+use crate::discretise::{append_band_column, Discretiser};
+use crate::temporal::step_labels;
+use clinical_types::{DataType, Error, FieldDef, Record, Result, Table, Value};
+use std::collections::HashMap;
+
+/// How a derived band column was produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BandSource {
+    /// Clinician-supplied scheme (Table I precedence).
+    Clinical,
+    /// Supervised MDLP fall-back.
+    Mdlp,
+    /// Unsupervised equal-frequency fall-back (no class labels).
+    EqualFrequency,
+}
+
+/// Report of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Cleaning counters.
+    pub cleaning: CleaningReport,
+    /// Attendance structure.
+    pub cardinality: CardinalityProfile,
+    /// Derived band columns: `(new column, source attribute, method)`.
+    pub bands: Vec<(String, String, BandSource)>,
+    /// Derived trend columns: `(new column, source attribute)`.
+    pub trends: Vec<(String, String)>,
+}
+
+/// The configured transformation pipeline.
+#[derive(Debug, Clone)]
+pub struct TransformPipeline {
+    rules: CleaningRules,
+    schemes: Vec<ClinicalScheme>,
+    /// Attributes without clinical schemes to discretise algorithmically.
+    algorithmic: Vec<String>,
+    /// Class column supervising MDLP (usually `DiabetesStatus`).
+    class_column: Option<String>,
+    /// Attributes to derive per-visit trend labels for.
+    trend_attributes: Vec<String>,
+    /// Absolute change treated as noise by the trend abstraction.
+    trend_tolerance: f64,
+}
+
+impl TransformPipeline {
+    /// The pipeline used by the DiScRi trial: default cleaning rules,
+    /// the Table I schemes plus the five-year age drill-down, MDLP on
+    /// BMI and HbA1c supervised by `DiabetesStatus`, and FBG/BMI
+    /// trend abstraction.
+    pub fn discri_default() -> Self {
+        TransformPipeline {
+            rules: CleaningRules::discri_default(),
+            schemes: table1_schemes(),
+            algorithmic: vec!["BMI".into(), "HbA1c".into(), "QTc".into(), "SDNN".into()],
+            class_column: Some("DiabetesStatus".into()),
+            trend_attributes: vec!["FBG".into(), "BMI".into()],
+            trend_tolerance: 0.3,
+        }
+    }
+
+    /// A pipeline with custom parts.
+    pub fn new(rules: CleaningRules, schemes: Vec<ClinicalScheme>) -> Self {
+        TransformPipeline {
+            rules,
+            schemes,
+            algorithmic: Vec::new(),
+            class_column: None,
+            trend_attributes: Vec::new(),
+            trend_tolerance: 0.3,
+        }
+    }
+
+    /// Add an attribute for algorithmic discretisation.
+    pub fn discretise_algorithmic(mut self, attribute: impl Into<String>) -> Self {
+        self.algorithmic.push(attribute.into());
+        self
+    }
+
+    /// Set the supervising class column for MDLP.
+    pub fn supervise_with(mut self, class_column: impl Into<String>) -> Self {
+        self.class_column = Some(class_column.into());
+        self
+    }
+
+    /// Add an attribute for trend abstraction.
+    pub fn derive_trend(mut self, attribute: impl Into<String>) -> Self {
+        self.trend_attributes.push(attribute.into());
+        self
+    }
+
+    /// Run the full pipeline.
+    pub fn run(&self, raw: &Table) -> Result<(Table, PipelineReport)> {
+        // 1. Clean.
+        let (table, cleaning) = Cleaner::new(self.rules.clone()).clean(raw)?;
+
+        // 2. Cardinality.
+        let (mut table, cardinality) = derive_cardinality(&table, "PatientId", "TestDate")?;
+
+        // 3. Clinical schemes (Table I precedence), plus the age
+        //    drill-down level when Age is present.
+        let mut bands = Vec::new();
+        for scheme in &self.schemes {
+            if !table.schema().contains(&scheme.attribute) {
+                continue;
+            }
+            let col = format!("{}_Band", scheme.attribute);
+            table = append_band_column(&table, &scheme.attribute, &col, &scheme.bins)?;
+            bands.push((col, scheme.attribute.clone(), BandSource::Clinical));
+        }
+        if table.schema().contains("Age") && !table.schema().contains("Age_SubGroup") {
+            let fine = age_subgroup_scheme();
+            table = append_band_column(&table, "Age", "Age_SubGroup", &fine.bins)?;
+            bands.push(("Age_SubGroup".into(), "Age".into(), BandSource::Clinical));
+        }
+
+        // 4. Algorithmic discretisation for the remaining attributes.
+        let classes = self.class_labels(&table)?;
+        for attr in &self.algorithmic {
+            if !table.schema().contains(attr) {
+                continue;
+            }
+            let col = format!("{attr}_Band");
+            if table.schema().contains(&col) {
+                continue; // clinical scheme already produced it
+            }
+            let (values, value_classes) = self.numeric_with_classes(&table, attr, &classes)?;
+            if values.is_empty() {
+                continue;
+            }
+            let (bins, source) = match &value_classes {
+                Some(cls) => (Mdlp::new().fit(&values, Some(cls))?, BandSource::Mdlp),
+                None => (
+                    EqualFrequency::new(4).fit(&values, None)?,
+                    BandSource::EqualFrequency,
+                ),
+            };
+            table = append_band_column(&table, attr, &col, &bins)?;
+            bands.push((col, attr.clone(), source));
+        }
+
+        // 5. Per-visit trend abstraction.
+        let mut trends = Vec::new();
+        for attr in &self.trend_attributes {
+            if !table.schema().contains(attr) {
+                continue;
+            }
+            let col = format!("{attr}_Trend");
+            table = self.append_trend_column(&table, attr, &col)?;
+            trends.push((col, attr.clone()));
+        }
+
+        Ok((
+            table,
+            PipelineReport {
+                cleaning,
+                cardinality,
+                bands,
+                trends,
+            },
+        ))
+    }
+
+    /// Class labels per row from the class column, if configured and
+    /// present. Text categories are interned to dense indices.
+    fn class_labels(&self, table: &Table) -> Result<Option<Vec<Option<usize>>>> {
+        let Some(name) = &self.class_column else {
+            return Ok(None);
+        };
+        if !table.schema().contains(name) {
+            return Ok(None);
+        }
+        let mut intern: HashMap<String, usize> = HashMap::new();
+        let mut out = Vec::with_capacity(table.len());
+        for v in table.column(name)? {
+            out.push(match v {
+                Value::Null => None,
+                other => {
+                    let key = other.to_string();
+                    let next = intern.len();
+                    Some(*intern.entry(key).or_insert(next))
+                }
+            });
+        }
+        Ok(Some(out))
+    }
+
+    /// Extract the non-null numeric values of `attr` and, when class
+    /// labels exist, the aligned class vector (rows missing either the
+    /// value or the class are skipped).
+    fn numeric_with_classes(
+        &self,
+        table: &Table,
+        attr: &str,
+        classes: &Option<Vec<Option<usize>>>,
+    ) -> Result<(Vec<f64>, Option<Vec<usize>>)> {
+        let idx = table.schema().index_of(attr)?;
+        match classes {
+            Some(cls) => {
+                let mut values = Vec::new();
+                let mut labels = Vec::new();
+                for (row, c) in table.rows().iter().zip(cls) {
+                    if let (Some(x), Some(c)) = (row[idx].as_f64(), c) {
+                        values.push(x);
+                        labels.push(*c);
+                    }
+                }
+                Ok((values, Some(labels)))
+            }
+            None => Ok((table.numeric_column(attr)?, None)),
+        }
+    }
+
+    /// Append a per-visit trend column for `attr`, computed per
+    /// patient in visit order.
+    fn append_trend_column(&self, table: &Table, attr: &str, col: &str) -> Result<Table> {
+        let pid_idx = table.schema().index_of("PatientId")?;
+        let date_idx = table.schema().index_of("TestDate")?;
+        let attr_idx = table.schema().index_of(attr)?;
+
+        // Visit order per patient.
+        let mut per_patient: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, row) in table.rows().iter().enumerate() {
+            let pid = row[pid_idx]
+                .as_i64()
+                .ok_or_else(|| Error::invalid("PatientId must be integer"))?;
+            per_patient.entry(pid).or_default().push(i);
+        }
+        let mut labels: Vec<&'static str> = vec!["unknown"; table.len()];
+        for rows in per_patient.values_mut() {
+            rows.sort_by_key(|&i| table.rows()[i][date_idx].as_date());
+            let series: Vec<Option<f64>> =
+                rows.iter().map(|&i| table.rows()[i][attr_idx].as_f64()).collect();
+            for (&i, label) in rows.iter().zip(step_labels(&series, self.trend_tolerance)) {
+                labels[i] = label;
+            }
+        }
+
+        let mut schema = table.schema().clone();
+        schema.push(FieldDef::nullable(col, DataType::Text))?;
+        let mut out = Table::new(schema);
+        for (i, row) in table.rows().iter().enumerate() {
+            let mut values = row.values().to_vec();
+            values.push(Value::Text(labels[i].to_string()));
+            out.push_unchecked(Record::new(values));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_small() -> (Table, PipelineReport) {
+        let cohort = discri::generate(&discri::CohortConfig::small(21));
+        TransformPipeline::discri_default()
+            .run(&cohort.attendances)
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_adds_expected_columns() {
+        let (table, report) = run_small();
+        let schema = table.schema();
+        for col in [
+            "Age_Band",
+            "Age_SubGroup",
+            "FBG_Band",
+            "LyingDBPAverage_Band",
+            "DiagnosticHTYears_Band",
+            "BMI_Band",
+            "HbA1c_Band",
+            "FBG_Trend",
+            "BMI_Trend",
+            "DerivedVisitNo",
+            "PatientVisitCount",
+            "VisitKind",
+        ] {
+            assert!(schema.contains(col), "missing derived column {col}");
+        }
+        assert_eq!(report.bands.len(), 9);
+        assert_eq!(report.trends.len(), 2);
+        // Continuous originals survive (the §V.A duplication rule).
+        assert!(schema.contains("FBG"));
+        assert!(schema.contains("Age"));
+    }
+
+    #[test]
+    fn clinical_schemes_take_precedence_over_algorithms() {
+        let (_, report) = run_small();
+        let fbg = report
+            .bands
+            .iter()
+            .find(|(c, _, _)| c == "FBG_Band")
+            .unwrap();
+        assert_eq!(fbg.2, BandSource::Clinical);
+        let bmi = report
+            .bands
+            .iter()
+            .find(|(c, _, _)| c == "BMI_Band")
+            .unwrap();
+        assert_eq!(bmi.2, BandSource::Mdlp);
+    }
+
+    #[test]
+    fn band_values_agree_with_schemes() {
+        let (table, _) = run_small();
+        let schema = table.schema();
+        let fbg = schema.index_of("FBG").unwrap();
+        let band = schema.index_of("FBG_Band").unwrap();
+        let scheme = &table1_schemes()[2];
+        for row in table.rows() {
+            match row[fbg].as_f64() {
+                Some(x) => assert_eq!(
+                    row[band].as_str(),
+                    Some(scheme.bins.label_of(x)),
+                    "band mismatch for FBG {x}"
+                ),
+                None => assert!(row[band].is_null()),
+            }
+        }
+    }
+
+    #[test]
+    fn first_visits_have_first_trend() {
+        let (table, _) = run_small();
+        let schema = table.schema();
+        let vno = schema.index_of("DerivedVisitNo").unwrap();
+        let trend = schema.index_of("FBG_Trend").unwrap();
+        for row in table.rows() {
+            if row[vno].as_i64() == Some(1) {
+                let t = row[trend].as_str().unwrap();
+                assert!(
+                    t == "first" || t == "unknown",
+                    "first visit has trend {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cleaning_report_is_propagated() {
+        let (_, report) = run_small();
+        assert!(report.cleaning.rows_in > 0);
+        assert_eq!(
+            report.cleaning.rows_out,
+            report.cardinality.n_visits
+        );
+    }
+
+    #[test]
+    fn no_out_of_range_values_survive() {
+        let (table, _) = run_small();
+        for v in table.column("FBG").unwrap() {
+            if let Some(x) = v.as_f64() {
+                assert!((1.5..=35.0).contains(&x), "FBG {x} survived cleaning");
+            }
+        }
+        for v in table.column("LyingDBPAverage").unwrap() {
+            if let Some(x) = v.as_f64() {
+                assert!((30.0..=160.0).contains(&x));
+            }
+        }
+    }
+}

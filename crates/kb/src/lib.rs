@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Knowledge Base — §IV of the paper:
+//!
+//! *"Outcomes from all the above features are the building blocks of
+//! knowledge … These outcomes are initially maintained within the
+//! warehouse and transferred into a knowledge base when sufficient
+//! data-based evidence is accumulated. A mature knowledge base can be
+//! useful to address knowledge management concerns such as ontology
+//! generation, training and guidelines development."*
+//!
+//! * [`finding`] — a [`finding::Finding`]: a statement with its
+//!   source component, support metrics, tags and lifecycle status
+//!   (candidate → validated → promoted).
+//! * [`store`] — the thread-safe [`store::KnowledgeBase`]: evidence
+//!   accumulation (re-observing a statement strengthens it), the
+//!   promotion rule, tag/status queries, concept linking (the
+//!   "ontology generation" seed) and a human-readable text
+//!   serialisation for persistence.
+
+pub mod finding;
+pub mod store;
+
+pub use finding::{Finding, FindingStatus, Source};
+pub use store::KnowledgeBase;

@@ -1,0 +1,355 @@
+//! Apriori frequent-itemset mining and association rules.
+//!
+//! Items are `(feature, category)` pairs over a categorical
+//! [`Dataset`]; transactions are rows. Rules are ranked by lift.
+//! This is the "association" member of the paper's Data Analytics
+//! triad, and the second discovery channel (besides AWSum) for the
+//! reflex + glucose insight: `{AnkleReflex=absent, FBG_Band=high}
+//! → {DiabetesStatus=yes}`.
+
+use crate::dataset::Dataset;
+use clinical_types::{Error, Result};
+use std::collections::{HashMap, HashSet};
+
+/// An item: `(feature index, category index)`.
+pub type Item = (usize, usize);
+
+/// A frequent itemset with its support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemSet {
+    /// Sorted items.
+    pub items: Vec<Item>,
+    /// Number of transactions containing all items.
+    pub support: usize,
+}
+
+/// An association rule `antecedent → consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side items.
+    pub antecedent: Vec<Item>,
+    /// Right-hand side items.
+    pub consequent: Vec<Item>,
+    /// Transactions containing antecedent ∪ consequent.
+    pub support: usize,
+    /// support(A ∪ C) / support(A).
+    pub confidence: f64,
+    /// confidence / P(C) — > 1 means positive association.
+    pub lift: f64,
+}
+
+impl AssociationRule {
+    /// Render a rule with human-readable labels from `data`.
+    pub fn describe(&self, data: &Dataset) -> String {
+        let fmt = |items: &[Item]| {
+            items
+                .iter()
+                .map(|&(f, v)| {
+                    format!(
+                        "{}={}",
+                        data.features[f].name,
+                        data.features[f].labels.get(v).map(String::as_str).unwrap_or("?")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" & ")
+        };
+        format!(
+            "{} => {} (support={}, confidence={:.2}, lift={:.2})",
+            fmt(&self.antecedent),
+            fmt(&self.consequent),
+            self.support,
+            self.confidence,
+            self.lift
+        )
+    }
+}
+
+/// Apriori miner configuration.
+#[derive(Debug, Clone)]
+pub struct Apriori {
+    /// Minimum absolute support (transactions).
+    pub min_support: usize,
+    /// Minimum rule confidence.
+    pub min_confidence: f64,
+    /// Maximum itemset size explored.
+    pub max_len: usize,
+}
+
+impl Apriori {
+    /// Miner with the given thresholds.
+    pub fn new(min_support: usize, min_confidence: f64, max_len: usize) -> Self {
+        Apriori {
+            min_support,
+            min_confidence,
+            max_len,
+        }
+    }
+
+    /// Mine all frequent itemsets (levelwise candidate generation with
+    /// the Apriori pruning property).
+    pub fn frequent_itemsets(&self, data: &Dataset) -> Result<Vec<ItemSet>> {
+        if self.min_support == 0 {
+            return Err(Error::invalid("min_support must be positive"));
+        }
+        if data.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Transactions as item sets (every row has one item per feature).
+        let transactions: Vec<Vec<Item>> = data
+            .cells
+            .iter()
+            .map(|row| row.iter().enumerate().map(|(f, &v)| (f, v)).collect())
+            .collect();
+
+        // L1.
+        let mut counts: HashMap<Vec<Item>, usize> = HashMap::new();
+        for t in &transactions {
+            for &item in t {
+                *counts.entry(vec![item]).or_insert(0) += 1;
+            }
+        }
+        let mut frequent: Vec<ItemSet> = Vec::new();
+        let mut current: Vec<Vec<Item>> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= self.min_support)
+            .map(|(items, support)| {
+                frequent.push(ItemSet {
+                    items: items.clone(),
+                    support,
+                });
+                items
+            })
+            .collect();
+        current.sort();
+
+        let mut k = 1;
+        while !current.is_empty() && k < self.max_len {
+            // Candidate generation: join sets sharing a (k-1)-prefix.
+            let prev: HashSet<Vec<Item>> = current.iter().cloned().collect();
+            let mut candidates: HashSet<Vec<Item>> = HashSet::new();
+            for i in 0..current.len() {
+                for j in i + 1..current.len() {
+                    let (a, b) = (&current[i], &current[j]);
+                    if a[..k - 1] != b[..k - 1] {
+                        continue;
+                    }
+                    let mut cand = a.clone();
+                    cand.push(b[k - 1]);
+                    cand.sort();
+                    cand.dedup();
+                    if cand.len() != k + 1 {
+                        continue;
+                    }
+                    // An itemset cannot contain two values of one feature.
+                    let features: HashSet<usize> = cand.iter().map(|&(f, _)| f).collect();
+                    if features.len() != cand.len() {
+                        continue;
+                    }
+                    // Apriori property: all k-subsets must be frequent.
+                    let all_subsets_frequent = (0..cand.len()).all(|skip| {
+                        let mut sub = cand.clone();
+                        sub.remove(skip);
+                        prev.contains(&sub)
+                    });
+                    if all_subsets_frequent {
+                        candidates.insert(cand);
+                    }
+                }
+            }
+            // Count candidates.
+            let mut counts: HashMap<&Vec<Item>, usize> = HashMap::new();
+            for t in &transactions {
+                let t_set: HashSet<Item> = t.iter().copied().collect();
+                for cand in &candidates {
+                    if cand.iter().all(|item| t_set.contains(item)) {
+                        *counts.entry(cand).or_insert(0) += 1;
+                    }
+                }
+            }
+            let mut next: Vec<Vec<Item>> = Vec::new();
+            for (cand, count) in counts {
+                if count >= self.min_support {
+                    frequent.push(ItemSet {
+                        items: cand.clone(),
+                        support: count,
+                    });
+                    next.push(cand.clone());
+                }
+            }
+            next.sort();
+            current = next;
+            k += 1;
+        }
+        frequent.sort_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+        Ok(frequent)
+    }
+
+    /// Derive association rules with single-item consequents,
+    /// restricted to `consequent_feature` when given (e.g. only rules
+    /// predicting `DiabetesStatus`). Ranked by lift descending.
+    pub fn rules(
+        &self,
+        data: &Dataset,
+        consequent_feature: Option<usize>,
+    ) -> Result<Vec<AssociationRule>> {
+        let frequent = self.frequent_itemsets(data)?;
+        let support_of: HashMap<&Vec<Item>, usize> =
+            frequent.iter().map(|s| (&s.items, s.support)).collect();
+        let n = data.len() as f64;
+        let mut rules = Vec::new();
+        for set in frequent.iter().filter(|s| s.items.len() >= 2) {
+            for (ci, &consequent) in set.items.iter().enumerate() {
+                if let Some(cf) = consequent_feature {
+                    if consequent.0 != cf {
+                        continue;
+                    }
+                }
+                let mut antecedent = set.items.clone();
+                antecedent.remove(ci);
+                let Some(&ante_support) = support_of.get(&antecedent) else {
+                    continue;
+                };
+                let confidence = set.support as f64 / ante_support as f64;
+                if confidence < self.min_confidence {
+                    continue;
+                }
+                let cons_support = support_of
+                    .get(&vec![consequent])
+                    .copied()
+                    .unwrap_or(0) as f64;
+                let lift = if cons_support > 0.0 {
+                    confidence / (cons_support / n)
+                } else {
+                    f64::INFINITY
+                };
+                rules.push(AssociationRule {
+                    antecedent,
+                    consequent: vec![consequent],
+                    support: set.support,
+                    confidence,
+                    lift,
+                });
+            }
+        }
+        rules.sort_by(|a, b| b.lift.partial_cmp(&a.lift).expect("lift is finite or inf"));
+        Ok(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+
+    /// f0=1 and f1=1 co-occur and imply class=1 (feature 2).
+    fn demo() -> Dataset {
+        let mut cells = Vec::new();
+        for _ in 0..40 {
+            cells.push(vec![1, 1, 1]);
+        }
+        for _ in 0..40 {
+            cells.push(vec![0, 0, 0]);
+        }
+        for _ in 0..10 {
+            cells.push(vec![1, 0, 0]);
+        }
+        for _ in 0..10 {
+            cells.push(vec![0, 1, 0]);
+        }
+        let classes = cells.iter().map(|r| r[2]).collect();
+        Dataset {
+            features: (0..3)
+                .map(|i| Feature {
+                    name: format!("f{i}"),
+                    labels: vec!["0".into(), "1".into()],
+                })
+                .collect(),
+            class_labels: vec!["0".into(), "1".into()],
+            cells,
+            classes,
+        }
+    }
+
+    #[test]
+    fn finds_frequent_itemsets_with_antimonotone_support() {
+        let sets = Apriori::new(30, 0.5, 3).frequent_itemsets(&demo()).unwrap();
+        assert!(!sets.is_empty());
+        // Support is anti-monotone: any superset has ≤ support.
+        let support_of = |items: &[Item]| {
+            sets.iter()
+                .find(|s| s.items == items)
+                .map(|s| s.support)
+        };
+        let single = support_of(&[(0, 1)]).unwrap();
+        let pair = support_of(&[(0, 1), (1, 1)]).unwrap();
+        assert!(pair <= single);
+        assert_eq!(pair, 40);
+        assert_eq!(single, 50);
+    }
+
+    #[test]
+    fn itemsets_never_mix_values_of_one_feature() {
+        let sets = Apriori::new(5, 0.5, 3).frequent_itemsets(&demo()).unwrap();
+        for s in &sets {
+            let features: HashSet<usize> = s.items.iter().map(|&(f, _)| f).collect();
+            assert_eq!(features.len(), s.items.len(), "mixed itemset {:?}", s.items);
+        }
+    }
+
+    #[test]
+    fn rule_confidence_and_lift() {
+        let rules = Apriori::new(30, 0.8, 3).rules(&demo(), Some(2)).unwrap();
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![(0, 1), (1, 1)] && r.consequent == vec![(2, 1)])
+            .expect("the planted rule must be found");
+        // {f0=1, f1=1} appears 40 times, always with f2=1.
+        assert!((rule.confidence - 1.0).abs() < 1e-9);
+        // P(f2=1) = 0.4 → lift = 2.5.
+        assert!((rule.lift - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consequent_feature_restriction() {
+        let rules = Apriori::new(30, 0.5, 3).rules(&demo(), Some(2)).unwrap();
+        for r in &rules {
+            assert!(r.consequent.iter().all(|&(f, _)| f == 2));
+        }
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        let sets = Apriori::new(1000, 0.5, 3).frequent_itemsets(&demo()).unwrap();
+        assert!(sets.is_empty());
+        assert!(Apriori::new(0, 0.5, 3).frequent_itemsets(&demo()).is_err());
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let sets = Apriori::new(10, 0.5, 1).frequent_itemsets(&demo()).unwrap();
+        assert!(sets.iter().all(|s| s.items.len() == 1));
+    }
+
+    #[test]
+    fn describe_renders_labels() {
+        let rules = Apriori::new(30, 0.8, 3).rules(&demo(), Some(2)).unwrap();
+        let text = rules[0].describe(&demo());
+        assert!(text.contains("=>"));
+        assert!(text.contains("lift"));
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_sets() {
+        let empty = Dataset {
+            features: vec![],
+            class_labels: vec![],
+            cells: vec![],
+            classes: vec![],
+        };
+        assert!(Apriori::new(1, 0.5, 2)
+            .frequent_itemsets(&empty)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! k-fold cross-validation for the classifiers.
+//!
+//! The paper's analytics component hands mined models to clinicians;
+//! a model's headline accuracy must be an out-of-sample estimate, not
+//! a training-set artefact. This module provides seeded, stratified
+//! k-fold evaluation for any classifier expressible as
+//! `fit(train) → predict(test)`.
+
+use crate::dataset::Dataset;
+use crate::metrics::accuracy;
+use clinical_types::{Error, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Per-fold and aggregate accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvReport {
+    /// Accuracy of each fold's held-out predictions.
+    pub fold_accuracies: Vec<f64>,
+    /// Mean of the fold accuracies.
+    pub mean_accuracy: f64,
+    /// Population standard deviation across folds.
+    pub std_accuracy: f64,
+}
+
+/// Stratified fold assignment: each class's rows are distributed
+/// round-robin across folds, so every fold sees the class balance.
+fn fold_assignments(data: &Dataset, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
+    for (i, &c) in data.classes.iter().enumerate() {
+        per_class[c].push(i);
+    }
+    let mut fold = vec![0usize; data.len()];
+    for rows in per_class.iter_mut() {
+        rows.shuffle(&mut rng);
+        for (j, &row) in rows.iter().enumerate() {
+            fold[row] = j % k;
+        }
+    }
+    fold
+}
+
+/// Run `k`-fold cross-validation: `fit` builds a model from a training
+/// dataset; `predict` labels a test dataset with it.
+pub fn cross_validate<M>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    fit: impl Fn(&Dataset) -> Result<M>,
+    predict: impl Fn(&M, &Dataset) -> Result<Vec<usize>>,
+) -> Result<CvReport> {
+    if k < 2 {
+        return Err(Error::invalid("cross-validation needs k >= 2 folds"));
+    }
+    if data.len() < k {
+        return Err(Error::invalid(format!(
+            "{} rows cannot fill {k} folds",
+            data.len()
+        )));
+    }
+    let folds = fold_assignments(data, k, seed);
+    let subset = |rows: Vec<usize>| Dataset {
+        features: data.features.clone(),
+        class_labels: data.class_labels.clone(),
+        cells: rows.iter().map(|&r| data.cells[r].clone()).collect(),
+        classes: rows.iter().map(|&r| data.classes[r]).collect(),
+    };
+
+    let mut fold_accuracies = Vec::with_capacity(k);
+    for f in 0..k {
+        let train_rows: Vec<usize> = (0..data.len()).filter(|&i| folds[i] != f).collect();
+        let test_rows: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == f).collect();
+        if test_rows.is_empty() {
+            continue; // tiny class counts can leave a fold empty
+        }
+        let train = subset(train_rows);
+        let test = subset(test_rows);
+        let model = fit(&train)?;
+        let predictions = predict(&model, &test)?;
+        fold_accuracies.push(accuracy(&test.classes, &predictions)?);
+    }
+    if fold_accuracies.is_empty() {
+        return Err(Error::invalid("every fold came out empty"));
+    }
+    let mean = fold_accuracies.iter().sum::<f64>() / fold_accuracies.len() as f64;
+    let variance = fold_accuracies
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum::<f64>()
+        / fold_accuracies.len() as f64;
+    Ok(CvReport {
+        fold_accuracies,
+        mean_accuracy: mean,
+        std_accuracy: variance.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+    use crate::naive_bayes::NaiveBayes;
+
+    fn dataset(n: usize, signal: bool) -> Dataset {
+        let mut cells = Vec::new();
+        let mut classes = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let feature = if signal { class } else { (i / 2) % 2 };
+            cells.push(vec![feature]);
+            classes.push(class);
+        }
+        Dataset {
+            features: vec![Feature {
+                name: "F".into(),
+                labels: vec!["0".into(), "1".into()],
+            }],
+            class_labels: vec!["no".into(), "yes".into()],
+            cells,
+            classes,
+        }
+    }
+
+    fn nb_cv(data: &Dataset, k: usize) -> CvReport {
+        cross_validate(
+            data,
+            k,
+            7,
+            NaiveBayes::fit,
+            |model, test| model.predict_all(test),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_signal_scores_near_one() {
+        let report = nb_cv(&dataset(200, true), 5);
+        assert_eq!(report.fold_accuracies.len(), 5);
+        assert!(report.mean_accuracy > 0.98, "{report:?}");
+        assert!(report.std_accuracy < 0.05);
+    }
+
+    #[test]
+    fn pure_noise_scores_near_chance() {
+        let report = nb_cv(&dataset(400, false), 5);
+        assert!(
+            (report.mean_accuracy - 0.5).abs() < 0.15,
+            "noise CV accuracy {}",
+            report.mean_accuracy
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = dataset(100, true);
+        let a = nb_cv(&data, 4);
+        let b = nb_cv(&data, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stratification_keeps_every_fold_mixed() {
+        let data = dataset(100, true);
+        let folds = fold_assignments(&data, 5, 3);
+        for f in 0..5 {
+            let classes: Vec<usize> = (0..data.len())
+                .filter(|&i| folds[i] == f)
+                .map(|i| data.classes[i])
+                .collect();
+            assert!(classes.contains(&0) && classes.contains(&1), "fold {f} unmixed");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        let data = dataset(10, true);
+        assert!(cross_validate(
+            &data,
+            1,
+            0,
+            NaiveBayes::fit,
+            |m, t| m.predict_all(t)
+        )
+        .is_err());
+        let tiny = dataset(2, true);
+        assert!(cross_validate(
+            &tiny,
+            5,
+            0,
+            NaiveBayes::fit,
+            |m, t| m.predict_all(t)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! k-means clustering of numeric measure vectors.
+//!
+//! The "clustering" member of the Data Analytics triad: cluster
+//! patients by their fact-table measures (BMI, FBG, blood pressure …)
+//! to find sub-populations. k-means++ seeding, Lloyd iterations,
+//! deterministic under a seed.
+
+use clinical_types::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// k-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// RNG seed (k-means++ init).
+    pub seed: u64,
+}
+
+/// Clustering outcome.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k × dims`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// k-means with `k` clusters and a seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeans {
+            k,
+            max_iter: 100,
+            seed,
+        }
+    }
+
+    /// Cluster `points` (rows of equal dimension, no NaNs).
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult> {
+        if self.k == 0 {
+            return Err(Error::invalid("k must be at least 1"));
+        }
+        if points.len() < self.k {
+            return Err(Error::invalid(format!(
+                "{} points cannot form {} clusters",
+                points.len(),
+                self.k
+            )));
+        }
+        let dims = points[0].len();
+        if dims == 0 {
+            return Err(Error::invalid("points must have at least one dimension"));
+        }
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dims {
+                return Err(Error::invalid(format!(
+                    "point {i} has {} dims, expected {dims}",
+                    p.len()
+                )));
+            }
+            if p.iter().any(|x| !x.is_finite()) {
+                return Err(Error::invalid(format!("point {i} has a non-finite value")));
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+        centroids.push(points[rng.random_range(0..points.len())].clone());
+        while centroids.len() < self.k {
+            let weights: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(p, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                // All points coincide with existing centroids; duplicate one.
+                centroids.push(points[rng.random_range(0..points.len())].clone());
+                continue;
+            }
+            let mut x = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    chosen = i;
+                    break;
+                }
+                x -= w;
+            }
+            centroids.push(points[chosen].clone());
+        }
+
+        let mut assignments = vec![0usize; points.len()];
+        let mut iterations = 0;
+        for iter in 0..self.max_iter {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        sq_dist(p, a.1)
+                            .partial_cmp(&sq_dist(p, b.1))
+                            .expect("finite distances")
+                    })
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; dims]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    for (ci, si) in c.iter_mut().zip(sum) {
+                        *ci = si / *count as f64;
+                    }
+                }
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+        }
+
+        let inertia = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| sq_dist(p, &centroids[a]))
+            .sum();
+        Ok(KMeansResult {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 7) as f64 * 0.05;
+            points.push(vec![0.0 + jitter, 0.0 - jitter]);
+            points.push(vec![10.0 - jitter, 10.0 + jitter]);
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = two_blobs();
+        let result = KMeans::new(2, 3).fit(&points).unwrap();
+        // Points alternate blob membership; assignments must too.
+        let a0 = result.assignments[0];
+        let a1 = result.assignments[1];
+        assert_ne!(a0, a1);
+        for (i, &a) in result.assignments.iter().enumerate() {
+            assert_eq!(a, if i % 2 == 0 { a0 } else { a1 });
+        }
+        // Centroids near (0,0) and (10,10).
+        let mut cs = result.centroids.clone();
+        cs.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
+        assert!(cs[0][0].abs() < 1.0);
+        assert!((cs[1][0] - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let points = two_blobs();
+        let a = KMeans::new(2, 9).fit(&points).unwrap();
+        let b = KMeans::new(2, 9).fit(&points).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let result = KMeans::new(3, 1).fit(&points).unwrap();
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let points = two_blobs();
+        let i2 = KMeans::new(2, 5).fit(&points).unwrap().inertia;
+        let i4 = KMeans::new(4, 5).fit(&points).unwrap().inertia;
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(KMeans::new(0, 1).fit(&[vec![1.0]]).is_err());
+        assert!(KMeans::new(3, 1).fit(&[vec![1.0]]).is_err());
+        assert!(KMeans::new(1, 1).fit(&[vec![]]).is_err());
+        assert!(KMeans::new(1, 1)
+            .fit(&[vec![1.0], vec![1.0, 2.0]])
+            .is_err());
+        assert!(KMeans::new(1, 1).fit(&[vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let points = vec![vec![2.0, 2.0]; 10];
+        let result = KMeans::new(3, 1).fit(&points).unwrap();
+        assert!(result.inertia < 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! k-nearest-neighbour classification over categorical features
+//! (Hamming distance).
+
+use crate::dataset::Dataset;
+use clinical_types::{Error, Result};
+
+/// A lazy k-NN classifier holding its training data.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    train: Dataset,
+}
+
+impl Knn {
+    /// k-NN with `k` neighbours over `train`.
+    pub fn fit(train: Dataset, k: usize) -> Result<Knn> {
+        if k == 0 {
+            return Err(Error::invalid("k must be at least 1"));
+        }
+        if train.is_empty() {
+            return Err(Error::invalid("cannot fit k-NN to an empty dataset"));
+        }
+        Ok(Knn { k, train })
+    }
+
+    /// Hamming distance between two category rows.
+    fn distance(a: &[usize], b: &[usize]) -> usize {
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+
+    /// Predicted class by majority vote of the `k` nearest training
+    /// rows (ties broken by smaller class index, then training order).
+    pub fn predict(&self, row: &[usize]) -> Result<usize> {
+        if row.len() != self.train.n_features() {
+            return Err(Error::invalid(format!(
+                "row has {} features, model expects {}",
+                row.len(),
+                self.train.n_features()
+            )));
+        }
+        let mut dists: Vec<(usize, usize)> = self
+            .train
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Self::distance(row, r), i))
+            .collect();
+        dists.sort();
+        let mut votes = vec![0usize; self.train.n_classes()];
+        for &(_, i) in dists.iter().take(self.k) {
+            votes[self.train.classes[i]] += 1;
+        }
+        Ok(crate::dataset::first_max(&votes))
+    }
+
+    /// Predictions for every row of a dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Result<Vec<usize>> {
+        data.cells.iter().map(|row| self.predict(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+
+    fn clustered() -> Dataset {
+        // Class 0 rows look like [0,0,0]; class 1 rows like [1,1,1],
+        // with one flipped coordinate of noise each.
+        let mut cells = Vec::new();
+        let mut classes = Vec::new();
+        for i in 0..30 {
+            let mut row = vec![0, 0, 0];
+            row[i % 3] = usize::from(i % 5 == 0);
+            cells.push(row);
+            classes.push(0);
+        }
+        for i in 0..30 {
+            let mut row = vec![1, 1, 1];
+            row[i % 3] = usize::from(i % 5 != 0);
+            cells.push(row);
+            classes.push(1);
+        }
+        Dataset {
+            features: (0..3)
+                .map(|i| Feature {
+                    name: format!("f{i}"),
+                    labels: vec!["0".into(), "1".into()],
+                })
+                .collect(),
+            class_labels: vec!["a".into(), "b".into()],
+            cells,
+            classes,
+        }
+    }
+
+    #[test]
+    fn classifies_clustered_data() {
+        let ds = clustered();
+        let knn = Knn::fit(ds.clone(), 5).unwrap();
+        assert_eq!(knn.predict(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(knn.predict(&[1, 1, 1]).unwrap(), 1);
+        let acc =
+            crate::metrics::accuracy(&ds.classes, &knn.predict_all(&ds).unwrap()).unwrap();
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k_one_memorises_training_rows() {
+        let ds = clustered();
+        let knn = Knn::fit(ds.clone(), 1).unwrap();
+        let preds = knn.predict_all(&ds).unwrap();
+        assert_eq!(preds, ds.classes);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_votes_over_everything() {
+        let ds = clustered();
+        let knn = Knn::fit(ds, 10_000).unwrap();
+        // Balanced classes → tie → class 0 by deterministic tie-break.
+        assert_eq!(knn.predict(&[0, 1, 0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Knn::fit(clustered(), 0).is_err());
+        let empty = Dataset {
+            features: vec![],
+            class_labels: vec![],
+            cells: vec![],
+            classes: vec![],
+        };
+        assert!(Knn::fit(empty, 1).is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let knn = Knn::fit(clustered(), 3).unwrap();
+        assert!(knn.predict(&[0]).is_err());
+    }
+}

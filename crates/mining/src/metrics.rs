@@ -1,0 +1,160 @@
+//! Evaluation metrics for the classifiers.
+
+use clinical_types::{Error, Result};
+
+/// Fraction of predictions equal to the truth.
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    if truth.len() != predicted.len() {
+        return Err(Error::invalid(format!(
+            "{} truth labels vs {} predictions",
+            truth.len(),
+            predicted.len()
+        )));
+    }
+    if truth.is_empty() {
+        return Err(Error::invalid("cannot score an empty prediction set"));
+    }
+    let hits = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count();
+    Ok(hits as f64 / truth.len() as f64)
+}
+
+/// `matrix[t][p]` = number of rows with truth `t` predicted as `p`.
+pub fn confusion_matrix(
+    truth: &[usize],
+    predicted: &[usize],
+    n_classes: usize,
+) -> Result<Vec<Vec<usize>>> {
+    if truth.len() != predicted.len() {
+        return Err(Error::invalid("label/prediction length mismatch"));
+    }
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(predicted) {
+        if t >= n_classes || p >= n_classes {
+            return Err(Error::invalid(format!(
+                "label out of range: truth {t}, predicted {p}, classes {n_classes}"
+            )));
+        }
+        m[t][p] += 1;
+    }
+    Ok(m)
+}
+
+/// Per-class precision / recall / F1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    /// Class index the metrics describe.
+    pub class: usize,
+    /// Precision (NaN-free: 0 when the class is never predicted).
+    pub precision: f64,
+    /// Recall (0 when the class never occurs).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+}
+
+/// Per-class F1 summary from a confusion matrix.
+pub fn f1_scores(matrix: &[Vec<usize>]) -> Vec<ClassMetrics> {
+    let n = matrix.len();
+    (0..n)
+        .map(|c| {
+            let tp = matrix[c][c] as f64;
+            let predicted: f64 = (0..n).map(|t| matrix[t][c] as f64).sum();
+            let actual: f64 = matrix[c].iter().map(|&x| x as f64).sum();
+            let precision = if predicted > 0.0 { tp / predicted } else { 0.0 };
+            let recall = if actual > 0.0 { tp / actual } else { 0.0 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ClassMetrics {
+                class: c,
+                precision,
+                recall,
+                f1,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let acc = accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]).unwrap();
+        assert!((acc - 0.75).abs() < 1e-12);
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+        assert!(accuracy(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_layout() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2).unwrap();
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+        assert!(confusion_matrix(&[5], &[0], 2).is_err());
+    }
+
+    #[test]
+    fn f1_perfect_classifier() {
+        let m = confusion_matrix(&[0, 1, 0, 1], &[0, 1, 0, 1], 2).unwrap();
+        for s in f1_scores(&m) {
+            assert!((s.f1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Confusion-matrix row sums equal per-class truth counts,
+            /// and the diagonal sum over n equals the accuracy.
+            #[test]
+            fn matrix_is_consistent_with_accuracy(
+                labels in proptest::collection::vec((0usize..4, 0usize..4), 1..200)
+            ) {
+                let truth: Vec<usize> = labels.iter().map(|(t, _)| *t).collect();
+                let predicted: Vec<usize> = labels.iter().map(|(_, p)| *p).collect();
+                let m = confusion_matrix(&truth, &predicted, 4).unwrap();
+                for c in 0..4 {
+                    let row_sum: usize = m[c].iter().sum();
+                    let count = truth.iter().filter(|&&t| t == c).count();
+                    prop_assert_eq!(row_sum, count);
+                }
+                let diag: usize = (0..4).map(|c| m[c][c]).sum();
+                let acc = accuracy(&truth, &predicted).unwrap();
+                prop_assert!((acc - diag as f64 / truth.len() as f64).abs() < 1e-12);
+            }
+
+            /// Precision and recall stay in [0, 1] for any matrix.
+            #[test]
+            fn f1_components_bounded(
+                cells in proptest::collection::vec(0usize..50, 9)
+            ) {
+                let m: Vec<Vec<usize>> = cells.chunks(3).map(|c| c.to_vec()).collect();
+                for s in f1_scores(&m) {
+                    prop_assert!((0.0..=1.0).contains(&s.precision));
+                    prop_assert!((0.0..=1.0).contains(&s.recall));
+                    prop_assert!((0.0..=1.0).contains(&s.f1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f1_handles_never_predicted_class() {
+        // Class 1 never predicted.
+        let m = confusion_matrix(&[0, 1, 1], &[0, 0, 0], 2).unwrap();
+        let scores = f1_scores(&m);
+        assert_eq!(scores[1].precision, 0.0);
+        assert_eq!(scores[1].recall, 0.0);
+        assert_eq!(scores[1].f1, 0.0);
+        assert!(scores[0].recall > 0.99);
+    }
+}

@@ -1,0 +1,181 @@
+//! Categorical naive Bayes with Laplace smoothing.
+
+use crate::dataset::Dataset;
+use clinical_types::{Error, Result};
+
+/// A trained naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// Log prior per class.
+    log_priors: Vec<f64>,
+    /// `log_likelihood[f][class][category]` = log P(category | class),
+    /// Laplace-smoothed.
+    log_likelihood: Vec<Vec<Vec<f64>>>,
+}
+
+impl NaiveBayes {
+    /// Fit the model to a dataset.
+    pub fn fit(data: &Dataset) -> Result<NaiveBayes> {
+        if data.is_empty() {
+            return Err(Error::invalid("cannot fit naive Bayes to an empty dataset"));
+        }
+        let n = data.len() as f64;
+        let n_classes = data.n_classes();
+        let class_counts = data.class_counts();
+        let log_priors: Vec<f64> = class_counts
+            .iter()
+            .map(|&c| ((c as f64 + 1.0) / (n + n_classes as f64)).ln())
+            .collect();
+
+        let mut log_likelihood = Vec::with_capacity(data.n_features());
+        for (fi, feature) in data.features.iter().enumerate() {
+            let k = feature.cardinality();
+            let mut counts = vec![vec![0usize; k]; n_classes];
+            for (row, &class) in data.cells.iter().zip(&data.classes) {
+                counts[class][row[fi]] += 1;
+            }
+            let table: Vec<Vec<f64>> = counts
+                .iter()
+                .enumerate()
+                .map(|(class, row)| {
+                    let total = class_counts[class] as f64 + k as f64;
+                    row.iter()
+                        .map(|&c| ((c as f64 + 1.0) / total).ln())
+                        .collect()
+                })
+                .collect();
+            log_likelihood.push(table);
+        }
+        Ok(NaiveBayes {
+            log_priors,
+            log_likelihood,
+        })
+    }
+
+    /// Log-posterior (unnormalised) per class for one row.
+    pub fn log_scores(&self, row: &[usize]) -> Result<Vec<f64>> {
+        if row.len() != self.log_likelihood.len() {
+            return Err(Error::invalid(format!(
+                "row has {} features, model expects {}",
+                row.len(),
+                self.log_likelihood.len()
+            )));
+        }
+        let mut scores = self.log_priors.clone();
+        for (fi, &cat) in row.iter().enumerate() {
+            for (class, score) in scores.iter_mut().enumerate() {
+                let table = &self.log_likelihood[fi][class];
+                // An unseen category (interned only in the test split)
+                // contributes the uniform smoothed mass.
+                let ll = table
+                    .get(cat)
+                    .copied()
+                    .unwrap_or_else(|| (1.0 / (table.len() as f64 + 1.0)).ln());
+                *score += ll;
+            }
+        }
+        Ok(scores)
+    }
+
+    /// Predicted class for one row.
+    pub fn predict(&self, row: &[usize]) -> Result<usize> {
+        let scores = self.log_scores(row)?;
+        Ok(scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Predictions for every row of a dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Result<Vec<usize>> {
+        data.cells.iter().map(|row| self.predict(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Feature;
+
+    /// A dataset where feature 0 perfectly determines the class and
+    /// feature 1 is noise.
+    fn separable() -> Dataset {
+        let rows = 40;
+        let cells: Vec<Vec<usize>> = (0..rows).map(|i| vec![i % 2, i % 3]).collect();
+        let classes: Vec<usize> = (0..rows).map(|i| i % 2).collect();
+        Dataset {
+            features: vec![
+                Feature {
+                    name: "Signal".into(),
+                    labels: vec!["a".into(), "b".into()],
+                },
+                Feature {
+                    name: "Noise".into(),
+                    labels: vec!["x".into(), "y".into(), "z".into()],
+                },
+            ],
+            class_labels: vec!["no".into(), "yes".into()],
+            cells,
+            classes,
+        }
+    }
+
+    #[test]
+    fn learns_a_separable_concept() {
+        let ds = separable();
+        let nb = NaiveBayes::fit(&ds).unwrap();
+        let preds = nb.predict_all(&ds).unwrap();
+        let acc = crate::metrics::accuracy(&ds.classes, &preds).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn prior_dominates_with_no_features() {
+        let mut ds = separable();
+        // Make class 1 dominant and erase features.
+        ds.classes = vec![1; ds.len()];
+        let empty = ds.select_features(&[]).unwrap();
+        let nb = NaiveBayes::fit(&empty).unwrap();
+        assert_eq!(nb.predict(&[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unseen_category_does_not_panic() {
+        let ds = separable();
+        let nb = NaiveBayes::fit(&ds).unwrap();
+        // Category index 9 was never interned during training.
+        let p = nb.predict(&[9, 0]).unwrap();
+        assert!(p < ds.n_classes());
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let nb = NaiveBayes::fit(&separable()).unwrap();
+        assert!(nb.predict(&[0]).is_err());
+        assert!(nb.predict(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let ds = Dataset {
+            features: vec![],
+            class_labels: vec![],
+            cells: vec![],
+            classes: vec![],
+        };
+        assert!(NaiveBayes::fit(&ds).is_err());
+    }
+
+    #[test]
+    fn smoothing_keeps_probabilities_finite() {
+        let ds = separable();
+        let nb = NaiveBayes::fit(&ds).unwrap();
+        for scores in ds.cells.iter().map(|r| nb.log_scores(r).unwrap()) {
+            for s in scores {
+                assert!(s.is_finite());
+            }
+        }
+    }
+}

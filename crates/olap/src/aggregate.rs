@@ -1,0 +1,239 @@
+//! Aggregates and mergeable cell accumulators.
+//!
+//! Cells store full accumulators rather than finalized numbers so that
+//! roll-up (merging cells when an axis is removed) is exact for every
+//! aggregate — including `Avg` (kept as sum + count) and
+//! `DistinctCount` (kept as a value set until finalisation).
+
+use clinical_types::Value;
+use std::collections::HashSet;
+
+/// What to aggregate for each cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeasureRef {
+    /// Count fact rows.
+    RowCount,
+    /// A numeric measure column of the fact table.
+    Measure(String),
+    /// Distinct values of a degenerate column (e.g. distinct
+    /// `PatientId`s — "number of patients" rather than attendances).
+    DistinctDegenerate(String),
+}
+
+/// The aggregate function applied to the measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row (or distinct-value) count.
+    Count,
+    /// Sum of valid measure values.
+    Sum,
+    /// Mean of valid measure values.
+    Avg,
+    /// Minimum valid measure value.
+    Min,
+    /// Maximum valid measure value.
+    Max,
+}
+
+impl Aggregate {
+    /// Parse an aggregate keyword (`COUNT`, `SUM`, …), case-insensitive.
+    pub fn parse(s: &str) -> Option<Aggregate> {
+        match s.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(Aggregate::Count),
+            "SUM" => Some(Aggregate::Sum),
+            "AVG" => Some(Aggregate::Avg),
+            "MIN" => Some(Aggregate::Min),
+            "MAX" => Some(Aggregate::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Mergeable per-cell accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellStats {
+    /// Fact rows routed to the cell.
+    pub rows: u64,
+    /// Rows with a valid (non-missing) measure value.
+    pub valid: u64,
+    /// Sum of valid values.
+    pub sum: f64,
+    /// Minimum valid value.
+    pub min: f64,
+    /// Maximum valid value.
+    pub max: f64,
+    /// Distinct degenerate values (only populated for
+    /// [`MeasureRef::DistinctDegenerate`]).
+    pub distinct: Option<HashSet<Value>>,
+}
+
+impl CellStats {
+    /// Fresh accumulator; `track_distinct` allocates the value set.
+    pub fn new(track_distinct: bool) -> Self {
+        CellStats {
+            distinct: track_distinct.then(HashSet::new),
+            ..CellStats::default()
+        }
+    }
+
+    /// Fold one fact row in: `measure` is the row's measure value (or
+    /// `None` if missing / not applicable), `distinct_key` the row's
+    /// degenerate value when distinct counting.
+    pub fn push(&mut self, measure: Option<f64>, distinct_key: Option<&Value>) {
+        self.rows += 1;
+        if let Some(x) = measure {
+            if self.valid == 0 {
+                self.min = x;
+                self.max = x;
+            } else {
+                if x < self.min {
+                    self.min = x;
+                }
+                if x > self.max {
+                    self.max = x;
+                }
+            }
+            self.valid += 1;
+            self.sum += x;
+        }
+        if let (Some(set), Some(key)) = (self.distinct.as_mut(), distinct_key) {
+            set.insert(key.clone());
+        }
+    }
+
+    /// Merge another accumulator in (roll-up).
+    pub fn merge(&mut self, other: &CellStats) {
+        self.rows += other.rows;
+        if other.valid > 0 {
+            if self.valid == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                if other.min < self.min {
+                    self.min = other.min;
+                }
+                if other.max > self.max {
+                    self.max = other.max;
+                }
+            }
+            self.valid += other.valid;
+            self.sum += other.sum;
+        }
+        if let (Some(mine), Some(theirs)) = (self.distinct.as_mut(), other.distinct.as_ref()) {
+            mine.extend(theirs.iter().cloned());
+        }
+    }
+
+    /// Finalize under an aggregate; `None` when the cell carries no
+    /// usable value (e.g. `Avg` of zero valid rows).
+    pub fn finalize(&self, agg: Aggregate, measure: &MeasureRef) -> Option<f64> {
+        match (agg, measure) {
+            (Aggregate::Count, MeasureRef::RowCount) => Some(self.rows as f64),
+            (Aggregate::Count, MeasureRef::DistinctDegenerate(_)) => {
+                self.distinct.as_ref().map(|s| s.len() as f64)
+            }
+            (Aggregate::Count, MeasureRef::Measure(_)) => Some(self.valid as f64),
+            (Aggregate::Sum, _) => (self.valid > 0).then_some(self.sum),
+            (Aggregate::Avg, _) => (self.valid > 0).then(|| self.sum / self.valid as f64),
+            (Aggregate::Min, _) => (self.valid > 0).then_some(self.min),
+            (Aggregate::Max, _) => (self.valid > 0).then_some(self.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_tracks_all_statistics() {
+        let mut c = CellStats::new(false);
+        c.push(Some(5.0), None);
+        c.push(None, None);
+        c.push(Some(7.0), None);
+        assert_eq!(c.rows, 3);
+        assert_eq!(c.valid, 2);
+        assert_eq!(c.sum, 12.0);
+        assert_eq!(c.min, 5.0);
+        assert_eq!(c.max, 7.0);
+    }
+
+    #[test]
+    fn finalize_each_aggregate() {
+        let mut c = CellStats::new(false);
+        c.push(Some(4.0), None);
+        c.push(Some(8.0), None);
+        c.push(None, None);
+        let m = MeasureRef::Measure("FBG".into());
+        assert_eq!(c.finalize(Aggregate::Count, &MeasureRef::RowCount), Some(3.0));
+        assert_eq!(c.finalize(Aggregate::Count, &m), Some(2.0));
+        assert_eq!(c.finalize(Aggregate::Sum, &m), Some(12.0));
+        assert_eq!(c.finalize(Aggregate::Avg, &m), Some(6.0));
+        assert_eq!(c.finalize(Aggregate::Min, &m), Some(4.0));
+        assert_eq!(c.finalize(Aggregate::Max, &m), Some(8.0));
+    }
+
+    #[test]
+    fn empty_cell_finalizes_to_none_for_value_aggregates() {
+        let c = CellStats::new(false);
+        let m = MeasureRef::Measure("FBG".into());
+        assert_eq!(c.finalize(Aggregate::Avg, &m), None);
+        assert_eq!(c.finalize(Aggregate::Min, &m), None);
+        assert_eq!(c.finalize(Aggregate::Count, &MeasureRef::RowCount), Some(0.0));
+    }
+
+    #[test]
+    fn distinct_counting() {
+        let mut c = CellStats::new(true);
+        c.push(None, Some(&Value::Int(1)));
+        c.push(None, Some(&Value::Int(2)));
+        c.push(None, Some(&Value::Int(1)));
+        let m = MeasureRef::DistinctDegenerate("PatientId".into());
+        assert_eq!(c.finalize(Aggregate::Count, &m), Some(2.0));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_sequential_pushes() {
+        let values = [Some(1.0), None, Some(3.5), Some(-2.0), Some(9.0), None];
+        let mut whole = CellStats::new(true);
+        let mut left = CellStats::new(true);
+        let mut right = CellStats::new(true);
+        for (i, v) in values.iter().enumerate() {
+            let key = Value::Int((i % 3) as i64);
+            whole.push(*v, Some(&key));
+            if i < 3 {
+                left.push(*v, Some(&key));
+            } else {
+                right.push(*v, Some(&key));
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.rows, whole.rows);
+        assert_eq!(left.valid, whole.valid);
+        assert_eq!(left.sum, whole.sum);
+        assert_eq!(left.min, whole.min);
+        assert_eq!(left.max, whole.max);
+        assert_eq!(left.distinct, whole.distinct);
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        let mut a = CellStats::new(false);
+        a.push(Some(2.0), None);
+        let before = a.clone();
+        a.merge(&CellStats::new(false));
+        assert_eq!(a, before);
+
+        let mut empty = CellStats::new(false);
+        empty.merge(&before);
+        assert_eq!(empty.min, 2.0);
+        assert_eq!(empty.valid, 1);
+    }
+
+    #[test]
+    fn aggregate_parse() {
+        assert_eq!(Aggregate::parse("count"), Some(Aggregate::Count));
+        assert_eq!(Aggregate::parse("AVG"), Some(Aggregate::Avg));
+        assert_eq!(Aggregate::parse("median"), None);
+    }
+}

@@ -1,0 +1,697 @@
+//! Data cubes: grouped aggregation over the warehouse with the
+//! classical OLAP operators.
+//!
+//! §IV "Reporting": *"data cubes can be formed by introducing multiple
+//! dimensions to the query. Furthermore, slicing and dicing operations
+//! can be performed on a cube to increase/decrease granularity of a
+//! multivariate query."*
+//!
+//! A [`Cube`] holds one [`CellStats`] accumulator per observed axis
+//! coordinate combination; because accumulators merge exactly,
+//! roll-up is a pure cube-to-cube operation, while drill-down (finer
+//! attribute) re-aggregates from the warehouse via the hierarchy-aware
+//! [`crate::QueryBuilder`].
+
+use crate::aggregate::{Aggregate, CellStats, MeasureRef};
+use clinical_types::{Error, Result, Value};
+use std::collections::HashMap;
+use warehouse::Warehouse;
+
+/// Row filter applied while building a cube.
+#[derive(Debug, Clone, Default)]
+pub struct CubeFilter {
+    /// Attribute must equal one of the listed values.
+    attribute_in: Vec<(String, Vec<Value>)>,
+    /// Measure must be valid and inside `[lo, hi)`.
+    measure_between: Vec<(String, f64, f64)>,
+}
+
+impl CubeFilter {
+    /// Empty filter (all rows pass).
+    pub fn all() -> Self {
+        CubeFilter::default()
+    }
+
+    /// Keep rows where `attribute = value`.
+    pub fn equals(mut self, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attribute_in.push((attribute.into(), vec![value.into()]));
+        self
+    }
+
+    /// Keep rows where `attribute` is one of `values`.
+    pub fn one_of(mut self, attribute: impl Into<String>, values: Vec<Value>) -> Self {
+        self.attribute_in.push((attribute.into(), values));
+        self
+    }
+
+    /// Keep rows where measure `name` is valid and in `[lo, hi)`.
+    pub fn measure_between(mut self, name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        self.measure_between.push((name.into(), lo, hi));
+        self
+    }
+
+    /// True when no condition is registered.
+    pub fn is_empty(&self) -> bool {
+        self.attribute_in.is_empty() && self.measure_between.is_empty()
+    }
+
+    /// Conditions on attributes.
+    pub fn attribute_conditions(&self) -> &[(String, Vec<Value>)] {
+        &self.attribute_in
+    }
+
+    /// Evaluate the filter into a row mask.
+    fn mask(&self, warehouse: &Warehouse) -> Result<Vec<bool>> {
+        let n = warehouse.n_facts();
+        let mut mask = vec![true; n];
+        for (attr, allowed) in &self.attribute_in {
+            let col = warehouse.attribute_column(attr)?;
+            for (m, v) in mask.iter_mut().zip(col) {
+                if *m && !allowed.iter().any(|a| a == v) {
+                    *m = false;
+                }
+            }
+        }
+        for (measure, lo, hi) in &self.measure_between {
+            let col = warehouse.measure(measure)?;
+            for (i, m) in mask.iter_mut().enumerate() {
+                if *m {
+                    match col.get(i) {
+                        Some(x) if x >= *lo && x < *hi => {}
+                        _ => *m = false,
+                    }
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+/// Build strategy — the group-by ablation of DESIGN.md §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildStrategy {
+    /// Hash aggregation (default).
+    #[default]
+    Hash,
+    /// Sort-based aggregation: sort row indices by key, then scan runs.
+    Sort,
+    /// Hash aggregation across worker threads, merged at the end.
+    ParallelHash,
+}
+
+/// Specification of a cube.
+#[derive(Debug, Clone)]
+pub struct CubeSpec {
+    /// Dimension attributes forming the axes, in display order.
+    pub axes: Vec<String>,
+    /// What is aggregated in each cell.
+    pub measure: MeasureRef,
+    /// The aggregate function.
+    pub agg: Aggregate,
+    /// Row filter.
+    pub filter: CubeFilter,
+    /// Build strategy.
+    pub strategy: BuildStrategy,
+}
+
+impl CubeSpec {
+    /// Count of fact rows grouped by `axes`.
+    pub fn count(axes: Vec<&str>) -> Self {
+        CubeSpec {
+            axes: axes.into_iter().map(String::from).collect(),
+            measure: MeasureRef::RowCount,
+            agg: Aggregate::Count,
+            filter: CubeFilter::all(),
+            strategy: BuildStrategy::Hash,
+        }
+    }
+
+    /// Aggregate of a measure grouped by `axes`.
+    pub fn measure(axes: Vec<&str>, agg: Aggregate, measure: impl Into<String>) -> Self {
+        CubeSpec {
+            axes: axes.into_iter().map(String::from).collect(),
+            measure: MeasureRef::Measure(measure.into()),
+            agg,
+            filter: CubeFilter::all(),
+            strategy: BuildStrategy::Hash,
+        }
+    }
+
+    /// Distinct count of a degenerate column grouped by `axes`
+    /// (e.g. distinct patients per cell).
+    pub fn distinct(axes: Vec<&str>, degenerate: impl Into<String>) -> Self {
+        CubeSpec {
+            axes: axes.into_iter().map(String::from).collect(),
+            measure: MeasureRef::DistinctDegenerate(degenerate.into()),
+            agg: Aggregate::Count,
+            filter: CubeFilter::all(),
+            strategy: BuildStrategy::Hash,
+        }
+    }
+
+    /// Replace the filter.
+    pub fn with_filter(mut self, filter: CubeFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Replace the strategy.
+    pub fn with_strategy(mut self, strategy: BuildStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// A built cube.
+#[derive(Debug, Clone)]
+pub struct Cube {
+    /// Axis attribute names, fixing coordinate order.
+    pub axes: Vec<String>,
+    /// The measure aggregated in the cells.
+    pub measure: MeasureRef,
+    /// The aggregate function.
+    pub agg: Aggregate,
+    cells: HashMap<Vec<Value>, CellStats>,
+}
+
+impl Cube {
+    /// Build a cube over `warehouse` per `spec`.
+    pub fn build(warehouse: &Warehouse, spec: &CubeSpec) -> Result<Cube> {
+        let inputs = CubeInputs::resolve(warehouse, spec)?;
+        let cells = match spec.strategy {
+            BuildStrategy::Hash => inputs.build_hash(),
+            BuildStrategy::Sort => inputs.build_sort(),
+            BuildStrategy::ParallelHash => inputs.build_parallel(),
+        };
+        Ok(Cube {
+            axes: spec.axes.clone(),
+            measure: spec.measure.clone(),
+            agg: spec.agg,
+            cells,
+        })
+    }
+
+    /// Number of populated cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Finalized value at exact coordinates (axis order).
+    pub fn value(&self, coords: &[Value]) -> Option<f64> {
+        self.cells
+            .get(coords)
+            .and_then(|c| c.finalize(self.agg, &self.measure))
+    }
+
+    /// Raw accumulator at coordinates.
+    pub fn cell(&self, coords: &[Value]) -> Option<&CellStats> {
+        self.cells.get(coords)
+    }
+
+    /// Iterate `(coords, finalized value)`; cells whose aggregate
+    /// finalises to `None` are skipped.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, f64)> + '_ {
+        self.cells
+            .iter()
+            .filter_map(|(k, c)| c.finalize(self.agg, &self.measure).map(|v| (k, v)))
+    }
+
+    /// Distinct coordinate values observed along one axis, sorted.
+    pub fn axis_values(&self, axis: &str) -> Result<Vec<Value>> {
+        let idx = self.axis_index(axis)?;
+        let mut values: Vec<Value> = self
+            .cells
+            .keys()
+            .map(|k| k[idx].clone())
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        values.sort();
+        Ok(values)
+    }
+
+    /// Position of an axis.
+    pub fn axis_index(&self, axis: &str) -> Result<usize> {
+        self.axes
+            .iter()
+            .position(|a| a == axis)
+            .ok_or_else(|| Error::invalid(format!("cube has no axis `{axis}`")))
+    }
+
+    /// Slice: fix `axis = value`, producing a cube without that axis.
+    pub fn slice(&self, axis: &str, value: &Value) -> Result<Cube> {
+        let idx = self.axis_index(axis)?;
+        let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
+        for (coords, stats) in &self.cells {
+            if &coords[idx] != value {
+                continue;
+            }
+            let mut rest = coords.clone();
+            rest.remove(idx);
+            cells
+                .entry(rest)
+                .or_insert_with(|| CellStats::new(stats.distinct.is_some()))
+                .merge(stats);
+        }
+        let mut axes = self.axes.clone();
+        axes.remove(idx);
+        Ok(Cube {
+            axes,
+            measure: self.measure.clone(),
+            agg: self.agg,
+            cells,
+        })
+    }
+
+    /// Dice: restrict `axis` to `values`, keeping the axis.
+    pub fn dice(&self, axis: &str, values: &[Value]) -> Result<Cube> {
+        let idx = self.axis_index(axis)?;
+        let cells = self
+            .cells
+            .iter()
+            .filter(|(coords, _)| values.contains(&coords[idx]))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Ok(Cube {
+            axes: self.axes.clone(),
+            measure: self.measure.clone(),
+            agg: self.agg,
+            cells,
+        })
+    }
+
+    /// Roll-up: remove `axis` entirely, merging cells across it.
+    pub fn roll_up(&self, axis: &str) -> Result<Cube> {
+        let idx = self.axis_index(axis)?;
+        let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
+        for (coords, stats) in &self.cells {
+            let mut rest = coords.clone();
+            rest.remove(idx);
+            cells
+                .entry(rest)
+                .or_insert_with(|| CellStats::new(stats.distinct.is_some()))
+                .merge(stats);
+        }
+        let mut axes = self.axes.clone();
+        axes.remove(idx);
+        Ok(Cube {
+            axes,
+            measure: self.measure.clone(),
+            agg: self.agg,
+            cells,
+        })
+    }
+
+    /// The `k` largest cells by finalized value, descending (ties
+    /// break by coordinate order, deterministically) — the "top
+    /// aggregates" the Decision Optimisation component validates.
+    pub fn top_k(&self, k: usize) -> Vec<(Vec<Value>, f64)> {
+        let mut cells: Vec<(Vec<Value>, f64)> =
+            self.iter().map(|(c, v)| (c.clone(), v)).collect();
+        cells.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finalized values are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        cells.truncate(k);
+        cells
+    }
+
+    /// Grand total: roll every axis up into a single cell.
+    pub fn grand_total(&self) -> Option<f64> {
+        let mut total = CellStats::new(matches!(self.measure, MeasureRef::DistinctDegenerate(_)));
+        for stats in self.cells.values() {
+            total.merge(stats);
+        }
+        total.finalize(self.agg, &self.measure)
+    }
+}
+
+/// Resolved, column-oriented inputs for a cube build.
+struct CubeInputs<'a> {
+    axis_cols: Vec<Vec<&'a Value>>,
+    measure_col: Option<&'a warehouse::MeasureColumn>,
+    distinct_col: Option<&'a [Value]>,
+    mask: Vec<bool>,
+    count_valid_only: bool,
+}
+
+impl<'a> CubeInputs<'a> {
+    fn resolve(wh: &'a Warehouse, spec: &CubeSpec) -> Result<Self> {
+        if spec.axes.is_empty() {
+            return Err(Error::invalid("a cube needs at least one axis"));
+        }
+        let axis_cols = spec
+            .axes
+            .iter()
+            .map(|a| wh.attribute_column(a))
+            .collect::<Result<Vec<_>>>()?;
+        let (measure_col, distinct_col, count_valid_only) = match &spec.measure {
+            MeasureRef::RowCount => (None, None, false),
+            MeasureRef::Measure(name) => (Some(wh.measure(name)?), None, true),
+            MeasureRef::DistinctDegenerate(name) => {
+                (None, Some(wh.degenerate_column(name)?), false)
+            }
+        };
+        Ok(CubeInputs {
+            axis_cols,
+            measure_col,
+            distinct_col,
+            mask: spec.filter.mask(wh)?,
+            count_valid_only,
+        })
+    }
+
+    fn n_rows(&self) -> usize {
+        self.mask.len()
+    }
+
+    fn key_of(&self, row: usize) -> Vec<Value> {
+        self.axis_cols.iter().map(|c| c[row].clone()).collect()
+    }
+
+    fn push_row(&self, cell: &mut CellStats, row: usize) {
+        let measure = self.measure_col.and_then(|m| m.get(row));
+        let distinct = self.distinct_col.map(|c| &c[row]);
+        // For Measure cells a missing value still counts the row but
+        // not the valid set; push handles both.
+        let _ = self.count_valid_only;
+        cell.push(measure, distinct);
+    }
+
+    fn track_distinct(&self) -> bool {
+        self.distinct_col.is_some()
+    }
+
+    fn build_hash(&self) -> HashMap<Vec<Value>, CellStats> {
+        let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
+        for row in 0..self.n_rows() {
+            if !self.mask[row] {
+                continue;
+            }
+            let key = self.key_of(row);
+            let cell = cells
+                .entry(key)
+                .or_insert_with(|| CellStats::new(self.track_distinct()));
+            self.push_row(cell, row);
+        }
+        cells
+    }
+
+    fn build_sort(&self) -> HashMap<Vec<Value>, CellStats> {
+        let mut rows: Vec<usize> = (0..self.n_rows()).filter(|&r| self.mask[r]).collect();
+        rows.sort_by(|&a, &b| {
+            for col in &self.axis_cols {
+                let ord = col[a].cmp(col[b]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
+        let mut i = 0;
+        while i < rows.len() {
+            let mut j = i;
+            let key = self.key_of(rows[i]);
+            let mut cell = CellStats::new(self.track_distinct());
+            while j < rows.len()
+                && self
+                    .axis_cols
+                    .iter()
+                    .all(|col| col[rows[j]] == col[rows[i]])
+            {
+                self.push_row(&mut cell, rows[j]);
+                j += 1;
+            }
+            cells.insert(key, cell);
+            i = j;
+        }
+        cells
+    }
+
+    fn build_parallel(&self) -> HashMap<Vec<Value>, CellStats> {
+        let n = self.n_rows();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .clamp(1, 8);
+        if n < 4096 || workers == 1 {
+            return self.build_hash();
+        }
+        let chunk = n.div_ceil(workers);
+        let partials = crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                handles.push(scope.spawn(move |_| {
+                    let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
+                    for row in lo..hi {
+                        if !self.mask[row] {
+                            continue;
+                        }
+                        let cell = cells
+                            .entry(self.key_of(row))
+                            .or_insert_with(|| CellStats::new(self.track_distinct()));
+                        self.push_row(cell, row);
+                    }
+                    cells
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cube worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("cube build scope panicked");
+
+        let mut merged: HashMap<Vec<Value>, CellStats> = HashMap::new();
+        for partial in partials {
+            for (key, stats) in partial {
+                merged
+                    .entry(key)
+                    .or_insert_with(|| CellStats::new(self.track_distinct()))
+                    .merge(&stats);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+    use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema};
+
+    fn demo_warehouse() -> Warehouse {
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),
+            vec![
+                DimensionDef::new("Personal", vec!["Gender", "Age_Band"]),
+                DimensionDef::new("Condition", vec!["DiabetesStatus"]),
+            ],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::required("PatientId", DataType::Int),
+            FieldDef::nullable("Gender", DataType::Text),
+            FieldDef::nullable("Age_Band", DataType::Text),
+            FieldDef::nullable("DiabetesStatus", DataType::Text),
+            FieldDef::nullable("FBG", DataType::Float),
+        ])
+        .unwrap();
+        // (pid, gender, age band, diabetes, fbg)
+        let rows: Vec<(i64, &str, &str, &str, Option<f64>)> = vec![
+            (1, "F", "60-80", "yes", Some(7.2)),
+            (1, "F", "60-80", "yes", Some(7.8)),
+            (2, "M", "60-80", "no", Some(5.1)),
+            (3, "F", "40-60", "no", Some(5.4)),
+            (4, "M", "60-80", "yes", None),
+            (5, "F", "60-80", "no", Some(6.2)),
+        ];
+        let records = rows
+            .into_iter()
+            .map(|(p, g, a, d, f)| {
+                Record::new(vec![
+                    Value::Int(p),
+                    g.into(),
+                    a.into(),
+                    d.into(),
+                    f.map(Value::Float).unwrap_or(Value::Null),
+                ])
+            })
+            .collect();
+        let table = Table::from_rows(schema, records).unwrap();
+        Warehouse::load(&LoadPlan::from_star(star), &table).unwrap()
+    }
+
+    fn k(parts: &[&str]) -> Vec<Value> {
+        parts.iter().map(|s| Value::from(*s)).collect()
+    }
+
+    #[test]
+    fn count_cube_by_two_axes() {
+        let wh = demo_warehouse();
+        let cube = Cube::build(&wh, &CubeSpec::count(vec!["Gender", "Age_Band"])).unwrap();
+        assert_eq!(cube.value(&k(&["F", "60-80"])), Some(3.0));
+        assert_eq!(cube.value(&k(&["M", "60-80"])), Some(2.0));
+        assert_eq!(cube.value(&k(&["F", "40-60"])), Some(1.0));
+        assert_eq!(cube.value(&k(&["M", "40-60"])), None);
+        assert_eq!(cube.grand_total(), Some(6.0));
+    }
+
+    #[test]
+    fn avg_cube_skips_missing_measures() {
+        let wh = demo_warehouse();
+        let cube = Cube::build(
+            &wh,
+            &CubeSpec::measure(vec!["DiabetesStatus"], Aggregate::Avg, "FBG"),
+        )
+        .unwrap();
+        let yes = cube.value(&k(&["yes"])).unwrap();
+        assert!((yes - 7.5).abs() < 1e-9); // (7.2+7.8)/2; NULL skipped
+        let no = cube.value(&k(&["no"])).unwrap();
+        assert!((no - (5.1 + 5.4 + 6.2) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_patients_cube() {
+        let wh = demo_warehouse();
+        let cube = Cube::build(
+            &wh,
+            &CubeSpec::distinct(vec!["DiabetesStatus"], "PatientId"),
+        )
+        .unwrap();
+        // Diabetic attendances: patient 1 (twice) and 4 → 2 patients.
+        assert_eq!(cube.value(&k(&["yes"])), Some(2.0));
+        assert_eq!(cube.value(&k(&["no"])), Some(3.0));
+    }
+
+    #[test]
+    fn filter_restricts_rows() {
+        let wh = demo_warehouse();
+        let spec = CubeSpec::count(vec!["Gender"])
+            .with_filter(CubeFilter::all().equals("DiabetesStatus", "yes"));
+        let cube = Cube::build(&wh, &spec).unwrap();
+        assert_eq!(cube.value(&k(&["F"])), Some(2.0));
+        assert_eq!(cube.value(&k(&["M"])), Some(1.0));
+    }
+
+    #[test]
+    fn measure_range_filter() {
+        let wh = demo_warehouse();
+        let spec = CubeSpec::count(vec!["Gender"])
+            .with_filter(CubeFilter::all().measure_between("FBG", 5.5, 7.5));
+        let cube = Cube::build(&wh, &spec).unwrap();
+        // FBG in [5.5,7.5): 7.2 (F), 6.2 (F) → F=2; M none (5.1 below).
+        assert_eq!(cube.value(&k(&["F"])), Some(2.0));
+        assert_eq!(cube.value(&k(&["M"])), None);
+    }
+
+    #[test]
+    fn slice_removes_axis_and_filters() {
+        let wh = demo_warehouse();
+        let cube = Cube::build(&wh, &CubeSpec::count(vec!["Gender", "Age_Band"])).unwrap();
+        let sliced = cube.slice("Age_Band", &Value::from("60-80")).unwrap();
+        assert_eq!(sliced.axes, vec!["Gender"]);
+        assert_eq!(sliced.value(&k(&["F"])), Some(3.0));
+        assert_eq!(sliced.value(&k(&["M"])), Some(2.0));
+    }
+
+    #[test]
+    fn dice_keeps_axis() {
+        let wh = demo_warehouse();
+        let cube = Cube::build(&wh, &CubeSpec::count(vec!["Gender", "Age_Band"])).unwrap();
+        let diced = cube.dice("Age_Band", &[Value::from("40-60")]).unwrap();
+        assert_eq!(diced.axes.len(), 2);
+        assert_eq!(diced.value(&k(&["F", "40-60"])), Some(1.0));
+        assert_eq!(diced.value(&k(&["F", "60-80"])), None);
+    }
+
+    #[test]
+    fn roll_up_merges_exactly() {
+        let wh = demo_warehouse();
+        let fine = Cube::build(&wh, &CubeSpec::count(vec!["Gender", "Age_Band"])).unwrap();
+        let coarse = fine.roll_up("Age_Band").unwrap();
+        let direct = Cube::build(&wh, &CubeSpec::count(vec!["Gender"])).unwrap();
+        for v in coarse.axis_values("Gender").unwrap() {
+            assert_eq!(coarse.value(std::slice::from_ref(&v)), direct.value(std::slice::from_ref(&v)));
+        }
+    }
+
+    #[test]
+    fn roll_up_of_avg_is_exact() {
+        let wh = demo_warehouse();
+        let fine = Cube::build(
+            &wh,
+            &CubeSpec::measure(vec!["Gender", "Age_Band"], Aggregate::Avg, "FBG"),
+        )
+        .unwrap();
+        let coarse = fine.roll_up("Age_Band").unwrap();
+        let direct = Cube::build(&wh, &CubeSpec::measure(vec!["Gender"], Aggregate::Avg, "FBG"))
+            .unwrap();
+        for v in direct.axis_values("Gender").unwrap() {
+            let a = coarse.value(std::slice::from_ref(&v)).unwrap();
+            let b = direct.value(&[v]).unwrap();
+            assert!((a - b).abs() < 1e-12, "roll-up avg {a} != direct {b}");
+        }
+    }
+
+    #[test]
+    fn roll_up_of_distinct_is_exact() {
+        let wh = demo_warehouse();
+        let fine = Cube::build(
+            &wh,
+            &CubeSpec::distinct(vec!["Gender", "DiabetesStatus"], "PatientId"),
+        )
+        .unwrap();
+        let coarse = fine.roll_up("Gender").unwrap();
+        // Patient 1 appears twice under yes/F: distinct must still be 2
+        // for yes overall (patients 1 and 4).
+        assert_eq!(coarse.value(&k(&["yes"])), Some(2.0));
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let wh = demo_warehouse();
+        for strategy in [BuildStrategy::Hash, BuildStrategy::Sort, BuildStrategy::ParallelHash] {
+            let cube = Cube::build(
+                &wh,
+                &CubeSpec::count(vec!["Gender", "Age_Band"]).with_strategy(strategy),
+            )
+            .unwrap();
+            assert_eq!(cube.value(&k(&["F", "60-80"])), Some(3.0), "{strategy:?}");
+            assert_eq!(cube.n_cells(), 3, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_ranks_descending_with_stable_ties() {
+        let wh = demo_warehouse();
+        let cube = Cube::build(&wh, &CubeSpec::count(vec!["Gender", "Age_Band"])).unwrap();
+        let top = cube.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (k(&["F", "60-80"]), 3.0));
+        assert_eq!(top[1], (k(&["M", "60-80"]), 2.0));
+        // k larger than the cube returns everything.
+        assert_eq!(cube.top_k(100).len(), cube.n_cells());
+        assert!(cube.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn empty_axes_rejected() {
+        let wh = demo_warehouse();
+        assert!(Cube::build(&wh, &CubeSpec::count(vec![])).is_err());
+    }
+
+    #[test]
+    fn axis_values_are_sorted() {
+        let wh = demo_warehouse();
+        let cube = Cube::build(&wh, &CubeSpec::count(vec!["Age_Band"])).unwrap();
+        let values = cube.axis_values("Age_Band").unwrap();
+        assert_eq!(values, vec![Value::from("40-60"), Value::from("60-80")]);
+        assert!(cube.axis_values("Nope").is_err());
+    }
+}

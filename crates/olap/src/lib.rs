@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! OLAP over the clinical data warehouse — the analytical half of the
+//! paper's Reporting component (§IV), plus the Prediction-supporting
+//! cube isolation used by Data Analytics.
+//!
+//! * [`aggregate`] — aggregate specifications and mergeable cell
+//!   accumulators (count, distinct-count, sum, avg, min, max).
+//! * [`cube`] — data cubes over the warehouse: grouped aggregation
+//!   along any set of dimension attributes, with slice, dice and
+//!   roll-up operators; hash- and sort-based build strategies and a
+//!   parallel build for large fact tables.
+//! * [`pivot`] — two-axis pivot views of a cube (the tabular outcome
+//!   Fig. 4 shows in the BI Studio query area).
+//! * [`builder`] — [`builder::QueryBuilder`]: the programmatic
+//!   equivalent of Fig. 4's drag-and-drop query construction, with
+//!   hierarchy-aware drill-down / roll-up.
+//! * [`mdx`] — the MDX-like query language (§IV: "Multidimensional
+//!   expressions (MDX), the query language for OLAP, can also be used
+//!   for reporting"): lexer, parser and executor.
+
+pub mod aggregate;
+pub mod builder;
+pub mod cube;
+pub mod mdx;
+pub mod pivot;
+
+pub use aggregate::{Aggregate, CellStats, MeasureRef};
+pub use builder::QueryBuilder;
+pub use cube::{BuildStrategy, Cube, CubeFilter, CubeSpec};
+pub use mdx::{execute_mdx, parse_mdx};
+pub use pivot::PivotTable;

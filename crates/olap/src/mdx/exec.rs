@@ -1,0 +1,124 @@
+//! MDX execution against a warehouse.
+
+use super::parser::{parse_mdx, Axis, AxisSet, Condition, MdxQuery, MeasureClause};
+use crate::aggregate::{Aggregate, MeasureRef};
+use crate::cube::{Cube, CubeFilter, CubeSpec};
+use crate::pivot::PivotTable;
+use clinical_types::{Error, Result, Value};
+use warehouse::Warehouse;
+
+/// The attribute an axis resolves to, plus any implied filter or dice.
+struct ResolvedAxis {
+    attribute: String,
+    /// Equality filter implied by `.CHILDREN` (parent = member).
+    implied_filter: Option<(String, String)>,
+    /// Dice implied by an explicit member set.
+    dice: Option<Vec<Value>>,
+    non_empty: bool,
+}
+
+fn resolve_axis(warehouse: &Warehouse, axis: &Axis) -> Result<ResolvedAxis> {
+    match &axis.set {
+        AxisSet::Members(attr) => Ok(ResolvedAxis {
+            attribute: attr.clone(),
+            implied_filter: None,
+            dice: None,
+            non_empty: axis.non_empty,
+        }),
+        AxisSet::Explicit(attr, members) => Ok(ResolvedAxis {
+            attribute: attr.clone(),
+            implied_filter: None,
+            dice: Some(members.iter().map(|m| Value::from(m.as_str())).collect()),
+            non_empty: axis.non_empty,
+        }),
+        AxisSet::Children { parent, member } => {
+            let dim = warehouse
+                .star()
+                .dimension_of_attribute(parent)
+                .ok_or_else(|| Error::invalid(format!("no dimension owns `{parent}`")))?;
+            let child = dim
+                .hierarchies
+                .iter()
+                .find_map(|h| h.drill_down_from(parent))
+                .ok_or_else(|| {
+                    Error::invalid(format!(
+                        "`[{parent}].[{member}].CHILDREN` needs a finer hierarchy level under `{parent}`"
+                    ))
+                })?;
+            Ok(ResolvedAxis {
+                attribute: child.to_string(),
+                implied_filter: Some((parent.clone(), member.clone())),
+                dice: None,
+                non_empty: axis.non_empty,
+            })
+        }
+    }
+}
+
+/// Execute a parsed query against `warehouse`.
+pub fn execute_query(warehouse: &Warehouse, query: &MdxQuery) -> Result<PivotTable> {
+    if query.cube != warehouse.star().fact.name {
+        return Err(Error::invalid(format!(
+            "unknown cube `[{}]` (the warehouse exposes `[{}]`)",
+            query.cube,
+            warehouse.star().fact.name
+        )));
+    }
+
+    let rows = resolve_axis(warehouse, &query.rows)?;
+    let cols = resolve_axis(warehouse, &query.columns)?;
+
+    let mut filter = CubeFilter::all();
+    for condition in &query.conditions {
+        match condition {
+            Condition::AttributeEquals(attr, value) => {
+                filter = filter.equals(attr.clone(), value.as_str());
+            }
+            Condition::MeasureBetween(measure, lo, hi) => {
+                filter = filter.measure_between(measure.clone(), *lo, *hi);
+            }
+        }
+    }
+    for axis in [&rows, &cols] {
+        if let Some((parent, member)) = &axis.implied_filter {
+            filter = filter.equals(parent.clone(), member.as_str());
+        }
+    }
+
+    let (measure, agg) = match &query.measure {
+        MeasureClause::CountRows => (MeasureRef::RowCount, Aggregate::Count),
+        MeasureClause::CountDistinct(col) => {
+            (MeasureRef::DistinctDegenerate(col.clone()), Aggregate::Count)
+        }
+        MeasureClause::Aggregate(agg, m) => (MeasureRef::Measure(m.clone()), *agg),
+    };
+
+    let spec = CubeSpec {
+        axes: vec![rows.attribute.clone(), cols.attribute.clone()],
+        measure,
+        agg,
+        filter,
+        strategy: Default::default(),
+    };
+    let mut cube = Cube::build(warehouse, &spec)?;
+    for axis in [&rows, &cols] {
+        if let Some(values) = &axis.dice {
+            cube = cube.dice(&axis.attribute, values)?;
+        }
+    }
+
+    let mut pivot = PivotTable::from_cube(&cube, &rows.attribute, &cols.attribute)?;
+    if rows.non_empty {
+        pivot = pivot.drop_empty_rows();
+    }
+    if cols.non_empty {
+        pivot = pivot.drop_empty_columns();
+    }
+    Ok(pivot)
+}
+
+/// Parse and execute an MDX string against `warehouse`.
+pub fn execute_mdx(warehouse: &Warehouse, mdx: &str) -> Result<PivotTable> {
+    let query = parse_mdx(mdx)?;
+    execute_query(warehouse, &query)
+}

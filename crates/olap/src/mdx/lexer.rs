@@ -1,0 +1,185 @@
+//! MDX tokenizer.
+
+use clinical_types::{Error, Result};
+
+/// One MDX token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword or bare identifier (`SELECT`, `ON`, `MEMBERS`, …),
+    /// stored upper-cased because MDX keywords are case-insensitive.
+    Word(String),
+    /// `[bracketed name]` — attribute, cube or member names, which may
+    /// contain spaces, digits and punctuation.
+    Bracketed(String),
+    /// `'single-quoted string'`.
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Equals,
+    /// `*`
+    Star,
+}
+
+/// Tokenize an MDX string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '[' => {
+                let start = i + 1;
+                let end = chars[start..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or_else(|| Error::invalid("unterminated [bracketed name]"))?;
+                tokens.push(Token::Bracketed(chars[start..start + end].iter().collect()));
+                i = start + end + 1;
+            }
+            '\'' => {
+                let start = i + 1;
+                let end = chars[start..]
+                    .iter()
+                    .position(|&c| c == '\'')
+                    .ok_or_else(|| Error::invalid("unterminated string literal"))?;
+                tokens.push(Token::Str(chars[start..start + end].iter().collect()));
+                i = start + end + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let number = text
+                    .parse::<f64>()
+                    .map_err(|_| Error::invalid(format!("malformed number `{text}`")))?;
+                tokens.push(Token::Number(number));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                tokens.push(Token::Word(word.to_ascii_uppercase()));
+            }
+            other => {
+                return Err(Error::invalid(format!(
+                    "unexpected character `{other}` at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let tokens = tokenize(
+            "SELECT [Gender].MEMBERS ON COLUMNS FROM [Medical Measures] MEASURE COUNT(*)",
+        )
+        .unwrap();
+        assert_eq!(tokens[0], Token::Word("SELECT".into()));
+        assert_eq!(tokens[1], Token::Bracketed("Gender".into()));
+        assert_eq!(tokens[2], Token::Dot);
+        assert_eq!(tokens[3], Token::Word("MEMBERS".into()));
+        assert!(tokens.contains(&Token::Bracketed("Medical Measures".into())));
+        assert!(tokens.contains(&Token::Star));
+    }
+
+    #[test]
+    fn bracketed_names_keep_case_and_punctuation() {
+        let tokens = tokenize("{[Age_SubGroup].[70-75]}").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LBrace,
+                Token::Bracketed("Age_SubGroup".into()),
+                Token::Dot,
+                Token::Bracketed("70-75".into()),
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        let tokens = tokenize("WHERE [X] = 'yes' BETWEEN 2.5 AND -3").unwrap();
+        assert!(tokens.contains(&Token::Str("yes".into())));
+        assert!(tokens.contains(&Token::Number(2.5)));
+        assert!(tokens.contains(&Token::Number(-3.0)));
+    }
+
+    #[test]
+    fn keywords_are_upper_cased() {
+        let tokens = tokenize("select From where").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("FROM".into()),
+                Token::Word("WHERE".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_fail() {
+        assert!(tokenize("[Gender").is_err());
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("SELECT ;").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The MDX-like query language.
+//!
+//! §IV "Reporting": *"Multidimensional expressions (MDX), the query
+//! language for OLAP, can also be used for reporting."* This module
+//! implements a pragmatic MDX dialect covering the queries the paper's
+//! trial runs (Figs. 4–6):
+//!
+//! ```text
+//! SELECT [Gender].MEMBERS ON COLUMNS,
+//!        [Age_SubGroup].MEMBERS ON ROWS
+//! FROM [Medical Measures]
+//! WHERE [DiabetesStatus] = 'yes'
+//! MEASURE COUNT(*)
+//! ```
+//!
+//! Axis sets are `.MEMBERS` (every observed member), explicit member
+//! lists `{[Age_Band].[60-80], [Age_Band].[>80]}`, or a hierarchy
+//! drill `[Age_Band].[60-80].CHILDREN` (the next finer level under the
+//! named member); each axis accepts a `NON EMPTY` prefix that drops
+//! all-empty headers. The `WHERE` clause takes attribute equalities
+//! and measure `BETWEEN` ranges; the `MEASURE` clause takes
+//! `COUNT(*)`, `COUNT(DISTINCT [col])` or `AGG([measure])` with
+//! `AGG ∈ {COUNT, SUM, AVG, MIN, MAX}`.
+
+mod exec;
+mod lexer;
+mod parser;
+
+pub use exec::execute_mdx;
+pub use parser::{parse_mdx, AxisSet, Condition, MdxQuery, MeasureClause};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use discri::{generate, CohortConfig};
+    use etl::TransformPipeline;
+    use std::sync::OnceLock;
+    use warehouse::{LoadPlan, Warehouse};
+
+    fn wh() -> &'static Warehouse {
+        static WH: OnceLock<Warehouse> = OnceLock::new();
+        WH.get_or_init(|| {
+            let cohort = generate(&CohortConfig::small(41));
+            let (table, _) = TransformPipeline::discri_default()
+                .run(&cohort.attendances)
+                .unwrap();
+            Warehouse::load(&LoadPlan::discri_default(), &table).unwrap()
+        })
+    }
+
+    #[test]
+    fn fig5_query_end_to_end() {
+        let pivot = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] \
+             WHERE [DiabetesStatus] = 'yes' \
+             MEASURE COUNT(*)",
+        )
+        .unwrap();
+        assert_eq!(pivot.col_headers.len(), 2);
+        assert!(pivot.row_totals().iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn explicit_member_sets_dice() {
+        let pivot = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, \
+             {[Age_SubGroup].[70-75], [Age_SubGroup].[75-80]} ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(*)",
+        )
+        .unwrap();
+        assert!(pivot.row_headers.len() <= 2);
+        for h in &pivot.row_headers {
+            let s = h.to_string();
+            assert!(s == "70-75" || s == "75-80", "unexpected row {s}");
+        }
+    }
+
+    #[test]
+    fn avg_measure_and_between_filter() {
+        let pivot = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [DiabetesStatus].MEMBERS ON ROWS \
+             FROM [Medical Measures] \
+             WHERE [BMI] BETWEEN 20 AND 60 \
+             MEASURE AVG([FBG])",
+        )
+        .unwrap();
+        let yes_f = pivot.get(&"yes".into(), &"F".into());
+        assert!(yes_f.is_some());
+    }
+
+    #[test]
+    fn distinct_count_measure() {
+        let attendances = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [DiabetesStatus].MEMBERS ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(*)",
+        )
+        .unwrap();
+        let patients = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [DiabetesStatus].MEMBERS ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(DISTINCT [PatientId])",
+        )
+        .unwrap();
+        for r in &attendances.row_headers {
+            for c in &attendances.col_headers {
+                if let (Some(a), Some(p)) = (attendances.get(r, c), patients.get(r, c)) {
+                    assert!(p <= a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_axis_drills_the_hierarchy() {
+        // Fig. 5's drill-down as one expression: the five-year
+        // children of the 60-80 age group.
+        let pivot = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, \
+             [Age_Band].[60-80].CHILDREN ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(*)",
+        )
+        .unwrap();
+        // Only five-year bands inside 60-80 appear.
+        for h in &pivot.row_headers {
+            let s = h.to_string();
+            assert!(
+                ["60-65", "65-70", "70-75", "75-80"].contains(&s.as_str()),
+                "unexpected child row {s}"
+            );
+        }
+        assert!(!pivot.row_headers.is_empty());
+        // And the totals match a manual filter + fine query.
+        let manual = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [Age_Band] = '60-80' MEASURE COUNT(*)",
+        )
+        .unwrap();
+        let children_total: f64 = pivot.row_totals().iter().sum();
+        let manual_total: f64 = manual.row_totals().iter().sum();
+        assert!((children_total - manual_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn children_without_hierarchy_errors() {
+        let err = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Gender].[F].CHILDREN ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(*)",
+        )
+        .expect_err("Gender has no hierarchy");
+        assert!(err.to_string().contains("finer"));
+    }
+
+    #[test]
+    fn non_empty_drops_hollow_headers() {
+        // Restrict to one age band member; the other rows vanish with
+        // NON EMPTY, so all remaining rows have at least one value.
+        let pivot = execute_mdx(
+            wh(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, \
+             NON EMPTY {[Age_Band].[60-80]} ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' MEASURE COUNT(*)",
+        )
+        .unwrap();
+        for (r, row) in pivot.cells.iter().enumerate() {
+            assert!(
+                row.iter().any(Option::is_some),
+                "row {r} is empty despite NON EMPTY"
+            );
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        for bad in [
+            "SELECT FROM",
+            "SELECT [A].MEMBERS ON COLUMNS FROM [X]",
+            "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS",
+            "SELEKT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [X]",
+        ] {
+            assert!(parse_mdx(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_fails_at_execution() {
+        let err = execute_mdx(
+            wh(),
+            "SELECT [NoSuchAttr].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(*)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("NoSuchAttr"));
+    }
+}

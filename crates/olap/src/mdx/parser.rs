@@ -1,0 +1,427 @@
+//! MDX parser: tokens → [`MdxQuery`].
+
+use super::lexer::{tokenize, Token};
+use crate::aggregate::Aggregate;
+use clinical_types::{Error, Result};
+
+/// An axis specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisSet {
+    /// `[Attr].MEMBERS` — every observed member of the attribute.
+    Members(String),
+    /// `{[Attr].[v], …}` — an explicit member list (a dice).
+    Explicit(String, Vec<String>),
+    /// `[Attr].[member].CHILDREN` — the next finer hierarchy level,
+    /// restricted to facts under the named member (Fig. 5's
+    /// "drill into the 60–80 group" as a single axis expression).
+    Children {
+        /// The coarse attribute.
+        parent: String,
+        /// The member whose children are requested.
+        member: String,
+    },
+}
+
+/// One axis with its placement modifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// The member set.
+    pub set: AxisSet,
+    /// `NON EMPTY`: drop headers whose every cell is empty.
+    pub non_empty: bool,
+}
+
+/// One `WHERE` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `[Attr] = 'value'`
+    AttributeEquals(String, String),
+    /// `[Measure] BETWEEN lo AND hi`
+    MeasureBetween(String, f64, f64),
+}
+
+/// The `MEASURE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureClause {
+    /// `COUNT(*)`
+    CountRows,
+    /// `COUNT(DISTINCT [col])`
+    CountDistinct(String),
+    /// `AGG([measure])`
+    Aggregate(Aggregate, String),
+}
+
+/// A parsed MDX query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdxQuery {
+    /// Axis placed `ON COLUMNS`.
+    pub columns: Axis,
+    /// Axis placed `ON ROWS`.
+    pub rows: Axis,
+    /// Cube name from the `FROM` clause.
+    pub cube: String,
+    /// `WHERE` conditions (conjunctive).
+    pub conditions: Vec<Condition>,
+    /// The measure; defaults to `COUNT(*)` when the clause is omitted.
+    pub measure: MeasureClause,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::invalid("unexpected end of MDX query"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        match self.next()? {
+            Token::Word(w) if w == word => Ok(()),
+            other => Err(Error::invalid(format!("expected `{word}`, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, token: Token) -> Result<()> {
+        let found = self.next()?;
+        if found == token {
+            Ok(())
+        } else {
+            Err(Error::invalid(format!(
+                "expected {token:?}, found {found:?}"
+            )))
+        }
+    }
+
+    fn bracketed(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Bracketed(name) => Ok(name),
+            other => Err(Error::invalid(format!(
+                "expected [bracketed name], found {other:?}"
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next()? {
+            Token::Number(n) => Ok(n),
+            other => Err(Error::invalid(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    /// axis := [NON EMPTY] axis_set
+    fn axis(&mut self) -> Result<Axis> {
+        let mut non_empty = false;
+        if matches!(self.peek(), Some(Token::Word(w)) if w == "NON") {
+            self.next()?;
+            self.expect_word("EMPTY")?;
+            non_empty = true;
+        }
+        Ok(Axis {
+            set: self.axis_set()?,
+            non_empty,
+        })
+    }
+
+    /// axis_set := [Attr].MEMBERS
+    ///           | [Attr].[member].CHILDREN
+    ///           | '{' [Attr].[v] (',' [Attr].[v])* '}'
+    fn axis_set(&mut self) -> Result<AxisSet> {
+        if self.peek() == Some(&Token::LBrace) {
+            self.expect(Token::LBrace)?;
+            let mut attribute: Option<String> = None;
+            let mut members = Vec::new();
+            loop {
+                let attr = self.bracketed()?;
+                self.expect(Token::Dot)?;
+                let member = self.bracketed()?;
+                match &attribute {
+                    None => attribute = Some(attr),
+                    Some(a) if *a == attr => {}
+                    Some(a) => {
+                        return Err(Error::invalid(format!(
+                            "axis set mixes attributes `{a}` and `{attr}`"
+                        )))
+                    }
+                }
+                members.push(member);
+                match self.next()? {
+                    Token::Comma => continue,
+                    Token::RBrace => break,
+                    other => {
+                        return Err(Error::invalid(format!(
+                            "expected `,` or `}}` in member set, found {other:?}"
+                        )))
+                    }
+                }
+            }
+            let attribute =
+                attribute.ok_or_else(|| Error::invalid("empty member set"))?;
+            Ok(AxisSet::Explicit(attribute, members))
+        } else {
+            let attr = self.bracketed()?;
+            self.expect(Token::Dot)?;
+            match self.next()? {
+                Token::Word(w) if w == "MEMBERS" => Ok(AxisSet::Members(attr)),
+                Token::Bracketed(member) => {
+                    self.expect(Token::Dot)?;
+                    self.expect_word("CHILDREN")?;
+                    Ok(AxisSet::Children {
+                        parent: attr,
+                        member,
+                    })
+                }
+                other => Err(Error::invalid(format!(
+                    "expected MEMBERS or [member].CHILDREN, found {other:?}"
+                ))),
+            }
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let name = self.bracketed()?;
+        match self.next()? {
+            Token::Equals => match self.next()? {
+                Token::Str(s) => Ok(Condition::AttributeEquals(name, s)),
+                other => Err(Error::invalid(format!(
+                    "expected 'string' after `=`, found {other:?}"
+                ))),
+            },
+            Token::Word(w) if w == "BETWEEN" => {
+                let lo = self.number()?;
+                self.expect_word("AND")?;
+                let hi = self.number()?;
+                Ok(Condition::MeasureBetween(name, lo, hi))
+            }
+            other => Err(Error::invalid(format!(
+                "expected `=` or `BETWEEN` in condition, found {other:?}"
+            ))),
+        }
+    }
+
+    fn measure_clause(&mut self) -> Result<MeasureClause> {
+        let agg_word = match self.next()? {
+            Token::Word(w) => w,
+            other => Err(Error::invalid(format!(
+                "expected aggregate keyword, found {other:?}"
+            )))?,
+        };
+        let agg = Aggregate::parse(&agg_word)
+            .ok_or_else(|| Error::invalid(format!("unknown aggregate `{agg_word}`")))?;
+        self.expect(Token::LParen)?;
+        let clause = match self.peek() {
+            Some(Token::Star) => {
+                self.next()?;
+                if agg != Aggregate::Count {
+                    return Err(Error::invalid(format!("{agg_word}(*) is not supported")));
+                }
+                MeasureClause::CountRows
+            }
+            Some(Token::Word(w)) if w == "DISTINCT" => {
+                self.next()?;
+                let col = self.bracketed()?;
+                if agg != Aggregate::Count {
+                    return Err(Error::invalid("DISTINCT requires COUNT"));
+                }
+                MeasureClause::CountDistinct(col)
+            }
+            _ => {
+                let measure = self.bracketed()?;
+                MeasureClause::Aggregate(agg, measure)
+            }
+        };
+        self.expect(Token::RParen)?;
+        Ok(clause)
+    }
+}
+
+/// Parse an MDX query string.
+pub fn parse_mdx(input: &str) -> Result<MdxQuery> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    p.expect_word("SELECT")?;
+    let first = p.axis()?;
+    p.expect_word("ON")?;
+    let first_target = match p.next()? {
+        Token::Word(w) if w == "COLUMNS" || w == "ROWS" => w,
+        other => {
+            return Err(Error::invalid(format!(
+                "expected COLUMNS or ROWS, found {other:?}"
+            )))
+        }
+    };
+    p.expect(Token::Comma)?;
+    let second = p.axis()?;
+    p.expect_word("ON")?;
+    let second_target = match p.next()? {
+        Token::Word(w) if w == "COLUMNS" || w == "ROWS" => w,
+        other => {
+            return Err(Error::invalid(format!(
+                "expected COLUMNS or ROWS, found {other:?}"
+            )))
+        }
+    };
+    if first_target == second_target {
+        return Err(Error::invalid("both axes target the same placement"));
+    }
+    let (columns, rows) = if first_target == "COLUMNS" {
+        (first, second)
+    } else {
+        (second, first)
+    };
+
+    p.expect_word("FROM")?;
+    let cube = p.bracketed()?;
+
+    let mut conditions = Vec::new();
+    let mut measure = MeasureClause::CountRows;
+    while let Some(token) = p.peek().cloned() {
+        match token {
+            Token::Word(w) if w == "WHERE" => {
+                p.next()?;
+                conditions.push(p.condition()?);
+                while matches!(p.peek(), Some(Token::Word(w)) if w == "AND") {
+                    p.next()?;
+                    conditions.push(p.condition()?);
+                }
+            }
+            Token::Word(w) if w == "MEASURE" => {
+                p.next()?;
+                measure = p.measure_clause()?;
+            }
+            other => {
+                return Err(Error::invalid(format!(
+                    "unexpected trailing token {other:?}"
+                )))
+            }
+        }
+    }
+
+    Ok(MdxQuery {
+        columns,
+        rows,
+        cube,
+        conditions,
+        measure,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_fig5_query() {
+        let q = parse_mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' MEASURE COUNT(*)",
+        )
+        .unwrap();
+        assert_eq!(q.columns.set, AxisSet::Members("Gender".into()));
+        assert!(!q.columns.non_empty);
+        assert_eq!(q.rows.set, AxisSet::Members("Age_SubGroup".into()));
+        assert_eq!(q.cube, "Medical Measures");
+        assert_eq!(
+            q.conditions,
+            vec![Condition::AttributeEquals("DiabetesStatus".into(), "yes".into())]
+        );
+        assert_eq!(q.measure, MeasureClause::CountRows);
+    }
+
+    #[test]
+    fn axes_may_come_in_either_order() {
+        let q = parse_mdx(
+            "SELECT [A].MEMBERS ON ROWS, [B].MEMBERS ON COLUMNS FROM [C]",
+        )
+        .unwrap();
+        assert_eq!(q.rows.set, AxisSet::Members("A".into()));
+        assert_eq!(q.columns.set, AxisSet::Members("B".into()));
+    }
+
+    #[test]
+    fn explicit_member_sets() {
+        let q = parse_mdx(
+            "SELECT {[Age].[70-75], [Age].[75-80]} ON ROWS, [G].MEMBERS ON COLUMNS FROM [C]",
+        )
+        .unwrap();
+        assert_eq!(
+            q.rows.set,
+            AxisSet::Explicit("Age".into(), vec!["70-75".into(), "75-80".into()])
+        );
+    }
+
+    #[test]
+    fn mixed_attribute_member_set_rejected() {
+        assert!(parse_mdx(
+            "SELECT {[A].[x], [B].[y]} ON ROWS, [G].MEMBERS ON COLUMNS FROM [C]"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn where_with_and_and_between() {
+        let q = parse_mdx(
+            "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] \
+             WHERE [X] = 'yes' AND [FBG] BETWEEN 5.5 AND 7 MEASURE AVG([BMI])",
+        )
+        .unwrap();
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(
+            q.conditions[1],
+            Condition::MeasureBetween("FBG".into(), 5.5, 7.0)
+        );
+        assert_eq!(
+            q.measure,
+            MeasureClause::Aggregate(Aggregate::Avg, "BMI".into())
+        );
+    }
+
+    #[test]
+    fn count_distinct_clause() {
+        let q = parse_mdx(
+            "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] \
+             MEASURE COUNT(DISTINCT [PatientId])",
+        )
+        .unwrap();
+        assert_eq!(q.measure, MeasureClause::CountDistinct("PatientId".into()));
+    }
+
+    #[test]
+    fn default_measure_is_count_rows() {
+        let q = parse_mdx("SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C]").unwrap();
+        assert_eq!(q.measure, MeasureClause::CountRows);
+    }
+
+    #[test]
+    fn rejects_same_axis_twice_and_bad_aggregates() {
+        assert!(parse_mdx("SELECT [A].MEMBERS ON ROWS, [B].MEMBERS ON ROWS FROM [C]").is_err());
+        assert!(parse_mdx(
+            "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] MEASURE SUM(*)"
+        )
+        .is_err());
+        assert!(parse_mdx(
+            "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] MEASURE MEDIAN([X])"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(
+            parse_mdx("SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] EXTRA").is_err()
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Two-axis pivot views of a cube.
+//!
+//! Fig. 4's query area renders a two-axis table (e.g. family history
+//! of diabetes by age group and gender); [`PivotTable`] is that
+//! artefact: ordered row and column headers plus a dense cell matrix.
+
+use crate::cube::Cube;
+use clinical_types::{Result, Value};
+
+/// A dense two-axis view of a cube (one axis may be synthetic "all").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotTable {
+    /// Name of the row axis.
+    pub row_axis: String,
+    /// Name of the column axis (empty string for a one-axis pivot).
+    pub col_axis: String,
+    /// Row header values, sorted.
+    pub row_headers: Vec<Value>,
+    /// Column header values, sorted (singleton `"all"` for one-axis).
+    pub col_headers: Vec<Value>,
+    /// `cells[r][c]` — `None` when the coordinate has no data.
+    pub cells: Vec<Vec<Option<f64>>>,
+}
+
+impl PivotTable {
+    /// Pivot a two-axis cube into a table (`row_axis` × `col_axis`).
+    pub fn from_cube(cube: &Cube, row_axis: &str, col_axis: &str) -> Result<PivotTable> {
+        let ri = cube.axis_index(row_axis)?;
+        let ci = cube.axis_index(col_axis)?;
+        let row_headers = cube.axis_values(row_axis)?;
+        let col_headers = cube.axis_values(col_axis)?;
+        let mut cells = vec![vec![None; col_headers.len()]; row_headers.len()];
+        for (coords, value) in cube.iter() {
+            let r = row_headers
+                .iter()
+                .position(|v| *v == coords[ri])
+                .expect("row header exists");
+            let c = col_headers
+                .iter()
+                .position(|v| *v == coords[ci])
+                .expect("col header exists");
+            cells[r][c] = Some(value);
+        }
+        Ok(PivotTable {
+            row_axis: row_axis.to_string(),
+            col_axis: col_axis.to_string(),
+            row_headers,
+            col_headers,
+            cells,
+        })
+    }
+
+    /// One-axis pivot: rows from `axis`, a single "all" column.
+    pub fn from_cube_1d(cube: &Cube, axis: &str) -> Result<PivotTable> {
+        let ri = cube.axis_index(axis)?;
+        let row_headers = cube.axis_values(axis)?;
+        let mut cells = vec![vec![None]; row_headers.len()];
+        for (coords, value) in cube.iter() {
+            let r = row_headers
+                .iter()
+                .position(|v| *v == coords[ri])
+                .expect("row header exists");
+            cells[r][0] = Some(value);
+        }
+        Ok(PivotTable {
+            row_axis: axis.to_string(),
+            col_axis: String::new(),
+            row_headers,
+            col_headers: vec![Value::from("all")],
+            cells,
+        })
+    }
+
+    /// Cell by header values.
+    pub fn get(&self, row: &Value, col: &Value) -> Option<f64> {
+        let r = self.row_headers.iter().position(|v| v == row)?;
+        let c = self.col_headers.iter().position(|v| v == col)?;
+        self.cells[r][c]
+    }
+
+    /// Row sums (missing cells contribute 0, all-missing rows yield 0).
+    pub fn row_totals(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|row| row.iter().flatten().sum())
+            .collect()
+    }
+
+    /// Column sums.
+    pub fn col_totals(&self) -> Vec<f64> {
+        (0..self.col_headers.len())
+            .map(|c| self.cells.iter().filter_map(|row| row[c]).sum())
+            .collect()
+    }
+
+    /// Drop rows whose every cell is empty (MDX `NON EMPTY` on rows).
+    pub fn drop_empty_rows(&self) -> PivotTable {
+        let keep: Vec<usize> = (0..self.row_headers.len())
+            .filter(|&r| self.cells[r].iter().any(Option::is_some))
+            .collect();
+        PivotTable {
+            row_axis: self.row_axis.clone(),
+            col_axis: self.col_axis.clone(),
+            row_headers: keep.iter().map(|&r| self.row_headers[r].clone()).collect(),
+            col_headers: self.col_headers.clone(),
+            cells: keep.iter().map(|&r| self.cells[r].clone()).collect(),
+        }
+    }
+
+    /// Drop columns whose every cell is empty (MDX `NON EMPTY` on
+    /// columns).
+    pub fn drop_empty_columns(&self) -> PivotTable {
+        let keep: Vec<usize> = (0..self.col_headers.len())
+            .filter(|&c| self.cells.iter().any(|row| row[c].is_some()))
+            .collect();
+        PivotTable {
+            row_axis: self.row_axis.clone(),
+            col_axis: self.col_axis.clone(),
+            row_headers: self.row_headers.clone(),
+            col_headers: keep.iter().map(|&c| self.col_headers[c].clone()).collect(),
+            cells: self
+                .cells
+                .iter()
+                .map(|row| keep.iter().map(|&c| row[c]).collect())
+                .collect(),
+        }
+    }
+
+    /// Render as fixed-width text (header row, then one line per row).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::with_capacity(self.col_headers.len() + 1);
+        let row_label_width = self
+            .row_headers
+            .iter()
+            .map(|h| h.to_string().len())
+            .chain([self.row_axis.len()])
+            .max()
+            .unwrap_or(4);
+        widths.push(row_label_width);
+        for (c, h) in self.col_headers.iter().enumerate() {
+            let data_w = self
+                .cells
+                .iter()
+                .filter_map(|row| row[c].map(|v| format!("{v:.1}").len()))
+                .max()
+                .unwrap_or(1);
+            widths.push(data_w.max(h.to_string().len()));
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{:<w$}", self.row_axis, w = widths[0]));
+        for (c, h) in self.col_headers.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", h.to_string(), w = widths[c + 1]));
+        }
+        out.push('\n');
+        for (r, h) in self.row_headers.iter().enumerate() {
+            out.push_str(&format!("{:<w$}", h.to_string(), w = widths[0]));
+            for c in 0..self.col_headers.len() {
+                match self.cells[r][c] {
+                    Some(v) => out.push_str(&format!("  {:>w$.1}", v, w = widths[c + 1])),
+                    None => out.push_str(&format!("  {:>w$}", "-", w = widths[c + 1])),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::CubeSpec;
+    use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+    use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema, Warehouse};
+
+    fn cube() -> Cube {
+        let star = StarSchema::new(
+            FactDef::new("F", vec![], vec![]),
+            vec![DimensionDef::new("D", vec!["A", "B"])],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::nullable("A", DataType::Text),
+            FieldDef::nullable("B", DataType::Text),
+        ])
+        .unwrap();
+        let rows = vec![
+            vec!["x".into(), "p".into()],
+            vec!["x".into(), "p".into()],
+            vec!["x".into(), "q".into()],
+            vec!["y".into(), "q".into()],
+        ];
+        let table = Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap();
+        let wh = Warehouse::load(&LoadPlan::from_star(star), &table).unwrap();
+        Cube::build(&wh, &CubeSpec::count(vec!["A", "B"])).unwrap()
+    }
+
+    #[test]
+    fn pivot_places_cells_correctly() {
+        let p = PivotTable::from_cube(&cube(), "A", "B").unwrap();
+        assert_eq!(p.get(&"x".into(), &"p".into()), Some(2.0));
+        assert_eq!(p.get(&"x".into(), &"q".into()), Some(1.0));
+        assert_eq!(p.get(&"y".into(), &"p".into()), None);
+        assert_eq!(p.get(&"y".into(), &"q".into()), Some(1.0));
+    }
+
+    #[test]
+    fn totals() {
+        let p = PivotTable::from_cube(&cube(), "A", "B").unwrap();
+        assert_eq!(p.row_totals(), vec![3.0, 1.0]);
+        assert_eq!(p.col_totals(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_by_swapping_axes() {
+        let c = cube();
+        let p = PivotTable::from_cube(&c, "B", "A").unwrap();
+        assert_eq!(p.get(&"p".into(), &"x".into()), Some(2.0));
+        assert_eq!(p.row_headers.len(), 2);
+    }
+
+    #[test]
+    fn one_dimensional_pivot() {
+        let c = cube().roll_up("B").unwrap();
+        let p = PivotTable::from_cube_1d(&c, "A").unwrap();
+        assert_eq!(p.get(&"x".into(), &"all".into()), Some(3.0));
+        assert_eq!(p.get(&"y".into(), &"all".into()), Some(1.0));
+    }
+
+    #[test]
+    fn render_produces_aligned_rows() {
+        let p = PivotTable::from_cube(&cube(), "A", "B").unwrap();
+        let text = p.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 rows
+        assert!(lines[0].contains('p') && lines[0].contains('q'));
+        assert!(lines[1].starts_with('x'));
+        assert!(lines[2].contains('-')); // the empty (y,p) cell
+    }
+
+    #[test]
+    fn drop_empty_rows_and_columns() {
+        let p = PivotTable {
+            row_axis: "R".into(),
+            col_axis: "C".into(),
+            row_headers: vec![Value::from("a"), Value::from("b")],
+            col_headers: vec![Value::from("x"), Value::from("y")],
+            cells: vec![vec![Some(1.0), None], vec![None, None]],
+        };
+        let rows = p.drop_empty_rows();
+        assert_eq!(rows.row_headers, vec![Value::from("a")]);
+        assert_eq!(rows.cells.len(), 1);
+        let cols = p.drop_empty_columns();
+        assert_eq!(cols.col_headers, vec![Value::from("x")]);
+        assert_eq!(cols.cells[0], vec![Some(1.0)]);
+        // Chaining both yields the dense core.
+        let dense = p.drop_empty_rows().drop_empty_columns();
+        assert_eq!(dense.cells, vec![vec![Some(1.0)]]);
+    }
+
+    #[test]
+    fn unknown_axis_is_an_error() {
+        assert!(PivotTable::from_cube(&cube(), "A", "Z").is_err());
+        assert!(PivotTable::from_cube_1d(&cube(), "Z").is_err());
+    }
+}

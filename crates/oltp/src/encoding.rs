@@ -1,0 +1,183 @@
+//! Binary row encoding.
+//!
+//! Rows are stored as compact byte strings: one tag byte per value
+//! followed by a fixed- or length-prefixed payload. The codec is
+//! self-describing (the tag carries the type), so decoding does not
+//! need the schema — which keeps tombstoned/legacy rows readable after
+//! schema evolution.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use clinical_types::{Date, Error, Record, Result, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+const TAG_DATE: u8 = 6;
+
+/// Encode a record into its binary representation.
+pub fn encode_row(record: &Record) -> Bytes {
+    let mut buf = BytesMut::with_capacity(record.len() * 9);
+    buf.put_u16_le(record.len() as u16);
+    for v in record.values() {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_f64_le(*f);
+            }
+            Value::Text(s) => {
+                buf.put_u8(TAG_TEXT);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+            Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+            Value::Date(d) => {
+                buf.put_u8(TAG_DATE);
+                buf.put_i64_le(d.days_since_epoch());
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a binary row back into a record.
+pub fn decode_row(bytes: &Bytes) -> Result<Record> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < 2 {
+        return Err(Error::invalid("row too short for header"));
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        if buf.remaining() < 1 {
+            return Err(Error::invalid(format!("row truncated at value {i}")));
+        }
+        let tag = buf.get_u8();
+        let value = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                ensure(&buf, 8, i)?;
+                Value::Int(buf.get_i64_le())
+            }
+            TAG_FLOAT => {
+                ensure(&buf, 8, i)?;
+                Value::Float(buf.get_f64_le())
+            }
+            TAG_TEXT => {
+                ensure(&buf, 4, i)?;
+                let len = buf.get_u32_le() as usize;
+                ensure(&buf, len, i)?;
+                let raw = buf.copy_to_bytes(len);
+                let s = std::str::from_utf8(&raw)
+                    .map_err(|_| Error::invalid(format!("invalid UTF-8 in value {i}")))?;
+                Value::Text(s.to_string())
+            }
+            TAG_BOOL_FALSE => Value::Bool(false),
+            TAG_BOOL_TRUE => Value::Bool(true),
+            TAG_DATE => {
+                ensure(&buf, 8, i)?;
+                Value::Date(Date::from_days_since_epoch(buf.get_i64_le()))
+            }
+            other => return Err(Error::invalid(format!("unknown value tag {other}"))),
+        };
+        values.push(value);
+    }
+    if buf.has_remaining() {
+        return Err(Error::invalid("trailing bytes after row payload"));
+    }
+    Ok(Record::new(values))
+}
+
+fn ensure(buf: &Bytes, need: usize, value_idx: usize) -> Result<()> {
+    if buf.remaining() < need {
+        Err(Error::invalid(format!("row truncated in value {value_idx}")))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_record() -> Record {
+        Record::new(vec![
+            Value::Int(42),
+            Value::Null,
+            Value::Float(5.5),
+            Value::Text("preDiabetic".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Date(Date::new(2013, 4, 9).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let rec = sample_record();
+        let decoded = decode_row(&encode_row(&rec)).unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn empty_record_round_trips() {
+        let rec = Record::new(vec![]);
+        assert_eq!(decode_row(&encode_row(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_rows_are_rejected() {
+        let bytes = encode_row(&sample_record());
+        for cut in [0, 1, 3, bytes.len() - 1] {
+            let partial = bytes.slice(0..cut);
+            assert!(decode_row(&partial).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut raw = encode_row(&sample_record()).to_vec();
+        raw.push(0xFF);
+        assert!(decode_row(&Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        // Header says 1 value, then a bogus tag.
+        let raw = Bytes::from(vec![1u8, 0u8, 99u8]);
+        assert!(decode_row(&raw).is_err());
+    }
+
+    #[test]
+    fn unicode_text_round_trips() {
+        let rec = Record::new(vec![Value::Text("µmol/L — naïve".into())]);
+        assert_eq!(decode_row(&encode_row(&rec)).unwrap(), rec);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_rows_round_trip(
+            ints in proptest::collection::vec(any::<i64>(), 0..5),
+            floats in proptest::collection::vec(any::<f64>().prop_filter("no NaN", |f| !f.is_nan()), 0..5),
+            texts in proptest::collection::vec(".*", 0..4),
+        ) {
+            let mut values: Vec<Value> = Vec::new();
+            values.extend(ints.into_iter().map(Value::Int));
+            values.extend(floats.into_iter().map(Value::Float));
+            values.extend(texts.into_iter().map(Value::Text));
+            values.push(Value::Null);
+            let rec = Record::new(values);
+            let decoded = decode_row(&encode_row(&rec)).unwrap();
+            prop_assert_eq!(decoded, rec);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Secondary indexes over a [`crate::RowStore`].
+//!
+//! Two flavours, matching the two access patterns of the Reporting
+//! component: [`HashIndex`] for point lookups (patient by id) and
+//! [`BTreeIndex`] for ordered range scans (visits by date, FBG bands).
+//! Indexes are value → row-id multimaps and are maintained by the
+//! caller on every mutation; [`crate::QueryEngine`] consults them to
+//! avoid full scans.
+
+use crate::store::RowId;
+use clinical_types::Value;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Point-lookup index: value → set of row ids.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: Arc<RwLock<HashMap<Value, Vec<RowId>>>>,
+}
+
+impl HashIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `id` under `key`.
+    pub fn insert(&self, key: Value, id: RowId) {
+        self.map.write().entry(key).or_default().push(id);
+    }
+
+    /// Remove the registration of `id` under `key`.
+    pub fn remove(&self, key: &Value, id: RowId) {
+        let mut map = self.map.write();
+        if let Some(ids) = map.get_mut(key) {
+            ids.retain(|x| *x != id);
+            if ids.is_empty() {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Row ids registered under `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        self.map.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.read().len()
+    }
+}
+
+/// Ordered index: value → set of row ids, supporting range scans
+/// under the total [`Value`] order.
+#[derive(Debug, Clone, Default)]
+pub struct BTreeIndex {
+    map: Arc<RwLock<BTreeMap<Value, Vec<RowId>>>>,
+}
+
+impl BTreeIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `id` under `key`.
+    pub fn insert(&self, key: Value, id: RowId) {
+        self.map.write().entry(key).or_default().push(id);
+    }
+
+    /// Remove the registration of `id` under `key`.
+    pub fn remove(&self, key: &Value, id: RowId) {
+        let mut map = self.map.write();
+        if let Some(ids) = map.get_mut(key) {
+            ids.retain(|x| *x != id);
+            if ids.is_empty() {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Row ids registered under exactly `key`.
+    pub fn lookup(&self, key: &Value) -> Vec<RowId> {
+        self.map.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Row ids with keys in `[lo, hi)`; `None` bounds are open ends.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<RowId> {
+        let map = self.map.read();
+        let lower = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let upper = hi.map_or(Bound::Unbounded, |v| Bound::Excluded(v.clone()));
+        map.range((lower, upper))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect()
+    }
+
+    /// Smallest and largest keys currently present.
+    pub fn key_bounds(&self) -> Option<(Value, Value)> {
+        let map = self.map.read();
+        let first = map.keys().next()?.clone();
+        let last = map.keys().next_back()?.clone();
+        Some((first, last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_multimap_semantics() {
+        let idx = HashIndex::new();
+        idx.insert(Value::Text("F".into()), 1);
+        idx.insert(Value::Text("F".into()), 2);
+        idx.insert(Value::Text("M".into()), 3);
+        assert_eq!(idx.lookup(&Value::Text("F".into())), vec![1, 2]);
+        assert_eq!(idx.distinct_keys(), 2);
+        idx.remove(&Value::Text("F".into()), 1);
+        assert_eq!(idx.lookup(&Value::Text("F".into())), vec![2]);
+        idx.remove(&Value::Text("F".into()), 2);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn hash_index_missing_key_is_empty() {
+        let idx = HashIndex::new();
+        assert!(idx.lookup(&Value::Int(9)).is_empty());
+        idx.remove(&Value::Int(9), 1); // no-op, must not panic
+    }
+
+    #[test]
+    fn btree_range_half_open() {
+        let idx = BTreeIndex::new();
+        for i in 0..10i64 {
+            idx.insert(Value::Int(i), i as RowId);
+        }
+        let ids = idx.range(Some(&Value::Int(3)), Some(&Value::Int(7)));
+        assert_eq!(ids, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn btree_open_bounds() {
+        let idx = BTreeIndex::new();
+        for i in 0..5i64 {
+            idx.insert(Value::Int(i), i as RowId);
+        }
+        assert_eq!(idx.range(None, None).len(), 5);
+        assert_eq!(idx.range(Some(&Value::Int(3)), None), vec![3, 4]);
+        assert_eq!(idx.range(None, Some(&Value::Int(2))), vec![0, 1]);
+    }
+
+    #[test]
+    fn btree_mixed_numeric_keys_order_numerically() {
+        let idx = BTreeIndex::new();
+        idx.insert(Value::Float(1.5), 10);
+        idx.insert(Value::Int(1), 11);
+        idx.insert(Value::Int(2), 12);
+        let ids = idx.range(Some(&Value::Int(1)), Some(&Value::Int(2)));
+        assert_eq!(ids, vec![11, 10]);
+    }
+
+    #[test]
+    fn btree_key_bounds() {
+        let idx = BTreeIndex::new();
+        assert!(idx.key_bounds().is_none());
+        idx.insert(Value::Int(5), 1);
+        idx.insert(Value::Int(1), 2);
+        let (lo, hi) = idx.key_bounds().unwrap();
+        assert_eq!(lo, Value::Int(1));
+        assert_eq!(hi, Value::Int(5));
+    }
+}

@@ -1,0 +1,233 @@
+//! Atomic multi-operation transactions.
+//!
+//! A [`Transaction`] buffers an undo entry for every mutation it
+//! performs against a [`RowStore`]; `rollback` (explicit, or implicit
+//! on drop of an uncommitted transaction) replays the log in reverse.
+//! This gives atomicity for the clinical data-entry workflows the
+//! paper's operational users run (a screening attendance writes a
+//! block of rows — either all land or none do).
+
+use crate::store::{RowId, RowStore};
+use clinical_types::{Record, Result};
+
+enum Undo {
+    /// A row we inserted — undo by deleting it.
+    Insert(RowId),
+    /// A row we updated — undo by restoring the old version.
+    Update(RowId, Record),
+    /// A row we deleted — undo by undeleting the old version.
+    Delete(RowId, Record),
+}
+
+/// State of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Mutations are being collected.
+    Active,
+    /// `commit` was called; the undo log is discarded.
+    Committed,
+    /// `rollback` ran; all mutations were reverted.
+    RolledBack,
+}
+
+/// An undo-logged transaction over one [`RowStore`].
+pub struct Transaction<'a> {
+    store: &'a RowStore,
+    undo: Vec<Undo>,
+    state: TxnState,
+}
+
+impl<'a> Transaction<'a> {
+    /// Begin a transaction against `store`.
+    pub fn begin(store: &'a RowStore) -> Self {
+        Transaction {
+            store,
+            undo: Vec::new(),
+            state: TxnState::Active,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TxnState {
+        self.state
+    }
+
+    /// Insert a row within the transaction.
+    pub fn insert(&mut self, record: Record) -> Result<RowId> {
+        self.assert_active()?;
+        let id = self.store.insert(record)?;
+        self.undo.push(Undo::Insert(id));
+        Ok(id)
+    }
+
+    /// Update a row within the transaction.
+    pub fn update(&mut self, id: RowId, record: Record) -> Result<()> {
+        self.assert_active()?;
+        let old = self.store.update(id, record)?;
+        self.undo.push(Undo::Update(id, old));
+        Ok(())
+    }
+
+    /// Delete a row within the transaction.
+    pub fn delete(&mut self, id: RowId) -> Result<()> {
+        self.assert_active()?;
+        let old = self.store.delete(id)?;
+        self.undo.push(Undo::Delete(id, old));
+        Ok(())
+    }
+
+    /// Number of buffered mutations.
+    pub fn pending_ops(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Make all mutations permanent.
+    pub fn commit(mut self) -> Result<()> {
+        self.assert_active()?;
+        self.undo.clear();
+        self.state = TxnState::Committed;
+        Ok(())
+    }
+
+    /// Revert all mutations, newest first.
+    pub fn rollback(mut self) -> Result<()> {
+        self.rollback_in_place()
+    }
+
+    fn rollback_in_place(&mut self) -> Result<()> {
+        self.assert_active()?;
+        while let Some(entry) = self.undo.pop() {
+            match entry {
+                Undo::Insert(id) => {
+                    self.store.delete(id)?;
+                }
+                Undo::Update(id, old) => {
+                    self.store.update(id, old)?;
+                }
+                Undo::Delete(id, old) => {
+                    self.store.undelete(id, old)?;
+                }
+            }
+        }
+        self.state = TxnState::RolledBack;
+        Ok(())
+    }
+
+    fn assert_active(&self) -> Result<()> {
+        if self.state == TxnState::Active {
+            Ok(())
+        } else {
+            Err(clinical_types::Error::invalid(format!(
+                "transaction is {:?}, not active",
+                self.state
+            )))
+        }
+    }
+}
+
+impl Drop for Transaction<'_> {
+    /// An uncommitted transaction rolls back on drop. Rollback errors
+    /// here are unrecoverable logic errors (the undo log references
+    /// rows we mutated ourselves), so they abort loudly in debug and
+    /// are ignored in release rather than panicking across unwind.
+    fn drop(&mut self) {
+        if self.state == TxnState::Active {
+            let result = self.rollback_in_place();
+            debug_assert!(result.is_ok(), "rollback-on-drop failed: {result:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{DataType, FieldDef, Schema, Value};
+
+    fn store() -> RowStore {
+        RowStore::new(
+            Schema::new(vec![
+                FieldDef::required("Id", DataType::Int),
+                FieldDef::nullable("X", DataType::Float),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn rec(id: i64, x: f64) -> Record {
+        Record::new(vec![Value::Int(id), Value::Float(x)])
+    }
+
+    #[test]
+    fn commit_makes_changes_visible() {
+        let s = store();
+        let mut txn = Transaction::begin(&s);
+        let a = txn.insert(rec(1, 1.0)).unwrap();
+        txn.insert(rec(2, 2.0)).unwrap();
+        txn.update(a, rec(1, 9.0)).unwrap();
+        assert_eq!(txn.pending_ops(), 3);
+        txn.commit().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a).unwrap().unwrap(), rec(1, 9.0));
+    }
+
+    #[test]
+    fn rollback_reverts_everything_in_reverse_order() {
+        let s = store();
+        let keep = s.insert(rec(0, 0.5)).unwrap();
+        let mut txn = Transaction::begin(&s);
+        let a = txn.insert(rec(1, 1.0)).unwrap();
+        txn.update(keep, rec(0, 7.7)).unwrap();
+        txn.update(a, rec(1, 2.0)).unwrap();
+        txn.delete(keep).unwrap();
+        txn.rollback().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(keep).unwrap().unwrap(), rec(0, 0.5));
+        assert_eq!(s.get(a).unwrap(), None);
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let s = store();
+        {
+            let mut txn = Transaction::begin(&s);
+            txn.insert(rec(1, 1.0)).unwrap();
+        }
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn committed_transaction_rejects_further_ops() {
+        let s = store();
+        let mut txn = Transaction::begin(&s);
+        txn.insert(rec(1, 1.0)).unwrap();
+        // Move out with commit; must build a new txn for more work.
+        txn.commit().unwrap();
+        let mut txn2 = Transaction::begin(&s);
+        assert!(txn2.insert(rec(2, 2.0)).is_ok());
+        txn2.commit().unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn failed_operation_leaves_log_consistent() {
+        let s = store();
+        let mut txn = Transaction::begin(&s);
+        txn.insert(rec(1, 1.0)).unwrap();
+        // Updating a non-existent row fails but must not corrupt undo.
+        assert!(txn.update(999, rec(9, 9.0)).is_err());
+        txn.rollback().unwrap();
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn delete_then_rollback_restores_row_at_same_id() {
+        let s = store();
+        let id = s.insert(rec(4, 4.0)).unwrap();
+        {
+            let mut txn = Transaction::begin(&s);
+            txn.delete(id).unwrap();
+            assert_eq!(s.get(id).unwrap(), None);
+        }
+        assert_eq!(s.get(id).unwrap().unwrap(), rec(4, 4.0));
+    }
+}

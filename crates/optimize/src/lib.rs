@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Decision Optimisation — §IV of the paper:
+//!
+//! *"Decision optimization is partially the validation of the outcomes
+//! obtained from prediction and reporting features. Given the
+//! dimensions in a warehouse are independent to each other, outcomes
+//! can be reviewed by removing existing or adding further dimensions.
+//! Optimal aggregates would be consistent regardless of the changes to
+//! dimensions."*
+//!
+//! * [`robustness`] — exactly that validation: re-rank the top
+//!   aggregate cells of a query while control dimensions are added and
+//!   removed, and score how stable the ranking is.
+//! * [`regimen`] — the strategic-user half (*"optimising treatment
+//!   regimen that have the best individual outcomes … within the
+//!   economic constraints of the current health care system"*):
+//!   exhaustive search over a discrete regimen space against an
+//!   empirical, warehouse-derived risk table with per-regimen costs
+//!   and a budget constraint.
+
+pub mod regimen;
+pub mod robustness;
+
+pub use regimen::{Regimen, RegimenOptimiser, RegimenOutcome};
+pub use robustness::{validate_aggregate, RobustnessReport};

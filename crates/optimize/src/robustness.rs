@@ -1,0 +1,268 @@
+//! Aggregate robustness validation.
+//!
+//! Given a base cube query (axes + measure), the validator perturbs
+//! the dimensional context: for every *control* attribute it (a) adds
+//! the attribute as an extra axis and rolls it back up, and (b)
+//! restricts the query to each of the control attribute's members and
+//! re-ranks. A finding like "cell X has the highest count" is
+//! *robust* when X stays at (or near) the top under all
+//! perturbations — the paper's "optimal aggregates would be
+//! consistent regardless of the changes to dimensions".
+
+use clinical_types::{Error, Result, Value};
+use olap::{Cube, CubeSpec};
+use warehouse::Warehouse;
+
+/// Result of validating one aggregate query.
+#[derive(Debug, Clone)]
+pub struct RobustnessReport {
+    /// The top cell of the base query.
+    pub top_cell: Vec<Value>,
+    /// Its base value.
+    pub top_value: f64,
+    /// Perturbations in which the same cell stayed top.
+    pub consistent: usize,
+    /// Perturbations in which it stayed within the top `tolerance_rank`.
+    pub near_consistent: usize,
+    /// Total perturbations executed.
+    pub total_perturbations: usize,
+    /// Per-perturbation detail: `(description, top cell under it)`.
+    pub details: Vec<(String, Vec<Value>)>,
+}
+
+impl RobustnessReport {
+    /// Fraction of perturbations that kept the cell on top.
+    pub fn consistency(&self) -> f64 {
+        if self.total_perturbations == 0 {
+            1.0
+        } else {
+            self.consistent as f64 / self.total_perturbations as f64
+        }
+    }
+
+    /// Robust at `threshold` (e.g. 0.8)?
+    pub fn is_robust(&self, threshold: f64) -> bool {
+        self.consistency() >= threshold
+    }
+}
+
+/// Ranked cells (descending by value) of a cube.
+fn ranked_cells(cube: &Cube) -> Vec<(Vec<Value>, f64)> {
+    let mut cells: Vec<(Vec<Value>, f64)> = cube.iter().map(|(k, v)| (k.clone(), v)).collect();
+    cells.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    cells
+}
+
+/// Rank of `cell` in a ranking (0-based), if present.
+fn rank_of(ranking: &[(Vec<Value>, f64)], cell: &[Value]) -> Option<usize> {
+    ranking.iter().position(|(k, _)| k == cell)
+}
+
+/// Validate the top aggregate of `base` under perturbation by the
+/// given `control` attributes. `tolerance_rank` counts "still in the
+/// top k" as near-consistent.
+pub fn validate_aggregate(
+    warehouse: &Warehouse,
+    base: &CubeSpec,
+    controls: &[&str],
+    tolerance_rank: usize,
+) -> Result<RobustnessReport> {
+    let base_cube = Cube::build(warehouse, base)?;
+    let ranking = ranked_cells(&base_cube);
+    let (top_cell, top_value) = ranking
+        .first()
+        .cloned()
+        .ok_or_else(|| Error::invalid("base query produced no cells"))?;
+
+    let mut consistent = 0usize;
+    let mut near = 0usize;
+    let mut total = 0usize;
+    let mut details = Vec::new();
+
+    for control in controls {
+        if base.axes.iter().any(|a| a == control) {
+            return Err(Error::invalid(format!(
+                "control attribute `{control}` is already a base axis"
+            )));
+        }
+
+        // Perturbation (a): add the control as an axis, roll it up
+        // again — the aggregate must survive the round trip.
+        let mut spec = base.clone();
+        spec.axes.push((*control).to_string());
+        let expanded = Cube::build(warehouse, &spec)?;
+        let rolled = expanded.roll_up(control)?;
+        let r = ranked_cells(&rolled);
+        record(
+            &mut consistent,
+            &mut near,
+            &mut total,
+            &mut details,
+            format!("add+rollup {control}"),
+            &r,
+            &top_cell,
+            tolerance_rank,
+        );
+
+        // Perturbation (b): restrict to each member of the control.
+        let members = expanded.axis_values(control)?;
+        for member in members {
+            let sliced = expanded.slice(control, &member)?;
+            let r = ranked_cells(&sliced);
+            if r.is_empty() {
+                continue; // empty stratum carries no evidence
+            }
+            record(
+                &mut consistent,
+                &mut near,
+                &mut total,
+                &mut details,
+                format!("{control} = {member}"),
+                &r,
+                &top_cell,
+                tolerance_rank,
+            );
+        }
+    }
+
+    Ok(RobustnessReport {
+        top_cell,
+        top_value,
+        consistent,
+        near_consistent: near,
+        total_perturbations: total,
+        details,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    consistent: &mut usize,
+    near: &mut usize,
+    total: &mut usize,
+    details: &mut Vec<(String, Vec<Value>)>,
+    description: String,
+    ranking: &[(Vec<Value>, f64)],
+    top_cell: &[Value],
+    tolerance_rank: usize,
+) {
+    *total += 1;
+    match rank_of(ranking, top_cell) {
+        Some(0) => {
+            *consistent += 1;
+            *near += 1;
+        }
+        Some(r) if r < tolerance_rank => {
+            *near += 1;
+        }
+        _ => {}
+    }
+    if let Some((cell, _)) = ranking.first() {
+        details.push((description, cell.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+    use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema};
+
+    /// A warehouse where "Band=X" dominates counts in every stratum of
+    /// Control (robust), while "Shaky" flips with Control (fragile).
+    fn wh() -> Warehouse {
+        let star = StarSchema::new(
+            FactDef::new("F", vec![], vec![]),
+            vec![DimensionDef::new("D", vec!["Band", "Shaky", "Control"])],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::nullable("Band", DataType::Text),
+            FieldDef::nullable("Shaky", DataType::Text),
+            FieldDef::nullable("Control", DataType::Text),
+        ])
+        .unwrap();
+        let mut rows: Vec<Record> = Vec::new();
+        let mut push = |band: &str, shaky: &str, control: &str, n: usize| {
+            for _ in 0..n {
+                rows.push(Record::new(vec![band.into(), shaky.into(), control.into()]));
+            }
+        };
+        // X dominates in both strata of Control.
+        push("X", "p", "a", 30);
+        push("X", "q", "b", 25);
+        push("Y", "p", "a", 10);
+        push("Y", "q", "b", 10);
+        // Both Shaky members occur in both strata, but p wins stratum
+        // a (40 vs 5) while q wins stratum b (35 vs 5).
+        push("Y", "q", "a", 5);
+        push("Y", "p", "b", 5);
+        let table = Table::from_rows(schema, rows).unwrap();
+        Warehouse::load(&LoadPlan::from_star(star), &table).unwrap()
+    }
+
+    #[test]
+    fn robust_aggregate_survives_perturbation() {
+        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Control"], 2)
+            .unwrap();
+        assert_eq!(report.top_cell, vec![Value::from("X")]);
+        assert_eq!(report.top_value, 55.0);
+        assert_eq!(report.total_perturbations, 3); // rollup + 2 strata
+        assert_eq!(report.consistent, 3);
+        assert!(report.is_robust(0.99));
+    }
+
+    #[test]
+    fn fragile_aggregate_is_flagged() {
+        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Shaky"]), &["Control"], 1)
+            .unwrap();
+        // Base: p has 40, q has 35 → top is p; but stratum b flips to q.
+        assert_eq!(report.top_cell, vec![Value::from("p")]);
+        assert!(report.consistent < report.total_perturbations);
+        assert!(!report.is_robust(0.99));
+    }
+
+    #[test]
+    fn near_consistency_counts_top_k() {
+        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Shaky"]), &["Control"], 2)
+            .unwrap();
+        // p is either top or second everywhere (only two members).
+        assert_eq!(report.near_consistent, report.total_perturbations);
+    }
+
+    #[test]
+    fn control_equal_to_axis_rejected() {
+        assert!(
+            validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Band"], 1).is_err()
+        );
+    }
+
+    #[test]
+    fn details_describe_each_perturbation() {
+        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Control"], 1)
+            .unwrap();
+        assert_eq!(report.details.len(), 3);
+        assert!(report.details[0].0.contains("add+rollup"));
+        assert!(report.details[1].0.contains("Control ="));
+    }
+
+    #[test]
+    fn works_on_the_discri_cohort() {
+        let cohort = discri::generate(&discri::CohortConfig::small(71));
+        let (table, _) = etl::TransformPipeline::discri_default()
+            .run(&cohort.attendances)
+            .unwrap();
+        let wh = Warehouse::load(&LoadPlan::discri_default(), &table).unwrap();
+        let report = validate_aggregate(
+            &wh,
+            &CubeSpec::count(vec!["FBG_Band"]),
+            &["Gender", "VisitKind"],
+            2,
+        )
+        .unwrap();
+        assert!(report.total_perturbations >= 4);
+        // The dominant FBG band in a screening cohort is a population
+        // property, not a gender artefact: expect high consistency.
+        assert!(report.consistency() > 0.5, "{report:?}");
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Prediction — §IV of the paper:
+//!
+//! *"The availability of time-course analysis capabilities allows a
+//! clinician to use the warehouse to predict the subsequent phase of a
+//! patient affected by a medical condition based on past records of
+//! other patients in similar circumstances."*
+//!
+//! * [`trajectory`] — extraction of per-patient qualitative state
+//!   sequences (e.g. the FBG band per visit) from the transformed
+//!   attendance table.
+//! * [`markov`] — a smoothed first-order Markov chain over those
+//!   states: the population-level disease time-course model.
+//! * [`similar`] — the "patients in similar circumstances" predictor:
+//!   match the query patient's recent state history against other
+//!   patients' histories and vote on the next state.
+//! * [`evaluate`] — leave-last-visit-out evaluation against the
+//!   majority-state baseline.
+
+pub mod evaluate;
+pub mod markov;
+pub mod similar;
+pub mod trajectory;
+
+pub use evaluate::{evaluate_predictor, EvaluationReport};
+pub use markov::MarkovModel;
+pub use similar::SimilarPatientPredictor;
+pub use trajectory::{extract_trajectories, Trajectory};

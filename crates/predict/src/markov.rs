@@ -1,0 +1,239 @@
+//! Smoothed first-order Markov chain over qualitative states.
+
+use crate::trajectory::Trajectory;
+use clinical_types::{Error, Result};
+use std::collections::HashMap;
+
+/// A fitted Markov time-course model.
+#[derive(Debug, Clone)]
+pub struct MarkovModel {
+    /// Interned state labels.
+    states: Vec<String>,
+    by_label: HashMap<String, usize>,
+    /// `transitions[from][to]` = Laplace-smoothed P(to | from).
+    transitions: Vec<Vec<f64>>,
+    /// Marginal state distribution (start-state prior).
+    marginal: Vec<f64>,
+}
+
+impl MarkovModel {
+    /// Fit from trajectories (transitions are consecutive visit pairs).
+    pub fn fit(trajectories: &[Trajectory]) -> Result<MarkovModel> {
+        let mut by_label: HashMap<String, usize> = HashMap::new();
+        let mut states: Vec<String> = Vec::new();
+        let intern = |label: &str, states: &mut Vec<String>, by: &mut HashMap<String, usize>| {
+            match by.get(label) {
+                Some(&i) => i,
+                None => {
+                    states.push(label.to_string());
+                    by.insert(label.to_string(), states.len() - 1);
+                    states.len() - 1
+                }
+            }
+        };
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let mut occurrences: Vec<usize> = Vec::new();
+        for t in trajectories {
+            let ids: Vec<usize> = t
+                .states
+                .iter()
+                .map(|s| intern(s, &mut states, &mut by_label))
+                .collect();
+            for &id in &ids {
+                if occurrences.len() <= id {
+                    occurrences.resize(id + 1, 0);
+                }
+                occurrences[id] += 1;
+            }
+            for w in ids.windows(2) {
+                pairs.push((w[0], w[1]));
+            }
+        }
+        if states.is_empty() {
+            return Err(Error::invalid("no states observed in any trajectory"));
+        }
+        let k = states.len();
+        occurrences.resize(k, 0);
+        let mut counts = vec![vec![0usize; k]; k];
+        for (from, to) in pairs {
+            counts[from][to] += 1;
+        }
+        let transitions = counts
+            .iter()
+            .map(|row| {
+                let total: usize = row.iter().sum();
+                row.iter()
+                    .map(|&c| (c as f64 + 1.0) / (total as f64 + k as f64))
+                    .collect()
+            })
+            .collect();
+        let total_occ: usize = occurrences.iter().sum();
+        let marginal = occurrences
+            .iter()
+            .map(|&c| c as f64 / total_occ as f64)
+            .collect();
+        Ok(MarkovModel {
+            states,
+            by_label,
+            transitions,
+            marginal,
+        })
+    }
+
+    /// Known state labels.
+    pub fn states(&self) -> &[String] {
+        &self.states
+    }
+
+    /// Index of a state label.
+    pub fn state_index(&self, label: &str) -> Option<usize> {
+        self.by_label.get(label).copied()
+    }
+
+    /// P(next = to | current = from).
+    pub fn transition_probability(&self, from: &str, to: &str) -> Result<f64> {
+        let f = self
+            .state_index(from)
+            .ok_or_else(|| Error::invalid(format!("unknown state `{from}`")))?;
+        let t = self
+            .state_index(to)
+            .ok_or_else(|| Error::invalid(format!("unknown state `{to}`")))?;
+        Ok(self.transitions[f][t])
+    }
+
+    /// Most likely next state after `current`. Unknown states fall
+    /// back to the marginal distribution.
+    pub fn predict_next(&self, current: &str) -> String {
+        let dist = match self.state_index(current) {
+            Some(f) => &self.transitions[f],
+            None => &self.marginal,
+        };
+        let best = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.states[best].clone()
+    }
+
+    /// Distribution after `steps` transitions from `start`.
+    pub fn predict_distribution(&self, start: &str, steps: usize) -> Result<Vec<(String, f64)>> {
+        let s = self
+            .state_index(start)
+            .ok_or_else(|| Error::invalid(format!("unknown state `{start}`")))?;
+        let k = self.states.len();
+        let mut dist = vec![0.0; k];
+        dist[s] = 1.0;
+        for _ in 0..steps {
+            let mut next = vec![0.0; k];
+            for (from, p) in dist.iter().enumerate() {
+                if *p == 0.0 {
+                    continue;
+                }
+                for (to, q) in self.transitions[from].iter().enumerate() {
+                    next[to] += p * q;
+                }
+            }
+            dist = next;
+        }
+        Ok(self
+            .states
+            .iter()
+            .cloned()
+            .zip(dist)
+            .collect())
+    }
+
+    /// The state most visited overall — the majority baseline.
+    pub fn majority_state(&self) -> &str {
+        let best = self
+            .marginal
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        &self.states[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(id: i64, states: &[&str]) -> Trajectory {
+        Trajectory {
+            patient_id: id,
+            states: states.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn progressive() -> Vec<Trajectory> {
+        // Strongly monotone progression N → P → D.
+        let mut out = Vec::new();
+        for i in 0..20 {
+            out.push(traj(i, &["N", "P", "D"]));
+            out.push(traj(100 + i, &["N", "N", "P"]));
+        }
+        out
+    }
+
+    #[test]
+    fn transition_rows_are_distributions() {
+        let m = MarkovModel::fit(&progressive()).unwrap();
+        for from in m.states() {
+            let total: f64 = m
+                .states()
+                .iter()
+                .map(|to| m.transition_probability(from, to).unwrap())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "row {from} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn predicts_the_planted_progression() {
+        let m = MarkovModel::fit(&progressive()).unwrap();
+        assert_eq!(m.predict_next("P"), "D");
+        // From N, both N→P (40) and N→N (20): P wins.
+        assert_eq!(m.predict_next("N"), "P");
+    }
+
+    #[test]
+    fn multi_step_distribution_flows_forward() {
+        let m = MarkovModel::fit(&progressive()).unwrap();
+        let d2 = m.predict_distribution("N", 2).unwrap();
+        let p_d: f64 = d2
+            .iter()
+            .filter(|(s, _)| s == "D")
+            .map(|(_, p)| *p)
+            .sum();
+        let d0 = m.predict_distribution("N", 0).unwrap();
+        let p_d0: f64 = d0.iter().filter(|(s, _)| s == "D").map(|(_, p)| *p).sum();
+        assert!(p_d > p_d0, "mass must flow toward D over time");
+        let total: f64 = d2.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_state_falls_back_to_marginal() {
+        let m = MarkovModel::fit(&progressive()).unwrap();
+        let p = m.predict_next("NeverSeen");
+        assert_eq!(p, m.majority_state());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(MarkovModel::fit(&[]).is_err());
+        assert!(MarkovModel::fit(&[traj(1, &[])]).is_err());
+    }
+
+    #[test]
+    fn single_visit_trajectories_contribute_no_transitions() {
+        let m = MarkovModel::fit(&[traj(1, &["A"]), traj(2, &["B"])]).unwrap();
+        // Transitions are uniform (pure smoothing).
+        let p = m.transition_probability("A", "B").unwrap();
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Similar-patient prediction.
+//!
+//! The paper phrases Prediction as using *"past records of other
+//! patients in similar circumstances"*. This predictor does exactly
+//! that: given a query patient's recent state history, it finds every
+//! position in every other patient's trajectory whose preceding
+//! history matches (longest suffix match) and votes on the state that
+//! followed.
+
+use crate::trajectory::Trajectory;
+use clinical_types::{Error, Result};
+use std::collections::HashMap;
+
+/// Suffix-matching next-state predictor.
+#[derive(Debug, Clone)]
+pub struct SimilarPatientPredictor {
+    trajectories: Vec<Trajectory>,
+    /// Longest history suffix considered (order of the context).
+    pub max_context: usize,
+}
+
+impl SimilarPatientPredictor {
+    /// Build over a trajectory corpus.
+    pub fn new(trajectories: Vec<Trajectory>, max_context: usize) -> Result<Self> {
+        if trajectories.is_empty() {
+            return Err(Error::invalid("no trajectories supplied"));
+        }
+        if max_context == 0 {
+            return Err(Error::invalid("max_context must be at least 1"));
+        }
+        Ok(SimilarPatientPredictor {
+            trajectories,
+            max_context,
+        })
+    }
+
+    /// Votes for the state following `history`, matched at context
+    /// length `ctx`, excluding patient `exclude` (so self-matches
+    /// cannot leak during evaluation).
+    fn votes_at(
+        &self,
+        history: &[String],
+        ctx: usize,
+        exclude: Option<i64>,
+    ) -> HashMap<&str, usize> {
+        let suffix = &history[history.len() - ctx..];
+        let mut votes: HashMap<&str, usize> = HashMap::new();
+        for t in &self.trajectories {
+            if Some(t.patient_id) == exclude {
+                continue;
+            }
+            if t.states.len() <= ctx {
+                continue;
+            }
+            for start in 0..=(t.states.len() - ctx - 1) {
+                if t.states[start..start + ctx] == *suffix {
+                    *votes.entry(t.states[start + ctx].as_str()).or_insert(0) += 1;
+                }
+            }
+        }
+        votes
+    }
+
+    /// Predict the next state after `history`, backing off from the
+    /// longest context with any match down to context 1; `None` when
+    /// no other patient ever exhibited any suffix of this history.
+    pub fn predict_next(&self, history: &[String], exclude: Option<i64>) -> Option<String> {
+        if history.is_empty() {
+            return None;
+        }
+        let max_ctx = self.max_context.min(history.len());
+        for ctx in (1..=max_ctx).rev() {
+            let votes = self.votes_at(history, ctx, exclude);
+            if votes.is_empty() {
+                continue;
+            }
+            // Deterministic: highest vote count, ties by label order.
+            let mut entries: Vec<(&str, usize)> = votes.into_iter().collect();
+            entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            return Some(entries[0].0.to_string());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(id: i64, states: &[&str]) -> Trajectory {
+        Trajectory {
+            patient_id: id,
+            states: states.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn corpus() -> Vec<Trajectory> {
+        vec![
+            traj(1, &["N", "P", "D", "D"]),
+            traj(2, &["N", "P", "D"]),
+            traj(3, &["N", "N", "N"]),
+            traj(4, &["P", "D", "D"]),
+        ]
+    }
+
+    #[test]
+    fn longest_context_wins() {
+        let p = SimilarPatientPredictor::new(corpus(), 3).unwrap();
+        // History [N, P]: matching 2-contexts are patients 1 and 2,
+        // both followed by D.
+        let hist = vec!["N".to_string(), "P".to_string()];
+        assert_eq!(p.predict_next(&hist, None), Some("D".to_string()));
+    }
+
+    #[test]
+    fn backs_off_to_shorter_context() {
+        let p = SimilarPatientPredictor::new(corpus(), 3).unwrap();
+        // [X, P] has no 2-context match (no one went X then P), but
+        // context 1 ("P") matches and votes D.
+        let hist = vec!["X".to_string(), "P".to_string()];
+        assert_eq!(p.predict_next(&hist, None), Some("D".to_string()));
+    }
+
+    #[test]
+    fn exclusion_prevents_self_matching() {
+        let single = vec![traj(1, &["A", "B", "A", "B"]), traj(2, &["C", "C"])];
+        let p = SimilarPatientPredictor::new(single, 2).unwrap();
+        let hist = vec!["A".to_string()];
+        // Only patient 1 has A-contexts; excluding them leaves nothing.
+        assert_eq!(p.predict_next(&hist, Some(1)), None);
+        assert_eq!(p.predict_next(&hist, None), Some("B".to_string()));
+    }
+
+    #[test]
+    fn empty_history_and_unknown_states() {
+        let p = SimilarPatientPredictor::new(corpus(), 2).unwrap();
+        assert_eq!(p.predict_next(&[], None), None);
+        let hist = vec!["Z".to_string()];
+        assert_eq!(p.predict_next(&hist, None), None);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let c = vec![traj(1, &["A", "B"]), traj(2, &["A", "C"])];
+        let p = SimilarPatientPredictor::new(c, 1).unwrap();
+        let hist = vec!["A".to_string()];
+        // B and C tie at one vote each; label order wins.
+        assert_eq!(p.predict_next(&hist, None), Some("B".to_string()));
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(SimilarPatientPredictor::new(vec![], 2).is_err());
+        assert!(SimilarPatientPredictor::new(corpus(), 0).is_err());
+    }
+}

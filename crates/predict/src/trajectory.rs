@@ -1,0 +1,129 @@
+//! Per-patient state trajectories.
+
+use clinical_types::{Error, Result, Table};
+use std::collections::HashMap;
+
+/// One patient's chronologically ordered qualitative states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Patient identifier.
+    pub patient_id: i64,
+    /// States in visit order; missing measurements appear as `"?"`.
+    pub states: Vec<String>,
+}
+
+impl Trajectory {
+    /// Number of visits.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the patient has no visits (never produced by
+    /// [`extract_trajectories`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Extract per-patient trajectories of `state_column` (a qualitative
+/// band/trend column) ordered by `date_column`.
+pub fn extract_trajectories(
+    table: &Table,
+    patient_column: &str,
+    date_column: &str,
+    state_column: &str,
+) -> Result<Vec<Trajectory>> {
+    let schema = table.schema();
+    let pid = schema.index_of(patient_column)?;
+    let date = schema.index_of(date_column)?;
+    let state = schema.index_of(state_column)?;
+
+    let mut per_patient: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let id = row[pid]
+            .as_i64()
+            .ok_or_else(|| Error::invalid(format!("non-integer {patient_column} in row {i}")))?;
+        per_patient.entry(id).or_default().push(i);
+    }
+
+    let mut out: Vec<Trajectory> = per_patient
+        .into_iter()
+        .map(|(patient_id, mut rows)| {
+            rows.sort_by_key(|&i| table.rows()[i][date].as_date());
+            let states = rows
+                .iter()
+                .map(|&i| {
+                    let v = &table.rows()[i][state];
+                    if v.is_null() {
+                        "?".to_string()
+                    } else {
+                        v.to_string()
+                    }
+                })
+                .collect();
+            Trajectory { patient_id, states }
+        })
+        .collect();
+    out.sort_by_key(|t| t.patient_id);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{DataType, Date, FieldDef, Record, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            FieldDef::required("PatientId", DataType::Int),
+            FieldDef::required("TestDate", DataType::Date),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+        ])
+        .unwrap();
+        let mk = |p: i64, y: i32, s: Option<&str>| {
+            Record::new(vec![
+                Value::Int(p),
+                Value::Date(Date::new(y, 6, 1).unwrap()),
+                s.map(Value::from).unwrap_or(Value::Null),
+            ])
+        };
+        Table::from_rows(
+            schema,
+            vec![
+                mk(2, 2007, Some("high")),
+                mk(1, 2006, Some("preDiabetic")),
+                mk(1, 2005, Some("very good")),
+                mk(1, 2007, None),
+                mk(2, 2006, Some("very good")),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trajectories_are_date_ordered_per_patient() {
+        let ts = extract_trajectories(&table(), "PatientId", "TestDate", "FBG_Band").unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].patient_id, 1);
+        assert_eq!(ts[0].states, vec!["very good", "preDiabetic", "?"]);
+        assert_eq!(ts[1].states, vec!["very good", "high"]);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        assert!(extract_trajectories(&table(), "Nope", "TestDate", "FBG_Band").is_err());
+        assert!(extract_trajectories(&table(), "PatientId", "TestDate", "Nope").is_err());
+    }
+
+    #[test]
+    fn works_on_discri_pipeline_output() {
+        let cohort = discri::generate(&discri::CohortConfig::small(51));
+        let (t, _) = etl::TransformPipeline::discri_default()
+            .run(&cohort.attendances)
+            .unwrap();
+        let ts = extract_trajectories(&t, "PatientId", "TestDate", "FBG_Band").unwrap();
+        assert!(!ts.is_empty());
+        let visits: usize = ts.iter().map(Trajectory::len).sum();
+        assert_eq!(visits, t.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! Text bar charts.
+
+use clinical_types::{Error, Result};
+use olap::PivotTable;
+
+/// A grouped horizontal bar chart over a pivot table: one group per
+/// pivot row, one bar per pivot column — the shape of the paper's
+/// Figs. 5 and 6.
+#[derive(Debug, Clone)]
+pub struct GroupedBarChart {
+    /// Chart title.
+    pub title: String,
+    /// Maximum bar width in characters.
+    pub width: usize,
+    /// Glyph per series (cycled when there are more series).
+    pub glyphs: Vec<char>,
+}
+
+impl Default for GroupedBarChart {
+    fn default() -> Self {
+        GroupedBarChart {
+            title: String::new(),
+            width: 40,
+            glyphs: vec!['█', '░', '▒', '▓'],
+        }
+    }
+}
+
+impl GroupedBarChart {
+    /// Chart with a title.
+    pub fn titled(title: impl Into<String>) -> Self {
+        GroupedBarChart {
+            title: title.into(),
+            ..GroupedBarChart::default()
+        }
+    }
+
+    /// Render the pivot as text. Bars scale to the global maximum.
+    pub fn render(&self, pivot: &PivotTable) -> Result<String> {
+        if self.width == 0 {
+            return Err(Error::invalid("chart width must be positive"));
+        }
+        let max = pivot
+            .cells
+            .iter()
+            .flatten()
+            .flatten()
+            .fold(0.0f64, |a, &b| a.max(b));
+        let label_width = pivot
+            .row_headers
+            .iter()
+            .map(|h| h.to_string().len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let series_width = pivot
+            .col_headers
+            .iter()
+            .map(|h| h.to_string().len())
+            .max()
+            .unwrap_or(1);
+
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        // Legend.
+        for (ci, header) in pivot.col_headers.iter().enumerate() {
+            let glyph = self.glyphs[ci % self.glyphs.len()];
+            out.push_str(&format!("  {glyph} {header}"));
+        }
+        if !pivot.col_headers.is_empty() {
+            out.push('\n');
+        }
+        for (ri, row_header) in pivot.row_headers.iter().enumerate() {
+            for (ci, col_header) in pivot.col_headers.iter().enumerate() {
+                let glyph = self.glyphs[ci % self.glyphs.len()];
+                let label = if ci == 0 {
+                    row_header.to_string()
+                } else {
+                    String::new()
+                };
+                let value = pivot.cells[ri][ci];
+                let bar_len = match (value, max > 0.0) {
+                    (Some(v), true) => ((v / max) * self.width as f64).round() as usize,
+                    _ => 0,
+                };
+                let bar: String = std::iter::repeat_n(glyph, bar_len).collect();
+                let value_text = value.map_or("-".to_string(), |v| format!("{v:.1}"));
+                out.push_str(&format!(
+                    "{label:>label_width$} {:>series_width$} |{bar} {value_text}\n",
+                    col_header.to_string(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Render a plain histogram from `(label, value)` pairs.
+pub fn histogram(title: &str, data: &[(String, f64)], width: usize) -> Result<String> {
+    if width == 0 {
+        return Err(Error::invalid("histogram width must be positive"));
+    }
+    if data.iter().any(|(_, v)| !v.is_finite() || *v < 0.0) {
+        return Err(Error::invalid("histogram values must be finite and non-negative"));
+    }
+    let max = data.iter().fold(0.0f64, |a, (_, v)| a.max(*v));
+    let label_width = data.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    if !title.is_empty() {
+        out.push_str(title);
+        out.push('\n');
+    }
+    for (label, value) in data {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let bar: String = std::iter::repeat_n('█', bar_len).collect();
+        out.push_str(&format!("{label:>label_width$} |{bar} {value:.1}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::Value;
+
+    fn pivot() -> PivotTable {
+        PivotTable {
+            row_axis: "Age_SubGroup".into(),
+            col_axis: "Gender".into(),
+            row_headers: vec![Value::from("70-75"), Value::from("75-80")],
+            col_headers: vec![Value::from("F"), Value::from("M")],
+            cells: vec![vec![Some(10.0), Some(25.0)], vec![Some(30.0), None]],
+        }
+    }
+
+    #[test]
+    fn bars_scale_to_global_maximum() {
+        let text = GroupedBarChart::titled("Fig 5").render(&pivot()).unwrap();
+        assert!(text.starts_with("Fig 5\n"));
+        // The largest value (30) gets the full width of █ glyphs.
+        let full_bar: String = std::iter::repeat_n('█', 40).collect();
+        assert!(text.contains(&full_bar), "no full-width bar:\n{text}");
+        // 10/30 of the width ≈ 13 glyphs on the F series of row 1.
+        assert!(text.contains(&std::iter::repeat_n('█', 13).collect::<String>()));
+    }
+
+    #[test]
+    fn missing_cells_render_a_dash() {
+        let text = GroupedBarChart::default().render(&pivot()).unwrap();
+        assert!(text.contains("| -"), "missing cell marker absent:\n{text}");
+    }
+
+    #[test]
+    fn legend_lists_every_series() {
+        let text = GroupedBarChart::default().render(&pivot()).unwrap();
+        let legend = text.lines().next().unwrap();
+        assert!(legend.contains('F') && legend.contains('M'));
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let chart = GroupedBarChart {
+            width: 0,
+            ..Default::default()
+        };
+        assert!(chart.render(&pivot()).is_err());
+    }
+
+    #[test]
+    fn histogram_renders_and_validates() {
+        let data = vec![("a".to_string(), 1.0), ("bb".to_string(), 4.0)];
+        let text = histogram("H", &data, 20).unwrap();
+        assert!(text.contains("bb |████████████████████ 4.0"));
+        assert!(histogram("H", &[("x".into(), -1.0)], 20).is_err());
+        assert!(histogram("H", &data, 0).is_err());
+    }
+
+    #[test]
+    fn all_zero_values_render_empty_bars() {
+        let data = vec![("a".to_string(), 0.0)];
+        let text = histogram("", &data, 10).unwrap();
+        assert!(text.contains("a | 0.0"));
+    }
+}

@@ -1,0 +1,97 @@
+//! CSV export of OLAP outcomes.
+
+use clinical_types::Result;
+use olap::PivotTable;
+use std::io::Write;
+use std::path::Path;
+
+/// Quote a CSV field per RFC 4180 when needed.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render a pivot as CSV: header row of column members, then one line
+/// per row member. Missing cells are empty fields.
+pub fn pivot_to_csv(pivot: &PivotTable) -> String {
+    let mut out = String::new();
+    out.push_str(&csv_field(&pivot.row_axis));
+    for h in &pivot.col_headers {
+        out.push(',');
+        out.push_str(&csv_field(&h.to_string()));
+    }
+    out.push('\n');
+    for (ri, row) in pivot.row_headers.iter().enumerate() {
+        out.push_str(&csv_field(&row.to_string()));
+        for ci in 0..pivot.col_headers.len() {
+            out.push(',');
+            if let Some(v) = pivot.cells[ri][ci] {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a pivot's CSV to a file.
+pub fn write_csv(pivot: &PivotTable, path: &Path) -> Result<()> {
+    let csv = pivot_to_csv(pivot);
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| clinical_types::Error::invalid(format!("cannot create {path:?}: {e}")))?;
+    file.write_all(csv.as_bytes())
+        .map_err(|e| clinical_types::Error::invalid(format!("cannot write {path:?}: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::Value;
+
+    fn pivot() -> PivotTable {
+        PivotTable {
+            row_axis: "Age, Group".into(),
+            col_axis: "Gender".into(),
+            row_headers: vec![Value::from("70-75"), Value::from("75-80")],
+            col_headers: vec![Value::from("F"), Value::from("M")],
+            cells: vec![vec![Some(10.0), Some(25.5)], vec![Some(30.0), None]],
+        }
+    }
+
+    #[test]
+    fn csv_layout_and_missing_cells() {
+        let csv = pivot_to_csv(&pivot());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "\"Age, Group\",F,M");
+        assert_eq!(lines[1], "70-75,10,25.5");
+        assert_eq!(lines[2], "75-80,30,");
+    }
+
+    #[test]
+    fn quoting_escapes_embedded_quotes() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn write_csv_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("dd_dgms_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig5.csv");
+        write_csv(&pivot(), &path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, pivot_to_csv(&pivot()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_to_bad_path_errors() {
+        let path = Path::new("/nonexistent-dir-zzz/x.csv");
+        assert!(write_csv(&pivot(), path).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Visualisation — §IV of the paper:
+//!
+//! *"While OLTP and OLAP are successful at aggregation and analysis,
+//! the large number of dimensions in clinical settings can require
+//! visualisation features for improved understanding."*
+//!
+//! The paper's Figs. 5 and 6 are grouped bar charts of OLAP outcomes;
+//! [`chart::GroupedBarChart`] renders exactly that from a
+//! [`olap::PivotTable`], in plain text so examples and benches can
+//! print it. [`export`] writes the same data as CSV for external
+//! plotting tools.
+
+pub mod chart;
+pub mod export;
+pub mod timeseries;
+
+pub use chart::{histogram, GroupedBarChart};
+pub use export::{pivot_to_csv, write_csv};
+pub use timeseries::{sparkline, state_timeline};

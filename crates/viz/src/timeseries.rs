@@ -1,0 +1,104 @@
+//! Text time-series views: sparklines and patient state timelines.
+//!
+//! The prediction component works over per-patient trajectories; a
+//! clinician reviewing a prediction wants to *see* the trajectory.
+//! [`sparkline`] compresses a numeric series into one glyph row;
+//! [`state_timeline`] renders a qualitative state sequence (e.g. the
+//! FBG band per visit) as a labelled strip.
+
+use clinical_types::{Error, Result};
+
+const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a numeric series as a one-line sparkline. Missing samples
+/// render as `·`. Errors on non-finite values.
+pub fn sparkline(values: &[Option<f64>]) -> Result<String> {
+    let present: Vec<f64> = values.iter().flatten().copied().collect();
+    if present.iter().any(|v| !v.is_finite()) {
+        return Err(Error::invalid("sparkline values must be finite"));
+    }
+    if present.is_empty() {
+        return Ok("·".repeat(values.len()));
+    }
+    let lo = present.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    Ok(values
+        .iter()
+        .map(|v| match v {
+            None => '·',
+            Some(x) => {
+                let t = ((x - lo) / span * 7.0).round() as usize;
+                SPARK_GLYPHS[t.min(7)]
+            }
+        })
+        .collect())
+}
+
+/// Render a qualitative state sequence as a labelled strip:
+/// `very good → very good → preDiabetic → Diabetic`, with repeated
+/// states compressed to `state ×n` when `compress` is set.
+pub fn state_timeline(states: &[String], compress: bool) -> String {
+    if states.is_empty() {
+        return String::from("(no visits)");
+    }
+    if !compress {
+        return states.join(" → ");
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < states.len() {
+        let mut j = i;
+        while j + 1 < states.len() && states[j + 1] == states[i] {
+            j += 1;
+        }
+        let run = j - i + 1;
+        if run > 1 {
+            parts.push(format!("{} ×{run}", states[i]));
+        } else {
+            parts.push(states[i].clone());
+        }
+        i = j + 1;
+    }
+    parts.join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        let s = sparkline(&[Some(0.0), Some(0.5), Some(1.0)]).unwrap();
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert!(chars[1] != '▁' && chars[1] != '█');
+    }
+
+    #[test]
+    fn sparkline_marks_missing_samples() {
+        let s = sparkline(&[Some(1.0), None, Some(2.0)]).unwrap();
+        assert_eq!(s.chars().nth(1), Some('·'));
+    }
+
+    #[test]
+    fn sparkline_handles_constant_and_empty() {
+        let s = sparkline(&[Some(5.0), Some(5.0)]).unwrap();
+        assert_eq!(s.chars().count(), 2);
+        let all_missing = sparkline(&[None, None]).unwrap();
+        assert_eq!(all_missing, "··");
+        assert!(sparkline(&[Some(f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn timeline_compresses_runs() {
+        let states: Vec<String> = ["a", "a", "a", "b", "a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(state_timeline(&states, true), "a ×3 → b → a");
+        assert_eq!(state_timeline(&states, false), "a → a → a → b → a");
+        assert_eq!(state_timeline(&[], true), "(no visits)");
+    }
+}

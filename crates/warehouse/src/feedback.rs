@@ -1,0 +1,168 @@
+//! User-feedback dimensions.
+//!
+//! §IV "Data Warehouse": *"Further dimensions are introduced to
+//! capture user feedback. Information on aggregates and trends derived
+//! by clinicians as well as clinical outcomes can be translated back
+//! to the warehouse as dimensions to be used in future analysis."*
+//!
+//! A feedback dimension is a single-attribute dimension whose value
+//! for each existing fact row is supplied by the clinician (directly,
+//! or through a labelling function over the fact's current columns).
+//! Once added it behaves exactly like a load-time dimension: it can be
+//! grouped, sliced and drilled.
+
+use crate::loader::Warehouse;
+use crate::model::DimensionDef;
+use crate::storage::DimensionTable;
+use clinical_types::{Error, Result, Value};
+
+impl Warehouse {
+    /// Append a feedback dimension named `dimension` with a single
+    /// attribute `attribute`, assigning `labels[i]` to fact row `i`.
+    pub fn add_feedback_dimension(
+        &mut self,
+        dimension: &str,
+        attribute: &str,
+        labels: Vec<Value>,
+    ) -> Result<()> {
+        if labels.len() != self.n_facts() {
+            return Err(Error::invalid(format!(
+                "feedback dimension `{dimension}` has {} labels for {} facts",
+                labels.len(),
+                self.n_facts()
+            )));
+        }
+        let (star, dims, fact) = self.parts_mut();
+        if star.dimensions.iter().any(|d| d.name == dimension) {
+            return Err(Error::invalid(format!(
+                "dimension `{dimension}` already exists"
+            )));
+        }
+        if star
+            .dimensions
+            .iter()
+            .any(|d| d.has_attribute(attribute))
+        {
+            return Err(Error::invalid(format!(
+                "attribute `{attribute}` already owned by another dimension"
+            )));
+        }
+
+        let mut table = DimensionTable::new(dimension, vec![attribute.to_string()]);
+        let mut keys = Vec::with_capacity(labels.len());
+        for label in labels {
+            keys.push(table.intern(vec![label])?);
+        }
+
+        star.dimensions
+            .push(DimensionDef::new(dimension, vec![attribute]));
+        dims.push(table);
+        fact.dim_names.push(dimension.to_string());
+        fact.dim_keys.push(keys);
+        fact.validate()
+    }
+
+    /// Append a feedback dimension whose label for each fact row is
+    /// computed from an existing attribute column by `labeller` —
+    /// the "clinician reviews an aggregate and classifies the rows"
+    /// workflow.
+    pub fn add_derived_feedback_dimension(
+        &mut self,
+        dimension: &str,
+        attribute: &str,
+        source_attribute: &str,
+        labeller: impl Fn(&Value) -> Value,
+    ) -> Result<()> {
+        let labels: Vec<Value> = self
+            .attribute_column(source_attribute)?
+            .into_iter()
+            .map(labeller)
+            .collect();
+        self.add_feedback_dimension(dimension, attribute, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::LoadPlan;
+    use crate::model::{DimensionDef, FactDef, StarSchema};
+    use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+
+    fn warehouse() -> Warehouse {
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["FBG"], vec![]),
+            vec![DimensionDef::new("Bloods", vec!["FBG_Band"])],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::nullable("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+        ])
+        .unwrap();
+        let rows = vec![
+            vec![5.0.into(), "very good".into()],
+            vec![6.5.into(), "preDiabetic".into()],
+            vec![8.0.into(), "Diabetic".into()],
+        ];
+        let table =
+            Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap();
+        Warehouse::load(&LoadPlan::from_star(star), &table).unwrap()
+    }
+
+    #[test]
+    fn feedback_dimension_becomes_queryable() {
+        let mut wh = warehouse();
+        wh.add_feedback_dimension(
+            "Clinician Review",
+            "RiskFlag",
+            vec!["low".into(), "watch".into(), "act".into()],
+        )
+        .unwrap();
+        assert_eq!(wh.dimensions().len(), 2);
+        let flags: Vec<String> = wh
+            .attribute_column("RiskFlag")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(flags, vec!["low", "watch", "act"]);
+        assert!(wh.star().dimension("Clinician Review").is_ok());
+    }
+
+    #[test]
+    fn label_count_must_match_facts() {
+        let mut wh = warehouse();
+        let err = wh
+            .add_feedback_dimension("R", "Flag", vec!["x".into()])
+            .unwrap_err();
+        assert!(err.to_string().contains("1 labels for 3 facts"));
+    }
+
+    #[test]
+    fn duplicate_dimension_or_attribute_rejected() {
+        let mut wh = warehouse();
+        assert!(wh
+            .add_feedback_dimension("Bloods", "Y", vec!["a".into(), "b".into(), "c".into()])
+            .is_err());
+        assert!(wh
+            .add_feedback_dimension("New", "FBG_Band", vec!["a".into(), "b".into(), "c".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn derived_feedback_from_existing_attribute() {
+        let mut wh = warehouse();
+        wh.add_derived_feedback_dimension("Review", "NeedsFollowUp", "FBG_Band", |band| {
+            Value::Bool(band.as_str() == Some("Diabetic"))
+        })
+        .unwrap();
+        let col: Vec<Option<bool>> = wh
+            .attribute_column("NeedsFollowUp")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_bool())
+            .collect();
+        assert_eq!(col, vec![Some(false), Some(false), Some(true)]);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The clinical data warehouse — the intermediary layer the DD-DGMS
+//! architecture introduces between raw data stores and the decision
+//! guidance features (paper §III–IV).
+//!
+//! * [`model`] — the dimensional (star/snowflake) model: fact
+//!   definition, dimensions, attribute hierarchies. Includes the
+//!   paper's two concrete models: Fig. 1 (generic CDW) and Fig. 3
+//!   (the DiScRi trial's eight-dimension model with its Cardinality
+//!   dimension).
+//! * [`storage`] — columnar storage: dictionary-encoded dimension
+//!   tables with surrogate keys, and a fact table of dimension-key
+//!   columns plus null-aware measure columns.
+//! * [`loader`] — the [`loader::LoadPlan`] mapping a wide (ETL'd)
+//!   attendance table into the star schema, and the bulk loader.
+//! * [`feedback`] — user-feedback dimensions: clinician-derived
+//!   labels appended to the warehouse after load, closing the
+//!   knowledge-management loop of Fig. 2.
+
+pub mod feedback;
+pub mod loader;
+pub mod model;
+pub mod storage;
+
+pub use loader::{LoadPlan, Warehouse};
+pub use model::{discri_model, fig1_model, DimensionDef, FactDef, Hierarchy, StarSchema};
+pub use storage::{DimensionTable, FactTable, MeasureColumn, SurrogateKey};

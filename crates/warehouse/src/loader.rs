@@ -1,0 +1,395 @@
+//! Loading the transformed attendance table into the star schema.
+
+use crate::model::{discri_model, StarSchema};
+use crate::storage::{DimensionTable, FactTable, MeasureColumn};
+use clinical_types::{Error, Result, Table, Value};
+
+/// A load plan: the star schema to populate, with every referenced
+/// column resolved against the source table at load time.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// The target star schema.
+    pub star: StarSchema,
+}
+
+impl LoadPlan {
+    /// Plan for an arbitrary star schema.
+    pub fn from_star(star: StarSchema) -> Self {
+        LoadPlan { star }
+    }
+
+    /// The DiScRi trial's plan (the Fig. 3 model).
+    pub fn discri_default() -> Self {
+        LoadPlan {
+            star: discri_model(),
+        }
+    }
+
+    /// Check that every attribute, measure and degenerate column the
+    /// star references exists in the source schema.
+    pub fn validate_against(&self, schema: &clinical_types::Schema) -> Result<()> {
+        let mut missing = Vec::new();
+        for d in &self.star.dimensions {
+            for a in &d.attributes {
+                if !schema.contains(a) {
+                    missing.push(a.clone());
+                }
+            }
+        }
+        for m in self
+            .star
+            .fact
+            .measures
+            .iter()
+            .chain(&self.star.fact.degenerate)
+        {
+            if !schema.contains(m) {
+                missing.push(m.clone());
+            }
+        }
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::invalid(format!(
+                "source table lacks columns required by the star schema: {}",
+                missing.join(", ")
+            )))
+        }
+    }
+}
+
+/// The loaded warehouse: dimension tables plus the fact table,
+/// navigable by attribute or measure name.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    star: StarSchema,
+    dims: Vec<DimensionTable>,
+    fact: FactTable,
+}
+
+impl Warehouse {
+    /// Bulk-load `table` (the ETL pipeline's output) according to
+    /// `plan`.
+    pub fn load(plan: &LoadPlan, table: &Table) -> Result<Warehouse> {
+        let schema = table.schema();
+        plan.validate_against(schema)?;
+        let star = plan.star.clone();
+
+        // Resolve source column indexes once.
+        let dim_sources: Vec<Vec<usize>> = star
+            .dimensions
+            .iter()
+            .map(|d| {
+                d.attributes
+                    .iter()
+                    .map(|a| schema.index_of(a))
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<_>>()?;
+        let measure_sources: Vec<usize> = star
+            .fact
+            .measures
+            .iter()
+            .map(|m| schema.index_of(m))
+            .collect::<Result<_>>()?;
+        let degenerate_sources: Vec<usize> = star
+            .fact
+            .degenerate
+            .iter()
+            .map(|m| schema.index_of(m))
+            .collect::<Result<_>>()?;
+
+        let mut dims: Vec<DimensionTable> = star
+            .dimensions
+            .iter()
+            .map(|d| DimensionTable::new(d.name.clone(), d.attributes.clone()))
+            .collect();
+        let mut fact = FactTable::new(
+            star.dimensions.iter().map(|d| d.name.clone()).collect(),
+            star.fact.measures.clone(),
+            star.fact.degenerate.clone(),
+        );
+
+        for row in table.rows() {
+            let values = row.values();
+            for (di, sources) in dim_sources.iter().enumerate() {
+                let tuple: Vec<Value> = sources.iter().map(|&i| values[i].clone()).collect();
+                let key = dims[di].intern(tuple)?;
+                fact.dim_keys[di].push(key);
+            }
+            for (mi, &src) in measure_sources.iter().enumerate() {
+                fact.measures[mi].push(values[src].as_f64());
+            }
+            for (gi, &src) in degenerate_sources.iter().enumerate() {
+                fact.degenerate[gi].1.push(values[src].clone());
+            }
+        }
+        fact.validate()?;
+        Ok(Warehouse { star, dims, fact })
+    }
+
+    /// Incrementally append another transformed table (e.g. the next
+    /// annual screening round). The table must carry every column the
+    /// star references — including any feedback dimensions added since
+    /// load (their labels must be supplied for the new rows too, or
+    /// the append is rejected); new dimension tuples are interned,
+    /// existing ones reuse their surrogate keys.
+    pub fn append(&mut self, table: &Table) -> Result<usize> {
+        let schema = table.schema();
+        LoadPlan::from_star(self.star.clone()).validate_against(schema)?;
+
+        let dim_sources: Vec<Vec<usize>> = self
+            .star
+            .dimensions
+            .iter()
+            .map(|d| {
+                d.attributes
+                    .iter()
+                    .map(|a| schema.index_of(a))
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<_>>()?;
+        let measure_sources: Vec<usize> = self
+            .star
+            .fact
+            .measures
+            .iter()
+            .map(|m| schema.index_of(m))
+            .collect::<Result<_>>()?;
+        let degenerate_sources: Vec<usize> = self
+            .star
+            .fact
+            .degenerate
+            .iter()
+            .map(|m| schema.index_of(m))
+            .collect::<Result<_>>()?;
+
+        for row in table.rows() {
+            let values = row.values();
+            for (di, sources) in dim_sources.iter().enumerate() {
+                let tuple: Vec<Value> = sources.iter().map(|&i| values[i].clone()).collect();
+                let key = self.dims[di].intern(tuple)?;
+                self.fact.dim_keys[di].push(key);
+            }
+            for (mi, &src) in measure_sources.iter().enumerate() {
+                self.fact.measures[mi].push(values[src].as_f64());
+            }
+            for (gi, &src) in degenerate_sources.iter().enumerate() {
+                self.fact.degenerate[gi].1.push(values[src].clone());
+            }
+        }
+        self.fact.validate()?;
+        Ok(table.len())
+    }
+
+    /// The star schema.
+    pub fn star(&self) -> &StarSchema {
+        &self.star
+    }
+
+    /// The fact table.
+    pub fn fact(&self) -> &FactTable {
+        &self.fact
+    }
+
+    /// Dimension table by name.
+    pub fn dimension(&self, name: &str) -> Result<&DimensionTable> {
+        self.dims
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| Error::invalid(format!("unknown dimension `{name}`")))
+    }
+
+    /// All dimension tables.
+    pub fn dimensions(&self) -> &[DimensionTable] {
+        &self.dims
+    }
+
+    /// Number of fact rows.
+    pub fn n_facts(&self) -> usize {
+        self.fact.len()
+    }
+
+    /// Locate an attribute: `(dimension index, attribute index)`.
+    pub fn find_attribute(&self, attribute: &str) -> Result<(usize, usize)> {
+        for (di, d) in self.dims.iter().enumerate() {
+            if let Some(ai) = d.attribute_index(attribute) {
+                return Ok((di, ai));
+            }
+        }
+        Err(Error::invalid(format!(
+            "no dimension owns attribute `{attribute}`"
+        )))
+    }
+
+    /// Materialise the per-fact values of a dimension attribute: the
+    /// resolved (key → tuple) column, length [`Self::n_facts`]. This is
+    /// the access path the OLAP engine groups on.
+    pub fn attribute_column(&self, attribute: &str) -> Result<Vec<&Value>> {
+        let (di, ai) = self.find_attribute(attribute)?;
+        let dim = &self.dims[di];
+        let keys = &self.fact.dim_keys[di];
+        let mut out = Vec::with_capacity(keys.len());
+        for &k in keys {
+            let tuple = dim
+                .tuple(k)
+                .ok_or_else(|| Error::invalid(format!("dangling key {k} in `{}`", dim.name)))?;
+            out.push(&tuple[ai]);
+        }
+        Ok(out)
+    }
+
+    /// Measure column by name.
+    pub fn measure(&self, name: &str) -> Result<&MeasureColumn> {
+        self.fact.measure(name)
+    }
+
+    /// Degenerate column by name.
+    pub fn degenerate_column(&self, name: &str) -> Result<&[Value]> {
+        self.fact.degenerate_column(name)
+    }
+
+    /// Mutable access for the feedback module.
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (&mut StarSchema, &mut Vec<DimensionTable>, &mut FactTable) {
+        (&mut self.star, &mut self.dims, &mut self.fact)
+    }
+
+    /// Total number of distinct dimension tuples across all dimensions
+    /// (a compression indicator: facts × attrs vs this).
+    pub fn total_dimension_tuples(&self) -> usize {
+        self.dims.iter().map(DimensionTable::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DimensionDef, FactDef};
+    use clinical_types::{DataType, FieldDef, Record, Schema};
+
+    fn mini_star() -> StarSchema {
+        StarSchema::new(
+            FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),
+            vec![
+                DimensionDef::new("Personal", vec!["Gender", "Age_Band"]),
+                DimensionDef::new("Bloods", vec!["FBG_Band"]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn mini_table() -> Table {
+        let schema = Schema::new(vec![
+            FieldDef::required("PatientId", DataType::Int),
+            FieldDef::nullable("Gender", DataType::Text),
+            FieldDef::nullable("Age_Band", DataType::Text),
+            FieldDef::nullable("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+        ])
+        .unwrap();
+        let rows = vec![
+            vec![1.into(), "F".into(), "60-80".into(), 5.2.into(), "very good".into()],
+            vec![2.into(), "M".into(), "60-80".into(), 7.4.into(), "Diabetic".into()],
+            vec![3.into(), "F".into(), "60-80".into(), Value::Null, Value::Null],
+            vec![1.into(), "F".into(), "60-80".into(), 6.5.into(), "preDiabetic".into()],
+        ];
+        Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap()
+    }
+
+    #[test]
+    fn load_builds_dictionary_encoded_dimensions() {
+        let wh = Warehouse::load(&LoadPlan::from_star(mini_star()), &mini_table()).unwrap();
+        assert_eq!(wh.n_facts(), 4);
+        // Personal dimension: (F,60-80) and (M,60-80) → 2 tuples.
+        assert_eq!(wh.dimension("Personal").unwrap().len(), 2);
+        // Bloods: very good, Diabetic, NULL, preDiabetic → 4 tuples.
+        assert_eq!(wh.dimension("Bloods").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn attribute_column_resolves_keys() {
+        let wh = Warehouse::load(&LoadPlan::from_star(mini_star()), &mini_table()).unwrap();
+        let genders: Vec<String> = wh
+            .attribute_column("Gender")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(genders, vec!["F", "M", "F", "F"]);
+        assert!(wh.attribute_column("FBG").is_err()); // a measure, not an attribute
+    }
+
+    #[test]
+    fn measures_keep_null_mask() {
+        let wh = Warehouse::load(&LoadPlan::from_star(mini_star()), &mini_table()).unwrap();
+        let fbg = wh.measure("FBG").unwrap();
+        assert_eq!(fbg.len(), 4);
+        assert_eq!(fbg.count_valid(), 3);
+        assert_eq!(fbg.get(2), None);
+    }
+
+    #[test]
+    fn degenerate_columns_survive() {
+        let wh = Warehouse::load(&LoadPlan::from_star(mini_star()), &mini_table()).unwrap();
+        let pids = wh.degenerate_column("PatientId").unwrap();
+        assert_eq!(pids[3], Value::Int(1));
+    }
+
+    #[test]
+    fn plan_validation_reports_missing_columns() {
+        let schema = Schema::new(vec![FieldDef::required("PatientId", DataType::Int)]).unwrap();
+        let err = LoadPlan::from_star(mini_star())
+            .validate_against(&schema)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Gender"));
+        assert!(msg.contains("FBG"));
+    }
+
+    #[test]
+    fn append_reuses_surrogate_keys_and_extends_facts() {
+        let plan = LoadPlan::from_star(mini_star());
+        let table = mini_table();
+        let mut wh = Warehouse::load(&plan, &table).unwrap();
+        let personal_before = wh.dimension("Personal").unwrap().len();
+        let appended = wh.append(&table).unwrap();
+        assert_eq!(appended, 4);
+        assert_eq!(wh.n_facts(), 8);
+        // Identical tuples reuse keys: the dimension did not grow.
+        assert_eq!(wh.dimension("Personal").unwrap().len(), personal_before);
+        // Columns stay aligned.
+        assert_eq!(wh.attribute_column("Gender").unwrap().len(), 8);
+        assert_eq!(wh.measure("FBG").unwrap().len(), 8);
+        assert_eq!(wh.degenerate_column("PatientId").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn append_rejects_missing_columns() {
+        let mut wh = Warehouse::load(&LoadPlan::from_star(mini_star()), &mini_table()).unwrap();
+        let partial = mini_table().project(&["PatientId", "Gender"]).unwrap();
+        let before = wh.n_facts();
+        assert!(wh.append(&partial).is_err());
+        assert_eq!(wh.n_facts(), before, "failed append must not mutate");
+    }
+
+    #[test]
+    fn discri_cohort_loads_through_pipeline() {
+        let cohort = discri::generate(&discri::CohortConfig::small(31));
+        let (table, _) = etl::TransformPipeline::discri_default()
+            .run(&cohort.attendances)
+            .unwrap();
+        let wh = Warehouse::load(&LoadPlan::discri_default(), &table).unwrap();
+        assert_eq!(wh.n_facts(), table.len());
+        assert_eq!(wh.dimensions().len(), 8);
+        // Dictionary encoding must compress: far fewer tuples than
+        // facts × dimensions.
+        assert!(wh.total_dimension_tuples() < wh.n_facts() * wh.dimensions().len());
+        // Fig. 5 inputs are reachable.
+        assert!(wh.attribute_column("Age_SubGroup").is_ok());
+        assert!(wh.attribute_column("Gender").is_ok());
+        assert!(wh.attribute_column("DiabetesStatus").is_ok());
+        assert!(wh.measure("FBG").is_ok());
+    }
+}

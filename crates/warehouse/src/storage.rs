@@ -1,0 +1,334 @@
+//! Columnar star-schema storage.
+//!
+//! Dimensions are dictionary-encoded: each distinct attribute tuple is
+//! stored once in a [`DimensionTable`] and referenced from the fact by
+//! a dense [`SurrogateKey`]. The [`FactTable`] stores one key column
+//! per dimension plus null-aware numeric measure columns and inline
+//! degenerate columns. This layout is the ablation subject of
+//! `bench/load_and_cube` (surrogate keys vs raw group keys).
+
+use clinical_types::{Error, Result, Value};
+use std::collections::HashMap;
+
+/// Dense surrogate key into a dimension table.
+pub type SurrogateKey = u32;
+
+/// A dictionary-encoded dimension table: one row per distinct
+/// attribute tuple observed during load.
+#[derive(Debug, Clone)]
+pub struct DimensionTable {
+    /// Dimension name.
+    pub name: String,
+    /// Attribute names, fixing tuple order.
+    pub attributes: Vec<String>,
+    tuples: Vec<Vec<Value>>,
+    intern: HashMap<Vec<Value>, SurrogateKey>,
+}
+
+impl DimensionTable {
+    /// Empty dimension table.
+    pub fn new(name: impl Into<String>, attributes: Vec<String>) -> Self {
+        DimensionTable {
+            name: name.into(),
+            attributes,
+            tuples: Vec::new(),
+            intern: HashMap::new(),
+        }
+    }
+
+    /// Intern a tuple, returning its (possibly pre-existing) key.
+    pub fn intern(&mut self, tuple: Vec<Value>) -> Result<SurrogateKey> {
+        if tuple.len() != self.attributes.len() {
+            return Err(Error::invalid(format!(
+                "dimension `{}` expects {}-tuples, got {}",
+                self.name,
+                self.attributes.len(),
+                tuple.len()
+            )));
+        }
+        if let Some(k) = self.intern.get(&tuple) {
+            return Ok(*k);
+        }
+        let key = self.tuples.len() as SurrogateKey;
+        self.intern.insert(tuple.clone(), key);
+        self.tuples.push(tuple);
+        Ok(key)
+    }
+
+    /// Tuple by key.
+    pub fn tuple(&self, key: SurrogateKey) -> Option<&[Value]> {
+        self.tuples.get(key as usize).map(Vec::as_slice)
+    }
+
+    /// Value of one attribute in the tuple behind `key`.
+    pub fn attribute_value(&self, key: SurrogateKey, attribute: &str) -> Result<&Value> {
+        let idx = self
+            .attributes
+            .iter()
+            .position(|a| a == attribute)
+            .ok_or_else(|| {
+                Error::invalid(format!(
+                    "dimension `{}` has no attribute `{attribute}`",
+                    self.name
+                ))
+            })?;
+        self.tuples
+            .get(key as usize)
+            .map(|t| &t[idx])
+            .ok_or_else(|| Error::invalid(format!("dimension `{}` key {key} out of range", self.name)))
+    }
+
+    /// Position of an attribute within tuples.
+    pub fn attribute_index(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuple has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A null-aware numeric measure column.
+#[derive(Debug, Clone, Default)]
+pub struct MeasureColumn {
+    /// Measure name.
+    pub name: String,
+    /// Values; meaningless where `valid` is false.
+    pub values: Vec<f64>,
+    /// Validity mask (false = the measurement was missing).
+    pub valid: Vec<bool>,
+}
+
+impl MeasureColumn {
+    /// Empty column.
+    pub fn new(name: impl Into<String>) -> Self {
+        MeasureColumn {
+            name: name.into(),
+            values: Vec::new(),
+            valid: Vec::new(),
+        }
+    }
+
+    /// Append one (possibly missing) measurement.
+    pub fn push(&mut self, value: Option<f64>) {
+        match value {
+            Some(x) => {
+                self.values.push(x);
+                self.valid.push(true);
+            }
+            None => {
+                self.values.push(0.0);
+                self.valid.push(false);
+            }
+        }
+    }
+
+    /// The value at `row`, if present.
+    pub fn get(&self, row: usize) -> Option<f64> {
+        if *self.valid.get(row)? {
+            Some(self.values[row])
+        } else {
+            None
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no measurement has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Count of non-missing measurements.
+    pub fn count_valid(&self) -> usize {
+        self.valid.iter().filter(|v| **v).count()
+    }
+}
+
+/// The central fact table: dimension-key columns (column-major),
+/// measure columns and degenerate columns.
+#[derive(Debug, Clone, Default)]
+pub struct FactTable {
+    /// Dimension names, fixing the order of `dim_keys`.
+    pub dim_names: Vec<String>,
+    /// One key column per dimension; all the same length.
+    pub dim_keys: Vec<Vec<SurrogateKey>>,
+    /// Measure columns; all the same length as the key columns.
+    pub measures: Vec<MeasureColumn>,
+    /// Degenerate columns `(name, values)` stored inline on the fact.
+    pub degenerate: Vec<(String, Vec<Value>)>,
+}
+
+impl FactTable {
+    /// Empty fact table for the given dimension / measure / degenerate
+    /// column names.
+    pub fn new(dim_names: Vec<String>, measure_names: Vec<String>, degenerate: Vec<String>) -> Self {
+        FactTable {
+            dim_keys: vec![Vec::new(); dim_names.len()],
+            dim_names,
+            measures: measure_names.into_iter().map(MeasureColumn::new).collect(),
+            degenerate: degenerate.into_iter().map(|n| (n, Vec::new())).collect(),
+        }
+    }
+
+    /// Number of fact rows.
+    pub fn len(&self) -> usize {
+        self.dim_keys.first().map_or_else(
+            || self.measures.first().map_or(0, MeasureColumn::len),
+            Vec::len,
+        )
+    }
+
+    /// True when the fact table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of a dimension by name.
+    pub fn dim_index(&self, name: &str) -> Result<usize> {
+        self.dim_names
+            .iter()
+            .position(|d| d == name)
+            .ok_or_else(|| Error::invalid(format!("fact table has no dimension `{name}`")))
+    }
+
+    /// Key column for a dimension.
+    pub fn keys_of(&self, dimension: &str) -> Result<&[SurrogateKey]> {
+        Ok(&self.dim_keys[self.dim_index(dimension)?])
+    }
+
+    /// Measure column by name.
+    pub fn measure(&self, name: &str) -> Result<&MeasureColumn> {
+        self.measures
+            .iter()
+            .find(|m| m.name == name)
+            .ok_or_else(|| Error::invalid(format!("fact table has no measure `{name}`")))
+    }
+
+    /// Degenerate column by name.
+    pub fn degenerate_column(&self, name: &str) -> Result<&[Value]> {
+        self.degenerate
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| Error::invalid(format!("fact table has no degenerate column `{name}`")))
+    }
+
+    /// Internal consistency check: every column has the same length.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.len();
+        for (d, keys) in self.dim_names.iter().zip(&self.dim_keys) {
+            if keys.len() != n {
+                return Err(Error::invalid(format!(
+                    "dimension key column `{d}` has {} rows, expected {n}",
+                    keys.len()
+                )));
+            }
+        }
+        for m in &self.measures {
+            if m.len() != n || m.valid.len() != n {
+                return Err(Error::invalid(format!(
+                    "measure column `{}` has {} rows, expected {n}",
+                    m.name,
+                    m.len()
+                )));
+            }
+        }
+        for (name, col) in &self.degenerate {
+            if col.len() != n {
+                return Err(Error::invalid(format!(
+                    "degenerate column `{name}` has {} rows, expected {n}",
+                    col.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_deduplicates_tuples() {
+        let mut d = DimensionTable::new("Personal", vec!["Gender".into(), "Age_Band".into()]);
+        let a = d.intern(vec!["F".into(), "60-80".into()]).unwrap();
+        let b = d.intern(vec!["M".into(), "60-80".into()]).unwrap();
+        let c = d.intern(vec!["F".into(), "60-80".into()]).unwrap();
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn intern_checks_arity() {
+        let mut d = DimensionTable::new("Personal", vec!["Gender".into()]);
+        assert!(d.intern(vec!["F".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn attribute_value_resolves_by_key() {
+        let mut d = DimensionTable::new("Personal", vec!["Gender".into(), "Age_Band".into()]);
+        let k = d.intern(vec!["F".into(), "60-80".into()]).unwrap();
+        assert_eq!(
+            d.attribute_value(k, "Age_Band").unwrap(),
+            &Value::from("60-80")
+        );
+        assert!(d.attribute_value(k, "Nope").is_err());
+        assert!(d.attribute_value(99, "Gender").is_err());
+    }
+
+    #[test]
+    fn null_tuples_are_internable() {
+        let mut d = DimensionTable::new("X", vec!["A".into()]);
+        let k1 = d.intern(vec![Value::Null]).unwrap();
+        let k2 = d.intern(vec![Value::Null]).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn measure_column_tracks_validity() {
+        let mut m = MeasureColumn::new("FBG");
+        m.push(Some(5.5));
+        m.push(None);
+        m.push(Some(7.0));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.count_valid(), 2);
+        assert_eq!(m.get(0), Some(5.5));
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.get(5), None);
+    }
+
+    #[test]
+    fn fact_table_accessors_and_validation() {
+        let mut f = FactTable::new(
+            vec!["Personal".into()],
+            vec!["FBG".into()],
+            vec!["PatientId".into()],
+        );
+        f.dim_keys[0].push(0);
+        f.measures[0].push(Some(5.0));
+        f.degenerate[0].1.push(Value::Int(1));
+        assert_eq!(f.len(), 1);
+        f.validate().unwrap();
+        assert_eq!(f.keys_of("Personal").unwrap(), &[0]);
+        assert!(f.keys_of("Nope").is_err());
+        assert_eq!(f.measure("FBG").unwrap().get(0), Some(5.0));
+        assert!(f.measure("Nope").is_err());
+        assert_eq!(f.degenerate_column("PatientId").unwrap().len(), 1);
+
+        // Desynchronise a column: validation must fail.
+        f.measures[0].push(Some(9.0));
+        assert!(f.validate().is_err());
+    }
+}

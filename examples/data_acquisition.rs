@@ -1,0 +1,94 @@
+//! The fourth DGMS phase: data-acquisition queries as feedback.
+//!
+//! §IV: *"in the final phase data acquisition queries are used as
+//! feedback to reduce ambiguity of decisions"* — and the paper's own
+//! §V example: the Ewing hand-grip test cannot be administered to many
+//! elderly patients, so the architecture should point the clinic at
+//! the measurements whose absence hurts decisions most and generate
+//! the "more refined and better informed test plans" the conclusion
+//! promises.
+//!
+//! ```text
+//! cargo run --release --example data_acquisition
+//! ```
+
+use dd_dgms::{acquisition_queries, attribute_gaps, DdDgms};
+use discri::{generate, CohortConfig};
+use predict::extract_trajectories;
+use viz::{sparkline, state_timeline};
+
+fn main() -> clinical_types::Result<()> {
+    let cohort = generate(&CohortConfig::default());
+    let system = DdDgms::from_raw_attendances(&cohort.attendances)?;
+    let table = system.transformed();
+
+    println!("== Attribute gaps: information × missingness ==============");
+    let candidates = [
+        "FBG_Band",
+        "HbA1c_Band",
+        "AnkleReflexRight",
+        "KneeReflexRight",
+        "SDNN_Band",
+        "QTc_Band",
+        "BMI_Band",
+    ];
+    let gaps = attribute_gaps(table, &candidates, "DiabetesStatus")?;
+    println!(
+        "{:<20} {:>8} {:>9} {:>8}",
+        "attribute", "MI(bits)", "missing%", "score"
+    );
+    for g in &gaps {
+        println!(
+            "{:<20} {:>8.3} {:>8.1}% {:>8.4}",
+            g.attribute,
+            g.information,
+            g.missing_rate * 100.0,
+            g.score
+        );
+    }
+
+    println!("\n== Test plan: patients to re-measure next attendance ======");
+    let plan = acquisition_queries(table, &candidates, "DiabetesStatus", 2)?;
+    println!("{} acquisition queries generated; first ten:", plan.len());
+    for q in plan.iter().take(10) {
+        println!("  re-measure {:<18} for patient {}", q.attribute, q.patient_id);
+    }
+
+    println!("\n== Context for the clinician: trajectories of plan patients");
+    let trajectories = extract_trajectories(table, "PatientId", "TestDate", "FBG_Band")?;
+    let mut shown = 0;
+    for q in &plan {
+        if shown >= 5 {
+            break;
+        }
+        if let Some(t) = trajectories.iter().find(|t| t.patient_id == q.patient_id) {
+            if t.len() < 2 {
+                continue;
+            }
+            // Numeric FBG sparkline next to the qualitative timeline.
+            let fbg: Vec<Option<f64>> = table
+                .rows()
+                .iter()
+                .filter(|r| r[0].as_i64() == Some(q.patient_id))
+                .map(|r| {
+                    table
+                        .schema()
+                        .index_of("FBG")
+                        .ok()
+                        .and_then(|i| r[i].as_f64())
+                })
+                .collect();
+            println!(
+                "  patient {:<4} FBG {}  {}",
+                q.patient_id,
+                sparkline(&fbg)?,
+                state_timeline(&t.states, true)
+            );
+            shown += 1;
+        }
+    }
+
+    println!("\nThese queries feed the next screening round — closing the");
+    println!("loop back to Data Transformation, as Fig. 2 draws it.");
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! §II / §V insight: "the absence of reflex in the knees and ankles
+//! together with a mid-range glucose reading was unexpectedly highly
+//! predictive of diabetes" (found with AWSum, paper reference [9]).
+//!
+//! The synthetic cohort embeds that interaction via a latent
+//! sub-clinical neuropathy plus medication-controlled glucose; this
+//! example rediscovers it through two independent analytics channels —
+//! the AWSum interaction miner and Apriori association rules — exactly
+//! the knowledge-acquisition workflow the paper motivates.
+//!
+//! ```text
+//! cargo run --release --example insight_reflex_glucose
+//! ```
+
+use dd_dgms::DdDgms;
+use discri::{generate, CohortConfig};
+use mining::{Apriori, AwSum, DatasetBuilder, NaiveBayes};
+
+fn main() -> clinical_types::Result<()> {
+    let cohort = generate(&CohortConfig::default());
+    let system = DdDgms::from_raw_attendances(&cohort.attendances)?;
+    let table = system.transformed();
+
+    println!("== Channel 1: AWSum influence + interaction mining ========");
+    let features = vec![
+        "KneeReflexRight",
+        "KneeReflexLeft",
+        "AnkleReflexRight",
+        "AnkleReflexLeft",
+        "FBG_Band",
+        "Age_Band",
+        "Gender",
+        "FootPulses",
+    ];
+    let dataset = DatasetBuilder::new(features, "DiabetesStatus").build(table)?;
+    let awsum = AwSum::fit(&dataset)?;
+    let yes = dataset
+        .class_labels
+        .iter()
+        .position(|c| c == "yes")
+        .expect("diabetic class present");
+
+    println!("strongest single-value influences toward diabetes:");
+    for (feature, value, p) in awsum.top_influences(yes, 6) {
+        println!("  P(diabetes | {feature}={value}) = {p:.2}");
+    }
+
+    println!("\nsurprising value-pair interactions (joint ≫ best single):");
+    let interactions = awsum.top_interactions(&dataset, yes, 25, 8)?;
+    let mut reflex_glucose_found = false;
+    for i in &interactions {
+        let is_reflex_glucose = (i.feature_a.contains("Reflex") && i.feature_b == "FBG_Band")
+            || (i.feature_b.contains("Reflex") && i.feature_a == "FBG_Band");
+        if is_reflex_glucose
+            && (i.value_a == "absent" || i.value_b == "absent")
+            && (i.value_a == "preDiabetic" || i.value_b == "preDiabetic"
+                || i.value_a == "high" || i.value_b == "high")
+        {
+            reflex_glucose_found = true;
+        }
+        println!(
+            "  {}={} & {}={} → {}  joint {:.2} vs single {:.2} (n={}){}",
+            i.feature_a, i.value_a, i.feature_b, i.value_b, i.class,
+            i.joint_confidence, i.best_single_confidence, i.support,
+            if is_reflex_glucose { "   ← the paper's insight" } else { "" }
+        );
+    }
+
+    println!("\n== Channel 2: Apriori association rules ===================");
+    let rule_features = vec!["AnkleReflexRight", "KneeReflexRight", "FBG_Band", "DiabetesStatus"];
+    let rule_data = DatasetBuilder::new(rule_features, "DiabetesStatus").build(table)?;
+    let status = rule_data
+        .features
+        .iter()
+        .position(|f| f.name == "DiabetesStatus")
+        .expect("class inlined");
+    let rules = Apriori::new(table.len() / 40, 0.7, 3).rules(&rule_data, Some(status))?;
+    for r in rules.iter().take(6) {
+        println!("  {}", r.describe(&rule_data));
+    }
+
+    println!("\n== Cross-check: does the pair add signal? =================");
+    // Classifier with vs without the limb-health features.
+    let with = NaiveBayes::fit(&dataset)?;
+    let acc_with = mining::accuracy(&dataset.classes, &with.predict_all(&dataset)?)?;
+    let reduced = dataset.select_features(&[4, 5, 6])?; // FBG, age, gender only
+    let without = NaiveBayes::fit(&reduced)?;
+    let acc_without = mining::accuracy(&reduced.classes, &without.predict_all(&reduced)?)?;
+    println!("naive Bayes accuracy with reflex features:    {acc_with:.3}");
+    println!("naive Bayes accuracy without reflex features: {acc_without:.3}");
+
+    println!(
+        "\npaper's reflex+glucose interaction: {}",
+        if reflex_glucose_found {
+            "REPRODUCED (surfaced by AWSum interaction mining)"
+        } else {
+            "NOT reproduced in this run"
+        }
+    );
+    Ok(())
+}

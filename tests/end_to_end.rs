@@ -1,0 +1,148 @@
+//! End-to-end pipeline test: generator → ETL → warehouse → every
+//! decision-guidance component → knowledge base, on a small cohort.
+//! Complements `figures.rs` (which asserts the paper's shapes at full
+//! scale) by walking every architecture component in one pass.
+
+use dd_dgms::{DdDgms, OperationalView, StrategicView};
+use discri::{generate, CohortConfig};
+use kb::FindingStatus;
+use viz::{pivot_to_csv, GroupedBarChart};
+
+#[test]
+fn full_closed_loop_on_a_small_cohort() {
+    let cohort = generate(&CohortConfig::small(111));
+    let mut system = DdDgms::from_raw_attendances(&cohort.attendances).unwrap();
+
+    // Transformation preserved every clean attendance.
+    let report = system.pipeline_report();
+    assert_eq!(report.cleaning.rows_out, system.transformed().len());
+    assert!(report.bands.len() >= 7);
+
+    // Reporting: operational view, both interfaces.
+    let op = OperationalView::new(&system);
+    let pivot = op
+        .report()
+        .on_rows("FBG_Band")
+        .on_columns("Gender")
+        .count()
+        .execute()
+        .unwrap();
+    let mdx = op
+        .mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(*)",
+        )
+        .unwrap();
+    assert_eq!(pivot.row_headers, mdx.row_headers);
+    assert_eq!(pivot.cells, mdx.cells);
+
+    // Visualisation renders and exports without loss.
+    let chart = GroupedBarChart::titled("FBG bands").render(&pivot).unwrap();
+    assert!(chart.contains("FBG bands"));
+    let csv = pivot_to_csv(&pivot);
+    assert_eq!(csv.lines().count(), pivot.row_headers.len() + 1);
+
+    // Prediction quality above chance.
+    let quality = op.prediction_quality("FBG_Band").unwrap();
+    assert!(quality.n_evaluated > 10);
+    assert!(quality.markov_accuracy > 0.25);
+
+    // Strategic view: analytics and optimisation.
+    let strat = StrategicView::new(&system);
+    let ds = strat
+        .isolate_dataset(
+            vec!["FBG_Band", "AnkleReflexRight", "Gender"],
+            "DiabetesStatus",
+        )
+        .unwrap();
+    assert_eq!(ds.len(), system.transformed().len());
+    let regimen = strat.optimise_regimen(1500.0).unwrap();
+    assert!(regimen.annual_cost <= 1500.0);
+
+    // The guidance cycle closes the loop twice; findings validate.
+    system.run_guidance_cycle().unwrap();
+    system.run_guidance_cycle().unwrap();
+    let validated = system.knowledge_base().by_status(FindingStatus::Validated);
+    assert!(
+        !validated.is_empty(),
+        "two cycles must validate at least one finding"
+    );
+
+    // The feedback dimension participates in new queries.
+    let feedback_pivot = system
+        .query()
+        .on_rows("PredictedNextFBGBand")
+        .count()
+        .execute()
+        .unwrap();
+    // Every fact row lands in some feedback group (missing FBG bands
+    // group under the NULL key), so the totals cover the fact table.
+    let total: f64 = feedback_pivot.row_totals().iter().sum();
+    assert_eq!(total as usize, system.warehouse().n_facts());
+    let labelled = system
+        .warehouse()
+        .attribute_column("PredictedNextFBGBand")
+        .unwrap()
+        .iter()
+        .filter(|v| !v.is_null())
+        .count();
+    assert!(labelled > 0);
+}
+
+#[test]
+fn incremental_append_extends_the_warehouse_consistently() {
+    use etl::TransformPipeline;
+    use olap::{Cube, CubeSpec};
+    use warehouse::{LoadPlan, Warehouse};
+
+    let round1 = generate(&CohortConfig::small(141));
+    let round2 = generate(&CohortConfig::small(142));
+    let (t1, _) = TransformPipeline::discri_default()
+        .run(&round1.attendances)
+        .unwrap();
+    let (t2, _) = TransformPipeline::discri_default()
+        .run(&round2.attendances)
+        .unwrap();
+
+    let mut wh = Warehouse::load(&LoadPlan::discri_default(), &t1).unwrap();
+    let facts_before = wh.n_facts();
+    let appended = wh.append(&t2).unwrap();
+    assert_eq!(wh.n_facts(), facts_before + appended);
+
+    // A cube over the combined warehouse equals the cell-wise sum of
+    // cubes over the two rounds loaded separately.
+    let spec = CubeSpec::count(vec!["Gender", "FBG_Band"]);
+    let combined = Cube::build(&wh, &spec).unwrap();
+    let wh1 = Warehouse::load(&LoadPlan::discri_default(), &t1).unwrap();
+    let wh2 = Warehouse::load(&LoadPlan::discri_default(), &t2).unwrap();
+    let c1 = Cube::build(&wh1, &spec).unwrap();
+    let c2 = Cube::build(&wh2, &spec).unwrap();
+    for (coords, value) in combined.iter() {
+        let separate =
+            c1.value(coords).unwrap_or(0.0) + c2.value(coords).unwrap_or(0.0);
+        assert_eq!(value, separate, "cell {coords:?}");
+    }
+}
+
+#[test]
+fn deterministic_systems_from_equal_seeds() {
+    let a = generate(&CohortConfig::small(7));
+    let b = generate(&CohortConfig::small(7));
+    let sys_a = DdDgms::from_raw_attendances(&a.attendances).unwrap();
+    let sys_b = DdDgms::from_raw_attendances(&b.attendances).unwrap();
+    let pa = sys_a
+        .query()
+        .on_rows("Age_Band")
+        .on_columns("DiabetesStatus")
+        .count()
+        .execute()
+        .unwrap();
+    let pb = sys_b
+        .query()
+        .on_rows("Age_Band")
+        .on_columns("DiabetesStatus")
+        .count()
+        .execute()
+        .unwrap();
+    assert_eq!(pa, pb);
+}

@@ -1,0 +1,152 @@
+//! Reproduction tests for the paper's figures, run end-to-end through
+//! the public API (generator → ETL → warehouse → MDX) at the paper's
+//! cohort scale. These are the headline assertions of EXPERIMENTS.md.
+
+use clinical_types::Value;
+use dd_dgms::DdDgms;
+use discri::{generate, CohortConfig};
+use std::sync::OnceLock;
+
+fn system() -> &'static DdDgms {
+    static SYSTEM: OnceLock<DdDgms> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let cohort = generate(&CohortConfig::default());
+        DdDgms::from_raw_attendances(&cohort.attendances).expect("system builds")
+    })
+}
+
+fn cell(pivot: &olap::PivotTable, row: &str, col: &str) -> f64 {
+    pivot.get(&Value::from(row), &Value::from(col)).unwrap_or(0.0)
+}
+
+#[test]
+fn fig4_family_history_pivot_has_both_genders_and_all_age_groups() {
+    let pivot = system()
+        .query()
+        .on_rows("Age_Band")
+        .on_columns("Gender")
+        .where_equals("FamilyHistoryDiabetes", true)
+        .count()
+        .execute()
+        .unwrap();
+    assert_eq!(pivot.col_headers.len(), 2);
+    assert!(pivot.row_headers.len() >= 3);
+    let total: f64 = pivot.row_totals().iter().sum();
+    assert!(total > 100.0, "family-history slice too small: {total}");
+}
+
+#[test]
+fn fig5_gender_crossover_in_the_seventies() {
+    let fine = system()
+        .mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' \
+             MEASURE COUNT(DISTINCT [PatientId])",
+        )
+        .unwrap();
+    let m_7075 = cell(&fine, "70-75", "M");
+    let f_7075 = cell(&fine, "70-75", "F");
+    let m_7580 = cell(&fine, "75-80", "M");
+    let f_7580 = cell(&fine, "75-80", "F");
+    assert!(
+        m_7075 > f_7075,
+        "males must dominate 70-75: M={m_7075} F={f_7075}"
+    );
+    assert!(
+        f_7580 > m_7580,
+        "females must dominate 75-80: F={f_7580} M={m_7580}"
+    );
+    // "drops substantially over 78": the female count past 80
+    // collapses relative to its 75-80 peak.
+    let f_80plus = cell(&fine, "80-85", "F") + cell(&fine, ">=85", "F");
+    assert!(
+        f_80plus < f_7580 * 0.8,
+        "female diabetics must drop past 78: 80+={f_80plus} vs 75-80={f_7580}"
+    );
+}
+
+#[test]
+fn fig5_drilldown_preserves_totals() {
+    let coarse = system()
+        .mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' MEASURE COUNT(*)",
+        )
+        .unwrap();
+    let fine = system()
+        .mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' MEASURE COUNT(*)",
+        )
+        .unwrap();
+    let coarse_total: f64 = coarse.row_totals().iter().sum();
+    let fine_total: f64 = fine.row_totals().iter().sum();
+    assert!(coarse_total > 0.0);
+    assert!((coarse_total - fine_total).abs() < 1e-9);
+    assert!(fine.row_headers.len() > coarse.row_headers.len());
+}
+
+#[test]
+fn fig6_five_to_ten_band_dips_in_the_seventies() {
+    let fine = system()
+        .mdx(
+            "SELECT [DiagnosticHTYears_Band].MEMBERS ON COLUMNS, \
+             [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [HypertensionStatus] = 'yes' MEASURE COUNT(*)",
+        )
+        .unwrap();
+    let share = |age: &str| {
+        let five_ten = cell(&fine, age, "5-10");
+        let total: f64 = ["<2", "2-5", "5-10", "10-20", ">20"]
+            .iter()
+            .map(|b| cell(&fine, age, b))
+            .sum();
+        assert!(total > 0.0, "no hypertensives in {age}");
+        five_ten / total
+    };
+    let reference = share("65-70");
+    assert!(
+        share("70-75") < reference * 0.75,
+        "5-10 band must dip in 70-75: {} vs reference {}",
+        share("70-75"),
+        reference
+    );
+    assert!(
+        share("75-80") < reference * 0.75,
+        "5-10 band must dip in 75-80: {} vs reference {}",
+        share("75-80"),
+        reference
+    );
+}
+
+#[test]
+fn table1_bands_partition_the_cohort() {
+    // Every non-missing FBG value falls in exactly one Table I band,
+    // and the four bands cover the clinical range the paper lists.
+    let pivot = system()
+        .query()
+        .on_rows("FBG_Band")
+        .count()
+        .execute()
+        .unwrap();
+    let bands: Vec<String> = pivot.row_headers.iter().map(|h| h.to_string()).collect();
+    for expected in ["very good", "high", "preDiabetic", "Diabetic"] {
+        assert!(bands.contains(&expected.to_string()), "missing band {expected}");
+    }
+    // Rows whose FBG is missing group under the NULL band; the four
+    // labelled bands must account for exactly the non-missing rows.
+    let banded: f64 = pivot
+        .row_headers
+        .iter()
+        .zip(pivot.row_totals())
+        .filter(|(h, _)| !h.is_null())
+        .map(|(_, t)| t)
+        .sum();
+    let n_with_fbg = system()
+        .transformed()
+        .column("FBG")
+        .unwrap()
+        .filter(|v| !v.is_null())
+        .count();
+    assert!((banded - n_with_fbg as f64).abs() < 1e-9);
+}
