@@ -5,7 +5,7 @@
 
 use bench::cohort;
 use criterion::{criterion_group, criterion_main, Criterion};
-use etl::{CleaningRules, Cleaner, ImputeStrategy, Imputer, TransformPipeline};
+use etl::{Cleaner, CleaningRules, ImputeStrategy, Imputer, TransformPipeline};
 use std::hint::black_box;
 
 fn bench_etl(c: &mut Criterion) {

@@ -29,7 +29,11 @@ fn regenerate_fig6() {
             .iter()
             .filter_map(|b| fine.get(&Value::from(age), &Value::from(*b)))
             .sum();
-        if total > 0.0 { five_ten / total } else { 0.0 }
+        if total > 0.0 {
+            five_ten / total
+        } else {
+            0.0
+        }
     };
     println!(
         "5-10 band share: 65-70 {:.2} | 70-75 {:.2} | 75-80 {:.2}  (dip reproduced: {})",

@@ -42,8 +42,8 @@ fn bench_strategies(c: &mut Criterion) {
         ("parallel_hash", BuildStrategy::ParallelHash),
     ] {
         group.bench_function(name, |b| {
-            let spec = CubeSpec::count(vec!["Gender", "Age_SubGroup", "FBG_Band"])
-                .with_strategy(strategy);
+            let spec =
+                CubeSpec::count(vec!["Gender", "Age_SubGroup", "FBG_Band"]).with_strategy(strategy);
             b.iter(|| black_box(Cube::build(&wh, black_box(&spec)).expect("cube")))
         });
     }

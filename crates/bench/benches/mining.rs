@@ -70,7 +70,12 @@ fn bench_mining(c: &mut Criterion) {
 
     c.bench_function("mining/apriori_rules", |b| {
         let rule_data = DatasetBuilder::new(
-            vec!["AnkleReflexRight", "KneeReflexRight", "FBG_Band", "DiabetesStatus"],
+            vec![
+                "AnkleReflexRight",
+                "KneeReflexRight",
+                "FBG_Band",
+                "DiabetesStatus",
+            ],
             "DiabetesStatus",
         )
         .build(table)
@@ -87,9 +92,7 @@ fn bench_mining(c: &mut Criterion) {
         let bmi = wh.measure("BMI").expect("measure");
         let sbp = wh.measure("LyingSBPAverage").expect("measure");
         let points: Vec<Vec<f64>> = (0..wh.n_facts())
-            .filter_map(|i| {
-                Some(vec![fbg.get(i)?, bmi.get(i)?, sbp.get(i)? / 10.0])
-            })
+            .filter_map(|i| Some(vec![fbg.get(i)?, bmi.get(i)?, sbp.get(i)? / 10.0]))
             .collect();
         let km = KMeans::new(3, 11);
         b.iter(|| black_box(km.fit(black_box(&points)).expect("kmeans")))

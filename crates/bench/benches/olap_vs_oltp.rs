@@ -65,8 +65,11 @@ fn bench_amortised(c: &mut Criterion) {
     let store = RowStore::new(table.schema().clone());
     store.load_table(table).expect("load");
     let engine = QueryEngine::new(store);
-    let cube = Cube::build(&wh, &CubeSpec::count(vec!["Gender", "Age_Band", "FBG_Band"]))
-        .expect("cube");
+    let cube = Cube::build(
+        &wh,
+        &CubeSpec::count(vec!["Gender", "Age_Band", "FBG_Band"]),
+    )
+    .expect("cube");
     let members = cube.axis_values("FBG_Band").expect("axis");
 
     let mut group = c.benchmark_group("olap_vs_oltp/per_band_breakdown");

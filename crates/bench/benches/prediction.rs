@@ -10,8 +10,8 @@ use std::hint::black_box;
 
 fn bench_prediction(c: &mut Criterion) {
     let table = transformed();
-    let trajectories = extract_trajectories(table, "PatientId", "TestDate", "FBG_Band")
-        .expect("trajectories");
+    let trajectories =
+        extract_trajectories(table, "PatientId", "TestDate", "FBG_Band").expect("trajectories");
     let report = evaluate_predictor(&trajectories, 3).expect("evaluation");
     println!(
         "\n=== time-course evaluation (n={}): markov {:.1}% | similar {:.1}% | baseline {:.1}% ===\n",
@@ -50,10 +50,12 @@ fn bench_prediction(c: &mut Criterion) {
     });
 
     c.bench_function("prediction/similar_patient_predict", |b| {
-        let predictor =
-            SimilarPatientPredictor::new(trajectories.clone(), 3).expect("predictor");
-        let histories: Vec<&predict::Trajectory> =
-            trajectories.iter().filter(|t| t.len() >= 2).take(50).collect();
+        let predictor = SimilarPatientPredictor::new(trajectories.clone(), 3).expect("predictor");
+        let histories: Vec<&predict::Trajectory> = trajectories
+            .iter()
+            .filter(|t| t.len() >= 2)
+            .take(50)
+            .collect();
         b.iter(|| {
             for t in &histories {
                 let history = &t.states[..t.len() - 1];

@@ -1,0 +1,143 @@
+//! SRV — the serving subsystem: cold vs warm latency on the Fig. 5
+//! distribution query, and service throughput as client concurrency
+//! grows.
+//!
+//! Prints a cold/warm/coalescing summary first (the EXPERIMENTS.md
+//! evidence), then measures: direct execution, a cache miss through
+//! the service, a cache hit, and closed-loop throughput at 1–16
+//! client threads.
+
+use bench::warehouse;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap::execute_mdx;
+use serve::{QueryRequest, QueryService, ServeConfig, ServedSource};
+use std::hint::black_box;
+use std::thread;
+use std::time::Instant;
+
+const FIG5: &str = "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+                    FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' \
+                    MEASURE COUNT(DISTINCT [PatientId])";
+
+fn service(workers: usize) -> QueryService {
+    QueryService::new(
+        warehouse().clone(),
+        ServeConfig {
+            workers,
+            queue_depth: 256,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+fn regenerate_summary() {
+    println!("\n=== SERVE: cold vs warm on the Fig. 5 query ===");
+    let svc = service(4);
+    let request = QueryRequest::Mdx(FIG5.into());
+
+    let t0 = Instant::now();
+    let cold = svc.execute(&request).expect("cold serve");
+    let cold_t = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = svc.execute(&request).expect("warm serve");
+    let warm_t = t1.elapsed();
+    assert_eq!(cold.source, ServedSource::Executed);
+    assert_eq!(warm.source, ServedSource::Cache);
+    assert_eq!(cold.value, warm.value, "cache must not change the answer");
+
+    let speedup = cold_t.as_secs_f64() / warm_t.as_secs_f64().max(1e-9);
+    println!("cold {cold_t:?} | warm {warm_t:?} | speedup {speedup:.0}x");
+
+    // Eight clients, one query, fresh service: single-flight makes it
+    // one execution.
+    drop(svc);
+    let svc = service(4);
+    thread::scope(|s| {
+        for _ in 0..8 {
+            let svc = &svc;
+            let request = &request;
+            s.spawn(move || svc.execute(request).expect("serve"));
+        }
+    });
+    let m = svc.shutdown();
+    println!(
+        "8 concurrent identical queries → executed {} | coalesced {} | hits {}",
+        m.executed, m.coalesced, m.hits
+    );
+    println!("{m}\n");
+}
+
+fn bench_serve(c: &mut Criterion) {
+    regenerate_summary();
+    let wh = warehouse();
+
+    c.bench_function("serve/direct_fig5_query", |b| {
+        b.iter(|| black_box(execute_mdx(wh, black_box(FIG5)).expect("query")))
+    });
+
+    let svc = service(4);
+    let request = QueryRequest::Mdx(FIG5.into());
+
+    c.bench_function("serve/cold_cache_miss", |b| {
+        b.iter(|| {
+            svc.clear_cache();
+            black_box(svc.execute(black_box(&request)).expect("serve"))
+        })
+    });
+
+    svc.execute(&request).expect("prime the cache");
+    c.bench_function("serve/warm_cache_hit", |b| {
+        b.iter(|| black_box(svc.execute(black_box(&request)).expect("serve")))
+    });
+    drop(svc);
+
+    // Closed-loop throughput: each client thread issues its own
+    // stream of distinct-then-repeated queries against a shared
+    // 4-worker service; one iteration = `threads` × 8 requests.
+    let mut group = c.benchmark_group("serve/throughput");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8, 16] {
+        let svc = service(4);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    thread::scope(|s| {
+                        for t in 0..threads {
+                            let svc = &svc;
+                            s.spawn(move || {
+                                for round in 0..8 {
+                                    // Half the stream repeats (cache +
+                                    // single-flight territory), half
+                                    // varies by thread.
+                                    let mdx = if round % 2 == 0 {
+                                        FIG5.to_string()
+                                    } else {
+                                        format!(
+                                            "SELECT [Gender].MEMBERS ON COLUMNS, \
+                                             [Age_Band].MEMBERS ON ROWS \
+                                             FROM [Medical Measures] \
+                                             WHERE [BMI] BETWEEN 15 AND {} \
+                                             MEASURE COUNT(*)",
+                                            40 + t
+                                        )
+                                    };
+                                    black_box(svc.execute(&QueryRequest::Mdx(mdx)).expect("serve"));
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -14,7 +14,12 @@ fn regenerate_table1() {
     println!("\n=== TABLE I: clinical discretisation schemes ===");
     println!("{:<18} {:<44} scheme", "Attribute", "Description");
     for s in table1_schemes() {
-        println!("{:<18} {:<44} {}", s.attribute, s.description, s.bins.labels().join(" | "));
+        println!(
+            "{:<18} {:<44} {}",
+            s.attribute,
+            s.description,
+            s.bins.labels().join(" | ")
+        );
     }
     println!("\nBand populations (synthetic DiScRi, seed 42):");
     let table = &cohort().attendances;

@@ -11,7 +11,8 @@ use etl::TransformPipeline;
 use std::sync::OnceLock;
 use warehouse::{LoadPlan, Warehouse};
 
-/// The paper-scale cohort (seed 42: 900 patients / ~2500 attendances).
+/// The paper-scale cohort (default seed: 900 patients / ~2500
+/// attendances).
 pub fn cohort() -> &'static Cohort {
     static COHORT: OnceLock<Cohort> = OnceLock::new();
     COHORT.get_or_init(|| generate(&CohortConfig::default()))

@@ -177,8 +177,7 @@ pub fn table_from_csv(text: &str, schema: &Schema) -> Result<Table> {
         let mut values = vec![Value::Null; schema.len()];
         for (csv_pos, &schema_pos) in positions.iter().enumerate() {
             let field = schema.field_at(schema_pos).expect("position valid");
-            values[schema_pos] =
-                parse_cell(&fields[csv_pos], field.dtype, &field.name, record_no)?;
+            values[schema_pos] = parse_cell(&fields[csv_pos], field.dtype, &field.name, record_no)?;
         }
         table.push(Record::new(values))?;
     }

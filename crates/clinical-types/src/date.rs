@@ -96,7 +96,9 @@ impl Date {
 
     /// The date `n` days after (`n` may be negative).
     pub fn plus_days(&self, n: i64) -> Self {
-        Date { days: self.days + n }
+        Date {
+            days: self.days + n,
+        }
     }
 
     /// Whole days from `earlier` to `self` (negative if `self` is earlier).

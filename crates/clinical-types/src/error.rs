@@ -55,7 +55,10 @@ impl fmt::Display for Error {
             ),
             Error::UnknownField(name) => write!(f, "unknown field `{name}`"),
             Error::ArityMismatch { expected, got } => {
-                write!(f, "record arity mismatch: schema has {expected} fields, record has {got}")
+                write!(
+                    f,
+                    "record arity mismatch: schema has {expected} fields, record has {got}"
+                )
             }
             Error::UnexpectedNull(field) => {
                 write!(f, "NULL supplied for non-nullable field `{field}`")

@@ -210,7 +210,12 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let names: Vec<&str> = self.schema.fields().iter().map(|x| x.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         writeln!(f, "{}", names.join(" | "))?;
         for r in self.rows.iter().take(20) {
             let cells: Vec<String> = r.values().iter().map(|v| v.to_string()).collect();
@@ -257,11 +262,7 @@ mod tests {
     #[test]
     fn column_iteration_and_numeric_extraction() {
         let t = demo();
-        let genders: Vec<String> = t
-            .column("Gender")
-            .unwrap()
-            .map(|v| v.to_string())
-            .collect();
+        let genders: Vec<String> = t.column("Gender").unwrap().map(|v| v.to_string()).collect();
         assert_eq!(genders, vec!["F", "M", "F"]);
         // The NULL FBG is skipped.
         assert_eq!(t.numeric_column("FBG").unwrap(), vec![5.2, 7.1]);

@@ -235,7 +235,10 @@ mod tests {
 
         assert!(matches!(
             s.check_row(&[Value::Int(1)]),
-            Err(Error::ArityMismatch { expected: 4, got: 1 })
+            Err(Error::ArityMismatch {
+                expected: 4,
+                got: 1
+            })
         ));
     }
 

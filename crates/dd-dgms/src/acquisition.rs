@@ -151,7 +151,11 @@ mod tests {
                 Value::from(class) // perfectly informative when present
             };
             let noise = Value::from(if i % 5 < 2 { "a" } else { "b" });
-            let rarely = if i == 0 { Value::Null } else { Value::from(class) };
+            let rarely = if i == 0 {
+                Value::Null
+            } else {
+                Value::from(class)
+            };
             rows.push(Record::new(vec![
                 Value::Int(i % 20 + 1), // 20 patients, 5 visits each
                 Value::Date(Date::new(2005 + (i / 20) as i32, 6, 1).unwrap()),

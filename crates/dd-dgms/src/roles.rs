@@ -123,12 +123,7 @@ mod tests {
     fn operational_view_reports_and_predicts() {
         let s = system();
         let op = OperationalView::new(&s);
-        let pivot = op
-            .report()
-            .on_rows("FBG_Band")
-            .count()
-            .execute()
-            .unwrap();
+        let pivot = op.report().on_rows("FBG_Band").count().execute().unwrap();
         assert!(!pivot.row_headers.is_empty());
         let quality = op.prediction_quality("FBG_Band").unwrap();
         assert!(quality.n_evaluated > 0);

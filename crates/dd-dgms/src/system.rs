@@ -144,6 +144,15 @@ impl DdDgms {
         execute_mdx(&self.warehouse, query)
     }
 
+    /// Start a concurrent query service over a snapshot of the
+    /// warehouse (§IV's multi-user setting: clinicians, researchers
+    /// and students querying at once). The service owns its copy;
+    /// feed later loads to [`serve::QueryService::append`] or keep
+    /// mutating this system and start a fresh service.
+    pub fn serve(&self, config: serve::ServeConfig) -> serve::QueryService {
+        serve::QueryService::new(self.warehouse.clone(), config)
+    }
+
     /// Run one full closed-loop guidance cycle: learn → predict →
     /// optimise → acquire. Every phase's headline outcome is recorded
     /// as evidence in the knowledge base.
@@ -257,7 +266,11 @@ impl DdDgms {
             &format!(
                 "dominant FBG band {:?} is {} under dimension perturbation ({:.0}% consistent)",
                 robustness.top_cell,
-                if robustness.is_robust(0.8) { "robust" } else { "fragile" },
+                if robustness.is_robust(0.8) {
+                    "robust"
+                } else {
+                    "fragile"
+                },
                 robustness.consistency() * 100.0
             ),
             Source::Optimisation,
@@ -294,8 +307,11 @@ impl DdDgms {
                     None => Value::Null,
                 })
                 .collect();
-            self.warehouse
-                .add_feedback_dimension("Clinician Feedback", "PredictedNextFBGBand", labels)?;
+            self.warehouse.add_feedback_dimension(
+                "Clinician Feedback",
+                "PredictedNextFBGBand",
+                labels,
+            )?;
         }
 
         Ok(GuidanceCycleReport {
@@ -331,7 +347,10 @@ mod tests {
         let s = system();
         assert!(!s.transformed().is_empty());
         assert_eq!(s.warehouse().n_facts(), s.transformed().len());
-        assert_eq!(s.pipeline_report().cardinality.n_visits, s.transformed().len());
+        assert_eq!(
+            s.pipeline_report().cardinality.n_visits,
+            s.transformed().len()
+        );
     }
 
     #[test]
@@ -346,8 +365,10 @@ mod tests {
             .unwrap();
         assert!(!pivot.row_headers.is_empty());
         let mdx = s
-            .mdx("SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
-                  FROM [Medical Measures] MEASURE COUNT(*)")
+            .mdx(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                  FROM [Medical Measures] MEASURE COUNT(*)",
+            )
             .unwrap();
         assert_eq!(mdx.row_headers, pivot.row_headers);
     }

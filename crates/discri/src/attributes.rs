@@ -106,7 +106,13 @@ fn core_attributes() -> Vec<AttributeSpec> {
         // Personal information.
         a("Gender", Text, PersonalInformation, false, 0.0),
         a("Age", Int, PersonalInformation, false, 0.0),
-        a("FamilyHistoryDiabetes", Bool, PersonalInformation, true, 0.3),
+        a(
+            "FamilyHistoryDiabetes",
+            Bool,
+            PersonalInformation,
+            true,
+            0.3,
+        ),
         a("FamilyHistoryCVD", Bool, PersonalInformation, true, 0.3),
         a("EducationYears", Int, PersonalInformation, true, 0.5),
         a("Smoker", Bool, PersonalInformation, true, 0.3),
@@ -175,7 +181,14 @@ fn core_attributes() -> Vec<AttributeSpec> {
 
 /// Number of biomarkers in each generated panel.
 const INFLAMMATORY_PANEL: [&str; 8] = [
-    "IL6", "IL1B", "IL10", "TNFa", "IFNg", "MCP1", "VEGF", "Fibrinogen",
+    "IL6",
+    "IL1B",
+    "IL10",
+    "TNFa",
+    "IFNg",
+    "MCP1",
+    "VEGF",
+    "Fibrinogen",
 ];
 const OXIDATIVE_PANEL: [&str; 6] = ["MDA", "8OHdG", "GSH", "SOD", "CAT", "TAC"];
 

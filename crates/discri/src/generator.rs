@@ -215,8 +215,8 @@ fn gen_patient(id: u32, config: &CohortConfig, rng: &mut StdRng) -> Patient {
     };
 
     let hypertensive = rng.random::<f64>() < hypertension_probability(mid_age);
-    let entry_year = config.start_year
-        + rng.random_range(0..(config.end_year - config.start_year).max(1));
+    let entry_year =
+        config.start_year + rng.random_range(0..(config.end_year - config.start_year).max(1));
     let ht_diagnosis_year = if hypertensive {
         let w = ht_years_band_weights(mid_age);
         let band = sample_weighted(rng, &w);
@@ -247,8 +247,7 @@ fn gen_patient(id: u32, config: &CohortConfig, rng: &mut StdRng) -> Patient {
     )
     .expect("generated birth date is valid");
 
-    let family_history_diabetes =
-        rng.random::<f64>() < if ever_diabetic { 0.45 } else { 0.18 };
+    let family_history_diabetes = rng.random::<f64>() < if ever_diabetic { 0.45 } else { 0.18 };
 
     Patient {
         id,
@@ -315,8 +314,8 @@ fn gen_visit_plan(p: &Patient, config: &CohortConfig, rng: &mut StdRng) -> Vec<V
 
     let mut visits = Vec::with_capacity(n);
     for visit_no in 1..=n as u32 {
-        let diabetic_for_years = diabetic_since
-            .map(|since| (date.days_since(since) as f64 / 365.25).max(0.0));
+        let diabetic_for_years =
+            diabetic_since.map(|since| (date.days_since(since) as f64 / 365.25).max(0.0));
         visits.push(Visit {
             visit_no,
             date,
@@ -387,7 +386,11 @@ fn gen_row(
         "FamilyHistoryDiabetes",
         Value::Bool(p.family_history_diabetes),
     );
-    set(&mut row, "FamilyHistoryCVD", Value::Bool(p.family_history_cvd));
+    set(
+        &mut row,
+        "FamilyHistoryCVD",
+        Value::Bool(p.family_history_cvd),
+    );
     set(
         &mut row,
         "EducationYears",
@@ -402,16 +405,23 @@ fn gen_row(
         Value::Text(if diabetic { "yes".into() } else { "no".into() }),
     );
     if let Some(years) = v.diabetic_for_years {
-        set(&mut row, "DiabetesDurationYears", Value::Float(round1(years)));
+        set(
+            &mut row,
+            "DiabetesDurationYears",
+            Value::Float(round1(years)),
+        );
     }
     set(
         &mut row,
         "HypertensionStatus",
-        Value::Text(if p.hypertensive { "yes".into() } else { "no".into() }),
+        Value::Text(if p.hypertensive {
+            "yes".into()
+        } else {
+            "no".into()
+        }),
     );
     if let Some(dy) = p.ht_diagnosis_year {
-        let years = (v.date.year() - dy).max(0) as f64
-            + f64::from(v.date.month()) / 12.0;
+        let years = (v.date.year() - dy).max(0) as f64 + f64::from(v.date.month()) / 12.0;
         set(&mut row, "DiagnosticHTYears", Value::Float(round1(years)));
     }
     let on_med = p.on_medication && diabetic;
@@ -460,7 +470,9 @@ fn gen_row(
     set(
         &mut row,
         "EGFR",
-        Value::Float(round1((12000.0 / creat - f64::from(age) * 0.4).clamp(8.0, 120.0))),
+        Value::Float(round1(
+            (12000.0 / creat - f64::from(age) * 0.4).clamp(8.0, 120.0),
+        )),
     );
     set(
         &mut row,
@@ -475,7 +487,9 @@ fn gen_row(
     set(
         &mut row,
         "CRP",
-        Value::Float(round1(lognormal(rng, if diabetic { 1.2 } else { 0.7 }, 0.6).min(80.0))),
+        Value::Float(round1(
+            lognormal(rng, if diabetic { 1.2 } else { 0.7 }, 0.6).min(80.0),
+        )),
     );
 
     // Limb health. Neuropathy (latent or diabetic) ablates reflexes.
@@ -497,10 +511,26 @@ fn gen_row(
             "present"
         }
     };
-    set(&mut row, "KneeReflexRight", Value::Text(reflex(rng, neuropathic).into()));
-    set(&mut row, "KneeReflexLeft", Value::Text(reflex(rng, neuropathic).into()));
-    set(&mut row, "AnkleReflexRight", Value::Text(reflex(rng, neuropathic).into()));
-    set(&mut row, "AnkleReflexLeft", Value::Text(reflex(rng, neuropathic).into()));
+    set(
+        &mut row,
+        "KneeReflexRight",
+        Value::Text(reflex(rng, neuropathic).into()),
+    );
+    set(
+        &mut row,
+        "KneeReflexLeft",
+        Value::Text(reflex(rng, neuropathic).into()),
+    );
+    set(
+        &mut row,
+        "AnkleReflexRight",
+        Value::Text(reflex(rng, neuropathic).into()),
+    );
+    set(
+        &mut row,
+        "AnkleReflexLeft",
+        Value::Text(reflex(rng, neuropathic).into()),
+    );
     set(
         &mut row,
         "MonofilamentScore",
@@ -550,7 +580,9 @@ fn gen_row(
     set(
         &mut row,
         "ExerciseMinutesPerWeek",
-        Value::Float(round1(sessions as f64 * normal_clipped(rng, 38.0, 10.0, 10.0, 90.0))),
+        Value::Float(round1(
+            sessions as f64 * normal_clipped(rng, 38.0, 10.0, 10.0, 90.0),
+        )),
     );
     let activity = match p.exercise_level {
         0 => "none",
@@ -619,7 +651,9 @@ fn gen_row(
     set(
         &mut row,
         "QTc",
-        Value::Float(round1(qt + if neuropathic { 18.0 } else { 0.0 } + normal(rng, 10.0, 8.0))),
+        Value::Float(round1(
+            qt + if neuropathic { 18.0 } else { 0.0 } + normal(rng, 10.0, 8.0),
+        )),
     );
     set(
         &mut row,

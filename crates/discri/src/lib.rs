@@ -35,7 +35,9 @@ pub mod generator;
 pub mod patient;
 pub mod stats;
 
-pub use attributes::{attribute_catalogue, cohort_schema, data_dictionary, AttributeGroup, AttributeSpec};
+pub use attributes::{
+    attribute_catalogue, cohort_schema, data_dictionary, AttributeGroup, AttributeSpec,
+};
 pub use config::CohortConfig;
 pub use generator::{generate, Cohort};
 pub use patient::{DiseasePhase, Gender, Patient};

@@ -167,10 +167,7 @@ mod tests {
         let (out, _) = derive_cardinality(&t, "PatientId", "TestDate").unwrap();
         assert_eq!(out.value(0, "VisitKind").unwrap().as_str(), Some("first"));
         assert_eq!(out.value(1, "VisitKind").unwrap().as_str(), Some("return"));
-        assert_eq!(
-            out.value(0, "PatientVisitCount").unwrap().as_i64(),
-            Some(2)
-        );
+        assert_eq!(out.value(0, "PatientVisitCount").unwrap().as_i64(), Some(2));
     }
 
     #[test]

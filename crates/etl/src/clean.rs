@@ -217,7 +217,9 @@ mod tests {
     }
 
     fn rules() -> CleaningRules {
-        CleaningRules::new().require("PatientId").range("FBG", 1.5, 35.0)
+        CleaningRules::new()
+            .require("PatientId")
+            .range("FBG", 1.5, 35.0)
     }
 
     #[test]
@@ -237,7 +239,12 @@ mod tests {
     #[test]
     fn rows_missing_required_keys_are_dropped() {
         let t = table_with(vec![
-            vec![Value::Null, Value::Float(5.0), Value::Float(1.0), "a".into()],
+            vec![
+                Value::Null,
+                Value::Float(5.0),
+                Value::Float(1.0),
+                "a".into(),
+            ],
             vec![1.into(), Value::Float(5.0), Value::Float(1.0), "b".into()],
         ]);
         let (clean, report) = Cleaner::new(rules()).clean(&t).unwrap();

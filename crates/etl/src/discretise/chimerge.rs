@@ -44,9 +44,15 @@ impl ChiMerge {
 
 /// Critical chi-squared values, indexed by degrees of freedom 1..=10.
 fn chi2_critical(confidence: f64, df: usize) -> f64 {
-    const C90: [f64; 10] = [2.706, 4.605, 6.251, 7.779, 9.236, 10.645, 12.017, 13.362, 14.684, 15.987];
-    const C95: [f64; 10] = [3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307];
-    const C99: [f64; 10] = [6.635, 9.210, 11.345, 13.277, 15.086, 16.812, 18.475, 20.090, 21.666, 23.209];
+    const C90: [f64; 10] = [
+        2.706, 4.605, 6.251, 7.779, 9.236, 10.645, 12.017, 13.362, 14.684, 15.987,
+    ];
+    const C95: [f64; 10] = [
+        3.841, 5.991, 7.815, 9.488, 11.070, 12.592, 14.067, 15.507, 16.919, 18.307,
+    ];
+    const C99: [f64; 10] = [
+        6.635, 9.210, 11.345, 13.277, 15.086, 16.812, 18.475, 20.090, 21.666, 23.209,
+    ];
     let idx = df.clamp(1, 10) - 1;
     if confidence >= 0.99 {
         C99[idx]
@@ -114,7 +120,11 @@ impl Discretiser for ChiMerge {
                 _ => {
                     let mut counts = vec![0usize; n_classes];
                     counts[c] += 1;
-                    intervals.push(Interval { lo: v, hi: v, counts });
+                    intervals.push(Interval {
+                        lo: v,
+                        hi: v,
+                        counts,
+                    });
                 }
             }
         }
@@ -200,9 +210,7 @@ mod tests {
 
     #[test]
     fn constant_column_single_bin() {
-        let bins = ChiMerge::default()
-            .fit(&[5.0; 20], Some(&[0; 20]))
-            .unwrap();
+        let bins = ChiMerge::default().fit(&[5.0; 20], Some(&[0; 20])).unwrap();
         assert_eq!(bins.len(), 1);
     }
 

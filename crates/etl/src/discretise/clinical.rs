@@ -112,7 +112,10 @@ mod tests {
     fn table1_has_the_four_paper_schemes() {
         let schemes = table1_schemes();
         let names: Vec<&str> = schemes.iter().map(|s| s.attribute.as_str()).collect();
-        assert_eq!(names, vec!["Age", "DiagnosticHTYears", "FBG", "LyingDBPAverage"]);
+        assert_eq!(
+            names,
+            vec!["Age", "DiagnosticHTYears", "FBG", "LyingDBPAverage"]
+        );
     }
 
     #[test]
@@ -168,7 +171,10 @@ mod tests {
         assert_eq!(coarse.label_of(77.0), "60-80");
         // Fine edges include every coarse edge, so refinement is exact.
         for e in coarse.edges() {
-            assert!(fine.edges().contains(e), "coarse edge {e} missing from fine");
+            assert!(
+                fine.edges().contains(e),
+                "coarse edge {e} missing from fine"
+            );
         }
     }
 }

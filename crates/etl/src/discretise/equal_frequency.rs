@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn heavy_ties_collapse_bins_instead_of_failing() {
-        let values = vec![1.0; 50].into_iter().chain(vec![2.0; 2]).collect::<Vec<_>>();
+        let values = vec![1.0; 50]
+            .into_iter()
+            .chain(vec![2.0; 2])
+            .collect::<Vec<_>>();
         let bins = EqualFrequency::new(4).fit(&values, None).unwrap();
         assert!(bins.len() <= 4);
         // Assignment still total.

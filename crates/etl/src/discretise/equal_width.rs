@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn splits_range_evenly() {
-        let bins = EqualWidth::new(4).fit(&[0.0, 10.0, 20.0, 40.0], None).unwrap();
+        let bins = EqualWidth::new(4)
+            .fit(&[0.0, 10.0, 20.0, 40.0], None)
+            .unwrap();
         assert_eq!(bins.edges(), &[10.0, 20.0, 30.0]);
         assert_eq!(bins.len(), 4);
     }

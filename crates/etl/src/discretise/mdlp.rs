@@ -108,7 +108,8 @@ fn partition(pairs: &[(f64, usize)], n_classes: usize, cuts: &mut Vec<f64>) {
     let e = parent_entropy;
     let e1 = entropy(&counts(left_slice, n_classes));
     let e2 = entropy(&counts(right_slice, n_classes));
-    let delta = ((3f64.powi(k as i32)) - 2.0).log2() - (k as f64 * e - k1 as f64 * e1 - k2 as f64 * e2);
+    let delta =
+        ((3f64.powi(k as i32)) - 2.0).log2() - (k as f64 * e - k1 as f64 * e1 - k2 as f64 * e2);
     let threshold = ((n as f64 - 1.0).log2() + delta) / n as f64;
     if gain <= threshold {
         return;
@@ -135,8 +136,13 @@ mod tests {
     #[test]
     fn finds_a_clean_class_boundary() {
         // Classes separate exactly at 5.0 with a wide margin.
-        let values: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).chain((0..50).map(|i| 6.0 + i as f64 / 10.0)).collect();
-        let classes: Vec<usize> = std::iter::repeat_n(0, 50).chain(std::iter::repeat_n(1, 50)).collect();
+        let values: Vec<f64> = (0..50)
+            .map(|i| i as f64 / 10.0)
+            .chain((0..50).map(|i| 6.0 + i as f64 / 10.0))
+            .collect();
+        let classes: Vec<usize> = std::iter::repeat_n(0, 50)
+            .chain(std::iter::repeat_n(1, 50))
+            .collect();
         let bins = Mdlp::new().fit(&values, Some(&classes)).unwrap();
         assert_eq!(bins.len(), 2, "expected exactly one accepted cut");
         let cut = bins.edges()[0];

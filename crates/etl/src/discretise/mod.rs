@@ -162,7 +162,11 @@ pub(crate) fn sorted_pairs(values: &[f64], classes: &[usize]) -> Result<Vec<(f64
     if values.iter().any(|v| v.is_nan()) {
         return Err(Error::invalid("cannot discretise NaN values"));
     }
-    let mut pairs: Vec<(f64, usize)> = values.iter().copied().zip(classes.iter().copied()).collect();
+    let mut pairs: Vec<(f64, usize)> = values
+        .iter()
+        .copied()
+        .zip(classes.iter().copied())
+        .collect();
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs rejected above"));
     Ok(pairs)
 }
@@ -261,7 +265,10 @@ mod tests {
         let out = append_band_column(&table, "FBG", "FBG_Band", &bins).unwrap();
         assert_eq!(out.schema().len(), 2);
         assert_eq!(out.value(0, "FBG").unwrap().as_f64(), Some(5.0));
-        assert_eq!(out.value(0, "FBG_Band").unwrap().as_str(), Some("very good"));
+        assert_eq!(
+            out.value(0, "FBG_Band").unwrap().as_str(),
+            Some("very good")
+        );
         assert!(out.value(1, "FBG_Band").unwrap().is_null());
         assert_eq!(out.value(2, "FBG_Band").unwrap().as_str(), Some("Diabetic"));
     }

@@ -333,10 +333,7 @@ mod tests {
             .apply(&table())
             .unwrap();
         assert_eq!(reports.len(), 2);
-        assert!(!out
-            .rows()
-            .iter()
-            .any(|r| r[2].is_null() || r[3].is_null()));
+        assert!(!out.rows().iter().any(|r| r[2].is_null() || r[3].is_null()));
     }
 
     #[test]

@@ -30,11 +30,11 @@ pub mod pipeline;
 pub mod temporal;
 
 pub use cardinality::{derive_cardinality, CardinalityProfile};
-pub use clean::{CleaningReport, CleaningRules, Cleaner};
-pub use impute::{ImputeReport, ImputeStrategy, Imputer};
+pub use clean::{Cleaner, CleaningReport, CleaningRules};
 pub use discretise::{
     chimerge::ChiMerge, clinical::table1_schemes, clinical::ClinicalScheme,
     equal_frequency::EqualFrequency, equal_width::EqualWidth, mdlp::Mdlp, Bins, Discretiser,
 };
+pub use impute::{ImputeReport, ImputeStrategy, Imputer};
 pub use pipeline::{PipelineReport, TransformPipeline};
 pub use temporal::{abstract_trends, StateAbstraction, Trend, TrendAbstraction};

@@ -7,7 +7,7 @@
 //! for the warehouse loader.
 
 use crate::cardinality::{derive_cardinality, CardinalityProfile};
-use crate::clean::{CleaningReport, CleaningRules, Cleaner};
+use crate::clean::{Cleaner, CleaningReport, CleaningRules};
 use crate::discretise::clinical::{age_subgroup_scheme, table1_schemes, ClinicalScheme};
 use crate::discretise::equal_frequency::EqualFrequency;
 use crate::discretise::mdlp::Mdlp;
@@ -241,8 +241,10 @@ impl TransformPipeline {
         let mut labels: Vec<&'static str> = vec!["unknown"; table.len()];
         for rows in per_patient.values_mut() {
             rows.sort_by_key(|&i| table.rows()[i][date_idx].as_date());
-            let series: Vec<Option<f64>> =
-                rows.iter().map(|&i| table.rows()[i][attr_idx].as_f64()).collect();
+            let series: Vec<Option<f64>> = rows
+                .iter()
+                .map(|&i| table.rows()[i][attr_idx].as_f64())
+                .collect();
             for (&i, label) in rows.iter().zip(step_labels(&series, self.trend_tolerance)) {
                 labels[i] = label;
             }
@@ -343,10 +345,7 @@ mod tests {
         for row in table.rows() {
             if row[vno].as_i64() == Some(1) {
                 let t = row[trend].as_str().unwrap();
-                assert!(
-                    t == "first" || t == "unknown",
-                    "first visit has trend {t}"
-                );
+                assert!(t == "first" || t == "unknown", "first visit has trend {t}");
             }
         }
     }
@@ -355,10 +354,7 @@ mod tests {
     fn cleaning_report_is_propagated() {
         let (_, report) = run_small();
         assert!(report.cleaning.rows_in > 0);
-        assert_eq!(
-            report.cleaning.rows_out,
-            report.cardinality.n_visits
-        );
+        assert_eq!(report.cleaning.rows_out, report.cardinality.n_visits);
     }
 
     #[test]

@@ -262,7 +262,10 @@ mod tests {
         ];
         let eps = abstract_trends(&series, 0.3).unwrap();
         let dirs: Vec<Trend> = eps.iter().map(|e| e.trend).collect();
-        assert_eq!(dirs, vec![Trend::Steady, Trend::Increasing, Trend::Decreasing]);
+        assert_eq!(
+            dirs,
+            vec![Trend::Steady, Trend::Increasing, Trend::Decreasing]
+        );
         assert_eq!(eps[1].n_steps, 2);
     }
 
@@ -279,7 +282,14 @@ mod tests {
         );
         assert_eq!(
             labels,
-            vec!["unknown", "first", "steady", "unknown", "increasing", "decreasing"]
+            vec![
+                "unknown",
+                "first",
+                "steady",
+                "unknown",
+                "increasing",
+                "decreasing"
+            ]
         );
     }
 

@@ -134,7 +134,12 @@ impl KnowledgeBase {
 
     /// Finding by id.
     pub fn get(&self, id: u64) -> Option<Finding> {
-        self.inner.read().findings.iter().find(|f| f.id == id).cloned()
+        self.inner
+            .read()
+            .findings
+            .iter()
+            .find(|f| f.id == id)
+            .cloned()
     }
 
     /// All findings at a status.
@@ -210,7 +215,8 @@ impl KnowledgeBase {
                         line_no + 1
                     )));
                 }
-                let bad = |what: &str| Error::invalid(format!("bad {what} on line {}", line_no + 1));
+                let bad =
+                    |what: &str| Error::invalid(format!("bad {what} on line {}", line_no + 1));
                 let id: u64 = parts[0].parse().map_err(|_| bad("id"))?;
                 let status = match parts[1] {
                     "candidate" => FindingStatus::Candidate,
@@ -262,14 +268,29 @@ mod tests {
     fn evidence_accumulates_and_validates() {
         let kb = KnowledgeBase::new(3);
         let id = kb
-            .add_evidence("reflex+glucose predicts diabetes", Source::Analytics, 0.8, &["diabetes"])
+            .add_evidence(
+                "reflex+glucose predicts diabetes",
+                Source::Analytics,
+                0.8,
+                &["diabetes"],
+            )
             .unwrap();
         assert_eq!(kb.get(id).unwrap().status, FindingStatus::Candidate);
-        kb.add_evidence("reflex+glucose predicts diabetes", Source::Reporting, 0.7, &["neuropathy"])
-            .unwrap();
+        kb.add_evidence(
+            "reflex+glucose predicts diabetes",
+            Source::Reporting,
+            0.7,
+            &["neuropathy"],
+        )
+        .unwrap();
         assert_eq!(kb.get(id).unwrap().status, FindingStatus::Candidate);
         let id2 = kb
-            .add_evidence("reflex+glucose predicts diabetes", Source::Prediction, 0.9, &[])
+            .add_evidence(
+                "reflex+glucose predicts diabetes",
+                Source::Prediction,
+                0.9,
+                &[],
+            )
             .unwrap();
         assert_eq!(id, id2, "same statement must dedupe");
         let f = kb.get(id).unwrap();
@@ -316,8 +337,10 @@ mod tests {
     #[test]
     fn queries_by_status_and_tag() {
         let kb = KnowledgeBase::new(2);
-        kb.add_evidence("one", Source::Reporting, 0.5, &["t1"]).unwrap();
-        kb.add_evidence("two", Source::Reporting, 0.5, &["t1", "t2"]).unwrap();
+        kb.add_evidence("one", Source::Reporting, 0.5, &["t1"])
+            .unwrap();
+        kb.add_evidence("two", Source::Reporting, 0.5, &["t1", "t2"])
+            .unwrap();
         kb.add_evidence("two", Source::Reporting, 0.5, &[]).unwrap();
         assert_eq!(kb.by_status(FindingStatus::Candidate).len(), 1);
         assert_eq!(kb.by_status(FindingStatus::Validated).len(), 1);
@@ -339,8 +362,11 @@ mod tests {
         let a = kb
             .add_evidence("finding A", Source::Analytics, 0.8, &["diabetes", "risk"])
             .unwrap();
-        let b = kb.add_evidence("finding B", Source::Prediction, 0.6, &[]).unwrap();
-        kb.add_evidence("finding A", Source::Reporting, 0.9, &[]).unwrap();
+        let b = kb
+            .add_evidence("finding B", Source::Prediction, 0.6, &[])
+            .unwrap();
+        kb.add_evidence("finding A", Source::Reporting, 0.9, &[])
+            .unwrap();
         kb.link(a, b).unwrap();
 
         let text = kb.export_text();
@@ -371,7 +397,8 @@ mod tests {
             let kb = kb.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50 {
-                    kb.add_evidence("shared", Source::Analytics, 0.5, &[]).unwrap();
+                    kb.add_evidence("shared", Source::Analytics, 0.5, &[])
+                        .unwrap();
                 }
             }));
         }

@@ -48,7 +48,11 @@ impl AssociationRule {
                     format!(
                         "{}={}",
                         data.features[f].name,
-                        data.features[f].labels.get(v).map(String::as_str).unwrap_or("?")
+                        data.features[f]
+                            .labels
+                            .get(v)
+                            .map(String::as_str)
+                            .unwrap_or("?")
                     )
                 })
                 .collect::<Vec<_>>()
@@ -214,10 +218,7 @@ impl Apriori {
                 if confidence < self.min_confidence {
                     continue;
                 }
-                let cons_support = support_of
-                    .get(&vec![consequent])
-                    .copied()
-                    .unwrap_or(0) as f64;
+                let cons_support = support_of.get(&vec![consequent]).copied().unwrap_or(0) as f64;
                 let lift = if cons_support > 0.0 {
                     confidence / (cons_support / n)
                 } else {
@@ -276,11 +277,7 @@ mod tests {
         let sets = Apriori::new(30, 0.5, 3).frequent_itemsets(&demo()).unwrap();
         assert!(!sets.is_empty());
         // Support is anti-monotone: any superset has ≤ support.
-        let support_of = |items: &[Item]| {
-            sets.iter()
-                .find(|s| s.items == items)
-                .map(|s| s.support)
-        };
+        let support_of = |items: &[Item]| sets.iter().find(|s| s.items == items).map(|s| s.support);
         let single = support_of(&[(0, 1)]).unwrap();
         let pair = support_of(&[(0, 1), (1, 1)]).unwrap();
         assert!(pair <= single);
@@ -320,7 +317,9 @@ mod tests {
 
     #[test]
     fn min_support_prunes() {
-        let sets = Apriori::new(1000, 0.5, 3).frequent_itemsets(&demo()).unwrap();
+        let sets = Apriori::new(1000, 0.5, 3)
+            .frequent_itemsets(&demo())
+            .unwrap();
         assert!(sets.is_empty());
         assert!(Apriori::new(0, 0.5, 3).frequent_itemsets(&demo()).is_err());
     }

@@ -103,7 +103,11 @@ impl AwSum {
             .get(feature)
             .and_then(|f| f.get(category))
             .map(Vec::as_slice)
-            .ok_or_else(|| Error::invalid(format!("no influence for feature {feature} value {category}")))
+            .ok_or_else(|| {
+                Error::invalid(format!(
+                    "no influence for feature {feature} value {category}"
+                ))
+            })
     }
 
     /// Class scores: sum of influences across features.

@@ -124,13 +124,9 @@ mod tests {
     }
 
     fn nb_cv(data: &Dataset, k: usize) -> CvReport {
-        cross_validate(
-            data,
-            k,
-            7,
-            NaiveBayes::fit,
-            |model, test| model.predict_all(test),
-        )
+        cross_validate(data, k, 7, NaiveBayes::fit, |model, test| {
+            model.predict_all(test)
+        })
         .unwrap()
     }
 
@@ -169,29 +165,18 @@ mod tests {
                 .filter(|&i| folds[i] == f)
                 .map(|i| data.classes[i])
                 .collect();
-            assert!(classes.contains(&0) && classes.contains(&1), "fold {f} unmixed");
+            assert!(
+                classes.contains(&0) && classes.contains(&1),
+                "fold {f} unmixed"
+            );
         }
     }
 
     #[test]
     fn invalid_parameters_error() {
         let data = dataset(10, true);
-        assert!(cross_validate(
-            &data,
-            1,
-            0,
-            NaiveBayes::fit,
-            |m, t| m.predict_all(t)
-        )
-        .is_err());
+        assert!(cross_validate(&data, 1, 0, NaiveBayes::fit, |m, t| m.predict_all(t)).is_err());
         let tiny = dataset(2, true);
-        assert!(cross_validate(
-            &tiny,
-            5,
-            0,
-            NaiveBayes::fit,
-            |m, t| m.predict_all(t)
-        )
-        .is_err());
+        assert!(cross_validate(&tiny, 5, 0, NaiveBayes::fit, |m, t| m.predict_all(t)).is_err());
     }
 }

@@ -116,11 +116,7 @@ impl DecisionTree {
             match node {
                 Node::Leaf { .. } => 0,
                 Node::Split { children, .. } => {
-                    1 + children
-                        .iter()
-                        .flatten()
-                        .map(|c| count(c))
-                        .sum::<usize>()
+                    1 + children.iter().flatten().map(|c| count(c)).sum::<usize>()
                 }
             }
         }
@@ -144,10 +140,7 @@ fn grow(data: &Dataset, rows: &[usize], depth: usize, config: &TreeConfig) -> No
     let counts = class_counts(data, rows);
     let parent_entropy = entropy_of(&counts);
     let default = majority(&counts);
-    if parent_entropy == 0.0
-        || depth >= config.max_depth
-        || rows.len() < config.min_samples_split
-    {
+    if parent_entropy == 0.0 || depth >= config.max_depth || rows.len() < config.min_samples_split {
         return Node::Leaf { class: default };
     }
 

@@ -51,11 +51,7 @@ pub fn mutual_information_ranking(data: &Dataset) -> Result<Vec<(usize, f64)>> {
 /// MI order, keep each one only if it improves validation accuracy.
 /// Returns the selected feature indices (in selection order) and the
 /// final validation accuracy.
-pub fn forward_select(
-    data: &Dataset,
-    max_features: usize,
-    seed: u64,
-) -> Result<(Vec<usize>, f64)> {
+pub fn forward_select(data: &Dataset, max_features: usize, seed: u64) -> Result<(Vec<usize>, f64)> {
     if max_features == 0 {
         return Err(Error::invalid("max_features must be positive"));
     }
@@ -111,8 +107,16 @@ mod tests {
         let mut classes = Vec::new();
         for _ in 0..400 {
             let class = usize::from(rng.random::<f64>() < 0.5);
-            let strong = if rng.random::<f64>() < 0.95 { class } else { 1 - class };
-            let weak = if rng.random::<f64>() < 0.65 { class } else { 1 - class };
+            let strong = if rng.random::<f64>() < 0.95 {
+                class
+            } else {
+                1 - class
+            };
+            let weak = if rng.random::<f64>() < 0.65 {
+                class
+            } else {
+                1 - class
+            };
             let noise = usize::from(rng.random::<f64>() < 0.5);
             cells.push(vec![strong, weak, noise]);
             classes.push(class);

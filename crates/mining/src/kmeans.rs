@@ -225,9 +225,7 @@ mod tests {
         assert!(KMeans::new(0, 1).fit(&[vec![1.0]]).is_err());
         assert!(KMeans::new(3, 1).fit(&[vec![1.0]]).is_err());
         assert!(KMeans::new(1, 1).fit(&[vec![]]).is_err());
-        assert!(KMeans::new(1, 1)
-            .fit(&[vec![1.0], vec![1.0, 2.0]])
-            .is_err());
+        assert!(KMeans::new(1, 1).fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
         assert!(KMeans::new(1, 1).fit(&[vec![f64::NAN]]).is_err());
     }
 

@@ -100,8 +100,7 @@ mod tests {
         let knn = Knn::fit(ds.clone(), 5).unwrap();
         assert_eq!(knn.predict(&[0, 0, 0]).unwrap(), 0);
         assert_eq!(knn.predict(&[1, 1, 1]).unwrap(), 1);
-        let acc =
-            crate::metrics::accuracy(&ds.classes, &knn.predict_all(&ds).unwrap()).unwrap();
+        let acc = crate::metrics::accuracy(&ds.classes, &knn.predict_all(&ds).unwrap()).unwrap();
         assert!(acc > 0.85, "accuracy {acc}");
     }
 

@@ -38,8 +38,8 @@ pub mod metrics;
 pub mod naive_bayes;
 
 pub use apriori::{Apriori, AssociationRule, ItemSet};
-pub use cross_validation::{cross_validate, CvReport};
 pub use awsum::{AwSum, Interaction};
+pub use cross_validation::{cross_validate, CvReport};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use decision_tree::DecisionTree;
 pub use feature_select::{forward_select, mutual_information_ranking};

@@ -14,11 +14,7 @@ pub fn accuracy(truth: &[usize], predicted: &[usize]) -> Result<f64> {
     if truth.is_empty() {
         return Err(Error::invalid("cannot score an empty prediction set"));
     }
-    let hits = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let hits = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     Ok(hits as f64 / truth.len() as f64)
 }
 
@@ -122,8 +118,8 @@ mod tests {
                 let truth: Vec<usize> = labels.iter().map(|(t, _)| *t).collect();
                 let predicted: Vec<usize> = labels.iter().map(|(_, p)| *p).collect();
                 let m = confusion_matrix(&truth, &predicted, 4).unwrap();
-                for c in 0..4 {
-                    let row_sum: usize = m[c].iter().sum();
+                for (c, row) in m.iter().enumerate() {
+                    let row_sum: usize = row.iter().sum();
                     let count = truth.iter().filter(|&&t| t == c).count();
                     prop_assert_eq!(row_sum, count);
                 }

@@ -165,7 +165,10 @@ mod tests {
         c.push(Some(8.0), None);
         c.push(None, None);
         let m = MeasureRef::Measure("FBG".into());
-        assert_eq!(c.finalize(Aggregate::Count, &MeasureRef::RowCount), Some(3.0));
+        assert_eq!(
+            c.finalize(Aggregate::Count, &MeasureRef::RowCount),
+            Some(3.0)
+        );
         assert_eq!(c.finalize(Aggregate::Count, &m), Some(2.0));
         assert_eq!(c.finalize(Aggregate::Sum, &m), Some(12.0));
         assert_eq!(c.finalize(Aggregate::Avg, &m), Some(6.0));
@@ -179,7 +182,10 @@ mod tests {
         let m = MeasureRef::Measure("FBG".into());
         assert_eq!(c.finalize(Aggregate::Avg, &m), None);
         assert_eq!(c.finalize(Aggregate::Min, &m), None);
-        assert_eq!(c.finalize(Aggregate::Count, &MeasureRef::RowCount), Some(0.0));
+        assert_eq!(
+            c.finalize(Aggregate::Count, &MeasureRef::RowCount),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -341,7 +341,10 @@ mod tests {
             .unwrap();
         let yes = pivot.get(&"yes".into(), &"all".into()).unwrap();
         let no = pivot.get(&"no".into(), &"all".into()).unwrap();
-        assert!(yes > no, "diabetic mean FBG {yes} must exceed non-diabetic {no}");
+        assert!(
+            yes > no,
+            "diabetic mean FBG {yes} must exceed non-diabetic {no}"
+        );
     }
 
     #[test]

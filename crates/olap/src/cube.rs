@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use warehouse::Warehouse;
 
 /// Row filter applied while building a cube.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CubeFilter {
     /// Attribute must equal one of the listed values.
     attribute_in: Vec<(String, Vec<Value>)>,
@@ -34,7 +34,8 @@ impl CubeFilter {
 
     /// Keep rows where `attribute = value`.
     pub fn equals(mut self, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        self.attribute_in.push((attribute.into(), vec![value.into()]));
+        self.attribute_in
+            .push((attribute.into(), vec![value.into()]));
         self
     }
 
@@ -58,6 +59,30 @@ impl CubeFilter {
     /// Conditions on attributes.
     pub fn attribute_conditions(&self) -> &[(String, Vec<Value>)] {
         &self.attribute_in
+    }
+
+    /// Canonical rendering for fingerprinting. The filter is a
+    /// conjunction, so condition order is irrelevant; likewise the
+    /// value list of a `one_of` is a set. Both are sorted so
+    /// semantically equal filters render identically.
+    pub fn canonical(&self) -> String {
+        let mut parts: Vec<String> = self
+            .attribute_in
+            .iter()
+            .map(|(attr, allowed)| {
+                let mut vals: Vec<String> = allowed.iter().map(|v| format!("{v:?}")).collect();
+                vals.sort();
+                vals.dedup();
+                format!("{attr} in {{{}}}", vals.join(","))
+            })
+            .collect();
+        parts.extend(
+            self.measure_between
+                .iter()
+                .map(|(m, lo, hi)| format!("{m} in [{lo:?},{hi:?})")),
+        );
+        parts.sort();
+        parts.join(" && ")
     }
 
     /// Evaluate the filter into a row mask.
@@ -100,7 +125,7 @@ pub enum BuildStrategy {
 }
 
 /// Specification of a cube.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CubeSpec {
     /// Dimension attributes forming the axes, in display order.
     pub axes: Vec<String>,
@@ -159,6 +184,21 @@ impl CubeSpec {
     pub fn with_strategy(mut self, strategy: BuildStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Canonical fingerprint of the *result* this spec produces. Two
+    /// specs with equal fingerprints build identical cubes: filter
+    /// conjuncts are order-insensitive, and the build strategy is
+    /// excluded because every strategy computes the same cells. Axis
+    /// order stays significant (it fixes coordinate order).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "cube|axes={}|measure={:?}|agg={:?}|filter={}",
+            self.axes.join(","),
+            self.measure,
+            self.agg,
+            self.filter.canonical()
+        )
     }
 }
 
@@ -306,8 +346,7 @@ impl Cube {
     /// break by coordinate order, deterministically) — the "top
     /// aggregates" the Decision Optimisation component validates.
     pub fn top_k(&self, k: usize) -> Vec<(Vec<Value>, f64)> {
-        let mut cells: Vec<(Vec<Value>, f64)> =
-            self.iter().map(|(c, v)| (c.clone(), v)).collect();
+        let mut cells: Vec<(Vec<Value>, f64)> = self.iter().map(|(c, v)| (c.clone(), v)).collect();
         cells.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("finalized values are finite")
@@ -485,6 +524,61 @@ mod tests {
     use clinical_types::{DataType, FieldDef, Record, Schema, Table};
     use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema};
 
+    #[test]
+    fn fingerprint_ignores_strategy_and_conjunct_order() {
+        let base = CubeSpec::count(vec!["A", "B"]).with_filter(
+            CubeFilter::all()
+                .equals("X", "yes")
+                .measure_between("M", 1.0, 2.0),
+        );
+        let reordered = CubeSpec::count(vec!["A", "B"]).with_filter(
+            CubeFilter::all()
+                .measure_between("M", 1.0, 2.0)
+                .equals("X", "yes"),
+        );
+        assert_eq!(base.fingerprint(), reordered.fingerprint());
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_strategy(BuildStrategy::Sort)
+                .fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            base.clone()
+                .with_strategy(BuildStrategy::ParallelHash)
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_semantics() {
+        let count = CubeSpec::count(vec!["A", "B"]);
+        assert_ne!(
+            count.fingerprint(),
+            CubeSpec::count(vec!["B", "A"]).fingerprint()
+        );
+        assert_ne!(
+            count.fingerprint(),
+            CubeSpec::measure(vec!["A", "B"], Aggregate::Sum, "M").fingerprint()
+        );
+        assert_ne!(
+            count.fingerprint(),
+            count
+                .clone()
+                .with_filter(CubeFilter::all().equals("X", "yes"))
+                .fingerprint()
+        );
+        // one_of value order is set-like.
+        let ab = count
+            .clone()
+            .with_filter(CubeFilter::all().one_of("X", vec!["a".into(), "b".into()]));
+        let ba = count
+            .clone()
+            .with_filter(CubeFilter::all().one_of("X", vec!["b".into(), "a".into()]));
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+    }
+
     fn demo_warehouse() -> Warehouse {
         let star = StarSchema::new(
             FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),
@@ -617,7 +711,10 @@ mod tests {
         let coarse = fine.roll_up("Age_Band").unwrap();
         let direct = Cube::build(&wh, &CubeSpec::count(vec!["Gender"])).unwrap();
         for v in coarse.axis_values("Gender").unwrap() {
-            assert_eq!(coarse.value(std::slice::from_ref(&v)), direct.value(std::slice::from_ref(&v)));
+            assert_eq!(
+                coarse.value(std::slice::from_ref(&v)),
+                direct.value(std::slice::from_ref(&v))
+            );
         }
     }
 
@@ -630,8 +727,11 @@ mod tests {
         )
         .unwrap();
         let coarse = fine.roll_up("Age_Band").unwrap();
-        let direct = Cube::build(&wh, &CubeSpec::measure(vec!["Gender"], Aggregate::Avg, "FBG"))
-            .unwrap();
+        let direct = Cube::build(
+            &wh,
+            &CubeSpec::measure(vec!["Gender"], Aggregate::Avg, "FBG"),
+        )
+        .unwrap();
         for v in direct.axis_values("Gender").unwrap() {
             let a = coarse.value(std::slice::from_ref(&v)).unwrap();
             let b = direct.value(&[v]).unwrap();
@@ -656,7 +756,11 @@ mod tests {
     #[test]
     fn strategies_agree() {
         let wh = demo_warehouse();
-        for strategy in [BuildStrategy::Hash, BuildStrategy::Sort, BuildStrategy::ParallelHash] {
+        for strategy in [
+            BuildStrategy::Hash,
+            BuildStrategy::Sort,
+            BuildStrategy::ParallelHash,
+        ] {
             let cube = Cube::build(
                 &wh,
                 &CubeSpec::count(vec!["Gender", "Age_Band"]).with_strategy(strategy),

@@ -87,9 +87,10 @@ pub fn execute_query(warehouse: &Warehouse, query: &MdxQuery) -> Result<PivotTab
 
     let (measure, agg) = match &query.measure {
         MeasureClause::CountRows => (MeasureRef::RowCount, Aggregate::Count),
-        MeasureClause::CountDistinct(col) => {
-            (MeasureRef::DistinctDegenerate(col.clone()), Aggregate::Count)
-        }
+        MeasureClause::CountDistinct(col) => (
+            MeasureRef::DistinctDegenerate(col.clone()),
+            Aggregate::Count,
+        ),
         MeasureClause::Aggregate(agg, m) => (MeasureRef::Measure(m.clone()), *agg),
     };
 

@@ -128,10 +128,9 @@ mod tests {
 
     #[test]
     fn tokenizes_a_full_query() {
-        let tokens = tokenize(
-            "SELECT [Gender].MEMBERS ON COLUMNS FROM [Medical Measures] MEASURE COUNT(*)",
-        )
-        .unwrap();
+        let tokens =
+            tokenize("SELECT [Gender].MEMBERS ON COLUMNS FROM [Medical Measures] MEASURE COUNT(*)")
+                .unwrap();
         assert_eq!(tokens[0], Token::Word("SELECT".into()));
         assert_eq!(tokens[1], Token::Bracketed("Gender".into()));
         assert_eq!(tokens[2], Token::Dot);

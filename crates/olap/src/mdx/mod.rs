@@ -26,7 +26,7 @@ mod exec;
 mod lexer;
 mod parser;
 
-pub use exec::execute_mdx;
+pub use exec::{execute_mdx, execute_query};
 pub use parser::{parse_mdx, AxisSet, Condition, MdxQuery, MeasureClause};
 
 #[cfg(test)]

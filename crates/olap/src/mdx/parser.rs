@@ -66,6 +66,25 @@ pub struct MdxQuery {
     pub measure: MeasureClause,
 }
 
+impl MdxQuery {
+    /// Canonical fingerprint of the *result* this query produces.
+    /// `WHERE` is a conjunction, so condition order is irrelevant and
+    /// the conditions are sorted; axis placement, member sets and the
+    /// measure clause all stay significant.
+    pub fn canonical(&self) -> String {
+        let mut conds: Vec<String> = self.conditions.iter().map(|c| format!("{c:?}")).collect();
+        conds.sort();
+        format!(
+            "mdx|cube={}|cols={:?}|rows={:?}|where=[{}]|measure={:?}",
+            self.cube,
+            self.columns,
+            self.rows,
+            conds.join(" AND "),
+            self.measure
+        )
+    }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -89,7 +108,9 @@ impl Parser {
     fn expect_word(&mut self, word: &str) -> Result<()> {
         match self.next()? {
             Token::Word(w) if w == word => Ok(()),
-            other => Err(Error::invalid(format!("expected `{word}`, found {other:?}"))),
+            other => Err(Error::invalid(format!(
+                "expected `{word}`, found {other:?}"
+            ))),
         }
     }
 
@@ -166,8 +187,7 @@ impl Parser {
                     }
                 }
             }
-            let attribute =
-                attribute.ok_or_else(|| Error::invalid("empty member set"))?;
+            let attribute = attribute.ok_or_else(|| Error::invalid("empty member set"))?;
             Ok(AxisSet::Explicit(attribute, members))
         } else {
             let attr = self.bracketed()?;
@@ -336,17 +356,17 @@ mod tests {
         assert_eq!(q.cube, "Medical Measures");
         assert_eq!(
             q.conditions,
-            vec![Condition::AttributeEquals("DiabetesStatus".into(), "yes".into())]
+            vec![Condition::AttributeEquals(
+                "DiabetesStatus".into(),
+                "yes".into()
+            )]
         );
         assert_eq!(q.measure, MeasureClause::CountRows);
     }
 
     #[test]
     fn axes_may_come_in_either_order() {
-        let q = parse_mdx(
-            "SELECT [A].MEMBERS ON ROWS, [B].MEMBERS ON COLUMNS FROM [C]",
-        )
-        .unwrap();
+        let q = parse_mdx("SELECT [A].MEMBERS ON ROWS, [B].MEMBERS ON COLUMNS FROM [C]").unwrap();
         assert_eq!(q.rows.set, AxisSet::Members("A".into()));
         assert_eq!(q.columns.set, AxisSet::Members("B".into()));
     }
@@ -365,10 +385,10 @@ mod tests {
 
     #[test]
     fn mixed_attribute_member_set_rejected() {
-        assert!(parse_mdx(
-            "SELECT {[A].[x], [B].[y]} ON ROWS, [G].MEMBERS ON COLUMNS FROM [C]"
-        )
-        .is_err());
+        assert!(
+            parse_mdx("SELECT {[A].[x], [B].[y]} ON ROWS, [G].MEMBERS ON COLUMNS FROM [C]")
+                .is_err()
+        );
     }
 
     #[test]
@@ -416,6 +436,28 @@ mod tests {
             "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] MEASURE MEDIAN([X])"
         )
         .is_err());
+    }
+
+    #[test]
+    fn canonical_sorts_where_conjuncts() {
+        let a = parse_mdx(
+            "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] \
+             WHERE [X] = 'yes' AND [FBG] BETWEEN 5.5 AND 7",
+        )
+        .unwrap();
+        let b = parse_mdx(
+            "SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] \
+             WHERE [FBG] BETWEEN 5.5 AND 7 AND [X] = 'yes'",
+        )
+        .unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        // Swapped axis placement is a different query.
+        let swapped = parse_mdx(
+            "SELECT [B].MEMBERS ON COLUMNS, [A].MEMBERS ON ROWS FROM [C] \
+             WHERE [X] = 'yes' AND [FBG] BETWEEN 5.5 AND 7",
+        )
+        .unwrap();
+        assert_ne!(a.canonical(), swapped.canonical());
     }
 
     #[test]

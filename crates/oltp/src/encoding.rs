@@ -98,7 +98,9 @@ pub fn decode_row(bytes: &Bytes) -> Result<Record> {
 
 fn ensure(buf: &Bytes, need: usize, value_idx: usize) -> Result<()> {
     if buf.remaining() < need {
-        Err(Error::invalid(format!("row truncated in value {value_idx}")))
+        Err(Error::invalid(format!(
+            "row truncated in value {value_idx}"
+        )))
     } else {
         Ok(())
     }

@@ -60,9 +60,7 @@ impl Predicate {
 
     /// Evaluate against a record described by `schema`.
     pub fn eval(&self, schema: &clinical_types::Schema, record: &Record) -> Result<bool> {
-        let cell = |name: &str| -> Result<&Value> {
-            Ok(&record.values()[schema.index_of(name)?])
-        };
+        let cell = |name: &str| -> Result<&Value> { Ok(&record.values()[schema.index_of(name)?]) };
         Ok(match self {
             Predicate::True => true,
             Predicate::Eq(c, v) => {
@@ -240,7 +238,9 @@ impl QueryEngine {
                 .map(|idx| idx.range(Some(lo), Some(hi))),
             // For a conjunction the first indexable side prunes; the
             // full predicate is re-checked on the candidates anyway.
-            Predicate::And(a, b) => self.index_candidates(a).or_else(|| self.index_candidates(b)),
+            Predicate::And(a, b) => self
+                .index_candidates(a)
+                .or_else(|| self.index_candidates(b)),
             _ => None,
         }
     }
@@ -310,9 +310,7 @@ impl QueryEngine {
             (AggFn::Count, None) => None,
             (AggFn::Count, Some(m)) => Some(schema.index_of(m)?),
             (_, Some(m)) => Some(schema.index_of(m)?),
-            (_, None) => {
-                return Err(Error::invalid(format!("{agg:?} requires a measure column")))
-            }
+            (_, None) => return Err(Error::invalid(format!("{agg:?} requires a measure column"))),
         };
 
         #[derive(Default)]
@@ -438,7 +436,8 @@ mod tests {
         // Row 5 has NULL gender: neither Eq nor Ne matches it.
         assert_eq!(e.count(&Predicate::eq("Gender", "F")).unwrap(), 3);
         assert_eq!(
-            e.count(&Predicate::Ne("Gender".into(), "F".into())).unwrap(),
+            e.count(&Predicate::Ne("Gender".into(), "F".into()))
+                .unwrap(),
             2
         );
         assert_eq!(e.count(&Predicate::IsNull("Gender".into())).unwrap(), 1);
@@ -456,8 +455,8 @@ mod tests {
     #[test]
     fn and_or_not_combinators() {
         let e = engine();
-        let female_over_73 = Predicate::eq("Gender", "F")
-            .and(Predicate::Ge("Age".into(), Value::Int(73)));
+        let female_over_73 =
+            Predicate::eq("Gender", "F").and(Predicate::Ge("Age".into(), Value::Int(73)));
         assert_eq!(e.count(&female_over_73).unwrap(), 1);
         let either = Predicate::eq("Gender", "M").or(Predicate::eq("Gender", "F"));
         assert_eq!(e.count(&either).unwrap(), 5);

@@ -41,9 +41,9 @@ pub enum WalOp {
 }
 
 fn checksum(bytes: &[u8]) -> u32 {
-    bytes
-        .iter()
-        .fold(0u32, |acc, &b| acc.wrapping_mul(31).wrapping_add(u32::from(b)))
+    bytes.iter().fold(0u32, |acc, &b| {
+        acc.wrapping_mul(31).wrapping_add(u32::from(b))
+    })
 }
 
 fn encode_op(op: &WalOp) -> Bytes {

@@ -20,11 +20,8 @@ use clinical_types::{Error, Result};
 use warehouse::Warehouse;
 
 /// Exercise prescription bands over `ExerciseSessionsPerWeek`.
-const EXERCISE_BANDS: [(usize, &str, std::ops::Range<i64>); 3] = [
-    (0, "none", 0..2),
-    (1, "moderate", 2..5),
-    (2, "high", 5..8),
-];
+const EXERCISE_BANDS: [(usize, &str, std::ops::Range<i64>); 3] =
+    [(0, "none", 0..2), (1, "moderate", 2..5), (2, "high", 5..8)];
 
 /// One candidate regimen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -203,8 +203,8 @@ mod tests {
 
     #[test]
     fn robust_aggregate_survives_perturbation() {
-        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Control"], 2)
-            .unwrap();
+        let report =
+            validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Control"], 2).unwrap();
         assert_eq!(report.top_cell, vec![Value::from("X")]);
         assert_eq!(report.top_value, 55.0);
         assert_eq!(report.total_perturbations, 3); // rollup + 2 strata
@@ -214,8 +214,8 @@ mod tests {
 
     #[test]
     fn fragile_aggregate_is_flagged() {
-        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Shaky"]), &["Control"], 1)
-            .unwrap();
+        let report =
+            validate_aggregate(&wh(), &CubeSpec::count(vec!["Shaky"]), &["Control"], 1).unwrap();
         // Base: p has 40, q has 35 → top is p; but stratum b flips to q.
         assert_eq!(report.top_cell, vec![Value::from("p")]);
         assert!(report.consistent < report.total_perturbations);
@@ -224,23 +224,21 @@ mod tests {
 
     #[test]
     fn near_consistency_counts_top_k() {
-        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Shaky"]), &["Control"], 2)
-            .unwrap();
+        let report =
+            validate_aggregate(&wh(), &CubeSpec::count(vec!["Shaky"]), &["Control"], 2).unwrap();
         // p is either top or second everywhere (only two members).
         assert_eq!(report.near_consistent, report.total_perturbations);
     }
 
     #[test]
     fn control_equal_to_axis_rejected() {
-        assert!(
-            validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Band"], 1).is_err()
-        );
+        assert!(validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Band"], 1).is_err());
     }
 
     #[test]
     fn details_describe_each_perturbation() {
-        let report = validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Control"], 1)
-            .unwrap();
+        let report =
+            validate_aggregate(&wh(), &CubeSpec::count(vec!["Band"]), &["Control"], 1).unwrap();
         assert_eq!(report.details.len(), 3);
         assert!(report.details[0].0.contains("add+rollup"));
         assert!(report.details[1].0.contains("Control ="));

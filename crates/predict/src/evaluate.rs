@@ -24,7 +24,10 @@ pub struct EvaluationReport {
 /// states using (a) a Markov model fitted on the truncated corpus,
 /// (b) the similar-patient predictor with self-exclusion, and (c) the
 /// global majority state.
-pub fn evaluate_predictor(trajectories: &[Trajectory], max_context: usize) -> Result<EvaluationReport> {
+pub fn evaluate_predictor(
+    trajectories: &[Trajectory],
+    max_context: usize,
+) -> Result<EvaluationReport> {
     let evaluable: Vec<&Trajectory> = trajectories.iter().filter(|t| t.len() >= 2).collect();
     if evaluable.is_empty() {
         return Err(Error::invalid(
@@ -152,13 +155,9 @@ mod tests {
         let (table, _) = etl::TransformPipeline::discri_default()
             .run(&cohort.attendances)
             .unwrap();
-        let ts = crate::trajectory::extract_trajectories(
-            &table,
-            "PatientId",
-            "TestDate",
-            "FBG_Band",
-        )
-        .unwrap();
+        let ts =
+            crate::trajectory::extract_trajectories(&table, "PatientId", "TestDate", "FBG_Band")
+                .unwrap();
         let report = evaluate_predictor(&ts, 3).unwrap();
         assert!(report.n_evaluated > 20);
         // Phases are sticky year-to-year, so the Markov model must be

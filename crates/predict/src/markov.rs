@@ -21,16 +21,17 @@ impl MarkovModel {
     pub fn fit(trajectories: &[Trajectory]) -> Result<MarkovModel> {
         let mut by_label: HashMap<String, usize> = HashMap::new();
         let mut states: Vec<String> = Vec::new();
-        let intern = |label: &str, states: &mut Vec<String>, by: &mut HashMap<String, usize>| {
-            match by.get(label) {
+        let intern =
+            |label: &str, states: &mut Vec<String>, by: &mut HashMap<String, usize>| match by
+                .get(label)
+            {
                 Some(&i) => i,
                 None => {
                     states.push(label.to_string());
                     by.insert(label.to_string(), states.len() - 1);
                     states.len() - 1
                 }
-            }
-        };
+            };
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         let mut occurrences: Vec<usize> = Vec::new();
         for t in trajectories {
@@ -137,12 +138,7 @@ impl MarkovModel {
             }
             dist = next;
         }
-        Ok(self
-            .states
-            .iter()
-            .cloned()
-            .zip(dist)
-            .collect())
+        Ok(self.states.iter().cloned().zip(dist).collect())
     }
 
     /// The state most visited overall — the majority baseline.
@@ -204,11 +200,7 @@ mod tests {
     fn multi_step_distribution_flows_forward() {
         let m = MarkovModel::fit(&progressive()).unwrap();
         let d2 = m.predict_distribution("N", 2).unwrap();
-        let p_d: f64 = d2
-            .iter()
-            .filter(|(s, _)| s == "D")
-            .map(|(_, p)| *p)
-            .sum();
+        let p_d: f64 = d2.iter().filter(|(s, _)| s == "D").map(|(_, p)| *p).sum();
         let d0 = m.predict_distribution("N", 0).unwrap();
         let p_d0: f64 = d0.iter().filter(|(s, _)| s == "D").map(|(_, p)| *p).sum();
         assert!(p_d > p_d0, "mass must flow toward D over time");

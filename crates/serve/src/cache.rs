@@ -1,0 +1,195 @@
+//! Sharded LRU result cache.
+//!
+//! Keys are `(fingerprint, epoch)`: the canonical query string plus
+//! the warehouse's monotonic data epoch. A mutation bumps the epoch,
+//! so stale results are never *returned* — they simply stop being
+//! addressable — and [`ResultCache::purge_older_than`] reclaims their
+//! memory eagerly after each mutation.
+
+use crate::request::QueryOutcome;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Cache key: canonical fingerprint × data epoch.
+pub type CacheKey = (String, u64);
+
+struct Entry {
+    value: Arc<QueryOutcome>,
+    epoch: u64,
+    last_used: u64,
+}
+
+/// One shard: a capacity-bounded map with least-recently-used
+/// eviction driven by a per-shard use counter.
+struct Shard {
+    entries: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl Shard {
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<QueryOutcome>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.value)
+        })
+    }
+
+    fn insert(&mut self, key: CacheKey, value: Arc<QueryOutcome>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        let epoch = key.1;
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                epoch,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// The sharded cache. Sharding by key hash keeps lock contention
+/// bounded when many worker threads publish results concurrently.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ResultCache {
+    /// A cache holding up to `capacity` results across `shards` shards
+    /// (both floored at 1).
+    pub fn new(capacity: usize, shards: usize) -> ResultCache {
+        let shards = shards.max(1);
+        let per_shard = (capacity.max(1)).div_ceil(shards);
+        ResultCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        capacity: per_shard,
+                        tick: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a result, refreshing its recency on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<QueryOutcome>> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Publish a result, evicting the least-recently-used entry of the
+    /// target shard if it is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<QueryOutcome>) {
+        self.shard(&key).lock().insert(key, value);
+    }
+
+    /// Drop every entry produced under an epoch older than `epoch` —
+    /// called after a warehouse mutation to reclaim stale results.
+    pub fn purge_older_than(&self, epoch: u64) {
+        for shard in &self.shards {
+            shard.lock().entries.retain(|_, e| e.epoch >= epoch);
+        }
+    }
+
+    /// Drop everything (benchmarking aid).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().entries.clear();
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap::PivotTable;
+
+    fn outcome(tag: &str) -> Arc<QueryOutcome> {
+        Arc::new(QueryOutcome::Pivot(PivotTable {
+            row_axis: tag.to_string(),
+            col_axis: String::new(),
+            row_headers: vec![],
+            col_headers: vec![],
+            cells: vec![],
+        }))
+    }
+
+    fn key(s: &str, epoch: u64) -> CacheKey {
+        (s.to_string(), epoch)
+    }
+
+    #[test]
+    fn round_trips_and_counts() {
+        let cache = ResultCache::new(8, 2);
+        assert!(cache.is_empty());
+        cache.insert(key("q1", 1), outcome("a"));
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(
+            &cache.get(&key("q1", 1)).unwrap(),
+            &cache.get(&key("q1", 1)).unwrap()
+        ));
+        assert!(
+            cache.get(&key("q1", 2)).is_none(),
+            "epoch is part of the key"
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // One shard, capacity 2: touching `a` makes `b` the victim.
+        let cache = ResultCache::new(2, 1);
+        cache.insert(key("a", 1), outcome("a"));
+        cache.insert(key("b", 1), outcome("b"));
+        cache.get(&key("a", 1));
+        cache.insert(key("c", 1), outcome("c"));
+        assert!(cache.get(&key("a", 1)).is_some());
+        assert!(cache.get(&key("b", 1)).is_none());
+        assert!(cache.get(&key("c", 1)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn purge_drops_only_stale_epochs() {
+        let cache = ResultCache::new(8, 4);
+        cache.insert(key("q1", 1), outcome("a"));
+        cache.insert(key("q2", 2), outcome("b"));
+        cache.purge_older_than(2);
+        assert!(cache.get(&key("q1", 1)).is_none());
+        assert!(cache.get(&key("q2", 2)).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Typed failures of the serving layer.
+
+use std::fmt;
+use std::time::Duration;
+
+/// `Result` specialised to [`ServeError`].
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded work queue
+    /// was full. The caller should back off and retry; nothing was
+    /// executed on its behalf.
+    Overloaded {
+        /// Configured queue depth that was exhausted.
+        queue_depth: usize,
+    },
+    /// The request was admitted but its result did not arrive within
+    /// the deadline. The underlying execution may still complete and
+    /// populate the cache for later callers.
+    DeadlineExceeded {
+        /// The deadline that elapsed.
+        deadline: Duration,
+    },
+    /// The service is draining and no longer accepts work.
+    ShuttingDown,
+    /// The query itself failed (parse error, unknown attribute, …).
+    Query(clinical_types::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: work queue at capacity ({queue_depth})")
+            }
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(f, "deadline of {deadline:?} exceeded")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<clinical_types::Error> for ServeError {
+    fn from(e: clinical_types::Error) -> Self {
+        ServeError::Query(e)
+    }
+}

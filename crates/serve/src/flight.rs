@@ -1,0 +1,172 @@
+//! Single-flight deduplication.
+//!
+//! When N callers ask for the same `(fingerprint, epoch)` at once,
+//! exactly one — the *leader* — enqueues an execution; the rest park on
+//! the leader's [`Flight`] and share its result. This bounds worker
+//! work under query storms: a popular dashboard query costs one
+//! execution no matter how many clinicians refresh it.
+//!
+//! Flights use `std::sync` directly because waiters need a `Condvar`,
+//! which the `parking_lot` shim does not provide.
+
+use crate::cache::CacheKey;
+use crate::error::{ServeError, ServeResult};
+use crate::request::QueryOutcome;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One in-flight execution that any number of waiters may join.
+pub struct Flight {
+    result: Mutex<Option<ServeResult<Arc<QueryOutcome>>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Publish the outcome and wake every waiter. Later calls are
+    /// ignored (first writer wins).
+    pub fn complete(&self, outcome: ServeResult<Arc<QueryOutcome>>) {
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    /// Block until the flight completes or `deadline` elapses.
+    pub fn wait(&self, deadline: Duration) -> ServeResult<Arc<QueryOutcome>> {
+        let start = Instant::now();
+        let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return Err(ServeError::DeadlineExceeded { deadline });
+            }
+            let (guard, timeout) = self
+                .done
+                .wait_timeout(slot, deadline - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            slot = guard;
+            if timeout.timed_out() && slot.is_none() {
+                return Err(ServeError::DeadlineExceeded { deadline });
+            }
+        }
+    }
+}
+
+/// Whether a caller leads or joins an execution.
+pub enum FlightRole {
+    /// This caller must enqueue the execution (and then wait).
+    Leader(Arc<Flight>),
+    /// An identical execution is already in flight; just wait.
+    Follower(Arc<Flight>),
+}
+
+/// The table of in-flight executions, keyed like the cache.
+#[derive(Default)]
+pub struct FlightTable {
+    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+impl FlightTable {
+    /// Join the flight for `key`, creating it (as leader) if absent.
+    pub fn join(&self, key: &CacheKey) -> FlightRole {
+        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(flight) = flights.get(key) {
+            FlightRole::Follower(Arc::clone(flight))
+        } else {
+            let flight = Arc::new(Flight::new());
+            flights.insert(key.clone(), Arc::clone(&flight));
+            FlightRole::Leader(flight)
+        }
+    }
+
+    /// Retire the flight for `key` so later callers start a fresh one.
+    /// Publish to the cache first, then retire, then complete the
+    /// flight — so no caller can join an already-completed flight.
+    pub fn retire(&self, key: &CacheKey) {
+        self.flights
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+    }
+
+    /// Number of executions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap::PivotTable;
+    use std::thread;
+
+    fn outcome() -> Arc<QueryOutcome> {
+        Arc::new(QueryOutcome::Pivot(PivotTable {
+            row_axis: "r".into(),
+            col_axis: String::new(),
+            row_headers: vec![],
+            col_headers: vec![],
+            cells: vec![],
+        }))
+    }
+
+    #[test]
+    fn second_joiner_is_a_follower() {
+        let table = FlightTable::default();
+        let key = ("q".to_string(), 1);
+        assert!(matches!(table.join(&key), FlightRole::Leader(_)));
+        assert!(matches!(table.join(&key), FlightRole::Follower(_)));
+        assert_eq!(table.in_flight(), 1);
+        table.retire(&key);
+        assert!(matches!(table.join(&key), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn waiters_receive_the_completed_result() {
+        let flight = Arc::new(Flight::new());
+        let value = outcome();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let f = Arc::clone(&flight);
+                thread::spawn(move || f.wait(Duration::from_secs(5)))
+            })
+            .collect();
+        flight.complete(Ok(Arc::clone(&value)));
+        for h in handles {
+            let got = h.join().unwrap().unwrap();
+            assert!(Arc::ptr_eq(&got, &value));
+        }
+    }
+
+    #[test]
+    fn wait_times_out_without_completion() {
+        let flight = Flight::new();
+        let err = flight.wait(Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let flight = Flight::new();
+        flight.complete(Err(ServeError::ShuttingDown));
+        flight.complete(Ok(outcome()));
+        assert_eq!(
+            flight.wait(Duration::from_secs(1)).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Service counters and latency histogram.
+//!
+//! All counters are relaxed atomics — they are observability, not
+//! synchronisation; the serving data structures carry their own locks.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket
+/// is unbounded.
+const BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
+
+/// Live counters maintained by the service.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    executed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    failed: AtomicU64,
+    latency_us_sum: AtomicU64,
+    latency_buckets: [AtomicU64; 6],
+}
+
+impl ServeMetrics {
+    /// Record a cache hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a cache miss (the caller became a flight leader).
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request coalesced onto an in-flight execution.
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an admission-control rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a worker-side execution.
+    pub fn record_executed(&self) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a caller giving up on its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a query-level failure.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the end-to-end latency of one served request.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.latency_us_sum.fetch_add(us, Ordering::Relaxed);
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us < bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len() - 1);
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            latency_us_sum: self.latency_us_sum.load(Ordering::Relaxed),
+            latency_buckets: std::array::from_fn(|i| {
+                self.latency_buckets[i].load(Ordering::Relaxed)
+            }),
+        }
+    }
+}
+
+/// A frozen copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests answered from the result cache.
+    pub hits: u64,
+    /// Requests that found no cached result and led an execution.
+    pub misses: u64,
+    /// Requests coalesced onto an identical in-flight execution.
+    pub coalesced: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Executions performed by the worker pool.
+    pub executed: u64,
+    /// Requests whose caller gave up on its deadline.
+    pub deadline_exceeded: u64,
+    /// Executions that failed at the query layer.
+    pub failed: u64,
+    /// Sum of recorded latencies (µs).
+    pub latency_us_sum: u64,
+    /// Latency histogram counts, aligned with the bucket bounds.
+    pub latency_buckets: [u64; 6],
+}
+
+impl MetricsSnapshot {
+    /// Total requests that received an answer (hit, miss or coalesced).
+    pub fn served(&self) -> u64 {
+        self.hits + self.misses + self.coalesced
+    }
+
+    /// Fraction of answered requests that never executed a query
+    /// themselves (cache hits + coalesced waits).
+    pub fn amortised_rate(&self) -> f64 {
+        let served = self.served();
+        if served == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / served as f64
+        }
+    }
+
+    /// Mean recorded latency, if any latencies were recorded.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        let n: u64 = self.latency_buckets.iter().sum();
+        self.latency_us_sum
+            .checked_div(n)
+            .map(Duration::from_micros)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} (hits {} | misses {} | coalesced {}), rejected {}, \
+             executed {}, deadline-exceeded {}, failed {}",
+            self.served(),
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.rejected,
+            self.executed,
+            self.deadline_exceeded,
+            self.failed,
+        )?;
+        if let Some(mean) = self.mean_latency() {
+            writeln!(f, "mean latency {mean:?}")?;
+        }
+        write!(f, "latency histogram:")?;
+        let labels = ["<100µs", "<1ms", "<10ms", "<100ms", "<1s", "≥1s"];
+        for (label, count) in labels.iter().zip(self.latency_buckets.iter()) {
+            write!(f, "  {label}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_lands_in_the_right_bucket() {
+        let m = ServeMetrics::default();
+        m.record_latency(Duration::from_micros(50));
+        m.record_latency(Duration::from_micros(500));
+        m.record_latency(Duration::from_millis(5));
+        m.record_latency(Duration::from_secs(2));
+        let s = m.snapshot();
+        assert_eq!(s.latency_buckets, [1, 1, 1, 0, 0, 1]);
+        assert!(s.mean_latency().is_some());
+    }
+
+    #[test]
+    fn amortised_rate_counts_hits_and_coalesced() {
+        let m = ServeMetrics::default();
+        m.record_miss();
+        m.record_hit();
+        m.record_hit();
+        m.record_coalesced();
+        let s = m.snapshot();
+        assert_eq!(s.served(), 4);
+        assert!((s.amortised_rate() - 0.75).abs() < 1e-12);
+        assert!(s.to_string().contains("hits 2"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Owned query requests and their canonical fingerprints.
+//!
+//! A request must live independently of the warehouse it will run
+//! against (it sits in a queue, possibly outliving the snapshot it was
+//! admitted under), so every variant is a self-contained description:
+//! an MDX string, a [`CubeSpec`], or a declarative [`ReportSpec`] that
+//! is translated into an `olap::QueryBuilder` chain at execution time.
+
+use clinical_types::{Result, Value};
+use olap::mdx::execute_query;
+use olap::{parse_mdx, Aggregate, Cube, CubeSpec, PivotTable, QueryBuilder};
+use warehouse::Warehouse;
+
+/// A query accepted by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryRequest {
+    /// An MDX statement (§V "Reporting Services"), parsed on admission.
+    Mdx(String),
+    /// A cube materialisation request.
+    Cube(CubeSpec),
+    /// A declarative report — the owned equivalent of a
+    /// `QueryBuilder` chain.
+    Report(ReportSpec),
+}
+
+impl QueryRequest {
+    /// Canonical fingerprint: semantically equivalent requests map to
+    /// the same string, so the cache and single-flight table coalesce
+    /// them. Parse failures surface here, before the request queues.
+    pub fn fingerprint(&self) -> Result<String> {
+        match self {
+            QueryRequest::Mdx(text) => Ok(parse_mdx(text)?.canonical()),
+            QueryRequest::Cube(spec) => Ok(spec.fingerprint()),
+            QueryRequest::Report(spec) => Ok(spec.fingerprint()),
+        }
+    }
+
+    /// Execute against a warehouse snapshot.
+    pub fn execute(&self, warehouse: &Warehouse) -> Result<QueryOutcome> {
+        match self {
+            QueryRequest::Mdx(text) => {
+                let query = parse_mdx(text)?;
+                Ok(QueryOutcome::Pivot(execute_query(warehouse, &query)?))
+            }
+            QueryRequest::Cube(spec) => {
+                let cube = Cube::build(warehouse, spec)?;
+                Ok(QueryOutcome::Cube(CubeResult::from_cube(&cube)))
+            }
+            QueryRequest::Report(spec) => {
+                Ok(QueryOutcome::Pivot(spec.to_builder(warehouse).execute()?))
+            }
+        }
+    }
+}
+
+/// The measure clause of a [`ReportSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportMeasure {
+    /// `COUNT(*)` — attendance counts.
+    Count,
+    /// `COUNT(DISTINCT column)` — e.g. distinct patients.
+    CountDistinct(String),
+    /// An aggregate over a numeric measure.
+    Aggregate(Aggregate, String),
+}
+
+/// An owned, declarative report request mirroring the
+/// `olap::QueryBuilder` surface. Unlike the builder it does not borrow
+/// the warehouse, so it can queue and travel between threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSpec {
+    rows: Vec<String>,
+    cols: Vec<String>,
+    equals: Vec<(String, Value)>,
+    between: Vec<(String, f64, f64)>,
+    measure: ReportMeasure,
+}
+
+impl Default for ReportSpec {
+    fn default() -> Self {
+        ReportSpec::new()
+    }
+}
+
+impl ReportSpec {
+    /// An empty report counting attendances; add axes and filters.
+    pub fn new() -> Self {
+        ReportSpec {
+            rows: Vec::new(),
+            cols: Vec::new(),
+            equals: Vec::new(),
+            between: Vec::new(),
+            measure: ReportMeasure::Count,
+        }
+    }
+
+    /// Add a row-axis attribute.
+    pub fn on_rows(mut self, attribute: impl Into<String>) -> Self {
+        self.rows.push(attribute.into());
+        self
+    }
+
+    /// Add a column-axis attribute.
+    pub fn on_columns(mut self, attribute: impl Into<String>) -> Self {
+        self.cols.push(attribute.into());
+        self
+    }
+
+    /// Keep only facts where `attribute == value`.
+    pub fn where_equals(mut self, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.equals.push((attribute.into(), value.into()));
+        self
+    }
+
+    /// Keep only facts with `measure` in `[lo, hi)`.
+    pub fn where_measure_between(mut self, measure: impl Into<String>, lo: f64, hi: f64) -> Self {
+        self.between.push((measure.into(), lo, hi));
+        self
+    }
+
+    /// Count attendances per cell.
+    pub fn count(mut self) -> Self {
+        self.measure = ReportMeasure::Count;
+        self
+    }
+
+    /// Count distinct `degenerate` values per cell.
+    pub fn count_distinct(mut self, degenerate: impl Into<String>) -> Self {
+        self.measure = ReportMeasure::CountDistinct(degenerate.into());
+        self
+    }
+
+    /// Aggregate `measure` with `agg` per cell.
+    pub fn aggregate(mut self, agg: Aggregate, measure: impl Into<String>) -> Self {
+        self.measure = ReportMeasure::Aggregate(agg, measure.into());
+        self
+    }
+
+    /// Canonical fingerprint. Axis order stays significant (it fixes
+    /// the pivot layout); filter conjunct order does not.
+    pub fn fingerprint(&self) -> String {
+        let mut conds: Vec<String> = self
+            .equals
+            .iter()
+            .map(|(a, v)| format!("{a}={v:?}"))
+            .collect();
+        conds.extend(
+            self.between
+                .iter()
+                .map(|(m, lo, hi)| format!("{m} in [{lo:?},{hi:?})")),
+        );
+        conds.sort();
+        conds.dedup();
+        format!(
+            "report|rows={}|cols={}|where=[{}]|measure={:?}",
+            self.rows.join(","),
+            self.cols.join(","),
+            conds.join(" && "),
+            self.measure
+        )
+    }
+
+    /// Translate into a `QueryBuilder` chain over `warehouse`.
+    pub fn to_builder<'w>(&self, warehouse: &'w Warehouse) -> QueryBuilder<'w> {
+        let mut qb = QueryBuilder::new(warehouse);
+        for r in &self.rows {
+            qb = qb.on_rows(r.clone());
+        }
+        for c in &self.cols {
+            qb = qb.on_columns(c.clone());
+        }
+        for (a, v) in &self.equals {
+            qb = qb.where_equals(a.clone(), v.clone());
+        }
+        for (m, lo, hi) in &self.between {
+            qb = qb.where_measure_between(m.clone(), *lo, *hi);
+        }
+        match &self.measure {
+            ReportMeasure::Count => qb.count(),
+            ReportMeasure::CountDistinct(d) => qb.count_distinct(d.clone()),
+            ReportMeasure::Aggregate(agg, m) => qb.aggregate(*agg, m.clone()),
+        }
+    }
+}
+
+/// What a request produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// A two-axis pivot (MDX and report requests).
+    Pivot(PivotTable),
+    /// A materialised cube, flattened to a deterministic cell list.
+    Cube(CubeResult),
+}
+
+impl QueryOutcome {
+    /// The pivot table, if this outcome is one.
+    pub fn as_pivot(&self) -> Option<&PivotTable> {
+        match self {
+            QueryOutcome::Pivot(p) => Some(p),
+            QueryOutcome::Cube(_) => None,
+        }
+    }
+
+    /// The cube cell list, if this outcome is one.
+    pub fn as_cube(&self) -> Option<&CubeResult> {
+        match self {
+            QueryOutcome::Cube(c) => Some(c),
+            QueryOutcome::Pivot(_) => None,
+        }
+    }
+}
+
+/// A cube flattened into sorted `(coords, value)` cells — a stable,
+/// comparable shape for caching (the live `Cube` hash map has no
+/// deterministic order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeResult {
+    /// Axis attribute names, fixing coordinate order.
+    pub axes: Vec<String>,
+    /// Populated cells, sorted by coordinate.
+    pub cells: Vec<(Vec<Value>, f64)>,
+}
+
+impl CubeResult {
+    /// Flatten `cube`, sorting cells into a canonical order.
+    pub fn from_cube(cube: &Cube) -> CubeResult {
+        let mut cells: Vec<(Vec<Value>, f64)> = cube
+            .iter()
+            .map(|(coords, value)| (coords.clone(), value))
+            .collect();
+        cells.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        CubeResult {
+            axes: cube.axes.clone(),
+            cells,
+        }
+    }
+
+    /// Value at `coords`, if populated.
+    pub fn value(&self, coords: &[Value]) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|(c, _)| c.as_slice() == coords)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_fingerprint_ignores_filter_order() {
+        let a = ReportSpec::new()
+            .on_rows("FBG_Band")
+            .where_equals("Gender", "F")
+            .where_measure_between("FBG", 5.5, 7.0)
+            .count();
+        let b = ReportSpec::new()
+            .on_rows("FBG_Band")
+            .where_measure_between("FBG", 5.5, 7.0)
+            .where_equals("Gender", "F")
+            .count();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn report_fingerprint_keeps_axes_significant() {
+        let rows = ReportSpec::new().on_rows("FBG_Band").count();
+        let cols = ReportSpec::new().on_columns("FBG_Band").count();
+        assert_ne!(rows.fingerprint(), cols.fingerprint());
+    }
+
+    #[test]
+    fn mdx_fingerprint_is_canonical() {
+        let a = QueryRequest::Mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' \
+             MEASURE COUNT(*)"
+                .into(),
+        );
+        let b = QueryRequest::Mdx(
+            "select [Gender].MEMBERS on columns, [FBG_Band].MEMBERS on rows \
+             from [Medical Measures] where [DiabetesStatus] = 'yes' \
+             measure count(*)"
+                .into(),
+        );
+        assert_eq!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn bad_mdx_fails_fingerprinting() {
+        assert!(QueryRequest::Mdx("SELECT nonsense".into())
+            .fingerprint()
+            .is_err());
+    }
+}

@@ -1,0 +1,476 @@
+//! The query service: worker pool, admission control, and the
+//! cache / single-flight fast paths.
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! execute(request)
+//!   ├─ fingerprint + current data epoch → cache key
+//!   ├─ cache hit? ────────────────────────────────▶ Served (Cache)
+//!   ├─ identical query in flight? → park on it ───▶ Served (Coalesced)
+//!   └─ lead a new flight
+//!        ├─ queue full? → Overloaded (nothing ran)
+//!        └─ worker executes under a read snapshot,
+//!           publishes to cache, wakes all waiters ▶ Served (Executed)
+//! ```
+//!
+//! Mutations (`append`, feedback dimensions) take the write lock, bump
+//! the warehouse epoch, and purge now-stale cache entries; in-flight
+//! reads finish against the snapshot they started with.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::error::{ServeError, ServeResult};
+use crate::flight::{Flight, FlightRole, FlightTable};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::request::{QueryOutcome, QueryRequest, ReportSpec};
+use clinical_types::{Table, Value};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use olap::CubeSpec;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use warehouse::Warehouse;
+
+/// Tuning knobs for [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded depth of the admission queue; a full queue rejects with
+    /// [`ServeError::Overloaded`] instead of blocking callers.
+    pub queue_depth: usize,
+    /// Total results held by the cache.
+    pub cache_capacity: usize,
+    /// Cache shard count (lock-contention bound).
+    pub cache_shards: usize,
+    /// Deadline applied by [`QueryService::execute`].
+    pub default_deadline: Duration,
+    /// Artificial per-execution delay, applied by workers before
+    /// running the query. A deterministic aid for tests and benches
+    /// that need executions to overlap; `None` in production.
+    pub execution_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 256,
+            cache_shards: 8,
+            default_deadline: Duration::from_secs(5),
+            execution_delay: None,
+        }
+    }
+}
+
+/// How a [`Served`] answer was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedSource {
+    /// This request led the execution on a worker.
+    Executed,
+    /// Answered straight from the result cache.
+    Cache,
+    /// Coalesced onto another caller's identical in-flight execution.
+    Coalesced,
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The query result (shared — cache hits alias the same allocation).
+    pub value: Arc<QueryOutcome>,
+    /// The data epoch the request was admitted under.
+    pub epoch: u64,
+    /// How the answer was produced.
+    pub source: ServedSource,
+    /// End-to-end latency observed by this caller.
+    pub latency: Duration,
+}
+
+struct Job {
+    request: QueryRequest,
+    key: CacheKey,
+    flight: Arc<Flight>,
+}
+
+struct Shared {
+    warehouse: RwLock<Warehouse>,
+    cache: ResultCache,
+    flights: FlightTable,
+    metrics: ServeMetrics,
+    accepting: AtomicBool,
+    execution_delay: Option<Duration>,
+}
+
+/// A concurrent query front-end over one warehouse.
+///
+/// Multi-user serving is intrinsic to the paper's setting — DiScRi's
+/// warehouse is queried by clinicians, researchers and students at
+/// once (§IV) — and this type provides the serving discipline: a
+/// bounded worker pool, an epoch-keyed result cache, single-flight
+/// deduplication and typed overload rejection.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    queue_depth: usize,
+    default_deadline: Duration,
+}
+
+impl QueryService {
+    /// Start a service over `warehouse` with `config`.
+    pub fn new(warehouse: Warehouse, config: ServeConfig) -> QueryService {
+        let shared = Arc::new(Shared {
+            warehouse: RwLock::new(warehouse),
+            cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+            flights: FlightTable::default(),
+            metrics: ServeMetrics::default(),
+            accepting: AtomicBool::new(true),
+            execution_delay: config.execution_delay,
+        });
+        let (sender, receiver) = bounded::<Job>(config.queue_depth.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let receiver: Receiver<Job> = receiver.clone();
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        QueryService {
+            shared,
+            sender: Some(sender),
+            workers,
+            queue_depth: config.queue_depth.max(1),
+            default_deadline: config.default_deadline,
+        }
+    }
+
+    /// Serve `request` under the configured default deadline.
+    pub fn execute(&self, request: &QueryRequest) -> ServeResult<Served> {
+        self.execute_with_deadline(request, self.default_deadline)
+    }
+
+    /// Serve `request`, giving up (with
+    /// [`ServeError::DeadlineExceeded`]) once `deadline` elapses. An
+    /// abandoned execution still completes on its worker and populates
+    /// the cache for later callers.
+    pub fn execute_with_deadline(
+        &self,
+        request: &QueryRequest,
+        deadline: Duration,
+    ) -> ServeResult<Served> {
+        let start = Instant::now();
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let fingerprint = request.fingerprint().map_err(|e| {
+            self.shared.metrics.record_failed();
+            ServeError::Query(e)
+        })?;
+        let epoch = self.shared.warehouse.read().epoch();
+        let key: CacheKey = (fingerprint, epoch);
+
+        if let Some(value) = self.shared.cache.get(&key) {
+            self.shared.metrics.record_hit();
+            let latency = start.elapsed();
+            self.shared.metrics.record_latency(latency);
+            return Ok(Served {
+                value,
+                epoch,
+                source: ServedSource::Cache,
+                latency,
+            });
+        }
+
+        let (flight, source) = match self.shared.flights.join(&key) {
+            FlightRole::Follower(flight) => {
+                self.shared.metrics.record_coalesced();
+                (flight, ServedSource::Coalesced)
+            }
+            FlightRole::Leader(flight) => {
+                self.shared.metrics.record_miss();
+                let job = Job {
+                    request: request.clone(),
+                    key: key.clone(),
+                    flight: Arc::clone(&flight),
+                };
+                let sender = self.sender.as_ref().ok_or(ServeError::ShuttingDown)?;
+                if let Err(e) = sender.try_send(job) {
+                    let error = match e {
+                        TrySendError::Full(_) => {
+                            self.shared.metrics.record_rejected();
+                            ServeError::Overloaded {
+                                queue_depth: self.queue_depth,
+                            }
+                        }
+                        TrySendError::Disconnected(_) => ServeError::ShuttingDown,
+                    };
+                    // Wake anyone who joined between insert and now,
+                    // then retire so the next caller starts fresh.
+                    flight.complete(Err(error.clone()));
+                    self.shared.flights.retire(&key);
+                    return Err(error);
+                }
+                (flight, ServedSource::Executed)
+            }
+        };
+
+        let remaining = deadline.saturating_sub(start.elapsed());
+        let value = flight.wait(remaining).map_err(|e| {
+            if matches!(e, ServeError::DeadlineExceeded { .. }) {
+                self.shared.metrics.record_deadline_exceeded();
+                // Report the caller's full deadline, not the residue
+                // the flight waited on.
+                ServeError::DeadlineExceeded { deadline }
+            } else {
+                e
+            }
+        })?;
+        let latency = start.elapsed();
+        self.shared.metrics.record_latency(latency);
+        Ok(Served {
+            value,
+            epoch,
+            source,
+            latency,
+        })
+    }
+
+    /// Serve an MDX statement.
+    pub fn mdx(&self, text: &str) -> ServeResult<Served> {
+        self.execute(&QueryRequest::Mdx(text.to_string()))
+    }
+
+    /// Serve a cube materialisation.
+    pub fn cube(&self, spec: CubeSpec) -> ServeResult<Served> {
+        self.execute(&QueryRequest::Cube(spec))
+    }
+
+    /// Serve a declarative report.
+    pub fn report(&self, spec: ReportSpec) -> ServeResult<Served> {
+        self.execute(&QueryRequest::Report(spec))
+    }
+
+    /// Append transformed attendance rows, advancing the data epoch
+    /// and purging cache entries built on older data.
+    pub fn append(&self, table: &Table) -> ServeResult<usize> {
+        let mut wh = self.shared.warehouse.write();
+        let appended = wh.append(table)?;
+        let epoch = wh.epoch();
+        drop(wh);
+        self.shared.cache.purge_older_than(epoch);
+        Ok(appended)
+    }
+
+    /// Add a clinician-feedback dimension (§IV), advancing the data
+    /// epoch and purging stale cache entries.
+    pub fn add_feedback_dimension(
+        &self,
+        dimension: &str,
+        attribute: &str,
+        labels: Vec<Value>,
+    ) -> ServeResult<()> {
+        let mut wh = self.shared.warehouse.write();
+        wh.add_feedback_dimension(dimension, attribute, labels)?;
+        let epoch = wh.epoch();
+        drop(wh);
+        self.shared.cache.purge_older_than(epoch);
+        Ok(())
+    }
+
+    /// Run `f` against the live warehouse under the read lock.
+    pub fn with_warehouse<R>(&self, f: impl FnOnce(&Warehouse) -> R) -> R {
+        f(&self.shared.warehouse.read())
+    }
+
+    /// The current data epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.warehouse.read().epoch()
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Number of cached results.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Drop every cached result (benchmarking aid — cold-path timing).
+    pub fn clear_cache(&self) {
+        self.shared.cache.clear();
+    }
+
+    /// Stop accepting work, drain the queue, join the workers and
+    /// return the final counters.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.drain();
+        self.shared.metrics.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        // Dropping the sender disconnects the channel; workers finish
+        // the queued jobs, then exit on the disconnect.
+        self.sender = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(shared: &Shared, receiver: &Receiver<Job>) {
+    while let Ok(job) = receiver.recv() {
+        if let Some(delay) = shared.execution_delay {
+            thread::sleep(delay);
+        }
+        let wh = shared.warehouse.read();
+        // A mutation may have landed since admission: execute against
+        // (and publish under) the epoch actually visible now.
+        let exec_epoch = wh.epoch();
+        let outcome = job.request.execute(&wh);
+        drop(wh);
+        // Publish to the cache, then retire the flight, then wake the
+        // waiters — in that order. New arrivals after the retire must
+        // find the result in the cache (or lead a fresh flight); they
+        // must never join a flight that has already completed.
+        match outcome {
+            Ok(value) => {
+                let value: Arc<QueryOutcome> = Arc::new(value);
+                shared.metrics.record_executed();
+                shared
+                    .cache
+                    .insert((job.key.0.clone(), exec_epoch), Arc::clone(&value));
+                shared.flights.retire(&job.key);
+                job.flight.complete(Ok(value));
+            }
+            Err(e) => {
+                shared.metrics.record_failed();
+                shared.flights.retire(&job.key);
+                job.flight.complete(Err(ServeError::Query(e)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{DataType, FieldDef, Record, Schema};
+    use warehouse::LoadPlan;
+
+    fn small_warehouse() -> Warehouse {
+        let star = warehouse::StarSchema::new(
+            warehouse::FactDef::new("Facts", vec!["FBG"], vec![]),
+            vec![warehouse::DimensionDef::new(
+                "Bloods",
+                vec!["FBG_Band", "Gender"],
+            )],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::nullable("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+            FieldDef::nullable("Gender", DataType::Text),
+        ])
+        .unwrap();
+        let rows = vec![
+            vec![5.0.into(), "very good".into(), "F".into()],
+            vec![6.5.into(), "preDiabetic".into(), "M".into()],
+            vec![8.0.into(), "Diabetic".into(), "F".into()],
+        ];
+        let table = Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap();
+        Warehouse::load(&LoadPlan::from_star(star), &table).unwrap()
+    }
+
+    fn fbg_by_band() -> QueryRequest {
+        QueryRequest::Report(ReportSpec::new().on_rows("FBG_Band").count())
+    }
+
+    #[test]
+    fn executes_then_serves_from_cache() {
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let first = svc.execute(&fbg_by_band()).unwrap();
+        assert_eq!(first.source, ServedSource::Executed);
+        let second = svc.execute(&fbg_by_band()).unwrap();
+        assert_eq!(second.source, ServedSource::Cache);
+        // The cached answer is the same allocation, hence identical.
+        assert!(Arc::ptr_eq(&first.value, &second.value));
+        let m = svc.shutdown();
+        assert_eq!((m.hits, m.misses, m.executed), (1, 1, 1));
+    }
+
+    #[test]
+    fn mutation_invalidates_via_epoch() {
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let before = svc.execute(&fbg_by_band()).unwrap();
+        svc.add_feedback_dimension("Review", "Flag", vec!["a".into(), "b".into(), "c".into()])
+            .unwrap();
+        let after = svc.execute(&fbg_by_band()).unwrap();
+        assert_eq!(after.source, ServedSource::Executed, "cache must not apply");
+        assert!(after.epoch > before.epoch);
+        assert_eq!(svc.metrics().misses, 2);
+    }
+
+    #[test]
+    fn query_errors_are_typed_and_non_fatal() {
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let err = svc
+            .execute(&QueryRequest::Report(
+                ReportSpec::new().on_rows("NoSuchAttr").count(),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Query(_)));
+        // The service still works afterwards.
+        assert!(svc.execute(&fbg_by_band()).is_ok());
+        assert_eq!(svc.metrics().failed, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        svc.execute(&fbg_by_band()).unwrap();
+        let m = svc.shutdown();
+        assert_eq!(m.executed, 1);
+    }
+
+    #[test]
+    fn all_request_kinds_serve() {
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let mdx = svc
+            .mdx(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+                 FROM [Facts] MEASURE COUNT(*)",
+            )
+            .unwrap();
+        assert!(mdx.value.as_pivot().is_some());
+        let cube = svc
+            .cube(CubeSpec::count(vec!["FBG_Band", "Gender"]))
+            .unwrap();
+        let cube = cube.value.as_cube().unwrap();
+        assert_eq!(cube.cells.iter().map(|(_, v)| *v).sum::<f64>(), 3.0);
+        let report = svc
+            .report(
+                ReportSpec::new()
+                    .on_rows("FBG_Band")
+                    .on_columns("Gender")
+                    .count(),
+            )
+            .unwrap();
+        assert!(report.value.as_pivot().is_some());
+    }
+}

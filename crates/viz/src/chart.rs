@@ -104,7 +104,9 @@ pub fn histogram(title: &str, data: &[(String, f64)], width: usize) -> Result<St
         return Err(Error::invalid("histogram width must be positive"));
     }
     if data.iter().any(|(_, v)| !v.is_finite() || *v < 0.0) {
-        return Err(Error::invalid("histogram values must be finite and non-negative"));
+        return Err(Error::invalid(
+            "histogram values must be finite and non-negative",
+        ));
     }
     let max = data.iter().fold(0.0f64, |a, (_, v)| a.max(*v));
     let label_width = data.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);

@@ -38,11 +38,7 @@ impl Warehouse {
                 "dimension `{dimension}` already exists"
             )));
         }
-        if star
-            .dimensions
-            .iter()
-            .any(|d| d.has_attribute(attribute))
-        {
+        if star.dimensions.iter().any(|d| d.has_attribute(attribute)) {
             return Err(Error::invalid(format!(
                 "attribute `{attribute}` already owned by another dimension"
             )));
@@ -59,7 +55,9 @@ impl Warehouse {
         dims.push(table);
         fact.dim_names.push(dimension.to_string());
         fact.dim_keys.push(keys);
-        fact.validate()
+        fact.validate()?;
+        self.bump_epoch();
+        Ok(())
     }
 
     /// Append a feedback dimension whose label for each fact row is
@@ -105,8 +103,7 @@ mod tests {
             vec![6.5.into(), "preDiabetic".into()],
             vec![8.0.into(), "Diabetic".into()],
         ];
-        let table =
-            Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap();
+        let table = Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap();
         Warehouse::load(&LoadPlan::from_star(star), &table).unwrap()
     }
 
@@ -128,6 +125,21 @@ mod tests {
             .collect();
         assert_eq!(flags, vec!["low", "watch", "act"]);
         assert!(wh.star().dimension("Clinician Review").is_ok());
+    }
+
+    #[test]
+    fn feedback_dimension_advances_the_epoch() {
+        let mut wh = warehouse();
+        let before = wh.epoch();
+        wh.add_feedback_dimension("Review", "Flag", vec!["a".into(), "b".into(), "c".into()])
+            .unwrap();
+        assert!(wh.epoch() > before);
+        // A rejected feedback dimension leaves the epoch alone.
+        let stable = wh.epoch();
+        assert!(wh
+            .add_feedback_dimension("R", "F", vec!["x".into()])
+            .is_err());
+        assert_eq!(wh.epoch(), stable);
     }
 
     #[test]

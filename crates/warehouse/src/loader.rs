@@ -3,6 +3,17 @@
 use crate::model::{discri_model, StarSchema};
 use crate::storage::{DimensionTable, FactTable, MeasureColumn};
 use clinical_types::{Error, Result, Table, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide data-epoch counter. Epochs are globally monotonic so a
+/// cache keyed by `(fingerprint, epoch)` can never confuse the state of
+/// one warehouse instance with another (e.g. after a reload swaps the
+/// instance behind a service).
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A load plan: the star schema to populate, with every referenced
 /// column resolved against the source table at load time.
@@ -65,6 +76,9 @@ pub struct Warehouse {
     star: StarSchema,
     dims: Vec<DimensionTable>,
     fact: FactTable,
+    /// Data epoch: advanced on every mutation (load, append, feedback
+    /// dimension). Query results are only comparable within one epoch.
+    epoch: u64,
 }
 
 impl Warehouse {
@@ -125,7 +139,12 @@ impl Warehouse {
             }
         }
         fact.validate()?;
-        Ok(Warehouse { star, dims, fact })
+        Ok(Warehouse {
+            star,
+            dims,
+            fact,
+            epoch: next_epoch(),
+        })
     }
 
     /// Incrementally append another transformed table (e.g. the next
@@ -179,7 +198,15 @@ impl Warehouse {
             }
         }
         self.fact.validate()?;
+        self.epoch = next_epoch();
         Ok(table.len())
+    }
+
+    /// The warehouse's data epoch. Strictly increases across mutations
+    /// of this instance and is unique across instances in the process,
+    /// so `(query fingerprint, epoch)` identifies a result.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The star schema.
@@ -249,6 +276,11 @@ impl Warehouse {
         self.fact.degenerate_column(name)
     }
 
+    /// Advance the data epoch after a mutation (feedback module).
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch = next_epoch();
+    }
+
     /// Mutable access for the feedback module.
     pub(crate) fn parts_mut(
         &mut self,
@@ -290,10 +322,34 @@ mod tests {
         ])
         .unwrap();
         let rows = vec![
-            vec![1.into(), "F".into(), "60-80".into(), 5.2.into(), "very good".into()],
-            vec![2.into(), "M".into(), "60-80".into(), 7.4.into(), "Diabetic".into()],
-            vec![3.into(), "F".into(), "60-80".into(), Value::Null, Value::Null],
-            vec![1.into(), "F".into(), "60-80".into(), 6.5.into(), "preDiabetic".into()],
+            vec![
+                1.into(),
+                "F".into(),
+                "60-80".into(),
+                5.2.into(),
+                "very good".into(),
+            ],
+            vec![
+                2.into(),
+                "M".into(),
+                "60-80".into(),
+                7.4.into(),
+                "Diabetic".into(),
+            ],
+            vec![
+                3.into(),
+                "F".into(),
+                "60-80".into(),
+                Value::Null,
+                Value::Null,
+            ],
+            vec![
+                1.into(),
+                "F".into(),
+                "60-80".into(),
+                6.5.into(),
+                "preDiabetic".into(),
+            ],
         ];
         Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap()
     }
@@ -372,6 +428,27 @@ mod tests {
         let before = wh.n_facts();
         assert!(wh.append(&partial).is_err());
         assert_eq!(wh.n_facts(), before, "failed append must not mutate");
+    }
+
+    #[test]
+    fn epochs_are_unique_and_advance_on_mutation() {
+        let plan = LoadPlan::from_star(mini_star());
+        let table = mini_table();
+        let mut wh = Warehouse::load(&plan, &table).unwrap();
+        let loaded = wh.epoch();
+        let other = Warehouse::load(&plan, &table).unwrap();
+        assert_ne!(loaded, other.epoch(), "instances share an epoch");
+        wh.append(&table).unwrap();
+        assert!(wh.epoch() > loaded, "append must advance the epoch");
+        assert!(
+            wh.epoch() > other.epoch(),
+            "epochs must stay globally monotonic"
+        );
+        // A failed append leaves the epoch alone.
+        let before = wh.epoch();
+        let partial = mini_table().project(&["PatientId", "Gender"]).unwrap();
+        assert!(wh.append(&partial).is_err());
+        assert_eq!(wh.epoch(), before);
     }
 
     #[test]

@@ -190,10 +190,17 @@ impl StarSchema {
 /// Condition, Fasting Bloods and Limb Health dimensions.
 pub fn fig1_model() -> StarSchema {
     StarSchema::new(
-        FactDef::new("Medical Measures", vec!["FBG", "LyingDBPAverage"], vec!["PatientId"]),
+        FactDef::new(
+            "Medical Measures",
+            vec!["FBG", "LyingDBPAverage"],
+            vec!["PatientId"],
+        ),
         vec![
             DimensionDef::new("Personal Information", vec!["Gender", "Age_Band"]),
-            DimensionDef::new("Medical Condition", vec!["DiabetesStatus", "HypertensionStatus"]),
+            DimensionDef::new(
+                "Medical Condition",
+                vec!["DiabetesStatus", "HypertensionStatus"],
+            ),
             DimensionDef::new("Fasting Bloods", vec!["FBG_Band"]),
             DimensionDef::new("Limb Health", vec!["KneeReflexRight", "AnkleReflexRight"]),
         ],

@@ -75,7 +75,9 @@ impl DimensionTable {
         self.tuples
             .get(key as usize)
             .map(|t| &t[idx])
-            .ok_or_else(|| Error::invalid(format!("dimension `{}` key {key} out of range", self.name)))
+            .ok_or_else(|| {
+                Error::invalid(format!("dimension `{}` key {key} out of range", self.name))
+            })
     }
 
     /// Position of an attribute within tuples.
@@ -171,7 +173,11 @@ pub struct FactTable {
 impl FactTable {
     /// Empty fact table for the given dimension / measure / degenerate
     /// column names.
-    pub fn new(dim_names: Vec<String>, measure_names: Vec<String>, degenerate: Vec<String>) -> Self {
+    pub fn new(
+        dim_names: Vec<String>,
+        measure_names: Vec<String>,
+        degenerate: Vec<String>,
+    ) -> Self {
         FactTable {
             dim_keys: vec![Vec::new(); dim_names.len()],
             dim_names,

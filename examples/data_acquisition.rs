@@ -51,7 +51,10 @@ fn main() -> clinical_types::Result<()> {
     let plan = acquisition_queries(table, &candidates, "DiabetesStatus", 2)?;
     println!("{} acquisition queries generated; first ten:", plan.len());
     for q in plan.iter().take(10) {
-        println!("  re-measure {:<18} for patient {}", q.attribute, q.patient_id);
+        println!(
+            "  re-measure {:<18} for patient {}",
+            q.attribute, q.patient_id
+        );
     }
 
     println!("\n== Context for the clinician: trajectories of plan patients");

@@ -41,7 +41,11 @@ fn main() -> clinical_types::Result<()> {
     }
     println!(
         "verdict: {} ({:.0}% consistency)",
-        if report.is_robust(0.8) { "ROBUST" } else { "FRAGILE" },
+        if report.is_robust(0.8) {
+            "ROBUST"
+        } else {
+            "FRAGILE"
+        },
         report.consistency() * 100.0
     );
 

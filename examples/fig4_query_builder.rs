@@ -60,8 +60,6 @@ fn main() -> clinical_types::Result<()> {
 
     let coarse_total: f64 = pivot.row_totals().iter().sum();
     let fine_total: f64 = fine.row_totals().iter().sum();
-    println!(
-        "\nTotals preserved across granularity: coarse {coarse_total} = fine {fine_total}"
-    );
+    println!("\nTotals preserved across granularity: coarse {coarse_total} = fine {fine_total}");
     Ok(())
 }

@@ -30,7 +30,10 @@ fn main() -> clinical_types::Result<()> {
          WHERE [DiabetesStatus] = 'yes' \
          MEASURE COUNT(DISTINCT [PatientId])",
     )?;
-    print!("{}", GroupedBarChart::titled("patients with diabetes").render(&coarse)?);
+    print!(
+        "{}",
+        GroupedBarChart::titled("patients with diabetes").render(&coarse)?
+    );
 
     println!("\n== Fig. 5 (drill-down): five-year sub-groups ==============");
     let fine = system.mdx(
@@ -39,10 +42,14 @@ fn main() -> clinical_types::Result<()> {
          WHERE [DiabetesStatus] = 'yes' \
          MEASURE COUNT(DISTINCT [PatientId])",
     )?;
-    print!("{}", GroupedBarChart::titled("patients with diabetes").render(&fine)?);
+    print!(
+        "{}",
+        GroupedBarChart::titled("patients with diabetes").render(&fine)?
+    );
 
     let get = |band: &str, gender: &str| {
-        fine.get(&Value::from(band), &Value::from(gender)).unwrap_or(0.0)
+        fine.get(&Value::from(band), &Value::from(gender))
+            .unwrap_or(0.0)
     };
     let (m_7075, f_7075) = (get("70-75", "M"), get("70-75", "F"));
     let (m_7580, f_7580) = (get("75-80", "M"), get("75-80", "F"));

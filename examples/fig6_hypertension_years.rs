@@ -59,11 +59,20 @@ fn main() -> clinical_types::Result<()> {
     let (s6570, s7075, s7580) = (share("65-70"), share("70-75"), share("75-80"));
     println!("\n== Paper finding vs this run ==============================");
     println!("share of '5-10 years since diagnosis' among hypertensives:");
-    println!("  65-70: {:.1}%   70-75: {:.1}%   75-80: {:.1}%", s6570 * 100.0, s7075 * 100.0, s7580 * 100.0);
+    println!(
+        "  65-70: {:.1}%   70-75: {:.1}%   75-80: {:.1}%",
+        s6570 * 100.0,
+        s7075 * 100.0,
+        s7580 * 100.0
+    );
     let reproduced = s7075 < s6570 * 0.75 && s7580 < s6570 * 0.75;
     println!(
         "drop of the 5-10 band in 70-75 and 75-80: paper YES | here → {}",
-        if reproduced { "REPRODUCED" } else { "NOT reproduced" }
+        if reproduced {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     Ok(())
 }

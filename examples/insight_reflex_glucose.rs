@@ -53,21 +53,38 @@ fn main() -> clinical_types::Result<()> {
             || (i.feature_b.contains("Reflex") && i.feature_a == "FBG_Band");
         if is_reflex_glucose
             && (i.value_a == "absent" || i.value_b == "absent")
-            && (i.value_a == "preDiabetic" || i.value_b == "preDiabetic"
-                || i.value_a == "high" || i.value_b == "high")
+            && (i.value_a == "preDiabetic"
+                || i.value_b == "preDiabetic"
+                || i.value_a == "high"
+                || i.value_b == "high")
         {
             reflex_glucose_found = true;
         }
         println!(
             "  {}={} & {}={} → {}  joint {:.2} vs single {:.2} (n={}){}",
-            i.feature_a, i.value_a, i.feature_b, i.value_b, i.class,
-            i.joint_confidence, i.best_single_confidence, i.support,
-            if is_reflex_glucose { "   ← the paper's insight" } else { "" }
+            i.feature_a,
+            i.value_a,
+            i.feature_b,
+            i.value_b,
+            i.class,
+            i.joint_confidence,
+            i.best_single_confidence,
+            i.support,
+            if is_reflex_glucose {
+                "   ← the paper's insight"
+            } else {
+                ""
+            }
         );
     }
 
     println!("\n== Channel 2: Apriori association rules ===================");
-    let rule_features = vec!["AnkleReflexRight", "KneeReflexRight", "FBG_Band", "DiabetesStatus"];
+    let rule_features = vec![
+        "AnkleReflexRight",
+        "KneeReflexRight",
+        "FBG_Band",
+        "DiabetesStatus",
+    ];
     let rule_data = DatasetBuilder::new(rule_features, "DiabetesStatus").build(table)?;
     let status = rule_data
         .features

@@ -34,7 +34,9 @@ fn main() -> clinical_types::Result<()> {
     );
     println!(
         "  cardinality: {} patients, mean {:.1} visits, max {}",
-        report.cardinality.n_patients, report.cardinality.mean_visits, report.cardinality.max_visits
+        report.cardinality.n_patients,
+        report.cardinality.mean_visits,
+        report.cardinality.max_visits
     );
     println!("  derived bands: {}", report.bands.len());
     println!(
@@ -61,8 +63,14 @@ fn main() -> clinical_types::Result<()> {
     for i in cycle.interactions.iter().take(3) {
         println!(
             "  {}={} & {}={} → {}  (joint {:.2}, best single {:.2}, n={})",
-            i.feature_a, i.value_a, i.feature_b, i.value_b, i.class,
-            i.joint_confidence, i.best_single_confidence, i.support
+            i.feature_a,
+            i.value_a,
+            i.feature_b,
+            i.value_b,
+            i.class,
+            i.joint_confidence,
+            i.best_single_confidence,
+            i.support
         );
     }
     println!("Association rules:");

@@ -17,12 +17,8 @@ use predict::{evaluate_predictor, extract_trajectories, MarkovModel};
 fn main() -> clinical_types::Result<()> {
     let cohort = generate(&CohortConfig::default());
     let system = DdDgms::from_raw_attendances(&cohort.attendances)?;
-    let trajectories = extract_trajectories(
-        system.transformed(),
-        "PatientId",
-        "TestDate",
-        "FBG_Band",
-    )?;
+    let trajectories =
+        extract_trajectories(system.transformed(), "PatientId", "TestDate", "FBG_Band")?;
     println!(
         "{} patient trajectories, {} total visits",
         trajectories.len(),
@@ -60,9 +56,18 @@ fn main() -> clinical_types::Result<()> {
     println!("\n== Held-out evaluation (leave last visit out) =============");
     let report = evaluate_predictor(&trajectories, 3)?;
     println!("  evaluable patients:        {}", report.n_evaluated);
-    println!("  Markov accuracy:           {:.1}%", report.markov_accuracy * 100.0);
-    println!("  similar-patient accuracy:  {:.1}%", report.similar_accuracy * 100.0);
-    println!("  majority baseline:         {:.1}%", report.baseline_accuracy * 100.0);
+    println!(
+        "  Markov accuracy:           {:.1}%",
+        report.markov_accuracy * 100.0
+    );
+    println!(
+        "  similar-patient accuracy:  {:.1}%",
+        report.similar_accuracy * 100.0
+    );
+    println!(
+        "  majority baseline:         {:.1}%",
+        report.baseline_accuracy * 100.0
+    );
     println!(
         "\nMarkov beats the baseline by {:.1} points — the time-course\nstructure in the warehouse is real, not majority class.",
         (report.markov_accuracy - report.baseline_accuracy) * 100.0

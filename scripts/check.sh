@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints, release build, tests.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

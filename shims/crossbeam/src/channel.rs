@@ -1,0 +1,359 @@
+//! MPMC channel: `bounded` / `unbounded`, cloneable endpoints,
+//! disconnect detection, and timeout receives.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: Option<usize>,
+    /// Signalled when an item arrives or all senders disconnect.
+    readable: Condvar,
+    /// Signalled when space frees up or all receivers disconnect.
+    writable: Condvar,
+}
+
+/// Sending half; cloneable (MPMC).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; cloneable (MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error for [`Sender::send`]: every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error for [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+/// Error for [`Receiver::recv`]: empty and every sender is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the window.
+    Timeout,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+macro_rules! fmt_display {
+    ($msg:literal) => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str($msg)
+        }
+    };
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fmt_display!("sending on a disconnected channel");
+}
+impl<T> fmt::Display for TrySendError<T> {
+    fmt_display!("sending on a full or disconnected channel");
+}
+impl fmt::Display for RecvError {
+    fmt_display!("receiving on an empty, disconnected channel");
+}
+impl fmt::Display for TryRecvError {
+    fmt_display!("receiving on an empty channel");
+}
+impl fmt::Display for RecvTimeoutError {
+    fmt_display!("timed out receiving on an empty channel");
+}
+
+/// Channel holding at most `capacity` queued items.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    make(Some(capacity))
+}
+
+/// Channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Queue `value`, blocking while the channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .shared
+                        .writable
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.readable.notify_one();
+        Ok(())
+    }
+
+    /// Queue `value` only if there is room right now.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.lock();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.readable.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue, blocking until an item arrives or all senders leave.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.writable.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .readable
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeue only if an item is already queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.lock();
+        if let Some(value) = state.queue.pop_front() {
+            drop(state);
+            self.shared.writable.notify_one();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Dequeue, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.writable.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .readable
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            self.shared.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            self.shared.writable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = bounded::<u8>(1);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        drop(tx);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Disconnected);
+    }
+
+    #[test]
+    fn mpmc_drains_everything_once() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..100).map(move |i| p * 100 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the API surface this workspace uses — seeded
+//! [`rngs::StdRng`], [`RngExt::random`] / [`RngExt::random_range`],
+//! and [`seq::SliceRandom::shuffle`] — over a xoshiro256++ core seeded
+//! through SplitMix64. Deterministic for a given seed, which is all
+//! the cohort generator and the tests require; it makes no
+//! cryptographic claims.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable constructors (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a reproducible generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types [`RngExt::random`] can produce.
+pub trait Random {
+    /// Draw one value from `rng`.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges [`RngExt::random_range`] can sample from. Parameterised over
+/// the output type (like `rand::distr::uniform::SampleRange`), with a
+/// single blanket impl per range shape so that integer literals in a
+/// range unify with the expected result type.
+pub trait RangeSample<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over an interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Uniform integer in `[0, bound)` via Lemire-style widening multiply
+/// on a 64-bit draw (bias is negligible for the bounds used here).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as u64
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                lo + <$t>::random(rng) * (hi - lo)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                lo + <$t>::random(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f64, f32);
+
+impl<T: SampleUniform> RangeSample<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty random_range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> RangeSample<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty random_range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// High-level sampling methods (subset of `rand::Rng`).
+pub trait RngExt: RngCore {
+    /// Draw a value of type `T` (uniform over its natural domain;
+    /// `[0, 1)` for floats).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn random_range<T, S: RangeSample<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Sequence-level helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Slice shuffling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 12];
+        for _ in 0..1_000 {
+            let m = rng.random_range(1..=12u32);
+            assert!((1..=12).contains(&m));
+            seen[(m - 1) as usize] = true;
+            let x = rng.random_range(-5.0f64..5.0);
+            assert!((-5.0..5.0).contains(&x));
+            let n = rng.random_range(0..7i32);
+            assert!((0..7).contains(&n));
+        }
+        assert!(seen.iter().all(|&s| s), "inclusive range missed a value");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice ordered");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The build environment has no registry access, and this workspace
+//! only ever uses `#[derive(Serialize, Deserialize)]` as inert markers
+//! (no serializer is ever instantiated — there is no `serde_json` or
+//! similar in the dependency tree). These derives therefore expand to
+//! nothing; the `serde` helper attribute (`#[serde(skip)]` etc.) is
+//! registered so annotated fields keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

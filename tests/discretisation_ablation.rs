@@ -27,13 +27,9 @@ fn dataset_from_bins(values: &[f64], classes: &[usize], bins: &Bins) -> Dataset 
 }
 
 fn cv_accuracy(data: &Dataset) -> f64 {
-    cross_validate(
-        data,
-        5,
-        13,
-        NaiveBayes::fit,
-        |model, test| model.predict_all(test),
-    )
+    cross_validate(data, 5, 13, NaiveBayes::fit, |model, test| {
+        model.predict_all(test)
+    })
     .expect("cross-validation runs")
     .mean_accuracy
 }
@@ -80,7 +76,10 @@ fn supervised_cuts_match_clinical_quality() {
 
     // The supervised methods must be competitive with the clinician:
     // within 3 points of the Table I scheme.
-    assert!(a_mdlp > a_clinical - 0.03, "MDLP {a_mdlp} vs clinical {a_clinical}");
+    assert!(
+        a_mdlp > a_clinical - 0.03,
+        "MDLP {a_mdlp} vs clinical {a_clinical}"
+    );
     assert!(
         a_chimerge > a_clinical - 0.03,
         "ChiMerge {a_chimerge} vs clinical {a_clinical}"
@@ -103,7 +102,10 @@ fn supervised_cuts_match_clinical_quality() {
         ("mdlp", a_mdlp),
         ("chimerge", a_chimerge),
     ] {
-        assert!(a > majority, "{name} ({a:.3}) does not beat majority ({majority:.3})");
+        assert!(
+            a > majority,
+            "{name} ({a:.3}) does not beat majority ({majority:.3})"
+        );
     }
     // The unsupervised baselines stay valid binnings: never below the
     // majority floor by more than noise.

@@ -55,7 +55,15 @@ fn full_closed_loop_on_a_small_cohort() {
             "DiabetesStatus",
         )
         .unwrap();
-    assert_eq!(ds.len(), system.transformed().len());
+    // Rows with a NULL class label are dropped by dataset isolation;
+    // everything labelled must survive.
+    let labelled_rows = system
+        .transformed()
+        .column("DiabetesStatus")
+        .unwrap()
+        .filter(|v| !v.is_null())
+        .count();
+    assert_eq!(ds.len(), labelled_rows);
     let regimen = strat.optimise_regimen(1500.0).unwrap();
     assert!(regimen.annual_cost <= 1500.0);
 
@@ -118,8 +126,7 @@ fn incremental_append_extends_the_warehouse_consistently() {
     let c1 = Cube::build(&wh1, &spec).unwrap();
     let c2 = Cube::build(&wh2, &spec).unwrap();
     for (coords, value) in combined.iter() {
-        let separate =
-            c1.value(coords).unwrap_or(0.0) + c2.value(coords).unwrap_or(0.0);
+        let separate = c1.value(coords).unwrap_or(0.0) + c2.value(coords).unwrap_or(0.0);
         assert_eq!(value, separate, "cell {coords:?}");
     }
 }

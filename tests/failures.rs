@@ -2,7 +2,9 @@
 //! descriptive error (never a panic) and recover where the design says
 //! it recovers.
 
-use clinical_types::{table_from_csv, table_to_csv, DataType, FieldDef, Record, Schema, Table, Value};
+use clinical_types::{
+    table_from_csv, table_to_csv, DataType, FieldDef, Record, Schema, Table, Value,
+};
 use dd_dgms::DdDgms;
 use discri::{generate, CohortConfig};
 use oltp::DurableStore;
@@ -34,14 +36,18 @@ fn malformed_mdx_reports_parse_errors() {
 #[test]
 fn mdx_against_wrong_cube_or_attribute_fails_cleanly() {
     let err = system()
-        .mdx("SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
-              FROM [Wrong Cube] MEASURE COUNT(*)")
+        .mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+              FROM [Wrong Cube] MEASURE COUNT(*)",
+        )
         .expect_err("wrong cube must fail");
     assert!(err.to_string().contains("Wrong Cube"));
 
     let err = system()
-        .mdx("SELECT [Gender].MEMBERS ON COLUMNS, [NoSuchThing].MEMBERS ON ROWS \
-              FROM [Medical Measures] MEASURE COUNT(*)")
+        .mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [NoSuchThing].MEMBERS ON ROWS \
+              FROM [Medical Measures] MEASURE COUNT(*)",
+        )
         .expect_err("unknown attribute must fail");
     assert!(err.to_string().contains("NoSuchThing"));
 }

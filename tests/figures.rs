@@ -16,7 +16,9 @@ fn system() -> &'static DdDgms {
 }
 
 fn cell(pivot: &olap::PivotTable, row: &str, col: &str) -> f64 {
-    pivot.get(&Value::from(row), &Value::from(col)).unwrap_or(0.0)
+    pivot
+        .get(&Value::from(row), &Value::from(col))
+        .unwrap_or(0.0)
 }
 
 #[test]
@@ -131,7 +133,10 @@ fn table1_bands_partition_the_cohort() {
         .unwrap();
     let bands: Vec<String> = pivot.row_headers.iter().map(|h| h.to_string()).collect();
     for expected in ["very good", "high", "preDiabetic", "Diabetic"] {
-        assert!(bands.contains(&expected.to_string()), "missing band {expected}");
+        assert!(
+            bands.contains(&expected.to_string()),
+            "missing band {expected}"
+        );
     }
     // Rows whose FBG is missing group under the NULL band; the four
     // labelled bands must account for exactly the non-missing rows.

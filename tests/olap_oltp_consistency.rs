@@ -37,7 +37,12 @@ fn counts_agree_across_engines() {
     let cube = Cube::build(&f.warehouse, &CubeSpec::count(vec!["Gender", "Age_Band"])).unwrap();
     let flat = f
         .engine
-        .group_by(&Predicate::True, &["Gender", "Age_Band"], AggFn::Count, None)
+        .group_by(
+            &Predicate::True,
+            &["Gender", "Age_Band"],
+            AggFn::Count,
+            None,
+        )
         .unwrap();
     assert_eq!(cube.n_cells(), flat.rows.len());
     for (key, value) in &flat.rows {
@@ -80,7 +85,12 @@ fn averages_agree_with_null_skipping() {
     .unwrap();
     let flat = f
         .engine
-        .group_by(&Predicate::True, &["DiabetesStatus"], AggFn::Avg, Some("FBG"))
+        .group_by(
+            &Predicate::True,
+            &["DiabetesStatus"],
+            AggFn::Avg,
+            Some("FBG"),
+        )
         .unwrap();
     for (key, value) in &flat.rows {
         if value.is_nan() {

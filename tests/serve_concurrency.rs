@@ -1,0 +1,280 @@
+//! Concurrency behaviour of the serving subsystem: single-flight
+//! coalescing, epoch-driven cache invalidation, and admission-control
+//! backpressure. All tests drive a real multi-threaded
+//! `QueryService`; `execution_delay` makes executions overlap
+//! deterministically without relying on query cost.
+
+use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+use serve::{QueryRequest, QueryService, ReportSpec, ServeConfig, ServeError, ServedSource};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema, Warehouse};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        FieldDef::nullable("FBG", DataType::Float),
+        FieldDef::nullable("FBG_Band", DataType::Text),
+        FieldDef::nullable("Gender", DataType::Text),
+    ])
+    .unwrap()
+}
+
+fn rows_table(rows: Vec<Vec<clinical_types::Value>>) -> Table {
+    Table::from_rows(schema(), rows.into_iter().map(Record::new).collect()).unwrap()
+}
+
+fn small_warehouse() -> Warehouse {
+    let star = StarSchema::new(
+        FactDef::new("Facts", vec!["FBG"], vec![]),
+        vec![DimensionDef::new("Bloods", vec!["FBG_Band", "Gender"])],
+    )
+    .unwrap();
+    let table = rows_table(vec![
+        vec![5.0.into(), "very good".into(), "F".into()],
+        vec![6.5.into(), "preDiabetic".into(), "M".into()],
+        vec![8.0.into(), "Diabetic".into(), "F".into()],
+        vec![7.2.into(), "Diabetic".into(), "M".into()],
+    ]);
+    Warehouse::load(&LoadPlan::from_star(star), &table).unwrap()
+}
+
+fn count_by_band() -> QueryRequest {
+    QueryRequest::Report(ReportSpec::new().on_rows("FBG_Band").count())
+}
+
+#[test]
+fn identical_concurrent_queries_coalesce_into_one_execution() {
+    const CALLERS: usize = 8;
+    let svc = QueryService::new(
+        small_warehouse(),
+        ServeConfig {
+            workers: 4,
+            execution_delay: Some(Duration::from_millis(80)),
+            ..ServeConfig::default()
+        },
+    );
+
+    let barrier = Arc::new(Barrier::new(CALLERS));
+    let sources = thread::scope(|s| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|_| {
+                let svc = &svc;
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    svc.execute(&count_by_band()).unwrap().source
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    // Exactly one caller led; everyone else coalesced onto its flight
+    // (the 80ms execution delay keeps the flight open until all eight
+    // callers have arrived).
+    let executed = sources
+        .iter()
+        .filter(|s| **s == ServedSource::Executed)
+        .count();
+    let coalesced = sources
+        .iter()
+        .filter(|s| **s == ServedSource::Coalesced)
+        .count();
+    assert_eq!(executed, 1, "sources: {sources:?}");
+    assert_eq!(coalesced, CALLERS - 1, "sources: {sources:?}");
+
+    let m = svc.shutdown();
+    assert_eq!(m.executed, 1, "one worker execution for {CALLERS} callers");
+    assert_eq!(m.coalesced as usize, CALLERS - 1);
+    assert_eq!(m.misses, 1);
+}
+
+#[test]
+fn warm_hit_is_identical_to_fresh_execution() {
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+    let cold = svc.execute(&count_by_band()).unwrap();
+    let warm = svc.execute(&count_by_band()).unwrap();
+    assert_eq!(cold.source, ServedSource::Executed);
+    assert_eq!(warm.source, ServedSource::Cache);
+    // Same allocation, therefore byte-identical content.
+    assert!(Arc::ptr_eq(&cold.value, &warm.value));
+    assert_eq!(cold.value, warm.value);
+
+    // And a forced re-execution (cache cleared) reproduces the same
+    // result value, so the cache never changes an answer.
+    svc.clear_cache();
+    let fresh = svc.execute(&count_by_band()).unwrap();
+    assert_eq!(fresh.source, ServedSource::Executed);
+    assert_eq!(fresh.value, warm.value);
+}
+
+#[test]
+fn append_bumps_epoch_and_invalidates_cached_results() {
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+    let before = svc.execute(&count_by_band()).unwrap();
+    let diabetic_before = before
+        .value
+        .as_pivot()
+        .unwrap()
+        .get(&"Diabetic".into(), &"all".into())
+        .unwrap();
+
+    // New attendances arrive: the epoch advances and the cached pivot
+    // must not be served again.
+    svc.append(&rows_table(vec![vec![
+        9.1.into(),
+        "Diabetic".into(),
+        "F".into(),
+    ]]))
+    .unwrap();
+
+    let after = svc.execute(&count_by_band()).unwrap();
+    assert!(after.epoch > before.epoch);
+    assert_eq!(after.source, ServedSource::Executed);
+    let diabetic_after = after
+        .value
+        .as_pivot()
+        .unwrap()
+        .get(&"Diabetic".into(), &"all".into())
+        .unwrap();
+    assert_eq!(diabetic_after, diabetic_before + 1.0);
+
+    // The stale entry was purged, not merely shadowed.
+    assert_eq!(svc.cache_len(), 1);
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded_and_never_blocks() {
+    const CALLERS: usize = 12;
+    // One worker stuck 200ms per job, queue of one: most callers must
+    // be turned away immediately.
+    let svc = QueryService::new(
+        small_warehouse(),
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            execution_delay: Some(Duration::from_millis(200)),
+            ..ServeConfig::default()
+        },
+    );
+
+    let barrier = Arc::new(Barrier::new(CALLERS));
+    let started = Instant::now();
+    let results = thread::scope(|s| {
+        let handles: Vec<_> = (0..CALLERS)
+            .map(|i| {
+                let svc = &svc;
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    // Distinct fingerprints, so no coalescing: every
+                    // caller needs its own queue slot.
+                    let spec = ReportSpec::new()
+                        .on_rows("FBG_Band")
+                        .where_measure_between("FBG", 0.0, 100.0 + i as f64)
+                        .count();
+                    svc.execute(&QueryRequest::Report(spec))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    let rejected = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::Overloaded { queue_depth: 1 })))
+        .count();
+    let served = results.iter().filter(|r| r.is_ok()).count();
+    assert!(rejected > 0, "no caller was rejected: {results:?}");
+    assert!(served > 0, "no caller was served: {results:?}");
+    assert_eq!(rejected + served, CALLERS, "unexpected error: {results:?}");
+    // Rejection is immediate: even with a 200ms execution, all calls
+    // return well before CALLERS × 200ms of serialised work.
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "admission control blocked: {:?}",
+        started.elapsed()
+    );
+
+    let m = svc.shutdown();
+    assert_eq!(m.rejected as usize, rejected);
+    assert_eq!(m.executed as usize, served);
+}
+
+#[test]
+fn deadline_expires_but_execution_still_warms_the_cache() {
+    let svc = QueryService::new(
+        small_warehouse(),
+        ServeConfig {
+            workers: 1,
+            execution_delay: Some(Duration::from_millis(150)),
+            ..ServeConfig::default()
+        },
+    );
+    let err = svc
+        .execute_with_deadline(&count_by_band(), Duration::from_millis(20))
+        .unwrap_err();
+    assert!(matches!(err, ServeError::DeadlineExceeded { .. }));
+
+    // The abandoned execution completes on the worker and later
+    // callers hit its cached result.
+    let served = svc.execute(&count_by_band()).unwrap();
+    assert_ne!(served.source, ServedSource::Executed);
+    let m = svc.shutdown();
+    assert_eq!(m.deadline_exceeded, 1);
+    assert_eq!(m.executed, 1);
+}
+
+#[test]
+fn mixed_request_kinds_hammered_from_many_threads() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 20;
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+
+    let requests = [
+        QueryRequest::Mdx(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+             FROM [Facts] MEASURE COUNT(*)"
+                .into(),
+        ),
+        QueryRequest::Cube(olap::CubeSpec::count(vec!["FBG_Band", "Gender"])),
+        QueryRequest::Report(ReportSpec::new().on_rows("Gender").count()),
+    ];
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let svc = &svc;
+            let requests = &requests;
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let request = &requests[(t + r) % requests.len()];
+                    let served = svc.execute(request).unwrap();
+                    match request {
+                        QueryRequest::Cube(_) => assert!(served.value.as_cube().is_some()),
+                        _ => assert!(served.value.as_pivot().is_some()),
+                    }
+                }
+            });
+        }
+    });
+
+    let m = svc.shutdown();
+    assert_eq!(m.served() as usize, THREADS * ROUNDS);
+    assert_eq!(m.rejected, 0);
+    assert_eq!(m.failed, 0);
+    // Three distinct fingerprints → at most three executions per
+    // epoch; everything else came from the cache or a shared flight.
+    assert!(
+        m.executed <= 3,
+        "executed {} of 3 distinct queries",
+        m.executed
+    );
+    assert!(m.hits + m.coalesced >= (THREADS * ROUNDS - 3) as u64);
+}
