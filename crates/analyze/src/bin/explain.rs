@@ -1,0 +1,32 @@
+//! Diagnostic-code reference: `cargo run -p analyze --bin explain A200`.
+//!
+//! With a code argument, prints the long-form explanation; with no
+//! arguments (or `--list`), prints the one-line summary of every code.
+
+use analyze::{explain, ALL_CODES};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--list") {
+        for code in ALL_CODES {
+            println!("{code}  {}", code.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut ok = true;
+    for code in &args {
+        match explain(code) {
+            Some(text) => println!("{text}\n"),
+            None => {
+                eprintln!("explain: unknown diagnostic code `{code}` (try --list)");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,74 @@
+//! Workspace lint gate: `cargo run -p analyze --bin repo-lint`.
+//!
+//! Walks every workspace `.rs` source and enforces the rules in
+//! [`analyze::lint`]. Exits non-zero when any violation is found, so
+//! `scripts/check.sh` can use it as a failing gate.
+//!
+//! Flags:
+//! * `--root <path>` — workspace root (default: inferred from
+//!   `CARGO_MANIFEST_DIR`, falling back to the current directory);
+//! * `--fix-hints` — print each offending line together with its rule
+//!   id and the suggested fix.
+
+use analyze::lint::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        // crates/analyze → workspace root is two levels up.
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = default_root();
+    let mut fix_hints = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("repo-lint: --root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fix-hints" => fix_hints = true,
+            other => {
+                eprintln!(
+                    "repo-lint: unknown flag `{other}` (expected --root <path>, --fix-hints)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("repo-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &report.violations {
+        if fix_hints {
+            println!("{v}\n    fix: {}", v.hint);
+        } else {
+            println!("{v}");
+        }
+    }
+    println!(
+        "repo-lint: {} files checked, {} violation(s), {} lint:allow escape(s)",
+        report.files_checked,
+        report.violations.len(),
+        report.escapes.len(),
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

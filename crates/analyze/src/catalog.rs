@@ -1,0 +1,225 @@
+//! The analyzer's view of a star schema.
+//!
+//! [`Catalog`] flattens a [`StarSchema`] into the lookups the semantic
+//! passes need: column name → kind, hierarchy drill-down edges,
+//! which attributes belong to the cardinality dimension, which
+//! measures are additive, and (when built from a loaded [`Warehouse`])
+//! the observed value domain of each categorical attribute.
+
+use crate::distance::closest;
+use std::collections::{HashMap, HashSet};
+use warehouse::{StarSchema, Warehouse};
+
+/// The name of the visit-multiplicity dimension (paper §III: the
+/// Cardinality dimension distinguishing first visits, latest visits
+/// and per-patient visit counts).
+pub const CARDINALITY_DIMENSION: &str = "Cardinality";
+
+/// What a resolved column name denotes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// A categorical attribute owned by the named dimension.
+    Attribute {
+        /// Owning dimension name.
+        dimension: String,
+    },
+    /// A numeric fact measure.
+    Measure,
+    /// A degenerate (identifier) column stored on the fact.
+    Degenerate,
+}
+
+/// A resolved, analysis-ready view of one star schema.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    fact_name: String,
+    columns: HashMap<String, ColumnKind>,
+    /// level → one-step-finer level, over every hierarchy.
+    finer: HashMap<String, String>,
+    cardinality_attrs: HashSet<String>,
+    /// Observed values per attribute (empty unless built from a
+    /// loaded warehouse).
+    domains: HashMap<String, HashSet<String>>,
+}
+
+impl Catalog {
+    /// Build from a schema alone (no value domains).
+    pub fn from_star(star: &StarSchema) -> Self {
+        let mut columns = HashMap::new();
+        let mut finer = HashMap::new();
+        let mut cardinality_attrs = HashSet::new();
+        for d in &star.dimensions {
+            for a in &d.attributes {
+                columns.insert(
+                    a.clone(),
+                    ColumnKind::Attribute {
+                        dimension: d.name.clone(),
+                    },
+                );
+                if d.name == CARDINALITY_DIMENSION {
+                    cardinality_attrs.insert(a.clone());
+                }
+            }
+            for h in &d.hierarchies {
+                for pair in h.levels.windows(2) {
+                    finer.insert(pair[0].clone(), pair[1].clone());
+                }
+            }
+        }
+        for m in &star.fact.measures {
+            columns.insert(m.clone(), ColumnKind::Measure);
+        }
+        for g in &star.fact.degenerate {
+            columns.insert(g.clone(), ColumnKind::Degenerate);
+        }
+        Catalog {
+            fact_name: star.fact.name.clone(),
+            columns,
+            finer,
+            cardinality_attrs,
+            domains: HashMap::new(),
+        }
+    }
+
+    /// Build from a loaded warehouse: the schema view plus the
+    /// observed value domain of every categorical attribute, enabling
+    /// the `A103` literal-outside-domain warning.
+    pub fn from_warehouse(warehouse: &Warehouse) -> Self {
+        let mut catalog = Catalog::from_star(warehouse.star());
+        // Walk the interned dimension tuples (distinct combinations),
+        // not the fact rows, so this stays cheap on large loads.
+        for dim in &warehouse.star().dimensions {
+            let Ok(table) = warehouse.dimension(&dim.name) else {
+                continue;
+            };
+            for attribute in &dim.attributes {
+                let Some(ai) = table.attribute_index(attribute) else {
+                    continue;
+                };
+                let mut domain = HashSet::new();
+                for key in 0..table.len() as u32 {
+                    if let Some(tuple) = table.tuple(key) {
+                        domain.insert(tuple[ai].to_string());
+                    }
+                }
+                catalog.domains.insert(attribute.clone(), domain);
+            }
+        }
+        catalog
+    }
+
+    /// The fact (cube) name queries must address.
+    pub fn fact_name(&self) -> &str {
+        &self.fact_name
+    }
+
+    /// Resolve a column name.
+    pub fn kind(&self, name: &str) -> Option<&ColumnKind> {
+        self.columns.get(name)
+    }
+
+    /// Whether `name` is a categorical dimension attribute.
+    pub fn is_attribute(&self, name: &str) -> bool {
+        matches!(self.kind(name), Some(ColumnKind::Attribute { .. }))
+    }
+
+    /// Whether `name` is a numeric fact measure.
+    pub fn is_measure(&self, name: &str) -> bool {
+        matches!(self.kind(name), Some(ColumnKind::Measure))
+    }
+
+    /// Whether `name` is a degenerate fact column.
+    pub fn is_degenerate(&self, name: &str) -> bool {
+        matches!(self.kind(name), Some(ColumnKind::Degenerate))
+    }
+
+    /// The one-step-finer hierarchy level under `level`, if any.
+    pub fn finer_level(&self, level: &str) -> Option<&str> {
+        self.finer.get(level).map(String::as_str)
+    }
+
+    /// Whether `attribute` belongs to the cardinality dimension.
+    pub fn is_cardinality_attribute(&self, attribute: &str) -> bool {
+        self.cardinality_attrs.contains(attribute)
+    }
+
+    /// Whether SUM-rolling `measure` is meaningful across visit
+    /// multiplicity. Clinical readings are point-in-time intensive
+    /// quantities (concentrations, ratios, averages) — non-additive;
+    /// duration- and count-like columns (minutes, hours, sessions,
+    /// years, counts) are extensive and additive.
+    pub fn is_additive_measure(&self, measure: &str) -> bool {
+        ["Minutes", "Hours", "Sessions", "Years", "Count"]
+            .iter()
+            .any(|marker| measure.contains(marker))
+    }
+
+    /// Observed values of `attribute`, when the catalog was built from
+    /// a loaded warehouse. `None` means "domain unknown" — the `A103`
+    /// check is skipped rather than firing spuriously.
+    pub fn domain(&self, attribute: &str) -> Option<&HashSet<String>> {
+        self.domains.get(attribute)
+    }
+
+    /// Closest known column name to `name` (did-you-mean), if any is
+    /// within typo distance. The fact name itself is included so a
+    /// misspelled cube gets a suggestion too.
+    pub fn suggest(&self, name: &str) -> Option<&str> {
+        closest(
+            name,
+            self.columns
+                .keys()
+                .map(String::as_str)
+                .chain(std::iter::once(self.fact_name.as_str())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warehouse::discri_model;
+
+    #[test]
+    fn discri_catalog_resolves_all_kinds() {
+        let c = Catalog::from_star(&discri_model());
+        assert_eq!(c.fact_name(), "Medical Measures");
+        assert_eq!(
+            c.kind("Gender"),
+            Some(&ColumnKind::Attribute {
+                dimension: "Personal Information".into()
+            })
+        );
+        assert!(c.is_measure("FBG"));
+        assert!(c.is_degenerate("PatientId"));
+        assert_eq!(c.kind("NoSuchThing"), None);
+    }
+
+    #[test]
+    fn hierarchy_and_cardinality_views() {
+        let c = Catalog::from_star(&discri_model());
+        assert_eq!(c.finer_level("Age_Band"), Some("Age_SubGroup"));
+        assert_eq!(c.finer_level("Age_SubGroup"), None);
+        assert_eq!(c.finer_level("Gender"), None);
+        assert!(c.is_cardinality_attribute("VisitKind"));
+        assert!(!c.is_cardinality_attribute("Gender"));
+    }
+
+    #[test]
+    fn additivity_heuristic_separates_extensive_measures() {
+        let c = Catalog::from_star(&discri_model());
+        assert!(c.is_additive_measure("ExerciseMinutesPerWeek"));
+        assert!(c.is_additive_measure("DiabetesDurationYears"));
+        assert!(!c.is_additive_measure("FBG"));
+        assert!(!c.is_additive_measure("WaistHipRatio"));
+        assert!(!c.is_additive_measure("LyingSBPAverage"));
+    }
+
+    #[test]
+    fn suggestions_cover_columns_and_the_fact() {
+        let c = Catalog::from_star(&discri_model());
+        assert_eq!(c.suggest("Gendr"), Some("Gender"));
+        assert_eq!(c.suggest("Medical Measure"), Some("Medical Measures"));
+        assert_eq!(c.suggest("CompletelyUnrelated"), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! Edit distance for did-you-mean suggestions.
+//!
+//! Optimal string alignment (Damerau-Levenshtein restricted to
+//! adjacent transpositions): the classic typo model — insertions,
+//! deletions, substitutions and swapped neighbours each cost one.
+
+/// Optimal-string-alignment distance between `a` and `b`, case
+/// insensitive (catalog names are matched the way users type them).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
+    let b: Vec<char> = b.chars().flat_map(|c| c.to_lowercase()).collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2 = vec![0usize; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                cur[j] = cur[j].min(prev2[j - 2] + 1);
+            }
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// The candidate closest to `target`, if one is close enough to be a
+/// plausible typo. The threshold scales with the target's length —
+/// one edit for short names, up to a third of the name for long ones —
+/// so `"Gendr"` suggests `"Gender"` but `"XYZ"` suggests nothing.
+pub fn closest<'c>(target: &str, candidates: impl IntoIterator<Item = &'c str>) -> Option<&'c str> {
+    let threshold = (target.chars().count() / 3).max(1);
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(target, c), c))
+        .filter(|&(d, _)| d <= threshold && d > 0)
+        .min_by_key(|&(d, c)| (d, c.len()))
+        .map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        // Adjacent transposition counts once, not twice.
+        assert_eq!(edit_distance("Gedner", "Gender"), 1);
+        // Case insensitive.
+        assert_eq!(edit_distance("GENDER", "gender"), 0);
+    }
+
+    #[test]
+    fn closest_respects_the_typo_threshold() {
+        let names = ["Gender", "FBG_Band", "Age_Band"];
+        assert_eq!(closest("Gendr", names), Some("Gender"));
+        assert_eq!(closest("FBG_Bnad", names), Some("FBG_Band"));
+        assert_eq!(closest("Zzz", names), None);
+        // An exact match is not a suggestion.
+        assert_eq!(closest("Gender", names), None);
+    }
+}

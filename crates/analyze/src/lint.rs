@@ -1,0 +1,382 @@
+//! Source-level lint rules the compiler cannot express.
+//!
+//! Three rules keep the serving hot path honest:
+//!
+//! * `no-panic` — no `unwrap()` / `expect()` / `panic!` in designated
+//!   hot-path modules (`serve`, `oltp::{wal,txn,store}`,
+//!   `olap::{cube,mdx::exec}`) outside `#[cfg(test)]`;
+//! * `no-todo` — no `todo!` / `unimplemented!` / `dbg!` anywhere;
+//! * `display-impl` — every public `…Error` enum must implement
+//!   `Display` somewhere in its crate.
+//!
+//! A line may opt out with an inline `lint:allow(<rule>)` comment;
+//! escapes are reported so gates can bound them (the wal/cube
+//! burn-down demands zero).
+//!
+//! The scanner is deliberately line-based and heuristic: by repository
+//! convention `#[cfg(test)]` modules sit at the end of a file, so
+//! everything from the first such marker to EOF is test code, and
+//! comment lines are skipped.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers (the names accepted by `lint:allow(...)`).
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// See [`RULE_NO_PANIC`].
+pub const RULE_NO_TODO: &str = "no-todo";
+/// See [`RULE_NO_PANIC`].
+pub const RULE_DISPLAY_IMPL: &str = "display-impl";
+
+/// Workspace-relative path fragments whose files count as the serving
+/// hot path for `no-panic`.
+const HOT_PATHS: [&str; 6] = [
+    "crates/serve/src/",
+    "crates/oltp/src/wal.rs",
+    "crates/oltp/src/txn.rs",
+    "crates/oltp/src/store.rs",
+    "crates/olap/src/cube.rs",
+    "crates/olap/src/mdx/exec.rs",
+];
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Which rule fired (`no-panic`, `no-todo`, `display-impl`).
+    pub rule: &'static str,
+    /// The offending line (trimmed), or a description for whole-file
+    /// findings.
+    pub excerpt: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// A `lint:allow` escape that suppressed a would-be violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Escape {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule the escape suppressed.
+    pub rule: &'static str,
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default, Clone)]
+pub struct LintReport {
+    /// Violations found (empty means the gate passes).
+    pub violations: Vec<Violation>,
+    /// `lint:allow` escapes that were honoured.
+    pub escapes: Vec<Escape>,
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    /// Escapes recorded in files whose path contains `fragment`.
+    pub fn escapes_in(&self, fragment: &str) -> usize {
+        self.escapes
+            .iter()
+            .filter(|e| e.file.contains(fragment))
+            .count()
+    }
+}
+
+/// The forbidden call patterns, built at runtime so this file never
+/// matches its own rules.
+fn panic_needles() -> Vec<(String, &'static str)> {
+    let call = |head: &str| [".", head, "("].concat();
+    let mac = |head: &str| [head, "!("].concat();
+    vec![
+        (call("unwrap"), "return a typed error instead of unwrapping"),
+        (call("expect"), "return a typed error instead of expecting"),
+        (mac("panic"), "propagate a Result instead of panicking"),
+    ]
+}
+
+fn todo_needles() -> Vec<(String, &'static str)> {
+    let mac = |head: &str| [head, "!("].concat();
+    vec![
+        (mac("todo"), "finish the implementation before merging"),
+        (
+            mac("unimplemented"),
+            "finish the implementation before merging",
+        ),
+        (mac("dbg"), "remove debug output before merging"),
+    ]
+}
+
+fn is_comment(trimmed: &str) -> bool {
+    trimmed.starts_with("//")
+}
+
+fn has_escape(line: &str, rule: &str) -> bool {
+    line.split("lint:allow(")
+        .skip(1)
+        .any(|rest| rest.split(')').next().map(str::trim) == Some(rule))
+}
+
+/// Lint one file's source text. `file` is the workspace-relative path
+/// used both for reporting and for hot-path classification.
+pub fn check_source(file: &str, source: &str, report: &mut LintReport) {
+    let hot = HOT_PATHS.iter().any(|p| file.starts_with(p));
+    let panic_rules = panic_needles();
+    let todo_rules = todo_needles();
+
+    let mut in_tests = false;
+    for (i, raw) in source.lines().enumerate() {
+        if raw.contains("#[cfg(test)]") {
+            in_tests = true;
+        }
+        let trimmed = raw.trim();
+        if is_comment(trimmed) {
+            continue;
+        }
+        let line = i + 1;
+        let mut check = |needles: &[(String, &'static str)], rule: &'static str| {
+            for (needle, hint) in needles {
+                if !trimmed.contains(needle.as_str()) {
+                    continue;
+                }
+                if has_escape(raw, rule) {
+                    report.escapes.push(Escape {
+                        file: file.into(),
+                        line,
+                        rule,
+                    });
+                } else {
+                    report.violations.push(Violation {
+                        file: file.into(),
+                        line,
+                        rule,
+                        excerpt: trimmed.to_string(),
+                        hint,
+                    });
+                }
+                return;
+            }
+        };
+        if hot && !in_tests {
+            check(&panic_rules, RULE_NO_PANIC);
+        }
+        check(&todo_rules, RULE_NO_TODO);
+    }
+    report.files_checked += 1;
+}
+
+/// Public error-enum declarations found in `source`, for the
+/// `display-impl` rule.
+fn declared_error_enums(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in source.lines() {
+        let trimmed = raw.trim();
+        if is_comment(trimmed) {
+            continue;
+        }
+        let Some(rest) = trimmed.strip_prefix("pub enum ") else {
+            continue;
+        };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.ends_with("Error") {
+            out.push(name);
+        }
+    }
+    out
+}
+
+fn implements_display(source: &str, name: &str) -> bool {
+    [
+        "impl fmt::Display for ",
+        "impl std::fmt::Display for ",
+        "impl Display for ",
+    ]
+    .iter()
+    .any(|head| source.contains(&[head, name].concat()))
+}
+
+/// Walk `root` collecting workspace `.rs` files, skipping `target/`,
+/// `shims/` (vendored reimplementations) and VCS metadata. Paths are
+/// returned workspace-relative with `/` separators, sorted.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "shims" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                files.push((rel, path));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The crate-level grouping key for `display-impl`: the containing
+/// crate directory, or `"<root>"` for workspace-level sources.
+fn crate_dir_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .map(|c| ["crates/", c].concat())
+        .unwrap_or_else(|| "<root>".into())
+}
+
+/// Lint every workspace source under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let mut sources = Vec::new();
+    // crate dir (e.g. "crates/olap") → concatenated sources, so the
+    // display-impl rule can look for the impl anywhere in the crate.
+    let mut crate_sources: BTreeMap<String, String> = BTreeMap::new();
+    for (rel, path) in workspace_sources(root)? {
+        let source = fs::read_to_string(&path)?;
+        check_source(&rel, &source, &mut report);
+        crate_sources
+            .entry(crate_dir_of(&rel))
+            .or_default()
+            .push_str(&source);
+        sources.push((rel, source));
+    }
+    for (rel, source) in &sources {
+        let whole_crate = crate_sources
+            .get(&crate_dir_of(rel))
+            .map(String::as_str)
+            .unwrap_or("");
+        for name in declared_error_enums(source) {
+            if implements_display(whole_crate, &name) {
+                continue;
+            }
+            if has_escape(source, RULE_DISPLAY_IMPL) {
+                report.escapes.push(Escape {
+                    file: rel.clone(),
+                    line: 0,
+                    rule: RULE_DISPLAY_IMPL,
+                });
+            } else {
+                report.violations.push(Violation {
+                    file: rel.clone(),
+                    line: 0,
+                    rule: RULE_DISPLAY_IMPL,
+                    excerpt: format!("pub enum {name} has no Display impl in its crate"),
+                    hint: "implement std::fmt::Display so callers can render the error",
+                });
+            }
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn needle_line(kind: &str) -> String {
+        // Build forbidden source text at runtime so this test file
+        // itself stays clean under the lint.
+        match kind {
+            "unwrap" => ["let x = foo.", "unwrap", "();"].concat(),
+            "todo" => ["    ", "todo", "!(\"later\")"].concat(),
+            "dbg" => ["    ", "dbg", "!(x);"].concat(),
+            _ => unreachable!("unknown kind"),
+        }
+    }
+
+    #[test]
+    fn hot_path_unwrap_is_flagged_only_outside_tests() {
+        let src = format!(
+            "fn f() {{\n{}\n}}\n#[cfg(test)]\nmod tests {{\n{}\n}}\n",
+            needle_line("unwrap"),
+            needle_line("unwrap"),
+        );
+        let mut report = LintReport::default();
+        check_source("crates/serve/src/service.rs", &src, &mut report);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, RULE_NO_PANIC);
+        assert_eq!(report.violations[0].line, 2);
+
+        // The same file outside the hot path is fine.
+        let mut cold = LintReport::default();
+        check_source("crates/mining/src/lib.rs", &src, &mut cold);
+        assert!(cold.violations.is_empty());
+    }
+
+    #[test]
+    fn todo_and_dbg_are_flagged_everywhere() {
+        let src = format!(
+            "fn f() {{\n{}\n{}\n}}\n",
+            needle_line("todo"),
+            needle_line("dbg")
+        );
+        let mut report = LintReport::default();
+        check_source("crates/mining/src/lib.rs", &src, &mut report);
+        assert_eq!(report.violations.len(), 2);
+        assert!(report.violations.iter().all(|v| v.rule == RULE_NO_TODO));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_escapes_are_recorded() {
+        let commented = ["// foo.", "unwrap", "();"].concat();
+        let escaped = [
+            "let x = spawn().",
+            "expect",
+            "(\"spawn\"); // lint:allow(no-panic): startup only",
+        ]
+        .concat();
+        let src = format!("{commented}\n{escaped}\n");
+        let mut report = LintReport::default();
+        check_source("crates/serve/src/service.rs", &src, &mut report);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.escapes.len(), 1);
+        assert_eq!(report.escapes[0].rule, RULE_NO_PANIC);
+        assert_eq!(report.escapes_in("serve"), 1);
+    }
+
+    #[test]
+    fn error_enums_need_display() {
+        let decl = "pub enum FrobError { A, B }";
+        assert_eq!(declared_error_enums(decl), vec!["FrobError"]);
+        assert!(!implements_display(decl, "FrobError"));
+        let with_impl = format!("{decl}\nimpl fmt::Display for FrobError {{}}");
+        assert!(implements_display(&with_impl, "FrobError"));
+        // Non-error enums are ignored.
+        assert!(declared_error_enums("pub enum Shape { X }").is_empty());
+    }
+}

@@ -65,6 +65,28 @@ fn regenerate_summary() {
         m.executed, m.coalesced, m.hits
     );
     println!("{m}\n");
+
+    // Admission gate: invalid queries are rejected by the semantic
+    // analyzer before they cost a queue slot or an execution.
+    let svc = service(4);
+    let invalid = QueryRequest::Mdx(
+        "SELECT [Gendr].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)"
+            .into(),
+    );
+    let t2 = Instant::now();
+    let err = svc.execute(&invalid).expect_err("analyzer must reject");
+    let reject_t = t2.elapsed();
+    let m = svc.shutdown();
+    assert_eq!(m.rejected_invalid, 1);
+    assert_eq!(m.executed, 0);
+    println!(
+        "invalid query rejected at admission in {reject_t:?} \
+         (rejected-invalid {} | executed {}) — first line: {}",
+        m.rejected_invalid,
+        m.executed,
+        err.to_string().lines().next().unwrap_or_default()
+    );
 }
 
 fn bench_serve(c: &mut Criterion) {

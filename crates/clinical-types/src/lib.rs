@@ -18,6 +18,7 @@ pub mod date;
 pub mod error;
 pub mod record;
 pub mod schema;
+pub mod span;
 pub mod value;
 
 pub use csv::{table_from_csv, table_to_csv};
@@ -25,4 +26,5 @@ pub use date::Date;
 pub use error::{Error, Result};
 pub use record::{Record, Table};
 pub use schema::{FieldDef, Schema};
+pub use span::{render_snippet, Span};
 pub use value::{DataType, Value};

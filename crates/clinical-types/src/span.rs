@@ -1,0 +1,171 @@
+//! Byte-offset source spans and caret-snippet rendering.
+//!
+//! The MDX front end and the semantic analyzer both need to point at
+//! the exact fragment of a query that caused a problem. A [`Span`] is
+//! a half-open byte range `[start, end)` into the original query text;
+//! [`render_snippet`] turns a span plus the source into the familiar
+//! two-line `query / ^^^^ here` caret display.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into some source text.
+///
+/// Offsets are *byte* offsets (`str` indices), not character counts,
+/// so spans can be sliced out of the source directly. An empty span
+/// (`start == end`) points *between* two bytes — used for
+/// "unexpected end of input" style errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last covered byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`. Callers must keep `start <= end`;
+    /// the constructor normalises a reversed pair rather than panicking.
+    pub fn new(start: usize, end: usize) -> Self {
+        if start <= end {
+            Span { start, end }
+        } else {
+            Span {
+                start: end,
+                end: start,
+            }
+        }
+    }
+
+    /// An empty span sitting at `at` (an insertion point).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The text the span covers, if it lies on `char` boundaries of
+    /// `source` and within bounds.
+    pub fn slice<'s>(&self, source: &'s str) -> Option<&'s str> {
+        source.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Render a two-line caret snippet pointing `span` out inside
+/// `source`.
+///
+/// The first line is the source line containing the span's start; the
+/// second line carries `^` marks under the covered characters (at
+/// least one, so even an empty span is visible). Multi-byte characters
+/// are counted once each, so the carets line up for any monospace
+/// rendering that gives every scalar one cell.
+pub fn render_snippet(source: &str, span: Span) -> String {
+    // Clamp to the source and snap to char boundaries so arbitrary
+    // (possibly wrong) spans never panic.
+    let mut start = span.start.min(source.len());
+    while start > 0 && !source.is_char_boundary(start) {
+        start -= 1;
+    }
+    let mut end = span.end.clamp(start, source.len());
+    while end < source.len() && !source.is_char_boundary(end) {
+        end += 1;
+    }
+
+    // The line containing `start`.
+    let line_start = source[..start].rfind('\n').map_or(0, |p| p + 1);
+    let line_end = source[start..]
+        .find('\n')
+        .map_or(source.len(), |p| start + p);
+    let line = &source[line_start..line_end];
+
+    let prefix_chars = source[line_start..start].chars().count();
+    let covered = end.min(line_end).saturating_sub(start);
+    let caret_chars = source[start..start + covered].chars().count().max(1);
+
+    let mut out = String::with_capacity(line.len() * 2 + 8);
+    out.push_str(line);
+    out.push('\n');
+    for _ in 0..prefix_chars {
+        out.push(' ');
+    }
+    for _ in 0..caret_chars {
+        out.push('^');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_len() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::point(4).is_empty());
+        // Reversed input is normalised, not a panic.
+        assert_eq!(Span::new(5, 2), Span::new(2, 5));
+    }
+
+    #[test]
+    fn slice_returns_the_covered_text() {
+        let src = "SELECT x FROM y";
+        assert_eq!(Span::new(7, 8).slice(src), Some("x"));
+        assert_eq!(Span::new(0, 100).slice(src), None);
+    }
+
+    #[test]
+    fn snippet_points_at_the_fragment() {
+        let src = "SELECT [Gendr].MEMBERS ON ROWS";
+        let snippet = render_snippet(src, Span::new(7, 14));
+        assert_eq!(snippet, format!("{src}\n       ^^^^^^^"));
+    }
+
+    #[test]
+    fn snippet_handles_multibyte_and_out_of_range() {
+        let src = "µmol = «x»";
+        // Span over the « char: carets count chars, not bytes.
+        let start = src.find('«').unwrap();
+        let snippet = render_snippet(src, Span::new(start, start + "«".len()));
+        assert!(snippet.ends_with("^"));
+        assert!(!snippet.ends_with("^^"));
+        // Wildly out-of-range spans are clamped.
+        let clamped = render_snippet(src, Span::new(500, 900));
+        assert!(clamped.starts_with(src));
+        // Span not on a char boundary is snapped, not a panic.
+        let inside = src.find('«').unwrap() + 1;
+        let _ = render_snippet(src, Span::new(inside, inside));
+    }
+
+    #[test]
+    fn snippet_uses_only_the_spanned_line() {
+        let src = "line one\nline two here";
+        let start = src.find("two").unwrap();
+        let snippet = render_snippet(src, Span::new(start, start + 3));
+        assert_eq!(snippet, "line two here\n     ^^^");
+    }
+}

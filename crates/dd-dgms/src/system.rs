@@ -144,6 +144,23 @@ impl DdDgms {
         execute_mdx(&self.warehouse, query)
     }
 
+    /// Run the semantic analyzer over an MDX query without executing
+    /// it: parse, resolve every name against the warehouse catalog
+    /// (with did-you-mean suggestions), type-check conditions and
+    /// check aggregation legality. Parse failures are `Err`; semantic
+    /// findings come back as [`analyze::Diagnostics`] with stable
+    /// codes (`analyze::explain` expands them).
+    pub fn analyze(&self, query: &str) -> Result<analyze::Diagnostics> {
+        let catalog = analyze::Catalog::from_warehouse(&self.warehouse);
+        olap::analyze_mdx_str(&catalog, query)
+    }
+
+    /// Expand a diagnostic code (e.g. `"A002"`) into its long
+    /// explanation — the same text the `explain` binary prints.
+    pub fn explain(code: &str) -> Option<&'static str> {
+        analyze::explain(code)
+    }
+
     /// Start a concurrent query service over a snapshot of the
     /// warehouse (§IV's multi-user setting: clinicians, researchers
     /// and students querying at once). The service owns its copy;
@@ -371,6 +388,29 @@ mod tests {
             )
             .unwrap();
         assert_eq!(mdx.row_headers, pivot.row_headers);
+    }
+
+    #[test]
+    fn facade_analyzes_without_executing() {
+        let s = system();
+        let clean = s
+            .analyze(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] MEASURE COUNT(*)",
+            )
+            .unwrap();
+        assert!(clean.is_empty(), "{clean}");
+        let diags = s
+            .analyze(
+                "SELECT [Gendr].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] MEASURE COUNT(*)",
+            )
+            .unwrap();
+        assert_eq!(diags.codes(), vec!["A002"]);
+        let explained = DdDgms::explain("A002").unwrap();
+        assert!(explained.contains("axis"), "{explained}");
+        // The rendered report points at the offending fragment.
+        assert!(diags.to_string().contains('^'), "{diags}");
     }
 
     #[test]

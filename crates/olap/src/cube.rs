@@ -61,6 +61,11 @@ impl CubeFilter {
         &self.attribute_in
     }
 
+    /// Conditions on measures (`name`, `lo`, `hi`).
+    pub fn measure_conditions(&self) -> &[(String, f64, f64)] {
+        &self.measure_between
+    }
+
     /// Canonical rendering for fingerprinting. The filter is a
     /// conjunction, so condition order is irrelevant; likewise the
     /// value list of a `one_of` is a set. Both are sorted so
@@ -221,7 +226,7 @@ impl Cube {
         let cells = match spec.strategy {
             BuildStrategy::Hash => inputs.build_hash(),
             BuildStrategy::Sort => inputs.build_sort(),
-            BuildStrategy::ParallelHash => inputs.build_parallel(),
+            BuildStrategy::ParallelHash => inputs.build_parallel()?,
         };
         Ok(Cube {
             axes: spec.axes.clone(),
@@ -347,11 +352,7 @@ impl Cube {
     /// aggregates" the Decision Optimisation component validates.
     pub fn top_k(&self, k: usize) -> Vec<(Vec<Value>, f64)> {
         let mut cells: Vec<(Vec<Value>, f64)> = self.iter().map(|(c, v)| (c.clone(), v)).collect();
-        cells.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finalized values are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        cells.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         cells.truncate(k);
         cells
     }
@@ -469,14 +470,14 @@ impl<'a> CubeInputs<'a> {
         cells
     }
 
-    fn build_parallel(&self) -> HashMap<Vec<Value>, CellStats> {
+    fn build_parallel(&self) -> Result<HashMap<Vec<Value>, CellStats>> {
         let n = self.n_rows();
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .clamp(1, 8);
         if n < 4096 || workers == 1 {
-            return self.build_hash();
+            return Ok(self.build_hash());
         }
         let chunk = n.div_ceil(workers);
         let partials = crossbeam::scope(|scope| {
@@ -500,10 +501,13 @@ impl<'a> CubeInputs<'a> {
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("cube worker panicked"))
-                .collect::<Vec<_>>()
+                .map(|h| h.join())
+                .collect::<std::thread::Result<Vec<_>>>()
         })
-        .expect("cube build scope panicked");
+        // Both layers fail only when a worker panicked; surface that
+        // as a query error instead of propagating the panic.
+        .and_then(|inner| inner)
+        .map_err(|_| Error::invalid("cube build worker panicked"))?;
 
         let mut merged: HashMap<Vec<Value>, CellStats> = HashMap::new();
         for partial in partials {
@@ -514,7 +518,7 @@ impl<'a> CubeInputs<'a> {
                     .merge(&stats);
             }
         }
-        merged
+        Ok(merged)
     }
 }
 

@@ -18,15 +18,23 @@
 //! * [`mdx`] — the MDX-like query language (§IV: "Multidimensional
 //!   expressions (MDX), the query language for OLAP, can also be used
 //!   for reporting"): lexer, parser and executor.
+//! * [`report`] — owned, declarative [`report::ReportSpec`] requests
+//!   that can queue and travel between threads.
+//! * [`semantic`] — the semantic analyzer: validates MDX, cube and
+//!   report requests against the `analyze` catalog before execution.
 
 pub mod aggregate;
 pub mod builder;
 pub mod cube;
 pub mod mdx;
 pub mod pivot;
+pub mod report;
+pub mod semantic;
 
 pub use aggregate::{Aggregate, CellStats, MeasureRef};
 pub use builder::QueryBuilder;
 pub use cube::{BuildStrategy, Cube, CubeFilter, CubeSpec};
 pub use mdx::{execute_mdx, parse_mdx};
 pub use pivot::PivotTable;
+pub use report::{ReportMeasure, ReportSpec};
+pub use semantic::{analyze_cube, analyze_mdx, analyze_mdx_str, analyze_report};

@@ -1,9 +1,18 @@
 //! MDX execution against a warehouse.
+//!
+//! [`execute_query`] runs the semantic analyzer first and fails with
+//! rendered diagnostics before any cube is built; callers that have
+//! already validated (the serving layer rejects invalid queries at
+//! admission) use [`execute_query_unchecked`] as the fast path.
 
-use super::parser::{parse_mdx, Axis, AxisSet, Condition, MdxQuery, MeasureClause};
+use super::parser::{
+    parse_mdx_spanned, Axis, AxisSet, Condition, MdxQuery, MeasureClause, QuerySpans,
+};
 use crate::aggregate::{Aggregate, MeasureRef};
 use crate::cube::{Cube, CubeFilter, CubeSpec};
 use crate::pivot::PivotTable;
+use crate::semantic::analyze_mdx;
+use analyze::Catalog;
 use clinical_types::{Error, Result, Value};
 use warehouse::Warehouse;
 
@@ -55,8 +64,26 @@ fn resolve_axis(warehouse: &Warehouse, axis: &Axis) -> Result<ResolvedAxis> {
     }
 }
 
-/// Execute a parsed query against `warehouse`.
+/// Execute a parsed query against `warehouse`, validating it first.
+///
+/// Semantic errors (unknown names, type mismatches, illegal
+/// aggregations) come back as a single `Error` whose message is the
+/// rendered diagnostic report. Callers that already ran the analyzer
+/// should use [`execute_query_unchecked`] instead.
 pub fn execute_query(warehouse: &Warehouse, query: &MdxQuery) -> Result<PivotTable> {
+    let catalog = Catalog::from_star(warehouse.star());
+    analyze_mdx(&catalog, query, &QuerySpans::default())
+        .into_result()
+        .map_err(|diags| Error::invalid(diags.to_string()))?;
+    execute_query_unchecked(warehouse, query)
+}
+
+/// Execute a parsed query without the semantic pre-pass.
+///
+/// The serving layer rejects invalid queries at admission, so its
+/// workers call this directly; unvalidated queries may fail with
+/// lower-level (but still non-panicking) errors from the cube builder.
+pub fn execute_query_unchecked(warehouse: &Warehouse, query: &MdxQuery) -> Result<PivotTable> {
     if query.cube != warehouse.star().fact.name {
         return Err(Error::invalid(format!(
             "unknown cube `[{}]` (the warehouse exposes `[{}]`)",
@@ -118,8 +145,17 @@ pub fn execute_query(warehouse: &Warehouse, query: &MdxQuery) -> Result<PivotTab
     Ok(pivot)
 }
 
-/// Parse and execute an MDX string against `warehouse`.
+/// Parse, validate and execute an MDX string against `warehouse`.
+///
+/// Because the query text is at hand, semantic diagnostics carry
+/// caret snippets pointing at the offending fragment.
 pub fn execute_mdx(warehouse: &Warehouse, mdx: &str) -> Result<PivotTable> {
-    let query = parse_mdx(mdx)?;
-    execute_query(warehouse, &query)
+    let (query, spans) = parse_mdx_spanned(mdx)?;
+    let catalog = Catalog::from_star(warehouse.star());
+    let mut diags = analyze_mdx(&catalog, &query, &spans);
+    diags.query = Some(mdx.to_string());
+    diags
+        .into_result()
+        .map_err(|diags| Error::invalid(diags.to_string()))?;
+    execute_query_unchecked(warehouse, &query)
 }

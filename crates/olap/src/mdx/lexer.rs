@@ -1,6 +1,11 @@
 //! MDX tokenizer.
+//!
+//! Tokens carry byte-offset [`Span`]s into the original query text so
+//! the parser and the semantic analyzer can point diagnostics at the
+//! exact offending fragment; lexer errors render a caret snippet into
+//! their `Display` for the same reason.
 
-use clinical_types::{Error, Result};
+use clinical_types::{render_snippet, Error, Result, Span};
 
 /// One MDX token.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,93 +38,127 @@ pub enum Token {
     Star,
 }
 
-/// Tokenize an MDX string.
-pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+/// A token plus the byte range of query text it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub tok: Token,
+    /// Byte span `[start, end)` into the query string.
+    pub span: Span,
+}
+
+fn lex_error(input: &str, span: Span, message: impl std::fmt::Display) -> Error {
+    Error::invalid(format!("{message}\n{}", render_snippet(input, span)))
+}
+
+/// Tokenize an MDX string, keeping byte-offset spans.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<SpannedToken>> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    // Byte offset of the i-th char (or end of input).
+    let byte_at = |i: usize| chars.get(i).map_or(input.len(), |&(o, _)| o);
     let mut tokens = Vec::new();
-    let chars: Vec<char> = input.chars().collect();
     let mut i = 0;
+    let mut push = |tok: Token, start: usize, end: usize| {
+        tokens.push(SpannedToken {
+            tok,
+            span: Span::new(start, end),
+        });
+    };
     while i < chars.len() {
-        let c = chars[i];
+        let (off, c) = chars[i];
+        let single = |tok: Token| (tok, off, off + c.len_utf8());
         match c {
-            ' ' | '\t' | '\n' | '\r' => i += 1,
-            '{' => {
-                tokens.push(Token::LBrace);
+            ' ' | '\t' | '\n' | '\r' => {
                 i += 1;
+                continue;
             }
-            '}' => {
-                tokens.push(Token::RBrace);
-                i += 1;
-            }
-            '(' => {
-                tokens.push(Token::LParen);
-                i += 1;
-            }
-            ')' => {
-                tokens.push(Token::RParen);
-                i += 1;
-            }
-            ',' => {
-                tokens.push(Token::Comma);
-                i += 1;
-            }
-            '.' => {
-                tokens.push(Token::Dot);
-                i += 1;
-            }
-            '=' => {
-                tokens.push(Token::Equals);
-                i += 1;
-            }
-            '*' => {
-                tokens.push(Token::Star);
+            '{' | '}' | '(' | ')' | ',' | '.' | '=' | '*' => {
+                let (tok, s, e) = single(match c {
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    ',' => Token::Comma,
+                    '.' => Token::Dot,
+                    '=' => Token::Equals,
+                    _ => Token::Star,
+                });
+                push(tok, s, e);
                 i += 1;
             }
             '[' => {
                 let start = i + 1;
                 let end = chars[start..]
                     .iter()
-                    .position(|&c| c == ']')
-                    .ok_or_else(|| Error::invalid("unterminated [bracketed name]"))?;
-                tokens.push(Token::Bracketed(chars[start..start + end].iter().collect()));
+                    .position(|&(_, c)| c == ']')
+                    .ok_or_else(|| {
+                        lex_error(
+                            input,
+                            Span::new(off, input.len()),
+                            "unterminated [bracketed name]",
+                        )
+                    })?;
+                let name = input[byte_at(start)..byte_at(start + end)].to_string();
+                push(Token::Bracketed(name), off, byte_at(start + end) + 1);
                 i = start + end + 1;
             }
             '\'' => {
                 let start = i + 1;
                 let end = chars[start..]
                     .iter()
-                    .position(|&c| c == '\'')
-                    .ok_or_else(|| Error::invalid("unterminated string literal"))?;
-                tokens.push(Token::Str(chars[start..start + end].iter().collect()));
+                    .position(|&(_, c)| c == '\'')
+                    .ok_or_else(|| {
+                        lex_error(
+                            input,
+                            Span::new(off, input.len()),
+                            "unterminated string literal",
+                        )
+                    })?;
+                let text = input[byte_at(start)..byte_at(start + end)].to_string();
+                push(Token::Str(text), off, byte_at(start + end) + 1);
                 i = start + end + 1;
             }
             c if c.is_ascii_digit() || c == '-' || c == '+' => {
-                let start = i;
                 i += 1;
-                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                while i < chars.len() && (chars[i].1.is_ascii_digit() || chars[i].1 == '.') {
                     i += 1;
                 }
-                let text: String = chars[start..i].iter().collect();
-                let number = text
-                    .parse::<f64>()
-                    .map_err(|_| Error::invalid(format!("malformed number `{text}`")))?;
-                tokens.push(Token::Number(number));
+                let text = &input[off..byte_at(i)];
+                let number = text.parse::<f64>().map_err(|_| {
+                    lex_error(
+                        input,
+                        Span::new(off, byte_at(i)),
+                        format_args!("malformed number `{text}`"),
+                    )
+                })?;
+                push(Token::Number(number), off, byte_at(i));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
-                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+                while i < chars.len() && (chars[i].1.is_ascii_alphanumeric() || chars[i].1 == '_') {
                     i += 1;
                 }
-                let word: String = chars[start..i].iter().collect();
-                tokens.push(Token::Word(word.to_ascii_uppercase()));
+                let word = input[off..byte_at(i)].to_ascii_uppercase();
+                push(Token::Word(word), off, byte_at(i));
             }
             other => {
-                return Err(Error::invalid(format!(
-                    "unexpected character `{other}` at offset {i}"
-                )))
+                return Err(lex_error(
+                    input,
+                    Span::new(off, off + other.len_utf8()),
+                    format_args!("unexpected character `{other}` at offset {off}"),
+                ))
             }
         }
     }
     Ok(tokens)
+}
+
+/// Tokenize an MDX string (spans discarded).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(input)?
+        .into_iter()
+        .map(|t| t.tok)
+        .collect())
 }
 
 #[cfg(test)]
@@ -180,5 +219,23 @@ mod tests {
         assert!(tokenize("[Gender").is_err());
         assert!(tokenize("'open").is_err());
         assert!(tokenize("SELECT ;").is_err());
+    }
+
+    #[test]
+    fn spans_are_byte_offsets_into_the_source() {
+        let src = "SELECT [Gender].MEMBERS";
+        let tokens = tokenize_spanned(src).unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 6));
+        // Bracketed span covers the brackets; the name sits inside.
+        assert_eq!(tokens[1].span, Span::new(7, 15));
+        assert_eq!(tokens[1].span.slice(src), Some("[Gender]"));
+        assert_eq!(tokens[3].span.slice(src), Some("MEMBERS"));
+    }
+
+    #[test]
+    fn lex_errors_render_a_caret() {
+        let err = tokenize("SELECT ;").unwrap_err().to_string();
+        assert!(err.contains("unexpected character `;`"), "{err}");
+        assert!(err.contains('^'), "{err}");
     }
 }

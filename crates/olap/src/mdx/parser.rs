@@ -1,8 +1,14 @@
 //! MDX parser: tokens → [`MdxQuery`].
+//!
+//! The AST itself is span-free (fingerprints and tests compare it
+//! structurally); [`parse_mdx_spanned`] additionally returns a
+//! [`QuerySpans`] side table mapping each analyzable name back to its
+//! byte range in the query text. Parse errors render a caret snippet
+//! into their `Display`.
 
-use super::lexer::{tokenize, Token};
+use super::lexer::{tokenize_spanned, SpannedToken, Token};
 use crate::aggregate::Aggregate;
-use clinical_types::{Error, Result};
+use clinical_types::{render_snippet, Error, Result, Span};
 
 /// An axis specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +26,18 @@ pub enum AxisSet {
         /// The member whose children are requested.
         member: String,
     },
+}
+
+impl AxisSet {
+    /// The attribute the axis groups on (the drill-down parent for
+    /// `CHILDREN` axes).
+    pub fn attribute(&self) -> &str {
+        match self {
+            AxisSet::Members(a) => a,
+            AxisSet::Explicit(a, _) => a,
+            AxisSet::Children { parent, .. } => parent,
+        }
+    }
 }
 
 /// One axis with its placement modifiers.
@@ -85,180 +103,256 @@ impl MdxQuery {
     }
 }
 
-struct Parser {
-    tokens: Vec<Token>,
+/// Byte spans of one `WHERE` condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConditionSpans {
+    /// The `[column]` name token.
+    pub column: Span,
+    /// The compared literal (`'value'`, or `lo … hi` merged).
+    pub literal: Span,
+}
+
+/// Side table of byte spans for the analyzable names of an
+/// [`MdxQuery`], index-aligned with the query's own vectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuerySpans {
+    /// Attribute name of the `ON COLUMNS` axis.
+    pub columns: Span,
+    /// Attribute name of the `ON ROWS` axis.
+    pub rows: Span,
+    /// Cube name in `FROM`.
+    pub cube: Span,
+    /// One entry per condition, in `MdxQuery::conditions` order.
+    pub conditions: Vec<ConditionSpans>,
+    /// The measure target name; `None` when the clause was omitted or
+    /// targets `*`.
+    pub measure: Option<Span>,
+}
+
+struct Parser<'s> {
+    input: &'s str,
+    tokens: Vec<SpannedToken>,
     pos: usize,
 }
 
-impl Parser {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+impl Parser<'_> {
+    fn err_at(&self, span: Span, message: impl std::fmt::Display) -> Error {
+        Error::invalid(format!("{message}\n{}", render_snippet(self.input, span)))
     }
 
-    fn next(&mut self) -> Result<Token> {
+    /// Where the previous token ended (for end-of-input errors).
+    fn here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::point(self.input.len()))
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Result<SpannedToken> {
         let t = self
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| Error::invalid("unexpected end of MDX query"))?;
+            .ok_or_else(|| self.err_at(self.here(), "unexpected end of MDX query"))?;
         self.pos += 1;
         Ok(t)
     }
 
     fn expect_word(&mut self, word: &str) -> Result<()> {
-        match self.next()? {
+        let t = self.next()?;
+        match t.tok {
             Token::Word(w) if w == word => Ok(()),
-            other => Err(Error::invalid(format!(
-                "expected `{word}`, found {other:?}"
-            ))),
+            other => Err(self.err_at(t.span, format_args!("expected `{word}`, found {other:?}"))),
         }
     }
 
     fn expect(&mut self, token: Token) -> Result<()> {
-        let found = self.next()?;
-        if found == token {
+        let t = self.next()?;
+        if t.tok == token {
             Ok(())
         } else {
-            Err(Error::invalid(format!(
-                "expected {token:?}, found {found:?}"
-            )))
+            Err(self.err_at(
+                t.span,
+                format_args!("expected {token:?}, found {:?}", t.tok),
+            ))
         }
     }
 
-    fn bracketed(&mut self) -> Result<String> {
-        match self.next()? {
-            Token::Bracketed(name) => Ok(name),
-            other => Err(Error::invalid(format!(
-                "expected [bracketed name], found {other:?}"
-            ))),
+    fn bracketed(&mut self) -> Result<(String, Span)> {
+        let t = self.next()?;
+        match t.tok {
+            Token::Bracketed(name) => Ok((name, t.span)),
+            other => Err(self.err_at(
+                t.span,
+                format_args!("expected [bracketed name], found {other:?}"),
+            )),
         }
     }
 
-    fn number(&mut self) -> Result<f64> {
-        match self.next()? {
-            Token::Number(n) => Ok(n),
-            other => Err(Error::invalid(format!("expected number, found {other:?}"))),
+    fn number(&mut self) -> Result<(f64, Span)> {
+        let t = self.next()?;
+        match t.tok {
+            Token::Number(n) => Ok((n, t.span)),
+            other => Err(self.err_at(t.span, format_args!("expected number, found {other:?}"))),
         }
     }
 
     /// axis := [NON EMPTY] axis_set
-    fn axis(&mut self) -> Result<Axis> {
+    fn axis(&mut self) -> Result<(Axis, Span)> {
         let mut non_empty = false;
         if matches!(self.peek(), Some(Token::Word(w)) if w == "NON") {
             self.next()?;
             self.expect_word("EMPTY")?;
             non_empty = true;
         }
-        Ok(Axis {
-            set: self.axis_set()?,
-            non_empty,
-        })
+        let (set, span) = self.axis_set()?;
+        Ok((Axis { set, non_empty }, span))
     }
 
     /// axis_set := [Attr].MEMBERS
     ///           | [Attr].[member].CHILDREN
     ///           | '{' [Attr].[v] (',' [Attr].[v])* '}'
-    fn axis_set(&mut self) -> Result<AxisSet> {
+    ///
+    /// Returns the set plus the span of its attribute name.
+    fn axis_set(&mut self) -> Result<(AxisSet, Span)> {
         if self.peek() == Some(&Token::LBrace) {
+            let open = self.here();
             self.expect(Token::LBrace)?;
-            let mut attribute: Option<String> = None;
+            let mut attribute: Option<(String, Span)> = None;
             let mut members = Vec::new();
             loop {
-                let attr = self.bracketed()?;
+                let (attr, attr_span) = self.bracketed()?;
                 self.expect(Token::Dot)?;
-                let member = self.bracketed()?;
+                let (member, _) = self.bracketed()?;
                 match &attribute {
-                    None => attribute = Some(attr),
-                    Some(a) if *a == attr => {}
-                    Some(a) => {
-                        return Err(Error::invalid(format!(
-                            "axis set mixes attributes `{a}` and `{attr}`"
-                        )))
+                    None => attribute = Some((attr, attr_span)),
+                    Some((a, _)) if *a == attr => {}
+                    Some((a, _)) => {
+                        return Err(self.err_at(
+                            attr_span,
+                            format_args!("axis set mixes attributes `{a}` and `{attr}`"),
+                        ))
                     }
                 }
                 members.push(member);
-                match self.next()? {
+                let t = self.next()?;
+                match t.tok {
                     Token::Comma => continue,
                     Token::RBrace => break,
                     other => {
-                        return Err(Error::invalid(format!(
-                            "expected `,` or `}}` in member set, found {other:?}"
-                        )))
+                        return Err(self.err_at(
+                            t.span,
+                            format_args!("expected `,` or `}}` in member set, found {other:?}"),
+                        ))
                     }
                 }
             }
-            let attribute = attribute.ok_or_else(|| Error::invalid("empty member set"))?;
-            Ok(AxisSet::Explicit(attribute, members))
+            let (attribute, span) =
+                attribute.ok_or_else(|| self.err_at(open, "empty member set"))?;
+            Ok((AxisSet::Explicit(attribute, members), span))
         } else {
-            let attr = self.bracketed()?;
+            let (attr, attr_span) = self.bracketed()?;
             self.expect(Token::Dot)?;
-            match self.next()? {
-                Token::Word(w) if w == "MEMBERS" => Ok(AxisSet::Members(attr)),
+            let t = self.next()?;
+            match t.tok {
+                Token::Word(w) if w == "MEMBERS" => Ok((AxisSet::Members(attr), attr_span)),
                 Token::Bracketed(member) => {
                     self.expect(Token::Dot)?;
                     self.expect_word("CHILDREN")?;
-                    Ok(AxisSet::Children {
-                        parent: attr,
-                        member,
-                    })
+                    Ok((
+                        AxisSet::Children {
+                            parent: attr,
+                            member,
+                        },
+                        attr_span,
+                    ))
                 }
-                other => Err(Error::invalid(format!(
-                    "expected MEMBERS or [member].CHILDREN, found {other:?}"
-                ))),
+                other => Err(self.err_at(
+                    t.span,
+                    format_args!("expected MEMBERS or [member].CHILDREN, found {other:?}"),
+                )),
             }
         }
     }
 
-    fn condition(&mut self) -> Result<Condition> {
-        let name = self.bracketed()?;
-        match self.next()? {
-            Token::Equals => match self.next()? {
-                Token::Str(s) => Ok(Condition::AttributeEquals(name, s)),
-                other => Err(Error::invalid(format!(
-                    "expected 'string' after `=`, found {other:?}"
-                ))),
-            },
+    fn condition(&mut self) -> Result<(Condition, ConditionSpans)> {
+        let (name, column) = self.bracketed()?;
+        let t = self.next()?;
+        match t.tok {
+            Token::Equals => {
+                let v = self.next()?;
+                match v.tok {
+                    Token::Str(s) => Ok((
+                        Condition::AttributeEquals(name, s),
+                        ConditionSpans {
+                            column,
+                            literal: v.span,
+                        },
+                    )),
+                    other => Err(self.err_at(
+                        v.span,
+                        format_args!("expected 'string' after `=`, found {other:?}"),
+                    )),
+                }
+            }
             Token::Word(w) if w == "BETWEEN" => {
-                let lo = self.number()?;
+                let (lo, lo_span) = self.number()?;
                 self.expect_word("AND")?;
-                let hi = self.number()?;
-                Ok(Condition::MeasureBetween(name, lo, hi))
+                let (hi, hi_span) = self.number()?;
+                Ok((
+                    Condition::MeasureBetween(name, lo, hi),
+                    ConditionSpans {
+                        column,
+                        literal: lo_span.merge(hi_span),
+                    },
+                ))
             }
-            other => Err(Error::invalid(format!(
-                "expected `=` or `BETWEEN` in condition, found {other:?}"
-            ))),
+            other => Err(self.err_at(
+                t.span,
+                format_args!("expected `=` or `BETWEEN` in condition, found {other:?}"),
+            )),
         }
     }
 
-    fn measure_clause(&mut self) -> Result<MeasureClause> {
-        let agg_word = match self.next()? {
+    fn measure_clause(&mut self) -> Result<(MeasureClause, Option<Span>)> {
+        let t = self.next()?;
+        let agg_word = match t.tok {
             Token::Word(w) => w,
-            other => Err(Error::invalid(format!(
-                "expected aggregate keyword, found {other:?}"
-            )))?,
+            other => {
+                return Err(self.err_at(
+                    t.span,
+                    format_args!("expected aggregate keyword, found {other:?}"),
+                ))
+            }
         };
         let agg = Aggregate::parse(&agg_word)
-            .ok_or_else(|| Error::invalid(format!("unknown aggregate `{agg_word}`")))?;
+            .ok_or_else(|| self.err_at(t.span, format_args!("unknown aggregate `{agg_word}`")))?;
         self.expect(Token::LParen)?;
         let clause = match self.peek() {
             Some(Token::Star) => {
-                self.next()?;
+                let star = self.next()?;
                 if agg != Aggregate::Count {
-                    return Err(Error::invalid(format!("{agg_word}(*) is not supported")));
+                    return Err(
+                        self.err_at(star.span, format_args!("{agg_word}(*) is not supported"))
+                    );
                 }
-                MeasureClause::CountRows
+                (MeasureClause::CountRows, None)
             }
             Some(Token::Word(w)) if w == "DISTINCT" => {
-                self.next()?;
-                let col = self.bracketed()?;
+                let kw = self.next()?;
+                let (col, col_span) = self.bracketed()?;
                 if agg != Aggregate::Count {
-                    return Err(Error::invalid("DISTINCT requires COUNT"));
+                    return Err(self.err_at(kw.span, "DISTINCT requires COUNT"));
                 }
-                MeasureClause::CountDistinct(col)
+                (MeasureClause::CountDistinct(col), Some(col_span))
             }
             _ => {
-                let measure = self.bracketed()?;
-                MeasureClause::Aggregate(agg, measure)
+                let (measure, span) = self.bracketed()?;
+                (MeasureClause::Aggregate(agg, measure), Some(span))
             }
         };
         self.expect(Token::RParen)?;
@@ -266,77 +360,104 @@ impl Parser {
     }
 }
 
-/// Parse an MDX query string.
-pub fn parse_mdx(input: &str) -> Result<MdxQuery> {
+/// Parse an MDX query string, returning the AST plus the byte spans
+/// of its analyzable names.
+pub fn parse_mdx_spanned(input: &str) -> Result<(MdxQuery, QuerySpans)> {
     let mut p = Parser {
-        tokens: tokenize(input)?,
+        input,
+        tokens: tokenize_spanned(input)?,
         pos: 0,
     };
     p.expect_word("SELECT")?;
-    let first = p.axis()?;
+    let (first, first_span) = p.axis()?;
     p.expect_word("ON")?;
-    let first_target = match p.next()? {
+    let t = p.next()?;
+    let first_target = match t.tok {
         Token::Word(w) if w == "COLUMNS" || w == "ROWS" => w,
         other => {
-            return Err(Error::invalid(format!(
-                "expected COLUMNS or ROWS, found {other:?}"
-            )))
+            return Err(p.err_at(
+                t.span,
+                format_args!("expected COLUMNS or ROWS, found {other:?}"),
+            ))
         }
     };
     p.expect(Token::Comma)?;
-    let second = p.axis()?;
+    let (second, second_span) = p.axis()?;
     p.expect_word("ON")?;
-    let second_target = match p.next()? {
+    let t = p.next()?;
+    let second_target = match t.tok {
         Token::Word(w) if w == "COLUMNS" || w == "ROWS" => w,
         other => {
-            return Err(Error::invalid(format!(
-                "expected COLUMNS or ROWS, found {other:?}"
-            )))
+            return Err(p.err_at(
+                t.span,
+                format_args!("expected COLUMNS or ROWS, found {other:?}"),
+            ))
         }
     };
     if first_target == second_target {
-        return Err(Error::invalid("both axes target the same placement"));
+        return Err(p.err_at(t.span, "both axes target the same placement"));
     }
-    let (columns, rows) = if first_target == "COLUMNS" {
-        (first, second)
+    let (columns, columns_span, rows, rows_span) = if first_target == "COLUMNS" {
+        (first, first_span, second, second_span)
     } else {
-        (second, first)
+        (second, second_span, first, first_span)
     };
 
     p.expect_word("FROM")?;
-    let cube = p.bracketed()?;
+    let (cube, cube_span) = p.bracketed()?;
 
     let mut conditions = Vec::new();
+    let mut condition_spans = Vec::new();
     let mut measure = MeasureClause::CountRows;
+    let mut measure_span = None;
     while let Some(token) = p.peek().cloned() {
         match token {
             Token::Word(w) if w == "WHERE" => {
                 p.next()?;
-                conditions.push(p.condition()?);
+                let (c, s) = p.condition()?;
+                conditions.push(c);
+                condition_spans.push(s);
                 while matches!(p.peek(), Some(Token::Word(w)) if w == "AND") {
                     p.next()?;
-                    conditions.push(p.condition()?);
+                    let (c, s) = p.condition()?;
+                    conditions.push(c);
+                    condition_spans.push(s);
                 }
             }
             Token::Word(w) if w == "MEASURE" => {
                 p.next()?;
-                measure = p.measure_clause()?;
+                let (m, s) = p.measure_clause()?;
+                measure = m;
+                measure_span = s;
             }
             other => {
-                return Err(Error::invalid(format!(
-                    "unexpected trailing token {other:?}"
-                )))
+                let span = p.here();
+                return Err(p.err_at(span, format_args!("unexpected trailing token {other:?}")));
             }
         }
     }
 
-    Ok(MdxQuery {
-        columns,
-        rows,
-        cube,
-        conditions,
-        measure,
-    })
+    Ok((
+        MdxQuery {
+            columns,
+            rows,
+            cube,
+            conditions,
+            measure,
+        },
+        QuerySpans {
+            columns: columns_span,
+            rows: rows_span,
+            cube: cube_span,
+            conditions: condition_spans,
+            measure: measure_span,
+        },
+    ))
+}
+
+/// Parse an MDX query string.
+pub fn parse_mdx(input: &str) -> Result<MdxQuery> {
+    parse_mdx_spanned(input).map(|(query, _)| query)
 }
 
 #[cfg(test)]
@@ -465,5 +586,28 @@ mod tests {
         assert!(
             parse_mdx("SELECT [A].MEMBERS ON COLUMNS, [B].MEMBERS ON ROWS FROM [C] EXTRA").is_err()
         );
+    }
+
+    #[test]
+    fn spans_point_at_the_names() {
+        let src = "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                   FROM [Medical Measures] WHERE [FBG] BETWEEN 5.5 AND 7 MEASURE AVG([BMI])";
+        let (_, spans) = parse_mdx_spanned(src).unwrap();
+        assert_eq!(spans.columns.slice(src), Some("[Gender]"));
+        assert_eq!(spans.rows.slice(src), Some("[Age_Band]"));
+        assert_eq!(spans.cube.slice(src), Some("[Medical Measures]"));
+        assert_eq!(spans.conditions.len(), 1);
+        assert_eq!(spans.conditions[0].column.slice(src), Some("[FBG]"));
+        assert_eq!(spans.conditions[0].literal.slice(src), Some("5.5 AND 7"));
+        assert_eq!(spans.measure.unwrap().slice(src), Some("[BMI]"));
+    }
+
+    #[test]
+    fn parse_errors_render_a_caret() {
+        let err = parse_mdx("SELECT [A].MEMBERS ON SIDEWAYS, [B].MEMBERS ON ROWS FROM [C]")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("expected COLUMNS or ROWS"), "{err}");
+        assert!(err.contains('^'), "{err}");
     }
 }

@@ -1,0 +1,191 @@
+//! Owned, declarative report specifications.
+//!
+//! A [`ReportSpec`] is the queueable equivalent of a
+//! [`QueryBuilder`] chain: it borrows nothing, so the serving layer
+//! can fingerprint it, hold it in a bounded queue and execute it
+//! against whatever warehouse snapshot is current when a worker picks
+//! it up. It lives in `olap` (rather than `serve`) so the semantic
+//! analyzer can validate it alongside MDX and cube requests.
+
+use crate::aggregate::Aggregate;
+use crate::builder::QueryBuilder;
+use clinical_types::Value;
+use warehouse::Warehouse;
+
+/// The measure clause of a [`ReportSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportMeasure {
+    /// `COUNT(*)` — attendance counts.
+    Count,
+    /// `COUNT(DISTINCT column)` — e.g. distinct patients.
+    CountDistinct(String),
+    /// An aggregate over a numeric measure.
+    Aggregate(Aggregate, String),
+}
+
+/// An owned, declarative report request mirroring the
+/// `olap::QueryBuilder` surface. Unlike the builder it does not borrow
+/// the warehouse, so it can queue and travel between threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSpec {
+    rows: Vec<String>,
+    cols: Vec<String>,
+    equals: Vec<(String, Value)>,
+    between: Vec<(String, f64, f64)>,
+    measure: ReportMeasure,
+}
+
+impl Default for ReportSpec {
+    fn default() -> Self {
+        ReportSpec::new()
+    }
+}
+
+impl ReportSpec {
+    /// An empty report counting attendances; add axes and filters.
+    pub fn new() -> Self {
+        ReportSpec {
+            rows: Vec::new(),
+            cols: Vec::new(),
+            equals: Vec::new(),
+            between: Vec::new(),
+            measure: ReportMeasure::Count,
+        }
+    }
+
+    /// Add a row-axis attribute.
+    pub fn on_rows(mut self, attribute: impl Into<String>) -> Self {
+        self.rows.push(attribute.into());
+        self
+    }
+
+    /// Add a column-axis attribute.
+    pub fn on_columns(mut self, attribute: impl Into<String>) -> Self {
+        self.cols.push(attribute.into());
+        self
+    }
+
+    /// Keep only facts where `attribute == value`.
+    pub fn where_equals(mut self, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.equals.push((attribute.into(), value.into()));
+        self
+    }
+
+    /// Keep only facts with `measure` in `[lo, hi)`.
+    pub fn where_measure_between(mut self, measure: impl Into<String>, lo: f64, hi: f64) -> Self {
+        self.between.push((measure.into(), lo, hi));
+        self
+    }
+
+    /// Count attendances per cell.
+    pub fn count(mut self) -> Self {
+        self.measure = ReportMeasure::Count;
+        self
+    }
+
+    /// Count distinct `degenerate` values per cell.
+    pub fn count_distinct(mut self, degenerate: impl Into<String>) -> Self {
+        self.measure = ReportMeasure::CountDistinct(degenerate.into());
+        self
+    }
+
+    /// Aggregate `measure` with `agg` per cell.
+    pub fn aggregate(mut self, agg: Aggregate, measure: impl Into<String>) -> Self {
+        self.measure = ReportMeasure::Aggregate(agg, measure.into());
+        self
+    }
+
+    /// Row-axis attributes, in display order.
+    pub fn row_axes(&self) -> &[String] {
+        &self.rows
+    }
+
+    /// Column-axis attributes, in display order.
+    pub fn column_axes(&self) -> &[String] {
+        &self.cols
+    }
+
+    /// Equality conditions.
+    pub fn equality_conditions(&self) -> &[(String, Value)] {
+        &self.equals
+    }
+
+    /// Measure-range conditions (`name`, `lo`, `hi`).
+    pub fn range_conditions(&self) -> &[(String, f64, f64)] {
+        &self.between
+    }
+
+    /// The measure clause.
+    pub fn measure_clause(&self) -> &ReportMeasure {
+        &self.measure
+    }
+
+    /// Canonical fingerprint. Axis order stays significant (it fixes
+    /// the pivot layout); filter conjunct order does not.
+    pub fn fingerprint(&self) -> String {
+        let mut conds: Vec<String> = self
+            .equals
+            .iter()
+            .map(|(a, v)| format!("{a}={v:?}"))
+            .collect();
+        conds.extend(
+            self.between
+                .iter()
+                .map(|(m, lo, hi)| format!("{m} in [{lo:?},{hi:?})")),
+        );
+        conds.sort();
+        conds.dedup();
+        format!(
+            "report|rows={}|cols={}|where=[{}]|measure={:?}",
+            self.rows.join(","),
+            self.cols.join(","),
+            conds.join(" && "),
+            self.measure
+        )
+    }
+
+    /// Translate into a `QueryBuilder` chain over `warehouse`.
+    pub fn to_builder<'w>(&self, warehouse: &'w Warehouse) -> QueryBuilder<'w> {
+        let mut qb = QueryBuilder::new(warehouse);
+        for r in &self.rows {
+            qb = qb.on_rows(r.clone());
+        }
+        for c in &self.cols {
+            qb = qb.on_columns(c.clone());
+        }
+        for (a, v) in &self.equals {
+            qb = qb.where_equals(a.clone(), v.clone());
+        }
+        for (m, lo, hi) in &self.between {
+            qb = qb.where_measure_between(m.clone(), *lo, *hi);
+        }
+        match &self.measure {
+            ReportMeasure::Count => qb.count(),
+            ReportMeasure::CountDistinct(d) => qb.count_distinct(d.clone()),
+            ReportMeasure::Aggregate(agg, m) => qb.aggregate(*agg, m.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reflect_the_builder_calls() {
+        let spec = ReportSpec::new()
+            .on_rows("FBG_Band")
+            .on_columns("Gender")
+            .where_equals("DiabetesStatus", "yes")
+            .where_measure_between("FBG", 5.5, 7.0)
+            .aggregate(Aggregate::Avg, "BMI");
+        assert_eq!(spec.row_axes(), ["FBG_Band".to_string()]);
+        assert_eq!(spec.column_axes(), ["Gender".to_string()]);
+        assert_eq!(spec.equality_conditions().len(), 1);
+        assert_eq!(spec.range_conditions(), [("FBG".to_string(), 5.5, 7.0)]);
+        assert_eq!(
+            spec.measure_clause(),
+            &ReportMeasure::Aggregate(Aggregate::Avg, "BMI".into())
+        );
+    }
+}

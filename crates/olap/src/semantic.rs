@@ -1,0 +1,684 @@
+//! Semantic analysis of OLAP queries against the star catalog.
+//!
+//! These are the AST-walking passes behind `analyze`'s diagnostic
+//! framework: every query shape the serving layer accepts —
+//! [`MdxQuery`], [`CubeSpec`], [`ReportSpec`] — is validated against a
+//! [`Catalog`] before it is allowed to consume a worker slot. Checks
+//! cover name resolution (`A0xx`, with did-you-mean suggestions),
+//! condition typing (`A1xx`) and aggregation legality (`A2xx`); see
+//! `analyze::explain` for the full code table.
+
+use crate::aggregate::{Aggregate, MeasureRef};
+use crate::cube::CubeSpec;
+use crate::mdx::{AxisSet, Condition, MdxQuery, MeasureClause, QuerySpans};
+use crate::report::{ReportMeasure, ReportSpec};
+use analyze::{Catalog, Code, ColumnKind, Diagnostic, Diagnostics};
+use clinical_types::{Span, Value};
+
+/// Attach `span` unless it is the empty default (no span table).
+fn spanned(d: Diagnostic, span: Span) -> Diagnostic {
+    if span == Span::default() {
+        d
+    } else {
+        d.with_span(span)
+    }
+}
+
+fn with_suggestion(catalog: &Catalog, name: &str, d: Diagnostic) -> Diagnostic {
+    match catalog.suggest(name) {
+        Some(s) => d.with_suggestion(s),
+        None => d,
+    }
+}
+
+/// Validate an axis grouping attribute; returns the attribute the
+/// query effectively groups on (the finer level for drill-downs).
+fn check_axis_attribute(
+    catalog: &Catalog,
+    attr: &str,
+    span: Span,
+    diags: &mut Diagnostics,
+) -> Option<String> {
+    match catalog.kind(attr) {
+        None => {
+            let d = Diagnostic::error(
+                Code::A002UnknownAxisAttribute,
+                format!("unknown axis attribute `{attr}`"),
+            );
+            diags.push(spanned(with_suggestion(catalog, attr, d), span));
+            None
+        }
+        Some(ColumnKind::Measure) | Some(ColumnKind::Degenerate) => {
+            diags.push(spanned(
+                Diagnostic::error(
+                    Code::A006AxisNotDimensionAttribute,
+                    format!(
+                        "`{attr}` is a fact column, not a dimension attribute; \
+                         axes group on categorical attributes"
+                    ),
+                ),
+                span,
+            ));
+            None
+        }
+        Some(ColumnKind::Attribute { .. }) => Some(attr.to_string()),
+    }
+}
+
+/// Warn when an equality literal was never observed in the
+/// attribute's loaded domain (skipped when the domain is unknown).
+fn check_domain(catalog: &Catalog, attr: &str, literal: &str, span: Span, diags: &mut Diagnostics) {
+    if let Some(domain) = catalog.domain(attr) {
+        if !domain.contains(literal) {
+            diags.push(spanned(
+                Diagnostic::warning(
+                    Code::A103LiteralOutsideDomain,
+                    format!("`{literal}` was never observed in `{attr}` at the current epoch"),
+                ),
+                span,
+            ));
+        }
+    }
+}
+
+fn check_equality(
+    catalog: &Catalog,
+    column: &str,
+    literal: &str,
+    column_span: Span,
+    literal_span: Span,
+    diags: &mut Diagnostics,
+) {
+    match catalog.kind(column) {
+        None => {
+            let d = Diagnostic::error(
+                Code::A004UnknownConditionColumn,
+                format!("condition references unknown column `{column}`"),
+            );
+            diags.push(spanned(with_suggestion(catalog, column, d), column_span));
+        }
+        Some(ColumnKind::Measure) => diags.push(spanned(
+            Diagnostic::error(
+                Code::A100EqualityOnMeasure,
+                format!(
+                    "equality condition on numeric measure `{column}`; \
+                     use `[{column}] BETWEEN lo AND hi`"
+                ),
+            ),
+            column_span,
+        )),
+        Some(ColumnKind::Degenerate) => diags.push(spanned(
+            Diagnostic::error(
+                Code::A100EqualityOnMeasure,
+                format!("equality condition on degenerate fact column `{column}` is not supported"),
+            ),
+            column_span,
+        )),
+        Some(ColumnKind::Attribute { .. }) => {
+            check_domain(catalog, column, literal, literal_span, diags);
+        }
+    }
+}
+
+fn check_range(
+    catalog: &Catalog,
+    column: &str,
+    lo: f64,
+    hi: f64,
+    column_span: Span,
+    literal_span: Span,
+    diags: &mut Diagnostics,
+) {
+    match catalog.kind(column) {
+        None => {
+            let d = Diagnostic::error(
+                Code::A004UnknownConditionColumn,
+                format!("condition references unknown column `{column}`"),
+            );
+            diags.push(spanned(with_suggestion(catalog, column, d), column_span));
+        }
+        Some(ColumnKind::Attribute { .. }) => diags.push(spanned(
+            Diagnostic::error(
+                Code::A101RangeOnCategorical,
+                format!(
+                    "range condition on categorical attribute `{column}`; \
+                     use `[{column}] = 'value'`"
+                ),
+            ),
+            column_span,
+        )),
+        Some(ColumnKind::Degenerate) => diags.push(spanned(
+            Diagnostic::error(
+                Code::A101RangeOnCategorical,
+                format!("range condition on degenerate fact column `{column}` is not supported"),
+            ),
+            column_span,
+        )),
+        Some(ColumnKind::Measure) => {
+            if !lo.is_finite() || !hi.is_finite() {
+                diags.push(spanned(
+                    Diagnostic::error(
+                        Code::A104NonFiniteBound,
+                        format!("non-finite BETWEEN bound on `{column}` ({lo} .. {hi})"),
+                    ),
+                    literal_span,
+                ));
+            } else if lo > hi {
+                diags.push(spanned(
+                    Diagnostic::error(
+                        Code::A102EmptyRange,
+                        format!("empty range on `{column}`: lower bound {lo} exceeds upper {hi}"),
+                    ),
+                    literal_span,
+                ));
+            }
+        }
+    }
+}
+
+/// Shared aggregation-legality checks: the aggregate target must be a
+/// measure (`A003`/`A204`), distinct counts need a degenerate column
+/// (`A005`/`A201`), and SUM of a non-additive measure may not roll
+/// across the cardinality dimension (`A200`).
+fn check_aggregation(
+    catalog: &Catalog,
+    agg: Aggregate,
+    target: Option<&str>,
+    distinct: Option<&str>,
+    grouping: &[String],
+    span: Span,
+    diags: &mut Diagnostics,
+) {
+    if let Some(col) = distinct {
+        match catalog.kind(col) {
+            None => {
+                let d = Diagnostic::error(
+                    Code::A005UnknownDistinctColumn,
+                    format!("COUNT(DISTINCT …) references unknown column `{col}`"),
+                );
+                diags.push(spanned(with_suggestion(catalog, col, d), span));
+            }
+            Some(ColumnKind::Degenerate) => {}
+            Some(_) => diags.push(spanned(
+                Diagnostic::error(
+                    Code::A201DistinctOnNonDegenerate,
+                    format!(
+                        "COUNT(DISTINCT `{col}`) needs a degenerate fact column \
+                         such as PatientId"
+                    ),
+                ),
+                span,
+            )),
+        }
+    }
+    if let Some(m) = target {
+        match catalog.kind(m) {
+            None => {
+                let d =
+                    Diagnostic::error(Code::A003UnknownMeasure, format!("unknown measure `{m}`"));
+                diags.push(spanned(with_suggestion(catalog, m, d), span));
+            }
+            Some(ColumnKind::Attribute { .. }) | Some(ColumnKind::Degenerate) => {
+                diags.push(spanned(
+                    Diagnostic::error(
+                        Code::A204AggregateTargetNotMeasure,
+                        format!("aggregate target `{m}` is not a numeric measure"),
+                    ),
+                    span,
+                ));
+            }
+            Some(ColumnKind::Measure) => {
+                if agg == Aggregate::Sum && !catalog.is_additive_measure(m) {
+                    if let Some(card) = grouping
+                        .iter()
+                        .find(|a| catalog.is_cardinality_attribute(a))
+                    {
+                        diags.push(spanned(
+                            Diagnostic::error(
+                                Code::A200SumAcrossCardinality,
+                                format!(
+                                    "SUM of non-additive measure `{m}` grouped on \
+                                     cardinality attribute `{card}` double-counts \
+                                     patients across visits; use AVG instead"
+                                ),
+                            ),
+                            span,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Flag attributes appearing on more than one axis (`A203`).
+fn check_duplicate_axes(grouping: &[String], spans: &[Span], diags: &mut Diagnostics) {
+    for (i, a) in grouping.iter().enumerate() {
+        if grouping[..i].contains(a) {
+            diags.push(spanned(
+                Diagnostic::error(
+                    Code::A203DuplicateAxis,
+                    format!("attribute `{a}` appears on more than one axis"),
+                ),
+                spans.get(i).copied().unwrap_or_default(),
+            ));
+        }
+    }
+}
+
+/// Validate a parsed MDX query. `spans` comes from
+/// [`crate::mdx::parse_mdx_spanned`]; pass `&QuerySpans::default()`
+/// when the query text is gone.
+pub fn analyze_mdx(catalog: &Catalog, query: &MdxQuery, spans: &QuerySpans) -> Diagnostics {
+    let mut diags = Diagnostics::default();
+
+    if query.cube != catalog.fact_name() {
+        let d = Diagnostic::error(
+            Code::A001UnknownCube,
+            format!(
+                "unknown cube `[{}]` (the warehouse exposes `[{}]`)",
+                query.cube,
+                catalog.fact_name()
+            ),
+        )
+        .with_suggestion(catalog.fact_name());
+        diags.push(spanned(d, spans.cube));
+    }
+
+    // Axes: resolve names and drill-downs, collecting the effective
+    // grouping attributes for the aggregation checks.
+    let mut grouping = Vec::new();
+    let mut grouping_spans = Vec::new();
+    for (axis, span) in [(&query.columns, spans.columns), (&query.rows, spans.rows)] {
+        let attr = axis.set.attribute();
+        let resolved = check_axis_attribute(catalog, attr, span, &mut diags);
+        match &axis.set {
+            AxisSet::Members(_) => {
+                if let Some(a) = resolved {
+                    grouping.push(a);
+                    grouping_spans.push(span);
+                }
+            }
+            AxisSet::Explicit(a, members) => {
+                if let Some(eff) = resolved {
+                    grouping.push(eff);
+                    grouping_spans.push(span);
+                }
+                for m in members {
+                    check_domain(catalog, a, m, span, &mut diags);
+                }
+            }
+            AxisSet::Children { parent, member } => {
+                if resolved.is_some() {
+                    match catalog.finer_level(parent) {
+                        Some(child) => {
+                            grouping.push(child.to_string());
+                            grouping_spans.push(span);
+                            check_domain(catalog, parent, member, span, &mut diags);
+                        }
+                        None => diags.push(spanned(
+                            Diagnostic::error(
+                                Code::A202NoFinerLevel,
+                                format!(
+                                    "`[{parent}].[{member}].CHILDREN` needs a finer \
+                                     hierarchy level under `{parent}`"
+                                ),
+                            ),
+                            span,
+                        )),
+                    }
+                }
+            }
+        }
+    }
+    check_duplicate_axes(&grouping, &grouping_spans, &mut diags);
+
+    for (i, condition) in query.conditions.iter().enumerate() {
+        let cs = spans.conditions.get(i).copied().unwrap_or_default();
+        match condition {
+            Condition::AttributeEquals(attr, value) => {
+                check_equality(catalog, attr, value, cs.column, cs.literal, &mut diags);
+            }
+            Condition::MeasureBetween(m, lo, hi) => {
+                check_range(catalog, m, *lo, *hi, cs.column, cs.literal, &mut diags);
+            }
+        }
+    }
+
+    let measure_span = spans.measure.unwrap_or_default();
+    match &query.measure {
+        MeasureClause::CountRows => {}
+        MeasureClause::CountDistinct(col) => check_aggregation(
+            catalog,
+            Aggregate::Count,
+            None,
+            Some(col),
+            &grouping,
+            measure_span,
+            &mut diags,
+        ),
+        MeasureClause::Aggregate(agg, m) => check_aggregation(
+            catalog,
+            *agg,
+            Some(m),
+            None,
+            &grouping,
+            measure_span,
+            &mut diags,
+        ),
+    }
+
+    diags
+}
+
+/// Parse and validate an MDX string in one step. Parse errors come
+/// back as `Err` (with a caret snippet in the message); semantic
+/// findings come back in the `Ok` report, with the query text
+/// attached so `Display` renders carets.
+pub fn analyze_mdx_str(catalog: &Catalog, text: &str) -> clinical_types::Result<Diagnostics> {
+    let (query, spans) = crate::mdx::parse_mdx_spanned(text)?;
+    let mut diags = analyze_mdx(catalog, &query, &spans);
+    diags.query = Some(text.to_string());
+    Ok(diags)
+}
+
+/// Validate a cube specification.
+pub fn analyze_cube(catalog: &Catalog, spec: &CubeSpec) -> Diagnostics {
+    let mut diags = Diagnostics::default();
+    if spec.axes.is_empty() {
+        diags.push(Diagnostic::error(
+            Code::A205NoAxes,
+            "a cube needs at least one axis",
+        ));
+    }
+    let mut grouping = Vec::new();
+    for attr in &spec.axes {
+        if let Some(a) = check_axis_attribute(catalog, attr, Span::default(), &mut diags) {
+            grouping.push(a);
+        }
+    }
+    check_duplicate_axes(&grouping, &[], &mut diags);
+
+    for (attr, values) in spec.filter.attribute_conditions() {
+        for value in values {
+            let literal = match value {
+                Value::Text(s) => s.clone(),
+                other => other.to_string(),
+            };
+            check_equality(
+                catalog,
+                attr,
+                &literal,
+                Span::default(),
+                Span::default(),
+                &mut diags,
+            );
+        }
+    }
+    for (m, lo, hi) in spec.filter.measure_conditions() {
+        check_range(
+            catalog,
+            m,
+            *lo,
+            *hi,
+            Span::default(),
+            Span::default(),
+            &mut diags,
+        );
+    }
+
+    let (target, distinct) = match &spec.measure {
+        MeasureRef::RowCount => (None, None),
+        MeasureRef::Measure(m) => (Some(m.as_str()), None),
+        MeasureRef::DistinctDegenerate(d) => (None, Some(d.as_str())),
+    };
+    check_aggregation(
+        catalog,
+        spec.agg,
+        target,
+        distinct,
+        &grouping,
+        Span::default(),
+        &mut diags,
+    );
+    diags
+}
+
+/// Validate a report specification.
+pub fn analyze_report(catalog: &Catalog, spec: &ReportSpec) -> Diagnostics {
+    let mut diags = Diagnostics::default();
+    if spec.row_axes().is_empty() {
+        diags.push(Diagnostic::error(
+            Code::A205NoAxes,
+            "a report needs at least one row-axis attribute",
+        ));
+    }
+    let mut grouping = Vec::new();
+    for attr in spec.row_axes().iter().chain(spec.column_axes()) {
+        if let Some(a) = check_axis_attribute(catalog, attr, Span::default(), &mut diags) {
+            grouping.push(a);
+        }
+    }
+    check_duplicate_axes(&grouping, &[], &mut diags);
+
+    for (attr, value) in spec.equality_conditions() {
+        let literal = match value {
+            Value::Text(s) => s.clone(),
+            other => other.to_string(),
+        };
+        check_equality(
+            catalog,
+            attr,
+            &literal,
+            Span::default(),
+            Span::default(),
+            &mut diags,
+        );
+    }
+    for (m, lo, hi) in spec.range_conditions() {
+        check_range(
+            catalog,
+            m,
+            *lo,
+            *hi,
+            Span::default(),
+            Span::default(),
+            &mut diags,
+        );
+    }
+
+    let (agg, target, distinct) = match spec.measure_clause() {
+        ReportMeasure::Count => (Aggregate::Count, None, None),
+        ReportMeasure::CountDistinct(d) => (Aggregate::Count, None, Some(d.as_str())),
+        ReportMeasure::Aggregate(agg, m) => (*agg, Some(m.as_str()), None),
+    };
+    check_aggregation(
+        catalog,
+        agg,
+        target,
+        distinct,
+        &grouping,
+        Span::default(),
+        &mut diags,
+    );
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::CubeFilter;
+    use warehouse::discri_model;
+
+    fn catalog() -> Catalog {
+        Catalog::from_star(&discri_model())
+    }
+
+    fn mdx_codes(text: &str) -> Vec<&'static str> {
+        analyze_mdx_str(&catalog(), text).expect("parses").codes()
+    }
+
+    #[test]
+    fn valid_fig5_query_is_clean() {
+        let codes = mdx_codes(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' MEASURE COUNT(*)",
+        );
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+
+    #[test]
+    fn unknown_names_get_suggestions() {
+        let diags = analyze_mdx_str(
+            &catalog(),
+            "SELECT [Gendr].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+             FROM [Medical Measures]",
+        )
+        .unwrap();
+        let d = diags.find(Code::A002UnknownAxisAttribute).expect("A002");
+        assert_eq!(d.suggestion.as_deref(), Some("Gender"));
+        assert!(d.span.is_some(), "span should point at [Gendr]");
+    }
+
+    #[test]
+    fn wrong_cube_suggests_the_fact() {
+        let diags = analyze_mdx_str(
+            &catalog(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS FROM [Wrong Cube]",
+        )
+        .unwrap();
+        let d = diags.find(Code::A001UnknownCube).expect("A001");
+        assert_eq!(d.suggestion.as_deref(), Some("Medical Measures"));
+    }
+
+    #[test]
+    fn typing_rules_fire() {
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] WHERE [FBG] = 'high'"
+            ),
+            vec!["A100"]
+        );
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] WHERE [Gender] BETWEEN 1 AND 2"
+            ),
+            vec!["A101"]
+        );
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] WHERE [FBG] BETWEEN 7 AND 5"
+            ),
+            vec!["A102"]
+        );
+    }
+
+    #[test]
+    fn aggregation_rules_fire() {
+        // SUM of a clinical reading across the cardinality dimension.
+        assert_eq!(
+            mdx_codes(
+                "SELECT [VisitKind].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+                 FROM [Medical Measures] MEASURE SUM([FBG])"
+            ),
+            vec!["A200"]
+        );
+        // The same SUM grouped off-cardinality is fine.
+        assert!(mdx_codes(
+            "SELECT [FBG_Band].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+             FROM [Medical Measures] MEASURE SUM([FBG])"
+        )
+        .is_empty());
+        // Additive measures may SUM across cardinality.
+        assert!(mdx_codes(
+            "SELECT [VisitKind].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+             FROM [Medical Measures] MEASURE SUM([ExerciseMinutesPerWeek])"
+        )
+        .is_empty());
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] MEASURE COUNT(DISTINCT [Gender])"
+            ),
+            vec!["A201"]
+        );
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Gender].[F].CHILDREN ON ROWS \
+                 FROM [Medical Measures]"
+            ),
+            vec!["A202"]
+        );
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+                 FROM [Medical Measures]"
+            ),
+            vec!["A203"]
+        );
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] MEASURE AVG([Gender])"
+            ),
+            vec!["A204"]
+        );
+    }
+
+    #[test]
+    fn drilldown_grouping_uses_the_finer_level() {
+        // [Age_Band].[60-80].CHILDREN effectively groups on
+        // Age_SubGroup, so pairing it with Age_SubGroup.MEMBERS is a
+        // duplicate axis.
+        assert_eq!(
+            mdx_codes(
+                "SELECT [Age_SubGroup].MEMBERS ON COLUMNS, \
+                 [Age_Band].[60-80].CHILDREN ON ROWS FROM [Medical Measures]"
+            ),
+            vec!["A203"]
+        );
+    }
+
+    #[test]
+    fn cube_and_report_specs_are_checked_too() {
+        let c = catalog();
+        let bad_cube = CubeSpec::count(vec!["Gender", "NoSuchAttr"])
+            .with_filter(CubeFilter::all().measure_between("Gender", 0.0, 1.0));
+        let codes = analyze_cube(&c, &bad_cube).codes();
+        assert!(codes.contains(&"A002"), "{codes:?}");
+        assert!(codes.contains(&"A101"), "{codes:?}");
+
+        let bad_report = ReportSpec::new()
+            .on_rows("FBG_Bnad")
+            .where_equals("FBG", "high")
+            .count_distinct("Gender");
+        let codes = analyze_report(&c, &bad_report).codes();
+        assert!(codes.contains(&"A002"), "{codes:?}");
+        assert!(codes.contains(&"A100"), "{codes:?}");
+        assert!(codes.contains(&"A201"), "{codes:?}");
+
+        assert_eq!(
+            analyze_cube(&c, &CubeSpec::count(vec![])).codes(),
+            vec!["A205"]
+        );
+        assert_eq!(
+            analyze_report(&c, &ReportSpec::new().count()).codes(),
+            vec!["A205"]
+        );
+    }
+
+    #[test]
+    fn domain_warnings_need_a_loaded_warehouse() {
+        // Schema-only catalog: no domains, no A103.
+        let diags = analyze_mdx_str(
+            &catalog(),
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [Gender] = 'Purple'",
+        )
+        .unwrap();
+        assert!(diags.is_empty(), "{diags}");
+    }
+}

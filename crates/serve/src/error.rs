@@ -1,5 +1,6 @@
 //! Typed failures of the serving layer.
 
+use analyze::Diagnostics;
 use std::fmt;
 use std::time::Duration;
 
@@ -25,6 +26,11 @@ pub enum ServeError {
     },
     /// The service is draining and no longer accepts work.
     ShuttingDown,
+    /// The semantic analyzer rejected the request at admission:
+    /// unknown names, type mismatches or illegal aggregations. Nothing
+    /// was queued or executed; the diagnostics carry stable codes
+    /// (`A0xx`/`A1xx`/`A2xx`) and did-you-mean suggestions.
+    Invalid(Diagnostics),
     /// The query itself failed (parse error, unknown attribute, …).
     Query(clinical_types::Error),
 }
@@ -39,6 +45,9 @@ impl fmt::Display for ServeError {
                 write!(f, "deadline of {deadline:?} exceeded")
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Invalid(diags) => {
+                write!(f, "invalid query rejected at admission:\n{diags}")
+            }
             ServeError::Query(e) => write!(f, "query failed: {e}"),
         }
     }

@@ -18,6 +18,7 @@ pub struct ServeMetrics {
     misses: AtomicU64,
     coalesced: AtomicU64,
     rejected: AtomicU64,
+    rejected_invalid: AtomicU64,
     executed: AtomicU64,
     deadline_exceeded: AtomicU64,
     failed: AtomicU64,
@@ -44,6 +45,12 @@ impl ServeMetrics {
     /// Record an admission-control rejection.
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a semantic-analysis rejection at admission (distinct
+    /// from load shedding: the request was wrong, not unlucky).
+    pub fn record_rejected_invalid(&self) {
+        self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a worker-side execution.
@@ -79,6 +86,7 @@ impl ServeMetrics {
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
             executed: self.executed.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
@@ -101,6 +109,8 @@ pub struct MetricsSnapshot {
     pub coalesced: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
+    /// Requests the semantic analyzer rejected at admission.
+    pub rejected_invalid: u64,
     /// Executions performed by the worker pool.
     pub executed: u64,
     /// Requests whose caller gave up on its deadline.
@@ -144,12 +154,13 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(
             f,
             "served {} (hits {} | misses {} | coalesced {}), rejected {}, \
-             executed {}, deadline-exceeded {}, failed {}",
+             rejected-invalid {}, executed {}, deadline-exceeded {}, failed {}",
             self.served(),
             self.hits,
             self.misses,
             self.coalesced,
             self.rejected,
+            self.rejected_invalid,
             self.executed,
             self.deadline_exceeded,
             self.failed,

@@ -6,10 +6,13 @@
 //! an MDX string, a [`CubeSpec`], or a declarative [`ReportSpec`] that
 //! is translated into an `olap::QueryBuilder` chain at execution time.
 
+use analyze::{Catalog, Diagnostics};
 use clinical_types::{Result, Value};
-use olap::mdx::execute_query;
-use olap::{parse_mdx, Aggregate, Cube, CubeSpec, PivotTable, QueryBuilder};
+use olap::mdx::{execute_query_unchecked, parse_mdx_spanned};
+use olap::{analyze_cube, analyze_mdx, analyze_report, parse_mdx, Cube, CubeSpec, PivotTable};
 use warehouse::Warehouse;
+
+pub use olap::{ReportMeasure, ReportSpec};
 
 /// A query accepted by the serving layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,12 +38,38 @@ impl QueryRequest {
         }
     }
 
+    /// Run the semantic analyzer against `catalog`.
+    ///
+    /// Used by the service at admission: an MDX request gets its query
+    /// text attached so diagnostics render caret snippets. Unparseable
+    /// MDX never reaches this point — [`QueryRequest::fingerprint`]
+    /// fails first.
+    pub fn analyze(&self, catalog: &Catalog) -> Diagnostics {
+        match self {
+            QueryRequest::Mdx(text) => match parse_mdx_spanned(text) {
+                Ok((query, spans)) => {
+                    let mut diags = analyze_mdx(catalog, &query, &spans);
+                    diags.query = Some(text.clone());
+                    diags
+                }
+                Err(_) => Diagnostics::default(),
+            },
+            QueryRequest::Cube(spec) => analyze_cube(catalog, spec),
+            QueryRequest::Report(spec) => analyze_report(catalog, spec),
+        }
+    }
+
     /// Execute against a warehouse snapshot.
+    ///
+    /// Skips the semantic pre-pass: the service has already analyzed
+    /// the request at admission, so workers go straight to execution.
     pub fn execute(&self, warehouse: &Warehouse) -> Result<QueryOutcome> {
         match self {
             QueryRequest::Mdx(text) => {
                 let query = parse_mdx(text)?;
-                Ok(QueryOutcome::Pivot(execute_query(warehouse, &query)?))
+                Ok(QueryOutcome::Pivot(execute_query_unchecked(
+                    warehouse, &query,
+                )?))
             }
             QueryRequest::Cube(spec) => {
                 let cube = Cube::build(warehouse, spec)?;
@@ -49,136 +78,6 @@ impl QueryRequest {
             QueryRequest::Report(spec) => {
                 Ok(QueryOutcome::Pivot(spec.to_builder(warehouse).execute()?))
             }
-        }
-    }
-}
-
-/// The measure clause of a [`ReportSpec`].
-#[derive(Debug, Clone, PartialEq)]
-pub enum ReportMeasure {
-    /// `COUNT(*)` — attendance counts.
-    Count,
-    /// `COUNT(DISTINCT column)` — e.g. distinct patients.
-    CountDistinct(String),
-    /// An aggregate over a numeric measure.
-    Aggregate(Aggregate, String),
-}
-
-/// An owned, declarative report request mirroring the
-/// `olap::QueryBuilder` surface. Unlike the builder it does not borrow
-/// the warehouse, so it can queue and travel between threads.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ReportSpec {
-    rows: Vec<String>,
-    cols: Vec<String>,
-    equals: Vec<(String, Value)>,
-    between: Vec<(String, f64, f64)>,
-    measure: ReportMeasure,
-}
-
-impl Default for ReportSpec {
-    fn default() -> Self {
-        ReportSpec::new()
-    }
-}
-
-impl ReportSpec {
-    /// An empty report counting attendances; add axes and filters.
-    pub fn new() -> Self {
-        ReportSpec {
-            rows: Vec::new(),
-            cols: Vec::new(),
-            equals: Vec::new(),
-            between: Vec::new(),
-            measure: ReportMeasure::Count,
-        }
-    }
-
-    /// Add a row-axis attribute.
-    pub fn on_rows(mut self, attribute: impl Into<String>) -> Self {
-        self.rows.push(attribute.into());
-        self
-    }
-
-    /// Add a column-axis attribute.
-    pub fn on_columns(mut self, attribute: impl Into<String>) -> Self {
-        self.cols.push(attribute.into());
-        self
-    }
-
-    /// Keep only facts where `attribute == value`.
-    pub fn where_equals(mut self, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        self.equals.push((attribute.into(), value.into()));
-        self
-    }
-
-    /// Keep only facts with `measure` in `[lo, hi)`.
-    pub fn where_measure_between(mut self, measure: impl Into<String>, lo: f64, hi: f64) -> Self {
-        self.between.push((measure.into(), lo, hi));
-        self
-    }
-
-    /// Count attendances per cell.
-    pub fn count(mut self) -> Self {
-        self.measure = ReportMeasure::Count;
-        self
-    }
-
-    /// Count distinct `degenerate` values per cell.
-    pub fn count_distinct(mut self, degenerate: impl Into<String>) -> Self {
-        self.measure = ReportMeasure::CountDistinct(degenerate.into());
-        self
-    }
-
-    /// Aggregate `measure` with `agg` per cell.
-    pub fn aggregate(mut self, agg: Aggregate, measure: impl Into<String>) -> Self {
-        self.measure = ReportMeasure::Aggregate(agg, measure.into());
-        self
-    }
-
-    /// Canonical fingerprint. Axis order stays significant (it fixes
-    /// the pivot layout); filter conjunct order does not.
-    pub fn fingerprint(&self) -> String {
-        let mut conds: Vec<String> = self
-            .equals
-            .iter()
-            .map(|(a, v)| format!("{a}={v:?}"))
-            .collect();
-        conds.extend(
-            self.between
-                .iter()
-                .map(|(m, lo, hi)| format!("{m} in [{lo:?},{hi:?})")),
-        );
-        conds.sort();
-        conds.dedup();
-        format!(
-            "report|rows={}|cols={}|where=[{}]|measure={:?}",
-            self.rows.join(","),
-            self.cols.join(","),
-            conds.join(" && "),
-            self.measure
-        )
-    }
-
-    /// Translate into a `QueryBuilder` chain over `warehouse`.
-    pub fn to_builder<'w>(&self, warehouse: &'w Warehouse) -> QueryBuilder<'w> {
-        let mut qb = QueryBuilder::new(warehouse);
-        for r in &self.rows {
-            qb = qb.on_rows(r.clone());
-        }
-        for c in &self.cols {
-            qb = qb.on_columns(c.clone());
-        }
-        for (a, v) in &self.equals {
-            qb = qb.where_equals(a.clone(), v.clone());
-        }
-        for (m, lo, hi) in &self.between {
-            qb = qb.where_measure_between(m.clone(), *lo, *hi);
-        }
-        match &self.measure {
-            ReportMeasure::Count => qb.count(),
-            ReportMeasure::CountDistinct(d) => qb.count_distinct(d.clone()),
-            ReportMeasure::Aggregate(agg, m) => qb.aggregate(*agg, m.clone()),
         }
     }
 }

@@ -6,6 +6,7 @@
 //! ```text
 //! execute(request)
 //!   ├─ fingerprint + current data epoch → cache key
+//!   ├─ semantic analysis fails? → Invalid (nothing queued or cached)
 //!   ├─ cache hit? ────────────────────────────────▶ Served (Cache)
 //!   ├─ identical query in flight? → park on it ───▶ Served (Coalesced)
 //!   └─ lead a new flight
@@ -23,6 +24,7 @@ use crate::error::{ServeError, ServeResult};
 use crate::flight::{Flight, FlightRole, FlightTable};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{QueryOutcome, QueryRequest, ReportSpec};
+use analyze::Catalog;
 use clinical_types::{Table, Value};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use olap::CubeSpec;
@@ -98,11 +100,30 @@ struct Job {
 
 struct Shared {
     warehouse: RwLock<Warehouse>,
+    /// Semantic catalog for the admission gate, keyed by the epoch it
+    /// was built at. Mutations (appends, feedback dimensions) bump the
+    /// epoch, so the first admission under a new epoch rebuilds it.
+    catalog: RwLock<(u64, Arc<Catalog>)>,
     cache: ResultCache,
     flights: FlightTable,
     metrics: ServeMetrics,
     accepting: AtomicBool,
     execution_delay: Option<Duration>,
+}
+
+impl Shared {
+    /// The catalog for `epoch`, rebuilding from `wh` on epoch change.
+    fn catalog_for(&self, epoch: u64, wh: &Warehouse) -> Arc<Catalog> {
+        {
+            let cached = self.catalog.read();
+            if cached.0 == epoch {
+                return Arc::clone(&cached.1);
+            }
+        }
+        let fresh = Arc::new(Catalog::from_warehouse(wh));
+        *self.catalog.write() = (epoch, Arc::clone(&fresh));
+        fresh
+    }
 }
 
 /// A concurrent query front-end over one warehouse.
@@ -123,8 +144,13 @@ pub struct QueryService {
 impl QueryService {
     /// Start a service over `warehouse` with `config`.
     pub fn new(warehouse: Warehouse, config: ServeConfig) -> QueryService {
+        let catalog = (
+            warehouse.epoch(),
+            Arc::new(Catalog::from_warehouse(&warehouse)),
+        );
         let shared = Arc::new(Shared {
             warehouse: RwLock::new(warehouse),
+            catalog: RwLock::new(catalog),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             flights: FlightTable::default(),
             metrics: ServeMetrics::default(),
@@ -139,7 +165,7 @@ impl QueryService {
                 thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared, &receiver))
-                    .expect("spawn worker thread")
+                    .expect("spawn worker thread") // lint:allow(no-panic)
             })
             .collect();
         QueryService {
@@ -173,7 +199,20 @@ impl QueryService {
             self.shared.metrics.record_failed();
             ServeError::Query(e)
         })?;
-        let epoch = self.shared.warehouse.read().epoch();
+        let (epoch, catalog) = {
+            let wh = self.shared.warehouse.read();
+            let epoch = wh.epoch();
+            (epoch, self.shared.catalog_for(epoch, &wh))
+        };
+
+        // Semantic admission gate: an invalid request never reaches
+        // the cache, the single-flight table or the worker queue.
+        let diags = request.analyze(&catalog);
+        if diags.has_errors() {
+            self.shared.metrics.record_rejected_invalid();
+            return Err(ServeError::Invalid(diags));
+        }
+
         let key: CacheKey = (fingerprint, epoch);
 
         if let Some(value) = self.shared.cache.get(&key) {
@@ -427,17 +466,26 @@ mod tests {
     }
 
     #[test]
-    fn query_errors_are_typed_and_non_fatal() {
+    fn invalid_queries_are_rejected_at_admission() {
         let svc = QueryService::new(small_warehouse(), ServeConfig::default());
         let err = svc
             .execute(&QueryRequest::Report(
                 ReportSpec::new().on_rows("NoSuchAttr").count(),
             ))
             .unwrap_err();
-        assert!(matches!(err, ServeError::Query(_)));
-        // The service still works afterwards.
+        match err {
+            ServeError::Invalid(diags) => {
+                assert_eq!(diags.codes(), vec!["A002"]);
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // Nothing was queued, executed or cached; the service still
+        // works afterwards.
         assert!(svc.execute(&fbg_by_band()).is_ok());
-        assert_eq!(svc.metrics().failed, 1);
+        let m = svc.metrics();
+        assert_eq!(m.rejected_invalid, 1);
+        assert_eq!(m.failed, 0);
+        assert_eq!(m.executed, 1);
     }
 
     #[test]

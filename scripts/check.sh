@@ -8,7 +8,10 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::disallowed-methods
+
+echo "==> repo-lint"
+cargo run -q -p analyze --bin repo-lint
 
 echo "==> cargo build --release"
 cargo build --release

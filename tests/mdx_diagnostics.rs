@@ -1,0 +1,282 @@
+//! The static-analysis contract: every class of invalid query gets a
+//! stable diagnostic code and, where a near-miss exists, a
+//! did-you-mean suggestion. Codes are part of the public surface —
+//! clients match on them — so these assertions pin exact values.
+
+use analyze::{explain, Catalog, Code};
+use olap::{analyze_cube, analyze_mdx_str, analyze_report, CubeSpec, ReportSpec};
+use proptest::prelude::*;
+use warehouse::discri_model;
+
+fn catalog() -> Catalog {
+    Catalog::from_star(&discri_model())
+}
+
+/// Invalid queries and the exact code sequence the analyzer must
+/// produce, in source order.
+const CORPUS: &[(&str, &[&str])] = &[
+    // -- A0xx: name resolution --------------------------------------
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Wrong Cube] MEASURE COUNT(*)",
+        &["A001"],
+    ),
+    (
+        "SELECT [Gendr].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)",
+        &["A002"],
+    ),
+    (
+        "SELECT {[Gendre].[F]} ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)",
+        &["A002"],
+    ),
+    (
+        "SELECT [NoSuchParent].[x].CHILDREN ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)",
+        &["A002"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE AVG([BMX])",
+        &["A003"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] WHERE [DiabetesStatu] = 'yes' MEASURE COUNT(*)",
+        &["A004"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(DISTINCT [PatientIdd])",
+        &["A005"],
+    ),
+    (
+        "SELECT [FBG].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)",
+        &["A006"],
+    ),
+    (
+        "SELECT [PatientId].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)",
+        &["A006"],
+    ),
+    // -- A1xx: condition typing -------------------------------------
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] WHERE [FBG] = 'high' MEASURE COUNT(*)",
+        &["A100"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] WHERE [PatientId] = 'P001' MEASURE COUNT(*)",
+        &["A100"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] WHERE [DiabetesStatus] BETWEEN 0 AND 1 MEASURE COUNT(*)",
+        &["A101"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] WHERE [FBG] BETWEEN 7 AND 5 MEASURE COUNT(*)",
+        &["A102"],
+    ),
+    // -- A2xx: aggregation legality ---------------------------------
+    (
+        "SELECT [VisitKind].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE SUM([FBG])",
+        &["A200"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(DISTINCT [Gender])",
+        &["A201"],
+    ),
+    (
+        "SELECT [Gender].[F].CHILDREN ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)",
+        &["A202"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)",
+        &["A203"],
+    ),
+    (
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE MAX([Gender])",
+        &["A204"],
+    ),
+    // -- compound: findings accumulate in source order ---------------
+    (
+        "SELECT [Gendr].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Wrong Cube] WHERE [FBG] = 'x' MEASURE AVG([BMX])",
+        &["A001", "A002", "A100", "A003"],
+    ),
+];
+
+#[test]
+fn every_corpus_query_gets_its_exact_codes() {
+    let catalog = catalog();
+    assert!(CORPUS.len() >= 15, "corpus shrank to {}", CORPUS.len());
+    for (query, expected) in CORPUS {
+        let diags = analyze_mdx_str(&catalog, query)
+            .unwrap_or_else(|e| panic!("corpus query failed to parse: {query}\n{e}"));
+        assert_eq!(&diags.codes(), expected, "query: {query}\n{diags}");
+        // Every emitted code has an explanation.
+        for code in diags.codes() {
+            assert!(explain(code).is_some(), "no explanation for {code}");
+        }
+    }
+}
+
+#[test]
+fn near_misses_carry_did_you_mean_suggestions() {
+    let catalog = catalog();
+    let cases = [
+        ("[Gendr]", Code::A002UnknownAxisAttribute, "Gender"),
+        ("[Age_Bnad]", Code::A002UnknownAxisAttribute, "Age_Band"),
+    ];
+    for (bad, code, want) in cases {
+        let query = format!(
+            "SELECT {bad}.MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+             FROM [Medical Measures] MEASURE COUNT(*)"
+        );
+        let diags = analyze_mdx_str(&catalog, &query).unwrap();
+        let d = diags
+            .find(code)
+            .unwrap_or_else(|| panic!("no {code:?} for {bad}"));
+        assert_eq!(d.suggestion.as_deref(), Some(want), "{bad}");
+        // The rendered report shows the suggestion and a caret at the
+        // offending fragment.
+        let rendered = diags.to_string();
+        assert!(rendered.contains("did you mean"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    let diags = analyze_mdx_str(
+        &catalog,
+        "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+         FROM [Medical Mesures] MEASURE COUNT(*)",
+    )
+    .unwrap();
+    let d = diags.find(Code::A001UnknownCube).expect("A001");
+    assert_eq!(d.suggestion.as_deref(), Some("Medical Measures"));
+
+    let diags = analyze_mdx_str(
+        &catalog,
+        "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE AVG([BMX])",
+    )
+    .unwrap();
+    let d = diags.find(Code::A003UnknownMeasure).expect("A003");
+    assert_eq!(d.suggestion.as_deref(), Some("BMI"));
+}
+
+#[test]
+fn spec_shapes_share_the_same_codes() {
+    let catalog = catalog();
+    assert_eq!(
+        analyze_cube(&catalog, &CubeSpec::count(vec![])).codes(),
+        vec!["A205"]
+    );
+    assert_eq!(
+        analyze_report(&catalog, &ReportSpec::new().count()).codes(),
+        vec!["A205"]
+    );
+    assert_eq!(
+        analyze_report(
+            &catalog,
+            &ReportSpec::new()
+                .on_rows("FBG_Band")
+                .where_measure_between("FBG", f64::NAN, 1.0)
+                .count(),
+        )
+        .codes(),
+        vec!["A104"]
+    );
+    assert_eq!(
+        analyze_report(
+            &catalog,
+            &ReportSpec::new()
+                .on_rows("FBG_Band")
+                .where_measure_between("FBG", 0.0, f64::INFINITY)
+                .count(),
+        )
+        .codes(),
+        vec!["A104"]
+    );
+}
+
+/// Fragments the fuzzer recombines: enough structure to reach deep
+/// parser and analyzer states, enough noise to hit the error paths.
+const FRAGMENTS: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "MEASURE",
+    "ON",
+    "COLUMNS",
+    "ROWS",
+    "NON",
+    "EMPTY",
+    "AND",
+    "BETWEEN",
+    "MEMBERS",
+    "CHILDREN",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "DISTINCT",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ".",
+    "=",
+    "*",
+    "[Gender]",
+    "[Gendr]",
+    "[Age_Band]",
+    "[Medical Measures]",
+    "[FBG]",
+    "[",
+    "]",
+    "'yes'",
+    "'",
+    "5.5",
+    "-3",
+    "7",
+    "\u{1F9EA}",
+    "é",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse + analyze must never panic, whatever the input: errors
+    /// are values here.
+    #[test]
+    fn parse_and_analyze_never_panic(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..16)) {
+        let query = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let catalog = catalog();
+        // Ok(diags) and Err(parse error) are both acceptable; a panic
+        // would fail the test harness.
+        let _ = analyze_mdx_str(&catalog, &query);
+    }
+
+    /// Same for raw byte noise (multi-byte chars included): the lexer
+    /// slices by byte offset and must stay on char boundaries.
+    #[test]
+    fn raw_noise_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        let query = String::from_utf8_lossy(&bytes).into_owned();
+        let catalog = catalog();
+        let _ = analyze_mdx_str(&catalog, &query);
+    }
+}

@@ -233,6 +233,89 @@ fn deadline_expires_but_execution_still_warms_the_cache() {
 }
 
 #[test]
+fn invalid_queries_are_rejected_before_admission() {
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+
+    // One invalid request of every kind, with the code the analyzer
+    // must assign. None of them may reach the queue, the cache or a
+    // worker.
+    let corpus: Vec<(QueryRequest, &str)> = vec![
+        (
+            QueryRequest::Mdx(
+                "SELECT [Gendr].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+                 FROM [Facts] MEASURE COUNT(*)"
+                    .into(),
+            ),
+            "A002",
+        ),
+        (
+            QueryRequest::Mdx(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+                 FROM [Wrong Cube] MEASURE COUNT(*)"
+                    .into(),
+            ),
+            "A001",
+        ),
+        (
+            QueryRequest::Mdx(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \
+                 FROM [Facts] WHERE [FBG] = 'high' MEASURE COUNT(*)"
+                    .into(),
+            ),
+            "A100",
+        ),
+        (
+            QueryRequest::Cube(olap::CubeSpec::count(vec!["FBG_Band", "NoSuchAttr"])),
+            "A002",
+        ),
+        (
+            QueryRequest::Report(
+                ReportSpec::new()
+                    .on_rows("FBG_Band")
+                    .where_measure_between("Gender", 0.0, 1.0)
+                    .count(),
+            ),
+            "A101",
+        ),
+        (
+            QueryRequest::Report(ReportSpec::new().on_rows("FBG_Band").count_distinct("FBG")),
+            "A201",
+        ),
+    ];
+    let n = corpus.len();
+
+    for (request, code) in corpus {
+        match svc.execute(&request).unwrap_err() {
+            ServeError::Invalid(diags) => {
+                assert!(
+                    diags.codes().contains(&code),
+                    "expected {code} for {request:?}, got {:?}",
+                    diags.codes()
+                );
+            }
+            other => panic!("expected Invalid for {request:?}, got {other:?}"),
+        }
+    }
+
+    // A rejected request is free: no execution, no cache entry, no
+    // miss recorded — and rejections are counted apart from load
+    // shedding.
+    let m = svc.metrics();
+    assert_eq!(m.rejected_invalid as usize, n);
+    assert_eq!(m.rejected, 0);
+    assert_eq!(m.executed, 0);
+    assert_eq!(m.misses, 0);
+    assert_eq!(svc.cache_len(), 0);
+
+    // Valid work still flows afterwards.
+    let served = svc.execute(&count_by_band()).unwrap();
+    assert_eq!(served.source, ServedSource::Executed);
+    let m = svc.shutdown();
+    assert_eq!(m.executed, 1);
+    assert_eq!(m.rejected_invalid as usize, n);
+}
+
+#[test]
 fn mixed_request_kinds_hammered_from_many_threads() {
     const THREADS: usize = 8;
     const ROUNDS: usize = 20;
