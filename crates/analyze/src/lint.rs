@@ -1,11 +1,17 @@
 //! Source-level lint rules the compiler cannot express.
 //!
-//! Three rules keep the serving hot path honest:
+//! Four rules keep the serving hot path honest:
 //!
 //! * `no-panic` — no `unwrap()` / `expect()` / `panic!` in designated
 //!   hot-path modules (`serve`, `oltp::{wal,txn,store}`,
 //!   `olap::{cube,mdx::exec}`) outside `#[cfg(test)]`;
 //! * `no-todo` — no `todo!` / `unimplemented!` / `dbg!` anywhere;
+//! * `no-raw-timing` — no direct `Instant::now()` in the `serve` /
+//!   `olap` hot paths outside `#[cfg(test)]`: timing must flow through
+//!   the `obs` layer (`obs::monotonic_us()`, span guards,
+//!   `ProfileBuilder` phases) so profiles and traces stay complete.
+//!   Legitimate deadline arithmetic escapes with
+//!   `lint:allow(no-raw-timing)`;
 //! * `display-impl` — every public `…Error` enum must implement
 //!   `Display` somewhere in its crate.
 //!
@@ -28,6 +34,8 @@ pub const RULE_NO_PANIC: &str = "no-panic";
 /// See [`RULE_NO_PANIC`].
 pub const RULE_NO_TODO: &str = "no-todo";
 /// See [`RULE_NO_PANIC`].
+pub const RULE_NO_RAW_TIMING: &str = "no-raw-timing";
+/// See [`RULE_NO_PANIC`].
 pub const RULE_DISPLAY_IMPL: &str = "display-impl";
 
 /// Workspace-relative path fragments whose files count as the serving
@@ -40,6 +48,10 @@ const HOT_PATHS: [&str; 6] = [
     "crates/olap/src/cube.rs",
     "crates/olap/src/mdx/exec.rs",
 ];
+
+/// Workspace-relative path fragments where `no-raw-timing` applies:
+/// query-serving code whose timings must be observable through `obs`.
+const TIMED_PATHS: [&str; 2] = ["crates/serve/src/", "crates/olap/src/"];
 
 /// One rule violation at a source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +123,13 @@ fn panic_needles() -> Vec<(String, &'static str)> {
     ]
 }
 
+fn timing_needles() -> Vec<(String, &'static str)> {
+    vec![(
+        ["Instant::", "now("].concat(),
+        "route timing through obs (monotonic_us, span guards, ProfileBuilder)",
+    )]
+}
+
 fn todo_needles() -> Vec<(String, &'static str)> {
     let mac = |head: &str| [head, "!("].concat();
     vec![
@@ -137,7 +156,9 @@ fn has_escape(line: &str, rule: &str) -> bool {
 /// used both for reporting and for hot-path classification.
 pub fn check_source(file: &str, source: &str, report: &mut LintReport) {
     let hot = HOT_PATHS.iter().any(|p| file.starts_with(p));
+    let timed = TIMED_PATHS.iter().any(|p| file.starts_with(p));
     let panic_rules = panic_needles();
+    let timing_rules = timing_needles();
     let todo_rules = todo_needles();
 
     let mut in_tests = false;
@@ -175,6 +196,9 @@ pub fn check_source(file: &str, source: &str, report: &mut LintReport) {
         };
         if hot && !in_tests {
             check(&panic_rules, RULE_NO_PANIC);
+        }
+        if timed && !in_tests {
+            check(&timing_rules, RULE_NO_RAW_TIMING);
         }
         check(&todo_rules, RULE_NO_TODO);
     }
@@ -349,6 +373,35 @@ mod tests {
         check_source("crates/mining/src/lib.rs", &src, &mut report);
         assert_eq!(report.violations.len(), 2);
         assert!(report.violations.iter().all(|v| v.rule == RULE_NO_TODO));
+    }
+
+    #[test]
+    fn raw_timing_is_flagged_in_serving_code() {
+        // Build the forbidden call at runtime so this file stays clean.
+        let raw = ["let t = std::time::Instant::", "now();"].concat();
+        let escaped = [
+            "let start = Instant::",
+            "now(); // lint:allow(no-raw-timing) — deadline math",
+        ]
+        .concat();
+        let src = format!("fn f() {{\n{raw}\n{escaped}\n}}\n#[cfg(test)]\nmod t {{\n{raw}\n}}\n");
+
+        let mut report = LintReport::default();
+        check_source("crates/serve/src/service.rs", &src, &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, RULE_NO_RAW_TIMING);
+        assert_eq!(report.violations[0].line, 2);
+        assert_eq!(report.escapes.len(), 1);
+        assert_eq!(report.escapes[0].rule, RULE_NO_RAW_TIMING);
+
+        // olap is also a timed path; obs itself (the sanctioned clock)
+        // and everything else are not.
+        let mut olap = LintReport::default();
+        check_source("crates/olap/src/cube.rs", &src, &mut olap);
+        assert_eq!(olap.violations.len(), 1);
+        let mut obs_crate = LintReport::default();
+        check_source("crates/obs/src/profile.rs", &src, &mut obs_crate);
+        assert!(obs_crate.violations.is_empty());
     }
 
     #[test]

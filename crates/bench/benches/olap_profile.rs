@@ -1,0 +1,87 @@
+//! PRF — per-query execution profiles: the cost of profiling the OLAP
+//! path, and the phase breakdown of the Fig. 5 distribution query.
+//!
+//! Prints an `EXPLAIN ANALYZE`-style profile first and writes the
+//! machine-readable `BENCH_olap.json` summary (format documented in
+//! EXPERIMENTS.md), then measures plain vs profiled execution so the
+//! observability overhead stays visible in CI history.
+
+use bench::{warehouse, write_bench_json};
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs::{Json, ProfileBuilder, QueryProfile};
+use olap::mdx::execute_query_profiled;
+use olap::parse_mdx;
+use std::hint::black_box;
+use std::time::Instant;
+
+const FIG5: &str = "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+                    FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' \
+                    MEASURE COUNT(DISTINCT [PatientId])";
+
+fn profiled_run() -> QueryProfile {
+    let wh = warehouse();
+    let mut profile = ProfileBuilder::start();
+    let query = profile
+        .time(obs::Phase::Parse, || parse_mdx(FIG5))
+        .expect("parse");
+    execute_query_profiled(wh, &query, &mut profile).expect("query");
+    profile.finish()
+}
+
+fn plain_run() -> olap::PivotTable {
+    olap::execute_mdx(warehouse(), FIG5).expect("query")
+}
+
+fn regenerate_summary() {
+    println!("\n=== OLAP PROFILE: Fig. 5 query phase breakdown ===");
+    let profile = profiled_run();
+    println!("{profile}");
+
+    // Overhead of carrying a profile through execution, median-free
+    // mean over a fixed run count (criterion below gives the precise
+    // number; this one goes into the JSON summary).
+    const RUNS: u32 = 20;
+    let t0 = Instant::now();
+    for _ in 0..RUNS {
+        black_box(plain_run());
+    }
+    let plain_us = t0.elapsed().as_micros() as f64 / RUNS as f64;
+    let t1 = Instant::now();
+    for _ in 0..RUNS {
+        black_box(profiled_run());
+    }
+    let profiled_us = t1.elapsed().as_micros() as f64 / RUNS as f64;
+    let overhead_pct = (profiled_us / plain_us.max(1e-9) - 1.0) * 100.0;
+    println!("plain {plain_us:.0}µs | profiled {profiled_us:.0}µs | overhead {overhead_pct:+.1}%");
+
+    write_bench_json(
+        "BENCH_olap.json",
+        &Json::obj([
+            ("bench", Json::Str("olap_profile".into())),
+            ("query", Json::Str(FIG5.into())),
+            ("profile", profile.to_json()),
+            ("runs", Json::Int(RUNS as i64)),
+            ("plain_us", Json::Float(plain_us)),
+            ("profiled_us", Json::Float(profiled_us)),
+            ("overhead_pct", Json::Float(overhead_pct)),
+        ]),
+    );
+}
+
+fn bench_olap_profile(c: &mut Criterion) {
+    regenerate_summary();
+
+    c.bench_function("olap_profile/plain_fig5", |b| {
+        b.iter(|| black_box(plain_run()))
+    });
+    c.bench_function("olap_profile/profiled_fig5", |b| {
+        b.iter(|| black_box(profiled_run()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_olap_profile
+}
+criterion_main!(benches);

@@ -7,8 +7,9 @@
 //! the service, a cache hit, and closed-loop throughput at 1–16
 //! client threads.
 
-use bench::warehouse;
+use bench::{warehouse, write_bench_json};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obs::Json;
 use olap::execute_mdx;
 use serve::{QueryRequest, QueryService, ServeConfig, ServedSource};
 use std::hint::black_box;
@@ -30,6 +31,73 @@ fn service(workers: usize) -> QueryService {
     )
 }
 
+/// Closed-loop throughput at `threads` clients × `rounds` requests
+/// each; returns (total requests, elapsed, final snapshot).
+fn measure_throughput(
+    threads: usize,
+    rounds: usize,
+) -> (u64, std::time::Duration, serve::MetricsSnapshot) {
+    let svc = service(4);
+    let t0 = Instant::now();
+    thread::scope(|s| {
+        for t in 0..threads {
+            let svc = &svc;
+            s.spawn(move || {
+                for round in 0..rounds {
+                    let mdx = if round % 2 == 0 {
+                        FIG5.to_string()
+                    } else {
+                        format!(
+                            "SELECT [Gender].MEMBERS ON COLUMNS, \
+                             [Age_Band].MEMBERS ON ROWS \
+                             FROM [Medical Measures] \
+                             WHERE [BMI] BETWEEN 15 AND {} \
+                             MEASURE COUNT(*)",
+                            40 + t
+                        )
+                    };
+                    svc.execute(&QueryRequest::Mdx(mdx)).expect("serve");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    ((threads * rounds) as u64, elapsed, svc.shutdown())
+}
+
+/// One `{"threads":…,"requests":…,"elapsed_us":…,"rps":…,…}` record.
+fn throughput_record(threads: usize, rounds: usize) -> Json {
+    let (requests, elapsed, m) = measure_throughput(threads, rounds);
+    let rps = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "{threads:>2} clients: {requests} requests in {elapsed:?} ({rps:.0} req/s, \
+         amortised {:.0}%)",
+        m.amortised_rate() * 100.0
+    );
+    Json::obj([
+        ("threads", Json::Int(threads as i64)),
+        ("requests", Json::Int(requests as i64)),
+        (
+            "elapsed_us",
+            Json::Int(elapsed.as_micros().min(i64::MAX as u128) as i64),
+        ),
+        ("rps", Json::Float(rps)),
+        ("amortised_rate", Json::Float(m.amortised_rate())),
+        (
+            "p50_us",
+            Json::Int(m.p50().map_or(0, |d| d.as_micros() as i64)),
+        ),
+        (
+            "p95_us",
+            Json::Int(m.p95().map_or(0, |d| d.as_micros() as i64)),
+        ),
+        (
+            "p99_us",
+            Json::Int(m.p99().map_or(0, |d| d.as_micros() as i64)),
+        ),
+    ])
+}
+
 fn regenerate_summary() {
     println!("\n=== SERVE: cold vs warm on the Fig. 5 query ===");
     let svc = service(4);
@@ -47,6 +115,24 @@ fn regenerate_summary() {
 
     let speedup = cold_t.as_secs_f64() / warm_t.as_secs_f64().max(1e-9);
     println!("cold {cold_t:?} | warm {warm_t:?} | speedup {speedup:.0}x");
+
+    // Machine-readable summary (format documented in EXPERIMENTS.md).
+    println!("\n=== SERVE: closed-loop throughput sweep ===");
+    let sweep: Vec<Json> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| throughput_record(threads, 32))
+        .collect();
+    write_bench_json(
+        "BENCH_serve.json",
+        &Json::obj([
+            ("bench", Json::Str("serve".into())),
+            ("query", Json::Str(FIG5.into())),
+            ("cold_us", Json::Int(cold_t.as_micros() as i64)),
+            ("warm_us", Json::Int(warm_t.as_micros() as i64)),
+            ("speedup", Json::Float(speedup)),
+            ("throughput", Json::Arr(sweep)),
+        ]),
+    );
 
     // Eight clients, one query, fresh service: single-flight makes it
     // one execution.

@@ -51,3 +51,16 @@ pub fn transformed_at_scale(n: usize) -> Table {
 pub fn load(table: &Table) -> Warehouse {
     Warehouse::load(&LoadPlan::discri_default(), table).expect("warehouse loads")
 }
+
+/// Write a machine-readable bench result as `<workspace root>/<name>`
+/// (the format EXPERIMENTS.md documents). Best-effort: bench summaries
+/// must never fail the run over an unwritable checkout.
+pub fn write_bench_json(name: &str, json: &obs::Json) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    match std::fs::write(&path, json.render() + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

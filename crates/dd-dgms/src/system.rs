@@ -144,6 +144,18 @@ impl DdDgms {
         execute_mdx(&self.warehouse, query)
     }
 
+    /// Execute an MDX query and return the result together with its
+    /// [`obs::QueryProfile`] — `EXPLAIN ANALYZE` for the facade: phase
+    /// timings (parse / execute / aggregate), rows scanned and cells
+    /// emitted. The profile is always populated; installing an `obs`
+    /// subscriber additionally captures the span tree.
+    pub fn profile_query(&self, query: &str) -> Result<(PivotTable, obs::QueryProfile)> {
+        let mut profile = obs::ProfileBuilder::start();
+        let parsed = profile.time(obs::Phase::Parse, || olap::parse_mdx(query))?;
+        let pivot = olap::mdx::execute_query_profiled(&self.warehouse, &parsed, &mut profile)?;
+        Ok((pivot, profile.finish()))
+    }
+
     /// Run the semantic analyzer over an MDX query without executing
     /// it: parse, resolve every name against the warehouse catalog
     /// (with did-you-mean suggestions), type-check conditions and
@@ -388,6 +400,28 @@ mod tests {
             )
             .unwrap();
         assert_eq!(mdx.row_headers, pivot.row_headers);
+    }
+
+    #[test]
+    fn facade_profiles_queries() {
+        let s = system();
+        let (pivot, profile) = s
+            .profile_query(
+                "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+                 FROM [Medical Measures] MEASURE COUNT(*)",
+            )
+            .unwrap();
+        assert!(!pivot.row_headers.is_empty());
+        assert!(!profile.is_empty());
+        assert!(profile
+            .phases
+            .iter()
+            .any(|(p, _)| *p == obs::Phase::Execute));
+        assert_eq!(profile.rows_scanned, s.warehouse().n_facts() as u64);
+        assert!(profile.cells_emitted > 0);
+        assert!(profile.total_us >= profile.phases_total_us());
+        // Renders EXPLAIN ANALYZE-style output.
+        assert!(profile.to_string().contains("execute"), "{profile}");
     }
 
     #[test]

@@ -103,65 +103,85 @@ impl TransformPipeline {
 
     /// Run the full pipeline.
     pub fn run(&self, raw: &Table) -> Result<(Table, PipelineReport)> {
+        let mut run_span = obs::span("etl.pipeline");
+        run_span.record("rows_in", raw.len());
+
         // 1. Clean.
-        let (table, cleaning) = Cleaner::new(self.rules.clone()).clean(raw)?;
+        let (table, cleaning) = {
+            let _stage = obs::span("etl.clean");
+            Cleaner::new(self.rules.clone()).clean(raw)?
+        };
 
         // 2. Cardinality.
-        let (mut table, cardinality) = derive_cardinality(&table, "PatientId", "TestDate")?;
+        let (mut table, cardinality) = {
+            let _stage = obs::span("etl.cardinality");
+            derive_cardinality(&table, "PatientId", "TestDate")?
+        };
 
         // 3. Clinical schemes (Table I precedence), plus the age
         //    drill-down level when Age is present.
         let mut bands = Vec::new();
-        for scheme in &self.schemes {
-            if !table.schema().contains(&scheme.attribute) {
-                continue;
+        {
+            let _stage = obs::span("etl.clinical_bands");
+            for scheme in &self.schemes {
+                if !table.schema().contains(&scheme.attribute) {
+                    continue;
+                }
+                let col = format!("{}_Band", scheme.attribute);
+                table = append_band_column(&table, &scheme.attribute, &col, &scheme.bins)?;
+                bands.push((col, scheme.attribute.clone(), BandSource::Clinical));
             }
-            let col = format!("{}_Band", scheme.attribute);
-            table = append_band_column(&table, &scheme.attribute, &col, &scheme.bins)?;
-            bands.push((col, scheme.attribute.clone(), BandSource::Clinical));
-        }
-        if table.schema().contains("Age") && !table.schema().contains("Age_SubGroup") {
-            let fine = age_subgroup_scheme();
-            table = append_band_column(&table, "Age", "Age_SubGroup", &fine.bins)?;
-            bands.push(("Age_SubGroup".into(), "Age".into(), BandSource::Clinical));
+            if table.schema().contains("Age") && !table.schema().contains("Age_SubGroup") {
+                let fine = age_subgroup_scheme();
+                table = append_band_column(&table, "Age", "Age_SubGroup", &fine.bins)?;
+                bands.push(("Age_SubGroup".into(), "Age".into(), BandSource::Clinical));
+            }
         }
 
         // 4. Algorithmic discretisation for the remaining attributes.
-        let classes = self.class_labels(&table)?;
-        for attr in &self.algorithmic {
-            if !table.schema().contains(attr) {
-                continue;
+        {
+            let _stage = obs::span("etl.algorithmic_bands");
+            let classes = self.class_labels(&table)?;
+            for attr in &self.algorithmic {
+                if !table.schema().contains(attr) {
+                    continue;
+                }
+                let col = format!("{attr}_Band");
+                if table.schema().contains(&col) {
+                    continue; // clinical scheme already produced it
+                }
+                let (values, value_classes) = self.numeric_with_classes(&table, attr, &classes)?;
+                if values.is_empty() {
+                    continue;
+                }
+                let (bins, source) = match &value_classes {
+                    Some(cls) => (Mdlp::new().fit(&values, Some(cls))?, BandSource::Mdlp),
+                    None => (
+                        EqualFrequency::new(4).fit(&values, None)?,
+                        BandSource::EqualFrequency,
+                    ),
+                };
+                table = append_band_column(&table, attr, &col, &bins)?;
+                bands.push((col, attr.clone(), source));
             }
-            let col = format!("{attr}_Band");
-            if table.schema().contains(&col) {
-                continue; // clinical scheme already produced it
-            }
-            let (values, value_classes) = self.numeric_with_classes(&table, attr, &classes)?;
-            if values.is_empty() {
-                continue;
-            }
-            let (bins, source) = match &value_classes {
-                Some(cls) => (Mdlp::new().fit(&values, Some(cls))?, BandSource::Mdlp),
-                None => (
-                    EqualFrequency::new(4).fit(&values, None)?,
-                    BandSource::EqualFrequency,
-                ),
-            };
-            table = append_band_column(&table, attr, &col, &bins)?;
-            bands.push((col, attr.clone(), source));
         }
 
         // 5. Per-visit trend abstraction.
         let mut trends = Vec::new();
-        for attr in &self.trend_attributes {
-            if !table.schema().contains(attr) {
-                continue;
+        {
+            let _stage = obs::span("etl.trends");
+            for attr in &self.trend_attributes {
+                if !table.schema().contains(attr) {
+                    continue;
+                }
+                let col = format!("{attr}_Trend");
+                table = self.append_trend_column(&table, attr, &col)?;
+                trends.push((col, attr.clone()));
             }
-            let col = format!("{attr}_Trend");
-            table = self.append_trend_column(&table, attr, &col)?;
-            trends.push((col, attr.clone()));
         }
 
+        run_span.record("rows_out", table.len());
+        run_span.record("bands", bands.len());
         Ok((
             table,
             PipelineReport {

@@ -1,0 +1,74 @@
+//! Observability for the DD-DGMS stack: structured tracing, a unified
+//! metrics registry, and per-query execution profiles.
+//!
+//! Three concerns, one crate, zero dependencies:
+//!
+//! * [`trace`] — spans and events with trace ids that survive thread
+//!   boundaries (serve worker pool, parallel cube builds). The
+//!   disabled path is a single relaxed atomic load, so instrumentation
+//!   stays compiled into hot paths unconditionally.
+//! * [`metrics`] — named counters, gauges and histograms in a
+//!   process-wide or per-subsystem [`MetricsRegistry`], with
+//!   Prometheus-style text exposition and snapshot diffing.
+//! * [`profile`] — [`QueryProfile`] phase breakdowns (parse → analyze
+//!   → cache lookup → queue → execute → aggregate) attached to query
+//!   outcomes, the stack's `EXPLAIN ANALYZE`.
+//!
+//! Records serialise to JSONL through the crate's own minimal
+//! [`json::Json`] codec (the workspace serde shim is derive-only), so
+//! exports round-trip without external dependencies.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! let _guard = obs::test_support::tracing_lock();
+//! let collector = Arc::new(obs::RingCollector::new(1024));
+//! obs::install(collector.clone());
+//! {
+//!     let mut root = obs::span("serve.request");
+//!     root.record("kind", "mdx");
+//!     obs::event("cache.miss");
+//! }
+//! obs::uninstall();
+//! assert_eq!(collector.spans().len(), 1);
+//! assert_eq!(collector.events().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use collect::{
+    children_of, parse_jsonl, render_trace, JsonlExporter, Record, RingCollector, WriterSubscriber,
+};
+pub use json::Json;
+pub use metrics::{
+    percentile_from_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    RegistryDelta, RegistrySnapshot,
+};
+pub use profile::{Phase, ProfileBuilder, QueryProfile};
+pub use trace::{
+    current_context, enabled, event, event_with, install, monotonic_us, set_enabled, span,
+    span_child_of, uninstall, EventRecord, SpanContext, SpanGuard, SpanId, SpanRecord, Subscriber,
+    TraceId,
+};
+
+/// Helpers for tests that exercise the process-global subscriber.
+pub mod test_support {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serialises tests (and doctests/examples) that install a global
+    /// subscriber: hold the returned guard for the duration of the
+    /// test so concurrent tests cannot swap subscribers mid-flight.
+    pub fn tracing_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}

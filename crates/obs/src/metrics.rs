@@ -1,0 +1,486 @@
+//! The unified metrics registry: counters, gauges and bucketed
+//! histograms with Prometheus-style text exposition.
+//!
+//! All instruments are relaxed atomics behind `Arc` handles — they
+//! are observability, not synchronisation — so recording from serving
+//! threads is wait-free and handles can be cached outside the
+//! registry lock. The histogram generalises the latency histogram
+//! that used to live in `serve::metrics`, and adds percentile
+//! estimation by linear interpolation within buckets.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A bucketed histogram of `u64` observations (typically µs).
+///
+/// Buckets are defined by inclusive-exclusive upper bounds; the last
+/// bound must be `u64::MAX` (the unbounded bucket). Recording is one
+/// linear scan over a handful of bounds plus two relaxed adds.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (ascending upper bounds). A trailing
+    /// `u64::MAX` catch-all bucket is appended if missing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        let mut bounds: Vec<u64> = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        if bounds.last() != Some(&u64::MAX) {
+            bounds.push(u64::MAX);
+        }
+        let counts = bounds.iter().map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The upper bounds, including the trailing catch-all.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&bound| value < bound)
+            .unwrap_or(self.bounds.len() - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the per-bucket counts.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`), by linear interpolation
+    /// within the bucket containing the target rank. `None` when the
+    /// histogram is empty or `q` is out of range.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        percentile_from_buckets(&self.bounds, &self.counts(), q)
+    }
+}
+
+/// Estimate the `q`-quantile of a bucketed distribution by linear
+/// interpolation within the target bucket. `bounds` are ascending
+/// exclusive upper bounds (last may be `u64::MAX`, treated as twice
+/// the previous bound for interpolation, the usual Prometheus
+/// convention for the overflow bucket).
+pub fn percentile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> Option<u64> {
+    if !(0.0..=1.0).contains(&q) || bounds.len() != counts.len() {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = q * total as f64;
+    let mut cumulative = 0u64;
+    for (i, (&bound, &count)) in bounds.iter().zip(counts).enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let before = cumulative as f64;
+        cumulative += count;
+        if (cumulative as f64) < target {
+            continue;
+        }
+        let lower = if i == 0 { 0 } else { bounds[i - 1] };
+        let upper = if bound == u64::MAX {
+            lower.saturating_mul(2).max(lower.saturating_add(1))
+        } else {
+            bound
+        };
+        let fraction = ((target - before) / count as f64).clamp(0.0, 1.0);
+        return Some(lower + ((upper - lower) as f64 * fraction) as u64);
+    }
+    // q == 0.0 with leading empty buckets, or rounding residue: the
+    // largest finite bound is the safe answer.
+    bounds.iter().rev().find(|&&b| b != u64::MAX).copied()
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named registry of instruments with Prometheus-style exposition.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call
+/// registers, later calls hand back a clone of the same instrument,
+/// so call sites need no coordination.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            // A name registered as another kind: hand back a detached
+            // instrument rather than panicking in a serving path.
+            _ => Counter::new(),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// The histogram named `name`, registering it (with `bounds`) on
+    /// first use. Later calls ignore `bounds` and share the original.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new(bounds)),
+        }
+    }
+
+    /// Render every instrument in the Prometheus text exposition
+    /// format (sorted by name; histograms as `_bucket`/`_sum`/`_count`
+    /// series with cumulative `le` labels).
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (&bound, count) in h.bounds().iter().zip(h.counts()) {
+                        cumulative += count;
+                        if bound == u64::MAX {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                        } else {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// A point-in-time copy of every instrument's value.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = RegistrySnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(
+                        name.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds().to_vec(),
+                            counts: h.counts(),
+                            sum: h.sum(),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Frozen histogram state inside a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts.
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimated quantile (see [`percentile_from_buckets`]).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        percentile_from_buckets(&self.bounds, &self.counts, q)
+    }
+}
+
+/// A frozen copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// What changed since `earlier`: counter and histogram-count
+    /// increments (saturating at zero) and current gauge values.
+    /// Instruments absent from `earlier` diff against zero.
+    pub fn diff(&self, earlier: &RegistrySnapshot) -> RegistryDelta {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &now)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), now.saturating_sub(before))
+            })
+            .collect();
+        let observations = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let before = earlier
+                    .histograms
+                    .get(name)
+                    .map(HistogramSnapshot::count)
+                    .unwrap_or(0);
+                (name.clone(), h.count().saturating_sub(before))
+            })
+            .collect();
+        RegistryDelta {
+            counters,
+            gauges: self.gauges.clone(),
+            observations,
+        }
+    }
+}
+
+/// The difference between two registry snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryDelta {
+    /// Counter increments.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values at the later snapshot.
+    pub gauges: BTreeMap<String, i64>,
+    /// New histogram observations.
+    pub observations: BTreeMap<String, u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("hits").get(), 3);
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.bounds(), &[10, 100, 1000, u64::MAX]);
+        for v in [5, 50, 500, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), vec![1, 1, 1, 1]);
+        assert_eq!(h.sum(), 5555);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[100, 200, u64::MAX]);
+        for _ in 0..50 {
+            h.record(50); // first bucket
+        }
+        for _ in 0..50 {
+            h.record(150); // second bucket
+        }
+        // p50 sits at the first/second bucket boundary.
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((90..=110).contains(&p50), "p50 = {p50}");
+        // p75 is halfway through the second bucket.
+        let p75 = h.percentile(0.75).unwrap();
+        assert!((140..=160).contains(&p75), "p75 = {p75}");
+        // p100 tops out at the second bound.
+        assert_eq!(h.percentile(1.0), Some(200));
+        assert_eq!(h.percentile(1.5), None);
+        assert_eq!(Histogram::new(&[10]).percentile(0.5), None);
+    }
+
+    #[test]
+    fn overflow_bucket_interpolates_past_last_bound() {
+        let h = Histogram::new(&[100, u64::MAX]);
+        h.record(500);
+        let p = h.percentile(0.5).unwrap();
+        assert!((100..=200).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve_hits_total").add(3);
+        reg.gauge("serve_queue_depth").set(2);
+        let h = reg.histogram("serve_latency_us", &[100, 1000]);
+        h.record(50);
+        h.record(500);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE serve_hits_total counter"));
+        assert!(text.contains("serve_hits_total 3"));
+        assert!(text.contains("serve_queue_depth 2"));
+        assert!(text.contains("serve_latency_us_bucket{le=\"100\"} 1"));
+        assert!(text.contains("serve_latency_us_bucket{le=\"1000\"} 2"));
+        assert!(text.contains("serve_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("serve_latency_us_sum 550"));
+        assert!(text.contains("serve_latency_us_count 2"));
+        // BTreeMap ordering: hits before latency before queue.
+        let hits = text.find("serve_hits_total").unwrap();
+        let latency = text.find("serve_latency_us").unwrap();
+        let queue = text.find("serve_queue_depth").unwrap();
+        assert!(hits < latency && latency < queue);
+    }
+
+    #[test]
+    fn snapshot_diff_reports_increments() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("served");
+        let h = reg.histogram("lat", &[10]);
+        c.add(5);
+        h.record(1);
+        let before = reg.snapshot();
+        c.add(2);
+        h.record(2);
+        h.record(3);
+        reg.gauge("depth").set(7);
+        let after = reg.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counters["served"], 2);
+        assert_eq!(delta.observations["lat"], 2);
+        assert_eq!(delta.gauges["depth"], 7);
+        // Diff against an empty snapshot is the absolute value.
+        assert_eq!(
+            after.diff(&RegistrySnapshot::default()).counters["served"],
+            7
+        );
+    }
+}

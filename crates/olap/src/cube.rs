@@ -222,12 +222,16 @@ pub struct Cube {
 impl Cube {
     /// Build a cube over `warehouse` per `spec`.
     pub fn build(warehouse: &Warehouse, spec: &CubeSpec) -> Result<Cube> {
+        let mut span = obs::span("olap.cube_build");
         let inputs = CubeInputs::resolve(warehouse, spec)?;
         let cells = match spec.strategy {
             BuildStrategy::Hash => inputs.build_hash(),
             BuildStrategy::Sort => inputs.build_sort(),
             BuildStrategy::ParallelHash => inputs.build_parallel()?,
         };
+        span.record("strategy", format!("{:?}", spec.strategy));
+        span.record("rows", inputs.n_rows());
+        span.record("cells", cells.len());
         Ok(Cube {
             axes: spec.axes.clone(),
             measure: spec.measure.clone(),
@@ -480,12 +484,18 @@ impl<'a> CubeInputs<'a> {
             return Ok(self.build_hash());
         }
         let chunk = n.div_ceil(workers);
+        // Worker spans must be parented explicitly: the build fans out
+        // to scope threads, where the thread-local span stack is empty.
+        let ctx = obs::current_context();
         let partials = crossbeam::scope(|scope| {
             let mut handles = Vec::new();
             for w in 0..workers {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
                 handles.push(scope.spawn(move |_| {
+                    let mut worker_span = obs::span_child_of("olap.cube_build_worker", ctx);
+                    worker_span.record("worker", w);
+                    worker_span.record("rows", hi - lo);
                     let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
                     for row in lo..hi {
                         if !self.mask[row] {

@@ -84,6 +84,21 @@ pub fn execute_query(warehouse: &Warehouse, query: &MdxQuery) -> Result<PivotTab
 /// workers call this directly; unvalidated queries may fail with
 /// lower-level (but still non-panicking) errors from the cube builder.
 pub fn execute_query_unchecked(warehouse: &Warehouse, query: &MdxQuery) -> Result<PivotTable> {
+    let mut discard = obs::ProfileBuilder::start();
+    execute_query_profiled(warehouse, query, &mut discard)
+}
+
+/// Execute a parsed query, attributing its work to `profile`: the cube
+/// scan lands in [`obs::Phase::Execute`], pivot assembly in
+/// [`obs::Phase::Aggregate`], with rows-scanned / cells-emitted volume
+/// counters. The serving layer's workers call this to build the
+/// [`obs::QueryProfile`] attached to every executed outcome.
+pub fn execute_query_profiled(
+    warehouse: &Warehouse,
+    query: &MdxQuery,
+    profile: &mut obs::ProfileBuilder,
+) -> Result<PivotTable> {
+    let mut span = obs::span("olap.mdx_execute");
     if query.cube != warehouse.star().fact.name {
         return Err(Error::invalid(format!(
             "unknown cube `[{}]` (the warehouse exposes `[{}]`)",
@@ -128,20 +143,30 @@ pub fn execute_query_unchecked(warehouse: &Warehouse, query: &MdxQuery) -> Resul
         filter,
         strategy: Default::default(),
     };
-    let mut cube = Cube::build(warehouse, &spec)?;
-    for axis in [&rows, &cols] {
-        if let Some(values) = &axis.dice {
-            cube = cube.dice(&axis.attribute, values)?;
+    let cube = profile.time(obs::Phase::Execute, || -> Result<Cube> {
+        let mut cube = Cube::build(warehouse, &spec)?;
+        for axis in [&rows, &cols] {
+            if let Some(values) = &axis.dice {
+                cube = cube.dice(&axis.attribute, values)?;
+            }
         }
-    }
+        Ok(cube)
+    })?;
+    profile.rows_scanned(warehouse.n_facts() as u64);
 
-    let mut pivot = PivotTable::from_cube(&cube, &rows.attribute, &cols.attribute)?;
-    if rows.non_empty {
-        pivot = pivot.drop_empty_rows();
-    }
-    if cols.non_empty {
-        pivot = pivot.drop_empty_columns();
-    }
+    let pivot = profile.time(obs::Phase::Aggregate, || -> Result<PivotTable> {
+        let mut pivot = PivotTable::from_cube(&cube, &rows.attribute, &cols.attribute)?;
+        if rows.non_empty {
+            pivot = pivot.drop_empty_rows();
+        }
+        if cols.non_empty {
+            pivot = pivot.drop_empty_columns();
+        }
+        Ok(pivot)
+    })?;
+    let cells = pivot.cells.iter().flatten().filter(|c| c.is_some()).count() as u64;
+    profile.cells_emitted(cells);
+    span.record("cells", cells);
     Ok(pivot)
 }
 

@@ -26,7 +26,7 @@ mod exec;
 mod lexer;
 mod parser;
 
-pub use exec::{execute_mdx, execute_query, execute_query_unchecked};
+pub use exec::{execute_mdx, execute_query, execute_query_profiled, execute_query_unchecked};
 pub use lexer::{tokenize, tokenize_spanned, SpannedToken, Token};
 pub use parser::{
     parse_mdx, parse_mdx_spanned, Axis, AxisSet, Condition, ConditionSpans, MdxQuery,

@@ -138,7 +138,7 @@ mod tests {
     use olap::PivotTable;
 
     fn outcome(tag: &str) -> Arc<QueryOutcome> {
-        Arc::new(QueryOutcome::Pivot(PivotTable {
+        Arc::new(QueryOutcome::pivot(PivotTable {
             row_axis: tag.to_string(),
             col_axis: String::new(),
             row_headers: vec![],

@@ -12,6 +12,7 @@
 use crate::cache::CacheKey;
 use crate::error::{ServeError, ServeResult};
 use crate::request::QueryOutcome;
+use obs::SpanContext;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -20,14 +21,24 @@ use std::time::{Duration, Instant};
 pub struct Flight {
     result: Mutex<Option<ServeResult<Arc<QueryOutcome>>>>,
     done: Condvar,
+    /// The leader's request span, so coalesced followers can link their
+    /// own trace to the execution that actually serves them.
+    leader: Option<SpanContext>,
 }
 
 impl Flight {
-    fn new() -> Flight {
+    fn new(leader: Option<SpanContext>) -> Flight {
         Flight {
             result: Mutex::new(None),
             done: Condvar::new(),
+            leader,
         }
+    }
+
+    /// The span context of the leader that owns this execution, when
+    /// tracing was enabled at creation.
+    pub fn leader_context(&self) -> Option<SpanContext> {
+        self.leader
     }
 
     /// Publish the outcome and wake every waiter. Later calls are
@@ -43,7 +54,7 @@ impl Flight {
 
     /// Block until the flight completes or `deadline` elapses.
     pub fn wait(&self, deadline: Duration) -> ServeResult<Arc<QueryOutcome>> {
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(no-raw-timing) — deadline arithmetic needs a local clock
         let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(outcome) = slot.as_ref() {
@@ -81,12 +92,14 @@ pub struct FlightTable {
 
 impl FlightTable {
     /// Join the flight for `key`, creating it (as leader) if absent.
-    pub fn join(&self, key: &CacheKey) -> FlightRole {
+    /// `ctx` is the joining request's span context: it becomes the
+    /// flight's leader context when this caller creates the flight.
+    pub fn join(&self, key: &CacheKey, ctx: Option<SpanContext>) -> FlightRole {
         let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(flight) = flights.get(key) {
             FlightRole::Follower(Arc::clone(flight))
         } else {
-            let flight = Arc::new(Flight::new());
+            let flight = Arc::new(Flight::new(ctx));
             flights.insert(key.clone(), Arc::clone(&flight));
             FlightRole::Leader(flight)
         }
@@ -115,7 +128,7 @@ mod tests {
     use std::thread;
 
     fn outcome() -> Arc<QueryOutcome> {
-        Arc::new(QueryOutcome::Pivot(PivotTable {
+        Arc::new(QueryOutcome::pivot(PivotTable {
             row_axis: "r".into(),
             col_axis: String::new(),
             row_headers: vec![],
@@ -128,16 +141,34 @@ mod tests {
     fn second_joiner_is_a_follower() {
         let table = FlightTable::default();
         let key = ("q".to_string(), 1);
-        assert!(matches!(table.join(&key), FlightRole::Leader(_)));
-        assert!(matches!(table.join(&key), FlightRole::Follower(_)));
+        assert!(matches!(table.join(&key, None), FlightRole::Leader(_)));
+        assert!(matches!(table.join(&key, None), FlightRole::Follower(_)));
         assert_eq!(table.in_flight(), 1);
         table.retire(&key);
-        assert!(matches!(table.join(&key), FlightRole::Leader(_)));
+        assert!(matches!(table.join(&key, None), FlightRole::Leader(_)));
+    }
+
+    #[test]
+    fn leader_context_is_visible_to_followers() {
+        let table = FlightTable::default();
+        let key = ("q".to_string(), 1);
+        let ctx = SpanContext {
+            trace: obs::TraceId(7),
+            span: obs::SpanId(9),
+        };
+        let FlightRole::Leader(led) = table.join(&key, Some(ctx)) else {
+            panic!("first joiner must lead");
+        };
+        assert_eq!(led.leader_context(), Some(ctx));
+        let FlightRole::Follower(followed) = table.join(&key, None) else {
+            panic!("second joiner must follow");
+        };
+        assert_eq!(followed.leader_context(), Some(ctx));
     }
 
     #[test]
     fn waiters_receive_the_completed_result() {
-        let flight = Arc::new(Flight::new());
+        let flight = Arc::new(Flight::new(None));
         let value = outcome();
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -154,14 +185,14 @@ mod tests {
 
     #[test]
     fn wait_times_out_without_completion() {
-        let flight = Flight::new();
+        let flight = Flight::new(None);
         let err = flight.wait(Duration::from_millis(20)).unwrap_err();
         assert!(matches!(err, ServeError::DeadlineExceeded { .. }));
     }
 
     #[test]
     fn first_completion_wins() {
-        let flight = Flight::new();
+        let flight = Flight::new(None);
         flight.complete(Err(ServeError::ShuttingDown));
         flight.complete(Ok(outcome()));
         assert_eq!(

@@ -1,10 +1,16 @@
-//! Service counters and latency histogram.
+//! Service counters and latency histogram, backed by the unified
+//! `obs` metrics registry.
 //!
-//! All counters are relaxed atomics — they are observability, not
+//! All instruments are relaxed atomics — they are observability, not
 //! synchronisation; the serving data structures carry their own locks.
+//! Registering through [`obs::MetricsRegistry`] buys Prometheus-style
+//! text exposition ([`ServeMetrics::render_prometheus`]) and snapshot
+//! diffing for free, while [`MetricsSnapshot`] keeps its original
+//! field-for-field shape for existing consumers.
 
+use obs::{percentile_from_buckets, Counter, Histogram, MetricsRegistry};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper bounds (µs) of the latency histogram buckets; the last bucket
@@ -12,88 +18,114 @@ use std::time::Duration;
 const BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
 
 /// Live counters maintained by the service.
-#[derive(Debug, Default)]
 pub struct ServeMetrics {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    rejected: AtomicU64,
-    rejected_invalid: AtomicU64,
-    executed: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    failed: AtomicU64,
-    latency_us_sum: AtomicU64,
-    latency_buckets: [AtomicU64; 6],
+    registry: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    rejected: Counter,
+    rejected_invalid: Counter,
+    executed: Counter,
+    deadline_exceeded: Counter,
+    failed: Counter,
+    latency: Arc<Histogram>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics::new()
+    }
 }
 
 impl ServeMetrics {
+    /// A fresh metrics set with every instrument registered.
+    pub fn new() -> ServeMetrics {
+        let registry = MetricsRegistry::new();
+        ServeMetrics {
+            hits: registry.counter("serve_cache_hits_total"),
+            misses: registry.counter("serve_cache_misses_total"),
+            coalesced: registry.counter("serve_coalesced_total"),
+            rejected: registry.counter("serve_rejected_total"),
+            rejected_invalid: registry.counter("serve_rejected_invalid_total"),
+            executed: registry.counter("serve_executed_total"),
+            deadline_exceeded: registry.counter("serve_deadline_exceeded_total"),
+            failed: registry.counter("serve_failed_total"),
+            latency: registry.histogram("serve_latency_us", &BUCKET_BOUNDS_US),
+            registry,
+        }
+    }
+
     /// Record a cache hit.
     pub fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     /// Record a cache miss (the caller became a flight leader).
     pub fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
 
     /// Record a request coalesced onto an in-flight execution.
     pub fn record_coalesced(&self) {
-        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.inc();
     }
 
     /// Record an admission-control rejection.
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     /// Record a semantic-analysis rejection at admission (distinct
     /// from load shedding: the request was wrong, not unlucky).
     pub fn record_rejected_invalid(&self) {
-        self.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+        self.rejected_invalid.inc();
     }
 
     /// Record a worker-side execution.
     pub fn record_executed(&self) {
-        self.executed.fetch_add(1, Ordering::Relaxed);
+        self.executed.inc();
     }
 
     /// Record a caller giving up on its deadline.
     pub fn record_deadline_exceeded(&self) {
-        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        self.deadline_exceeded.inc();
     }
 
     /// Record a query-level failure.
     pub fn record_failed(&self) {
-        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.failed.inc();
     }
 
     /// Record the end-to-end latency of one served request.
     pub fn record_latency(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.latency_us_sum.fetch_add(us, Ordering::Relaxed);
-        let idx = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&bound| us < bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len() - 1);
-        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency
+            .record(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// The backing registry (for exposition or snapshot diffing).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Every instrument in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
     }
 
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let counts = self.latency.counts();
         MetricsSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
-            executed: self.executed.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            latency_us_sum: self.latency_us_sum.load(Ordering::Relaxed),
-            latency_buckets: std::array::from_fn(|i| {
-                self.latency_buckets[i].load(Ordering::Relaxed)
-            }),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
+            rejected: self.rejected.get(),
+            rejected_invalid: self.rejected_invalid.get(),
+            executed: self.executed.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            failed: self.failed.get(),
+            latency_us_sum: self.latency.sum(),
+            latency_buckets: std::array::from_fn(|i| counts.get(i).copied().unwrap_or(0)),
         }
     }
 }
@@ -147,6 +179,28 @@ impl MetricsSnapshot {
             .checked_div(n)
             .map(Duration::from_micros)
     }
+
+    /// Estimated latency quantile by linear interpolation within the
+    /// histogram buckets (`None` when no latencies were recorded).
+    pub fn latency_percentile(&self, q: f64) -> Option<Duration> {
+        percentile_from_buckets(&BUCKET_BOUNDS_US, &self.latency_buckets, q)
+            .map(Duration::from_micros)
+    }
+
+    /// Estimated median latency.
+    pub fn p50(&self) -> Option<Duration> {
+        self.latency_percentile(0.50)
+    }
+
+    /// Estimated 95th-percentile latency.
+    pub fn p95(&self) -> Option<Duration> {
+        self.latency_percentile(0.95)
+    }
+
+    /// Estimated 99th-percentile latency.
+    pub fn p99(&self) -> Option<Duration> {
+        self.latency_percentile(0.99)
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -167,6 +221,12 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         if let Some(mean) = self.mean_latency() {
             writeln!(f, "mean latency {mean:?}")?;
+        }
+        if let (Some(p50), Some(p95), Some(p99)) = (self.p50(), self.p95(), self.p99()) {
+            writeln!(
+                f,
+                "latency estimate p50 {p50:?} | p95 {p95:?} | p99 {p99:?}"
+            )?;
         }
         write!(f, "latency histogram:")?;
         let labels = ["<100µs", "<1ms", "<10ms", "<100ms", "<1s", "≥1s"];
@@ -204,5 +264,34 @@ mod tests {
         assert_eq!(s.served(), 4);
         assert!((s.amortised_rate() - 0.75).abs() < 1e-12);
         assert!(s.to_string().contains("hits 2"));
+    }
+
+    #[test]
+    fn percentiles_come_from_the_histogram() {
+        let m = ServeMetrics::default();
+        assert_eq!(m.snapshot().p50(), None);
+        for _ in 0..99 {
+            m.record_latency(Duration::from_micros(500));
+        }
+        m.record_latency(Duration::from_millis(500));
+        let s = m.snapshot();
+        let p50 = s.p50().unwrap();
+        assert!(p50 < Duration::from_millis(1), "p50 = {p50:?}");
+        let p99 = s.p99().unwrap();
+        assert!(p99 >= Duration::from_micros(900), "p99 = {p99:?}");
+        assert!(s.to_string().contains("latency estimate p50"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_the_counters() {
+        let m = ServeMetrics::default();
+        m.record_hit();
+        m.record_executed();
+        m.record_latency(Duration::from_micros(50));
+        let text = m.render_prometheus();
+        assert!(text.contains("serve_cache_hits_total 1"));
+        assert!(text.contains("serve_executed_total 1"));
+        assert!(text.contains("serve_latency_us_bucket{le=\"100\"} 1"));
+        assert!(text.contains("serve_latency_us_count 1"));
     }
 }

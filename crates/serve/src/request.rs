@@ -8,7 +8,8 @@
 
 use analyze::{Catalog, Diagnostics};
 use clinical_types::{Result, Value};
-use olap::mdx::{execute_query_unchecked, parse_mdx_spanned};
+use obs::{Phase, ProfileBuilder, QueryProfile};
+use olap::mdx::{execute_query_profiled, parse_mdx_spanned};
 use olap::{analyze_cube, analyze_mdx, analyze_report, parse_mdx, Cube, CubeSpec, PivotTable};
 use warehouse::Warehouse;
 
@@ -63,48 +64,111 @@ impl QueryRequest {
     ///
     /// Skips the semantic pre-pass: the service has already analyzed
     /// the request at admission, so workers go straight to execution.
+    /// The returned outcome carries the [`QueryProfile`] of this run.
     pub fn execute(&self, warehouse: &Warehouse) -> Result<QueryOutcome> {
+        let mut profile = ProfileBuilder::start();
+        let payload = self.execute_profiled(warehouse, &mut profile)?;
+        Ok(QueryOutcome {
+            payload,
+            profile: profile.finish(),
+        })
+    }
+
+    /// Execute against a warehouse snapshot, attributing the work to
+    /// an ongoing `profile` (the worker-pool path: the builder already
+    /// holds the caller-side parse/analyze/queue phases).
+    pub fn execute_profiled(
+        &self,
+        warehouse: &Warehouse,
+        profile: &mut ProfileBuilder,
+    ) -> Result<OutcomePayload> {
         match self {
             QueryRequest::Mdx(text) => {
-                let query = parse_mdx(text)?;
-                Ok(QueryOutcome::Pivot(execute_query_unchecked(
-                    warehouse, &query,
+                let query = profile.time(Phase::Parse, || parse_mdx(text))?;
+                Ok(OutcomePayload::Pivot(execute_query_profiled(
+                    warehouse, &query, profile,
                 )?))
             }
             QueryRequest::Cube(spec) => {
-                let cube = Cube::build(warehouse, spec)?;
-                Ok(QueryOutcome::Cube(CubeResult::from_cube(&cube)))
+                let cube = profile.time(Phase::Execute, || Cube::build(warehouse, spec))?;
+                profile.rows_scanned(warehouse.n_facts() as u64);
+                let result = profile.time(Phase::Aggregate, || CubeResult::from_cube(&cube));
+                profile.cells_emitted(result.cells.len() as u64);
+                Ok(OutcomePayload::Cube(result))
             }
             QueryRequest::Report(spec) => {
-                Ok(QueryOutcome::Pivot(spec.to_builder(warehouse).execute()?))
+                let pivot =
+                    profile.time(Phase::Execute, || spec.to_builder(warehouse).execute())?;
+                profile.rows_scanned(warehouse.n_facts() as u64);
+                let cells = pivot.cells.iter().flatten().filter(|c| c.is_some()).count() as u64;
+                profile.cells_emitted(cells);
+                Ok(OutcomePayload::Pivot(pivot))
             }
         }
     }
 }
 
-/// What a request produced.
+/// The result payload of a request.
 #[derive(Debug, Clone, PartialEq)]
-pub enum QueryOutcome {
+pub enum OutcomePayload {
     /// A two-axis pivot (MDX and report requests).
     Pivot(PivotTable),
     /// A materialised cube, flattened to a deterministic cell list.
     Cube(CubeResult),
 }
 
+/// What a request produced: the payload plus the execution profile of
+/// the run that computed it.
+///
+/// Equality (and therefore cache-correctness assertions) considers the
+/// payload only: a cache hit shares the *producing* execution's
+/// profile, which legitimately differs from what a fresh run would
+/// record.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result payload.
+    pub payload: OutcomePayload,
+    /// Profile of the execution that produced the payload. Default
+    /// (empty) when the outcome was constructed without profiling.
+    pub profile: QueryProfile,
+}
+
+impl PartialEq for QueryOutcome {
+    fn eq(&self, other: &QueryOutcome) -> bool {
+        self.payload == other.payload
+    }
+}
+
 impl QueryOutcome {
+    /// A pivot outcome with no profile (tests, ad-hoc construction).
+    pub fn pivot(pivot: PivotTable) -> QueryOutcome {
+        QueryOutcome {
+            payload: OutcomePayload::Pivot(pivot),
+            profile: QueryProfile::default(),
+        }
+    }
+
+    /// A cube outcome with no profile (tests, ad-hoc construction).
+    pub fn cube(result: CubeResult) -> QueryOutcome {
+        QueryOutcome {
+            payload: OutcomePayload::Cube(result),
+            profile: QueryProfile::default(),
+        }
+    }
+
     /// The pivot table, if this outcome is one.
     pub fn as_pivot(&self) -> Option<&PivotTable> {
-        match self {
-            QueryOutcome::Pivot(p) => Some(p),
-            QueryOutcome::Cube(_) => None,
+        match &self.payload {
+            OutcomePayload::Pivot(p) => Some(p),
+            OutcomePayload::Cube(_) => None,
         }
     }
 
     /// The cube cell list, if this outcome is one.
     pub fn as_cube(&self) -> Option<&CubeResult> {
-        match self {
-            QueryOutcome::Cube(c) => Some(c),
-            QueryOutcome::Pivot(_) => None,
+        match &self.payload {
+            OutcomePayload::Cube(c) => Some(c),
+            OutcomePayload::Pivot(_) => None,
         }
     }
 }

@@ -27,6 +27,7 @@ use crate::request::{QueryOutcome, QueryRequest, ReportSpec};
 use analyze::Catalog;
 use clinical_types::{Table, Value};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use obs::{Phase, ProfileBuilder, SpanContext};
 use olap::CubeSpec;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -96,6 +97,15 @@ struct Job {
     request: QueryRequest,
     key: CacheKey,
     flight: Arc<Flight>,
+    /// The admitting request's span, so the worker's execution span
+    /// joins the caller's trace across the thread boundary.
+    ctx: Option<SpanContext>,
+    /// Caller-side phases (parse / analyze / cache lookup) already
+    /// recorded; the worker adds queue + execution phases and attaches
+    /// the finished profile to the outcome.
+    profile: ProfileBuilder,
+    /// Monotonic enqueue timestamp (µs) for the queue-wait phase.
+    queued_us: u64,
 }
 
 struct Shared {
@@ -191,34 +201,43 @@ impl QueryService {
         request: &QueryRequest,
         deadline: Duration,
     ) -> ServeResult<Served> {
-        let start = Instant::now();
+        let start = Instant::now(); // lint:allow(no-raw-timing) — deadline arithmetic needs a local clock
+        let mut span = obs::span("serve.request");
+        let mut profile = ProfileBuilder::start();
         if !self.shared.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let fingerprint = request.fingerprint().map_err(|e| {
-            self.shared.metrics.record_failed();
-            ServeError::Query(e)
-        })?;
+        let fingerprint = profile
+            .time(Phase::Parse, || request.fingerprint())
+            .map_err(|e| {
+                self.shared.metrics.record_failed();
+                ServeError::Query(e)
+            })?;
         let (epoch, catalog) = {
             let wh = self.shared.warehouse.read();
             let epoch = wh.epoch();
             (epoch, self.shared.catalog_for(epoch, &wh))
         };
+        span.record("epoch", epoch);
 
         // Semantic admission gate: an invalid request never reaches
         // the cache, the single-flight table or the worker queue.
-        let diags = request.analyze(&catalog);
+        let diags = profile.time(Phase::Analyze, || request.analyze(&catalog));
         if diags.has_errors() {
             self.shared.metrics.record_rejected_invalid();
+            span.record("outcome", "rejected_invalid");
+            obs::event("serve.rejected_invalid");
             return Err(ServeError::Invalid(diags));
         }
 
         let key: CacheKey = (fingerprint, epoch);
 
-        if let Some(value) = self.shared.cache.get(&key) {
+        if let Some(value) = profile.time(Phase::CacheLookup, || self.shared.cache.get(&key)) {
             self.shared.metrics.record_hit();
             let latency = start.elapsed();
             self.shared.metrics.record_latency(latency);
+            span.record("source", "cache");
+            obs::event_with("serve.cache_hit", &[("epoch", &epoch)]);
             return Ok(Served {
                 value,
                 epoch,
@@ -227,23 +246,35 @@ impl QueryService {
             });
         }
 
-        let (flight, source) = match self.shared.flights.join(&key) {
+        let (flight, source) = match self.shared.flights.join(&key, span.context()) {
             FlightRole::Follower(flight) => {
                 self.shared.metrics.record_coalesced();
+                span.record("source", "coalesced");
+                // Link this request's trace to the leader's execution.
+                if let Some(leader) = flight.leader_context() {
+                    span.record("link_trace", leader.trace.0);
+                    span.record("link_span", leader.span.0);
+                }
+                obs::event("serve.coalesced");
                 (flight, ServedSource::Coalesced)
             }
             FlightRole::Leader(flight) => {
                 self.shared.metrics.record_miss();
+                span.record("source", "executed");
                 let job = Job {
                     request: request.clone(),
                     key: key.clone(),
                     flight: Arc::clone(&flight),
+                    ctx: span.context(),
+                    profile,
+                    queued_us: obs::monotonic_us(),
                 };
                 let sender = self.sender.as_ref().ok_or(ServeError::ShuttingDown)?;
                 if let Err(e) = sender.try_send(job) {
                     let error = match e {
                         TrySendError::Full(_) => {
                             self.shared.metrics.record_rejected();
+                            obs::event("serve.rejected_overload");
                             ServeError::Overloaded {
                                 queue_depth: self.queue_depth,
                             }
@@ -338,6 +369,11 @@ impl QueryService {
         self.shared.metrics.snapshot()
     }
 
+    /// Every service instrument in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render_prometheus()
+    }
+
     /// Number of cached results.
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
@@ -373,23 +409,36 @@ impl Drop for QueryService {
 }
 
 fn worker_loop(shared: &Shared, receiver: &Receiver<Job>) {
-    while let Ok(job) = receiver.recv() {
+    while let Ok(mut job) = receiver.recv() {
+        // The execution span is a child of the admitting request's
+        // span: the trace id crosses the worker-thread boundary.
+        let mut exec_span = obs::span_child_of("serve.execute", job.ctx);
         if let Some(delay) = shared.execution_delay {
             thread::sleep(delay);
         }
+        // Queue wait is measured after any artificial delay so that
+        // deliberate stalls are attributed to queueing, not execution.
+        job.profile.record_us(
+            Phase::Queue,
+            obs::monotonic_us().saturating_sub(job.queued_us),
+        );
         let wh = shared.warehouse.read();
         // A mutation may have landed since admission: execute against
         // (and publish under) the epoch actually visible now.
         let exec_epoch = wh.epoch();
-        let outcome = job.request.execute(&wh);
+        exec_span.record("epoch", exec_epoch);
+        let outcome = job.request.execute_profiled(&wh, &mut job.profile);
         drop(wh);
         // Publish to the cache, then retire the flight, then wake the
         // waiters — in that order. New arrivals after the retire must
         // find the result in the cache (or lead a fresh flight); they
         // must never join a flight that has already completed.
         match outcome {
-            Ok(value) => {
-                let value: Arc<QueryOutcome> = Arc::new(value);
+            Ok(payload) => {
+                let profile = job.profile.finish();
+                exec_span.record("rows_scanned", profile.rows_scanned);
+                exec_span.record("cells_emitted", profile.cells_emitted);
+                let value = Arc::new(QueryOutcome { payload, profile });
                 shared.metrics.record_executed();
                 shared
                     .cache
@@ -399,6 +448,7 @@ fn worker_loop(shared: &Shared, receiver: &Receiver<Job>) {
             }
             Err(e) => {
                 shared.metrics.record_failed();
+                exec_span.record("outcome", "failed");
                 shared.flights.retire(&job.key);
                 job.flight.complete(Err(ServeError::Query(e)));
             }

@@ -57,6 +57,14 @@ impl Warehouse {
         fact.dim_keys.push(keys);
         fact.validate()?;
         self.bump_epoch();
+        obs::event_with(
+            "warehouse.epoch_bump",
+            &[
+                ("cause", &"feedback_dimension"),
+                ("epoch", &self.epoch()),
+                ("dimension", &dimension),
+            ],
+        );
         Ok(())
     }
 

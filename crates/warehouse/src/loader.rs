@@ -85,6 +85,8 @@ impl Warehouse {
     /// Bulk-load `table` (the ETL pipeline's output) according to
     /// `plan`.
     pub fn load(plan: &LoadPlan, table: &Table) -> Result<Warehouse> {
+        let mut span = obs::span("warehouse.load");
+        span.record("rows", table.len());
         let schema = table.schema();
         plan.validate_against(schema)?;
         let star = plan.star.clone();
@@ -139,11 +141,13 @@ impl Warehouse {
             }
         }
         fact.validate()?;
+        let epoch = next_epoch();
+        span.record("epoch", epoch);
         Ok(Warehouse {
             star,
             dims,
             fact,
-            epoch: next_epoch(),
+            epoch,
         })
     }
 
@@ -199,6 +203,14 @@ impl Warehouse {
         }
         self.fact.validate()?;
         self.epoch = next_epoch();
+        obs::event_with(
+            "warehouse.epoch_bump",
+            &[
+                ("cause", &"append"),
+                ("epoch", &self.epoch),
+                ("rows", &table.len()),
+            ],
+        );
         Ok(table.len())
     }
 

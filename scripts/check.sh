@@ -19,4 +19,7 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> tracing integration tests (span trees, disabled-path zero events)"
+cargo test -q --test obs_tracing
+
 echo "All checks passed."

@@ -6,15 +6,18 @@
 //! lives in the `crates/` members; see [`dd_dgms`] for the facade that
 //! wires them together.
 
+pub use analyze;
 pub use clinical_types;
 pub use dd_dgms;
 pub use discri;
 pub use etl;
 pub use kb;
 pub use mining;
+pub use obs;
 pub use olap;
 pub use oltp;
 pub use optimize;
 pub use predict;
+pub use serve;
 pub use viz;
 pub use warehouse;
