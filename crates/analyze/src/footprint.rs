@@ -1,0 +1,126 @@
+//! Query dimension footprints — which dimension tables a query reads.
+//!
+//! The delta-aware epoch layer needs to answer: *does this mutation
+//! affect that cached result?* A mutation's effect is described by a
+//! `warehouse::DeltaSummary` (dimensions touched, rows appended); the
+//! query side of the comparison is its **footprint**: the set of
+//! dimension tables its axes and attribute filters resolve to through
+//! the [`Catalog`]. Measures and degenerate columns live on the fact
+//! table and are covered by the delta's appended-row range, so they
+//! contribute no dimension to the footprint.
+//!
+//! A name the catalog cannot resolve makes the footprint
+//! *conservative*: it then reports itself as touching everything,
+//! which degrades to the pre-delta behaviour (full invalidation)
+//! instead of risking a stale answer.
+
+use crate::catalog::{Catalog, ColumnKind};
+use std::collections::BTreeSet;
+
+/// The set of dimension tables a query reads.
+///
+/// ```
+/// use analyze::{Catalog, QueryFootprint};
+/// use warehouse::discri_model;
+///
+/// let catalog = Catalog::from_star(&discri_model());
+/// let fp = QueryFootprint::resolve(&catalog, ["Gender", "FBG_Band", "FBG"]);
+/// // FBG is a measure: fact-resident, no dimension contributed.
+/// assert_eq!(fp.dimensions().len(), 2);
+/// let unrelated = ["Clinician Feedback".to_string()].into_iter().collect();
+/// assert!(!fp.touches_any(&unrelated));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFootprint {
+    dimensions: BTreeSet<String>,
+    conservative: bool,
+}
+
+impl QueryFootprint {
+    /// Resolve the referenced `columns` against `catalog`. Attributes
+    /// contribute their owning dimension; measures and degenerates
+    /// contribute nothing (fact-resident); an unresolvable name makes
+    /// the footprint conservative.
+    pub fn resolve<'a>(catalog: &Catalog, columns: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut dimensions = BTreeSet::new();
+        let mut conservative = false;
+        for name in columns {
+            match catalog.kind(name) {
+                Some(ColumnKind::Attribute { dimension }) => {
+                    dimensions.insert(dimension.clone());
+                }
+                Some(ColumnKind::Measure) | Some(ColumnKind::Degenerate) => {}
+                None => conservative = true,
+            }
+        }
+        QueryFootprint {
+            dimensions,
+            conservative,
+        }
+    }
+
+    /// A footprint that touches everything — for queries that could
+    /// not be resolved at all.
+    pub fn conservative() -> Self {
+        QueryFootprint {
+            dimensions: BTreeSet::new(),
+            conservative: true,
+        }
+    }
+
+    /// The dimension tables the query provably reads.
+    pub fn dimensions(&self) -> &BTreeSet<String> {
+        &self.dimensions
+    }
+
+    /// Whether the footprint had to assume it touches everything.
+    pub fn is_conservative(&self) -> bool {
+        self.conservative
+    }
+
+    /// Whether the query could be affected by a mutation touching
+    /// `dimensions`. Conservative footprints always report `true`.
+    pub fn touches_any(&self, dimensions: &BTreeSet<String>) -> bool {
+        self.conservative || self.dimensions.intersection(dimensions).next().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warehouse::discri_model;
+
+    fn catalog() -> Catalog {
+        Catalog::from_star(&discri_model())
+    }
+
+    fn dims(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn attributes_map_to_their_owning_dimensions() {
+        let fp = QueryFootprint::resolve(&catalog(), ["Gender", "FBG_Band"]);
+        assert!(!fp.is_conservative());
+        assert!(fp.dimensions().contains("Personal Information"));
+        assert!(fp.touches_any(&dims(&["Personal Information"])));
+        assert!(!fp.touches_any(&dims(&["Clinician Feedback"])));
+    }
+
+    #[test]
+    fn fact_columns_contribute_no_dimension() {
+        let fp = QueryFootprint::resolve(&catalog(), ["FBG", "PatientId"]);
+        assert!(fp.dimensions().is_empty());
+        assert!(!fp.is_conservative());
+        assert!(!fp.touches_any(&dims(&["Personal Information"])));
+    }
+
+    #[test]
+    fn unknown_names_force_conservatism() {
+        let fp = QueryFootprint::resolve(&catalog(), ["NoSuchColumn"]);
+        assert!(fp.is_conservative());
+        assert!(fp.touches_any(&dims(&["Anything"])));
+        assert!(QueryFootprint::conservative().touches_any(&BTreeSet::new()));
+        assert!(QueryFootprint::conservative().is_conservative());
+    }
+}

@@ -25,9 +25,11 @@
 pub mod catalog;
 pub mod diag;
 pub mod distance;
+pub mod footprint;
 pub mod lint;
 
 pub use catalog::{Catalog, ColumnKind, CARDINALITY_DIMENSION};
 pub use diag::{explain, Code, Diagnostic, Diagnostics, Severity, ALL_CODES};
 pub use distance::{closest, edit_distance};
+pub use footprint::QueryFootprint;
 pub use lint::{check_source, lint_workspace, LintReport, Violation};

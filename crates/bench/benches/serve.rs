@@ -98,23 +98,98 @@ fn throughput_record(threads: usize, rounds: usize) -> Json {
     ])
 }
 
+/// Median of `n` timed runs of `f` (single-shot numbers on a shared
+/// bencher are dominated by first-touch costs — thread-pool spin-up,
+/// per-epoch catalog builds — that steady-state serving amortises).
+fn median_us(n: usize, mut f: impl FnMut()) -> std::time::Duration {
+    let mut samples: Vec<_> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
 fn regenerate_summary() {
     println!("\n=== SERVE: cold vs warm on the Fig. 5 query ===");
     let svc = service(4);
     let request = QueryRequest::Mdx(FIG5.into());
+    const RUNS: usize = 10;
 
-    let t0 = Instant::now();
-    let cold = svc.execute(&request).expect("cold serve");
-    let cold_t = t0.elapsed();
-    let t1 = Instant::now();
-    let warm = svc.execute(&request).expect("warm serve");
-    let warm_t = t1.elapsed();
+    // First request ever pays service/thread warmup; do it off-clock,
+    // then measure the steady-state cold (miss → worker) and warm
+    // (fingerprint hit) paths.
+    let cold = svc.execute(&request).expect("warmup serve");
     assert_eq!(cold.source, ServedSource::Executed);
-    assert_eq!(warm.source, ServedSource::Cache);
-    assert_eq!(cold.value, warm.value, "cache must not change the answer");
+    let cold_t = median_us(RUNS, || {
+        svc.clear_cache();
+        let r = svc.execute(&request).expect("cold serve");
+        assert_eq!(r.source, ServedSource::Executed);
+    });
+    let warm = svc.execute(&request).expect("prime");
+    let warm_t = median_us(RUNS, || {
+        let r = svc.execute(&request).expect("warm serve");
+        assert_eq!(r.source, ServedSource::Cache);
+        assert_eq!(r.value, warm.value, "cache must not change the answer");
+    });
 
     let speedup = cold_t.as_secs_f64() / warm_t.as_secs_f64().max(1e-9);
     println!("cold {cold_t:?} | warm {warm_t:?} | speedup {speedup:.0}x");
+
+    // Cross-epoch reuse: each cycle adds a feedback dimension outside
+    // the query's footprint, so the next lookup revalidates the stale
+    // entry against the delta log and serves the identical bytes at
+    // the new epoch instead of re-executing. The mutation itself and
+    // the once-per-epoch catalog rebuild (warmed by an unrelated
+    // query, as any busy service would) stay off the clock — the
+    // timed call is admission + revalidation + serve, the path a
+    // steady-state client actually sees.
+    println!("\n=== SERVE: cross-epoch reuse after an out-of-footprint mutation ===");
+    let n = svc.with_warehouse(|wh| wh.n_facts());
+    let labels = vec![clinical_types::Value::from("unreviewed"); n];
+    let other = QueryRequest::Mdx(
+        "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].MEMBERS ON ROWS \
+         FROM [Medical Measures] MEASURE COUNT(*)"
+            .into(),
+    );
+    let mut samples = Vec::with_capacity(RUNS);
+    for cycle in 0..RUNS {
+        svc.add_feedback_dimension(
+            &format!("Review{cycle}"),
+            &format!("Flag{cycle}"),
+            labels.clone(),
+        )
+        .expect("feedback dimension");
+        svc.execute(&other).expect("warm the per-epoch catalog");
+        let epoch_after_mutation = svc.epoch();
+        let t = Instant::now();
+        let reused = svc.execute(&request).expect("revalidated serve");
+        samples.push(t.elapsed());
+        assert_eq!(reused.source, ServedSource::Cache, "delta reuse must apply");
+        assert_eq!(reused.value, warm.value, "reuse must not change the answer");
+        assert_eq!(
+            reused.epoch, epoch_after_mutation,
+            "served at the mutated epoch"
+        );
+    }
+    samples.sort();
+    let reuse_t = samples[samples.len() / 2];
+    let m = svc.metrics();
+    assert!(
+        m.reused_cross_epoch >= RUNS as u64,
+        "reuse counter must move: {m}"
+    );
+    let reuse_speedup = cold_t.as_secs_f64() / reuse_t.as_secs_f64().max(1e-9);
+    println!(
+        "cold rebuild {cold_t:?} | cross-epoch reuse {reuse_t:?} | speedup {reuse_speedup:.0}x"
+    );
+    assert!(
+        reuse_speedup >= 5.0,
+        "cross-epoch reuse must beat a cold rebuild by ≥5x, got {reuse_speedup:.1}x"
+    );
 
     // Machine-readable summary (format documented in EXPERIMENTS.md).
     println!("\n=== SERVE: closed-loop throughput sweep ===");
@@ -130,6 +205,11 @@ fn regenerate_summary() {
             ("cold_us", Json::Int(cold_t.as_micros() as i64)),
             ("warm_us", Json::Int(warm_t.as_micros() as i64)),
             ("speedup", Json::Float(speedup)),
+            (
+                "cross_epoch_reuse_us",
+                Json::Int(reuse_t.as_micros() as i64),
+            ),
+            ("cross_epoch_speedup", Json::Float(reuse_speedup)),
             ("throughput", Json::Arr(sweep)),
         ]),
     );

@@ -35,7 +35,7 @@
 //! assert_eq!(collector.events().len(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod collect;
 pub mod json;

@@ -186,6 +186,16 @@ enum Metric {
 /// `counter`/`gauge`/`histogram` are get-or-create: the first call
 /// registers, later calls hand back a clone of the same instrument,
 /// so call sites need no coordination.
+///
+/// ```
+/// let registry = obs::MetricsRegistry::new();
+/// registry.counter("queries_total").inc();
+/// registry.counter("queries_total").add(2); // same instrument
+/// registry.histogram("latency_us", &[100, 1_000]).record(250);
+/// assert_eq!(registry.counter("queries_total").get(), 3);
+/// let text = registry.render_prometheus();
+/// assert!(text.contains("queries_total 3"));
+/// ```
 #[derive(Default)]
 pub struct MetricsRegistry {
     metrics: Mutex<BTreeMap<String, Metric>>,

@@ -372,6 +372,26 @@ fn open(name: &'static str, parent: Option<SpanContext>, link_current: bool) -> 
 
 /// Open a span. Parents onto the innermost live span on this thread
 /// (inheriting its trace id) or starts a fresh trace at top level.
+///
+/// The returned [`SpanGuard`] closes the span on drop; fields attach
+/// with [`SpanGuard::record`]. With no subscriber installed the guard
+/// is inert and costs one atomic load.
+///
+/// ```
+/// use std::sync::Arc;
+/// let _guard = obs::test_support::tracing_lock();
+/// let collector = Arc::new(obs::RingCollector::new(16));
+/// obs::install(collector.clone());
+/// {
+///     let mut outer = obs::span("serve.request");
+///     outer.record("kind", "cube");
+///     let _inner = obs::span("olap.cube_build"); // same trace id
+/// }
+/// obs::uninstall();
+/// let spans = collector.spans();
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[0].trace, spans[1].trace);
+/// ```
 pub fn span(name: &'static str) -> SpanGuard {
     open(name, None, true)
 }

@@ -15,7 +15,8 @@
 use crate::aggregate::{Aggregate, CellStats, MeasureRef};
 use clinical_types::{Error, Result, Value};
 use std::collections::HashMap;
-use warehouse::Warehouse;
+use std::ops::Range;
+use warehouse::{DeltaSummary, Warehouse};
 
 /// Row filter applied while building a cube.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -92,10 +93,17 @@ impl CubeFilter {
 
     /// Evaluate the filter into a row mask.
     fn mask(&self, warehouse: &Warehouse) -> Result<Vec<bool>> {
-        let n = warehouse.n_facts();
-        let mut mask = vec![true; n];
+        self.mask_range(warehouse, 0..warehouse.n_facts())
+    }
+
+    /// Evaluate the filter over a contiguous fact-row range; entry `i`
+    /// of the returned mask covers fact row `rows.start + i`. Building
+    /// a full cube uses `0..n_facts()`; incremental maintenance masks
+    /// only a delta's appended rows.
+    fn mask_range(&self, warehouse: &Warehouse, rows: Range<usize>) -> Result<Vec<bool>> {
+        let mut mask = vec![true; rows.len()];
         for (attr, allowed) in &self.attribute_in {
-            let col = warehouse.attribute_column(attr)?;
+            let col = warehouse.attribute_column_range(attr, rows.clone())?;
             for (m, v) in mask.iter_mut().zip(col) {
                 if *m && !allowed.iter().any(|a| a == v) {
                     *m = false;
@@ -106,7 +114,7 @@ impl CubeFilter {
             let col = warehouse.measure(measure)?;
             for (i, m) in mask.iter_mut().enumerate() {
                 if *m {
-                    match col.get(i) {
+                    match col.get(rows.start + i) {
                         Some(x) if x >= *lo && x < *hi => {}
                         _ => *m = false,
                     }
@@ -205,10 +213,21 @@ impl CubeSpec {
             self.filter.canonical()
         )
     }
+
+    /// Every dimension attribute the spec reads: axes plus attribute
+    /// filter conditions. Measures and degenerates are fact-resident
+    /// and deliberately excluded — deltas cover them through the
+    /// appended-row range, not the dimension set.
+    pub fn dimension_attributes(&self) -> impl Iterator<Item = &str> {
+        self.axes
+            .iter()
+            .map(String::as_str)
+            .chain(self.filter.attribute_in.iter().map(|(a, _)| a.as_str()))
+    }
 }
 
 /// A built cube.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cube {
     /// Axis attribute names, fixing coordinate order.
     pub axes: Vec<String>,
@@ -221,6 +240,35 @@ pub struct Cube {
 
 impl Cube {
     /// Build a cube over `warehouse` per `spec`.
+    ///
+    /// ```
+    /// use clinical_types::{DataType, FieldDef, Record, Schema, Table, Value};
+    /// use olap::{Cube, CubeSpec};
+    /// use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema, Warehouse};
+    ///
+    /// let star = StarSchema::new(
+    ///     FactDef::new("Facts", vec!["FBG"], vec![]),
+    ///     vec![DimensionDef::new("Bloods", vec!["FBG_Band"])],
+    /// )?;
+    /// let schema = Schema::new(vec![
+    ///     FieldDef::nullable("FBG", DataType::Float),
+    ///     FieldDef::nullable("FBG_Band", DataType::Text),
+    /// ])?;
+    /// let rows = vec![
+    ///     Record::new(vec![5.0.into(), "very good".into()]),
+    ///     Record::new(vec![5.2.into(), "very good".into()]),
+    ///     Record::new(vec![8.0.into(), "Diabetic".into()]),
+    /// ];
+    /// let wh = Warehouse::load(
+    ///     &LoadPlan::from_star(star),
+    ///     &Table::from_rows(schema, rows)?,
+    /// )?;
+    ///
+    /// let cube = Cube::build(&wh, &CubeSpec::count(vec!["FBG_Band"]))?;
+    /// assert_eq!(cube.value(&[Value::from("very good")]), Some(2.0));
+    /// assert_eq!(cube.value(&[Value::from("Diabetic")]), Some(1.0));
+    /// # Ok::<(), clinical_types::Error>(())
+    /// ```
     pub fn build(warehouse: &Warehouse, spec: &CubeSpec) -> Result<Cube> {
         let mut span = obs::span("olap.cube_build");
         let inputs = CubeInputs::resolve(warehouse, spec)?;
@@ -238,6 +286,99 @@ impl Cube {
             agg: spec.agg,
             cells,
         })
+    }
+
+    /// Whether cubes built from `spec` can be patched in place by
+    /// [`Cube::apply_delta`]. Count/sum/mean cells keep their raw
+    /// accumulators (row count, valid count, sum), so folding appended
+    /// rows is exact; min/max are monotone under append-only deltas.
+    /// Distinct counting is excluded: its cells carry full value sets,
+    /// so a retained cube would grow without bound — those rebuild.
+    pub fn supports_incremental(spec: &CubeSpec) -> bool {
+        !matches!(spec.measure, MeasureRef::DistinctDegenerate(_))
+    }
+
+    /// Fold one [`DeltaSummary`] into the cube, patching it from the
+    /// epoch it was built at to the delta's target epoch.
+    ///
+    /// Returns `Ok(true)` when the cube now reflects the post-delta
+    /// warehouse, `Ok(false)` when the delta cannot be applied
+    /// incrementally (existing rows were rewritten, the spec reads a
+    /// structurally-changed dimension, or the aggregate is not
+    /// incrementally maintainable) and the caller must rebuild.
+    /// `warehouse` must already be at (or past) the delta's target
+    /// epoch, and `spec` must be the spec the cube was built from.
+    pub fn apply_delta(
+        &mut self,
+        warehouse: &Warehouse,
+        spec: &CubeSpec,
+        delta: &DeltaSummary,
+    ) -> Result<bool> {
+        if self.axes != spec.axes || self.measure != spec.measure || self.agg != spec.agg {
+            return Err(Error::invalid(
+                "cube was not built from the spec it is being patched against",
+            ));
+        }
+        if delta.rewrote_existing || !Cube::supports_incremental(spec) {
+            return Ok(false);
+        }
+        // A structural mutation (e.g. a new feedback dimension) is a
+        // no-op for the cube only if the spec provably never reads a
+        // touched dimension; unresolvable attributes force a rebuild.
+        // Appends are exempt: any dimension they grow shows up only in
+        // the appended rows, which the fold below covers.
+        if delta.kind != warehouse::DeltaKind::Append && !delta.dimensions.is_empty() {
+            for attr in spec.dimension_attributes() {
+                match warehouse.find_attribute(attr) {
+                    Ok((di, _)) => {
+                        if delta.dimensions.contains(&warehouse.dimensions()[di].name) {
+                            return Ok(false);
+                        }
+                    }
+                    Err(_) => return Ok(false),
+                }
+            }
+        }
+        let rows = delta.appended.clone();
+        if rows.is_empty() {
+            return Ok(true);
+        }
+        if rows.end > warehouse.n_facts() {
+            return Err(Error::invalid(format!(
+                "delta appends rows {}..{} but the warehouse has {} facts",
+                rows.start,
+                rows.end,
+                warehouse.n_facts()
+            )));
+        }
+        let mut span = obs::span("olap.cube_apply_delta");
+        let axis_cols = spec
+            .axes
+            .iter()
+            .map(|a| warehouse.attribute_column_range(a, rows.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        let measure_col = match &spec.measure {
+            MeasureRef::Measure(name) => Some(warehouse.measure(name)?),
+            MeasureRef::RowCount | MeasureRef::DistinctDegenerate(_) => None,
+        };
+        let mask = spec.filter.mask_range(warehouse, rows.clone())?;
+        let mut folded = 0usize;
+        for (i, row) in rows.clone().enumerate() {
+            if !mask[i] {
+                continue;
+            }
+            let key: Vec<Value> = axis_cols.iter().map(|c| c[i].clone()).collect();
+            let cell = self
+                .cells
+                .entry(key)
+                .or_insert_with(|| CellStats::new(false));
+            cell.push(measure_col.and_then(|m| m.get(row)), None);
+            folded += 1;
+        }
+        span.record("appended", rows.len());
+        span.record("folded", folded);
+        span.record("cells", self.cells.len());
+        Ok(true)
     }
 
     /// Number of populated cells.
@@ -593,15 +734,7 @@ mod tests {
         assert_eq!(ab.fingerprint(), ba.fingerprint());
     }
 
-    fn demo_warehouse() -> Warehouse {
-        let star = StarSchema::new(
-            FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),
-            vec![
-                DimensionDef::new("Personal", vec!["Gender", "Age_Band"]),
-                DimensionDef::new("Condition", vec!["DiabetesStatus"]),
-            ],
-        )
-        .unwrap();
+    fn demo_table(rows: Vec<(i64, &str, &str, &str, Option<f64>)>) -> Table {
         let schema = Schema::new(vec![
             FieldDef::required("PatientId", DataType::Int),
             FieldDef::nullable("Gender", DataType::Text),
@@ -610,15 +743,6 @@ mod tests {
             FieldDef::nullable("FBG", DataType::Float),
         ])
         .unwrap();
-        // (pid, gender, age band, diabetes, fbg)
-        let rows: Vec<(i64, &str, &str, &str, Option<f64>)> = vec![
-            (1, "F", "60-80", "yes", Some(7.2)),
-            (1, "F", "60-80", "yes", Some(7.8)),
-            (2, "M", "60-80", "no", Some(5.1)),
-            (3, "F", "40-60", "no", Some(5.4)),
-            (4, "M", "60-80", "yes", None),
-            (5, "F", "60-80", "no", Some(6.2)),
-        ];
         let records = rows
             .into_iter()
             .map(|(p, g, a, d, f)| {
@@ -631,7 +755,27 @@ mod tests {
                 ])
             })
             .collect();
-        let table = Table::from_rows(schema, records).unwrap();
+        Table::from_rows(schema, records).unwrap()
+    }
+
+    fn demo_warehouse() -> Warehouse {
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),
+            vec![
+                DimensionDef::new("Personal", vec!["Gender", "Age_Band"]),
+                DimensionDef::new("Condition", vec!["DiabetesStatus"]),
+            ],
+        )
+        .unwrap();
+        // (pid, gender, age band, diabetes, fbg)
+        let table = demo_table(vec![
+            (1, "F", "60-80", "yes", Some(7.2)),
+            (1, "F", "60-80", "yes", Some(7.8)),
+            (2, "M", "60-80", "no", Some(5.1)),
+            (3, "F", "40-60", "no", Some(5.4)),
+            (4, "M", "60-80", "yes", None),
+            (5, "F", "60-80", "no", Some(6.2)),
+        ]);
         Warehouse::load(&LoadPlan::from_star(star), &table).unwrap()
     }
 
@@ -796,6 +940,111 @@ mod tests {
         // k larger than the cube returns everything.
         assert_eq!(cube.top_k(100).len(), cube.n_cells());
         assert!(cube.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild_for_additive_aggregates() {
+        let specs = vec![
+            CubeSpec::count(vec!["Gender", "Age_Band"]),
+            CubeSpec::measure(vec!["Gender"], Aggregate::Sum, "FBG"),
+            CubeSpec::measure(vec!["DiabetesStatus"], Aggregate::Avg, "FBG"),
+            CubeSpec::measure(vec!["Gender"], Aggregate::Min, "FBG"),
+            CubeSpec::measure(vec!["Gender"], Aggregate::Max, "FBG"),
+            CubeSpec::count(vec!["Gender"])
+                .with_filter(CubeFilter::all().equals("DiabetesStatus", "yes")),
+            CubeSpec::count(vec!["Gender"])
+                .with_filter(CubeFilter::all().measure_between("FBG", 5.5, 9.0)),
+        ];
+        for spec in specs {
+            let mut wh = demo_warehouse();
+            let epoch0 = wh.epoch();
+            let mut patched = Cube::build(&wh, &spec).unwrap();
+            // New max (9.9), new min (3.0), a NULL, and a fresh cell
+            // coordinate ("M", "40-60") — every accumulator path.
+            wh.append(&demo_table(vec![
+                (6, "M", "40-60", "yes", Some(9.9)),
+                (7, "F", "60-80", "no", Some(3.0)),
+                (2, "M", "60-80", "yes", None),
+            ]))
+            .unwrap();
+            for delta in wh.deltas_since(epoch0).unwrap() {
+                assert!(
+                    patched.apply_delta(&wh, &spec, &delta).unwrap(),
+                    "{spec:?} should patch"
+                );
+            }
+            let rebuilt = Cube::build(&wh, &spec).unwrap();
+            assert_eq!(patched, rebuilt, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_distinct_and_rewrites() {
+        let mut wh = demo_warehouse();
+        let epoch0 = wh.epoch();
+
+        let distinct = CubeSpec::distinct(vec!["Gender"], "PatientId");
+        assert!(!Cube::supports_incremental(&distinct));
+        let mut cube = Cube::build(&wh, &distinct).unwrap();
+        wh.append(&demo_table(vec![(8, "F", "40-60", "no", Some(5.0))]))
+            .unwrap();
+        let deltas = wh.deltas_since(epoch0).unwrap();
+        assert!(!cube.apply_delta(&wh, &distinct, &deltas[0]).unwrap());
+
+        // A rewrite poisons even incrementally-maintainable specs.
+        let count = CubeSpec::count(vec!["Gender"]);
+        let mut cube = Cube::build(&wh, &count).unwrap();
+        let before = wh.epoch();
+        wh.bump_epoch();
+        let deltas = wh.deltas_since(before).unwrap();
+        assert!(deltas[0].rewrote_existing);
+        assert!(!cube.apply_delta(&wh, &count, &deltas[0]).unwrap());
+    }
+
+    #[test]
+    fn structural_delta_is_noop_unless_the_spec_reads_it() {
+        let mut wh = demo_warehouse();
+        let spec = CubeSpec::count(vec!["Gender"]);
+        let mut cube = Cube::build(&wh, &spec).unwrap();
+        let epoch0 = wh.epoch();
+        let labels = vec![Value::from("a"); wh.n_facts()];
+        wh.add_feedback_dimension("Review", "Flag", labels).unwrap();
+        let deltas = wh.deltas_since(epoch0).unwrap();
+        // The new dimension is outside the spec's footprint: provably
+        // a no-op, and the patched cube still matches a rebuild.
+        assert!(cube.apply_delta(&wh, &spec, &deltas[0]).unwrap());
+        assert_eq!(cube, Cube::build(&wh, &spec).unwrap());
+
+        // A structural delta naming a dimension the spec *does* read
+        // forces a rebuild.
+        let n = wh.n_facts();
+        let touching = warehouse::DeltaSummary {
+            from_epoch: wh.epoch(),
+            to_epoch: wh.epoch() + 1,
+            kind: warehouse::DeltaKind::Feedback,
+            dimensions: ["Personal".to_string()].into_iter().collect(),
+            appended: n..n,
+            rewrote_existing: false,
+        };
+        assert!(!cube.apply_delta(&wh, &spec, &touching).unwrap());
+    }
+
+    #[test]
+    fn apply_delta_rejects_a_foreign_spec() {
+        let wh = demo_warehouse();
+        let spec = CubeSpec::count(vec!["Gender"]);
+        let mut cube = Cube::build(&wh, &spec).unwrap();
+        let other = CubeSpec::count(vec!["Age_Band"]);
+        let n = wh.n_facts();
+        let delta = warehouse::DeltaSummary {
+            from_epoch: wh.epoch(),
+            to_epoch: wh.epoch() + 1,
+            kind: warehouse::DeltaKind::Append,
+            dimensions: Default::default(),
+            appended: n..n,
+            rewrote_existing: false,
+        };
+        assert!(cube.apply_delta(&wh, &other, &delta).is_err());
     }
 
     #[test]

@@ -21,7 +21,15 @@
 //! * [`report`] — owned, declarative [`report::ReportSpec`] requests
 //!   that can queue and travel between threads.
 //! * [`semantic`] — the semantic analyzer: validates MDX, cube and
-//!   report requests against the `analyze` catalog before execution.
+//!   report requests against the `analyze` catalog before execution,
+//!   and resolves each query shape's dimension footprint for
+//!   cross-epoch result reuse.
+//!
+//! Cubes are *incrementally maintainable*: [`Cube::apply_delta`] folds
+//! a warehouse [`warehouse::DeltaSummary`]'s appended fact rows into
+//! the existing accumulators instead of rebuilding, exact for
+//! count/sum/mean (and min/max under append-only deltas); distinct
+//! counting and rewrites fall back to a full rebuild.
 
 pub mod aggregate;
 pub mod builder;
@@ -37,4 +45,7 @@ pub use cube::{BuildStrategy, Cube, CubeFilter, CubeSpec};
 pub use mdx::{execute_mdx, parse_mdx};
 pub use pivot::PivotTable;
 pub use report::{ReportMeasure, ReportSpec};
-pub use semantic::{analyze_cube, analyze_mdx, analyze_mdx_str, analyze_report};
+pub use semantic::{
+    analyze_cube, analyze_mdx, analyze_mdx_str, analyze_report, footprint_cube, footprint_mdx,
+    footprint_report,
+};

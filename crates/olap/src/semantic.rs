@@ -12,7 +12,7 @@ use crate::aggregate::{Aggregate, MeasureRef};
 use crate::cube::CubeSpec;
 use crate::mdx::{AxisSet, Condition, MdxQuery, MeasureClause, QuerySpans};
 use crate::report::{ReportMeasure, ReportSpec};
-use analyze::{Catalog, Code, ColumnKind, Diagnostic, Diagnostics};
+use analyze::{Catalog, Code, ColumnKind, Diagnostic, Diagnostics, QueryFootprint};
 use clinical_types::{Span, Value};
 
 /// Attach `span` unless it is the empty default (no span table).
@@ -504,6 +504,71 @@ pub fn analyze_report(catalog: &Catalog, spec: &ReportSpec) -> Diagnostics {
     diags
 }
 
+/// Dimension footprint of a parsed MDX query: every name the query
+/// reads (axes, including the finer level a `CHILDREN` drill-down
+/// resolves to, conditions, and the measure clause) resolved through
+/// the catalog. A drill-down without a finer hierarchy level yields
+/// [`QueryFootprint::conservative`].
+pub fn footprint_mdx(catalog: &Catalog, query: &MdxQuery) -> QueryFootprint {
+    let mut names: Vec<&str> = Vec::new();
+    for axis in [&query.columns, &query.rows] {
+        names.push(axis.set.attribute());
+        if let AxisSet::Children { parent, .. } = &axis.set {
+            match catalog.finer_level(parent) {
+                Some(child) => names.push(child),
+                None => return QueryFootprint::conservative(),
+            }
+        }
+    }
+    for condition in &query.conditions {
+        match condition {
+            Condition::AttributeEquals(attr, _) => names.push(attr),
+            Condition::MeasureBetween(m, _, _) => names.push(m),
+        }
+    }
+    match &query.measure {
+        MeasureClause::CountRows => {}
+        MeasureClause::CountDistinct(col) => names.push(col.as_str()),
+        MeasureClause::Aggregate(_, m) => names.push(m.as_str()),
+    }
+    QueryFootprint::resolve(catalog, names)
+}
+
+/// Dimension footprint of a cube specification.
+pub fn footprint_cube(catalog: &Catalog, spec: &CubeSpec) -> QueryFootprint {
+    let mut names: Vec<&str> = spec.dimension_attributes().collect();
+    names.extend(
+        spec.filter
+            .measure_conditions()
+            .iter()
+            .map(|(m, _, _)| m.as_str()),
+    );
+    match &spec.measure {
+        MeasureRef::RowCount => {}
+        MeasureRef::Measure(m) => names.push(m.as_str()),
+        MeasureRef::DistinctDegenerate(d) => names.push(d.as_str()),
+    }
+    QueryFootprint::resolve(catalog, names)
+}
+
+/// Dimension footprint of a report specification.
+pub fn footprint_report(catalog: &Catalog, spec: &ReportSpec) -> QueryFootprint {
+    let mut names: Vec<&str> = spec
+        .row_axes()
+        .iter()
+        .chain(spec.column_axes())
+        .map(String::as_str)
+        .collect();
+    names.extend(spec.equality_conditions().iter().map(|(a, _)| a.as_str()));
+    names.extend(spec.range_conditions().iter().map(|(m, _, _)| m.as_str()));
+    match spec.measure_clause() {
+        ReportMeasure::Count => {}
+        ReportMeasure::CountDistinct(d) => names.push(d.as_str()),
+        ReportMeasure::Aggregate(_, m) => names.push(m.as_str()),
+    }
+    QueryFootprint::resolve(catalog, names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +733,52 @@ mod tests {
             analyze_report(&c, &ReportSpec::new().count()).codes(),
             vec!["A205"]
         );
+    }
+
+    #[test]
+    fn footprints_resolve_dimensions_per_query_shape() {
+        let c = catalog();
+        let (query, _) = crate::mdx::parse_mdx_spanned(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
+             FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' MEASURE AVG([FBG])",
+        )
+        .unwrap();
+        let fp = footprint_mdx(&c, &query);
+        assert!(!fp.is_conservative());
+        assert!(fp.dimensions().contains("Personal Information"));
+        assert!(fp.dimensions().contains("Medical Condition"));
+        assert_eq!(fp.dimensions().len(), 2);
+
+        // A drill-down reads both the parent and the finer level.
+        let (query, _) = crate::mdx::parse_mdx_spanned(
+            "SELECT [Gender].MEMBERS ON COLUMNS, [Age_Band].[60-80].CHILDREN ON ROWS \
+             FROM [Medical Measures]",
+        )
+        .unwrap();
+        assert!(footprint_mdx(&c, &query)
+            .dimensions()
+            .contains("Personal Information"));
+
+        // Unknown names degrade to conservatism, never staleness.
+        let (query, _) = crate::mdx::parse_mdx_spanned(
+            "SELECT [Nope].MEMBERS ON COLUMNS, [Gender].MEMBERS ON ROWS \
+             FROM [Medical Measures]",
+        )
+        .unwrap();
+        assert!(footprint_mdx(&c, &query).is_conservative());
+
+        let spec =
+            CubeSpec::count(vec!["FBG_Band"]).with_filter(CubeFilter::all().equals("Gender", "F"));
+        let fp = footprint_cube(&c, &spec);
+        assert!(fp.dimensions().contains("Fasting Bloods"));
+        assert!(fp.dimensions().contains("Personal Information"));
+
+        let report = ReportSpec::new()
+            .on_rows("Gender")
+            .count_distinct("PatientId");
+        let fp = footprint_report(&c, &report);
+        assert_eq!(fp.dimensions().len(), 1);
+        assert!(!fp.is_conservative());
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Typed failures of the serving layer.
+//!
+//! Failures raised on a request path carry the [`TraceId`] of the
+//! request's `serve.request` span (when tracing captured one), so an
+//! operator can jump from an error report straight to the trace that
+//! produced it.
 
 use analyze::Diagnostics;
+use obs::TraceId;
 use std::fmt;
 use std::time::Duration;
 
@@ -16,6 +22,8 @@ pub enum ServeError {
     Overloaded {
         /// Configured queue depth that was exhausted.
         queue_depth: usize,
+        /// Trace of the rejected request, when one was recorded.
+        trace: Option<TraceId>,
     },
     /// The request was admitted but its result did not arrive within
     /// the deadline. The underlying execution may still complete and
@@ -23,6 +31,8 @@ pub enum ServeError {
     DeadlineExceeded {
         /// The deadline that elapsed.
         deadline: Duration,
+        /// Trace of the abandoned request, when one was recorded.
+        trace: Option<TraceId>,
     },
     /// The service is draining and no longer accepts work.
     ShuttingDown,
@@ -30,23 +40,59 @@ pub enum ServeError {
     /// unknown names, type mismatches or illegal aggregations. Nothing
     /// was queued or executed; the diagnostics carry stable codes
     /// (`A0xx`/`A1xx`/`A2xx`) and did-you-mean suggestions.
-    Invalid(Diagnostics),
+    Invalid {
+        /// The analyzer's findings.
+        diagnostics: Diagnostics,
+        /// Trace of the rejected request, when one was recorded.
+        trace: Option<TraceId>,
+    },
     /// The query itself failed (parse error, unknown attribute, …).
     Query(clinical_types::Error),
 }
 
+impl ServeError {
+    /// The trace id of the request that raised this error, when the
+    /// failing path recorded one. `ShuttingDown` and `Query` failures
+    /// carry none (the former precedes span creation, the latter is
+    /// raised below the serving layer).
+    pub fn trace(&self) -> Option<TraceId> {
+        match self {
+            ServeError::Overloaded { trace, .. }
+            | ServeError::DeadlineExceeded { trace, .. }
+            | ServeError::Invalid { trace, .. } => *trace,
+            ServeError::ShuttingDown | ServeError::Query(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let trace_suffix = |t: &Option<TraceId>| match t {
+            Some(id) => format!(" [trace {}]", id.0),
+            None => String::new(),
+        };
         match self {
-            ServeError::Overloaded { queue_depth } => {
-                write!(f, "overloaded: work queue at capacity ({queue_depth})")
+            ServeError::Overloaded { queue_depth, trace } => {
+                write!(
+                    f,
+                    "overloaded: work queue at capacity ({queue_depth}){}",
+                    trace_suffix(trace)
+                )
             }
-            ServeError::DeadlineExceeded { deadline } => {
-                write!(f, "deadline of {deadline:?} exceeded")
+            ServeError::DeadlineExceeded { deadline, trace } => {
+                write!(
+                    f,
+                    "deadline of {deadline:?} exceeded{}",
+                    trace_suffix(trace)
+                )
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
-            ServeError::Invalid(diags) => {
-                write!(f, "invalid query rejected at admission:\n{diags}")
+            ServeError::Invalid { diagnostics, trace } => {
+                write!(
+                    f,
+                    "invalid query rejected at admission{}:\n{diagnostics}",
+                    trace_suffix(trace)
+                )
             }
             ServeError::Query(e) => write!(f, "query failed: {e}"),
         }

@@ -62,7 +62,10 @@ impl Flight {
             }
             let elapsed = start.elapsed();
             if elapsed >= deadline {
-                return Err(ServeError::DeadlineExceeded { deadline });
+                return Err(ServeError::DeadlineExceeded {
+                    deadline,
+                    trace: None,
+                });
             }
             let (guard, timeout) = self
                 .done
@@ -70,7 +73,10 @@ impl Flight {
                 .unwrap_or_else(|e| e.into_inner());
             slot = guard;
             if timeout.timed_out() && slot.is_none() {
-                return Err(ServeError::DeadlineExceeded { deadline });
+                return Err(ServeError::DeadlineExceeded {
+                    deadline,
+                    trace: None,
+                });
             }
         }
     }

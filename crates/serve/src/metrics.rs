@@ -21,6 +21,8 @@ const BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64:
 pub struct ServeMetrics {
     registry: MetricsRegistry,
     hits: Counter,
+    reused_cross_epoch: Counter,
+    patched_incremental: Counter,
     misses: Counter,
     coalesced: Counter,
     rejected: Counter,
@@ -43,6 +45,8 @@ impl ServeMetrics {
         let registry = MetricsRegistry::new();
         ServeMetrics {
             hits: registry.counter("serve_cache_hits_total"),
+            reused_cross_epoch: registry.counter("serve_cache_reused_cross_epoch_total"),
+            patched_incremental: registry.counter("serve_cache_patched_incremental_total"),
             misses: registry.counter("serve_cache_misses_total"),
             coalesced: registry.counter("serve_coalesced_total"),
             rejected: registry.counter("serve_rejected_total"),
@@ -58,6 +62,20 @@ impl ServeMetrics {
     /// Record a cache hit.
     pub fn record_hit(&self) {
         self.hits.inc();
+    }
+
+    /// Record a cache hit that was served across an epoch boundary:
+    /// delta revalidation proved the stale entry untouched by the
+    /// intervening mutations. (Also counted as a hit.)
+    pub fn record_reused_cross_epoch(&self) {
+        self.reused_cross_epoch.inc();
+    }
+
+    /// Record a cache hit produced by incrementally patching a
+    /// retained cube with a delta's appended rows instead of
+    /// rebuilding. (Also counted as a hit.)
+    pub fn record_patched_incremental(&self) {
+        self.patched_incremental.inc();
     }
 
     /// Record a cache miss (the caller became a flight leader).
@@ -117,6 +135,8 @@ impl ServeMetrics {
         let counts = self.latency.counts();
         MetricsSnapshot {
             hits: self.hits.get(),
+            reused_cross_epoch: self.reused_cross_epoch.get(),
+            patched_incremental: self.patched_incremental.get(),
             misses: self.misses.get(),
             coalesced: self.coalesced.get(),
             rejected: self.rejected.get(),
@@ -135,6 +155,12 @@ impl ServeMetrics {
 pub struct MetricsSnapshot {
     /// Requests answered from the result cache.
     pub hits: u64,
+    /// Hits served across an epoch boundary after delta revalidation
+    /// (subset of `hits`).
+    pub reused_cross_epoch: u64,
+    /// Hits served by incrementally patching a retained cube
+    /// (subset of `hits`).
+    pub patched_incremental: u64,
     /// Requests that found no cached result and led an execution.
     pub misses: u64,
     /// Requests coalesced onto an identical in-flight execution.
@@ -207,10 +233,13 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "served {} (hits {} | misses {} | coalesced {}), rejected {}, \
-             rejected-invalid {}, executed {}, deadline-exceeded {}, failed {}",
+            "served {} (hits {} [reused x-epoch {} | patched {}] | misses {} | \
+             coalesced {}), rejected {}, rejected-invalid {}, executed {}, \
+             deadline-exceeded {}, failed {}",
             self.served(),
             self.hits,
+            self.reused_cross_epoch,
+            self.patched_incremental,
             self.misses,
             self.coalesced,
             self.rejected,

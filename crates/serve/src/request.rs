@@ -6,11 +6,14 @@
 //! an MDX string, a [`CubeSpec`], or a declarative [`ReportSpec`] that
 //! is translated into an `olap::QueryBuilder` chain at execution time.
 
-use analyze::{Catalog, Diagnostics};
+use analyze::{Catalog, Diagnostics, QueryFootprint};
 use clinical_types::{Result, Value};
 use obs::{Phase, ProfileBuilder, QueryProfile};
 use olap::mdx::{execute_query_profiled, parse_mdx_spanned};
-use olap::{analyze_cube, analyze_mdx, analyze_report, parse_mdx, Cube, CubeSpec, PivotTable};
+use olap::{
+    analyze_cube, analyze_mdx, analyze_report, footprint_cube, footprint_mdx, footprint_report,
+    parse_mdx, Cube, CubeSpec, PivotTable,
+};
 use warehouse::Warehouse;
 
 pub use olap::{ReportMeasure, ReportSpec};
@@ -82,19 +85,34 @@ impl QueryRequest {
         warehouse: &Warehouse,
         profile: &mut ProfileBuilder,
     ) -> Result<OutcomePayload> {
+        self.execute_profiled_retaining(warehouse, profile)
+            .map(|(payload, _)| payload)
+    }
+
+    /// Like [`QueryRequest::execute_profiled`], but also returns the
+    /// live [`Cube`] for cube requests whose aggregates are
+    /// incrementally maintainable — the cache retains it so a later
+    /// epoch's appended rows can be folded in instead of rebuilding.
+    pub(crate) fn execute_profiled_retaining(
+        &self,
+        warehouse: &Warehouse,
+        profile: &mut ProfileBuilder,
+    ) -> Result<(OutcomePayload, Option<Cube>)> {
         match self {
             QueryRequest::Mdx(text) => {
                 let query = profile.time(Phase::Parse, || parse_mdx(text))?;
-                Ok(OutcomePayload::Pivot(execute_query_profiled(
-                    warehouse, &query, profile,
-                )?))
+                Ok((
+                    OutcomePayload::Pivot(execute_query_profiled(warehouse, &query, profile)?),
+                    None,
+                ))
             }
             QueryRequest::Cube(spec) => {
                 let cube = profile.time(Phase::Execute, || Cube::build(warehouse, spec))?;
                 profile.rows_scanned(warehouse.n_facts() as u64);
                 let result = profile.time(Phase::Aggregate, || CubeResult::from_cube(&cube));
                 profile.cells_emitted(result.cells.len() as u64);
-                Ok(OutcomePayload::Cube(result))
+                let retained = Cube::supports_incremental(spec).then_some(cube);
+                Ok((OutcomePayload::Cube(result), retained))
             }
             QueryRequest::Report(spec) => {
                 let pivot =
@@ -102,8 +120,23 @@ impl QueryRequest {
                 profile.rows_scanned(warehouse.n_facts() as u64);
                 let cells = pivot.cells.iter().flatten().filter(|c| c.is_some()).count() as u64;
                 profile.cells_emitted(cells);
-                Ok(OutcomePayload::Pivot(pivot))
+                Ok((OutcomePayload::Pivot(pivot), None))
             }
+        }
+    }
+
+    /// The set of dimension tables this request reads, resolved
+    /// through `catalog` — the query side of cross-epoch cache
+    /// revalidation. Unparseable MDX yields a conservative footprint
+    /// (it would be rejected before caching anyway).
+    pub fn footprint(&self, catalog: &Catalog) -> QueryFootprint {
+        match self {
+            QueryRequest::Mdx(text) => match parse_mdx(text) {
+                Ok(query) => footprint_mdx(catalog, &query),
+                Err(_) => QueryFootprint::conservative(),
+            },
+            QueryRequest::Cube(spec) => footprint_cube(catalog, spec),
+            QueryRequest::Report(spec) => footprint_report(catalog, spec),
         }
     }
 }

@@ -5,9 +5,14 @@
 //!
 //! ```text
 //! execute(request)
-//!   ├─ fingerprint + current data epoch → cache key
+//!   ├─ fingerprint → cache key; read current data epoch
 //!   ├─ semantic analysis fails? → Invalid (nothing queued or cached)
-//!   ├─ cache hit? ────────────────────────────────▶ Served (Cache)
+//!   ├─ cache entry, current epoch? ───────────────▶ Served (Cache)
+//!   ├─ cache entry, older epoch? revalidate via the delta log:
+//!   │    ├─ deltas outside the query's footprint → promote entry
+//!   │    │                                       ▶ Served (Cache, reused)
+//!   │    ├─ appended rows + retained cube → patch ▶ Served (Cache, patched)
+//!   │    └─ otherwise fall through to execute
 //!   ├─ identical query in flight? → park on it ───▶ Served (Coalesced)
 //!   └─ lead a new flight
 //!        ├─ queue full? → Overloaded (nothing ran)
@@ -15,26 +20,29 @@
 //!           publishes to cache, wakes all waiters ▶ Served (Executed)
 //! ```
 //!
-//! Mutations (`append`, feedback dimensions) take the write lock, bump
-//! the warehouse epoch, and purge now-stale cache entries; in-flight
-//! reads finish against the snapshot they started with.
+//! Mutations (`append`, feedback dimensions) take the write lock and
+//! bump the warehouse epoch; in-flight reads finish against the
+//! snapshot they started with. Cached results are *not* purged: the
+//! warehouse delta log lets the next lookup decide per query whether
+//! a stale entry is provably still valid (`reused_cross_epoch`),
+//! incrementally patchable (`patched_incremental`) or dead.
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::{ServeError, ServeResult};
 use crate::flight::{Flight, FlightRole, FlightTable};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::request::{QueryOutcome, QueryRequest, ReportSpec};
+use crate::request::{CubeResult, OutcomePayload, QueryOutcome, QueryRequest, ReportSpec};
 use analyze::Catalog;
 use clinical_types::{Table, Value};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use obs::{Phase, ProfileBuilder, SpanContext};
-use olap::CubeSpec;
+use olap::{Cube, CubeSpec};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
-use warehouse::Warehouse;
+use warehouse::{ChangeSet, DeltaSummary, Warehouse};
 
 /// Tuning knobs for [`QueryService`].
 #[derive(Debug, Clone)]
@@ -67,6 +75,18 @@ impl Default for ServeConfig {
             execution_delay: None,
         }
     }
+}
+
+/// How a cache lookup was satisfied.
+enum CacheHit {
+    /// The entry was produced at the current epoch.
+    Fresh,
+    /// The entry predates the current epoch but the delta chain never
+    /// intersects the query's footprint — served as-is and promoted.
+    Reused,
+    /// The entry's retained cube absorbed the delta chain's appended
+    /// rows; the patched result was published at the current epoch.
+    Patched,
 }
 
 /// How a [`Served`] answer was produced.
@@ -188,6 +208,31 @@ impl QueryService {
     }
 
     /// Serve `request` under the configured default deadline.
+    ///
+    /// ```
+    /// use serve::{QueryRequest, QueryService, ReportSpec, ServeConfig, ServedSource};
+    /// use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema, Warehouse};
+    /// use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+    ///
+    /// let star = StarSchema::new(
+    ///     FactDef::new("Facts", vec!["FBG"], vec![]),
+    ///     vec![DimensionDef::new("Bloods", vec!["FBG_Band"])],
+    /// )?;
+    /// let schema = Schema::new(vec![
+    ///     FieldDef::nullable("FBG", DataType::Float),
+    ///     FieldDef::nullable("FBG_Band", DataType::Text),
+    /// ])?;
+    /// let rows = vec![Record::new(vec![5.0.into(), "very good".into()])];
+    /// let wh = Warehouse::load(&LoadPlan::from_star(star), &Table::from_rows(schema, rows)?)?;
+    ///
+    /// let service = QueryService::new(wh, ServeConfig::default());
+    /// let request = QueryRequest::Report(ReportSpec::new().on_rows("FBG_Band").count());
+    /// let served = service.execute(&request).unwrap();
+    /// assert_eq!(served.source, ServedSource::Executed);
+    /// // The same request again is a cache hit sharing the allocation.
+    /// assert_eq!(service.execute(&request).unwrap().source, ServedSource::Cache);
+    /// # Ok::<(), clinical_types::Error>(())
+    /// ```
     pub fn execute(&self, request: &QueryRequest) -> ServeResult<Served> {
         self.execute_with_deadline(request, self.default_deadline)
     }
@@ -203,6 +248,7 @@ impl QueryService {
     ) -> ServeResult<Served> {
         let start = Instant::now(); // lint:allow(no-raw-timing) — deadline arithmetic needs a local clock
         let mut span = obs::span("serve.request");
+        let trace = span.context().map(|c| c.trace);
         let mut profile = ProfileBuilder::start();
         if !self.shared.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
@@ -227,24 +273,34 @@ impl QueryService {
             self.shared.metrics.record_rejected_invalid();
             span.record("outcome", "rejected_invalid");
             obs::event("serve.rejected_invalid");
-            return Err(ServeError::Invalid(diags));
+            return Err(ServeError::Invalid {
+                diagnostics: diags,
+                trace,
+            });
         }
 
-        let key: CacheKey = (fingerprint, epoch);
-
-        if let Some(value) = profile.time(Phase::CacheLookup, || self.shared.cache.get(&key)) {
+        if let Some((value, hit, valid_epoch)) = profile.time(Phase::CacheLookup, || {
+            self.lookup_or_revalidate(&fingerprint, request)
+        }) {
             self.shared.metrics.record_hit();
+            match hit {
+                CacheHit::Fresh => {}
+                CacheHit::Reused => self.shared.metrics.record_reused_cross_epoch(),
+                CacheHit::Patched => self.shared.metrics.record_patched_incremental(),
+            }
             let latency = start.elapsed();
             self.shared.metrics.record_latency(latency);
             span.record("source", "cache");
-            obs::event_with("serve.cache_hit", &[("epoch", &epoch)]);
+            obs::event_with("serve.cache_hit", &[("epoch", &valid_epoch)]);
             return Ok(Served {
                 value,
-                epoch,
+                epoch: valid_epoch,
                 source: ServedSource::Cache,
                 latency,
             });
         }
+
+        let key: CacheKey = (fingerprint, epoch);
 
         let (flight, source) = match self.shared.flights.join(&key, span.context()) {
             FlightRole::Follower(flight) => {
@@ -277,6 +333,7 @@ impl QueryService {
                             obs::event("serve.rejected_overload");
                             ServeError::Overloaded {
                                 queue_depth: self.queue_depth,
+                                trace,
                             }
                         }
                         TrySendError::Disconnected(_) => ServeError::ShuttingDown,
@@ -297,7 +354,7 @@ impl QueryService {
                 self.shared.metrics.record_deadline_exceeded();
                 // Report the caller's full deadline, not the residue
                 // the flight waited on.
-                ServeError::DeadlineExceeded { deadline }
+                ServeError::DeadlineExceeded { deadline, trace }
             } else {
                 e
             }
@@ -310,6 +367,83 @@ impl QueryService {
             source,
             latency,
         })
+    }
+
+    /// Look up `fingerprint`, revalidating a stale entry against the
+    /// warehouse delta log. Returns the value, how the hit was
+    /// produced, and the epoch the value is valid at; `None` means the
+    /// caller must execute (any unrecoverable entry has been removed).
+    ///
+    /// Runs under the warehouse read lock so the delta chain and the
+    /// patched rows come from one consistent snapshot. Lock order is
+    /// warehouse → cache shard, the same as every other path.
+    fn lookup_or_revalidate(
+        &self,
+        fingerprint: &str,
+        request: &QueryRequest,
+    ) -> Option<(Arc<QueryOutcome>, CacheHit, u64)> {
+        let entry = self.shared.cache.get(fingerprint)?;
+        let wh = self.shared.warehouse.read();
+        let current = wh.epoch();
+        if entry.epoch >= current {
+            return Some((entry.value, CacheHit::Fresh, current));
+        }
+        let mut span = obs::span("cache.revalidate");
+        span.record("from_epoch", entry.epoch);
+        span.record("to_epoch", current);
+        let deltas = match wh.deltas_since(entry.epoch) {
+            Some(d) => d,
+            None => {
+                // Foreign or aged-out epoch: nothing provable, drop it.
+                span.record("outcome", "unknown_epoch");
+                self.shared.cache.remove(fingerprint);
+                return None;
+            }
+        };
+        let change = ChangeSet::fold(&deltas);
+        if change.rewrote_existing {
+            span.record("outcome", "rewritten");
+            self.shared.cache.remove(fingerprint);
+            return None;
+        }
+        let catalog = self.shared.catalog_for(current, &wh);
+        let footprint = request.footprint(&catalog);
+        if footprint.touches_any(&change.structural_dimensions) {
+            // The stale entry stays: the re-execution below publishes
+            // over it at the current epoch.
+            span.record("outcome", "footprint_touched");
+            return None;
+        }
+        if change.appended.is_empty() {
+            // Every intervening mutation is outside the query's
+            // footprint: the stale bytes are the current answer.
+            self.shared.cache.promote(fingerprint, current);
+            span.record("outcome", "reused");
+            obs::event_with(
+                "serve.cache_reused_cross_epoch",
+                &[("from_epoch", &entry.epoch), ("to_epoch", &current)],
+            );
+            return Some((entry.value, CacheHit::Reused, current));
+        }
+        if let (QueryRequest::Cube(spec), Some(cube)) = (request, entry.cube.as_ref()) {
+            if let Some((outcome, patched)) = patch_cube(&wh, spec, cube, &deltas) {
+                let value = Arc::new(outcome);
+                self.shared.cache.insert(
+                    fingerprint.to_string(),
+                    current,
+                    Arc::clone(&value),
+                    Some(Arc::new(patched)),
+                );
+                span.record("outcome", "patched");
+                obs::event_with(
+                    "serve.cache_patched_incremental",
+                    &[("from_epoch", &entry.epoch), ("to_epoch", &current)],
+                );
+                return Some((value, CacheHit::Patched, current));
+            }
+        }
+        span.record("outcome", "rebuild");
+        None
     }
 
     /// Serve an MDX statement.
@@ -327,19 +461,19 @@ impl QueryService {
         self.execute(&QueryRequest::Report(spec))
     }
 
-    /// Append transformed attendance rows, advancing the data epoch
-    /// and purging cache entries built on older data.
+    /// Append transformed attendance rows, advancing the data epoch.
+    /// Cached results are left in place: the delta log lets later
+    /// lookups patch or reuse them instead of re-executing.
     pub fn append(&self, table: &Table) -> ServeResult<usize> {
         let mut wh = self.shared.warehouse.write();
         let appended = wh.append(table)?;
-        let epoch = wh.epoch();
-        drop(wh);
-        self.shared.cache.purge_older_than(epoch);
         Ok(appended)
     }
 
     /// Add a clinician-feedback dimension (§IV), advancing the data
-    /// epoch and purging stale cache entries.
+    /// epoch. Cached results are left in place: queries that never
+    /// read the new dimension revalidate against the delta log and
+    /// keep hitting.
     pub fn add_feedback_dimension(
         &self,
         dimension: &str,
@@ -348,10 +482,18 @@ impl QueryService {
     ) -> ServeResult<()> {
         let mut wh = self.shared.warehouse.write();
         wh.add_feedback_dimension(dimension, attribute, labels)?;
+        Ok(())
+    }
+
+    /// Conservatively invalidate every cached result and advance the
+    /// epoch — the escape hatch for out-of-band mutations the delta
+    /// log cannot describe more precisely.
+    pub fn invalidate_all(&self) {
+        let mut wh = self.shared.warehouse.write();
+        wh.bump_epoch();
         let epoch = wh.epoch();
         drop(wh);
         self.shared.cache.purge_older_than(epoch);
-        Ok(())
     }
 
     /// Run `f` against the live warehouse under the read lock.
@@ -427,22 +569,27 @@ fn worker_loop(shared: &Shared, receiver: &Receiver<Job>) {
         // (and publish under) the epoch actually visible now.
         let exec_epoch = wh.epoch();
         exec_span.record("epoch", exec_epoch);
-        let outcome = job.request.execute_profiled(&wh, &mut job.profile);
+        let outcome = job
+            .request
+            .execute_profiled_retaining(&wh, &mut job.profile);
         drop(wh);
         // Publish to the cache, then retire the flight, then wake the
         // waiters — in that order. New arrivals after the retire must
         // find the result in the cache (or lead a fresh flight); they
         // must never join a flight that has already completed.
         match outcome {
-            Ok(payload) => {
+            Ok((payload, retained_cube)) => {
                 let profile = job.profile.finish();
                 exec_span.record("rows_scanned", profile.rows_scanned);
                 exec_span.record("cells_emitted", profile.cells_emitted);
                 let value = Arc::new(QueryOutcome { payload, profile });
                 shared.metrics.record_executed();
-                shared
-                    .cache
-                    .insert((job.key.0.clone(), exec_epoch), Arc::clone(&value));
+                shared.cache.insert(
+                    job.key.0.clone(),
+                    exec_epoch,
+                    Arc::clone(&value),
+                    retained_cube.map(Arc::new),
+                );
                 shared.flights.retire(&job.key);
                 job.flight.complete(Ok(value));
             }
@@ -454,6 +601,41 @@ fn worker_loop(shared: &Shared, receiver: &Receiver<Job>) {
             }
         }
     }
+}
+
+/// Clone `cube` and fold the delta chain's appended rows into it,
+/// producing a fresh outcome (with its own patch profile) and the
+/// patched cube to retain. `None` when any delta refuses incremental
+/// application — the caller falls back to a full execution.
+fn patch_cube(
+    wh: &Warehouse,
+    spec: &CubeSpec,
+    cube: &Cube,
+    deltas: &[DeltaSummary],
+) -> Option<(QueryOutcome, Cube)> {
+    let mut patched = cube.clone();
+    let mut profile = ProfileBuilder::start();
+    let applied = profile.time(Phase::Execute, || -> clinical_types::Result<bool> {
+        for delta in deltas {
+            if !patched.apply_delta(wh, spec, delta)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    });
+    if !matches!(applied, Ok(true)) {
+        return None;
+    }
+    profile.rows_scanned(deltas.iter().map(|d| d.appended.len() as u64).sum());
+    let result = profile.time(Phase::Aggregate, || CubeResult::from_cube(&patched));
+    profile.cells_emitted(result.cells.len() as u64);
+    Some((
+        QueryOutcome {
+            payload: OutcomePayload::Cube(result),
+            profile: profile.finish(),
+        },
+        patched,
+    ))
 }
 
 #[cfg(test)]
@@ -504,15 +686,69 @@ mod tests {
     }
 
     #[test]
-    fn mutation_invalidates_via_epoch() {
+    fn out_of_footprint_mutation_reuses_across_epochs() {
         let svc = QueryService::new(small_warehouse(), ServeConfig::default());
         let before = svc.execute(&fbg_by_band()).unwrap();
+        // The feedback dimension is outside the query's footprint:
+        // delta revalidation serves the identical bytes at the new
+        // epoch instead of re-executing.
         svc.add_feedback_dimension("Review", "Flag", vec!["a".into(), "b".into(), "c".into()])
             .unwrap();
+        let after = svc.execute(&fbg_by_band()).unwrap();
+        assert_eq!(after.source, ServedSource::Cache, "delta reuse must apply");
+        assert!(Arc::ptr_eq(&before.value, &after.value));
+        assert!(after.epoch > before.epoch);
+        let m = svc.metrics();
+        assert_eq!((m.misses, m.hits, m.reused_cross_epoch), (1, 1, 1));
+        // A query that *reads* the new dimension executes fresh.
+        let reads_it = QueryRequest::Report(ReportSpec::new().on_rows("Flag").count());
+        assert_eq!(
+            svc.execute(&reads_it).unwrap().source,
+            ServedSource::Executed
+        );
+    }
+
+    #[test]
+    fn conservative_invalidation_forces_re_execution() {
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let before = svc.execute(&fbg_by_band()).unwrap();
+        svc.invalidate_all();
         let after = svc.execute(&fbg_by_band()).unwrap();
         assert_eq!(after.source, ServedSource::Executed, "cache must not apply");
         assert!(after.epoch > before.epoch);
         assert_eq!(svc.metrics().misses, 2);
+        assert_eq!(svc.metrics().reused_cross_epoch, 0);
+    }
+
+    #[test]
+    fn append_patches_retained_cubes_in_place() {
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let spec = CubeSpec::count(vec!["FBG_Band"]);
+        let cold = svc.cube(spec.clone()).unwrap();
+        assert_eq!(cold.source, ServedSource::Executed);
+
+        let schema = Schema::new(vec![
+            FieldDef::nullable("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+            FieldDef::nullable("Gender", DataType::Text),
+        ])
+        .unwrap();
+        let rows = vec![vec![9.0.into(), "Diabetic".into(), "M".into()]];
+        let table = Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap();
+        svc.append(&table).unwrap();
+
+        let warm = svc.cube(spec.clone()).unwrap();
+        assert_eq!(warm.source, ServedSource::Cache, "patched, not rebuilt");
+        assert!(warm.epoch > cold.epoch);
+        assert_eq!(svc.metrics().patched_incremental, 1);
+        // The patched cell list matches a from-scratch execution.
+        svc.clear_cache();
+        let rebuilt = svc.cube(spec).unwrap();
+        assert_eq!(rebuilt.source, ServedSource::Executed);
+        assert_eq!(
+            warm.value.as_cube().unwrap(),
+            rebuilt.value.as_cube().unwrap()
+        );
     }
 
     #[test]
@@ -524,8 +760,8 @@ mod tests {
             ))
             .unwrap_err();
         match err {
-            ServeError::Invalid(diags) => {
-                assert_eq!(diags.codes(), vec!["A002"]);
+            ServeError::Invalid { diagnostics, .. } => {
+                assert_eq!(diagnostics.codes(), vec!["A002"]);
             }
             other => panic!("expected Invalid, got {other:?}"),
         }

@@ -1,0 +1,254 @@
+//! The versioned delta log behind delta-aware epochs.
+//!
+//! The warehouse epoch used to be an opaque `u64`: any mutation bumped
+//! it, and every consumer keyed on it (the serve result cache, the
+//! per-epoch semantic catalog) had to treat a bump as "everything
+//! changed". For an append-mostly clinical store that is far too
+//! pessimistic — a feedback dimension added by one clinician does not
+//! change the answer of a `[Gender]×[Age_SubGroup]` cube at all, and a
+//! batch of appended visits changes additive cubes by exactly the
+//! appended rows.
+//!
+//! Every mutation therefore records a [`DeltaSummary`] describing what
+//! the epoch transition actually did: which dimensions were touched,
+//! which fact-row range was appended, and whether any pre-existing row
+//! was rewritten. [`crate::Warehouse::deltas_since`] returns the chain
+//! of summaries between a historical epoch and the present, letting
+//! consumers *revalidate* stale state instead of discarding it:
+//!
+//! * no appended rows and no touched dimension in the query's
+//!   footprint → the old result is provably still correct;
+//! * appended rows only → additive aggregates can be patched by
+//!   folding just the new rows (`olap::Cube::apply_delta`);
+//! * anything rewritten → rebuild from scratch.
+//!
+//! The log is bounded ([`DELTA_LOG_CAPACITY`] entries); asking about
+//! an epoch that has aged out returns `None`, which consumers must
+//! treat as "assume everything changed".
+
+use std::collections::{BTreeSet, VecDeque};
+use std::ops::Range;
+
+/// Entries retained by the per-warehouse delta log. Old entries fall
+/// off the front; epochs older than the retained window revalidate as
+/// unknown (conservative full invalidation).
+pub const DELTA_LOG_CAPACITY: usize = 128;
+
+/// What kind of mutation produced a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// A batch of fact rows appended (`Warehouse::append`): existing
+    /// rows untouched, dimensions may have gained tuples.
+    Append,
+    /// A feedback dimension added (`Warehouse::add_feedback_dimension`):
+    /// no fact rows appended, one new dimension keyed for every
+    /// existing row.
+    Feedback,
+    /// A conservative epoch bump (`Warehouse::bump_epoch`): assume any
+    /// row or dimension may have been rewritten.
+    Rewrite,
+}
+
+/// One epoch transition: what the mutation from `from_epoch` to
+/// `to_epoch` did to the warehouse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaSummary {
+    /// The epoch the warehouse was at before the mutation.
+    pub from_epoch: u64,
+    /// The epoch the mutation advanced to.
+    pub to_epoch: u64,
+    /// The kind of mutation.
+    pub kind: DeltaKind,
+    /// Dimensions the mutation touched: dimensions that gained tuples
+    /// during an append, the new dimension of a feedback append, or
+    /// every dimension for a conservative rewrite.
+    pub dimensions: BTreeSet<String>,
+    /// The fact-row range appended by the mutation (empty for
+    /// feedback dimensions and rewrites).
+    pub appended: Range<usize>,
+    /// Whether any pre-existing fact row or dimension tuple may have
+    /// been rewritten. When set, no incremental reuse is possible.
+    pub rewrote_existing: bool,
+}
+
+impl DeltaSummary {
+    /// True when the mutation only appended data: nothing that existed
+    /// at `from_epoch` was modified.
+    pub fn is_append_only(&self) -> bool {
+        !self.rewrote_existing
+    }
+}
+
+/// The net effect of a chain of deltas, folded for revalidation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeSet {
+    /// Combined appended fact-row range across the chain (append
+    /// deltas are contiguous by construction). Empty when no rows were
+    /// appended.
+    pub appended: Range<usize>,
+    /// Dimensions touched *structurally* — by feedback or rewrite
+    /// deltas. Dimensions that merely gained tuples from appends are
+    /// excluded: folding the appended rows accounts for those.
+    pub structural_dimensions: BTreeSet<String>,
+    /// Whether any delta in the chain rewrote existing data.
+    pub rewrote_existing: bool,
+}
+
+impl ChangeSet {
+    /// Fold a chain of deltas (as returned by
+    /// [`crate::Warehouse::deltas_since`]) into its net effect.
+    pub fn fold(deltas: &[DeltaSummary]) -> ChangeSet {
+        let mut appended: Option<Range<usize>> = None;
+        let mut structural_dimensions = BTreeSet::new();
+        let mut rewrote_existing = false;
+        for d in deltas {
+            if !d.appended.is_empty() {
+                appended = Some(match appended {
+                    None => d.appended.clone(),
+                    Some(r) => r.start.min(d.appended.start)..r.end.max(d.appended.end),
+                });
+            }
+            if d.kind != DeltaKind::Append {
+                structural_dimensions.extend(d.dimensions.iter().cloned());
+            }
+            rewrote_existing |= d.rewrote_existing;
+        }
+        ChangeSet {
+            appended: appended.unwrap_or(0..0),
+            structural_dimensions,
+            rewrote_existing,
+        }
+    }
+}
+
+/// Bounded per-warehouse log of epoch transitions.
+#[derive(Debug, Clone)]
+pub struct DeltaLog {
+    entries: VecDeque<DeltaSummary>,
+    capacity: usize,
+}
+
+impl DeltaLog {
+    /// An empty log retaining up to `capacity` transitions.
+    pub(crate) fn new(capacity: usize) -> DeltaLog {
+        DeltaLog {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record a transition, dropping the oldest entry when full.
+    pub(crate) fn record(&mut self, delta: DeltaSummary) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(delta);
+    }
+
+    /// The chain of transitions from `epoch` (exclusive) to `current`
+    /// (inclusive), oldest first. `Some(vec![])` when `epoch` *is* the
+    /// current epoch; `None` when `epoch` is unknown — older than the
+    /// retained window, or from another warehouse instance — in which
+    /// case callers must assume everything changed.
+    pub fn since(&self, epoch: u64, current: u64) -> Option<Vec<DeltaSummary>> {
+        if epoch == current {
+            return Some(Vec::new());
+        }
+        let start = self.entries.iter().position(|d| d.from_epoch == epoch)?;
+        Some(self.entries.iter().skip(start).cloned().collect())
+    }
+
+    /// Number of retained transitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether any transition is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn append(from: u64, rows: Range<usize>, dims: &[&str]) -> DeltaSummary {
+        DeltaSummary {
+            from_epoch: from,
+            to_epoch: from + 1,
+            kind: DeltaKind::Append,
+            dimensions: dims.iter().map(|s| s.to_string()).collect(),
+            appended: rows,
+            rewrote_existing: false,
+        }
+    }
+
+    fn feedback(from: u64, dim: &str) -> DeltaSummary {
+        DeltaSummary {
+            from_epoch: from,
+            to_epoch: from + 1,
+            kind: DeltaKind::Feedback,
+            dimensions: [dim.to_string()].into_iter().collect(),
+            appended: 0..0,
+            rewrote_existing: false,
+        }
+    }
+
+    #[test]
+    fn since_walks_the_chain_from_the_right_epoch() {
+        let mut log = DeltaLog::new(8);
+        log.record(append(1, 0..4, &["Bloods"]));
+        log.record(feedback(2, "Review"));
+        log.record(append(3, 4..6, &[]));
+        assert_eq!(log.since(4, 4), Some(vec![]));
+        assert_eq!(log.since(3, 4).map(|v| v.len()), Some(1));
+        let chain = log.since(1, 4).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].appended, 0..4);
+        assert_eq!(log.since(99, 4), None, "unknown epochs are conservative");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_entries() {
+        let mut log = DeltaLog::new(2);
+        log.record(append(1, 0..1, &[]));
+        log.record(append(2, 1..2, &[]));
+        log.record(append(3, 2..3, &[]));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.since(1, 4), None, "aged-out epoch must be unknown");
+        assert!(log.since(2, 4).is_some());
+    }
+
+    #[test]
+    fn fold_combines_appends_and_keeps_structural_dims_separate() {
+        let chain = vec![
+            append(1, 10..14, &["Bloods"]),
+            feedback(2, "Review"),
+            append(3, 14..20, &[]),
+        ];
+        let change = ChangeSet::fold(&chain);
+        assert_eq!(change.appended, 10..20);
+        assert!(change.structural_dimensions.contains("Review"));
+        assert!(
+            !change.structural_dimensions.contains("Bloods"),
+            "append-touched dimensions are covered by row folding"
+        );
+        assert!(!change.rewrote_existing);
+    }
+
+    #[test]
+    fn fold_of_a_rewrite_poisons_the_chain() {
+        let rewrite = DeltaSummary {
+            from_epoch: 1,
+            to_epoch: 2,
+            kind: DeltaKind::Rewrite,
+            dimensions: ["Bloods".to_string()].into_iter().collect(),
+            appended: 0..0,
+            rewrote_existing: true,
+        };
+        let change = ChangeSet::fold(std::slice::from_ref(&rewrite));
+        assert!(change.rewrote_existing);
+        assert!(!rewrite.is_append_only());
+    }
+}

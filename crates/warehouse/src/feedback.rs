@@ -11,10 +11,12 @@
 //! Once added it behaves exactly like a load-time dimension: it can be
 //! grouped, sliced and drilled.
 
+use crate::delta::DeltaKind;
 use crate::loader::Warehouse;
 use crate::model::DimensionDef;
 use crate::storage::DimensionTable;
 use clinical_types::{Error, Result, Value};
+use std::collections::BTreeSet;
 
 impl Warehouse {
     /// Append a feedback dimension named `dimension` with a single
@@ -56,7 +58,11 @@ impl Warehouse {
         fact.dim_names.push(dimension.to_string());
         fact.dim_keys.push(keys);
         fact.validate()?;
-        self.bump_epoch();
+        // The delta touches only the new dimension and appends no fact
+        // rows: queries that never read it can keep their results.
+        let touched: BTreeSet<String> = [dimension.to_string()].into_iter().collect();
+        let n = self.n_facts();
+        self.record_mutation(DeltaKind::Feedback, touched, n..n, false);
         obs::event_with(
             "warehouse.epoch_bump",
             &[

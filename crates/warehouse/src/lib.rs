@@ -17,12 +17,27 @@
 //! * [`feedback`] — user-feedback dimensions: clinician-derived
 //!   labels appended to the warehouse after load, closing the
 //!   knowledge-management loop of Fig. 2.
+//! * [`delta`] — the versioned delta log behind delta-aware epochs:
+//!   every mutation records a [`DeltaSummary`] (dimensions touched,
+//!   fact-row range appended, whether existing rows were rewritten),
+//!   exposed through [`Warehouse::deltas_since`] so downstream caches
+//!   can revalidate stale results instead of discarding them.
+//!
+//! The warehouse is *append-mostly*: screening rounds append fact
+//! rows, clinicians append feedback dimensions, and nothing in the
+//! normal lifecycle rewrites loaded data. The data epoch (a
+//! process-globally monotonic `u64`) still advances on every mutation,
+//! but the delta log makes the transition inspectable — the basis for
+//! cross-epoch result reuse in `serve` and incremental cube
+//! maintenance in `olap`.
 
+pub mod delta;
 pub mod feedback;
 pub mod loader;
 pub mod model;
 pub mod storage;
 
+pub use delta::{ChangeSet, DeltaKind, DeltaLog, DeltaSummary, DELTA_LOG_CAPACITY};
 pub use loader::{LoadPlan, Warehouse};
 pub use model::{discri_model, fig1_model, DimensionDef, FactDef, Hierarchy, StarSchema};
 pub use storage::{DimensionTable, FactTable, MeasureColumn, SurrogateKey};

@@ -1,8 +1,11 @@
 //! Loading the transformed attendance table into the star schema.
 
+use crate::delta::{DeltaKind, DeltaLog, DeltaSummary, DELTA_LOG_CAPACITY};
 use crate::model::{discri_model, StarSchema};
 use crate::storage::{DimensionTable, FactTable, MeasureColumn};
 use clinical_types::{Error, Result, Table, Value};
+use std::collections::BTreeSet;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide data-epoch counter. Epochs are globally monotonic so a
@@ -79,6 +82,9 @@ pub struct Warehouse {
     /// Data epoch: advanced on every mutation (load, append, feedback
     /// dimension). Query results are only comparable within one epoch.
     epoch: u64,
+    /// Bounded log of epoch transitions, one [`DeltaSummary`] per
+    /// mutation, consumed by [`Warehouse::deltas_since`].
+    deltas: DeltaLog,
 }
 
 impl Warehouse {
@@ -148,6 +154,7 @@ impl Warehouse {
             dims,
             fact,
             epoch,
+            deltas: DeltaLog::new(DELTA_LOG_CAPACITY),
         })
     }
 
@@ -160,6 +167,8 @@ impl Warehouse {
     pub fn append(&mut self, table: &Table) -> Result<usize> {
         let schema = table.schema();
         LoadPlan::from_star(self.star.clone()).validate_against(schema)?;
+        let rows_before = self.fact.len();
+        let dim_sizes_before: Vec<usize> = self.dims.iter().map(DimensionTable::len).collect();
 
         let dim_sources: Vec<Vec<usize>> = self
             .star
@@ -202,7 +211,21 @@ impl Warehouse {
             }
         }
         self.fact.validate()?;
-        self.epoch = next_epoch();
+        // Dimensions count as touched only when the batch interned new
+        // tuples into them; folding the appended rows covers the rest.
+        let grown: BTreeSet<String> = self
+            .dims
+            .iter()
+            .zip(&dim_sizes_before)
+            .filter(|(d, &before)| d.len() > before)
+            .map(|(d, _)| d.name.clone())
+            .collect();
+        self.record_mutation(
+            DeltaKind::Append,
+            grown,
+            rows_before..self.fact.len(),
+            false,
+        );
         obs::event_with(
             "warehouse.epoch_bump",
             &[
@@ -219,6 +242,41 @@ impl Warehouse {
     /// so `(query fingerprint, epoch)` identifies a result.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The chain of [`DeltaSummary`]s from `epoch` to the current
+    /// epoch, oldest first. `Some(vec![])` when `epoch` is current;
+    /// `None` when `epoch` is unknown to this instance (another
+    /// warehouse, or aged out of the bounded log) — callers must then
+    /// assume everything changed.
+    ///
+    /// ```
+    /// use warehouse::{LoadPlan, StarSchema, FactDef, DimensionDef, Warehouse};
+    /// use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+    ///
+    /// let star = StarSchema::new(
+    ///     FactDef::new("Facts", vec!["FBG"], vec![]),
+    ///     vec![DimensionDef::new("Bloods", vec!["FBG_Band"])],
+    /// )?;
+    /// let schema = Schema::new(vec![
+    ///     FieldDef::nullable("FBG", DataType::Float),
+    ///     FieldDef::nullable("FBG_Band", DataType::Text),
+    /// ])?;
+    /// let table = Table::from_rows(
+    ///     schema,
+    ///     vec![Record::new(vec![5.0.into(), "very good".into()])],
+    /// )?;
+    /// let mut wh = Warehouse::load(&LoadPlan::from_star(star), &table)?;
+    /// let loaded = wh.epoch();
+    /// wh.append(&table)?;
+    /// let deltas = wh.deltas_since(loaded).expect("epoch is retained");
+    /// assert_eq!(deltas.len(), 1);
+    /// assert_eq!(deltas[0].appended, 1..2);
+    /// assert!(deltas[0].is_append_only());
+    /// # Ok::<(), clinical_types::Error>(())
+    /// ```
+    pub fn deltas_since(&self, epoch: u64) -> Option<Vec<DeltaSummary>> {
+        self.deltas.since(epoch, self.epoch)
     }
 
     /// The star schema.
@@ -265,11 +323,31 @@ impl Warehouse {
     /// resolved (key → tuple) column, length [`Self::n_facts`]. This is
     /// the access path the OLAP engine groups on.
     pub fn attribute_column(&self, attribute: &str) -> Result<Vec<&Value>> {
+        self.attribute_column_range(attribute, 0..self.n_facts())
+    }
+
+    /// [`Self::attribute_column`] restricted to the fact rows in
+    /// `rows` — the access path for incremental cube maintenance,
+    /// where only a delta's appended range needs resolving. Cost is
+    /// O(`rows.len()`), not O(total facts).
+    pub fn attribute_column_range(
+        &self,
+        attribute: &str,
+        rows: Range<usize>,
+    ) -> Result<Vec<&Value>> {
         let (di, ai) = self.find_attribute(attribute)?;
         let dim = &self.dims[di];
         let keys = &self.fact.dim_keys[di];
-        let mut out = Vec::with_capacity(keys.len());
-        for &k in keys {
+        if rows.end > keys.len() {
+            return Err(Error::invalid(format!(
+                "row range {}..{} exceeds {} facts",
+                rows.start,
+                rows.end,
+                keys.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        for &k in &keys[rows] {
             let tuple = dim
                 .tuple(k)
                 .ok_or_else(|| Error::invalid(format!("dangling key {k} in `{}`", dim.name)))?;
@@ -288,9 +366,43 @@ impl Warehouse {
         self.fact.degenerate_column(name)
     }
 
-    /// Advance the data epoch after a mutation (feedback module).
-    pub(crate) fn bump_epoch(&mut self) {
+    /// Conservatively advance the data epoch, recording a
+    /// [`DeltaKind::Rewrite`] delta that touches every dimension: no
+    /// cached result derived from an earlier epoch can be reused or
+    /// patched. Use when data changed through a path the delta log
+    /// cannot describe precisely.
+    pub fn bump_epoch(&mut self) {
+        let all: BTreeSet<String> = self.dims.iter().map(|d| d.name.clone()).collect();
+        self.record_mutation(
+            DeltaKind::Rewrite,
+            all,
+            self.fact.len()..self.fact.len(),
+            true,
+        );
+        obs::event_with(
+            "warehouse.epoch_bump",
+            &[("cause", &"manual"), ("epoch", &self.epoch)],
+        );
+    }
+
+    /// Advance the epoch and log the transition (mutation paths).
+    pub(crate) fn record_mutation(
+        &mut self,
+        kind: DeltaKind,
+        dimensions: BTreeSet<String>,
+        appended: Range<usize>,
+        rewrote_existing: bool,
+    ) {
+        let from_epoch = self.epoch;
         self.epoch = next_epoch();
+        self.deltas.record(DeltaSummary {
+            from_epoch,
+            to_epoch: self.epoch,
+            kind,
+            dimensions,
+            appended,
+            rewrote_existing,
+        });
     }
 
     /// Mutable access for the feedback module.
@@ -461,6 +573,77 @@ mod tests {
         let partial = mini_table().project(&["PatientId", "Gender"]).unwrap();
         assert!(wh.append(&partial).is_err());
         assert_eq!(wh.epoch(), before);
+    }
+
+    #[test]
+    fn append_records_an_append_only_delta() {
+        let plan = LoadPlan::from_star(mini_star());
+        let table = mini_table();
+        let mut wh = Warehouse::load(&plan, &table).unwrap();
+        let loaded = wh.epoch();
+        assert_eq!(wh.deltas_since(loaded), Some(vec![]), "no mutations yet");
+
+        wh.append(&table).unwrap();
+        let deltas = wh.deltas_since(loaded).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].kind, crate::delta::DeltaKind::Append);
+        assert_eq!(deltas[0].appended, 4..8);
+        assert!(deltas[0].is_append_only());
+        // Identical tuples reuse surrogate keys: no dimension grew.
+        assert!(deltas[0].dimensions.is_empty());
+
+        wh.add_feedback_dimension("Review", "Flag", (0..8).map(Value::Int).collect())
+            .unwrap();
+        let chain = wh.deltas_since(loaded).unwrap();
+        assert_eq!(chain.len(), 2);
+        let change = crate::delta::ChangeSet::fold(&chain);
+        assert_eq!(change.appended, 4..8);
+        assert_eq!(
+            change.structural_dimensions.iter().collect::<Vec<_>>(),
+            vec!["Review"]
+        );
+        assert!(!change.rewrote_existing);
+    }
+
+    #[test]
+    fn bump_epoch_records_a_conservative_rewrite() {
+        let mut wh = Warehouse::load(&LoadPlan::from_star(mini_star()), &mini_table()).unwrap();
+        let before = wh.epoch();
+        wh.bump_epoch();
+        let deltas = wh.deltas_since(before).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].rewrote_existing);
+        assert!(deltas[0].dimensions.contains("Personal"));
+        assert!(deltas[0].dimensions.contains("Bloods"));
+    }
+
+    #[test]
+    fn deltas_since_rejects_foreign_epochs() {
+        let plan = LoadPlan::from_star(mini_star());
+        let table = mini_table();
+        let wh = Warehouse::load(&plan, &table).unwrap();
+        let other = Warehouse::load(&plan, &table).unwrap();
+        assert_eq!(wh.deltas_since(other.epoch()), None);
+    }
+
+    #[test]
+    fn attribute_column_range_matches_the_full_column() {
+        let mut wh = Warehouse::load(&LoadPlan::from_star(mini_star()), &mini_table()).unwrap();
+        wh.append(&mini_table()).unwrap();
+        let full: Vec<String> = wh
+            .attribute_column("Gender")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let tail: Vec<String> = wh
+            .attribute_column_range("Gender", 4..8)
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(tail, full[4..]);
+        assert!(wh.attribute_column_range("Gender", 4..9).is_err());
     }
 
     #[test]

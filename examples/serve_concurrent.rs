@@ -102,7 +102,7 @@ fn main() -> clinical_types::Result<()> {
                 .add_feedback_dimension("Clinician Review", "NeedsFollowUp", labels)
                 .expect("feedback dimension");
             println!(
-                "mutation: feedback dimension added, epoch {} → {} (cache purged)",
+                "mutation: feedback dimension added, epoch {} → {} (cache revalidates via delta log)",
                 before,
                 service.epoch()
             );

@@ -19,6 +19,9 @@ cargo build --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test --workspace -q --doc"
+cargo test --workspace -q --doc
+
 echo "==> tracing integration tests (span trees, disabled-path zero events)"
 cargo test -q --test obs_tracing
 

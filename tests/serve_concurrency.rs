@@ -189,7 +189,7 @@ fn full_queue_rejects_with_overloaded_and_never_blocks() {
 
     let rejected = results
         .iter()
-        .filter(|r| matches!(r, Err(ServeError::Overloaded { queue_depth: 1 })))
+        .filter(|r| matches!(r, Err(ServeError::Overloaded { queue_depth: 1, .. })))
         .count();
     let served = results.iter().filter(|r| r.is_ok()).count();
     assert!(rejected > 0, "no caller was rejected: {results:?}");
@@ -286,11 +286,11 @@ fn invalid_queries_are_rejected_before_admission() {
 
     for (request, code) in corpus {
         match svc.execute(&request).unwrap_err() {
-            ServeError::Invalid(diags) => {
+            ServeError::Invalid { diagnostics, .. } => {
                 assert!(
-                    diags.codes().contains(&code),
+                    diagnostics.codes().contains(&code),
                     "expected {code} for {request:?}, got {:?}",
-                    diags.codes()
+                    diagnostics.codes()
                 );
             }
             other => panic!("expected Invalid for {request:?}, got {other:?}"),
