@@ -1,10 +1,11 @@
 //! Source-level lint rules the compiler cannot express.
 //!
-//! Four rules keep the serving hot path honest:
+//! Five rules keep the serving hot path honest:
 //!
 //! * `no-panic` — no `unwrap()` / `expect()` / `panic!` in designated
-//!   hot-path modules (`serve`, `oltp::{wal,txn,store}`,
-//!   `olap::{cube,mdx::exec}`) outside `#[cfg(test)]`;
+//!   hot-path modules (`serve`, `etl`, `warehouse`,
+//!   `oltp::{wal,txn,store}`, `olap::{cube,mdx::exec}`) outside
+//!   `#[cfg(test)]`;
 //! * `no-todo` — no `todo!` / `unimplemented!` / `dbg!` anywhere;
 //! * `no-raw-timing` — no direct `Instant::now()` in the `serve` /
 //!   `olap` hot paths outside `#[cfg(test)]`: timing must flow through
@@ -12,6 +13,13 @@
 //!   `ProfileBuilder` phases) so profiles and traces stay complete.
 //!   Legitimate deadline arithmetic escapes with
 //!   `lint:allow(no-raw-timing)`;
+//! * `no-bare-spawn` — no bare `std::thread::spawn` in the `serve` /
+//!   `olap` crates outside `#[cfg(test)]`: a bare spawn gives the
+//!   thread a panic-swallowing default and no name, so a crashed
+//!   worker vanishes silently. Long-lived threads must go through
+//!   `thread::Builder` with a `catch_unwind` body (serve's
+//!   self-healing pool) or a scoped spawn whose join propagates
+//!   panics (olap's cube builders);
 //! * `display-impl` — every public `…Error` enum must implement
 //!   `Display` somewhere in its crate.
 //!
@@ -36,12 +44,16 @@ pub const RULE_NO_TODO: &str = "no-todo";
 /// See [`RULE_NO_PANIC`].
 pub const RULE_NO_RAW_TIMING: &str = "no-raw-timing";
 /// See [`RULE_NO_PANIC`].
+pub const RULE_NO_BARE_SPAWN: &str = "no-bare-spawn";
+/// See [`RULE_NO_PANIC`].
 pub const RULE_DISPLAY_IMPL: &str = "display-impl";
 
 /// Workspace-relative path fragments whose files count as the serving
 /// hot path for `no-panic`.
-const HOT_PATHS: [&str; 6] = [
+const HOT_PATHS: [&str; 8] = [
     "crates/serve/src/",
+    "crates/etl/src/",
+    "crates/warehouse/src/",
     "crates/oltp/src/wal.rs",
     "crates/oltp/src/txn.rs",
     "crates/oltp/src/store.rs",
@@ -52,6 +64,11 @@ const HOT_PATHS: [&str; 6] = [
 /// Workspace-relative path fragments where `no-raw-timing` applies:
 /// query-serving code whose timings must be observable through `obs`.
 const TIMED_PATHS: [&str; 2] = ["crates/serve/src/", "crates/olap/src/"];
+
+/// Workspace-relative path fragments where `no-bare-spawn` applies:
+/// crates that run long-lived or pooled threads and must contain
+/// worker panics instead of losing the thread silently.
+const SPAWN_PATHS: [&str; 2] = ["crates/serve/src/", "crates/olap/src/"];
 
 /// One rule violation at a source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,6 +147,17 @@ fn timing_needles() -> Vec<(String, &'static str)> {
     )]
 }
 
+/// Matches the free-function form `thread::spawn(`; deliberately does
+/// NOT match `thread::Builder::new()…​.spawn(` (a method call) or
+/// `scope.spawn(` — both of those surface panics at join or spawn
+/// time, which is exactly what the rule wants.
+fn spawn_needles() -> Vec<(String, &'static str)> {
+    vec![(
+        ["thread::", "spawn("].concat(),
+        "use thread::Builder with a catch_unwind body (or a scoped spawn) so panics are contained",
+    )]
+}
+
 fn todo_needles() -> Vec<(String, &'static str)> {
     let mac = |head: &str| [head, "!("].concat();
     vec![
@@ -157,8 +185,10 @@ fn has_escape(line: &str, rule: &str) -> bool {
 pub fn check_source(file: &str, source: &str, report: &mut LintReport) {
     let hot = HOT_PATHS.iter().any(|p| file.starts_with(p));
     let timed = TIMED_PATHS.iter().any(|p| file.starts_with(p));
+    let spawny = SPAWN_PATHS.iter().any(|p| file.starts_with(p));
     let panic_rules = panic_needles();
     let timing_rules = timing_needles();
+    let spawn_rules = spawn_needles();
     let todo_rules = todo_needles();
 
     let mut in_tests = false;
@@ -199,6 +229,9 @@ pub fn check_source(file: &str, source: &str, report: &mut LintReport) {
         }
         if timed && !in_tests {
             check(&timing_rules, RULE_NO_RAW_TIMING);
+        }
+        if spawny && !in_tests {
+            check(&spawn_rules, RULE_NO_BARE_SPAWN);
         }
         check(&todo_rules, RULE_NO_TODO);
     }
@@ -402,6 +435,35 @@ mod tests {
         let mut obs_crate = LintReport::default();
         check_source("crates/obs/src/profile.rs", &src, &mut obs_crate);
         assert!(obs_crate.violations.is_empty());
+    }
+
+    #[test]
+    fn bare_spawn_is_flagged_but_builder_and_scope_are_not() {
+        // Built at runtime so this test file stays clean.
+        let bare = ["let h = std::thread::", "spawn", "(move || work());"].concat();
+        let builder = "let h = thread::Builder::new().name(n).spawn(body);";
+        let scoped = "scope.spawn(|| chunk_cells(rows));";
+        let src = format!("fn f() {{\n{bare}\n{builder}\n{scoped}\n}}\n");
+
+        let mut report = LintReport::default();
+        check_source("crates/serve/src/service.rs", &src, &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(report.violations[0].rule, RULE_NO_BARE_SPAWN);
+        assert_eq!(report.violations[0].line, 2);
+
+        // olap is also covered; everything else is not.
+        let mut olap = LintReport::default();
+        check_source("crates/olap/src/cube.rs", &src, &mut olap);
+        assert_eq!(olap.violations.len(), 1);
+        let mut cold = LintReport::default();
+        check_source("crates/bench/src/lib.rs", &src, &mut cold);
+        assert!(cold.violations.is_empty());
+
+        // `#[cfg(test)]` code may spawn bare threads for drills.
+        let test_src = format!("#[cfg(test)]\nmod t {{\n{bare}\n}}\n");
+        let mut tests_only = LintReport::default();
+        check_source("crates/serve/src/service.rs", &test_src, &mut tests_only);
+        assert!(tests_only.violations.is_empty());
     }
 
     #[test]

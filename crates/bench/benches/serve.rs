@@ -9,12 +9,13 @@
 
 use bench::{warehouse, write_bench_json};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fault::{FaultKind, Trigger};
 use obs::Json;
 use olap::execute_mdx;
-use serve::{QueryRequest, QueryService, ServeConfig, ServedSource};
+use serve::{BreakerState, QueryRequest, QueryService, ServeConfig, ServedSource};
 use std::hint::black_box;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const FIG5: &str = "SELECT [Gender].MEMBERS ON COLUMNS, [Age_SubGroup].MEMBERS ON ROWS \
                     FROM [Medical Measures] WHERE [DiabetesStatus] = 'yes' \
@@ -29,6 +30,7 @@ fn service(workers: usize) -> QueryService {
             ..ServeConfig::default()
         },
     )
+    .expect("workers spawn")
 }
 
 /// Closed-loop throughput at `threads` clients × `rounds` requests
@@ -197,6 +199,13 @@ fn regenerate_summary() {
         .iter()
         .map(|&threads| throughput_record(threads, 32))
         .collect();
+
+    // Degraded mode: trip the circuit breaker with injected faults and
+    // compare stale-cache serving throughput against the healthy warm
+    // path — the price of staying up, measured, not guessed.
+    println!("\n=== SERVE: degraded-mode serving under an open breaker ===");
+    let degraded = measure_degraded_mode();
+
     write_bench_json(
         "BENCH_serve.json",
         &Json::obj([
@@ -211,6 +220,7 @@ fn regenerate_summary() {
             ),
             ("cross_epoch_speedup", Json::Float(reuse_speedup)),
             ("throughput", Json::Arr(sweep)),
+            ("degraded", degraded),
         ]),
     );
 
@@ -253,6 +263,92 @@ fn regenerate_summary() {
         m.executed,
         err.to_string().lines().next().unwrap_or_default()
     );
+}
+
+/// Healthy-warm vs degraded-stale serving rates around a breaker trip,
+/// plus the half-open probe's recovery latency. The cooldown is long
+/// enough that no probe fires mid-measurement.
+fn measure_degraded_mode() -> Json {
+    const ROUNDS: usize = 256;
+    let cooldown = Duration::from_millis(500);
+    // No retry backoff: the drill measures the stale-serve path itself,
+    // and keeps the whole degraded loop well inside the cooldown so no
+    // half-open probe fires mid-measurement.
+    let svc = QueryService::new(
+        warehouse().clone(),
+        ServeConfig {
+            workers: 4,
+            queue_depth: 256,
+            breaker_cooldown: cooldown,
+            retry: serve::RetryPolicy::none(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("workers spawn");
+    let request = QueryRequest::Mdx(FIG5.into());
+
+    let healthy = svc.execute(&request).expect("prime");
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let r = svc.execute(&request).expect("warm serve");
+        assert!(!r.value.degraded);
+    }
+    let healthy_rps = ROUNDS as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    // Stale the cached entry, then break both revalidation and
+    // execution so every request fails internally until the breaker
+    // opens and stale serving takes over.
+    let n = svc.with_warehouse(|wh| wh.n_facts());
+    svc.add_feedback_dimension(
+        "DegradeDrill",
+        "DrillFlag",
+        vec![clinical_types::Value::from("x"); n],
+    )
+    .expect("feedback dimension");
+    let revalidate = fault::arm("serve.revalidate", Trigger::Always, FaultKind::Error);
+    let execute = fault::arm("serve.execute", Trigger::Always, FaultKind::Error);
+    let mut trip_failures = 0u64;
+    while svc.breaker_state() != BreakerState::Open {
+        svc.execute(&request).expect_err("tripping the breaker");
+        trip_failures += 1;
+    }
+    let t = Instant::now();
+    for _ in 0..ROUNDS {
+        let r = svc.execute(&request).expect("degraded serve");
+        assert!(r.value.degraded, "stale serve must be marked");
+        assert_eq!(r.value, healthy.value, "stale serve must match");
+    }
+    let degraded_rps = ROUNDS as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    // Heal, wait out the cooldown, and time the half-open probe that
+    // closes the breaker.
+    drop(revalidate);
+    drop(execute);
+    thread::sleep(cooldown + Duration::from_millis(50));
+    svc.clear_cache();
+    let t = Instant::now();
+    let probe = svc.execute(&request).expect("probe after recovery");
+    let recovery = t.elapsed();
+    assert_eq!(probe.source, ServedSource::Executed);
+    assert_eq!(svc.breaker_state(), BreakerState::Closed);
+    let m = svc.shutdown();
+    println!(
+        "healthy warm {healthy_rps:.0} req/s | degraded stale {degraded_rps:.0} req/s | \
+         breaker tripped after {trip_failures} failures | probe recovery {recovery:?} | \
+         served_stale {} | breaker_open {}",
+        m.served_stale, m.breaker_open
+    );
+    Json::obj([
+        ("healthy_warm_rps", Json::Float(healthy_rps)),
+        ("degraded_stale_rps", Json::Float(degraded_rps)),
+        ("trip_failures", Json::Int(trip_failures as i64)),
+        (
+            "probe_recovery_us",
+            Json::Int(recovery.as_micros().min(i64::MAX as u128) as i64),
+        ),
+        ("served_stale", Json::Int(m.served_stale as i64)),
+        ("breaker_open", Json::Int(m.breaker_open as i64)),
+    ])
 }
 
 fn bench_serve(c: &mut Criterion) {

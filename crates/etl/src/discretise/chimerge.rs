@@ -135,12 +135,14 @@ impl Discretiser for ChiMerge {
                 break;
             }
             // Find the adjacent pair with the lowest chi-squared.
-            let (best_i, best_chi) = intervals
+            let Some((best_i, best_chi)) = intervals
                 .windows(2)
                 .enumerate()
                 .map(|(i, w)| (i, chi2(&w[0], &w[1])))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("chi2 is finite"))
-                .expect("at least two intervals");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                break; // fewer than two intervals: nothing to merge
+            };
             let over_budget = self.max_bins > 0 && intervals.len() > self.max_bins;
             if best_chi >= threshold && !over_budget {
                 break; // every adjacent pair is significantly different

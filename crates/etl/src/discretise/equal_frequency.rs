@@ -35,7 +35,7 @@ impl Discretiser for EqualFrequency {
             return Err(Error::invalid("cannot discretise non-finite values"));
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         let mut edges = Vec::with_capacity(self.k.saturating_sub(1));
         for i in 1..self.k {

@@ -41,7 +41,7 @@ impl Discretiser for Mdlp {
         let n_classes = pairs.iter().map(|p| p.1).max().unwrap_or(0) + 1;
         let mut cuts = Vec::new();
         partition(&pairs, n_classes, &mut cuts);
-        cuts.sort_by(|a, b| a.partial_cmp(b).expect("cuts are finite"));
+        cuts.sort_by(|a, b| a.total_cmp(b));
         cuts.dedup();
         if self.max_cuts > 0 && cuts.len() > self.max_cuts {
             cuts.truncate(self.max_cuts);

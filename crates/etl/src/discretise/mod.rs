@@ -167,7 +167,7 @@ pub(crate) fn sorted_pairs(values: &[f64], classes: &[usize]) -> Result<Vec<(f64
         .copied()
         .zip(classes.iter().copied())
         .collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaNs rejected above"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     Ok(pairs)
 }
 

@@ -141,7 +141,7 @@ fn numeric_stat(rows: &[Record], idx: usize, column: &str, stat: Stat) -> Result
     Ok(match stat {
         Stat::Mean => values.iter().sum::<f64>() / values.len() as f64,
         Stat::Median => {
-            values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            values.sort_by(|a, b| a.total_cmp(b));
             let mid = values.len() / 2;
             if values.len() % 2 == 1 {
                 values[mid]

@@ -633,22 +633,29 @@ impl<'a> CubeInputs<'a> {
             for w in 0..workers {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
-                handles.push(scope.spawn(move |_| {
-                    let mut worker_span = obs::span_child_of("olap.cube_build_worker", ctx);
-                    worker_span.record("worker", w);
-                    worker_span.record("rows", hi - lo);
-                    let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
-                    for row in lo..hi {
-                        if !self.mask[row] {
-                            continue;
+                handles.push(
+                    scope.spawn(move |_| -> Result<HashMap<Vec<Value>, CellStats>> {
+                        let mut worker_span = obs::span_child_of("olap.cube_build_worker", ctx);
+                        worker_span.record("worker", w);
+                        worker_span.record("rows", hi - lo);
+                        // Error-mode faults fail this worker's chunk (and
+                        // so the whole build, cleanly); panic-mode faults
+                        // exercise the scope-join containment below.
+                        fault::point("olap.cube_worker")
+                            .map_err(|e| Error::invalid(e.to_string()))?;
+                        let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::new();
+                        for row in lo..hi {
+                            if !self.mask[row] {
+                                continue;
+                            }
+                            let cell = cells
+                                .entry(self.key_of(row))
+                                .or_insert_with(|| CellStats::new(self.track_distinct()));
+                            self.push_row(cell, row);
                         }
-                        let cell = cells
-                            .entry(self.key_of(row))
-                            .or_insert_with(|| CellStats::new(self.track_distinct()));
-                        self.push_row(cell, row);
-                    }
-                    cells
-                }));
+                        Ok(cells)
+                    }),
+                );
             }
             handles
                 .into_iter()
@@ -658,7 +665,9 @@ impl<'a> CubeInputs<'a> {
         // Both layers fail only when a worker panicked; surface that
         // as a query error instead of propagating the panic.
         .and_then(|inner| inner)
-        .map_err(|_| Error::invalid("cube build worker panicked"))?;
+        .map_err(|_| Error::invalid("cube build worker panicked"))?
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
 
         let mut merged: HashMap<Vec<Value>, CellStats> = HashMap::new();
         for partial in partials {

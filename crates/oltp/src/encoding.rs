@@ -106,10 +106,63 @@ fn ensure(buf: &Bytes, need: usize, value_idx: usize) -> Result<()> {
     }
 }
 
+/// IEEE CRC-32 (polynomial `0xEDB88320`), table-driven and std-only.
+///
+/// The WAL's original checksum was a positional byte sum
+/// (`acc*31 + b`), which a crafted two-byte corruption can defeat:
+/// adding `+1` to one byte and `-31` to the next leaves the sum
+/// unchanged. CRC-32 detects all single-byte errors, all adjacent
+/// two-byte errors and every burst up to 32 bits.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_compensating_byte_pairs() {
+        // The +1/-31 pair that fools the legacy positional sum.
+        let clean = [10u8, 200, 130, 40];
+        let mut tampered = clean;
+        tampered[1] += 1;
+        tampered[2] -= 31;
+        assert_ne!(crc32(&clean), crc32(&tampered));
+    }
 
     fn sample_record() -> Record {
         Record::new(vec![

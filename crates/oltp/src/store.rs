@@ -102,6 +102,27 @@ impl RowStore {
         decode_row(&old)
     }
 
+    /// Remove a freshly inserted row, releasing its id when it is the
+    /// newest slot so the id allocator rewinds too (used by WAL
+    /// rollback when the log append fails — otherwise replay would
+    /// drift past the burned id).
+    pub(crate) fn rollback_insert(&self, id: RowId) -> Result<()> {
+        let mut heap = self.heap.write();
+        let is_last = id as usize + 1 == heap.slots.len();
+        let slot = heap
+            .slots
+            .get_mut(id as usize)
+            .ok_or_else(|| Error::invalid(format!("row {id} does not exist")))?;
+        if slot.payload.take().is_none() {
+            return Err(Error::invalid(format!("row {id} is already deleted")));
+        }
+        heap.live -= 1;
+        if is_last {
+            heap.slots.pop();
+        }
+        Ok(())
+    }
+
     /// Restore a previously deleted row at its original id (used by
     /// transaction rollback).
     pub(crate) fn undelete(&self, id: RowId, record: Record) -> Result<()> {

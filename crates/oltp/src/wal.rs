@@ -9,14 +9,25 @@
 //! Log record layout (little-endian):
 //!
 //! ```text
+//! [magic: 0xD5 'W' 'L'][version: u8]        — v2 file header
 //! [op: u8][row_id: u64][payload_len: u32][payload…][checksum: u32]
 //! ```
 //!
-//! The checksum is a sum-based sanity check over the record body.
+//! Format v2 checksums each record body with IEEE CRC-32
+//! ([`crate::encoding::crc32`]). Format v1 files — no header, records
+//! checksummed with a positional byte sum — are still readable:
+//! [`DurableStore::recover`] detects the missing header (the magic
+//! byte `0xD5` is not a valid v1 op tag), replays the legacy records
+//! and rewrites the log in v2 so subsequent appends are uniform.
 //! Replay stops cleanly at the first truncated or corrupt record
 //! (torn tail after a crash), keeping everything before it.
+//!
+//! Fault injection: the `wal.append`, `wal.flush` and `wal.recover`
+//! failpoints sit exactly where the underlying file I/O can fail, so
+//! chaos tests can exercise the same error paths a full disk or a
+//! crash would.
 
-use crate::encoding::{decode_row, encode_row};
+use crate::encoding::{crc32, decode_row, encode_row};
 use crate::store::{RowId, RowStore};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use clinical_types::{Error, Record, Result, Schema};
@@ -29,6 +40,25 @@ const OP_INSERT: u8 = 1;
 const OP_UPDATE: u8 = 2;
 const OP_DELETE: u8 = 3;
 
+/// v2 file header: three magic bytes (the first of which can never be
+/// a valid v1 op tag) followed by the format version byte.
+const WAL_MAGIC: [u8; 3] = [0xD5, b'W', b'L'];
+/// Current log-format version.
+const WAL_VERSION: u8 = 2;
+
+/// The checksum algorithm a log (or record) was written with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalFormat {
+    /// Headerless legacy format, positional-sum checksum.
+    V1,
+    /// Headered format, CRC-32 checksum.
+    V2,
+}
+
+fn map_fault(e: fault::FaultError) -> Error {
+    Error::invalid(e.to_string())
+}
+
 /// One logged operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalOp {
@@ -40,13 +70,23 @@ pub enum WalOp {
     Delete(RowId),
 }
 
-fn checksum(bytes: &[u8]) -> u32 {
+/// The legacy v1 record checksum: a positional byte sum. Weak — a
+/// two-byte corruption of `+1` at position `i` and `-31` at `i+1`
+/// cancels out — which is why v2 moved to CRC-32.
+fn legacy_checksum(bytes: &[u8]) -> u32 {
     bytes.iter().fold(0u32, |acc, &b| {
         acc.wrapping_mul(31).wrapping_add(u32::from(b))
     })
 }
 
-fn encode_op(op: &WalOp) -> Bytes {
+fn record_checksum(format: WalFormat, bytes: &[u8]) -> u32 {
+    match format {
+        WalFormat::V1 => legacy_checksum(bytes),
+        WalFormat::V2 => crc32(bytes),
+    }
+}
+
+fn encode_op_with(op: &WalOp, format: WalFormat) -> Bytes {
     let (tag, id, payload) = match op {
         WalOp::Insert(id, rec) => (OP_INSERT, *id, encode_row(rec)),
         WalOp::Update(id, rec) => (OP_UPDATE, *id, encode_row(rec)),
@@ -57,14 +97,36 @@ fn encode_op(op: &WalOp) -> Bytes {
     buf.put_u64_le(id);
     buf.put_u32_le(payload.len() as u32);
     buf.put_slice(&payload);
-    let crc = checksum(&buf);
+    let crc = record_checksum(format, &buf);
     buf.put_u32_le(crc);
     buf.freeze()
 }
 
-/// Parse the ops in a log buffer, stopping at the first torn or
-/// corrupt record. Returns the ops plus whether a tail was dropped.
-pub fn parse_log(mut buf: Bytes) -> (Vec<WalOp>, bool) {
+fn encode_op(op: &WalOp) -> Bytes {
+    encode_op_with(op, WalFormat::V2)
+}
+
+/// Split the optional v2 header off `buf`, identifying the format.
+/// A leading `0xD5` that is not a complete, well-formed header is a
+/// torn/corrupt header: no v1 record can start with it either.
+fn split_header(buf: &mut Bytes) -> (WalFormat, bool) {
+    if buf.remaining() == 0 || buf[0] != WAL_MAGIC[0] {
+        return (WalFormat::V1, false);
+    }
+    if buf.remaining() >= 4 && buf[1] == WAL_MAGIC[1] && buf[2] == WAL_MAGIC[2] {
+        let version = buf[3];
+        buf.advance(4);
+        if version == WAL_VERSION {
+            return (WalFormat::V2, false);
+        }
+        // A future (or mangled) version: replay nothing, flag a tear
+        // so recovery rewrites the file in the current format.
+        return (WalFormat::V2, true);
+    }
+    (WalFormat::V2, true)
+}
+
+fn parse_records(mut buf: Bytes, format: WalFormat) -> (Vec<WalOp>, bool) {
     let mut ops = Vec::new();
     loop {
         if buf.remaining() == 0 {
@@ -83,7 +145,7 @@ pub fn parse_log(mut buf: Bytes) -> (Vec<WalOp>, bool) {
         let payload = buf.copy_to_bytes(len);
         let stored_crc = buf.get_u32_le();
         let body = record_view.slice(0..13 + len);
-        if checksum(&body) != stored_crc {
+        if record_checksum(format, &body) != stored_crc {
             return (ops, true);
         }
         let op = match tag {
@@ -102,6 +164,23 @@ pub fn parse_log(mut buf: Bytes) -> (Vec<WalOp>, bool) {
     }
 }
 
+/// Parse the ops in a log buffer — either format — stopping at the
+/// first torn or corrupt record. Returns the ops plus whether a tail
+/// (or a mangled header) was dropped.
+pub fn parse_log(buf: Bytes) -> (Vec<WalOp>, bool) {
+    let (ops, torn, _) = parse_log_versioned(buf);
+    (ops, torn)
+}
+
+fn parse_log_versioned(mut buf: Bytes) -> (Vec<WalOp>, bool, WalFormat) {
+    let (format, header_torn) = split_header(&mut buf);
+    if header_torn {
+        return (Vec::new(), true, format);
+    }
+    let (ops, torn) = parse_records(buf, format);
+    (ops, torn, format)
+}
+
 /// A [`RowStore`] whose mutations are logged before they apply.
 pub struct DurableStore {
     store: RowStore,
@@ -110,7 +189,9 @@ pub struct DurableStore {
 }
 
 impl DurableStore {
-    /// Create (or truncate) a store logging to `path`.
+    /// Create (or truncate) a store logging to `path`. The log is
+    /// written in the current (v2) format, starting with the file
+    /// header.
     pub fn create(schema: Schema, path: &Path) -> Result<DurableStore> {
         let file = OpenOptions::new()
             .create(true)
@@ -118,23 +199,29 @@ impl DurableStore {
             .truncate(true)
             .open(path)
             .map_err(|e| Error::invalid(format!("cannot create WAL {path:?}: {e}")))?;
+        let mut log = BufWriter::new(file);
+        log.write_all(&[WAL_MAGIC[0], WAL_MAGIC[1], WAL_MAGIC[2], WAL_VERSION])
+            .map_err(|e| Error::invalid(format!("cannot write WAL header {path:?}: {e}")))?;
         Ok(DurableStore {
             store: RowStore::new(schema),
-            log: Mutex::new(BufWriter::new(file)),
+            log: Mutex::new(log),
             path: path.to_path_buf(),
         })
     }
 
-    /// Recover a store from an existing log, replaying every intact
-    /// record and reopening the log for appending. Returns the store
-    /// and whether a torn tail was discarded.
+    /// Recover a store from an existing log — either format —
+    /// replaying every intact record and reopening the log for
+    /// appending. Legacy (v1) and torn logs are rewritten in the
+    /// current format, so appends are uniformly v2 afterwards.
+    /// Returns the store and whether a torn tail was discarded.
     pub fn recover(schema: Schema, path: &Path) -> Result<(DurableStore, bool)> {
+        fault::point("wal.recover").map_err(map_fault)?;
         let mut raw = Vec::new();
         File::open(path)
             .map_err(|e| Error::invalid(format!("cannot open WAL {path:?}: {e}")))?
             .read_to_end(&mut raw)
             .map_err(|e| Error::invalid(format!("cannot read WAL {path:?}: {e}")))?;
-        let (ops, torn) = parse_log(Bytes::from(raw));
+        let (ops, torn, format) = parse_log_versioned(Bytes::from(raw));
 
         let store = RowStore::new(schema);
         for op in &ops {
@@ -157,13 +244,17 @@ impl DurableStore {
         }
 
         // Rewrite the log to just the intact prefix (drops the torn
-        // tail), then reopen for append.
-        if torn {
+        // tail) in the current format, then reopen for append. Legacy
+        // v1 logs are upgraded here even when intact: appending v2
+        // records to a headerless v1 file would corrupt it.
+        if torn || format == WalFormat::V1 {
             let mut file = OpenOptions::new()
                 .write(true)
                 .truncate(true)
                 .open(path)
                 .map_err(|e| Error::invalid(format!("cannot truncate WAL {path:?}: {e}")))?;
+            file.write_all(&[WAL_MAGIC[0], WAL_MAGIC[1], WAL_MAGIC[2], WAL_VERSION])
+                .map_err(|e| Error::invalid(format!("cannot rewrite WAL header: {e}")))?;
             for op in &ops {
                 file.write_all(&encode_op(op))
                     .map_err(|e| Error::invalid(format!("cannot rewrite WAL: {e}")))?;
@@ -194,6 +285,7 @@ impl DurableStore {
     }
 
     fn append(&self, op: &WalOp) -> Result<()> {
+        fault::point("wal.append").map_err(map_fault)?;
         let mut log = self.log.lock();
         log.write_all(&encode_op(op))
             .map_err(|e| Error::invalid(format!("WAL append failed: {e}")))?;
@@ -202,32 +294,46 @@ impl DurableStore {
 
     /// Flush buffered log records to the OS.
     pub fn sync(&self) -> Result<()> {
+        fault::point("wal.flush").map_err(map_fault)?;
         self.log
             .lock()
             .flush()
             .map_err(|e| Error::invalid(format!("WAL flush failed: {e}")))
     }
 
-    /// Logged insert.
+    /// Logged insert. When the log append fails the allocated row is
+    /// rolled back, so an I/O fault never leaves the in-memory store
+    /// ahead of what recovery can replay.
     pub fn insert(&self, record: Record) -> Result<RowId> {
         // Validate (and allocate) first so the log never records a
         // mutation the store rejected.
         let id = self.store.insert(record.clone())?;
-        self.append(&WalOp::Insert(id, record))?;
+        if let Err(e) = self.append(&WalOp::Insert(id, record)) {
+            let _ = self.store.rollback_insert(id);
+            return Err(e);
+        }
         Ok(id)
     }
 
-    /// Logged update.
+    /// Logged update. A failed log append restores the previous
+    /// record (see [`DurableStore::insert`]).
     pub fn update(&self, id: RowId, record: Record) -> Result<Record> {
         let old = self.store.update(id, record.clone())?;
-        self.append(&WalOp::Update(id, record))?;
+        if let Err(e) = self.append(&WalOp::Update(id, record)) {
+            let _ = self.store.update(id, old);
+            return Err(e);
+        }
         Ok(old)
     }
 
-    /// Logged delete.
+    /// Logged delete. A failed log append restores the tombstoned row
+    /// (see [`DurableStore::insert`]).
     pub fn delete(&self, id: RowId) -> Result<Record> {
         let old = self.store.delete(id)?;
-        self.append(&WalOp::Delete(id))?;
+        if let Err(e) = self.append(&WalOp::Delete(id)) {
+            let _ = self.store.undelete(id, old);
+            return Err(e);
+        }
         Ok(old)
     }
 }
@@ -345,6 +451,8 @@ mod tests {
             WalOp::Delete(0),
         ];
         let mut buf = BytesMut::new();
+        buf.put_slice(&WAL_MAGIC);
+        buf.put_u8(WAL_VERSION);
         for op in &ops {
             buf.put_slice(&encode_op(op));
         }
@@ -368,5 +476,167 @@ mod tests {
         let path = temp_path("never_created_x");
         std::fs::remove_file(&path).ok();
         assert!(DurableStore::recover(schema(), &path).is_err());
+    }
+
+    /// A v1 log: headerless, records checksummed with the legacy sum.
+    fn v1_log(ops: &[WalOp]) -> Vec<u8> {
+        let mut raw = Vec::new();
+        for op in ops {
+            raw.extend_from_slice(&encode_op_with(op, WalFormat::V1));
+        }
+        raw
+    }
+
+    #[test]
+    fn legacy_v1_logs_recover_and_upgrade_to_v2() {
+        let path = temp_path("v1_compat");
+        let ops = vec![
+            WalOp::Insert(0, rec(1, 1.0)),
+            WalOp::Insert(1, rec(2, 2.0)),
+            WalOp::Update(0, rec(1, 9.0)),
+        ];
+        std::fs::write(&path, v1_log(&ops)).unwrap();
+
+        let (recovered, torn) = DurableStore::recover(schema(), &path).unwrap();
+        assert!(!torn, "an intact v1 log is not a torn log");
+        assert_eq!(recovered.store().len(), 2);
+        assert_eq!(recovered.store().get(0).unwrap().unwrap(), rec(1, 9.0));
+        // The recovery rewrote the file with the v2 header…
+        let raw = std::fs::read(&path).unwrap();
+        assert_eq!(
+            &raw[..4],
+            &[WAL_MAGIC[0], WAL_MAGIC[1], WAL_MAGIC[2], WAL_VERSION]
+        );
+        // …and appends interleave with the upgraded records cleanly.
+        recovered.insert(rec(3, 3.0)).unwrap();
+        recovered.sync().unwrap();
+        drop(recovered);
+        let (again, torn2) = DurableStore::recover(schema(), &path).unwrap();
+        assert!(!torn2);
+        assert_eq!(again.store().len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&encode_op(&WalOp::Insert(0, rec(1, 1.5))));
+        buf.put_slice(&encode_op(&WalOp::Insert(1, rec(2, 2.5))));
+        let clean = buf.freeze().to_vec();
+        let (ops, torn) = parse_records(Bytes::from(clean.clone()), WalFormat::V2);
+        assert!(!torn);
+        assert_eq!(ops.len(), 2);
+
+        for i in 0..clean.len() {
+            let mut tampered = clean.clone();
+            tampered[i] ^= 0x41;
+            let (ops, torn) = parse_records(Bytes::from(tampered), WalFormat::V2);
+            assert!(
+                torn,
+                "flip at byte {i} must mark the log torn (got {} intact ops)",
+                ops.len()
+            );
+        }
+    }
+
+    #[test]
+    fn compensating_byte_pair_fools_v1_but_not_v2() {
+        // The legacy positional sum weights byte i by 31× byte i+1, so
+        // +1 at i and -31 at i+1 cancel. Find such a pair inside a v1
+        // record's payload and show the v1 checksum accepts the
+        // corrupted record while v2's CRC-32 rejects the same edit.
+        let op = WalOp::Insert(7, rec(123, 55.25));
+        let v1 = encode_op_with(&op, WalFormat::V1).to_vec();
+        let body_len = v1.len() - 4;
+        let mut target = None;
+        for i in 0..body_len - 1 {
+            if v1[i] < 0xFF && v1[i + 1] >= 31 {
+                target = Some(i);
+                break;
+            }
+        }
+        let i = target.expect("a corruptible byte pair exists");
+        let mut tampered_v1 = v1.clone();
+        tampered_v1[i] += 1;
+        tampered_v1[i + 1] -= 31;
+        assert_ne!(tampered_v1, v1);
+        assert_eq!(
+            legacy_checksum(&tampered_v1[..body_len]),
+            legacy_checksum(&v1[..body_len]),
+            "the crafted pair must defeat the legacy sum"
+        );
+        // v1 parse replays the corrupted record as if it were intact —
+        // the undetected corruption the upgrade exists to close.
+        let (ops, torn) = parse_records(Bytes::from(tampered_v1), WalFormat::V1);
+        assert!(!torn);
+        assert_eq!(ops.len(), 1);
+        assert_ne!(ops[0], op, "v1 accepted silently corrupted data");
+
+        // The identical edit on the v2 encoding is caught by CRC-32.
+        let v2 = encode_op(&op).to_vec();
+        let mut tampered_v2 = v2.clone();
+        tampered_v2[i] += 1;
+        tampered_v2[i + 1] -= 31;
+        let (ops, torn) = parse_records(Bytes::from(tampered_v2), WalFormat::V2);
+        assert!(torn, "CRC-32 must reject the compensating pair");
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn torn_header_is_survivable() {
+        let path = temp_path("torn_header");
+        // Two magic bytes then EOF: a crash during header write.
+        std::fs::write(&path, [WAL_MAGIC[0], WAL_MAGIC[1]]).unwrap();
+        let (recovered, torn) = DurableStore::recover(schema(), &path).unwrap();
+        assert!(torn);
+        assert!(recovered.store().is_empty());
+        recovered.insert(rec(1, 1.0)).unwrap();
+        recovered.sync().unwrap();
+        drop(recovered);
+        let (again, torn2) = DurableStore::recover(schema(), &path).unwrap();
+        assert!(!torn2);
+        assert_eq!(again.store().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_append_fault_rolls_back_the_insert() {
+        let _lock = fault::test_support::fault_lock();
+        let path = temp_path("fault_append");
+        let store = DurableStore::create(schema(), &path).unwrap();
+        store.insert(rec(1, 1.0)).unwrap();
+        {
+            let _guard = fault::arm("wal.append", fault::Trigger::Once, fault::FaultKind::Error);
+            let err = store.insert(rec(2, 2.0)).unwrap_err();
+            assert!(err.to_string().contains("injected fault at wal.append"));
+        }
+        // The failed insert left no trace in memory…
+        assert_eq!(store.store().len(), 1);
+        // …and the store keeps accepting writes once the fault clears.
+        store.insert(rec(3, 3.0)).unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let (recovered, torn) = DurableStore::recover(schema(), &path).unwrap();
+        assert!(!torn);
+        assert_eq!(recovered.store().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_flush_and_recover_faults_surface_as_errors() {
+        let _lock = fault::test_support::fault_lock();
+        let path = temp_path("fault_flush");
+        {
+            let store = DurableStore::create(schema(), &path).unwrap();
+            store.insert(rec(1, 1.0)).unwrap();
+            let _guard = fault::arm("wal.flush", fault::Trigger::Once, fault::FaultKind::Error);
+            assert!(store.sync().is_err());
+            assert!(store.sync().is_ok(), "transient fault: retry succeeds");
+        }
+        let _guard = fault::arm("wal.recover", fault::Trigger::Once, fault::FaultKind::Error);
+        assert!(DurableStore::recover(schema(), &path).is_err());
+        let (recovered, _) = DurableStore::recover(schema(), &path).unwrap();
+        assert_eq!(recovered.store().len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,194 @@
+//! Circuit breaker: explicit degraded mode for a failing backend.
+//!
+//! When query execution fails repeatedly the service stops hammering
+//! the failure domain and flips the breaker **open**: requests are
+//! deflected and — when a stale cache entry exists — served from it,
+//! marked degraded. After a cooldown the breaker lets a single
+//! **half-open probe** through; the probe's outcome decides whether
+//! the breaker closes (recovered) or re-opens (still down).
+//!
+//! Time comes from [`obs::monotonic_us`] so the state machine is
+//! steady-clock driven and plays by the repo's no-raw-timing rule.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Breaker states, exposed for metrics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all requests pass, consecutive failures are counted.
+    Closed,
+    /// Tripped: requests are deflected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe is in flight, the rest deflect.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_us: u64,
+    probing: bool,
+}
+
+/// What the breaker decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: execute normally.
+    Allow,
+    /// Breaker half-open and this request won the probe slot: execute,
+    /// and the outcome decides the breaker's next state.
+    Probe,
+    /// Breaker open (or half-open with a probe already out): do not
+    /// execute; serve stale or fail fast.
+    Deflect,
+}
+
+/// A consecutive-failure circuit breaker with half-open recovery.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    inner: Mutex<Inner>,
+    /// Consecutive failures that trip the breaker.
+    threshold: u32,
+    /// How long the breaker stays open before probing.
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// Breaker tripping after `threshold` consecutive failures and
+    /// probing again `cooldown` after opening.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at_us: 0,
+                probing: false,
+            }),
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// Decide whether a request may execute right now.
+    pub fn admit(&self) -> Admission {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                let elapsed_us = obs::monotonic_us().saturating_sub(inner.opened_at_us);
+                if Duration::from_micros(elapsed_us) >= self.cooldown {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probing = true;
+                    Admission::Probe
+                } else {
+                    Admission::Deflect
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probing {
+                    Admission::Deflect
+                } else {
+                    inner.probing = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Record a successful execution (closes a half-open breaker).
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.probing = false;
+    }
+
+    /// Record a failed execution. A half-open breaker re-opens
+    /// immediately; a closed one opens after `threshold` consecutive
+    /// failures.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at_us = obs::monotonic_us();
+                inner.probing = false;
+            }
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at_us = obs::monotonic_us();
+                }
+            }
+        }
+    }
+
+    /// Current state (for metrics and tests).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tripped(cooldown: Duration) -> CircuitBreaker {
+        let breaker = CircuitBreaker::new(3, cooldown);
+        for _ in 0..3 {
+            breaker.record_failure();
+        }
+        breaker
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let breaker = CircuitBreaker::new(3, Duration::from_millis(10));
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.admit(), Admission::Allow);
+        // A success resets the consecutive count.
+        breaker.record_success();
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_open_at_threshold_and_deflects() {
+        let breaker = tripped(Duration::from_secs(60));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert_eq!(breaker.admit(), Admission::Deflect);
+        assert_eq!(breaker.admit(), Admission::Deflect);
+    }
+
+    #[test]
+    fn cooldown_grants_a_single_probe() {
+        let breaker = tripped(Duration::from_micros(1));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(breaker.admit(), Admission::Probe);
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // Only one probe until its outcome lands.
+        assert_eq!(breaker.admit(), Admission::Deflect);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let breaker = tripped(Duration::from_micros(1));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(breaker.admit(), Admission::Probe);
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(breaker.admit(), Admission::Probe);
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.admit(), Admission::Allow);
+    }
+}

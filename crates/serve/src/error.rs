@@ -48,6 +48,17 @@ pub enum ServeError {
     },
     /// The query itself failed (parse error, unknown attribute, …).
     Query(clinical_types::Error),
+    /// The serving layer itself failed: a worker panicked while
+    /// executing the request, an injected fault exhausted its retries,
+    /// or the circuit breaker deflected the request with no cached
+    /// result to degrade to. The request may be retried; the service
+    /// survives (workers are respawned, breakers recover via probes).
+    Internal {
+        /// Human-readable cause (panic payload, fault point, …).
+        detail: String,
+        /// Trace of the failed request, when one was recorded.
+        trace: Option<TraceId>,
+    },
 }
 
 impl ServeError {
@@ -59,7 +70,8 @@ impl ServeError {
         match self {
             ServeError::Overloaded { trace, .. }
             | ServeError::DeadlineExceeded { trace, .. }
-            | ServeError::Invalid { trace, .. } => *trace,
+            | ServeError::Invalid { trace, .. }
+            | ServeError::Internal { trace, .. } => *trace,
             ServeError::ShuttingDown | ServeError::Query(_) => None,
         }
     }
@@ -95,6 +107,13 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::Internal { detail, trace } => {
+                write!(
+                    f,
+                    "internal serving failure: {detail}{}",
+                    trace_suffix(trace)
+                )
+            }
         }
     }
 }

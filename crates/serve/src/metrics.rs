@@ -8,7 +8,7 @@
 //! diffing for free, while [`MetricsSnapshot`] keeps its original
 //! field-for-field shape for existing consumers.
 
-use obs::{percentile_from_buckets, Counter, Histogram, MetricsRegistry};
+use obs::{percentile_from_buckets, Counter, Gauge, Histogram, MetricsRegistry};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,6 +30,13 @@ pub struct ServeMetrics {
     executed: Counter,
     deadline_exceeded: Counter,
     failed: Counter,
+    worker_panics: Counter,
+    worker_respawned: Counter,
+    worker_respawn_failed: Counter,
+    served_stale: Counter,
+    breaker_open: Counter,
+    retries: Counter,
+    workers_alive: Gauge,
     latency: Arc<Histogram>,
 }
 
@@ -54,6 +61,13 @@ impl ServeMetrics {
             executed: registry.counter("serve_executed_total"),
             deadline_exceeded: registry.counter("serve_deadline_exceeded_total"),
             failed: registry.counter("serve_failed_total"),
+            worker_panics: registry.counter("serve_worker_panics_total"),
+            worker_respawned: registry.counter("serve_worker_respawned_total"),
+            worker_respawn_failed: registry.counter("serve_worker_respawn_failed_total"),
+            served_stale: registry.counter("serve_served_stale_total"),
+            breaker_open: registry.counter("serve_breaker_open_total"),
+            retries: registry.counter("serve_retries_total"),
+            workers_alive: registry.gauge("serve_workers_alive"),
             latency: registry.histogram("serve_latency_us", &BUCKET_BOUNDS_US),
             registry,
         }
@@ -114,6 +128,48 @@ impl ServeMetrics {
         self.failed.inc();
     }
 
+    /// Record a worker thread (or a job inside one) panicking.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.inc();
+    }
+
+    /// Record a lost worker successfully respawned.
+    pub fn record_worker_respawned(&self) {
+        self.worker_respawned.inc();
+    }
+
+    /// Record a failed respawn attempt: the pool keeps serving with
+    /// fewer workers (degraded) instead of aborting.
+    pub fn record_worker_respawn_failed(&self) {
+        self.worker_respawn_failed.inc();
+    }
+
+    /// Record a request answered from a stale cache entry while the
+    /// circuit breaker deflected execution. (Also counted as a hit.)
+    pub fn record_served_stale(&self) {
+        self.served_stale.inc();
+    }
+
+    /// Record a request deflected by an open circuit breaker.
+    pub fn record_breaker_open(&self) {
+        self.breaker_open.inc();
+    }
+
+    /// Record `n` transient-fault retries performed on a request path.
+    pub fn record_retries(&self, n: u64) {
+        self.retries.add(n);
+    }
+
+    /// Set the live-worker gauge.
+    pub fn set_workers_alive(&self, n: i64) {
+        self.workers_alive.set(n);
+    }
+
+    /// Adjust the live-worker gauge by `delta`.
+    pub fn add_workers_alive(&self, delta: i64) {
+        self.workers_alive.add(delta);
+    }
+
     /// Record the end-to-end latency of one served request.
     pub fn record_latency(&self, latency: Duration) {
         self.latency
@@ -144,6 +200,13 @@ impl ServeMetrics {
             executed: self.executed.get(),
             deadline_exceeded: self.deadline_exceeded.get(),
             failed: self.failed.get(),
+            worker_panics: self.worker_panics.get(),
+            worker_respawned: self.worker_respawned.get(),
+            worker_respawn_failed: self.worker_respawn_failed.get(),
+            served_stale: self.served_stale.get(),
+            breaker_open: self.breaker_open.get(),
+            retries: self.retries.get(),
+            workers_alive: self.workers_alive.get(),
             latency_us_sum: self.latency.sum(),
             latency_buckets: std::array::from_fn(|i| counts.get(i).copied().unwrap_or(0)),
         }
@@ -175,6 +238,21 @@ pub struct MetricsSnapshot {
     pub deadline_exceeded: u64,
     /// Executions that failed at the query layer.
     pub failed: u64,
+    /// Worker panics contained by the pool (thread- or job-level).
+    pub worker_panics: u64,
+    /// Lost workers successfully respawned.
+    pub worker_respawned: u64,
+    /// Respawn attempts that failed (pool degraded, not aborted).
+    pub worker_respawn_failed: u64,
+    /// Requests served from stale cache while a breaker was open
+    /// (subset of `hits`).
+    pub served_stale: u64,
+    /// Requests deflected by an open circuit breaker.
+    pub breaker_open: u64,
+    /// Transient-fault retries performed across request paths.
+    pub retries: u64,
+    /// Worker threads currently alive.
+    pub workers_alive: i64,
     /// Sum of recorded latencies (µs).
     pub latency_us_sum: u64,
     /// Latency histogram counts, aligned with the bucket bounds.
@@ -248,6 +326,22 @@ impl fmt::Display for MetricsSnapshot {
             self.deadline_exceeded,
             self.failed,
         )?;
+        if self.worker_panics + self.breaker_open + self.served_stale + self.retries > 0
+            || self.worker_respawn_failed > 0
+        {
+            writeln!(
+                f,
+                "robustness: worker-panics {} (respawned {}, respawn-failed {}), \
+                 breaker-open {}, served-stale {}, retries {}, workers-alive {}",
+                self.worker_panics,
+                self.worker_respawned,
+                self.worker_respawn_failed,
+                self.breaker_open,
+                self.served_stale,
+                self.retries,
+                self.workers_alive,
+            )?;
+        }
         if let Some(mean) = self.mean_latency() {
             writeln!(f, "mean latency {mean:?}")?;
         }

@@ -74,6 +74,7 @@ impl QueryRequest {
         Ok(QueryOutcome {
             payload,
             profile: profile.finish(),
+            degraded: false,
         })
     }
 
@@ -164,6 +165,11 @@ pub struct QueryOutcome {
     /// Profile of the execution that produced the payload. Default
     /// (empty) when the outcome was constructed without profiling.
     pub profile: QueryProfile,
+    /// True when the service answered from a stale cache entry while
+    /// its circuit breaker deflected execution: the payload reflects
+    /// an older epoch than the live warehouse. Fresh executions and
+    /// revalidated cache hits are never degraded.
+    pub degraded: bool,
 }
 
 impl PartialEq for QueryOutcome {
@@ -178,6 +184,7 @@ impl QueryOutcome {
         QueryOutcome {
             payload: OutcomePayload::Pivot(pivot),
             profile: QueryProfile::default(),
+            degraded: false,
         }
     }
 
@@ -186,6 +193,7 @@ impl QueryOutcome {
         QueryOutcome {
             payload: OutcomePayload::Cube(result),
             profile: QueryProfile::default(),
+            degraded: false,
         }
     }
 

@@ -27,18 +27,21 @@
 //! a stale entry is provably still valid (`reused_cross_epoch`),
 //! incrementally patchable (`patched_incremental`) or dead.
 
+use crate::breaker::{Admission, BreakerState, CircuitBreaker};
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::{ServeError, ServeResult};
 use crate::flight::{Flight, FlightRole, FlightTable};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::request::{CubeResult, OutcomePayload, QueryOutcome, QueryRequest, ReportSpec};
+use crate::retry::RetryPolicy;
 use analyze::Catalog;
 use clinical_types::{Table, Value};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use obs::{Phase, ProfileBuilder, SpanContext};
 use olap::{Cube, CubeSpec};
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, Ordering};
+use parking_lot::{Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -62,6 +65,15 @@ pub struct ServeConfig {
     /// running the query. A deterministic aid for tests and benches
     /// that need executions to overlap; `None` in production.
     pub execution_delay: Option<Duration>,
+    /// Consecutive execution failures that trip the circuit breaker
+    /// into degraded mode.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before letting a half-open
+    /// probe through.
+    pub breaker_cooldown: Duration,
+    /// Retry schedule for transient faults on the revalidation and
+    /// warehouse-read paths.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +85,9 @@ impl Default for ServeConfig {
             cache_shards: 8,
             default_deadline: Duration::from_secs(5),
             execution_delay: None,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -139,6 +154,21 @@ struct Shared {
     metrics: ServeMetrics,
     accepting: AtomicBool,
     execution_delay: Option<Duration>,
+    /// The job queue's consume side, held here so a dying worker's
+    /// replacement can subscribe to the same queue.
+    receiver: Receiver<Job>,
+    /// Execution-failure breaker; open = degraded mode.
+    breaker: CircuitBreaker,
+    /// Transient-fault retry schedule for request paths.
+    retry: RetryPolicy,
+    /// Join handles of every live worker, including respawns. Workers
+    /// register their replacements here; `drain` joins until empty.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Live worker count (kept alongside the metrics gauge so tests
+    /// can spin-wait on pool recovery without a snapshot).
+    workers_alive: AtomicUsize,
+    /// Monotonic worker-name counter across spawns and respawns.
+    worker_seq: AtomicUsize,
 }
 
 impl Shared {
@@ -166,18 +196,23 @@ impl Shared {
 pub struct QueryService {
     shared: Arc<Shared>,
     sender: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
     queue_depth: usize,
     default_deadline: Duration,
 }
 
 impl QueryService {
     /// Start a service over `warehouse` with `config`.
-    pub fn new(warehouse: Warehouse, config: ServeConfig) -> QueryService {
+    ///
+    /// Fails with [`ServeError::Internal`] when a worker thread cannot
+    /// be spawned (OS resource exhaustion); any workers already started
+    /// are joined before returning, so a failed construction leaks
+    /// nothing.
+    pub fn new(warehouse: Warehouse, config: ServeConfig) -> ServeResult<QueryService> {
         let catalog = (
             warehouse.epoch(),
             Arc::new(Catalog::from_warehouse(&warehouse)),
         );
+        let (sender, receiver) = bounded::<Job>(config.queue_depth.max(1));
         let shared = Arc::new(Shared {
             warehouse: RwLock::new(warehouse),
             catalog: RwLock::new(catalog),
@@ -186,25 +221,35 @@ impl QueryService {
             metrics: ServeMetrics::default(),
             accepting: AtomicBool::new(true),
             execution_delay: config.execution_delay,
+            receiver,
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            retry: config.retry,
+            worker_handles: Mutex::new(Vec::new()),
+            workers_alive: AtomicUsize::new(0),
+            worker_seq: AtomicUsize::new(0),
         });
-        let (sender, receiver) = bounded::<Job>(config.queue_depth.max(1));
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let receiver: Receiver<Job> = receiver.clone();
-                thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &receiver))
-                    .expect("spawn worker thread") // lint:allow(no-panic)
-            })
-            .collect();
-        QueryService {
+        for _ in 0..config.workers.max(1) {
+            match spawn_worker(&shared) {
+                Ok(handle) => shared.worker_handles.lock().push(handle),
+                Err(e) => {
+                    // Unwind cleanly: no accepting flag, no sender, no
+                    // threads left behind.
+                    shared.accepting.store(false, Ordering::Release);
+                    drop(sender);
+                    join_workers(&shared);
+                    return Err(ServeError::Internal {
+                        detail: format!("failed to spawn worker thread: {e}"),
+                        trace: None,
+                    });
+                }
+            }
+        }
+        Ok(QueryService {
             shared,
             sender: Some(sender),
-            workers,
             queue_depth: config.queue_depth.max(1),
             default_deadline: config.default_deadline,
-        }
+        })
     }
 
     /// Serve `request` under the configured default deadline.
@@ -225,7 +270,7 @@ impl QueryService {
     /// let rows = vec![Record::new(vec![5.0.into(), "very good".into()])];
     /// let wh = Warehouse::load(&LoadPlan::from_star(star), &Table::from_rows(schema, rows)?)?;
     ///
-    /// let service = QueryService::new(wh, ServeConfig::default());
+    /// let service = QueryService::new(wh, ServeConfig::default()).expect("workers spawn");
     /// let request = QueryRequest::Report(ReportSpec::new().on_rows("FBG_Band").count());
     /// let served = service.execute(&request).unwrap();
     /// assert_eq!(served.source, ServedSource::Executed);
@@ -300,6 +345,47 @@ impl QueryService {
             });
         }
 
+        // Circuit breaker: an open breaker deflects execution and
+        // serves whatever the cache still holds, explicitly marked
+        // degraded. Fresh cache hits above never reach this point —
+        // degraded mode only gates work that would hit the failing
+        // execution path.
+        match self.shared.breaker.admit() {
+            Admission::Allow => {}
+            Admission::Probe => {
+                span.record("breaker", "probe");
+                obs::event("serve.breaker_probe");
+            }
+            Admission::Deflect => {
+                self.shared.metrics.record_breaker_open();
+                if let Some(entry) = self.shared.cache.get(&fingerprint) {
+                    let mut degrade_span = obs::span("serve.degrade");
+                    degrade_span.record("epoch", entry.epoch);
+                    let mut outcome = (*entry.value).clone();
+                    outcome.degraded = true;
+                    let value = Arc::new(outcome);
+                    self.shared.metrics.record_hit();
+                    self.shared.metrics.record_served_stale();
+                    let latency = start.elapsed();
+                    self.shared.metrics.record_latency(latency);
+                    span.record("source", "degraded");
+                    obs::event_with("serve.served_stale", &[("epoch", &entry.epoch)]);
+                    return Ok(Served {
+                        value,
+                        epoch: entry.epoch,
+                        source: ServedSource::Cache,
+                        latency,
+                    });
+                }
+                span.record("outcome", "breaker_deflected");
+                obs::event("serve.breaker_deflected");
+                return Err(ServeError::Internal {
+                    detail: "circuit breaker open; no cached result to degrade to".into(),
+                    trace,
+                });
+            }
+        }
+
         let key: CacheKey = (fingerprint, epoch);
 
         let (flight, source) = match self.shared.flights.join(&key, span.context()) {
@@ -326,7 +412,13 @@ impl QueryService {
                     queued_us: obs::monotonic_us(),
                 };
                 let sender = self.sender.as_ref().ok_or(ServeError::ShuttingDown)?;
-                if let Err(e) = sender.try_send(job) {
+                // A faulted hand-off behaves exactly like a full
+                // queue: typed rejection, nothing executed.
+                let sent = match fault::point("serve.enqueue") {
+                    Ok(()) => sender.try_send(job),
+                    Err(_) => Err(TrySendError::Full(job)),
+                };
+                if let Err(e) = sent {
                     let error = match e {
                         TrySendError::Full(_) => {
                             self.shared.metrics.record_rejected();
@@ -383,6 +475,17 @@ impl QueryService {
         request: &QueryRequest,
     ) -> Option<(Arc<QueryOutcome>, CacheHit, u64)> {
         let entry = self.shared.cache.get(fingerprint)?;
+        // Transient revalidation faults are retried with backoff;
+        // exhausted retries fall back to execution, leaving the entry
+        // cached so an open breaker can still serve it stale.
+        let (revalidate, retries) = self.shared.retry.run(|| fault::point("serve.revalidate"));
+        if retries > 0 {
+            self.shared.metrics.record_retries(u64::from(retries));
+        }
+        if revalidate.is_err() {
+            obs::event("serve.revalidate_failed");
+            return None;
+        }
         let wh = self.shared.warehouse.read();
         let current = wh.epoch();
         if entry.epoch >= current {
@@ -521,6 +624,17 @@ impl QueryService {
         self.shared.cache.len()
     }
 
+    /// Worker threads currently alive. The pool respawns lost workers,
+    /// so after a contained panic this returns to the configured size.
+    pub fn workers_alive(&self) -> usize {
+        self.shared.workers_alive.load(Ordering::Acquire)
+    }
+
+    /// The circuit breaker's current state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.shared.breaker.state()
+    }
+
     /// Drop every cached result (benchmarking aid — cold-path timing).
     pub fn clear_cache(&self) {
         self.shared.cache.clear();
@@ -538,8 +652,21 @@ impl QueryService {
         // Dropping the sender disconnects the channel; workers finish
         // the queued jobs, then exit on the disconnect.
         self.sender = None;
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        join_workers(&self.shared);
+    }
+}
+
+/// Join every registered worker, including replacements registered
+/// while joining (a dying worker pushes its replacement's handle
+/// before exiting, so the loop always converges).
+fn join_workers(shared: &Arc<Shared>) {
+    loop {
+        let handle = shared.worker_handles.lock().pop();
+        match handle {
+            Some(handle) => {
+                let _ = handle.join();
+            }
+            None => break,
         }
     }
 }
@@ -550,57 +677,178 @@ impl Drop for QueryService {
     }
 }
 
-fn worker_loop(shared: &Shared, receiver: &Receiver<Job>) {
-    while let Ok(mut job) = receiver.recv() {
-        // The execution span is a child of the admitting request's
-        // span: the trace id crosses the worker-thread boundary.
-        let mut exec_span = obs::span_child_of("serve.execute", job.ctx);
-        if let Some(delay) = shared.execution_delay {
-            thread::sleep(delay);
-        }
-        // Queue wait is measured after any artificial delay so that
-        // deliberate stalls are attributed to queueing, not execution.
-        job.profile.record_us(
-            Phase::Queue,
-            obs::monotonic_us().saturating_sub(job.queued_us),
-        );
-        let wh = shared.warehouse.read();
-        // A mutation may have landed since admission: execute against
-        // (and publish under) the epoch actually visible now.
-        let exec_epoch = wh.epoch();
-        exec_span.record("epoch", exec_epoch);
-        let outcome = job
-            .request
-            .execute_profiled_retaining(&wh, &mut job.profile);
-        drop(wh);
-        // Publish to the cache, then retire the flight, then wake the
-        // waiters — in that order. New arrivals after the retire must
-        // find the result in the cache (or lead a fresh flight); they
-        // must never join a flight that has already completed.
-        match outcome {
-            Ok((payload, retained_cube)) => {
-                let profile = job.profile.finish();
-                exec_span.record("rows_scanned", profile.rows_scanned);
-                exec_span.record("cells_emitted", profile.cells_emitted);
-                let value = Arc::new(QueryOutcome { payload, profile });
-                shared.metrics.record_executed();
-                shared.cache.insert(
-                    job.key.0.clone(),
-                    exec_epoch,
-                    Arc::clone(&value),
-                    retained_cube.map(Arc::new),
-                );
-                shared.flights.retire(&job.key);
-                job.flight.complete(Ok(value));
-            }
-            Err(e) => {
-                shared.metrics.record_failed();
-                exec_span.record("outcome", "failed");
-                shared.flights.retire(&job.key);
-                job.flight.complete(Err(ServeError::Query(e)));
+/// Spawn one pool worker (fallibly — the `serve.spawn` failpoint
+/// stands in for OS thread exhaustion in tests).
+fn spawn_worker(shared: &Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
+    fault::point("serve.spawn").map_err(|e| std::io::Error::other(e.to_string()))?;
+    let index = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("serve-worker-{index}"))
+        .spawn(move || run_worker(&shared))
+}
+
+/// Worker thread body: run the job loop, contain any panic that
+/// escapes it, and self-heal by spawning a replacement. The pool
+/// only shrinks when a respawn itself fails — and even then the
+/// service degrades instead of aborting.
+fn run_worker(shared: &Arc<Shared>) {
+    shared.workers_alive.fetch_add(1, Ordering::AcqRel);
+    shared.metrics.add_workers_alive(1);
+    let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(shared)));
+    if outcome.is_err() {
+        shared.metrics.record_worker_panic();
+        obs::event("serve.worker_panicked");
+        if shared.accepting.load(Ordering::Acquire) {
+            match spawn_worker(shared) {
+                Ok(handle) => {
+                    shared.metrics.record_worker_respawned();
+                    obs::event("serve.worker_respawned");
+                    shared.worker_handles.lock().push(handle);
+                }
+                Err(e) => {
+                    shared.metrics.record_worker_respawn_failed();
+                    obs::event_with(
+                        "serve.worker_respawn_failed",
+                        &[("error", &e.to_string().as_str())],
+                    );
+                }
             }
         }
     }
+    shared.workers_alive.fetch_sub(1, Ordering::AcqRel);
+    shared.metrics.add_workers_alive(-1);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Thread-death drill: a panic-mode `serve.worker` fault kills
+        // the thread *between* jobs, so the queued job survives in the
+        // channel and the respawned worker picks it up — the caller is
+        // still served. (Error mode is meaningless here; ignore it.)
+        let _ = fault::point("serve.worker");
+        let Ok(job) = shared.receiver.recv() else {
+            break;
+        };
+        // A panic inside one job is contained to that job: the caller
+        // gets a typed Internal error carrying the trace id, the
+        // worker thread lives on. The flight handle is cloned out
+        // first — the job itself is consumed by the unwound closure.
+        let key = job.key.clone();
+        let flight = Arc::clone(&job.flight);
+        let trace = job.ctx.map(|c| c.trace);
+        let done = catch_unwind(AssertUnwindSafe(move || process_job(shared, job)));
+        if let Err(payload) = done {
+            let detail = panic_detail(payload.as_ref());
+            shared.metrics.record_worker_panic();
+            obs::event_with("serve.job_panicked", &[("detail", &detail.as_str())]);
+            shared.breaker.record_failure();
+            shared.flights.retire(&key);
+            flight.complete(Err(ServeError::Internal { detail, trace }));
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+fn process_job(shared: &Shared, mut job: Job) {
+    // The execution span is a child of the admitting request's
+    // span: the trace id crosses the worker-thread boundary.
+    let mut exec_span = obs::span_child_of("serve.execute", job.ctx);
+    if let Some(delay) = shared.execution_delay {
+        thread::sleep(delay);
+    }
+    // Queue wait is measured after any artificial delay so that
+    // deliberate stalls are attributed to queueing, not execution.
+    job.profile.record_us(
+        Phase::Queue,
+        obs::monotonic_us().saturating_sub(job.queued_us),
+    );
+    // Transient warehouse-read faults retry with backoff before the
+    // request fails (and counts against the breaker).
+    let (read_ok, read_retries) = shared.retry.run(|| fault::point("serve.warehouse_read"));
+    if read_retries > 0 {
+        shared.metrics.record_retries(u64::from(read_retries));
+    }
+    if let Err(e) = read_ok {
+        fail_job_internal(shared, &job, &mut exec_span, e.to_string());
+        return;
+    }
+    // An error-mode execution fault fails this request; panic mode
+    // exercises the per-job containment in `worker_loop`.
+    if let Err(e) = fault::point("serve.execute") {
+        fail_job_internal(shared, &job, &mut exec_span, e.to_string());
+        return;
+    }
+    let wh = shared.warehouse.read();
+    // A mutation may have landed since admission: execute against
+    // (and publish under) the epoch actually visible now.
+    let exec_epoch = wh.epoch();
+    exec_span.record("epoch", exec_epoch);
+    let outcome = job
+        .request
+        .execute_profiled_retaining(&wh, &mut job.profile);
+    drop(wh);
+    // Publish to the cache, then retire the flight, then wake the
+    // waiters — in that order. New arrivals after the retire must
+    // find the result in the cache (or lead a fresh flight); they
+    // must never join a flight that has already completed.
+    match outcome {
+        Ok((payload, retained_cube)) => {
+            let profile = job.profile.finish();
+            exec_span.record("rows_scanned", profile.rows_scanned);
+            exec_span.record("cells_emitted", profile.cells_emitted);
+            let value = Arc::new(QueryOutcome {
+                payload,
+                profile,
+                degraded: false,
+            });
+            shared.metrics.record_executed();
+            shared.cache.insert(
+                job.key.0.clone(),
+                exec_epoch,
+                Arc::clone(&value),
+                retained_cube.map(Arc::new),
+            );
+            shared.breaker.record_success();
+            shared.flights.retire(&job.key);
+            job.flight.complete(Ok(value));
+        }
+        Err(e) => {
+            // A query-level failure is the query's own problem, not a
+            // failure of the serving backend: it does not count
+            // against the breaker.
+            shared.metrics.record_failed();
+            exec_span.record("outcome", "failed");
+            shared.flights.retire(&job.key);
+            job.flight.complete(Err(ServeError::Query(e)));
+        }
+    }
+}
+
+/// Fail `job` with a typed internal error and count the failure
+/// against the circuit breaker.
+fn fail_job_internal(shared: &Shared, job: &Job, exec_span: &mut obs::SpanGuard, detail: String) {
+    shared.metrics.record_failed();
+    exec_span.record("outcome", "internal_failure");
+    obs::event_with("serve.internal_failure", &[("detail", &detail.as_str())]);
+    // Breaker first, completion last: a caller woken by `complete`
+    // must observe the failure it was just handed already counted.
+    shared.breaker.record_failure();
+    shared.flights.retire(&job.key);
+    job.flight.complete(Err(ServeError::Internal {
+        detail,
+        trace: job.ctx.map(|c| c.trace),
+    }));
 }
 
 /// Clone `cube` and fold the delta chain's appended rows into it,
@@ -633,6 +881,7 @@ fn patch_cube(
         QueryOutcome {
             payload: OutcomePayload::Cube(result),
             profile: profile.finish(),
+            degraded: false,
         },
         patched,
     ))
@@ -674,7 +923,7 @@ mod tests {
 
     #[test]
     fn executes_then_serves_from_cache() {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         let first = svc.execute(&fbg_by_band()).unwrap();
         assert_eq!(first.source, ServedSource::Executed);
         let second = svc.execute(&fbg_by_band()).unwrap();
@@ -687,7 +936,7 @@ mod tests {
 
     #[test]
     fn out_of_footprint_mutation_reuses_across_epochs() {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         let before = svc.execute(&fbg_by_band()).unwrap();
         // The feedback dimension is outside the query's footprint:
         // delta revalidation serves the identical bytes at the new
@@ -710,7 +959,7 @@ mod tests {
 
     #[test]
     fn conservative_invalidation_forces_re_execution() {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         let before = svc.execute(&fbg_by_band()).unwrap();
         svc.invalidate_all();
         let after = svc.execute(&fbg_by_band()).unwrap();
@@ -722,7 +971,7 @@ mod tests {
 
     #[test]
     fn append_patches_retained_cubes_in_place() {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         let spec = CubeSpec::count(vec!["FBG_Band"]);
         let cold = svc.cube(spec.clone()).unwrap();
         assert_eq!(cold.source, ServedSource::Executed);
@@ -753,7 +1002,7 @@ mod tests {
 
     #[test]
     fn invalid_queries_are_rejected_at_admission() {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         let err = svc
             .execute(&QueryRequest::Report(
                 ReportSpec::new().on_rows("NoSuchAttr").count(),
@@ -776,7 +1025,7 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_work() {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         svc.execute(&fbg_by_band()).unwrap();
         let m = svc.shutdown();
         assert_eq!(m.executed, 1);
@@ -784,7 +1033,7 @@ mod tests {
 
     #[test]
     fn all_request_kinds_serve() {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         let mdx = svc
             .mdx(
                 "SELECT [Gender].MEMBERS ON COLUMNS, [FBG_Band].MEMBERS ON ROWS \

@@ -18,6 +18,12 @@ fn next_epoch() -> u64 {
     NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Injected faults surface as ordinary invalid-input errors so every
+/// caller's existing error path exercises the failure.
+fn map_fault(e: fault::FaultError) -> Error {
+    Error::invalid(e.to_string())
+}
+
 /// A load plan: the star schema to populate, with every referenced
 /// column resolved against the source table at load time.
 #[derive(Debug, Clone)]
@@ -93,6 +99,7 @@ impl Warehouse {
     pub fn load(plan: &LoadPlan, table: &Table) -> Result<Warehouse> {
         let mut span = obs::span("warehouse.load");
         span.record("rows", table.len());
+        fault::point("warehouse.load").map_err(map_fault)?;
         let schema = table.schema();
         plan.validate_against(schema)?;
         let star = plan.star.clone();
@@ -165,6 +172,9 @@ impl Warehouse {
     /// the append is rejected); new dimension tuples are interned,
     /// existing ones reuse their surrogate keys.
     pub fn append(&mut self, table: &Table) -> Result<usize> {
+        // The failpoint sits before the first mutation, so an injected
+        // append failure leaves the previous epoch fully queryable.
+        fault::point("warehouse.append").map_err(map_fault)?;
         let schema = table.schema();
         LoadPlan::from_star(self.star.clone()).validate_against(schema)?;
         let rows_before = self.fact.len();
@@ -395,14 +405,35 @@ impl Warehouse {
     ) {
         let from_epoch = self.epoch;
         self.epoch = next_epoch();
-        self.deltas.record(DeltaSummary {
-            from_epoch,
-            to_epoch: self.epoch,
-            kind,
-            dimensions,
-            appended,
-            rewrote_existing,
-        });
+        // Graceful degradation: when recording the precise delta is
+        // made to fail, fall back to a conservative full-rewrite
+        // summary. Caches then invalidate instead of patching —
+        // slower, never wrong.
+        let summary = match fault::point("warehouse.delta_append") {
+            Ok(()) => DeltaSummary {
+                from_epoch,
+                to_epoch: self.epoch,
+                kind,
+                dimensions,
+                appended,
+                rewrote_existing,
+            },
+            Err(e) => {
+                obs::event_with(
+                    "warehouse.delta_degraded",
+                    &[("fault", &e.to_string()), ("epoch", &self.epoch)],
+                );
+                DeltaSummary {
+                    from_epoch,
+                    to_epoch: self.epoch,
+                    kind: DeltaKind::Rewrite,
+                    dimensions: self.dims.iter().map(|d| d.name.clone()).collect(),
+                    appended: 0..self.fact.len(),
+                    rewrote_existing: true,
+                }
+            }
+        };
+        self.deltas.record(summary);
     }
 
     /// Mutable access for the feedback module.

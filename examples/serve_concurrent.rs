@@ -19,11 +19,13 @@ use std::thread;
 fn main() -> clinical_types::Result<()> {
     let cohort = generate(&CohortConfig::small(7));
     let system = DdDgms::from_raw_attendances(&cohort.attendances)?;
-    let service = system.serve(ServeConfig {
-        workers: 4,
-        queue_depth: 64,
-        ..ServeConfig::default()
-    });
+    let service = system
+        .serve(ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        })
+        .expect("workers spawn");
 
     // The query mix: Fig. 5's distribution (MDX), a Fig. 4-style
     // report, and a cube materialisation.

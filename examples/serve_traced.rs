@@ -38,13 +38,15 @@ fn main() -> clinical_types::Result<()> {
 
     let cohort = generate(&CohortConfig::small(7));
     let system = DdDgms::from_raw_attendances(&cohort.attendances)?;
-    let service = system.serve(ServeConfig {
-        workers: 1,
-        // Slow executions down so concurrent identical queries
-        // visibly coalesce onto one leader.
-        execution_delay: Some(Duration::from_millis(25)),
-        ..ServeConfig::default()
-    });
+    let service = system
+        .serve(ServeConfig {
+            workers: 1,
+            // Slow executions down so concurrent identical queries
+            // visibly coalesce onto one leader.
+            execution_delay: Some(Duration::from_millis(25)),
+            ..ServeConfig::default()
+        })
+        .expect("workers spawn");
 
     // 2. Four clients fire the same query at once: one leads, the
     // rest coalesce onto its in-flight execution.

@@ -25,4 +25,7 @@ cargo test --workspace -q --doc
 echo "==> tracing integration tests (span trees, disabled-path zero events)"
 cargo test -q --test obs_tracing
 
+echo "==> fault matrix (torn WAL, worker panics, breaker degradation)"
+cargo test -q --test fault_injection
+
 echo "All checks passed."

@@ -58,7 +58,7 @@ fn out_of_footprint_mutation_serves_identical_bytes_at_the_new_epoch() {
     let collector = Arc::new(RingCollector::new(1024));
     obs::install(collector.clone());
 
-    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
     let request = QueryRequest::Report(ReportSpec::new().on_rows("FBG_Band").count());
     let before = svc.execute(&request).unwrap();
     assert_eq!(before.source, ServedSource::Executed);
@@ -103,7 +103,7 @@ fn appended_rows_patch_retained_cubes_identically_to_a_rebuild() {
         CubeSpec::measure(vec!["Gender"], Aggregate::Avg, "FBG"),
     ];
     for spec in specs {
-        let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+        let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
         let cold = svc.cube(spec.clone()).unwrap();
         assert_eq!(cold.source, ServedSource::Executed);
 
@@ -154,7 +154,7 @@ fn distinct_aggregates_rebuild_instead_of_patching() {
         ]),
     )
     .unwrap();
-    let svc = QueryService::new(wh, ServeConfig::default());
+    let svc = QueryService::new(wh, ServeConfig::default()).unwrap();
 
     let spec = CubeSpec::distinct(vec!["FBG_Band"], "PatientId");
     assert_eq!(

@@ -48,6 +48,7 @@ fn slow_service(workers: usize, delay_ms: u64) -> QueryService {
             ..ServeConfig::default()
         },
     )
+    .unwrap()
 }
 
 fn request_spans(spans: &[SpanRecord]) -> Vec<&SpanRecord> {

@@ -53,7 +53,8 @@ fn identical_concurrent_queries_coalesce_into_one_execution() {
             execution_delay: Some(Duration::from_millis(80)),
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     let barrier = Arc::new(Barrier::new(CALLERS));
     let sources = thread::scope(|s| {
@@ -95,7 +96,7 @@ fn identical_concurrent_queries_coalesce_into_one_execution() {
 
 #[test]
 fn warm_hit_is_identical_to_fresh_execution() {
-    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
     let cold = svc.execute(&count_by_band()).unwrap();
     let warm = svc.execute(&count_by_band()).unwrap();
     assert_eq!(cold.source, ServedSource::Executed);
@@ -114,7 +115,7 @@ fn warm_hit_is_identical_to_fresh_execution() {
 
 #[test]
 fn append_bumps_epoch_and_invalidates_cached_results() {
-    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
     let before = svc.execute(&count_by_band()).unwrap();
     let diabetic_before = before
         .value
@@ -160,7 +161,8 @@ fn full_queue_rejects_with_overloaded_and_never_blocks() {
             execution_delay: Some(Duration::from_millis(200)),
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     let barrier = Arc::new(Barrier::new(CALLERS));
     let started = Instant::now();
@@ -217,7 +219,8 @@ fn deadline_expires_but_execution_still_warms_the_cache() {
             execution_delay: Some(Duration::from_millis(150)),
             ..ServeConfig::default()
         },
-    );
+    )
+    .unwrap();
     let err = svc
         .execute_with_deadline(&count_by_band(), Duration::from_millis(20))
         .unwrap_err();
@@ -234,7 +237,7 @@ fn deadline_expires_but_execution_still_warms_the_cache() {
 
 #[test]
 fn invalid_queries_are_rejected_before_admission() {
-    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
 
     // One invalid request of every kind, with the code the analyzer
     // must assign. None of them may reach the queue, the cache or a
@@ -319,7 +322,7 @@ fn invalid_queries_are_rejected_before_admission() {
 fn mixed_request_kinds_hammered_from_many_threads() {
     const THREADS: usize = 8;
     const ROUNDS: usize = 20;
-    let svc = QueryService::new(small_warehouse(), ServeConfig::default());
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
 
     let requests = [
         QueryRequest::Mdx(
