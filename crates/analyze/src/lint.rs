@@ -3,7 +3,7 @@
 //! Five rules keep the serving hot path honest:
 //!
 //! * `no-panic` — no `unwrap()` / `expect()` / `panic!` in designated
-//!   hot-path modules (`serve`, `etl`, `warehouse`,
+//!   hot-path modules (`serve`, `etl`, `warehouse`, `segstore`,
 //!   `oltp::{wal,txn,store}`, `olap::{cube,mdx::exec}`) outside
 //!   `#[cfg(test)]`;
 //! * `no-todo` — no `todo!` / `unimplemented!` / `dbg!` anywhere;
@@ -50,10 +50,11 @@ pub const RULE_DISPLAY_IMPL: &str = "display-impl";
 
 /// Workspace-relative path fragments whose files count as the serving
 /// hot path for `no-panic`.
-const HOT_PATHS: [&str; 8] = [
+const HOT_PATHS: [&str; 9] = [
     "crates/serve/src/",
     "crates/etl/src/",
     "crates/warehouse/src/",
+    "crates/segstore/src/",
     "crates/oltp/src/wal.rs",
     "crates/oltp/src/txn.rs",
     "crates/oltp/src/store.rs",

@@ -1,0 +1,237 @@
+//! P10 — segmented scan throughput: the zone-map / footprint pruning
+//! ablation over both segment backends.
+//!
+//! A 72k-row warehouse whose `Year` attribute is correlated with
+//! arrival order is sealed into 24 one-year segments. A selective
+//! query (`Year = one value`) is then answered three ways:
+//!
+//! * **full** — the legacy whole-column scan (segments disabled);
+//! * **zone** — segmented scan with zone-map pruning, but every
+//!   column materialised;
+//! * **footprint** — zone-map pruning plus footprint-driven column
+//!   pruning (the production default).
+//!
+//! Prints the summary, writes `BENCH_scan.json` (format in
+//! EXPERIMENTS.md P10), asserts the ≥5× pruning win the design
+//! promises, then hands the same closures to criterion.
+
+use bench::write_bench_json;
+use clinical_types::{DataType, FieldDef, Record, Schema, Table, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs::Json;
+use olap::{Cube, CubeFilter, CubeSpec, ScanOptions};
+use segstore::{DiskBackend, MemoryBackend, SegmentBackend};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use warehouse::{CompactionConfig, DimensionDef, FactDef, LoadPlan, StarSchema, Warehouse};
+
+const YEARS: usize = 24;
+const ROWS_PER_YEAR: usize = 3_000;
+const SELECTIVE_YEAR: &str = "2016";
+
+/// Scan modes under test: (name, options).
+const MODES: [(&str, ScanOptions); 3] = [
+    (
+        "full",
+        ScanOptions {
+            zone_pruning: false,
+            column_pruning: false,
+            segments: false,
+        },
+    ),
+    (
+        "zone",
+        ScanOptions {
+            zone_pruning: true,
+            column_pruning: false,
+            segments: true,
+        },
+    ),
+    (
+        "footprint",
+        ScanOptions {
+            zone_pruning: true,
+            column_pruning: true,
+            segments: true,
+        },
+    ),
+];
+
+/// Attendances arriving in year order: sealing clusters each segment
+/// around one year, so the zone maps discriminate sharply.
+fn year_ordered_warehouse() -> Warehouse {
+    let star = StarSchema::new(
+        FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),
+        vec![
+            DimensionDef::new("Visit", vec!["Year"]),
+            DimensionDef::new("Personal", vec!["Gender", "Age_Band"]),
+        ],
+    )
+    .expect("star");
+    let schema = Schema::new(vec![
+        FieldDef::nullable("Year", DataType::Text),
+        FieldDef::nullable("Gender", DataType::Text),
+        FieldDef::nullable("Age_Band", DataType::Text),
+        FieldDef::nullable("FBG", DataType::Float),
+        FieldDef::required("PatientId", DataType::Int),
+    ])
+    .expect("schema");
+    let bands = ["20-40", "40-60", "60-80"];
+    let mut records = Vec::with_capacity(YEARS * ROWS_PER_YEAR);
+    for y in 0..YEARS {
+        let year = (2010 + y).to_string();
+        for i in 0..ROWS_PER_YEAR {
+            records.push(Record::new(vec![
+                Value::from(year.as_str()),
+                if i % 2 == 0 { "F".into() } else { "M".into() },
+                bands[i % bands.len()].into(),
+                Value::Float(4.0 + (i % 24) as f64 * 0.25),
+                Value::Int((y * ROWS_PER_YEAR + i) as i64),
+            ]));
+        }
+    }
+    let table = Table::from_rows(schema, records).expect("table");
+    Warehouse::load(&LoadPlan::from_star(star), &table).expect("load")
+}
+
+fn selective_spec() -> CubeSpec {
+    CubeSpec::count(vec!["Gender"]).with_filter(CubeFilter::all().equals("Year", SELECTIVE_YEAR))
+}
+
+fn sealed(backend: Arc<dyn SegmentBackend>) -> Warehouse {
+    let mut wh = year_ordered_warehouse();
+    wh.set_segment_backend(backend).expect("backend");
+    wh.compact_with(&CompactionConfig {
+        target_rows_per_segment: ROWS_PER_YEAR,
+        sort: true,
+    })
+    .expect("compact");
+    wh
+}
+
+fn disk_dir() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bench_scan_{}", std::process::id()))
+}
+
+/// Best-of-`runs` seconds per query: the minimum is the standard
+/// noise-robust estimator — scheduler preemption and frequency shifts
+/// only ever make a run slower, never faster.
+fn time_mode(wh: &Warehouse, spec: &CubeSpec, options: &ScanOptions, runs: u32) -> f64 {
+    for _ in 0..2 {
+        black_box(Cube::build_with_options(wh, spec, options).expect("cube"));
+    }
+    (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(Cube::build_with_options(wh, spec, options).expect("cube"));
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn regenerate_summary() -> Vec<(&'static str, Warehouse)> {
+    println!("\n=== P10: segmented scan — full vs zone-pruned vs footprint-pruned ===");
+    let dir = disk_dir();
+    std::fs::remove_dir_all(&dir).ok();
+    let backends: Vec<(&'static str, Warehouse)> = vec![
+        ("memory", sealed(Arc::new(MemoryBackend::new()))),
+        (
+            "disk",
+            sealed(Arc::new(DiskBackend::create(&dir).expect("disk backend"))),
+        ),
+    ];
+    let spec = selective_spec();
+    let n_rows = (YEARS * ROWS_PER_YEAR) as f64;
+    const RUNS: u32 = 20;
+
+    let mut backend_objs = Vec::new();
+    for (kind, wh) in &backends {
+        let (_, stats) =
+            Cube::build_with_options(wh, &spec, &ScanOptions::default()).expect("cube");
+        assert_eq!(stats.segments_total, YEARS as u64);
+        assert_eq!(
+            stats.segments_pruned,
+            (YEARS - 1) as u64,
+            "selective query must keep exactly one segment"
+        );
+
+        let mut per_mode = Vec::new();
+        for (mode, options) in &MODES {
+            let secs = time_mode(wh, &spec, options, RUNS);
+            let rows_per_sec = n_rows / secs;
+            per_mode.push((*mode, rows_per_sec));
+            println!(
+                "{kind:>6}/{mode:<9} {rows_per_sec:>14.0} rows/s  ({:.1}µs/query)",
+                secs * 1e6
+            );
+        }
+        let full = per_mode[0].1;
+        let zone_speedup = per_mode[1].1 / full;
+        let footprint_speedup = per_mode[2].1 / full;
+        println!("{kind:>6} speedup: zone {zone_speedup:.1}x | footprint {footprint_speedup:.1}x");
+        // The acceptance bar: pruning must buy at least 5× effective
+        // row throughput on selective queries, on every backend.
+        assert!(
+            zone_speedup >= 5.0 && footprint_speedup >= 5.0,
+            "{kind}: pruning speedup below 5x (zone {zone_speedup:.1}x, \
+             footprint {footprint_speedup:.1}x)"
+        );
+        backend_objs.push((
+            *kind,
+            Json::obj([
+                ("full_rows_per_sec", Json::Float(per_mode[0].1)),
+                ("zone_rows_per_sec", Json::Float(per_mode[1].1)),
+                ("footprint_rows_per_sec", Json::Float(per_mode[2].1)),
+                ("zone_speedup", Json::Float(zone_speedup)),
+                ("footprint_speedup", Json::Float(footprint_speedup)),
+                ("segments_total", Json::Int(stats.segments_total as i64)),
+                ("segments_pruned", Json::Int(stats.segments_pruned as i64)),
+                ("rows_scanned_pruned", Json::Int(stats.rows_scanned as i64)),
+            ]),
+        ));
+    }
+
+    write_bench_json(
+        "BENCH_scan.json",
+        &Json::obj([
+            ("bench", Json::Str("scan".into())),
+            ("rows", Json::Int((YEARS * ROWS_PER_YEAR) as i64)),
+            ("segments", Json::Int(YEARS as i64)),
+            (
+                "selective_filter",
+                Json::Str(format!("Year = {SELECTIVE_YEAR}")),
+            ),
+            ("runs", Json::Int(i64::from(RUNS))),
+            (
+                "backends",
+                Json::obj(backend_objs.iter().map(|(k, v)| (*k, v.clone()))),
+            ),
+        ]),
+    );
+    backends
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let backends = regenerate_summary();
+    let spec = selective_spec();
+    for (kind, wh) in &backends {
+        for (mode, options) in &MODES {
+            c.bench_function(&format!("scan/{kind}/{mode}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        Cube::build_with_options(wh, black_box(&spec), options).expect("cube"),
+                    )
+                })
+            });
+        }
+    }
+    std::fs::remove_dir_all(disk_dir()).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scan
+}
+criterion_main!(benches);

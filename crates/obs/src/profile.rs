@@ -63,6 +63,9 @@ pub struct QueryProfile {
     pub phases: Vec<(Phase, u64)>,
     /// Fact rows visited by the execute phase.
     pub rows_scanned: u64,
+    /// Sealed segments the execute phase skipped on zone-map /
+    /// footprint evidence alone (0 for unsegmented scans).
+    pub segments_pruned: u64,
     /// Output cells produced by the aggregate phase.
     pub cells_emitted: u64,
     /// End-to-end duration from builder start to finish (µs).
@@ -108,6 +111,7 @@ impl QueryProfile {
                 ),
             ),
             ("rows_scanned", Json::from(self.rows_scanned)),
+            ("segments_pruned", Json::from(self.segments_pruned)),
             ("cells_emitted", Json::from(self.cells_emitted)),
             ("total_us", Json::from(self.total_us)),
         ];
@@ -133,6 +137,12 @@ impl QueryProfile {
         Some(QueryProfile {
             phases,
             rows_scanned: value.get("rows_scanned")?.as_u64()?,
+            // Absent in profiles serialized before segmented scans
+            // existed; read tolerantly.
+            segments_pruned: value
+                .get("segments_pruned")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             cells_emitted: value.get("cells_emitted")?.as_u64()?,
             total_us: value.get("total_us")?.as_u64()?,
             trace: value.get("trace").and_then(Json::as_u64),
@@ -144,8 +154,8 @@ impl fmt::Display for QueryProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "Query Profile  (total {}µs, {} rows scanned, {} cells emitted)",
-            self.total_us, self.rows_scanned, self.cells_emitted
+            "Query Profile  (total {}µs, {} rows scanned, {} segments pruned, {} cells emitted)",
+            self.total_us, self.rows_scanned, self.segments_pruned, self.cells_emitted
         )?;
         let total = self.total_us.max(1) as f64;
         for (phase, us) in &self.phases {
@@ -209,6 +219,11 @@ impl ProfileBuilder {
         self.profile.rows_scanned = rows;
     }
 
+    /// Set the segments-pruned volume counter.
+    pub fn segments_pruned(&mut self, segments: u64) {
+        self.profile.segments_pruned = segments;
+    }
+
     /// Set the cells-emitted volume counter.
     pub fn cells_emitted(&mut self, cells: u64) {
         self.profile.cells_emitted = cells;
@@ -268,6 +283,7 @@ mod tests {
         let profile = QueryProfile {
             phases: vec![(Phase::Parse, 100), (Phase::Execute, 900)],
             rows_scanned: 2500,
+            segments_pruned: 3,
             cells_emitted: 12,
             total_us: 1100,
             trace: Some(3),
@@ -292,6 +308,7 @@ mod tests {
                 (Phase::Aggregate, 30),
             ],
             rows_scanned: 999,
+            segments_pruned: 7,
             cells_emitted: 42,
             total_us: 510,
             trace: None,

@@ -14,9 +14,11 @@
 
 use crate::aggregate::{Aggregate, CellStats, MeasureRef};
 use clinical_types::{Error, Result, Value};
-use std::collections::HashMap;
+use segstore::{ColumnSet, SegmentMeta};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
-use warehouse::{DeltaSummary, Warehouse};
+use std::sync::Arc;
+use warehouse::{ChangeSet, DeltaSummary, Warehouse};
 
 /// Row filter applied while building a cube.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -270,22 +272,54 @@ impl Cube {
     /// # Ok::<(), clinical_types::Error>(())
     /// ```
     pub fn build(warehouse: &Warehouse, spec: &CubeSpec) -> Result<Cube> {
+        Ok(Cube::build_with_stats(warehouse, spec)?.0)
+    }
+
+    /// [`Cube::build`] returning the scan statistics alongside the
+    /// cube — how many sealed segments the scan pruned and how many
+    /// rows it actually visited (the numbers query profiles report).
+    pub fn build_with_stats(warehouse: &Warehouse, spec: &CubeSpec) -> Result<(Cube, ScanStats)> {
+        Cube::build_with_options(warehouse, spec, &ScanOptions::default())
+    }
+
+    /// [`Cube::build_with_stats`] with explicit [`ScanOptions`] (the
+    /// pruning-ablation entry point used by the scan bench).
+    pub fn build_with_options(
+        warehouse: &Warehouse,
+        spec: &CubeSpec,
+        options: &ScanOptions,
+    ) -> Result<(Cube, ScanStats)> {
         let mut span = obs::span("olap.cube_build");
-        let inputs = CubeInputs::resolve(warehouse, spec)?;
-        let cells = match spec.strategy {
-            BuildStrategy::Hash => inputs.build_hash(),
-            BuildStrategy::Sort => inputs.build_sort(),
-            BuildStrategy::ParallelHash => inputs.build_parallel()?,
+        let (cells, stats) = match SegmentedScan::plan(warehouse, spec, options)? {
+            Some(scan) => scan.execute()?,
+            None => {
+                let inputs = CubeInputs::resolve(warehouse, spec)?;
+                let cells = match spec.strategy {
+                    BuildStrategy::Hash => inputs.build_hash(),
+                    BuildStrategy::Sort => inputs.build_sort(),
+                    BuildStrategy::ParallelHash => inputs.build_parallel()?,
+                };
+                let stats = ScanStats {
+                    segments_total: warehouse.segments().len() as u64,
+                    segments_pruned: 0,
+                    rows_scanned: inputs.n_rows() as u64,
+                };
+                (cells, stats)
+            }
         };
         span.record("strategy", format!("{:?}", spec.strategy));
-        span.record("rows", inputs.n_rows());
+        span.record("rows", stats.rows_scanned);
+        span.record("segments_pruned", stats.segments_pruned);
         span.record("cells", cells.len());
-        Ok(Cube {
-            axes: spec.axes.clone(),
-            measure: spec.measure.clone(),
-            agg: spec.agg,
-            cells,
-        })
+        Ok((
+            Cube {
+                axes: spec.axes.clone(),
+                measure: spec.measure.clone(),
+                agg: spec.agg,
+                cells,
+            },
+            stats,
+        ))
     }
 
     /// Whether cubes built from `spec` can be patched in place by
@@ -682,6 +716,415 @@ impl<'a> CubeInputs<'a> {
     }
 }
 
+/// Volume statistics of one cube build: how much of the warehouse the
+/// scan touched, and how much pruning avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Sealed segments the build considered (0 on the legacy
+    /// whole-column path when nothing is sealed).
+    pub segments_total: u64,
+    /// Sealed segments skipped on zone-map evidence alone — never
+    /// fetched, never decoded.
+    pub segments_pruned: u64,
+    /// Fact rows actually visited (surviving segments plus the
+    /// mutable tail; the whole fact table on the legacy path).
+    pub rows_scanned: u64,
+}
+
+/// Toggles for the segmented scan — the ablation axes of the scan
+/// bench. Production uses [`ScanOptions::default`] (everything on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Consult zone maps to skip whole segments.
+    pub zone_pruning: bool,
+    /// Fetch only the columns the spec references (with the disk
+    /// backend, unreferenced columns are never even decoded).
+    pub column_pruning: bool,
+    /// Permit the segmented path at all; `false` forces the legacy
+    /// whole-column scan (the bench baseline).
+    pub segments: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            zone_pruning: true,
+            column_pruning: true,
+            segments: true,
+        }
+    }
+}
+
+/// A validated segmented scan: the spec's columns all exist in the
+/// sealed schema and the sealed rows provably mirror fact rows
+/// `0..watermark`, so the build may scan segments plus the tail
+/// instead of whole fact-table columns.
+struct SegmentedScan<'a> {
+    warehouse: &'a Warehouse,
+    spec: &'a CubeSpec,
+    /// Per axis: `(dimension name, dimension index, attribute index)`.
+    axes: Vec<(String, usize, usize)>,
+    /// Per filtered dimension: surrogate keys whose tuples satisfy
+    /// every attribute condition on that dimension (intersection).
+    key_filters: Vec<(String, BTreeSet<u32>)>,
+    /// Columns a segment fetch must materialise.
+    columns: ColumnSet,
+    metas: Vec<Arc<SegmentMeta>>,
+    watermark: usize,
+    zone_pruning: bool,
+}
+
+impl<'a> SegmentedScan<'a> {
+    /// Decide whether `spec` can run as a segmented scan over
+    /// `warehouse`, and resolve everything the scan needs if so.
+    /// `Ok(None)` means "use the legacy whole-column path" — never an
+    /// error, since the legacy path answers every buildable spec.
+    fn plan(
+        warehouse: &'a Warehouse,
+        spec: &'a CubeSpec,
+        options: &ScanOptions,
+    ) -> Result<Option<SegmentedScan<'a>>> {
+        let seg = warehouse.segments();
+        if !options.segments || spec.axes.is_empty() || seg.watermark() == 0 || seg.is_empty() {
+            return Ok(None);
+        }
+        // Sealed rows mirror fact rows 0..watermark only while nothing
+        // rewrote them since compaction; an aged-out delta log cannot
+        // prove that, so fall back (the serve layer separately counts
+        // those aged-out events).
+        match warehouse.deltas_since(seg.compacted_epoch()) {
+            Some(chain) => {
+                if ChangeSet::fold(&chain).rewrote_existing {
+                    return Ok(None);
+                }
+            }
+            None => return Ok(None),
+        }
+        let metas = seg.metas().to_vec();
+        let schema = match metas.first() {
+            Some(m) => Arc::clone(m),
+            None => return Ok(None),
+        };
+
+        // Resolve every referenced column against the sealed schema;
+        // anything missing (e.g. a feedback dimension added after the
+        // last compaction) falls back to the legacy path.
+        let mut axes = Vec::with_capacity(spec.axes.len());
+        let mut columns = ColumnSet::empty();
+        for attr in &spec.axes {
+            let (di, ai) = warehouse.find_attribute(attr)?;
+            let dim = warehouse
+                .dimensions()
+                .get(di)
+                .ok_or_else(|| Error::invalid(format!("dangling dimension index {di}")))?;
+            if schema.key_zone(&dim.name).is_none() {
+                return Ok(None);
+            }
+            columns = columns.with_key(dim.name.clone());
+            axes.push((dim.name.clone(), di, ai));
+        }
+        // Attribute filters become per-dimension allowed-key sets by
+        // scanning the (small, dictionary-encoded) dimension tables —
+        // the resolution zone maps are then matched against.
+        let mut allowed_by_dim: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+        for (attr, allowed) in spec.filter.attribute_conditions() {
+            let (di, ai) = warehouse.find_attribute(attr)?;
+            let dim = warehouse
+                .dimensions()
+                .get(di)
+                .ok_or_else(|| Error::invalid(format!("dangling dimension index {di}")))?;
+            if schema.key_zone(&dim.name).is_none() {
+                return Ok(None);
+            }
+            columns = columns.with_key(dim.name.clone());
+            let mut keys = BTreeSet::new();
+            for k in 0..dim.len() as u32 {
+                let hit = dim
+                    .tuple(k)
+                    .and_then(|t| t.get(ai))
+                    .is_some_and(|v| allowed.iter().any(|a| a == v));
+                if hit {
+                    keys.insert(k);
+                }
+            }
+            match allowed_by_dim.entry(dim.name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(keys);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get().intersection(&keys).copied().collect();
+                    *e.get_mut() = merged;
+                }
+            }
+        }
+        for (name, _, _) in spec.filter.measure_conditions() {
+            if schema.measure_zone(name).is_none() {
+                return Ok(None);
+            }
+            columns = columns.with_measure(name.clone());
+        }
+        match &spec.measure {
+            MeasureRef::RowCount => {}
+            MeasureRef::Measure(name) => {
+                if schema.measure_zone(name).is_none() {
+                    return Ok(None);
+                }
+                columns = columns.with_measure(name.clone());
+            }
+            MeasureRef::DistinctDegenerate(name) => {
+                if !schema.has_degenerate(name) {
+                    return Ok(None);
+                }
+                columns = columns.with_degenerate(name.clone());
+            }
+        }
+        // Column pruning is driven by the analyzer's footprint: the
+        // scan materialises exactly the dimension keys the query
+        // provably reads (plus the measures/degenerates gathered
+        // above). A conservative footprint — some name failed to
+        // resolve — disables column pruning instead of guessing.
+        let catalog = analyze::Catalog::from_star(warehouse.star());
+        let footprint = crate::semantic::footprint_cube(&catalog, spec);
+        if footprint.is_conservative() || !options.column_pruning {
+            columns = ColumnSet::all();
+        } else {
+            for dim in footprint.dimensions() {
+                if schema.key_zone(dim).is_none() {
+                    return Ok(None);
+                }
+                columns = columns.with_key(dim.clone());
+            }
+        }
+        Ok(Some(SegmentedScan {
+            warehouse,
+            spec,
+            axes,
+            key_filters: allowed_by_dim.into_iter().collect(),
+            columns,
+            metas,
+            watermark: seg.watermark(),
+            zone_pruning: options.zone_pruning,
+        }))
+    }
+
+    /// Could any row of the segment behind `meta` pass the filter?
+    fn survives_zones(&self, meta: &SegmentMeta) -> bool {
+        for (dim, allowed) in &self.key_filters {
+            if let Some(zone) = meta.key_zone(dim) {
+                if !zone.may_contain_any(allowed) {
+                    return false;
+                }
+            }
+        }
+        for (name, lo, hi) in self.spec.filter.measure_conditions() {
+            if let Some(zone) = meta.measure_zone(name) {
+                if !zone.may_overlap(*lo, *hi) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn track_distinct(&self) -> bool {
+        matches!(self.spec.measure, MeasureRef::DistinctDegenerate(_))
+    }
+
+    /// Scan one surviving segment into a partial cell map.
+    fn scan_segment(&self, meta: &SegmentMeta) -> Result<HashMap<Vec<u32>, CellStats>> {
+        fault::point("olap.segment_scan").map_err(|e| Error::invalid(e.to_string()))?;
+        let segment = self.warehouse.fetch_segment(meta.id, &self.columns)?;
+        let missing =
+            |what: &str| Error::invalid(format!("segment {} lacks column `{what}`", meta.id));
+        let axis_keys = self
+            .axes
+            .iter()
+            .map(|(dim, _, _)| segment.key_column(dim).ok_or_else(|| missing(dim)))
+            .collect::<Result<Vec<_>>>()?;
+        let filter_keys = self
+            .key_filters
+            .iter()
+            .map(|(dim, allowed)| {
+                segment
+                    .key_column(dim)
+                    .map(|col| (col, allowed))
+                    .ok_or_else(|| missing(dim))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let filter_measures = self
+            .spec
+            .filter
+            .measure_conditions()
+            .iter()
+            .map(|(name, lo, hi)| {
+                segment
+                    .measure_column(name)
+                    .map(|(values, valid)| (values, valid, *lo, *hi))
+                    .ok_or_else(|| missing(name))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let measure = match &self.spec.measure {
+            MeasureRef::Measure(name) => {
+                Some(segment.measure_column(name).ok_or_else(|| missing(name))?)
+            }
+            MeasureRef::RowCount | MeasureRef::DistinctDegenerate(_) => None,
+        };
+        let distinct = match &self.spec.measure {
+            MeasureRef::DistinctDegenerate(name) => Some(
+                segment
+                    .degenerate_column(name)
+                    .ok_or_else(|| missing(name))?,
+            ),
+            MeasureRef::RowCount | MeasureRef::Measure(_) => None,
+        };
+        // Group by raw surrogate keys: the hot loop never touches the
+        // dictionary, and the (few) groups are translated to attribute
+        // values once per cell in `execute`.
+        let mut cells: HashMap<Vec<u32>, CellStats> = HashMap::new();
+        'rows: for r in 0..segment.rows() {
+            for (col, allowed) in &filter_keys {
+                if !allowed.contains(&col[r]) {
+                    continue 'rows;
+                }
+            }
+            for (values, valid, lo, hi) in &filter_measures {
+                if !(valid[r] && values[r] >= *lo && values[r] < *hi) {
+                    continue 'rows;
+                }
+            }
+            let key: Vec<u32> = axis_keys.iter().map(|keys| keys[r]).collect();
+            let cell = cells
+                .entry(key)
+                .or_insert_with(|| CellStats::new(self.track_distinct()));
+            let measure_value = measure.and_then(|(values, valid)| valid[r].then(|| values[r]));
+            cell.push(measure_value, distinct.map(|col| &col[r]));
+        }
+        Ok(cells)
+    }
+
+    /// Run the scan: prune on zone maps, scan survivors (in parallel
+    /// under [`BuildStrategy::ParallelHash`]), then fold the mutable
+    /// tail through the legacy row path.
+    fn execute(&self) -> Result<(HashMap<Vec<Value>, CellStats>, ScanStats)> {
+        let survivors: Vec<&Arc<SegmentMeta>> = self
+            .metas
+            .iter()
+            .filter(|m| !self.zone_pruning || self.survives_zones(m))
+            .collect();
+        let mut stats = ScanStats {
+            segments_total: self.metas.len() as u64,
+            segments_pruned: (self.metas.len() - survivors.len()) as u64,
+            rows_scanned: survivors.iter().map(|m| m.rows).sum(),
+        };
+        let track = self.track_distinct();
+        let partials: Vec<HashMap<Vec<u32>, CellStats>> =
+            if self.spec.strategy == BuildStrategy::ParallelHash && survivors.len() > 1 {
+                let workers = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(4)
+                    .clamp(1, 8)
+                    .min(survivors.len());
+                let chunk = survivors.len().div_ceil(workers);
+                let ctx = obs::current_context();
+                crossbeam::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (w, batch) in survivors.chunks(chunk).enumerate() {
+                        handles.push(scope.spawn(move |_| -> Result<Vec<_>> {
+                            let mut span = obs::span_child_of("olap.cube_build_worker", ctx);
+                            span.record("worker", w);
+                            span.record("segments", batch.len());
+                            batch.iter().map(|m| self.scan_segment(m)).collect()
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join())
+                        .collect::<std::thread::Result<Vec<_>>>()
+                })
+                .and_then(|inner| inner)
+                .map_err(|_| Error::invalid("segment scan worker panicked"))?
+                .into_iter()
+                .collect::<Result<Vec<Vec<_>>>>()?
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                survivors
+                    .iter()
+                    .map(|m| self.scan_segment(m))
+                    .collect::<Result<Vec<_>>>()?
+            };
+        let mut raw_cells: HashMap<Vec<u32>, CellStats> = HashMap::new();
+        for partial in partials {
+            for (key, partial_cell) in partial {
+                raw_cells
+                    .entry(key)
+                    .or_insert_with(|| CellStats::new(track))
+                    .merge(&partial_cell);
+            }
+        }
+
+        // Translate each surrogate-key group to attribute values —
+        // once per cell, not once per row.
+        let dims = self.warehouse.dimensions();
+        let mut cells: HashMap<Vec<Value>, CellStats> = HashMap::with_capacity(raw_cells.len());
+        for (raw_key, cell) in raw_cells {
+            let mut key = Vec::with_capacity(raw_key.len());
+            for (k, (dim, di, ai)) in raw_key.iter().zip(&self.axes) {
+                let value = dims
+                    .get(*di)
+                    .and_then(|d| d.tuple(*k))
+                    .and_then(|t| t.get(*ai))
+                    .ok_or_else(|| {
+                        Error::invalid(format!("dangling key {k} in dimension `{dim}`"))
+                    })?;
+                key.push(value.clone());
+            }
+            cells
+                .entry(key)
+                .or_insert_with(|| CellStats::new(track))
+                .merge(&cell);
+        }
+
+        // The mutable tail — rows appended since the last compaction —
+        // runs through the legacy whole-column path, restricted to the
+        // tail range.
+        let tail = self.watermark..self.warehouse.n_facts();
+        if !tail.is_empty() {
+            let axis_cols = self
+                .spec
+                .axes
+                .iter()
+                .map(|a| self.warehouse.attribute_column_range(a, tail.clone()))
+                .collect::<Result<Vec<_>>>()?;
+            let mask = self.spec.filter.mask_range(self.warehouse, tail.clone())?;
+            let measure_col = match &self.spec.measure {
+                MeasureRef::Measure(name) => Some(self.warehouse.measure(name)?),
+                MeasureRef::RowCount | MeasureRef::DistinctDegenerate(_) => None,
+            };
+            let distinct_col = match &self.spec.measure {
+                MeasureRef::DistinctDegenerate(name) => {
+                    Some(self.warehouse.degenerate_column(name)?)
+                }
+                MeasureRef::RowCount | MeasureRef::Measure(_) => None,
+            };
+            for (i, row) in tail.clone().enumerate() {
+                if !mask[i] {
+                    continue;
+                }
+                let key: Vec<Value> = axis_cols.iter().map(|c| c[i].clone()).collect();
+                let cell = cells.entry(key).or_insert_with(|| CellStats::new(track));
+                cell.push(
+                    measure_col.and_then(|m| m.get(row)),
+                    distinct_col.map(|c| &c[row]),
+                );
+            }
+            stats.rows_scanned += tail.len() as u64;
+        }
+        Ok((cells, stats))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1069,5 +1512,193 @@ mod tests {
         let values = cube.axis_values("Age_Band").unwrap();
         assert_eq!(values, vec![Value::from("40-60"), Value::from("60-80")]);
         assert!(cube.axis_values("Nope").is_err());
+    }
+
+    // ---- segmented scans -------------------------------------------------
+
+    /// Legacy whole-column build of the same spec (the oracle the
+    /// segmented path must agree with).
+    fn legacy(wh: &Warehouse, spec: &CubeSpec) -> (Cube, ScanStats) {
+        Cube::build_with_options(
+            wh,
+            spec,
+            &ScanOptions {
+                segments: false,
+                ..ScanOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Warehouse with an append-order-correlated `Age_Band` (so zone
+    /// maps discriminate between segments) and dyadic FBG values (so
+    /// sums are order-insensitive). 8 rows per band, 3 bands.
+    fn banded_warehouse() -> Warehouse {
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),
+            vec![
+                DimensionDef::new("Personal", vec!["Gender", "Age_Band"]),
+                DimensionDef::new("Condition", vec!["DiabetesStatus"]),
+            ],
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        for (b, band) in ["20-40", "40-60", "60-80"].iter().enumerate() {
+            for i in 0..8i64 {
+                let gender = if i % 2 == 0 { "F" } else { "M" };
+                let status = if i % 4 == 0 { "yes" } else { "no" };
+                let fbg = 4.0 + b as f64 + i as f64 * 0.25;
+                rows.push((b as i64 * 8 + i, gender, *band, status, Some(fbg)));
+            }
+        }
+        Warehouse::load(&LoadPlan::from_star(star), &demo_table(rows)).unwrap()
+    }
+
+    fn compact_small(wh: &mut Warehouse) {
+        wh.compact_with(&warehouse::CompactionConfig {
+            target_rows_per_segment: 8,
+            sort: true,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn segmented_build_matches_legacy_for_every_measure_kind() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        let specs = [
+            CubeSpec::count(vec!["Gender", "Age_Band"]),
+            CubeSpec::measure(vec!["Age_Band"], Aggregate::Sum, "FBG"),
+            CubeSpec::measure(vec!["Gender"], Aggregate::Avg, "FBG"),
+            CubeSpec::measure(vec!["Age_Band"], Aggregate::Min, "FBG"),
+            CubeSpec::distinct(vec!["DiabetesStatus"], "PatientId"),
+        ];
+        for spec in specs {
+            let (seg, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+            assert_eq!(seg, legacy(&wh, &spec).0, "spec {}", spec.fingerprint());
+            assert_eq!(stats.segments_total, 3);
+            assert_eq!(stats.segments_pruned, 0, "no filter, nothing to prune");
+            assert_eq!(stats.rows_scanned, wh.n_facts() as u64);
+        }
+    }
+
+    #[test]
+    fn zone_maps_prune_segments_on_attribute_filters() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        let spec = CubeSpec::count(vec!["Gender"])
+            .with_filter(CubeFilter::all().equals("Age_Band", "40-60"));
+        let (cube, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+        assert_eq!(cube, legacy(&wh, &spec).0);
+        assert_eq!(stats.segments_total, 3);
+        assert_eq!(stats.segments_pruned, 2, "only the 40-60 segment survives");
+        assert_eq!(stats.rows_scanned, 8);
+        assert_eq!(cube.value(&k(&["F"])), Some(4.0));
+    }
+
+    #[test]
+    fn zone_maps_prune_segments_on_measure_filters() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        // FBG lives in [4.0, 5.75] / [5.0, 6.75] / [6.0, 7.75] per
+        // band segment; [7.0, 9.0) overlaps only the last.
+        let spec = CubeSpec::count(vec!["Age_Band"])
+            .with_filter(CubeFilter::all().measure_between("FBG", 7.0, 9.0));
+        let (cube, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+        assert_eq!(cube, legacy(&wh, &spec).0);
+        assert_eq!(stats.segments_pruned, 2);
+        assert_eq!(stats.rows_scanned, 8);
+        assert_eq!(cube.grand_total(), Some(4.0)); // 7.0, 7.25, 7.5, 7.75
+    }
+
+    #[test]
+    fn pruning_ablation_scans_everything_but_agrees() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        let spec = CubeSpec::count(vec!["Gender"])
+            .with_filter(CubeFilter::all().equals("Age_Band", "20-40"));
+        let ablated = ScanOptions {
+            zone_pruning: false,
+            column_pruning: false,
+            segments: true,
+        };
+        let (cube, stats) = Cube::build_with_options(&wh, &spec, &ablated).unwrap();
+        assert_eq!(cube, legacy(&wh, &spec).0);
+        assert_eq!(stats.segments_pruned, 0);
+        assert_eq!(stats.rows_scanned, wh.n_facts() as u64);
+    }
+
+    #[test]
+    fn segmented_build_folds_the_mutable_tail() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        // Appended after compaction: lives in the tail, not a segment.
+        let tail = demo_table(vec![
+            (100, "F", "40-60", "yes", Some(5.5)),
+            (101, "M", "40-60", "no", Some(5.25)),
+        ]);
+        wh.append(&tail).unwrap();
+        let spec = CubeSpec::count(vec!["Gender"])
+            .with_filter(CubeFilter::all().equals("Age_Band", "40-60"));
+        let (cube, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+        assert_eq!(cube, legacy(&wh, &spec).0);
+        assert_eq!(stats.segments_pruned, 2, "tail does not disable pruning");
+        assert_eq!(stats.rows_scanned, 8 + 2);
+        assert_eq!(cube.value(&k(&["F"])), Some(5.0));
+        assert_eq!(cube.value(&k(&["M"])), Some(5.0));
+    }
+
+    #[test]
+    fn parallel_strategy_agrees_on_segments() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        let spec = CubeSpec::measure(vec!["Gender", "Age_Band"], Aggregate::Sum, "FBG")
+            .with_strategy(BuildStrategy::ParallelHash);
+        let (cube, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+        assert_eq!(cube, legacy(&wh, &spec).0);
+        assert_eq!(stats.rows_scanned, wh.n_facts() as u64);
+    }
+
+    #[test]
+    fn feedback_dimension_after_compaction_falls_back_to_legacy() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        let labels: Vec<Value> = (0..wh.n_facts() as i64).map(Value::Int).collect();
+        wh.add_feedback_dimension("Review", "Flag", labels).unwrap();
+        // The sealed schema lacks the Review key column, so a spec
+        // reading it must take the whole-column path — and a spec that
+        // doesn't read it is still blocked by the structural delta.
+        let spec = CubeSpec::count(vec!["Flag"]);
+        let (cube, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+        assert_eq!(stats.segments_pruned, 0);
+        assert_eq!(cube.grand_total(), Some(wh.n_facts() as f64));
+        let unrelated = CubeSpec::count(vec!["Gender"]);
+        let (cube2, stats2) = Cube::build_with_stats(&wh, &unrelated).unwrap();
+        assert_eq!(cube2, legacy(&wh, &unrelated).0);
+        assert_eq!(stats2.rows_scanned, wh.n_facts() as u64);
+        // Re-compacting seals the new dimension and re-enables the
+        // segmented path for it.
+        compact_small(&mut wh);
+        let (cube3, stats3) = Cube::build_with_stats(&wh, &spec).unwrap();
+        assert_eq!(cube3, cube);
+        assert_eq!(stats3.segments_total, 3);
+    }
+
+    #[test]
+    fn segment_scan_faults_fail_the_build_cleanly() {
+        let _guard = fault::test_support::fault_lock();
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        let spec = CubeSpec::count(vec!["Gender"]);
+        {
+            let _fp = fault::arm(
+                "olap.segment_scan",
+                fault::Trigger::Once,
+                fault::FaultKind::Error,
+            );
+            assert!(Cube::build_with_stats(&wh, &spec).is_err());
+        }
+        // Faults exhausted: the same build now succeeds.
+        assert!(Cube::build_with_stats(&wh, &spec).is_ok());
     }
 }

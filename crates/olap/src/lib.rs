@@ -41,7 +41,7 @@ pub mod semantic;
 
 pub use aggregate::{Aggregate, CellStats, MeasureRef};
 pub use builder::QueryBuilder;
-pub use cube::{BuildStrategy, Cube, CubeFilter, CubeSpec};
+pub use cube::{BuildStrategy, Cube, CubeFilter, CubeSpec, ScanOptions, ScanStats};
 pub use mdx::{execute_mdx, parse_mdx};
 pub use pivot::PivotTable;
 pub use report::{ReportMeasure, ReportSpec};

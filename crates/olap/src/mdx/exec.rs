@@ -9,7 +9,7 @@ use super::parser::{
     parse_mdx_spanned, Axis, AxisSet, Condition, MdxQuery, MeasureClause, QuerySpans,
 };
 use crate::aggregate::{Aggregate, MeasureRef};
-use crate::cube::{Cube, CubeFilter, CubeSpec};
+use crate::cube::{Cube, CubeFilter, CubeSpec, ScanStats};
 use crate::pivot::PivotTable;
 use crate::semantic::analyze_mdx;
 use analyze::Catalog;
@@ -143,16 +143,17 @@ pub fn execute_query_profiled(
         filter,
         strategy: Default::default(),
     };
-    let cube = profile.time(obs::Phase::Execute, || -> Result<Cube> {
-        let mut cube = Cube::build(warehouse, &spec)?;
+    let (cube, stats) = profile.time(obs::Phase::Execute, || -> Result<(Cube, ScanStats)> {
+        let (mut cube, stats) = Cube::build_with_stats(warehouse, &spec)?;
         for axis in [&rows, &cols] {
             if let Some(values) = &axis.dice {
                 cube = cube.dice(&axis.attribute, values)?;
             }
         }
-        Ok(cube)
+        Ok((cube, stats))
     })?;
-    profile.rows_scanned(warehouse.n_facts() as u64);
+    profile.rows_scanned(stats.rows_scanned);
+    profile.segments_pruned(stats.segments_pruned);
 
     let pivot = profile.time(obs::Phase::Aggregate, || -> Result<PivotTable> {
         let mut pivot = PivotTable::from_cube(&cube, &rows.attribute, &cols.attribute)?;

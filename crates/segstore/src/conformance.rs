@@ -1,0 +1,136 @@
+//! Shared backend conformance suite.
+//!
+//! Every [`SegmentBackend`] implementation must pass [`run`] — the
+//! in-tree backends do so from their unit tests, and an out-of-tree
+//! backend can call it from its own tests to prove it honours the same
+//! contract. Checks return `Err(String)` rather than panicking so the
+//! suite itself stays free of panics (this crate is covered by the
+//! repo-lint no-panic rule) and so a failure names the violated
+//! clause.
+
+use crate::backend::SegmentBackend;
+use crate::segment::{ColumnSet, Segment};
+use clinical_types::Value;
+
+fn ensure(cond: bool, clause: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("conformance violation: {clause}"))
+    }
+}
+
+/// A small, fully populated segment fixture (two key columns, one
+/// measure with a null, one degenerate column) used by the suite and
+/// handy for backend unit tests.
+pub fn sample_segment(id: u64) -> Segment {
+    let assembled = Segment::assemble(
+        id,
+        vec![
+            ("Visit".into(), vec![0, 0, 1, 1]),
+            ("Personal".into(), vec![3, 4, 3, 5]),
+        ],
+        vec![(
+            "FBG".into(),
+            vec![5.5, 0.0, 7.25, 6.0],
+            vec![true, false, true, true],
+        )],
+        vec![(
+            "PatientId".into(),
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(1),
+                Value::Text("x".into()),
+            ],
+        )],
+    );
+    match assembled {
+        Ok(seg) => seg,
+        // Unreachable: the fixture's columns are equal-length by
+        // construction. Return an empty segment rather than panicking.
+        Err(_) => Segment {
+            meta: crate::segment::SegmentMeta {
+                id,
+                rows: 0,
+                key_zones: vec![],
+                measure_zones: vec![],
+                degenerate_columns: vec![],
+            },
+            keys: vec![],
+            measures: vec![],
+            degenerates: vec![],
+        },
+    }
+}
+
+/// Run the full conformance suite against an empty backend. The
+/// backend is left holding one segment (id 2) on success; callers own
+/// cleanup of any underlying storage.
+pub fn run<B: SegmentBackend + ?Sized>(backend: &B) -> Result<(), String> {
+    ensure(!backend.kind().is_empty(), "kind() must be non-empty")?;
+    let empty_list = backend.list().map_err(|e| e.to_string())?;
+    ensure(empty_list.is_empty(), "fresh backend lists no segments")?;
+    let empty_metas = backend.metas().map_err(|e| e.to_string())?;
+    ensure(empty_metas.is_empty(), "fresh backend has no metas")?;
+
+    let seg1 = sample_segment(1);
+    let seg2 = sample_segment(2);
+    backend
+        .put(seg1.clone())
+        .map_err(|e| format!("put segment 1: {e}"))?;
+    backend
+        .put(seg2)
+        .map_err(|e| format!("put segment 2: {e}"))?;
+    ensure(
+        backend.put(sample_segment(1)).is_err(),
+        "duplicate put must fail — segments are immutable",
+    )?;
+
+    let ids = backend.list().map_err(|e| e.to_string())?;
+    ensure(ids == [1, 2], "list() returns sealed ids ascending")?;
+    let metas = backend.metas().map_err(|e| e.to_string())?;
+    let meta_ids: Vec<u64> = metas.iter().map(|m| m.id).collect();
+    ensure(meta_ids == [1, 2], "metas() returns metas in id order")?;
+    ensure(
+        metas.first().map(|m| m == &seg1.meta) == Some(true),
+        "metas() round-trips zone maps intact",
+    )?;
+
+    let full = backend
+        .fetch(1, &ColumnSet::all())
+        .map_err(|e| format!("fetch all columns: {e}"))?;
+    ensure(
+        *full == seg1,
+        "fetch with ColumnSet::all() round-trips the segment",
+    )?;
+
+    let cols = ColumnSet::empty().with_key("Visit").with_measure("FBG");
+    let partial = backend
+        .fetch(1, &cols)
+        .map_err(|e| format!("fetch column subset: {e}"))?;
+    ensure(partial.meta == seg1.meta, "partial fetch keeps full meta")?;
+    ensure(
+        partial.key_column("Visit") == seg1.key_column("Visit"),
+        "partial fetch materialises the requested key column",
+    )?;
+    ensure(
+        partial.measure_column("FBG").map(|(v, _)| v) == seg1.measure_column("FBG").map(|(v, _)| v),
+        "partial fetch materialises the requested measure column",
+    )?;
+
+    ensure(
+        backend.fetch(99, &ColumnSet::all()).is_err(),
+        "fetching an unknown id must fail",
+    )?;
+    backend
+        .remove(1)
+        .map_err(|e| format!("remove segment 1: {e}"))?;
+    let ids = backend.list().map_err(|e| e.to_string())?;
+    ensure(ids == [2], "removed segments disappear from list()")?;
+    ensure(
+        backend.remove(1).is_err(),
+        "removing an unknown id must fail",
+    )?;
+    Ok(())
+}

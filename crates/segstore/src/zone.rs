@@ -1,0 +1,190 @@
+//! Zone maps: per-segment, per-column summaries consulted *before*
+//! a segment is fetched, so pruned segments are never read or decoded.
+//!
+//! Two flavours match the two physical column kinds:
+//!
+//! * [`KeyZone`] — over a dimension's surrogate-key column: min/max
+//!   key plus, when the segment holds few distinct keys (the common
+//!   case after sort-then-cut compaction), the exact distinct-key set,
+//!   which turns range pruning into exact membership pruning.
+//! * [`MeasureZone`] — over a measure column: min/max of the *valid*
+//!   (non-null, non-NaN) values plus the null count. A `[lo, hi)`
+//!   measure filter can only match inside the valid range, so a
+//!   disjoint zone proves the whole segment irrelevant.
+
+use std::collections::BTreeSet;
+
+/// Above this many distinct keys a [`KeyZone`] degrades to min/max
+/// only, bounding zone-map size per segment.
+pub const DISTINCT_KEY_CAP: usize = 64;
+
+/// Zone map over one dimension-key column of a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyZone {
+    /// Dimension name this zone summarises.
+    pub column: String,
+    /// Smallest surrogate key present (`> max` for an empty column).
+    pub min: u32,
+    /// Largest surrogate key present.
+    pub max: u32,
+    /// Exact sorted distinct-key set when it fits
+    /// [`DISTINCT_KEY_CAP`]; `None` means "min/max only".
+    pub distinct: Option<Vec<u32>>,
+}
+
+impl KeyZone {
+    /// Summarise a key column.
+    pub fn from_keys(column: impl Into<String>, keys: &[u32]) -> Self {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut set: BTreeSet<u32> = BTreeSet::new();
+        for &k in keys {
+            min = min.min(k);
+            max = max.max(k);
+            if set.len() <= DISTINCT_KEY_CAP {
+                set.insert(k);
+            }
+        }
+        let distinct =
+            (!keys.is_empty() && set.len() <= DISTINCT_KEY_CAP).then(|| set.into_iter().collect());
+        KeyZone {
+            column: column.into(),
+            min,
+            max,
+            distinct,
+        }
+    }
+
+    /// Could the column contain `key`?
+    pub fn may_contain(&self, key: u32) -> bool {
+        if key < self.min || key > self.max {
+            return false;
+        }
+        match &self.distinct {
+            Some(d) => d.binary_search(&key).is_ok(),
+            None => true,
+        }
+    }
+
+    /// Could the column contain *any* of `allowed`? False proves the
+    /// segment holds no row passing an `attribute IN …` filter on this
+    /// dimension.
+    pub fn may_contain_any(&self, allowed: &BTreeSet<u32>) -> bool {
+        if self.min > self.max {
+            return false; // empty column
+        }
+        match &self.distinct {
+            Some(d) => d.iter().any(|k| allowed.contains(k)),
+            None => allowed.range(self.min..=self.max).next().is_some(),
+        }
+    }
+}
+
+/// Zone map over one measure column of a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureZone {
+    /// Measure name this zone summarises.
+    pub column: String,
+    /// `(min, max)` over valid finite values; `None` when the segment
+    /// holds no comparable value (all null / all NaN / empty).
+    pub range: Option<(f64, f64)>,
+    /// Number of rows whose measurement is missing.
+    pub null_count: u64,
+}
+
+impl MeasureZone {
+    /// Summarise a measure column (`values[i]` meaningful only where
+    /// `valid[i]`).
+    pub fn from_values(column: impl Into<String>, values: &[f64], valid: &[bool]) -> Self {
+        let mut range: Option<(f64, f64)> = None;
+        let mut null_count = 0u64;
+        for (v, ok) in values.iter().zip(valid) {
+            if !*ok {
+                null_count += 1;
+                continue;
+            }
+            if v.is_nan() {
+                continue; // incomparable; rows with NaN fail every range filter
+            }
+            range = Some(match range {
+                Some((mn, mx)) => (mn.min(*v), mx.max(*v)),
+                None => (*v, *v),
+            });
+        }
+        MeasureZone {
+            column: column.into(),
+            range,
+            null_count,
+        }
+    }
+
+    /// Could any row pass a `measure in [lo, hi)` filter? Rows with a
+    /// missing or NaN measurement never pass, so `None` range means no.
+    pub fn may_overlap(&self, lo: f64, hi: f64) -> bool {
+        match self.range {
+            Some((mn, mx)) => mx >= lo && mn < hi,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_zone_tracks_min_max_and_distinct() {
+        let z = KeyZone::from_keys("Visit", &[4, 9, 4, 7]);
+        assert_eq!((z.min, z.max), (4, 9));
+        assert_eq!(z.distinct.as_deref(), Some(&[4, 7, 9][..]));
+        assert!(z.may_contain(7));
+        assert!(!z.may_contain(5), "distinct set prunes inside the range");
+        assert!(!z.may_contain(10));
+        let allowed: BTreeSet<u32> = [5, 6].into_iter().collect();
+        assert!(!z.may_contain_any(&allowed));
+        let hit: BTreeSet<u32> = [6, 9].into_iter().collect();
+        assert!(z.may_contain_any(&hit));
+    }
+
+    #[test]
+    fn key_zone_degrades_past_the_distinct_cap() {
+        let keys: Vec<u32> = (0..200).collect();
+        let z = KeyZone::from_keys("Big", &keys);
+        assert!(z.distinct.is_none());
+        assert!(z.may_contain(150));
+        assert!(!z.may_contain(201));
+        let inside: BTreeSet<u32> = [150].into_iter().collect();
+        assert!(z.may_contain_any(&inside));
+        let outside: BTreeSet<u32> = [500].into_iter().collect();
+        assert!(!z.may_contain_any(&outside));
+    }
+
+    #[test]
+    fn empty_key_zone_contains_nothing() {
+        let z = KeyZone::from_keys("Empty", &[]);
+        assert!(!z.may_contain(0));
+        assert!(!z.may_contain_any(&[0, 1].into_iter().collect()));
+    }
+
+    #[test]
+    fn measure_zone_skips_nulls_and_nans() {
+        let z = MeasureZone::from_values(
+            "FBG",
+            &[5.0, 0.0, f64::NAN, 9.5],
+            &[true, false, true, true],
+        );
+        assert_eq!(z.range, Some((5.0, 9.5)));
+        assert_eq!(z.null_count, 1);
+        assert!(z.may_overlap(9.0, 12.0));
+        assert!(z.may_overlap(1.0, 5.1));
+        assert!(!z.may_overlap(10.0, 20.0));
+        assert!(!z.may_overlap(1.0, 5.0), "[lo, hi) is half-open");
+    }
+
+    #[test]
+    fn all_null_measure_zone_never_overlaps() {
+        let z = MeasureZone::from_values("M", &[0.0, 0.0], &[false, false]);
+        assert_eq!(z.range, None);
+        assert!(!z.may_overlap(f64::MIN, f64::MAX));
+    }
+}

@@ -23,6 +23,7 @@ pub struct ServeMetrics {
     hits: Counter,
     reused_cross_epoch: Counter,
     patched_incremental: Counter,
+    delta_log_aged_out: Counter,
     misses: Counter,
     coalesced: Counter,
     rejected: Counter,
@@ -54,6 +55,7 @@ impl ServeMetrics {
             hits: registry.counter("serve_cache_hits_total"),
             reused_cross_epoch: registry.counter("serve_cache_reused_cross_epoch_total"),
             patched_incremental: registry.counter("serve_cache_patched_incremental_total"),
+            delta_log_aged_out: registry.counter("serve_delta_log_aged_out_total"),
             misses: registry.counter("serve_cache_misses_total"),
             coalesced: registry.counter("serve_coalesced_total"),
             rejected: registry.counter("serve_rejected_total"),
@@ -90,6 +92,13 @@ impl ServeMetrics {
     /// rebuilding. (Also counted as a hit.)
     pub fn record_patched_incremental(&self) {
         self.patched_incremental.inc();
+    }
+
+    /// Record a revalidation attempt that found the delta log aged
+    /// out: the cached entry's epoch predates the oldest retained
+    /// delta, so reuse cannot be proven and the entry is dropped.
+    pub fn record_delta_log_aged_out(&self) {
+        self.delta_log_aged_out.inc();
     }
 
     /// Record a cache miss (the caller became a flight leader).
@@ -193,6 +202,7 @@ impl ServeMetrics {
             hits: self.hits.get(),
             reused_cross_epoch: self.reused_cross_epoch.get(),
             patched_incremental: self.patched_incremental.get(),
+            delta_log_aged_out: self.delta_log_aged_out.get(),
             misses: self.misses.get(),
             coalesced: self.coalesced.get(),
             rejected: self.rejected.get(),
@@ -224,6 +234,9 @@ pub struct MetricsSnapshot {
     /// Hits served by incrementally patching a retained cube
     /// (subset of `hits`).
     pub patched_incremental: u64,
+    /// Revalidations that found the delta log aged out (the cached
+    /// epoch predates the oldest retained delta; entry dropped).
+    pub delta_log_aged_out: u64,
     /// Requests that found no cached result and led an execution.
     pub misses: u64,
     /// Requests coalesced onto an identical in-flight execution.

@@ -108,8 +108,10 @@ impl QueryRequest {
                 ))
             }
             QueryRequest::Cube(spec) => {
-                let cube = profile.time(Phase::Execute, || Cube::build(warehouse, spec))?;
-                profile.rows_scanned(warehouse.n_facts() as u64);
+                let (cube, stats) =
+                    profile.time(Phase::Execute, || Cube::build_with_stats(warehouse, spec))?;
+                profile.rows_scanned(stats.rows_scanned);
+                profile.segments_pruned(stats.segments_pruned);
                 let result = profile.time(Phase::Aggregate, || CubeResult::from_cube(&cube));
                 profile.cells_emitted(result.cells.len() as u64);
                 let retained = Cube::supports_incremental(spec).then_some(cube);

@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
-use warehouse::{ChangeSet, DeltaSummary, Warehouse};
+use warehouse::{ChangeSet, CompactionConfig, DeltaSummary, Warehouse};
 
 /// Tuning knobs for [`QueryService`].
 #[derive(Debug, Clone)]
@@ -499,6 +499,11 @@ impl QueryService {
             None => {
                 // Foreign or aged-out epoch: nothing provable, drop it.
                 span.record("outcome", "unknown_epoch");
+                self.shared.metrics.record_delta_log_aged_out();
+                obs::event_with(
+                    "serve.delta_log_aged_out",
+                    &[("from_epoch", &entry.epoch), ("to_epoch", &current)],
+                );
                 self.shared.cache.remove(fingerprint);
                 return None;
             }
@@ -597,6 +602,40 @@ impl QueryService {
         let epoch = wh.epoch();
         drop(wh);
         self.shared.cache.purge_older_than(epoch);
+    }
+
+    /// Fold rows appended since the last compaction into fresh sealed
+    /// segments using the default [`CompactionConfig`].
+    ///
+    /// See [`Service::compact_now_with`] for the locking contract.
+    pub fn compact_now(&self) -> ServeResult<bool> {
+        self.compact_now_with(&CompactionConfig::default())
+    }
+
+    /// Fold rows appended since the last compaction into fresh sealed
+    /// segments, then vacuum replaced ones from the backend.
+    ///
+    /// The expensive build runs under the warehouse **read** lock, so
+    /// concurrent queries keep executing against the previous segment
+    /// view while segments are encoded and written. Only the install —
+    /// an in-memory pointer swap — takes the write lock, which is the
+    /// same lock queries execute under: a query sees either the old
+    /// segment set or the new one, never a mixture. Returns `false`
+    /// when there was nothing to compact, or when the warehouse moved
+    /// between plan and install (the stale plan is discarded and its
+    /// orphaned segments vacuumed; callers may simply retry).
+    pub fn compact_now_with(&self, config: &CompactionConfig) -> ServeResult<bool> {
+        let plan = {
+            let wh = self.shared.warehouse.read();
+            wh.plan_compaction(config)?
+        };
+        let Some(plan) = plan else {
+            return Ok(false);
+        };
+        let mut wh = self.shared.warehouse.write();
+        let installed = wh.install_compaction(plan)?;
+        wh.vacuum_segments()?;
+        Ok(installed)
     }
 
     /// Run `f` against the live warehouse under the read lock.

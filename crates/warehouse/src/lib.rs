@@ -17,6 +17,10 @@
 //! * [`feedback`] — user-feedback dimensions: clinician-derived
 //!   labels appended to the warehouse after load, closing the
 //!   knowledge-management loop of Fig. 2.
+//! * [`segments`] — the sealed-segment view of the fact table and the
+//!   two-phase compactor folding the delta log into fresh `segstore`
+//!   segments behind a watermark, without ever blocking readers on a
+//!   half-built state.
 //! * [`delta`] — the versioned delta log behind delta-aware epochs:
 //!   every mutation records a [`DeltaSummary`] (dimensions touched,
 //!   fact-row range appended, whether existing rows were rewritten),
@@ -35,9 +39,11 @@ pub mod delta;
 pub mod feedback;
 pub mod loader;
 pub mod model;
+pub mod segments;
 pub mod storage;
 
 pub use delta::{ChangeSet, DeltaKind, DeltaLog, DeltaSummary, DELTA_LOG_CAPACITY};
 pub use loader::{LoadPlan, Warehouse};
 pub use model::{discri_model, fig1_model, DimensionDef, FactDef, Hierarchy, StarSchema};
+pub use segments::{CompactionConfig, CompactionPlan, SegmentSet};
 pub use storage::{DimensionTable, FactTable, MeasureColumn, SurrogateKey};

@@ -20,8 +20,17 @@ fn next_epoch() -> u64 {
 
 /// Injected faults surface as ordinary invalid-input errors so every
 /// caller's existing error path exercises the failure.
-fn map_fault(e: fault::FaultError) -> Error {
+pub(crate) fn map_fault(e: fault::FaultError) -> Error {
     Error::invalid(e.to_string())
+}
+
+/// Fetch a source-row value by resolved column index without panicking
+/// on a short row (hot-path no-panic discipline: a malformed source
+/// table must surface as an error, never an index panic).
+fn value_at(values: &[Value], idx: usize) -> Result<&Value> {
+    values
+        .get(idx)
+        .ok_or_else(|| Error::invalid(format!("source row lacks resolved column index {idx}")))
 }
 
 /// A load plan: the star schema to populate, with every referenced
@@ -91,6 +100,10 @@ pub struct Warehouse {
     /// Bounded log of epoch transitions, one [`DeltaSummary`] per
     /// mutation, consumed by [`Warehouse::deltas_since`].
     deltas: DeltaLog,
+    /// Sealed-segment view of the fact table (see [`crate::segments`]).
+    /// Clones share the backend: compaction installed on one clone is
+    /// invisible to the others, which keep their own segment lists.
+    pub(crate) segments: crate::segments::SegmentSet,
 }
 
 impl Warehouse {
@@ -141,16 +154,22 @@ impl Warehouse {
 
         for row in table.rows() {
             let values = row.values();
-            for (di, sources) in dim_sources.iter().enumerate() {
-                let tuple: Vec<Value> = sources.iter().map(|&i| values[i].clone()).collect();
-                let key = dims[di].intern(tuple)?;
-                fact.dim_keys[di].push(key);
+            for ((dim, keys), sources) in dims
+                .iter_mut()
+                .zip(fact.dim_keys.iter_mut())
+                .zip(&dim_sources)
+            {
+                let tuple: Vec<Value> = sources
+                    .iter()
+                    .map(|&i| value_at(values, i).cloned())
+                    .collect::<Result<_>>()?;
+                keys.push(dim.intern(tuple)?);
             }
-            for (mi, &src) in measure_sources.iter().enumerate() {
-                fact.measures[mi].push(values[src].as_f64());
+            for (measure, &src) in fact.measures.iter_mut().zip(&measure_sources) {
+                measure.push(value_at(values, src)?.as_f64());
             }
-            for (gi, &src) in degenerate_sources.iter().enumerate() {
-                fact.degenerate[gi].1.push(values[src].clone());
+            for ((_, col), &src) in fact.degenerate.iter_mut().zip(&degenerate_sources) {
+                col.push(value_at(values, src)?.clone());
             }
         }
         fact.validate()?;
@@ -162,6 +181,11 @@ impl Warehouse {
             fact,
             epoch,
             deltas: DeltaLog::new(DELTA_LOG_CAPACITY),
+            segments: crate::segments::SegmentSet::new(
+                std::sync::Arc::new(segstore::MemoryBackend::new()),
+                epoch,
+                0,
+            ),
         })
     }
 
@@ -208,16 +232,23 @@ impl Warehouse {
 
         for row in table.rows() {
             let values = row.values();
-            for (di, sources) in dim_sources.iter().enumerate() {
-                let tuple: Vec<Value> = sources.iter().map(|&i| values[i].clone()).collect();
-                let key = self.dims[di].intern(tuple)?;
-                self.fact.dim_keys[di].push(key);
+            for ((dim, keys), sources) in self
+                .dims
+                .iter_mut()
+                .zip(self.fact.dim_keys.iter_mut())
+                .zip(&dim_sources)
+            {
+                let tuple: Vec<Value> = sources
+                    .iter()
+                    .map(|&i| value_at(values, i).cloned())
+                    .collect::<Result<_>>()?;
+                keys.push(dim.intern(tuple)?);
             }
-            for (mi, &src) in measure_sources.iter().enumerate() {
-                self.fact.measures[mi].push(values[src].as_f64());
+            for (measure, &src) in self.fact.measures.iter_mut().zip(&measure_sources) {
+                measure.push(value_at(values, src)?.as_f64());
             }
-            for (gi, &src) in degenerate_sources.iter().enumerate() {
-                self.fact.degenerate[gi].1.push(values[src].clone());
+            for ((_, col), &src) in self.fact.degenerate.iter_mut().zip(&degenerate_sources) {
+                col.push(value_at(values, src)?.clone());
             }
         }
         self.fact.validate()?;
@@ -346,22 +377,26 @@ impl Warehouse {
         rows: Range<usize>,
     ) -> Result<Vec<&Value>> {
         let (di, ai) = self.find_attribute(attribute)?;
-        let dim = &self.dims[di];
-        let keys = &self.fact.dim_keys[di];
-        if rows.end > keys.len() {
-            return Err(Error::invalid(format!(
+        let dim = self
+            .dims
+            .get(di)
+            .ok_or_else(|| Error::invalid(format!("dangling dimension index {di}")))?;
+        let keys = self.fact.keys_of(&dim.name)?;
+        let slice = keys.get(rows.clone()).ok_or_else(|| {
+            Error::invalid(format!(
                 "row range {}..{} exceeds {} facts",
                 rows.start,
                 rows.end,
                 keys.len()
-            )));
-        }
-        let mut out = Vec::with_capacity(rows.len());
-        for &k in &keys[rows] {
-            let tuple = dim
+            ))
+        })?;
+        let mut out = Vec::with_capacity(slice.len());
+        for &k in slice {
+            let value = dim
                 .tuple(k)
+                .and_then(|tuple| tuple.get(ai))
                 .ok_or_else(|| Error::invalid(format!("dangling key {k} in `{}`", dim.name)))?;
-            out.push(&tuple[ai]);
+            out.push(value);
         }
         Ok(out)
     }

@@ -74,7 +74,7 @@ impl DimensionTable {
             })?;
         self.tuples
             .get(key as usize)
-            .map(|t| &t[idx])
+            .and_then(|t| t.get(idx))
             .ok_or_else(|| {
                 Error::invalid(format!("dimension `{}` key {key} out of range", self.name))
             })
@@ -134,7 +134,7 @@ impl MeasureColumn {
     /// The value at `row`, if present.
     pub fn get(&self, row: usize) -> Option<f64> {
         if *self.valid.get(row)? {
-            Some(self.values[row])
+            self.values.get(row).copied()
         } else {
             None
         }
@@ -209,7 +209,10 @@ impl FactTable {
 
     /// Key column for a dimension.
     pub fn keys_of(&self, dimension: &str) -> Result<&[SurrogateKey]> {
-        Ok(&self.dim_keys[self.dim_index(dimension)?])
+        let di = self.dim_index(dimension)?;
+        self.dim_keys.get(di).map(Vec::as_slice).ok_or_else(|| {
+            Error::invalid(format!("fact table has no key column for `{dimension}`"))
+        })
     }
 
     /// Measure column by name.

@@ -28,4 +28,10 @@ cargo test -q --test obs_tracing
 echo "==> fault matrix (torn WAL, worker panics, breaker degradation)"
 cargo test -q --test fault_injection
 
+echo "==> segment round-trips (both backends, CRC corruption detection)"
+cargo test -q --test segstore_roundtrip
+
+echo "==> scan bench (zone-map + footprint pruning, BENCH_scan.json, asserts >=5x)"
+cargo bench -p bench --bench scan
+
 echo "All checks passed."

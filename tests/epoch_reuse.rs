@@ -130,6 +130,59 @@ fn appended_rows_patch_retained_cubes_identically_to_a_rebuild() {
 }
 
 #[test]
+fn aged_out_delta_log_is_counted_and_traced() {
+    let _guard = tracing_lock();
+    let collector = Arc::new(RingCollector::new(4096));
+    obs::install(collector.clone());
+
+    let svc = QueryService::new(small_warehouse(), ServeConfig::default()).unwrap();
+    let request = QueryRequest::Report(ReportSpec::new().on_rows("FBG_Band").count());
+    let before = svc.execute(&request).unwrap();
+    assert_eq!(before.source, ServedSource::Executed);
+
+    // Push the cached entry's epoch past the bounded delta log: one
+    // more append than the log retains, so revalidation can prove
+    // nothing about the gap.
+    for _ in 0..warehouse::DELTA_LOG_CAPACITY + 1 {
+        svc.append(&rows_table(vec![vec![
+            5.1.into(),
+            "very good".into(),
+            "F".into(),
+        ]]))
+        .unwrap();
+    }
+    let after = svc.execute(&request).unwrap();
+    obs::uninstall();
+
+    assert_eq!(
+        after.source,
+        ServedSource::Executed,
+        "an unprovable entry must re-execute"
+    );
+    let m = svc.metrics();
+    assert_eq!(m.delta_log_aged_out, 1, "aged-out drop is counted: {m}");
+    assert_eq!(m.reused_cross_epoch, 0);
+    assert_eq!(m.patched_incremental, 0);
+
+    // The drop is observable: the cache.revalidate span records the
+    // unknown-epoch outcome and a companion event carries the gap.
+    let revalidations: Vec<_> = collector
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "cache.revalidate")
+        .collect();
+    assert_eq!(revalidations.len(), 1);
+    assert_eq!(revalidations[0].field("outcome"), Some("unknown_epoch"));
+    assert!(
+        collector
+            .events()
+            .iter()
+            .any(|e| e.name == "serve.delta_log_aged_out"),
+        "aged-out drops emit a trace event"
+    );
+}
+
+#[test]
 fn distinct_aggregates_rebuild_instead_of_patching() {
     let star = StarSchema::new(
         FactDef::new("Facts", vec!["FBG"], vec!["PatientId"]),

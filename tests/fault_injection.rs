@@ -365,3 +365,152 @@ fn breaker_serves_stale_marked_results_then_closes_after_recovery() {
     assert!(!warm.value.degraded);
     svc.shutdown();
 }
+
+// --------------------------------------- compactor: crash-surviving seals
+
+/// Every compactor failpoint × fault kind, drilled through the serving
+/// layer: a compaction that errors *or panics* mid-build or mid-install
+/// must leave the previously sealed segments live, keep every row
+/// queryable (sealed + tail), and a retry after the fault clears must
+/// seal the backlog cleanly.
+#[test]
+fn compactor_crashes_never_lose_sealed_segments() {
+    let _lock = fault::test_support::fault_lock();
+    for point in ["warehouse.compact_build", "warehouse.compact_install"] {
+        for kind in [FaultKind::Error, FaultKind::Panic] {
+            let svc = service(ServeConfig::default());
+            assert!(svc.compact_now().unwrap(), "initial seal");
+            let sealed = svc.with_warehouse(|wh| (wh.segments().len(), wh.segments().watermark()));
+            assert_eq!(sealed.1, 4, "all seed rows sealed");
+
+            // Grow a tail, then crash its compaction.
+            svc.append(&rows_table(vec![vec![
+                9.9.into(),
+                "Diabetic".into(),
+                "F".into(),
+            ]]))
+            .unwrap();
+            {
+                let _fp = fault::arm(point, Trigger::Once, kind);
+                let crashed =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.compact_now()));
+                match crashed {
+                    Ok(result) => assert!(
+                        result.is_err(),
+                        "{point}/Error must surface as a typed error"
+                    ),
+                    Err(_) => assert_eq!(kind, FaultKind::Panic, "only panic drills may unwind"),
+                }
+            }
+
+            // The sealed view is exactly what it was before the crash.
+            let after = svc.with_warehouse(|wh| (wh.segments().len(), wh.segments().watermark()));
+            assert_eq!(after, sealed, "{point}/{kind:?} tore the sealed view");
+
+            // Every row — sealed and tail — still serves.
+            svc.clear_cache();
+            let served = svc.execute(&count_by_band()).unwrap();
+            let total: f64 = served
+                .value
+                .as_pivot()
+                .unwrap()
+                .cells
+                .iter()
+                .flatten()
+                .filter_map(|c| *c)
+                .sum();
+            assert_eq!(total, 5.0, "{point}/{kind:?} lost rows");
+
+            // Fault cleared: the retry seals the backlog (including any
+            // orphans the crashed install left behind).
+            assert!(svc.compact_now().unwrap(), "{point}/{kind:?} retry");
+            assert_eq!(svc.with_warehouse(|wh| wh.segments().watermark()), 5);
+            svc.shutdown();
+        }
+    }
+}
+
+/// The compactor's two-phase locking (plan under the read lock, swap
+/// under the write lock) means a query racing a compaction sees either
+/// the old segment set or the new one — never a mixture. Hammer
+/// queries against concurrent append + compact + vacuum cycles: per
+/// querying thread the observed row totals must be monotone (a torn
+/// view double-counts or drops rows, breaking monotonicity).
+#[test]
+fn concurrent_queries_never_see_a_torn_segment_view() {
+    use olap::CubeSpec;
+    let svc = std::sync::Arc::new(service(ServeConfig::default()));
+    assert!(svc.compact_now().unwrap());
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let rounds = 24usize;
+
+    std::thread::scope(|s| {
+        let observers: Vec<_> = (0..2)
+            .map(|_| {
+                let svc = std::sync::Arc::clone(&svc);
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut totals = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        svc.clear_cache();
+                        let served = svc.cube(CubeSpec::count(vec!["FBG_Band"])).unwrap();
+                        let total: f64 = served
+                            .value
+                            .as_cube()
+                            .unwrap()
+                            .cells
+                            .iter()
+                            .map(|(_, v)| v)
+                            .sum();
+                        totals.push(total);
+                    }
+                    totals
+                })
+            })
+            .collect();
+
+        for _ in 0..rounds {
+            svc.append(&rows_table(vec![vec![
+                6.0.into(),
+                "preDiabetic".into(),
+                "M".into(),
+            ]]))
+            .unwrap();
+            svc.compact_now().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+
+        for handle in observers {
+            let totals = handle.join().unwrap();
+            for window in totals.windows(2) {
+                assert!(
+                    window[1] >= window[0],
+                    "row totals went backwards: {window:?} — torn segment view"
+                );
+            }
+            for t in &totals {
+                assert!(
+                    (4.0..=(4 + rounds) as f64).contains(t),
+                    "impossible row total {t}"
+                );
+            }
+        }
+    });
+
+    // Quiesced: everything sealed, the final count is exact.
+    svc.clear_cache();
+    let served = svc.cube(CubeSpec::count(vec!["FBG_Band"])).unwrap();
+    let total: f64 = served
+        .value
+        .as_cube()
+        .unwrap()
+        .cells
+        .iter()
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(total, (4 + rounds) as f64);
+    assert_eq!(
+        svc.with_warehouse(|wh| wh.segments().watermark()),
+        4 + rounds
+    );
+}
