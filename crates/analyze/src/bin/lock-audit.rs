@@ -1,0 +1,90 @@
+//! Stand-alone concurrency auditor CLI over [`analyze::locks`].
+//!
+//! ```text
+//! cargo run -p analyze --bin lock-audit            # full report
+//! cargo run -p analyze --bin lock-audit -- --edges # edge list only
+//! cargo run -p analyze --bin lock-audit -- --order # derived topological order
+//! cargo run -p analyze --bin lock-audit -- --dot   # graphviz
+//! cargo run -p analyze --bin lock-audit -- --root <dir>
+//! ```
+//!
+//! Exits non-zero when the audit finds any error-severity diagnostic
+//! (A300 cycle, A303 unranked lock, A304 rank contradiction), so it
+//! can serve as a CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut mode = "report";
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("lock-audit: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--edges" => mode = "edges",
+            "--order" => mode = "order",
+            "--dot" => mode = "dot",
+            "--help" | "-h" => {
+                eprintln!("usage: lock-audit [--root <dir>] [--edges | --order | --dot]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lock-audit: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let audit = match analyze::audit_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "lock-audit: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match mode {
+        "edges" => {
+            for e in &audit.edges {
+                let via = if e.via.is_empty() {
+                    String::new()
+                } else {
+                    format!(" via {}", e.via.join(" -> "))
+                };
+                println!(
+                    "{} -> {}  [{} at {}:{}{}]",
+                    e.from, e.to, e.func, e.file, e.line, via
+                );
+            }
+        }
+        "order" => {
+            for (i, id) in audit.derived_order().iter().enumerate() {
+                let rank = audit
+                    .decls
+                    .iter()
+                    .find(|d| &d.id == id)
+                    .and_then(|d| d.rank.clone())
+                    .unwrap_or_else(|| "-".into());
+                println!("{i:>3}  {id:<28} {rank}");
+            }
+        }
+        "dot" => print!("{}", audit.dot()),
+        _ => print!("{}", audit.report()),
+    }
+
+    if audit.errors().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -8,9 +8,15 @@
 //! * `--root <path>` — workspace root (default: inferred from
 //!   `CARGO_MANIFEST_DIR`, falling back to the current directory);
 //! * `--fix-hints` — print each offending line together with its rule
-//!   id and the suggested fix.
+//!   id and the suggested fix;
+//! * `--escapes` — print the full escape table: every honoured
+//!   `lint:allow` with its justification (bare escapes are flagged);
+//! * `--locks` — also run the [`analyze::locks`] concurrency audit
+//!   and fail on any error-severity A3xx finding (lock-order cycle,
+//!   unranked lock, rank contradiction).
 
 use analyze::lint::lint_workspace;
+use analyze::locks::audit_workspace;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -25,6 +31,8 @@ fn default_root() -> PathBuf {
 fn main() -> ExitCode {
     let mut root = default_root();
     let mut fix_hints = false;
+    let mut show_escapes = false;
+    let mut locks = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,9 +44,12 @@ fn main() -> ExitCode {
                 }
             },
             "--fix-hints" => fix_hints = true,
+            "--escapes" => show_escapes = true,
+            "--locks" => locks = true,
             other => {
                 eprintln!(
-                    "repo-lint: unknown flag `{other}` (expected --root <path>, --fix-hints)"
+                    "repo-lint: unknown flag `{other}` \
+                     (expected --root <path>, --fix-hints, --escapes, --locks)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -60,13 +71,99 @@ fn main() -> ExitCode {
             println!("{v}");
         }
     }
+
+    // Every escape needs a stated reason; bare ones are warned about
+    // (not failed) so justifications can be backfilled incrementally.
+    let bare: Vec<_> = report
+        .escapes
+        .iter()
+        .filter(|e| e.reason.is_none())
+        .collect();
+    if show_escapes {
+        println!("escape table ({} honoured):", report.escapes.len());
+        for e in &report.escapes {
+            println!(
+                "  {}:{} [{}] {}",
+                e.file,
+                e.line,
+                e.rule,
+                e.reason.as_deref().unwrap_or("(no reason given)")
+            );
+        }
+    }
+    for e in &bare {
+        println!(
+            "warning: bare escape {}:{} [{}] — justify it: lint:allow({}, \"reason\")",
+            e.file, e.line, e.rule, e.rule
+        );
+    }
+
+    let mut lock_errors = 0usize;
+    if locks {
+        match audit_workspace(&root) {
+            Ok(audit) => {
+                for f in audit.errors() {
+                    println!(
+                        "{}[{}] {}{}",
+                        f.diagnostic.severity,
+                        f.diagnostic.code,
+                        if f.line > 0 {
+                            format!("{}:{}: ", f.file, f.line)
+                        } else {
+                            String::new()
+                        },
+                        f.diagnostic.message
+                    );
+                    lock_errors += 1;
+                }
+                for f in audit.warnings() {
+                    println!(
+                        "{}[{}] {}:{}: {}",
+                        f.diagnostic.severity,
+                        f.diagnostic.code,
+                        f.file,
+                        f.line,
+                        f.diagnostic.message
+                    );
+                }
+                if show_escapes && !audit.escapes.is_empty() {
+                    println!("lock-audit escapes ({} honoured):", audit.escapes.len());
+                    for e in &audit.escapes {
+                        println!(
+                            "  {}:{} [{}] {}",
+                            e.file,
+                            e.line,
+                            e.rule,
+                            e.reason.as_deref().unwrap_or("(no reason given)")
+                        );
+                    }
+                }
+                println!(
+                    "lock-audit: {} locks, {} edges, {} error(s), {} warning(s)",
+                    audit.decls.len(),
+                    audit.edges.len(),
+                    audit.errors().len(),
+                    audit.warnings().len(),
+                );
+            }
+            Err(e) => {
+                eprintln!(
+                    "repo-lint: lock audit failed to walk {}: {e}",
+                    root.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     println!(
-        "repo-lint: {} files checked, {} violation(s), {} lint:allow escape(s)",
+        "repo-lint: {} files checked, {} violation(s), {} lint:allow escape(s) ({} bare)",
         report.files_checked,
         report.violations.len(),
         report.escapes.len(),
+        bare.len(),
     );
-    if report.violations.is_empty() {
+    if report.violations.is_empty() && lock_errors == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -2,10 +2,11 @@
 //!
 //! Every problem the semantic analyzer can report has a stable code:
 //! `A0xx` for name-resolution failures, `A1xx` for type errors on
-//! condition literals, `A2xx` for aggregation-legality violations.
-//! Codes are part of the service contract — clients match on them, so
-//! they never change meaning; [`explain`] returns the long-form
-//! description behind each one.
+//! condition literals, `A2xx` for aggregation-legality violations,
+//! `A3xx` for concurrency findings from the lock auditor
+//! ([`crate::locks`]). Codes are part of the service contract —
+//! clients match on them, so they never change meaning; [`explain`]
+//! returns the long-form description behind each one.
 
 use clinical_types::{render_snippet, Span};
 use std::fmt;
@@ -13,7 +14,7 @@ use std::fmt;
 /// Stable diagnostic codes.
 ///
 /// The numeric bands group related failures: `A0xx` naming, `A1xx`
-/// typing, `A2xx` aggregation legality.
+/// typing, `A2xx` aggregation legality, `A3xx` lock discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // the variants are documented by `explain`
 pub enum Code {
@@ -51,10 +52,20 @@ pub enum Code {
     A204AggregateTargetNotMeasure,
     /// `A205` — the query projects no axes at all.
     A205NoAxes,
+    /// `A300` — lock-order cycle in the interprocedural lock graph.
+    A300LockOrderCycle,
+    /// `A301` — lock guard held across a blocking operation.
+    A301LockAcrossBlocking,
+    /// `A302` — lock guard held across `catch_unwind`.
+    A302LockAcrossCatchUnwind,
+    /// `A303` — lock field with no rank in a ranked crate.
+    A303UnrankedLock,
+    /// `A304` — observed acquisition order contradicts the rank table.
+    A304RankOrderContradiction,
 }
 
 /// Every code, in ascending order (drives `explain --list`).
-pub const ALL_CODES: [Code; 17] = [
+pub const ALL_CODES: [Code; 22] = [
     Code::A001UnknownCube,
     Code::A002UnknownAxisAttribute,
     Code::A003UnknownMeasure,
@@ -72,6 +83,11 @@ pub const ALL_CODES: [Code; 17] = [
     Code::A203DuplicateAxis,
     Code::A204AggregateTargetNotMeasure,
     Code::A205NoAxes,
+    Code::A300LockOrderCycle,
+    Code::A301LockAcrossBlocking,
+    Code::A302LockAcrossCatchUnwind,
+    Code::A303UnrankedLock,
+    Code::A304RankOrderContradiction,
 ];
 
 impl Code {
@@ -95,6 +111,11 @@ impl Code {
             Code::A203DuplicateAxis => "A203",
             Code::A204AggregateTargetNotMeasure => "A204",
             Code::A205NoAxes => "A205",
+            Code::A300LockOrderCycle => "A300",
+            Code::A301LockAcrossBlocking => "A301",
+            Code::A302LockAcrossCatchUnwind => "A302",
+            Code::A303UnrankedLock => "A303",
+            Code::A304RankOrderContradiction => "A304",
         }
     }
 
@@ -134,6 +155,15 @@ impl Code {
             Code::A203DuplicateAxis => "the same attribute appears on more than one axis",
             Code::A204AggregateTargetNotMeasure => "aggregate target is not a numeric measure",
             Code::A205NoAxes => "query projects no axes",
+            Code::A300LockOrderCycle => {
+                "lock-order cycle: two paths acquire locks in opposite order"
+            }
+            Code::A301LockAcrossBlocking => "lock guard held across a blocking operation",
+            Code::A302LockAcrossCatchUnwind => "lock guard held across catch_unwind",
+            Code::A303UnrankedLock => "lock field in a ranked crate carries no rank",
+            Code::A304RankOrderContradiction => {
+                "observed acquisition order contradicts the LockRank table"
+            }
         }
     }
 }
@@ -234,6 +264,51 @@ pub fn explain(code: &str) -> Option<&'static str> {
         Code::A205NoAxes => {
             "A205 no axes: the query projects nothing; at least one axis \
              attribute is required to shape the pivot."
+        }
+        Code::A300LockOrderCycle => {
+            "A300 lock-order cycle: the interprocedural lock graph contains a \
+             cycle — some execution path acquires lock B while holding lock A, \
+             and another acquires A while holding B. Two threads interleaving \
+             those paths deadlock. The diagnostic carries the full witness \
+             path (function chain and acquisition sites for every edge of the \
+             cycle). Fix by making every path acquire the locks in the \
+             LockRank order, or by shrinking one guard's scope so the inner \
+             acquisition happens after release."
+        }
+        Code::A301LockAcrossBlocking => {
+            "A301 lock across blocking operation: a guard is live across a \
+             call that can block indefinitely (channel recv, thread join, \
+             sleep, condvar wait, disk I/O, or a fault-injection point that \
+             may stall). Every other thread needing that lock stalls too, and \
+             under fault injection this turns a slow disk into a frozen \
+             process. Drop the guard first, or move the blocking call out of \
+             the critical section. Deliberate pairings (a condvar wait's own \
+             mutex, a WAL mutex whose entire job is serialising the write) \
+             are escaped with lint:allow(A301, \"reason\")."
+        }
+        Code::A302LockAcrossCatchUnwind => {
+            "A302 lock across catch_unwind: a guard is live across \
+             std::panic::catch_unwind. If the closure panics, the unwinding \
+             stops at the boundary while the guard's lock stays held by a \
+             thread that now continues in a possibly-inconsistent state; with \
+             std locks this also poisons the mutex for every waiter. Acquire \
+             inside the closure, or drop the guard before the boundary."
+        }
+        Code::A303UnrankedLock => {
+            "A303 unranked lock: a Mutex/RwLock field in a crate under rank \
+             discipline (serve, segstore, oltp, warehouse) is neither a \
+             RankedMutex/RankedRwLock nor annotated with a \
+             `// lock:rank(Name)` comment. Unranked locks are invisible to \
+             both the static order check and the runtime rank assertion, so \
+             the deadlock-freedom argument no longer covers them."
+        }
+        Code::A304RankOrderContradiction => {
+            "A304 rank-order contradiction: the static lock graph observed an \
+             acquisition edge from a higher-ranked (or equal-ranked) lock to \
+             a lower-ranked one, contradicting obs::LockRank. Either the code \
+             is wrong (reorder the acquisitions or split the critical \
+             section) or the rank table is — the two are kept honest against \
+             each other by the lock_conformance test."
         }
     })
 }

@@ -27,9 +27,11 @@ pub mod diag;
 pub mod distance;
 pub mod footprint;
 pub mod lint;
+pub mod locks;
 
 pub use catalog::{Catalog, ColumnKind, CARDINALITY_DIMENSION};
 pub use diag::{explain, Code, Diagnostic, Diagnostics, Severity, ALL_CODES};
 pub use distance::{closest, edit_distance};
 pub use footprint::QueryFootprint;
 pub use lint::{check_source, lint_workspace, LintReport, Violation};
+pub use locks::{audit_sources, audit_workspace, LockAudit, LockDecl, LockEdge, LockFinding};

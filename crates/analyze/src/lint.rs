@@ -23,14 +23,17 @@
 //! * `display-impl` — every public `…Error` enum must implement
 //!   `Display` somewhere in its crate.
 //!
-//! A line may opt out with an inline `lint:allow(<rule>)` comment;
-//! escapes are reported so gates can bound them (the wal/cube
-//! burn-down demands zero).
+//! A line may opt out with an inline
+//! `lint:allow(<rule>, "reason")` comment; escapes are reported (with
+//! their reasons) so gates can bound them (the wal/cube burn-down
+//! demands zero). A bare `lint:allow(<rule>)` without a reason is
+//! still honoured but surfaces as a warning in `repo-lint` — every
+//! escape must explain itself.
 //!
-//! The scanner is deliberately line-based and heuristic: by repository
-//! convention `#[cfg(test)]` modules sit at the end of a file, so
-//! everything from the first such marker to EOF is test code, and
-//! comment lines are skipped.
+//! The scanner is deliberately line-based and heuristic. Test code is
+//! exempt from the hot-path rules: `#[cfg(test)]` regions are tracked
+//! by brace depth ([`test_mask`]), so a test module in the middle of a
+//! file exempts only itself, not everything after it.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -50,11 +53,13 @@ pub const RULE_DISPLAY_IMPL: &str = "display-impl";
 
 /// Workspace-relative path fragments whose files count as the serving
 /// hot path for `no-panic`.
-const HOT_PATHS: [&str; 9] = [
+const HOT_PATHS: [&str; 11] = [
     "crates/serve/src/",
     "crates/etl/src/",
     "crates/warehouse/src/",
     "crates/segstore/src/",
+    "crates/kb/src/",
+    "crates/obs/src/",
     "crates/oltp/src/wal.rs",
     "crates/oltp/src/txn.rs",
     "crates/oltp/src/store.rs",
@@ -106,6 +111,9 @@ pub struct Escape {
     pub line: usize,
     /// The rule the escape suppressed.
     pub rule: &'static str,
+    /// The justification given in `lint:allow(rule, "reason")`.
+    /// `None` marks a bare escape, which `repo-lint` warns about.
+    pub reason: Option<String>,
 }
 
 /// Result of linting a set of files.
@@ -175,10 +183,151 @@ fn is_comment(trimmed: &str) -> bool {
     trimmed.starts_with("//")
 }
 
-fn has_escape(line: &str, rule: &str) -> bool {
-    line.split("lint:allow(")
-        .skip(1)
-        .any(|rest| rest.split(')').next().map(str::trim) == Some(rule))
+/// All `lint:allow(...)` escapes on one line, as
+/// `(rule, Some(reason))` for the justified form
+/// `lint:allow(rule, "reason")` and `(rule, None)` for a bare
+/// `lint:allow(rule)`.
+pub fn escapes_on(line: &str) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    for rest in line.split("lint:allow(").skip(1) {
+        let chars: Vec<char> = rest.chars().collect();
+        let mut i = 0;
+        while i < chars.len() && chars[i] != ',' && chars[i] != ')' {
+            i += 1;
+        }
+        let rule: String = chars[..i].iter().collect::<String>().trim().to_string();
+        if rule.is_empty() {
+            continue;
+        }
+        if i >= chars.len() || chars[i] == ')' {
+            out.push((rule, None));
+            continue;
+        }
+        // After the comma: a quoted reason, which may itself contain
+        // parentheses and commas.
+        i += 1;
+        while i < chars.len() && chars[i] != '"' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            out.push((rule, None));
+            continue;
+        }
+        i += 1;
+        let start = i;
+        while i < chars.len() && chars[i] != '"' {
+            i += 1;
+        }
+        let reason: String = chars[start..i.min(chars.len())].iter().collect();
+        let reason = reason.trim().to_string();
+        out.push((rule, (!reason.is_empty()).then_some(reason)));
+    }
+    out
+}
+
+/// Does `line` carry an escape for `rule`? Returns `Some(reason)` when
+/// it does — the inner `Option` is `None` for a bare (unjustified)
+/// escape.
+pub fn escape_for(line: &str, rule: &str) -> Option<Option<String>> {
+    escapes_on(line)
+        .into_iter()
+        .find(|(r, _)| r == rule)
+        .map(|(_, reason)| reason)
+}
+
+/// `line` with string/char-literal contents blanked to spaces and any
+/// `//` comment truncated, so brace counting and code-needle searches
+/// never match inside literals. Length is *not* preserved past a
+/// comment.
+pub(crate) fn code_portion(line: &str) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(chars.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '"' {
+                        out.push('"');
+                        break;
+                    }
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => break,
+            '\'' => {
+                // Char literal ('x' or '\n') vs lifetime ('a with no
+                // closing quote): only literals are blanked.
+                if i + 2 < chars.len() && chars[i + 1] != '\\' && chars[i + 2] == '\'' {
+                    out.push_str("' '");
+                    i += 2;
+                } else if i + 3 < chars.len() && chars[i + 1] == '\\' && chars[i + 3] == '\'' {
+                    out.push_str("'  '");
+                    i += 3;
+                } else {
+                    out.push(c);
+                }
+            }
+            _ => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Per-line test-code mask for `source`: `mask[i]` is true when line
+/// `i` (0-based) belongs to a `#[cfg(test)]` item. Regions are tracked
+/// by brace depth, so a test module in the middle of a file exempts
+/// only its own block — not everything after it.
+pub fn test_mask(source: &str) -> Vec<bool> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Brace depths at which an active #[cfg(test)] block opened.
+    let mut regions: Vec<i64> = Vec::new();
+    // Saw the attribute; waiting for the item's opening brace (or a
+    // `;` ending a braceless item like `#[cfg(test)] use …;`).
+    let mut pending = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_portion(raw);
+        if code.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        mask[i] = pending || !regions.is_empty();
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' => {
+                    // A braceless cfg(test) item ends here.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
 }
 
 /// Lint one file's source text. `file` is the workspace-relative path
@@ -192,11 +341,9 @@ pub fn check_source(file: &str, source: &str, report: &mut LintReport) {
     let spawn_rules = spawn_needles();
     let todo_rules = todo_needles();
 
-    let mut in_tests = false;
+    let mask = test_mask(source);
     for (i, raw) in source.lines().enumerate() {
-        if raw.contains("#[cfg(test)]") {
-            in_tests = true;
-        }
+        let in_tests = mask[i];
         let trimmed = raw.trim();
         if is_comment(trimmed) {
             continue;
@@ -207,11 +354,12 @@ pub fn check_source(file: &str, source: &str, report: &mut LintReport) {
                 if !trimmed.contains(needle.as_str()) {
                     continue;
                 }
-                if has_escape(raw, rule) {
+                if let Some(reason) = escape_for(raw, rule) {
                     report.escapes.push(Escape {
                         file: file.into(),
                         line,
                         rule,
+                        reason,
                     });
                 } else {
                     report.violations.push(Violation {
@@ -339,11 +487,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             if implements_display(whole_crate, &name) {
                 continue;
             }
-            if has_escape(source, RULE_DISPLAY_IMPL) {
+            if let Some(reason) = escape_for(source, RULE_DISPLAY_IMPL) {
                 report.escapes.push(Escape {
                     file: rel.clone(),
                     line: 0,
                     rule: RULE_DISPLAY_IMPL,
+                    reason,
                 });
             } else {
                 report.violations.push(Violation {
@@ -483,6 +632,79 @@ mod tests {
         assert_eq!(report.escapes.len(), 1);
         assert_eq!(report.escapes[0].rule, RULE_NO_PANIC);
         assert_eq!(report.escapes_in("serve"), 1);
+    }
+
+    #[test]
+    fn reasoned_escape_parses_rule_and_reason() {
+        let line = [
+            "let x = f().",
+            "unwrap",
+            "(); // lint:allow(no-panic, \"poisoning is unrecoverable (by design), abort\")",
+        ]
+        .concat();
+        let got = escape_for(&line, "no-panic").expect("escape present");
+        assert_eq!(
+            got.as_deref(),
+            Some("poisoning is unrecoverable (by design), abort"),
+            "quoted reason may contain parens and commas"
+        );
+        // Bare and legacy forms are honoured but carry no reason.
+        assert_eq!(
+            escape_for("// lint:allow(no-panic)", "no-panic"),
+            Some(None)
+        );
+        assert_eq!(
+            escape_for("// lint:allow(no-panic): startup only", "no-panic"),
+            Some(None)
+        );
+        // A different rule's escape does not match.
+        assert_eq!(escape_for("// lint:allow(no-todo)", "no-panic"), None);
+    }
+
+    #[test]
+    fn reasoned_escape_is_recorded_with_reason() {
+        let escaped = [
+            "let x = g().",
+            "expect",
+            "(\"g\"); // lint:allow(no-panic, \"startup only\")",
+        ]
+        .concat();
+        let src = format!("fn f() {{\n{escaped}\n}}\n");
+        let mut report = LintReport::default();
+        check_source("crates/serve/src/service.rs", &src, &mut report);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.escapes.len(), 1);
+        assert_eq!(report.escapes[0].reason.as_deref(), Some("startup only"));
+    }
+
+    #[test]
+    fn mid_file_test_module_does_not_exempt_trailing_code() {
+        // Regression: the old scanner latched `in_tests` at the first
+        // `#[cfg(test)]` and exempted everything to EOF.
+        let src = format!(
+            "#[cfg(test)]\nmod tests {{\n{}\n}}\nfn f() {{\n{}\n}}\n",
+            needle_line("unwrap"),
+            needle_line("unwrap"),
+        );
+        let mut report = LintReport::default();
+        check_source("crates/serve/src/service.rs", &src, &mut report);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert_eq!(
+            report.violations[0].line, 6,
+            "only the post-module line is live code"
+        );
+    }
+
+    #[test]
+    fn test_mask_tracks_braces_not_eof() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod t {\n  fn b() {}\n}\nfn c() {}\n";
+        assert_eq!(test_mask(src), vec![false, true, true, true, true, false]);
+        // Braces inside strings and comments don't confuse the depth.
+        let tricky = "#[cfg(test)]\nfn t() {\n  let s = \"}}}\"; // }\n}\nfn live() {}\n";
+        assert_eq!(test_mask(tricky), vec![true, true, true, true, false]);
+        // A braceless cfg(test) item exempts only its own line.
+        let braceless = "#[cfg(test)]\nuse helper::*;\nfn live() {}\n";
+        assert_eq!(test_mask(braceless), vec![true, true, false]);
     }
 
     #[test]

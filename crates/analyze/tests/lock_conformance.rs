@@ -1,0 +1,167 @@
+//! Conformance between the two halves of the concurrency discipline:
+//! the static lock graph (`analyze::locks`) and the runtime rank table
+//! (`obs::lockrank`). If either drifts — a new lock without a rank, an
+//! acquisition path that contradicts the table, a rank the static pass
+//! cannot parse — this test fails before the deadlock can.
+
+use analyze::locks::{audit_workspace, RANKED_CRATES};
+use obs::{LockRank, ALL_RANKS};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/analyze → workspace root is two levels up.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_lock_audit_is_clean() {
+    let audit = audit_workspace(workspace_root()).expect("walk workspace");
+    let errors: Vec<String> = audit
+        .errors()
+        .iter()
+        .map(|f| format!("{}:{} {}", f.file, f.line, f.diagnostic.message))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "lock audit errors:\n{}",
+        errors.join("\n")
+    );
+    let warnings: Vec<String> = audit
+        .warnings()
+        .iter()
+        .map(|f| format!("{}:{} {}", f.file, f.line, f.diagnostic.message))
+        .collect();
+    assert!(
+        warnings.is_empty(),
+        "lock audit warnings (escape deliberate ones with lint:allow):\n{}",
+        warnings.join("\n")
+    );
+}
+
+#[test]
+fn every_static_rank_parses_into_the_runtime_table() {
+    let audit = audit_workspace(workspace_root()).expect("walk workspace");
+    for d in &audit.decls {
+        if let Some(rank) = &d.rank {
+            assert!(
+                LockRank::parse(rank).is_some(),
+                "`{}` ({}:{}) carries rank `{rank}` unknown to obs::LockRank",
+                d.id,
+                d.file,
+                d.line
+            );
+        }
+    }
+}
+
+#[test]
+fn all_runtime_ranks_are_represented_by_real_locks() {
+    let audit = audit_workspace(workspace_root()).expect("walk workspace");
+    for rank in ALL_RANKS {
+        assert!(
+            audit
+                .decls
+                .iter()
+                .any(|d| d.rank.as_deref().and_then(LockRank::parse) == Some(rank)),
+            "runtime rank {rank} has no lock declaration behind it — \
+             remove it from obs::LockRank or rank the lock"
+        );
+    }
+}
+
+#[test]
+fn every_observed_edge_ascends_the_runtime_ranks() {
+    let audit = audit_workspace(workspace_root()).expect("walk workspace");
+    // The analysis must not be trivially empty: the serve crate's
+    // well-known nestings have to be discovered.
+    let has = |from: &str, to: &str| audit.edges.iter().any(|e| e.from == from && e.to == to);
+    assert!(
+        has("serve.warehouse", "serve.catalog"),
+        "expected warehouse→catalog edge (catalog_for under the warehouse read lock); \
+         edges: {:?}",
+        audit
+            .edges
+            .iter()
+            .map(|e| (&e.from, &e.to))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        has("serve.warehouse", "serve.cache.shards"),
+        "expected warehouse→cache edge (revalidation touches the cache under the read lock)"
+    );
+
+    let rank_of = |id: &str| {
+        audit
+            .decls
+            .iter()
+            .find(|d| d.id == id)
+            .and_then(|d| d.rank.as_deref())
+            .and_then(LockRank::parse)
+    };
+    for e in &audit.edges {
+        if let (Some(a), Some(b)) = (rank_of(&e.from), rank_of(&e.to)) {
+            assert!(
+                a < b,
+                "edge {} ({a}) -> {} ({b}) at {}:{} does not ascend the rank table",
+                e.from,
+                e.to,
+                e.file,
+                e.line
+            );
+        }
+    }
+}
+
+#[test]
+fn derived_topological_order_is_a_linear_extension_of_the_rank_table() {
+    let audit = audit_workspace(workspace_root()).expect("walk workspace");
+    let order = audit.derived_order();
+    let rank_of = |id: &str| {
+        audit
+            .decls
+            .iter()
+            .find(|d| d.id == id)
+            .and_then(|d| d.rank.as_deref())
+            .and_then(LockRank::parse)
+    };
+    // For every edge-constrained pair, the derived order and the
+    // runtime table must agree on direction.
+    for e in &audit.edges {
+        let ia = order
+            .iter()
+            .position(|l| *l == e.from)
+            .expect("from in order");
+        let ib = order.iter().position(|l| *l == e.to).expect("to in order");
+        assert!(
+            ia < ib,
+            "derived order violates edge {} -> {}",
+            e.from,
+            e.to
+        );
+        if let (Some(a), Some(b)) = (rank_of(&e.from), rank_of(&e.to)) {
+            assert!(
+                (a < b) == (ia < ib),
+                "derived order and rank table disagree on {} vs {}",
+                e.from,
+                e.to
+            );
+        }
+    }
+}
+
+#[test]
+fn ranked_crates_have_no_unranked_locks() {
+    let audit = audit_workspace(workspace_root()).expect("walk workspace");
+    for d in &audit.decls {
+        if RANKED_CRATES.contains(&d.krate.as_str()) {
+            assert!(
+                d.rank.is_some(),
+                "`{}` ({}:{}) in ranked crate `{}` has no rank",
+                d.id,
+                d.file,
+                d.line,
+                d.krate
+            );
+        }
+    }
+}

@@ -63,28 +63,28 @@ pub fn table1_schemes() -> Vec<ClinicalScheme> {
             vec![40.0, 60.0, 80.0],
             vec!["<40", "40-60", "60-80", ">80"],
         )
-        .expect("Table I Age scheme is well-formed"), // lint:allow(no-panic): static Table I scheme, validated in tests
+        .expect("Table I Age scheme is well-formed"), // lint:allow(no-panic, "static Table I scheme, validated in tests")
         ClinicalScheme::new(
             "DiagnosticHTYears",
             "Number of years since diagnosis of hypertension",
             vec![2.0, 5.0, 10.0, 20.0],
             vec!["<2", "2-5", "5-10", "10-20", ">20"],
         )
-        .expect("Table I DiagnosticHTYears scheme is well-formed"), // lint:allow(no-panic): static Table I scheme, validated in tests
+        .expect("Table I DiagnosticHTYears scheme is well-formed"), // lint:allow(no-panic, "static Table I scheme, validated in tests")
         ClinicalScheme::new(
             "FBG",
             "Fasting blood glucose level",
             vec![5.5, 6.1, 7.0],
             vec!["very good", "high", "preDiabetic", "Diabetic"],
         )
-        .expect("Table I FBG scheme is well-formed"), // lint:allow(no-panic): static Table I scheme, validated in tests
+        .expect("Table I FBG scheme is well-formed"), // lint:allow(no-panic, "static Table I scheme, validated in tests")
         ClinicalScheme::new(
             "LyingDBPAverage",
             "Diastolic blood pressure when lying down",
             vec![60.0, 80.0, 90.0],
             vec!["low", "normal", "high normal", "hypertension"],
         )
-        .expect("Table I LyingDBPAverage scheme is well-formed"), // lint:allow(no-panic): static Table I scheme, validated in tests
+        .expect("Table I LyingDBPAverage scheme is well-formed"), // lint:allow(no-panic, "static Table I scheme, validated in tests")
     ]
 }
 
@@ -100,7 +100,7 @@ pub fn age_subgroup_scheme() -> ClinicalScheme {
     ClinicalScheme {
         attribute: "Age".into(),
         description: "Five-year age sub-groups (drill-down level)".into(),
-        bins: Bins::with_labels(edges, labels).expect("age subgroup scheme is well-formed"), // lint:allow(no-panic): static scheme, validated in tests
+        bins: Bins::with_labels(edges, labels).expect("age subgroup scheme is well-formed"), // lint:allow(no-panic, "static scheme, validated in tests")
     }
 }
 

@@ -124,7 +124,7 @@ impl From<u64> for Json {
         // Ids above i64::MAX would lose fidelity as Int; render via
         // string is overkill for this workspace (counters and ids stay
         // far below), so saturate defensively.
-        Json::Int(i64::try_from(v).unwrap_or(i64::MAX)) // lint:allow(no-panic)
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
     }
 }
 

@@ -1,7 +1,7 @@
 //! Observability for the DD-DGMS stack: structured tracing, a unified
 //! metrics registry, and per-query execution profiles.
 //!
-//! Three concerns, one crate, zero dependencies:
+//! Four concerns, one crate, zero dependencies:
 //!
 //! * [`trace`] — spans and events with trace ids that survive thread
 //!   boundaries (serve worker pool, parallel cube builds). The
@@ -13,6 +13,10 @@
 //! * [`profile`] — [`QueryProfile`] phase breakdowns (parse → analyze
 //!   → cache lookup → queue → execute → aggregate) attached to query
 //!   outcomes, the stack's `EXPLAIN ANALYZE`.
+//! * [`lockrank`] — the global [`LockRank`] hierarchy plus
+//!   [`RankedMutex`]/[`RankedRwLock`] wrappers that assert ascending
+//!   acquisition order in debug builds (the dynamic half of the
+//!   concurrency auditor; `repo-lint --locks` is the static half).
 //!
 //! Records serialise to JSONL through the crate's own minimal
 //! [`json::Json`] codec (the workspace serde shim is derive-only), so
@@ -39,6 +43,7 @@
 
 pub mod collect;
 pub mod json;
+pub mod lockrank;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
@@ -47,6 +52,10 @@ pub use collect::{
     children_of, parse_jsonl, render_trace, JsonlExporter, Record, RingCollector, WriterSubscriber,
 };
 pub use json::Json;
+pub use lockrank::{
+    held_ranks, rank_checks_enabled, set_rank_checks, LockRank, RankedMutex, RankedMutexGuard,
+    RankedReadGuard, RankedRwLock, RankedWriteGuard, ALL_RANKS,
+};
 pub use metrics::{
     percentile_from_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
     RegistryDelta, RegistrySnapshot,

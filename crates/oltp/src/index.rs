@@ -9,15 +9,27 @@
 
 use crate::store::RowId;
 use clinical_types::Value;
-use parking_lot::RwLock;
+use obs::{LockRank, RankedRwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::sync::Arc;
 
 /// Point-lookup index: value → set of row ids.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct HashIndex {
-    map: Arc<RwLock<HashMap<Value, Vec<RowId>>>>,
+    map: Arc<RankedRwLock<HashMap<Value, Vec<RowId>>>>,
+}
+
+impl Default for HashIndex {
+    fn default() -> Self {
+        HashIndex {
+            map: Arc::new(RankedRwLock::new(
+                LockRank::Index,
+                "oltp.index.map",
+                HashMap::new(),
+            )),
+        }
+    }
 }
 
 impl HashIndex {
@@ -55,9 +67,21 @@ impl HashIndex {
 
 /// Ordered index: value → set of row ids, supporting range scans
 /// under the total [`Value`] order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BTreeIndex {
-    map: Arc<RwLock<BTreeMap<Value, Vec<RowId>>>>,
+    map: Arc<RankedRwLock<BTreeMap<Value, Vec<RowId>>>>,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        BTreeIndex {
+            map: Arc::new(RankedRwLock::new(
+                LockRank::Index,
+                "oltp.index.map",
+                BTreeMap::new(),
+            )),
+        }
+    }
 }
 
 impl BTreeIndex {

@@ -3,7 +3,7 @@
 use crate::encoding::{decode_row, encode_row};
 use bytes::Bytes;
 use clinical_types::{Error, Record, Result, Schema, Value};
-use parking_lot::RwLock;
+use obs::{LockRank, RankedRwLock};
 use std::sync::Arc;
 
 /// Stable identifier of a row within a [`RowStore`] (its heap slot).
@@ -31,7 +31,7 @@ struct Heap {
 #[derive(Debug, Clone)]
 pub struct RowStore {
     schema: Arc<Schema>,
-    heap: Arc<RwLock<Heap>>,
+    heap: Arc<RankedRwLock<Heap>>,
 }
 
 impl RowStore {
@@ -39,7 +39,11 @@ impl RowStore {
     pub fn new(schema: Schema) -> Self {
         RowStore {
             schema: Arc::new(schema),
-            heap: Arc::new(RwLock::new(Heap::default())),
+            heap: Arc::new(RankedRwLock::new(
+                LockRank::Heap,
+                "oltp.heap",
+                Heap::default(),
+            )),
         }
     }
 

@@ -24,6 +24,7 @@
 use crate::encode::{decode_segment, decode_segment_meta, encode_segment};
 use crate::segment::{ColumnSet, Segment, SegmentMeta};
 use clinical_types::{Error, Result};
+use obs::{LockRank, RankedMutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -68,9 +69,20 @@ pub trait SegmentBackend: Send + Sync + fmt::Debug {
 }
 
 /// In-memory backend: the default for freshly loaded warehouses.
-#[derive(Default)]
 pub struct MemoryBackend {
-    segments: parking_lot::Mutex<HashMap<u64, Arc<Segment>>>,
+    segments: RankedMutex<HashMap<u64, Arc<Segment>>>,
+}
+
+impl Default for MemoryBackend {
+    fn default() -> Self {
+        MemoryBackend {
+            segments: RankedMutex::new(
+                LockRank::SegmentSet,
+                "segstore.memory.segments",
+                HashMap::new(),
+            ),
+        }
+    }
 }
 
 impl MemoryBackend {
@@ -144,7 +156,12 @@ impl SegmentBackend for MemoryBackend {
 /// cache upgraded.
 pub struct DiskBackend {
     dir: PathBuf,
-    cache: parking_lot::Mutex<HashMap<u64, Arc<Segment>>>,
+    cache: RankedMutex<HashMap<u64, Arc<Segment>>>,
+}
+
+/// Fresh (empty) decode cache for a disk backend.
+fn disk_cache() -> RankedMutex<HashMap<u64, Arc<Segment>>> {
+    RankedMutex::new(LockRank::SegmentSet, "segstore.disk.cache", HashMap::new())
 }
 
 /// Does a decoded segment materialise every column `want` asks for?
@@ -178,7 +195,7 @@ impl DiskBackend {
         std::fs::create_dir_all(&dir).map_err(|e| map_io("create segment dir", e))?;
         Ok(DiskBackend {
             dir,
-            cache: parking_lot::Mutex::default(),
+            cache: disk_cache(),
         })
     }
 
@@ -193,7 +210,7 @@ impl DiskBackend {
         }
         Ok(DiskBackend {
             dir,
-            cache: parking_lot::Mutex::default(),
+            cache: disk_cache(),
         })
     }
 

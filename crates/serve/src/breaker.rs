@@ -10,7 +10,7 @@
 //! Time comes from [`obs::monotonic_us`] so the state machine is
 //! steady-clock driven and plays by the repo's no-raw-timing rule.
 
-use parking_lot::Mutex;
+use obs::{LockRank, RankedMutex};
 use std::time::Duration;
 
 /// Breaker states, exposed for metrics and tests.
@@ -48,7 +48,7 @@ pub enum Admission {
 /// A consecutive-failure circuit breaker with half-open recovery.
 #[derive(Debug)]
 pub struct CircuitBreaker {
-    inner: Mutex<Inner>,
+    inner: RankedMutex<Inner>,
     /// Consecutive failures that trip the breaker.
     threshold: u32,
     /// How long the breaker stays open before probing.
@@ -60,12 +60,16 @@ impl CircuitBreaker {
     /// probing again `cooldown` after opening.
     pub fn new(threshold: u32, cooldown: Duration) -> Self {
         CircuitBreaker {
-            inner: Mutex::new(Inner {
-                state: BreakerState::Closed,
-                consecutive_failures: 0,
-                opened_at_us: 0,
-                probing: false,
-            }),
+            inner: RankedMutex::new(
+                LockRank::Breaker,
+                "serve.breaker",
+                Inner {
+                    state: BreakerState::Closed,
+                    consecutive_failures: 0,
+                    opened_at_us: 0,
+                    probing: false,
+                },
+            ),
             threshold: threshold.max(1),
             cooldown,
         }

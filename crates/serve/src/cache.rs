@@ -11,8 +11,8 @@
 //! remains for wholesale invalidation after a rewrite.
 
 use crate::request::QueryOutcome;
+use obs::{LockRank, RankedMutex};
 use olap::Cube;
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -99,7 +99,7 @@ impl Shard {
 /// The sharded cache. Sharding by key hash keeps lock contention
 /// bounded when many worker threads publish results concurrently.
 pub struct ResultCache {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<RankedMutex<Shard>>,
 }
 
 impl ResultCache {
@@ -111,17 +111,21 @@ impl ResultCache {
         ResultCache {
             shards: (0..shards)
                 .map(|_| {
-                    Mutex::new(Shard {
-                        entries: HashMap::new(),
-                        capacity: per_shard,
-                        tick: 0,
-                    })
+                    RankedMutex::new(
+                        LockRank::Cache,
+                        "serve.cache.shards",
+                        Shard {
+                            entries: HashMap::new(),
+                            capacity: per_shard,
+                            tick: 0,
+                        },
+                    )
                 })
                 .collect(),
         }
     }
 
-    fn shard(&self, fingerprint: &str) -> &Mutex<Shard> {
+    fn shard(&self, fingerprint: &str) -> &RankedMutex<Shard> {
         let mut h = DefaultHasher::new();
         fingerprint.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]

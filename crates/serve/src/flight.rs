@@ -6,20 +6,22 @@
 //! work under query storms: a popular dashboard query costs one
 //! execution no matter how many clinicians refresh it.
 //!
-//! Flights use `std::sync` directly because waiters need a `Condvar`,
-//! which the `parking_lot` shim does not provide.
+//! The per-flight result slot uses `std::sync` directly because
+//! waiters need a `Condvar`, which the `parking_lot` shim does not
+//! provide; its place in the lock hierarchy is declared with a
+//! `lock:rank` annotation instead of a ranked wrapper.
 
 use crate::cache::CacheKey;
 use crate::error::{ServeError, ServeResult};
 use crate::request::QueryOutcome;
-use obs::SpanContext;
+use obs::{LockRank, RankedMutex, SpanContext};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One in-flight execution that any number of waiters may join.
 pub struct Flight {
-    result: Mutex<Option<ServeResult<Arc<QueryOutcome>>>>,
+    result: Mutex<Option<ServeResult<Arc<QueryOutcome>>>>, // lock:rank(FlightSlot)
     done: Condvar,
     /// The leader's request span, so coalesced followers can link their
     /// own trace to the execution that actually serves them.
@@ -54,7 +56,7 @@ impl Flight {
 
     /// Block until the flight completes or `deadline` elapses.
     pub fn wait(&self, deadline: Duration) -> ServeResult<Arc<QueryOutcome>> {
-        let start = Instant::now(); // lint:allow(no-raw-timing) — deadline arithmetic needs a local clock
+        let start = Instant::now(); // lint:allow(no-raw-timing, "deadline arithmetic needs a local monotonic clock, not a traced span")
         let mut slot = self.result.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(outcome) = slot.as_ref() {
@@ -69,7 +71,7 @@ impl Flight {
             }
             let (guard, timeout) = self
                 .done
-                .wait_timeout(slot, deadline - elapsed)
+                .wait_timeout(slot, deadline - elapsed) // lint:allow(A301, "condvar wait atomically releases the slot lock while parked; the pairing is the point")
                 .unwrap_or_else(|e| e.into_inner());
             slot = guard;
             if timeout.timed_out() && slot.is_none() {
@@ -91,9 +93,16 @@ pub enum FlightRole {
 }
 
 /// The table of in-flight executions, keyed like the cache.
-#[derive(Default)]
 pub struct FlightTable {
-    flights: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    flights: RankedMutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+impl Default for FlightTable {
+    fn default() -> FlightTable {
+        FlightTable {
+            flights: RankedMutex::new(LockRank::Admission, "serve.flights", HashMap::new()),
+        }
+    }
 }
 
 impl FlightTable {
@@ -101,7 +110,7 @@ impl FlightTable {
     /// `ctx` is the joining request's span context: it becomes the
     /// flight's leader context when this caller creates the flight.
     pub fn join(&self, key: &CacheKey, ctx: Option<SpanContext>) -> FlightRole {
-        let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+        let mut flights = self.flights.lock();
         if let Some(flight) = flights.get(key) {
             FlightRole::Follower(Arc::clone(flight))
         } else {
@@ -115,15 +124,12 @@ impl FlightTable {
     /// Publish to the cache first, then retire, then complete the
     /// flight — so no caller can join an already-completed flight.
     pub fn retire(&self, key: &CacheKey) {
-        self.flights
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(key);
+        self.flights.lock().remove(key);
     }
 
     /// Number of executions currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.flights.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.flights.lock().len()
     }
 }
 

@@ -37,9 +37,8 @@ use crate::retry::RetryPolicy;
 use analyze::Catalog;
 use clinical_types::{Table, Value};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use obs::{Phase, ProfileBuilder, SpanContext};
+use obs::{LockRank, Phase, ProfileBuilder, RankedMutex, RankedRwLock, SpanContext};
 use olap::{Cube, CubeSpec};
-use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -144,11 +143,13 @@ struct Job {
 }
 
 struct Shared {
-    warehouse: RwLock<Warehouse>,
+    warehouse: RankedRwLock<Warehouse>,
     /// Semantic catalog for the admission gate, keyed by the epoch it
     /// was built at. Mutations (appends, feedback dimensions) bump the
     /// epoch, so the first admission under a new epoch rebuilds it.
-    catalog: RwLock<(u64, Arc<Catalog>)>,
+    /// Ranked *after* the warehouse: `catalog_for` runs under the
+    /// warehouse read lock.
+    catalog: RankedRwLock<(u64, Arc<Catalog>)>,
     cache: ResultCache,
     flights: FlightTable,
     metrics: ServeMetrics,
@@ -163,7 +164,7 @@ struct Shared {
     retry: RetryPolicy,
     /// Join handles of every live worker, including respawns. Workers
     /// register their replacements here; `drain` joins until empty.
-    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    worker_handles: RankedMutex<Vec<JoinHandle<()>>>,
     /// Live worker count (kept alongside the metrics gauge so tests
     /// can spin-wait on pool recovery without a snapshot).
     workers_alive: AtomicUsize,
@@ -214,8 +215,8 @@ impl QueryService {
         );
         let (sender, receiver) = bounded::<Job>(config.queue_depth.max(1));
         let shared = Arc::new(Shared {
-            warehouse: RwLock::new(warehouse),
-            catalog: RwLock::new(catalog),
+            warehouse: RankedRwLock::new(LockRank::Warehouse, "serve.warehouse", warehouse),
+            catalog: RankedRwLock::new(LockRank::Catalog, "serve.catalog", catalog),
             cache: ResultCache::new(config.cache_capacity, config.cache_shards),
             flights: FlightTable::default(),
             metrics: ServeMetrics::default(),
@@ -224,7 +225,7 @@ impl QueryService {
             receiver,
             breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             retry: config.retry,
-            worker_handles: Mutex::new(Vec::new()),
+            worker_handles: RankedMutex::new(LockRank::Pool, "serve.worker_handles", Vec::new()),
             workers_alive: AtomicUsize::new(0),
             worker_seq: AtomicUsize::new(0),
         });
@@ -291,7 +292,7 @@ impl QueryService {
         request: &QueryRequest,
         deadline: Duration,
     ) -> ServeResult<Served> {
-        let start = Instant::now(); // lint:allow(no-raw-timing) — deadline arithmetic needs a local clock
+        let start = Instant::now(); // lint:allow(no-raw-timing, "deadline arithmetic needs a local monotonic clock, not a traced span")
         let mut span = obs::span("serve.request");
         let trace = span.context().map(|c| c.trace);
         let mut profile = ProfileBuilder::start();

@@ -205,7 +205,7 @@ pub fn fig1_model() -> StarSchema {
             DimensionDef::new("Limb Health", vec!["KneeReflexRight", "AnkleReflexRight"]),
         ],
     )
-    .expect("Fig. 1 model is well-formed") // lint:allow(no-panic): static Fig. 1 model, validated in tests
+    .expect("Fig. 1 model is well-formed") // lint:allow(no-panic, "static Fig. 1 model, validated in tests")
 }
 
 /// The paper's Fig. 3: the dimensional model used in the DiScRi trial
@@ -306,7 +306,7 @@ pub fn discri_model() -> StarSchema {
             ),
         ],
     )
-    .expect("Fig. 3 model is well-formed") // lint:allow(no-panic): static Fig. 3 model, validated in tests
+    .expect("Fig. 3 model is well-formed") // lint:allow(no-panic, "static Fig. 3 model, validated in tests")
 }
 
 #[cfg(test)]

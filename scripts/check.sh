@@ -10,8 +10,8 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings -W clippy::disallowed-methods
 
-echo "==> repo-lint"
-cargo run -q -p analyze --bin repo-lint
+echo "==> repo-lint (--locks: zero cycles, zero unranked locks, rank-table conformance)"
+cargo run -q -p analyze --bin repo-lint -- --locks
 
 echo "==> cargo build --release"
 cargo build --release
@@ -30,6 +30,10 @@ cargo test -q --test fault_injection
 
 echo "==> segment round-trips (both backends, CRC corruption detection)"
 cargo test -q --test segstore_roundtrip
+
+echo "==> lock discipline (static/dynamic conformance, inversion drill)"
+cargo test -q -p analyze --test lock_conformance
+cargo test -q -p obs --test lock_discipline
 
 echo "==> scan bench (zone-map + footprint pruning, BENCH_scan.json, asserts >=5x)"
 cargo bench -p bench --bench scan

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Best-effort ThreadSanitizer pass over the concurrency-heavy test
+# suites (fault matrix, serve concurrency). TSan needs a nightly
+# toolchain with -Zsanitizer support and the matching rust-src; this
+# script probes for both and skips gracefully when the box doesn't
+# have them, so it can sit in CI as an opt-in lane without breaking
+# offline or stable-only environments.
+#
+# Usage: scripts/tsan.sh [extra cargo-test args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v rustup >/dev/null 2>&1; then
+  echo "tsan: rustup not available; skipping (need a nightly toolchain)" >&2
+  exit 0
+fi
+if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+  echo "tsan: no nightly toolchain installed; skipping" >&2
+  echo "tsan: install with: rustup toolchain install nightly --component rust-src" >&2
+  exit 0
+fi
+if ! rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
+  echo "tsan: nightly rust-src not installed; skipping" >&2
+  echo "tsan: install with: rustup component add rust-src --toolchain nightly" >&2
+  exit 0
+fi
+
+HOST_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+echo "==> ThreadSanitizer: fault matrix + serve concurrency (${HOST_TARGET})"
+
+# TSan intercepts every atomic and lock operation, so the runtime
+# rank checks run under it too — a data race in the lockrank
+# thread-local bookkeeping itself would surface here.
+RUSTFLAGS="-Zsanitizer=thread" \
+RUSTDOCFLAGS="-Zsanitizer=thread" \
+TSAN_OPTIONS="halt_on_error=1" \
+cargo +nightly test \
+  -Zbuild-std \
+  --target "${HOST_TARGET}" \
+  --test fault_injection \
+  --test serve_concurrency \
+  "$@"
+
+echo "tsan: clean."
