@@ -1,0 +1,55 @@
+//! Render a flight-recorder black-box dump for humans.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p analyze --bin black-box -- incident.jsonl
+//! cat incident.jsonl | cargo run -p analyze --bin black-box
+//! ```
+//!
+//! Reads the JSONL written by `obs::BlackBox::write_to` (one header
+//! line, then thread / metrics / record lines) and prints the
+//! triggering trace's span tree, the per-thread state table, the
+//! ranked-lock timeline, failpoint evaluations and metric movement.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: black-box [FILE]\n\
+    Renders a flight-recorder black-box JSONL dump (FILE, or stdin\n\
+    when omitted) as a human-readable incident report.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text = match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("black-box: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut buffer = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buffer) {
+                eprintln!("black-box: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buffer
+        }
+    };
+    match analyze::render_black_box(&text) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("black-box: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

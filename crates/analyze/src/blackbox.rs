@@ -1,0 +1,245 @@
+//! Human-readable rendering of flight-recorder black-box dumps.
+//!
+//! A [`obs::BlackBox`] serialises to self-contained JSONL so it can be
+//! written at incident time with no further dependencies; this module
+//! is the read side: [`render_black_box`] turns that JSONL back into
+//! an operator-facing report — the triggering trace's span tree, the
+//! per-thread state table, the ranked-lock timeline, failpoint hits
+//! and metric movement. `cargo run -p analyze --bin black-box` wraps
+//! it for the command line.
+
+use obs::{BlackBox, FlightRecord};
+use std::fmt::Write as _;
+
+/// Render the JSONL form of a black box as a plain-text report.
+///
+/// Errors (with a description) when `text` does not start with a
+/// black-box header line; individually malformed later lines are
+/// skipped, matching [`BlackBox::parse`]'s best-effort contract.
+pub fn render_black_box(text: &str) -> Result<String, String> {
+    let black_box = BlackBox::parse(text).ok_or_else(|| {
+        "input is not a black-box dump (missing `blackbox` header line)".to_string()
+    })?;
+    Ok(render(&black_box))
+}
+
+fn render(bb: &BlackBox) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== black box #{} ===", bb.seq);
+    let _ = writeln!(out, "trigger : {}", bb.trigger);
+    match bb.trace {
+        Some(trace) => {
+            let _ = writeln!(out, "trace   : {}", trace.0);
+        }
+        None => {
+            let _ = writeln!(out, "trace   : (none)");
+        }
+    }
+    let _ = writeln!(out, "dumped  : t+{}µs", bb.at_us);
+    let _ = writeln!(
+        out,
+        "contents: {} threads, {} metric sources, {} records",
+        bb.threads.len(),
+        bb.metrics.len(),
+        bb.records.len()
+    );
+
+    if !bb.threads.is_empty() {
+        let _ = writeln!(out, "\n--- threads at dump time ---");
+        for t in &bb.threads {
+            let age = bb.at_us.saturating_sub(t.heartbeat_us);
+            let path = if t.path.is_empty() { "(idle)" } else { &t.path };
+            let _ = write!(out, "  {:<20} {path}", t.worker);
+            if !t.held.is_empty() {
+                let _ = write!(out, "  holds [{}]", t.held.join(", "));
+            }
+            let _ = write!(out, "  heartbeat {age}µs ago");
+            if t.stalled {
+                let _ = write!(out, "  ** STALLED (budget {}µs)", t.budget_us);
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    if let Some(trace) = bb.trace {
+        let tree = obs::render_trace(&bb.spans(), trace);
+        let _ = writeln!(out, "\n--- triggering trace {} ---", trace.0);
+        if tree.is_empty() {
+            let _ = writeln!(out, "  (no closed spans for this trace in the window)");
+        } else {
+            for line in tree.lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+    }
+
+    let locks: Vec<&FlightRecord> = bb
+        .records
+        .iter()
+        .filter(|r| matches!(r, FlightRecord::Lock { .. }))
+        .collect();
+    if !locks.is_empty() {
+        let _ = writeln!(out, "\n--- lock timeline ---");
+        for record in locks {
+            if let FlightRecord::Lock {
+                name,
+                rank,
+                acquired,
+                at_us,
+                thread,
+            } = record
+            {
+                let verb = if *acquired { "acquire" } else { "release" };
+                let _ = writeln!(out, "  t+{at_us:<12}µs {thread:<20} {verb} {name} [{rank}]");
+            }
+        }
+    }
+
+    let failpoints: Vec<&FlightRecord> = bb
+        .records
+        .iter()
+        .filter(|r| matches!(r, FlightRecord::Failpoint { .. }))
+        .collect();
+    if !failpoints.is_empty() {
+        let _ = writeln!(out, "\n--- failpoint evaluations ---");
+        for record in failpoints {
+            if let FlightRecord::Failpoint {
+                name,
+                fired,
+                at_us,
+                thread,
+            } = record
+            {
+                let verdict = if *fired { "FIRED" } else { "passed" };
+                let _ = writeln!(out, "  t+{at_us:<12}µs {thread:<20} {name}: {verdict}");
+            }
+        }
+    }
+
+    let events: Vec<&FlightRecord> = bb
+        .records
+        .iter()
+        .filter(|r| matches!(r, FlightRecord::Event(_)))
+        .collect();
+    if !events.is_empty() {
+        let _ = writeln!(out, "\n--- events ---");
+        for record in events {
+            if let FlightRecord::Event(e) = record {
+                let _ = write!(out, "  t+{:<12}µs {}", e.at_us, e.name);
+                for (k, v) in &e.fields {
+                    let _ = write!(out, " {k}={v}");
+                }
+                if let Some(trace) = e.trace {
+                    let _ = write!(out, " (trace {})", trace.0);
+                }
+                let _ = writeln!(out);
+            }
+        }
+    }
+
+    let samples: Vec<&FlightRecord> = bb
+        .records
+        .iter()
+        .filter(|r| matches!(r, FlightRecord::Metric { .. }))
+        .collect();
+    if !samples.is_empty() {
+        let _ = writeln!(out, "\n--- metric movement (ring samples) ---");
+        for record in samples {
+            if let FlightRecord::Metric { name, delta, at_us } = record {
+                let _ = writeln!(out, "  t+{at_us:<12}µs {name} +{delta}");
+            }
+        }
+    }
+
+    if !bb.metrics.is_empty() {
+        let _ = writeln!(out, "\n--- metric deltas since attach ---");
+        for (source, delta) in &bb.metrics {
+            let _ = writeln!(out, "  [{source}]");
+            for (name, value) in &delta.counters {
+                if *value > 0 {
+                    let _ = writeln!(out, "    {name} +{value}");
+                }
+            }
+            for (name, value) in &delta.observations {
+                if *value > 0 {
+                    let _ = writeln!(out, "    {name} +{value} observations");
+                }
+            }
+            for (name, value) in &delta.gauges {
+                if *value != 0 {
+                    let _ = writeln!(out, "    {name} {value:+}");
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{RegistryDelta, ThreadState, TraceId};
+
+    fn sample_box() -> BlackBox {
+        BlackBox {
+            seq: 3,
+            trigger: "serve.breaker_open".into(),
+            trace: Some(TraceId(42)),
+            at_us: 5_000,
+            threads: vec![ThreadState {
+                worker: "serve-worker-0".into(),
+                path: "serve.request>serve.execute".into(),
+                held: vec!["Warehouse".into()],
+                trace: Some(TraceId(42)),
+                heartbeat_us: 4_000,
+                budget_us: 1_000_000,
+                stalled: false,
+            }],
+            metrics: vec![(
+                "serve".into(),
+                RegistryDelta {
+                    counters: [("serve_failed_total".to_string(), 3u64)]
+                        .into_iter()
+                        .collect(),
+                    gauges: Default::default(),
+                    observations: Default::default(),
+                },
+            )],
+            records: vec![
+                FlightRecord::Lock {
+                    name: "serve.warehouse".into(),
+                    rank: "Warehouse".into(),
+                    acquired: true,
+                    at_us: 4_500,
+                    thread: "serve-worker-0".into(),
+                },
+                FlightRecord::Failpoint {
+                    name: "serve.execute".into(),
+                    fired: true,
+                    at_us: 4_600,
+                    thread: "serve-worker-0".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_every_section_from_jsonl() {
+        let report = render_black_box(&sample_box().to_jsonl()).expect("parses");
+        assert!(report.contains("trigger : serve.breaker_open"));
+        assert!(report.contains("trace   : 42"));
+        assert!(report.contains("serve-worker-0"));
+        assert!(report.contains("holds [Warehouse]"));
+        assert!(report.contains("acquire serve.warehouse [Warehouse]"));
+        assert!(report.contains("serve.execute: FIRED"));
+        assert!(report.contains("serve_failed_total +3"));
+    }
+
+    #[test]
+    fn rejects_non_blackbox_input() {
+        assert!(render_black_box("").is_err());
+        assert!(render_black_box("{\"kind\":\"span\"}").is_err());
+        assert!(render_black_box("not json at all").is_err());
+    }
+}

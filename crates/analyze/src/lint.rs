@@ -69,7 +69,15 @@ const HOT_PATHS: [&str; 11] = [
 
 /// Workspace-relative path fragments where `no-raw-timing` applies:
 /// query-serving code whose timings must be observable through `obs`.
-const TIMED_PATHS: [&str; 2] = ["crates/serve/src/", "crates/olap/src/"];
+/// `segstore` and `fault` are included because their timings feed the
+/// flight recorder's incident timeline — an untraced clock there is
+/// invisible in black-box dumps.
+const TIMED_PATHS: [&str; 4] = [
+    "crates/serve/src/",
+    "crates/olap/src/",
+    "crates/segstore/src/",
+    "crates/fault/src/",
+];
 
 /// Workspace-relative path fragments where `no-bare-spawn` applies:
 /// crates that run long-lived or pooled threads and must contain

@@ -183,6 +183,22 @@ impl DdDgms {
         serve::QueryService::new(self.warehouse.clone(), config)
     }
 
+    /// Force a flight-recorder dump through the globally installed
+    /// recorder (the operator's "grab the black box now" lever on the
+    /// whole system, not one service). `None` when no recorder is
+    /// installed — see [`obs::install_recorder`].
+    pub fn flight_dump(reason: &str) -> Option<obs::BlackBox> {
+        obs::trigger_dump(reason, None)
+    }
+
+    /// Evaluate `service`'s configured SLOs right now and return the
+    /// per-objective burn-rate status (a convenience passthrough to
+    /// [`serve::QueryService::slo_status`], so system-level callers
+    /// need not import the serve types).
+    pub fn slo_status(service: &serve::QueryService) -> Vec<obs::SloStatus> {
+        service.slo_status()
+    }
+
     /// Run one full closed-loop guidance cycle: learn → predict →
     /// optimise → acquire. Every phase's headline outcome is recorded
     /// as evidence in the knowledge base.

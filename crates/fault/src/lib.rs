@@ -179,6 +179,11 @@ fn point_slow(name: &str) -> Result<(), FaultError> {
         }
     };
     if !fires {
+        drop(reg);
+        // Evaluations on the cold path feed the flight recorder (one
+        // relaxed load when no recorder is installed), so a black box
+        // shows which failpoints the incident window touched.
+        obs::recorder::note_failpoint(name, false);
         return Ok(());
     }
     let kind = state.kind;
@@ -186,6 +191,7 @@ fn point_slow(name: &str) -> Result<(), FaultError> {
         t.fires += 1;
     }
     drop(reg);
+    obs::recorder::note_failpoint(name, true);
     match kind {
         FaultKind::Error => Err(FaultError {
             point: name.to_string(),

@@ -241,33 +241,76 @@ impl<W: Write + Send> Subscriber for WriterSubscriber<W> {
 
 /// Streams records as JSONL — one machine-readable JSON object per
 /// line, parseable back into [`Record`]s with [`parse_jsonl`].
+///
+/// Each record is written under one lock acquisition (whole line +
+/// newline), so concurrent subscribers interleave at line granularity
+/// and never corrupt a record mid-line. The writer is flushed on drop
+/// — a black-box dump or trace export that ends with the exporter
+/// going out of scope cannot truncate buffered records.
 pub struct JsonlExporter<W: Write + Send> {
-    writer: Mutex<W>,
+    /// `Some` until [`into_inner`](JsonlExporter::into_inner) takes
+    /// the writer (the indirection lets `Drop` flush without fighting
+    /// the move).
+    writer: Mutex<Option<W>>,
 }
 
 impl<W: Write + Send> JsonlExporter<W> {
     /// Export the record stream to `writer` as JSONL.
     pub fn new(writer: W) -> JsonlExporter<W> {
         JsonlExporter {
-            writer: Mutex::new(writer),
+            writer: Mutex::new(Some(writer)),
+        }
+    }
+
+    /// Flush the underlying writer (also happens on drop).
+    pub fn flush(&self) {
+        if let Some(w) = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            let _ = w.flush();
         }
     }
 
     /// Consume the exporter and hand the writer back.
     pub fn into_inner(self) -> W {
-        self.writer.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("writer is present until into_inner consumes the exporter") // lint:allow(no-panic, "into_inner takes self by value, so the writer can only have been taken once")
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlExporter<W> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
 impl<W: Write + Send> Subscriber for JsonlExporter<W> {
     fn on_span(&self, span: &SpanRecord) {
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(w, "{}", span.to_json().render());
+        if let Some(w) = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            let _ = writeln!(w, "{}", span.to_json().render());
+        }
     }
 
     fn on_event(&self, event: &EventRecord) {
-        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(w, "{}", event.to_json().render());
+        if let Some(w) = self
+            .writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_mut()
+        {
+            let _ = writeln!(w, "{}", event.to_json().render());
+        }
     }
 }
 
@@ -346,6 +389,96 @@ mod tests {
         assert!(!tree.contains("other-trace"));
         let root = spans.iter().find(|s| s.name == "root").unwrap();
         assert_eq!(children_of(&spans, root).len(), 1);
+    }
+
+    /// A writer that remembers whether it was flushed.
+    struct FlushProbe {
+        flushed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Write for FlushProbe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushed
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_exporter_flushes_on_drop() {
+        let flushed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let exporter = JsonlExporter::new(FlushProbe {
+            flushed: flushed.clone(),
+        });
+        exporter.on_event(&EventRecord {
+            name: "e".into(),
+            trace: None,
+            span: None,
+            at_us: 1,
+            fields: vec![],
+        });
+        assert!(!flushed.load(std::sync::atomic::Ordering::Relaxed));
+        drop(exporter);
+        assert!(
+            flushed.load(std::sync::atomic::Ordering::Relaxed),
+            "drop must flush buffered records"
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_interleave_at_line_granularity() {
+        use std::sync::Arc;
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50;
+        let exporter = Arc::new(JsonlExporter::new(Vec::<u8>::new()));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let exporter = Arc::clone(&exporter);
+                std::thread::Builder::new()
+                    .name(format!("jsonl-writer-{t}"))
+                    .spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let id = t * PER_THREAD + i;
+                            exporter.on_span(&span("concurrent", t + 1, id, None, i));
+                            exporter.on_event(&EventRecord {
+                                name: "tick".into(),
+                                trace: Some(TraceId(t + 1)),
+                                span: Some(SpanId(id)),
+                                at_us: i,
+                                // Escaped content must survive interleaving too.
+                                fields: vec![("payload".into(), format!("line\n\"{id}\""))],
+                            });
+                        }
+                    })
+                    .expect("spawns")
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("writer thread joins");
+        }
+        let exporter = Arc::try_unwrap(exporter).ok().expect("sole owner");
+        let text = String::from_utf8(exporter.into_inner()).expect("utf8");
+        let records = parse_jsonl(&text);
+        // Lossless: every record from every thread survived intact.
+        assert_eq!(records.len() as u64, THREADS * PER_THREAD * 2);
+        let mut span_ids: Vec<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s.id.0),
+                Record::Event(_) => None,
+            })
+            .collect();
+        span_ids.sort_unstable();
+        assert_eq!(span_ids, (0..THREADS * PER_THREAD).collect::<Vec<_>>());
+        for record in &records {
+            if let Record::Event(e) = record {
+                let payload = e.field("payload").expect("payload field");
+                assert!(payload.starts_with("line\n\""), "corrupted: {payload:?}");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,17 @@
 //!   [`RankedMutex`]/[`RankedRwLock`] wrappers that assert ascending
 //!   acquisition order in debug builds (the dynamic half of the
 //!   concurrency auditor; `repo-lint --locks` is the static half).
+//! * [`recorder`] — the always-on flight recorder: a thread-sharded
+//!   ring of recent spans, events, failpoint hits, lock acquisitions
+//!   and metric deltas that snapshots into a JSONL [`BlackBox`] when
+//!   an incident trigger fires.
+//! * [`watchdog`] — the shared active-task table (span path + held
+//!   lock ranks + heartbeat per worker), a sampling thread that folds
+//!   paths into a flamegraph-style profile, and stall detection that
+//!   fires `obs.stall` events and recorder dumps.
+//! * [`slo`] — declarative latency/error-rate objectives evaluated
+//!   from [`MetricsRegistry`] snapshots with multi-window (5 m / 1 h)
+//!   burn-rate alerting.
 //!
 //! Records serialise to JSONL through the crate's own minimal
 //! [`json::Json`] codec (the workspace serde shim is derive-only), so
@@ -46,7 +57,10 @@ pub mod json;
 pub mod lockrank;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
+pub mod slo;
 pub mod trace;
+pub mod watchdog;
 
 pub use collect::{
     children_of, parse_jsonl, render_trace, JsonlExporter, Record, RingCollector, WriterSubscriber,
@@ -61,10 +75,19 @@ pub use metrics::{
     RegistryDelta, RegistrySnapshot,
 };
 pub use profile::{Phase, ProfileBuilder, QueryProfile};
+pub use recorder::{
+    install_recorder, recorder, recording, trigger_dump, uninstall_recorder, BlackBox,
+    FlightRecord, FlightRecorder, RecorderConfig,
+};
+pub use slo::{render_status, SloEngine, SloKind, SloSpec, SloStatus, SloWindows};
 pub use trace::{
-    current_context, enabled, event, event_with, install, monotonic_us, set_enabled, span,
-    span_child_of, uninstall, EventRecord, SpanContext, SpanGuard, SpanId, SpanRecord, Subscriber,
-    TraceId,
+    current_context, enabled, event, event_with, install, monotonic_us, promote_trace, set_enabled,
+    span, span_child_of, uninstall, EventRecord, SpanContext, SpanGuard, SpanId, SpanRecord,
+    Subscriber, TraceId,
+};
+pub use watchdog::{
+    heartbeat, register_worker, task_scope, thread_states, ThreadState, Watchdog, WatchdogConfig,
+    WorkerGuard,
 };
 
 /// Helpers for tests that exercise the process-global subscriber.

@@ -165,10 +165,25 @@ pub fn held_ranks() -> Vec<(&'static str, LockRank)> {
 
 /// Check `rank` against the held stack and push it; returns the token
 /// used to pop the entry on release, or `None` when checks are off.
+///
+/// When checks are live the acquisition is also published to the
+/// stall watchdog's active-task slot and the flight recorder (lock
+/// capture deliberately rides the rank-check gate: both default on
+/// under `debug_assertions`, and chaos drills that
+/// [`set_rank_checks`]`(true)` in release get lock timelines too).
 fn acquire(rank: LockRank, name: &'static str) -> Option<u64> {
     if !rank_checks_enabled() {
         return None;
     }
+    // Hooks run after the `HELD` borrow ends: the watchdog publish
+    // re-reads `held_ranks()` on this same thread.
+    let token = acquire_inner(rank, name);
+    crate::watchdog::on_locks_changed();
+    crate::recorder::note_lock(name, rank, true);
+    Some(token)
+}
+
+fn acquire_inner(rank: LockRank, name: &'static str) -> u64 {
     HELD.with(|h| {
         let mut held = h.borrow_mut();
         if let Some(worst) = held
@@ -200,20 +215,25 @@ fn acquire(rank: LockRank, name: &'static str) -> Option<u64> {
             *t
         });
         held.push(Held { rank, name, token });
-        Some(token)
+        token
     })
 }
 
 /// Pop the entry registered under `token` (guards may be dropped out
-/// of acquisition order, so the pop searches from the top).
+/// of acquisition order, so the pop searches from the top). Publishes
+/// the release to the watchdog and flight recorder.
 fn release(token: Option<u64>) {
     let Some(token) = token else { return };
-    HELD.with(|h| {
+    let removed = HELD.with(|h| {
         let mut held = h.borrow_mut();
-        if let Some(pos) = held.iter().rposition(|e| e.token == token) {
-            held.remove(pos);
-        }
+        held.iter()
+            .rposition(|e| e.token == token)
+            .map(|pos| held.remove(pos))
     });
+    if let Some(entry) = removed {
+        crate::watchdog::on_locks_changed();
+        crate::recorder::note_lock(entry.name, entry.rank, false);
+    }
 }
 
 /// A mutex whose acquisitions are validated against the global

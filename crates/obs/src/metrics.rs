@@ -142,6 +142,16 @@ impl Histogram {
 /// exclusive upper bounds (last may be `u64::MAX`, treated as twice
 /// the previous bound for interpolation, the usual Prometheus
 /// convention for the overflow bucket).
+///
+/// Returns `None` for an empty distribution, a `q` outside
+/// `0.0..=1.0` (including NaN), or mismatched `bounds`/`counts`
+/// lengths — never panics, since the SLO engine and serve exposition
+/// feed it live histogram state. Degenerate shapes are defined:
+/// a single sample interpolates within its bucket, `q == 0.0` lands
+/// at the lower edge of the first occupied bucket, `q == 1.0` at the
+/// upper edge of the last, and a distribution living entirely in the
+/// saturated top (`u64::MAX`) bucket interpolates across that
+/// bucket's synthetic `lower..2×lower` range.
 pub fn percentile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> Option<u64> {
     if !(0.0..=1.0).contains(&q) || bounds.len() != counts.len() {
         return None;
@@ -168,11 +178,28 @@ pub fn percentile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> Option
             bound
         };
         let fraction = ((target - before) / count as f64).clamp(0.0, 1.0);
-        return Some(lower + ((upper - lower) as f64 * fraction) as u64);
+        return Some(lower.saturating_add(((upper - lower) as f64 * fraction) as u64));
     }
-    // q == 0.0 with leading empty buckets, or rounding residue: the
-    // largest finite bound is the safe answer.
-    bounds.iter().rev().find(|&&b| b != u64::MAX).copied()
+    // Rounding residue (f64 cumulative drift on huge counts): the top
+    // of the last occupied bucket is the safe answer, including the
+    // synthetic top when everything sits in the overflow bucket.
+    let last = bounds
+        .iter()
+        .zip(counts)
+        .rev()
+        .find(|(_, &count)| count > 0)
+        .map(|(&bound, _)| bound)?;
+    if last == u64::MAX {
+        let lower = bounds
+            .iter()
+            .rev()
+            .find(|&&b| b != u64::MAX)
+            .copied()
+            .unwrap_or(0);
+        Some(lower.saturating_mul(2).max(lower.saturating_add(1)))
+    } else {
+        Some(last)
+    }
 }
 
 enum Metric {
@@ -444,6 +471,62 @@ mod tests {
         h.record(500);
         let p = h.percentile(0.5).unwrap();
         assert!((100..=200).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn percentile_rejects_empty_and_malformed_inputs() {
+        // Empty histogram → None at every quantile.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile_from_buckets(&[100, u64::MAX], &[0, 0], q), None);
+        }
+        // Zero-length shape.
+        assert_eq!(percentile_from_buckets(&[], &[], 0.5), None);
+        // Mismatched lengths.
+        assert_eq!(percentile_from_buckets(&[100], &[1, 2], 0.5), None);
+        // Out-of-range and NaN quantiles.
+        assert_eq!(percentile_from_buckets(&[100], &[1], -0.1), None);
+        assert_eq!(percentile_from_buckets(&[100], &[1], 1.1), None);
+        assert_eq!(percentile_from_buckets(&[100], &[1], f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_boundaries_on_a_single_sample() {
+        // One observation in [100, 200).
+        let bounds = [100, 200, u64::MAX];
+        let counts = [0, 1, 0];
+        // p0 → the occupied bucket's lower edge; p100 → its upper.
+        assert_eq!(percentile_from_buckets(&bounds, &counts, 0.0), Some(100));
+        assert_eq!(percentile_from_buckets(&bounds, &counts, 1.0), Some(200));
+        // p50 interpolates halfway through the bucket.
+        let p50 = percentile_from_buckets(&bounds, &counts, 0.5).unwrap();
+        assert!((140..=160).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn percentile_boundaries_on_a_populated_histogram() {
+        // 100 obs uniformly across [0,100).
+        let bounds = [100, u64::MAX];
+        let counts = [100, 0];
+        assert_eq!(percentile_from_buckets(&bounds, &counts, 0.0), Some(0));
+        let p50 = percentile_from_buckets(&bounds, &counts, 0.5).unwrap();
+        assert!((45..=55).contains(&p50), "p50 = {p50}");
+        assert_eq!(percentile_from_buckets(&bounds, &counts, 1.0), Some(100));
+    }
+
+    #[test]
+    fn saturated_top_bucket_stays_defined() {
+        // Everything in the overflow bucket: interpolate across the
+        // synthetic [100, 200) range.
+        let bounds = [100, u64::MAX];
+        let counts = [0, 10];
+        assert_eq!(percentile_from_buckets(&bounds, &counts, 0.0), Some(100));
+        assert_eq!(percentile_from_buckets(&bounds, &counts, 1.0), Some(200));
+        let p50 = percentile_from_buckets(&bounds, &counts, 0.5).unwrap();
+        assert!((140..=160).contains(&p50), "p50 = {p50}");
+        // A histogram that is *only* the overflow bucket (no finite
+        // bound at all) still produces a value, not None or a panic.
+        let only_inf = percentile_from_buckets(&[u64::MAX], &[5], 1.0);
+        assert_eq!(only_inf, Some(1));
     }
 
     #[test]

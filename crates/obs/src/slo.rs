@@ -1,0 +1,564 @@
+//! Declarative SLOs with multi-window burn-rate alerting.
+//!
+//! An [`SloSpec`] names an objective (e.g. "99% of requests complete
+//! under 5 ms", "99.9% of requests succeed") over instruments in a
+//! [`MetricsRegistry`](crate::MetricsRegistry). The [`SloEngine`]
+//! keeps a short history of registry snapshots and, on each
+//! evaluation, measures the *burn rate* — the fraction of the error
+//! budget consumed per unit time, where burn 1.0 means the budget
+//! exactly runs out at the end of its window — over two windows at
+//! once: a fast window (default 5 m) that reacts quickly, and a slow
+//! window (default 1 h) that filters transient blips. An alert fires
+//! only when **both** exceed their thresholds (the classic 14.4×/6×
+//! multi-window pattern), which keeps pages rare and meaningful.
+//!
+//! Firing is edge-triggered: the transition into the firing state
+//! emits one `slo.burn_alert` event and triggers a flight-recorder
+//! dump (`slo.<name>`), so the black box captures what the system was
+//! doing as the budget burned. Status renders as Prometheus-style
+//! gauges plus `ALERTS{...}` lines via [`render_status`].
+
+use crate::metrics::{HistogramSnapshot, RegistrySnapshot};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The two evaluation windows and their burn-rate thresholds.
+#[derive(Debug, Clone)]
+pub struct SloWindows {
+    /// Fast window (reacts quickly; default 5 minutes).
+    pub fast: Duration,
+    /// Slow window (filters blips; default 1 hour).
+    pub slow: Duration,
+    /// Fast-window burn threshold (default 14.4 — burns a 30-day
+    /// budget in 2 days).
+    pub fast_burn: f64,
+    /// Slow-window burn threshold (default 6.0).
+    pub slow_burn: f64,
+}
+
+impl Default for SloWindows {
+    fn default() -> SloWindows {
+        SloWindows {
+            fast: Duration::from_secs(5 * 60),
+            slow: Duration::from_secs(60 * 60),
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+}
+
+/// What an objective measures.
+#[derive(Debug, Clone)]
+pub enum SloKind {
+    /// "`objective` of observations in `histogram` are below
+    /// `threshold_us`." Good events are counted by (interpolated)
+    /// bucket mass under the threshold.
+    Latency {
+        /// Histogram name in the registry (`serve_latency_us`).
+        histogram: String,
+        /// The latency target in the histogram's unit (µs).
+        threshold_us: u64,
+    },
+    /// "`objective` of events succeed": bad = sum of `errors`
+    /// counters, total = sum of `total` counters.
+    ErrorRate {
+        /// Counter names whose sum is the bad-event count.
+        errors: Vec<String>,
+        /// Counter names whose sum is the total-event count.
+        total: Vec<String>,
+    },
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Stable name (`serve_latency_p99`, `serve_errors`); appears in
+    /// gauges, alerts and dump triggers.
+    pub name: String,
+    /// The target good fraction in `0.0..1.0` (e.g. `0.99`). The
+    /// error budget is `1 - objective`.
+    pub objective: f64,
+    /// What to measure.
+    pub kind: SloKind,
+    /// Evaluation windows and thresholds.
+    pub windows: SloWindows,
+}
+
+impl SloSpec {
+    /// A latency objective with default windows: `objective` of
+    /// `histogram` observations below `threshold_us`.
+    pub fn latency(name: &str, histogram: &str, threshold_us: u64, objective: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            objective,
+            kind: SloKind::Latency {
+                histogram: histogram.to_string(),
+                threshold_us,
+            },
+            windows: SloWindows::default(),
+        }
+    }
+
+    /// An error-rate objective with default windows.
+    pub fn error_rate(name: &str, errors: &[&str], total: &[&str], objective: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            objective,
+            kind: SloKind::ErrorRate {
+                errors: errors.iter().map(|s| s.to_string()).collect(),
+                total: total.iter().map(|s| s.to_string()).collect(),
+            },
+            windows: SloWindows::default(),
+        }
+    }
+}
+
+/// One objective's evaluated state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub name: String,
+    /// The spec's objective.
+    pub objective: f64,
+    /// Burn rate over the fast window (1.0 = exactly on budget).
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+    /// Bad events in the fast window.
+    pub fast_bad: u64,
+    /// Total events in the fast window.
+    pub fast_total: u64,
+    /// Whether both windows exceed their thresholds right now.
+    pub firing: bool,
+}
+
+/// Interpolated count of observations strictly below `threshold` in a
+/// bucketed histogram delta (bounds as in
+/// [`percentile_from_buckets`](crate::percentile_from_buckets): the
+/// overflow bucket spans `last finite bound .. 2×`).
+fn count_below(bounds: &[u64], counts: &[u64], threshold: u64) -> f64 {
+    let mut good = 0.0f64;
+    for (i, (&bound, &count)) in bounds.iter().zip(counts).enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let lower = if i == 0 { 0 } else { bounds[i - 1] };
+        let upper = if bound == u64::MAX {
+            lower.saturating_mul(2).max(lower.saturating_add(1))
+        } else {
+            bound
+        };
+        if threshold >= upper {
+            good += count as f64;
+        } else if threshold > lower {
+            let fraction = (threshold - lower) as f64 / (upper - lower).max(1) as f64;
+            good += count as f64 * fraction.clamp(0.0, 1.0);
+        }
+    }
+    good
+}
+
+fn histogram_delta(now: &HistogramSnapshot, then: Option<&HistogramSnapshot>) -> HistogramSnapshot {
+    let mut counts = now.counts.clone();
+    if let Some(then) = then {
+        if then.bounds == now.bounds {
+            for (c, &t) in counts.iter_mut().zip(&then.counts) {
+                *c = c.saturating_sub(t);
+            }
+        }
+    }
+    HistogramSnapshot {
+        bounds: now.bounds.clone(),
+        counts,
+        sum: now.sum.saturating_sub(then.map(|t| t.sum).unwrap_or(0)),
+    }
+}
+
+fn sum_counters(snap: &RegistrySnapshot, names: &[String]) -> u64 {
+    names
+        .iter()
+        .map(|n| snap.counters.get(n).copied().unwrap_or(0))
+        .sum()
+}
+
+struct EngineState {
+    /// `(at_us, snapshot)` pairs, oldest first.
+    history: VecDeque<(u64, RegistrySnapshot)>,
+    /// Names currently in the firing state (for edge detection).
+    firing: BTreeSet<String>,
+}
+
+/// Evaluates a set of [`SloSpec`]s against a stream of registry
+/// snapshots. Feed it snapshots with [`observe`], read alerts with
+/// [`evaluate`]; the serve tier drives both from the watchdog's
+/// cadence and from `metrics_text()` pulls.
+///
+/// [`observe`]: SloEngine::observe
+/// [`evaluate`]: SloEngine::evaluate
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    state: Mutex<EngineState>,
+    max_history: usize,
+}
+
+impl SloEngine {
+    /// An engine over `specs`.
+    pub fn new(specs: Vec<SloSpec>) -> SloEngine {
+        SloEngine {
+            specs,
+            state: Mutex::new(EngineState {
+                history: VecDeque::new(),
+                firing: BTreeSet::new(),
+            }),
+            max_history: 4096,
+        }
+    }
+
+    /// The configured objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Record a snapshot taken at `now_us` (µs since process start,
+    /// monotonic — [`crate::monotonic_us`]). History older than the
+    /// longest slow window (plus one boundary entry) is discarded.
+    pub fn observe(&self, now_us: u64, snapshot: RegistrySnapshot) {
+        let keep_us = self
+            .specs
+            .iter()
+            .map(|s| s.windows.slow.as_micros().min(u64::MAX as u128) as u64)
+            .max()
+            .unwrap_or(3_600_000_000);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.history.push_back((now_us, snapshot));
+        let cutoff = now_us.saturating_sub(keep_us);
+        // Keep one entry older than the cutoff as the slow-window edge.
+        while state.history.len() > 2 && state.history[1].0 < cutoff {
+            state.history.pop_front();
+        }
+        while state.history.len() > self.max_history {
+            state.history.pop_front();
+        }
+    }
+
+    /// Bad/total deltas for `spec` between the newest snapshot and the
+    /// newest snapshot at least `window` old (falling back to the
+    /// oldest retained — early in a run the window is simply shorter).
+    fn window_counts(
+        &self,
+        spec: &SloSpec,
+        history: &VecDeque<(u64, RegistrySnapshot)>,
+        now_us: u64,
+        window: Duration,
+    ) -> (f64, u64) {
+        let Some((_, newest)) = history.back() else {
+            return (0.0, 0);
+        };
+        let window_us = window.as_micros().min(u64::MAX as u128) as u64;
+        let edge_ts = now_us.saturating_sub(window_us);
+        let baseline = history
+            .iter()
+            .rev()
+            .skip(1)
+            .find(|(ts, _)| *ts <= edge_ts)
+            .or_else(|| {
+                history
+                    .front()
+                    .filter(|(ts, _)| *ts < history.back().map(|(t, _)| *t).unwrap_or(0))
+            })
+            .map(|(_, snap)| snap);
+        match &spec.kind {
+            SloKind::Latency {
+                histogram,
+                threshold_us,
+            } => {
+                let Some(now_hist) = newest.histograms.get(histogram) else {
+                    return (0.0, 0);
+                };
+                let then_hist = baseline.and_then(|b| b.histograms.get(histogram));
+                let delta = histogram_delta(now_hist, then_hist);
+                let total = delta.count();
+                if total == 0 {
+                    return (0.0, 0);
+                }
+                let good = count_below(&delta.bounds, &delta.counts, *threshold_us);
+                ((total as f64 - good).max(0.0), total)
+            }
+            SloKind::ErrorRate { errors, total } => {
+                let bad_now = sum_counters(newest, errors);
+                let total_now = sum_counters(newest, total);
+                let (bad_then, total_then) = baseline
+                    .map(|b| (sum_counters(b, errors), sum_counters(b, total)))
+                    .unwrap_or((0, 0));
+                (
+                    bad_now.saturating_sub(bad_then) as f64,
+                    total_now.saturating_sub(total_then),
+                )
+            }
+        }
+    }
+
+    /// Evaluate every objective as of `now_us`. Transitions into the
+    /// firing state emit one `slo.burn_alert` event and trigger a
+    /// flight-recorder dump named `slo.<name>`.
+    pub fn evaluate(&self, now_us: u64) -> Vec<SloStatus> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut statuses = Vec::with_capacity(self.specs.len());
+        let mut newly_firing = Vec::new();
+        let mut firing_now = BTreeSet::new();
+        for spec in &self.specs {
+            let budget = (1.0 - spec.objective).max(1e-9);
+            let (fast_bad, fast_total) =
+                self.window_counts(spec, &state.history, now_us, spec.windows.fast);
+            let (slow_bad, slow_total) =
+                self.window_counts(spec, &state.history, now_us, spec.windows.slow);
+            let fast_burn = if fast_total == 0 {
+                0.0
+            } else {
+                (fast_bad / fast_total as f64) / budget
+            };
+            let slow_burn = if slow_total == 0 {
+                0.0
+            } else {
+                (slow_bad / slow_total as f64) / budget
+            };
+            let firing = fast_burn >= spec.windows.fast_burn && slow_burn >= spec.windows.slow_burn;
+            if firing {
+                firing_now.insert(spec.name.clone());
+                if !state.firing.contains(&spec.name) {
+                    newly_firing.push((spec.name.clone(), fast_burn, slow_burn));
+                }
+            }
+            statuses.push(SloStatus {
+                name: spec.name.clone(),
+                objective: spec.objective,
+                fast_burn,
+                slow_burn,
+                fast_bad: fast_bad.round() as u64,
+                fast_total,
+                firing,
+            });
+        }
+        drop(state);
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).firing = firing_now;
+        for (name, fast_burn, slow_burn) in newly_firing {
+            let fast = format!("{fast_burn:.2}");
+            let slow = format!("{slow_burn:.2}");
+            crate::trace::event_with(
+                "slo.burn_alert",
+                &[("slo", &name), ("fast_burn", &fast), ("slow_burn", &slow)],
+            );
+            crate::recorder::trigger_dump(&format!("slo.{name}"), None);
+        }
+        statuses
+    }
+
+    /// [`observe`](SloEngine::observe) then
+    /// [`evaluate`](SloEngine::evaluate) in one call.
+    pub fn observe_and_evaluate(&self, now_us: u64, snapshot: RegistrySnapshot) -> Vec<SloStatus> {
+        self.observe(now_us, snapshot);
+        self.evaluate(now_us)
+    }
+}
+
+/// Render statuses as Prometheus-style gauges plus `ALERTS` lines for
+/// firing objectives (the shape scrapers and humans both expect).
+pub fn render_status(statuses: &[SloStatus]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if statuses.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "# TYPE slo_burn_rate gauge");
+    for status in statuses {
+        let _ = writeln!(
+            out,
+            "slo_burn_rate{{slo=\"{}\",window=\"fast\"}} {:.4}",
+            status.name, status.fast_burn
+        );
+        let _ = writeln!(
+            out,
+            "slo_burn_rate{{slo=\"{}\",window=\"slow\"}} {:.4}",
+            status.name, status.slow_burn
+        );
+    }
+    let _ = writeln!(out, "# TYPE slo_firing gauge");
+    for status in statuses {
+        let _ = writeln!(
+            out,
+            "slo_firing{{slo=\"{}\"}} {}",
+            status.name,
+            u8::from(status.firing)
+        );
+    }
+    for status in statuses.iter().filter(|s| s.firing) {
+        let _ = writeln!(
+            out,
+            "ALERTS{{alertname=\"SloBurn_{}\",severity=\"page\"}} 1",
+            status.name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::test_support::tracing_lock;
+
+    fn minutes_us(m: u64) -> u64 {
+        m * 60 * 1_000_000
+    }
+
+    #[test]
+    fn count_below_interpolates() {
+        let bounds = [100, 1000, u64::MAX];
+        // 10 obs in [0,100), 10 in [100,1000), 10 in the overflow.
+        let counts = [10, 10, 10];
+        assert_eq!(count_below(&bounds, &counts, 100) as u64, 10);
+        // 550 is halfway through the second bucket.
+        let mid = count_below(&bounds, &counts, 550);
+        assert!((14.0..=16.0).contains(&mid), "{mid}");
+        // Above the synthetic overflow top (2000) everything counts.
+        assert_eq!(count_below(&bounds, &counts, 5000) as u64, 30);
+        assert_eq!(count_below(&bounds, &counts, 0) as u64, 0);
+    }
+
+    #[test]
+    fn quiet_system_burns_nothing() {
+        let engine = SloEngine::new(vec![SloSpec::latency(
+            "lat",
+            "serve_latency_us",
+            5_000,
+            0.99,
+        )]);
+        let reg = MetricsRegistry::new();
+        let statuses = engine.observe_and_evaluate(minutes_us(1), reg.snapshot());
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].fast_burn, 0.0);
+        assert!(!statuses[0].firing);
+    }
+
+    #[test]
+    fn fast_latency_keeps_burn_low_and_slow_latency_fires() {
+        let _guard = tracing_lock();
+        let engine = SloEngine::new(vec![SloSpec::latency(
+            "lat",
+            "serve_latency_us",
+            5_000,
+            0.99,
+        )]);
+        let reg = MetricsRegistry::new();
+        let hist = reg.histogram("serve_latency_us", &[1_000, 10_000, 100_000]);
+        engine.observe(minutes_us(0), reg.snapshot());
+        // 100 fast requests: all under threshold.
+        for _ in 0..100 {
+            hist.record(500);
+        }
+        let statuses = engine.observe_and_evaluate(minutes_us(1), reg.snapshot());
+        assert!(statuses[0].fast_burn < 1.0, "{:?}", statuses[0]);
+        assert!(!statuses[0].firing);
+        // Now 100 requests at 50ms: ~100% bad vs a 1% budget → burn ~100
+        // in both windows (history is short, so fast ≈ slow).
+        for _ in 0..100 {
+            hist.record(50_000);
+        }
+        let statuses = engine.observe_and_evaluate(minutes_us(2), reg.snapshot());
+        assert!(
+            statuses[0].fast_burn > 14.4 && statuses[0].slow_burn > 6.0,
+            "{:?}",
+            statuses[0]
+        );
+        assert!(statuses[0].firing);
+        let text = render_status(&statuses);
+        assert!(text.contains("slo_burn_rate{slo=\"lat\",window=\"fast\"}"));
+        assert!(text.contains("slo_firing{slo=\"lat\"} 1"));
+        assert!(text.contains("ALERTS{alertname=\"SloBurn_lat\",severity=\"page\"} 1"));
+    }
+
+    #[test]
+    fn error_rate_objective_counts_counters() {
+        let engine = SloEngine::new(vec![SloSpec::error_rate(
+            "errors",
+            &["serve_failed_total"],
+            &["serve_total"],
+            0.999,
+        )]);
+        let reg = MetricsRegistry::new();
+        engine.observe(minutes_us(0), reg.snapshot());
+        reg.counter("serve_total").add(1000);
+        reg.counter("serve_failed_total").add(10); // 1% bad vs 0.1% budget
+        let statuses = engine.observe_and_evaluate(minutes_us(1), reg.snapshot());
+        assert!(
+            (9.0..=11.0).contains(&statuses[0].fast_burn),
+            "{:?}",
+            statuses[0]
+        );
+        assert_eq!(statuses[0].fast_bad, 10);
+        assert_eq!(statuses[0].fast_total, 1000);
+    }
+
+    #[test]
+    fn firing_edge_emits_event_and_dump_once() {
+        let _guard = tracing_lock();
+        let collector = std::sync::Arc::new(crate::collect::RingCollector::new(64));
+        crate::trace::install(collector.clone());
+        let recorder = std::sync::Arc::new(crate::recorder::FlightRecorder::new(
+            crate::recorder::RecorderConfig::default(),
+        ));
+        crate::recorder::install_recorder(std::sync::Arc::clone(&recorder));
+        let engine = SloEngine::new(vec![SloSpec::error_rate("drill", &["bad"], &["all"], 0.99)]);
+        let reg = MetricsRegistry::new();
+        engine.observe(minutes_us(0), reg.snapshot());
+        reg.counter("all").add(100);
+        reg.counter("bad").add(100);
+        let s1 = engine.observe_and_evaluate(minutes_us(1), reg.snapshot());
+        assert!(s1[0].firing);
+        // Still firing: no second alert.
+        reg.counter("all").add(100);
+        reg.counter("bad").add(100);
+        let s2 = engine.observe_and_evaluate(minutes_us(2), reg.snapshot());
+        assert!(s2[0].firing);
+        crate::recorder::uninstall_recorder();
+        crate::trace::uninstall();
+        let alerts: Vec<_> = collector
+            .events()
+            .iter()
+            .filter(|e| e.name == "slo.burn_alert")
+            .cloned()
+            .collect();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].field("slo"), Some("drill"));
+        let dumps = recorder.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].trigger, "slo.drill");
+    }
+
+    #[test]
+    fn windows_use_the_right_baseline() {
+        // Bad traffic older than the fast window must not count in the
+        // fast burn but must count in the slow burn.
+        let mut spec = SloSpec::error_rate("w", &["bad"], &["all"], 0.99);
+        spec.windows.fast = Duration::from_secs(60);
+        spec.windows.slow = Duration::from_secs(3600);
+        let engine = SloEngine::new(vec![spec]);
+        let reg = MetricsRegistry::new();
+        engine.observe(0, reg.snapshot());
+        // t = 1 min: a burst of pure failures.
+        reg.counter("all").add(100);
+        reg.counter("bad").add(100);
+        engine.observe(minutes_us(1), reg.snapshot());
+        // t = 10 min: clean traffic since the burst.
+        reg.counter("all").add(100);
+        let statuses = engine.observe_and_evaluate(minutes_us(10), reg.snapshot());
+        let s = &statuses[0];
+        // Fast window (last 60s) saw only the clean 100.
+        assert_eq!(s.fast_bad, 0, "{s:?}");
+        assert_eq!(s.fast_total, 100, "{s:?}");
+        // Slow window saw everything: 100 bad of 200.
+        assert!(s.slow_burn > 6.0, "{s:?}");
+        assert!(!s.firing, "fast window is clean → no page");
+    }
+}

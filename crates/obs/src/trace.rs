@@ -16,6 +16,13 @@
 //! Completed spans are reported to the installed [`Subscriber`] on
 //! drop; children therefore arrive before their parents, and
 //! collectors reassemble the tree from `(trace, parent)` links.
+//!
+//! When only the flight recorder is live (no subscriber), span and
+//! event capture is head-sampled per trace — see the recorder module
+//! docs for the admission rules. Failure paths call [`promote_trace`]
+//! to pull their whole trace into the recorder regardless of the
+//! sample; trace ids and context propagation work identically for
+//! sampled and unsampled traces, so promotion is always possible.
 
 use crate::json::Json;
 use std::cell::Cell;
@@ -219,6 +226,50 @@ pub fn monotonic_us() -> u64 {
 
 thread_local! {
     static CURRENT: Cell<Option<SpanContext>> = const { Cell::new(None) };
+    /// Whether the innermost live trace on this thread is being
+    /// captured by the flight recorder: head-sampled at the root or
+    /// promoted mid-flight by [`promote_trace`].
+    static TRACE_SAMPLED: Cell<bool> = const { Cell::new(false) };
+    /// Thread-local id blocks carved from the global counters:
+    /// `(next, end)`. Two plain increments replace two contended
+    /// `fetch_add`s per span on the hot path.
+    static TRACE_BLOCK: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    static SPAN_BLOCK: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Ids handed to one thread per refill. Head sampling is a modulus of
+/// the trace id, so as long as this is a multiple of the sample rate
+/// every block carries its exact share of sampled ids.
+const ID_BLOCK: u64 = 1024;
+
+#[inline]
+fn next_id(block: &'static std::thread::LocalKey<Cell<(u64, u64)>>, global: &AtomicU64) -> u64 {
+    block.with(|cell| {
+        let (next, end) = cell.get();
+        if next < end {
+            cell.set((next + 1, end));
+            next
+        } else {
+            let start = global.fetch_add(ID_BLOCK, Ordering::Relaxed);
+            cell.set((start + 1, start + ID_BLOCK));
+            start
+        }
+    })
+}
+
+/// Mark the current thread's live trace as interesting: from here on,
+/// its spans and events bypass the flight recorder's head sampling
+/// and are captured unconditionally (until the enclosing root span
+/// closes). Failure paths call this at the point an error is detected
+/// so the incident's trace is always in the black box. No-op when
+/// nothing is being captured or no span is open.
+pub fn promote_trace() {
+    if !active() {
+        return;
+    }
+    if CURRENT.with(Cell::get).is_some() {
+        TRACE_SAMPLED.with(|s| s.set(true));
+    }
 }
 
 /// Install `subscriber` and enable tracing. Replaces any previous
@@ -253,6 +304,14 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Whether span/event machinery must run at all: a subscriber is
+/// enabled *or* the flight recorder is capturing. Two relaxed loads on
+/// the fully-disabled path.
+#[inline]
+fn active() -> bool {
+    enabled() || crate::recorder::recording()
+}
+
 fn dispatch_span(record: &SpanRecord) {
     if let Some(sub) = SUBSCRIBER
         .read()
@@ -276,7 +335,7 @@ fn dispatch_event(record: &EventRecord) {
 /// The context of the innermost live span on this thread, for
 /// propagation across thread (or queue) boundaries.
 pub fn current_context() -> Option<SpanContext> {
-    if !enabled() {
+    if !active() {
         return None;
     }
     CURRENT.with(Cell::get)
@@ -289,8 +348,13 @@ struct LiveSpan {
     /// The thread-local context to restore on drop (this thread's
     /// previous innermost span).
     restore: Option<SpanContext>,
+    /// The thread's trace-sampling flag to restore on drop.
+    sampled_restore: bool,
+    /// This span's depth on the watchdog's span-path stack, or
+    /// `usize::MAX` on unregistered threads (stack untouched — nobody
+    /// would ever read it there).
+    wd_depth: usize,
     start_us: u64,
-    started: Instant,
     fields: Vec<(String, String)>,
 }
 
@@ -304,9 +368,17 @@ pub struct SpanGuard {
 
 impl SpanGuard {
     /// Attach a key/value field (no-op when the span is inert).
+    ///
+    /// Field capture follows the recorder's sampling decision —
+    /// building the strings only pays off when something will keep
+    /// them. Watchdog-registered threads always store fields so that
+    /// slow-outlier spans surface fully annotated; elsewhere, a span
+    /// promoted *after* a `record` call surfaces without that field.
     pub fn record(&mut self, key: &str, value: impl std::fmt::Display) {
         if let Some(live) = self.inner.as_mut() {
-            live.fields.push((key.to_string(), value.to_string()));
+            if enabled() || TRACE_SAMPLED.with(Cell::get) || live.wd_depth != usize::MAX {
+                live.fields.push((key.to_string(), value.to_string()));
+            }
         }
     }
 
@@ -323,25 +395,66 @@ impl Drop for SpanGuard {
             return;
         };
         CURRENT.with(|c| c.set(live.restore));
-        if !enabled() {
+        let sampled = TRACE_SAMPLED.with(|s| {
+            let now = s.get();
+            s.set(live.sampled_restore);
+            now
+        });
+        if live.wd_depth != usize::MAX {
+            crate::watchdog::span_closed(live.wd_depth);
+        }
+        if !active() {
             return; // disabled mid-span: restore the stack, skip dispatch
         }
+        // Ring admission: sampled (or promoted) traces always enter;
+        // unsampled spans on watchdog-registered threads enter when
+        // they ran long enough to count as slow outliers. Everything
+        // else exits here without building a record — the hot path of
+        // recorder-only capture.
+        let recording = crate::recorder::recording();
+        let mut ring = recording && sampled;
+        let mut elapsed_us = None;
+        if recording && !ring && live.wd_depth != usize::MAX {
+            let e = monotonic_us().saturating_sub(live.start_us);
+            ring = e >= crate::recorder::span_threshold_us();
+            elapsed_us = Some(e);
+        }
+        if !enabled() && !ring {
+            return;
+        }
+        // start_us == 0 means the open skipped the clock (unsampled,
+        // unregistered, subscriber off) and the trace was promoted
+        // mid-span: anchor the span at its close time, duration
+        // unknown.
+        let (start_us, elapsed_us) = if live.start_us == 0 {
+            (monotonic_us(), 0)
+        } else {
+            (
+                live.start_us,
+                elapsed_us.unwrap_or_else(|| monotonic_us().saturating_sub(live.start_us)),
+            )
+        };
         let record = SpanRecord {
             name: live.name.to_string(),
             trace: live.ctx.trace,
             id: live.ctx.span,
             parent: live.parent,
-            start_us: live.start_us,
-            elapsed_us: live.started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            start_us,
+            elapsed_us,
             thread: std::thread::current().name().unwrap_or("?").to_string(),
             fields: live.fields,
         };
-        dispatch_span(&record);
+        if enabled() {
+            dispatch_span(&record);
+        }
+        if ring {
+            crate::recorder::note_span(record);
+        }
     }
 }
 
 fn open(name: &'static str, parent: Option<SpanContext>, link_current: bool) -> SpanGuard {
-    if !enabled() {
+    if !active() {
         return SpanGuard { inner: None };
     }
     let inherited = if link_current {
@@ -353,18 +466,44 @@ fn open(name: &'static str, parent: Option<SpanContext>, link_current: bool) -> 
     let ctx = SpanContext {
         trace: parent
             .map(|p| p.trace)
-            .unwrap_or_else(|| TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))),
-        span: SpanId(NEXT_SPAN.fetch_add(1, Ordering::Relaxed)),
+            .unwrap_or_else(|| TraceId(next_id(&TRACE_BLOCK, &NEXT_TRACE))),
+        span: SpanId(next_id(&SPAN_BLOCK, &NEXT_SPAN)),
     };
     let restore = CURRENT.with(|c| c.replace(Some(ctx)));
+    let (sampled, sampled_restore) = TRACE_SAMPLED.with(|s| {
+        let prev = s.get();
+        // Nested spans inherit the enclosing decision (which may have
+        // been promoted); fresh roots — and cross-thread children,
+        // whose decision is a pure function of the trace id — decide
+        // by head sample.
+        let sampled = (prev && restore.is_some()) || crate::recorder::head_sampled(ctx.trace);
+        s.set(sampled);
+        (sampled, prev)
+    });
+    let wd_depth = if crate::watchdog::registered() {
+        crate::watchdog::span_opened(name, ctx.trace)
+    } else {
+        usize::MAX
+    };
+    // Read the clock only when this span can be captured as-is:
+    // subscriber live, trace sampled, or a registered thread (which
+    // needs the duration for the slow-outlier threshold). A span that
+    // skipped the clock and gets *promoted* later surfaces at its
+    // close time with zero duration (start_us == 0 sentinel).
+    let start_us = if enabled() || sampled || wd_depth != usize::MAX {
+        monotonic_us()
+    } else {
+        0
+    };
     SpanGuard {
         inner: Some(LiveSpan {
             name,
             ctx,
             parent: parent.map(|p| p.span),
             restore,
-            start_us: monotonic_us(),
-            started: Instant::now(),
+            sampled_restore,
+            wd_depth,
+            start_us,
             fields: Vec::new(),
         }),
     }
@@ -404,10 +543,18 @@ pub fn span_child_of(name: &'static str, parent: Option<SpanContext>) -> SpanGua
 
 /// Fire an event with fields, attributed to the innermost live span.
 pub fn event_with(name: &'static str, fields: &[(&str, &dyn std::fmt::Display)]) {
-    if !enabled() {
+    if !active() {
         return;
     }
     let current = CURRENT.with(Cell::get);
+    // Ring admission: events outside any span are deliberate,
+    // low-rate signals (stalls, breaker trips, dump markers) and
+    // always land; in-span events follow their trace's sampling
+    // decision and exit here — before any allocation — when it said no.
+    let ring = crate::recorder::recording() && (current.is_none() || TRACE_SAMPLED.with(Cell::get));
+    if !enabled() && !ring {
+        return;
+    }
     let record = EventRecord {
         name: name.to_string(),
         trace: current.map(|c| c.trace),
@@ -418,7 +565,12 @@ pub fn event_with(name: &'static str, fields: &[(&str, &dyn std::fmt::Display)])
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect(),
     };
-    dispatch_event(&record);
+    if enabled() {
+        dispatch_event(&record);
+    }
+    if ring {
+        crate::recorder::note_event(record);
+    }
 }
 
 /// Fire a field-less event.

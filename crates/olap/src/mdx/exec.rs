@@ -98,6 +98,10 @@ pub fn execute_query_profiled(
     query: &MdxQuery,
     profile: &mut obs::ProfileBuilder,
 ) -> Result<PivotTable> {
+    // Register the execution as a bounded watchdog task so a wedged
+    // scan shows up in the folded profile and trips stall detection
+    // even when the caller is not a registered serve worker.
+    let _watchdog_scope = obs::task_scope("olap.execute", std::time::Duration::from_secs(60));
     let mut span = obs::span("olap.mdx_execute");
     if query.cube != warehouse.star().fact.name {
         return Err(Error::invalid(format!(

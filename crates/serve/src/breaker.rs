@@ -111,21 +111,27 @@ impl CircuitBreaker {
 
     /// Record a failed execution. A half-open breaker re-opens
     /// immediately; a closed one opens after `threshold` consecutive
-    /// failures.
-    pub fn record_failure(&self) {
+    /// failures. Returns `true` when *this* failure transitioned the
+    /// breaker into [`BreakerState::Open`] — the edge callers use to
+    /// fire a single breaker-opened incident dump per trip.
+    pub fn record_failure(&self) -> bool {
         let mut inner = self.inner.lock();
         match inner.state {
             BreakerState::HalfOpen => {
                 inner.state = BreakerState::Open;
                 inner.opened_at_us = obs::monotonic_us();
                 inner.probing = false;
+                true
             }
-            BreakerState::Open => {}
+            BreakerState::Open => false,
             BreakerState::Closed => {
                 inner.consecutive_failures += 1;
                 if inner.consecutive_failures >= self.threshold {
                     inner.state = BreakerState::Open;
                     inner.opened_at_us = obs::monotonic_us();
+                    true
+                } else {
+                    false
                 }
             }
         }

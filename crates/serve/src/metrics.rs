@@ -37,6 +37,8 @@ pub struct ServeMetrics {
     served_stale: Counter,
     breaker_open: Counter,
     retries: Counter,
+    rows_scanned: Counter,
+    segments_pruned: Counter,
     workers_alive: Gauge,
     latency: Arc<Histogram>,
 }
@@ -69,6 +71,8 @@ impl ServeMetrics {
             served_stale: registry.counter("serve_served_stale_total"),
             breaker_open: registry.counter("serve_breaker_open_total"),
             retries: registry.counter("serve_retries_total"),
+            rows_scanned: registry.counter("serve_rows_scanned_total"),
+            segments_pruned: registry.counter("serve_segments_pruned_total"),
             workers_alive: registry.gauge("serve_workers_alive"),
             latency: registry.histogram("serve_latency_us", &BUCKET_BOUNDS_US),
             registry,
@@ -169,6 +173,19 @@ impl ServeMetrics {
         self.retries.add(n);
     }
 
+    /// Record the rows scanned by one worker-side execution (from its
+    /// query profile), so scan volume is visible on the scrape surface
+    /// and in flight-recorder metric deltas.
+    pub fn record_rows_scanned(&self, n: u64) {
+        self.rows_scanned.add(n);
+    }
+
+    /// Record the zone-map-pruned segments of one execution (from its
+    /// query profile).
+    pub fn record_segments_pruned(&self, n: u64) {
+        self.segments_pruned.add(n);
+    }
+
     /// Set the live-worker gauge.
     pub fn set_workers_alive(&self, n: i64) {
         self.workers_alive.set(n);
@@ -216,6 +233,8 @@ impl ServeMetrics {
             served_stale: self.served_stale.get(),
             breaker_open: self.breaker_open.get(),
             retries: self.retries.get(),
+            rows_scanned: self.rows_scanned.get(),
+            segments_pruned: self.segments_pruned.get(),
             workers_alive: self.workers_alive.get(),
             latency_us_sum: self.latency.sum(),
             latency_buckets: std::array::from_fn(|i| counts.get(i).copied().unwrap_or(0)),
@@ -264,6 +283,10 @@ pub struct MetricsSnapshot {
     pub breaker_open: u64,
     /// Transient-fault retries performed across request paths.
     pub retries: u64,
+    /// Rows scanned by worker-side executions (profile-attributed).
+    pub rows_scanned: u64,
+    /// Segments skipped by zone-map pruning across executions.
+    pub segments_pruned: u64,
     /// Worker threads currently alive.
     pub workers_alive: i64,
     /// Sum of recorded latencies (µs).
@@ -416,6 +439,20 @@ mod tests {
         let p99 = s.p99().unwrap();
         assert!(p99 >= Duration::from_micros(900), "p99 = {p99:?}");
         assert!(s.to_string().contains("latency estimate p50"));
+    }
+
+    #[test]
+    fn scan_counters_reach_the_scrape_surface() {
+        let m = ServeMetrics::default();
+        m.record_rows_scanned(2500);
+        m.record_segments_pruned(3);
+        m.record_delta_log_aged_out();
+        let text = m.render_prometheus();
+        assert!(text.contains("serve_rows_scanned_total 2500"));
+        assert!(text.contains("serve_segments_pruned_total 3"));
+        assert!(text.contains("serve_delta_log_aged_out_total 1"));
+        let s = m.snapshot();
+        assert_eq!((s.rows_scanned, s.segments_pruned), (2500, 3));
     }
 
     #[test]

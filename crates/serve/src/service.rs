@@ -37,7 +37,10 @@ use crate::retry::RetryPolicy;
 use analyze::Catalog;
 use clinical_types::{Table, Value};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use obs::{LockRank, Phase, ProfileBuilder, RankedMutex, RankedRwLock, SpanContext};
+use obs::{
+    LockRank, Phase, ProfileBuilder, RankedMutex, RankedRwLock, SloEngine, SloSpec, SloStatus,
+    SpanContext, Watchdog, WatchdogConfig,
+};
 use olap::{Cube, CubeSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -73,6 +76,38 @@ pub struct ServeConfig {
     /// Retry schedule for transient faults on the revalidation and
     /// warehouse-read paths.
     pub retry: RetryPolicy,
+    /// Run the stall watchdog sampling thread alongside the pool. It
+    /// folds worker span paths into a flamegraph-style profile
+    /// (surfaced by [`QueryService::metrics_text`]) and fires a flight
+    /// recorder dump when a worker exceeds its stall budget.
+    pub watchdog: bool,
+    /// Sampling cadence of the watchdog thread.
+    pub watchdog_interval: Duration,
+    /// Per-worker stall budget: a worker with a query in flight whose
+    /// heartbeat is older than this is declared stalled (one `obs.stall`
+    /// event + one `watchdog.stall` black-box dump per episode). Zero
+    /// disables stall detection.
+    pub worker_stall_budget: Duration,
+    /// Service-level objectives evaluated from the serve metrics
+    /// registry on every [`QueryService::metrics_text`] /
+    /// [`QueryService::slo_status`] call (scrape-driven, like
+    /// Prometheus recording rules).
+    pub slos: Vec<SloSpec>,
+}
+
+/// The stock objectives: 99% of requests under 100 ms, and a 99.9%
+/// execution success rate. Both use the default 5 m / 1 h burn-rate
+/// windows.
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::latency("serve_latency", "serve_latency_us", 100_000, 0.99),
+        SloSpec::error_rate(
+            "serve_errors",
+            &["serve_failed_total"],
+            &["serve_executed_total", "serve_failed_total"],
+            0.999,
+        ),
+    ]
 }
 
 impl Default for ServeConfig {
@@ -87,6 +122,10 @@ impl Default for ServeConfig {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(250),
             retry: RetryPolicy::default(),
+            watchdog: true,
+            watchdog_interval: Duration::from_millis(25),
+            worker_stall_budget: Duration::from_secs(10),
+            slos: default_slos(),
         }
     }
 }
@@ -170,6 +209,10 @@ struct Shared {
     workers_alive: AtomicUsize,
     /// Monotonic worker-name counter across spawns and respawns.
     worker_seq: AtomicUsize,
+    /// Burn-rate engine over this service's metrics registry.
+    slo: SloEngine,
+    /// Stall budget handed to each worker's watchdog registration.
+    stall_budget: Duration,
 }
 
 impl Shared {
@@ -199,6 +242,9 @@ pub struct QueryService {
     sender: Option<Sender<Job>>,
     queue_depth: usize,
     default_deadline: Duration,
+    /// The sampling thread, when `ServeConfig::watchdog` asked for
+    /// one; joined on drain so shutdown leaves no thread behind.
+    watchdog: Option<Watchdog>,
 }
 
 impl QueryService {
@@ -228,7 +274,21 @@ impl QueryService {
             worker_handles: RankedMutex::new(LockRank::Pool, "serve.worker_handles", Vec::new()),
             workers_alive: AtomicUsize::new(0),
             worker_seq: AtomicUsize::new(0),
+            slo: SloEngine::new(config.slos.clone()),
+            stall_budget: config.worker_stall_budget,
         });
+        // Feed this service's counters into the global flight recorder
+        // (if one is installed): the watchdog polls the source and the
+        // ring accumulates metric deltas alongside spans and events.
+        // The Weak keeps the recorder from pinning a shut-down service;
+        // a dead source is pruned on the next poll.
+        if let Some(recorder) = obs::recorder() {
+            let weak = Arc::downgrade(&shared);
+            recorder.attach_metrics(
+                "serve",
+                Box::new(move || weak.upgrade().map(|s| s.metrics.registry().snapshot())),
+            );
+        }
         for _ in 0..config.workers.max(1) {
             match spawn_worker(&shared) {
                 Ok(handle) => shared.worker_handles.lock().push(handle),
@@ -245,11 +305,29 @@ impl QueryService {
                 }
             }
         }
+        // The watchdog is observability, not serving: a failed spawn
+        // degrades to no stall detection instead of failing the pool.
+        let watchdog = if config.watchdog {
+            Watchdog::start(WatchdogConfig {
+                interval: config.watchdog_interval,
+                ..WatchdogConfig::default()
+            })
+            .map_err(|e| {
+                obs::event_with(
+                    "serve.watchdog_spawn_failed",
+                    &[("error", &e.to_string().as_str())],
+                );
+            })
+            .ok()
+        } else {
+            None
+        };
         Ok(QueryService {
             shared,
             sender: Some(sender),
             queue_depth: config.queue_depth.max(1),
             default_deadline: config.default_deadline,
+            watchdog,
         })
     }
 
@@ -445,6 +523,11 @@ impl QueryService {
         let value = flight.wait(remaining).map_err(|e| {
             if matches!(e, ServeError::DeadlineExceeded { .. }) {
                 self.shared.metrics.record_deadline_exceeded();
+                // A blown deadline is an incident: promote the trace
+                // past the recorder's head sampling and capture what
+                // every worker was doing when this caller gave up.
+                obs::promote_trace();
+                obs::trigger_dump("serve.deadline_exceeded", trace);
                 // Report the caller's full deadline, not the residue
                 // the flight waited on.
                 ServeError::DeadlineExceeded { deadline, trace }
@@ -626,16 +709,27 @@ impl QueryService {
     /// between plan and install (the stale plan is discarded and its
     /// orphaned segments vacuumed; callers may simply retry).
     pub fn compact_now_with(&self, config: &CompactionConfig) -> ServeResult<bool> {
+        // Compaction registers as a bounded watchdog task: its span
+        // path shows up in the folded profile and a wedged build (or
+        // an install stuck behind the write lock) trips the stall
+        // detector like any worker.
+        let _watchdog_scope = obs::task_scope("warehouse.compact", Duration::from_secs(60));
+        let mut span = obs::span("warehouse.compact");
         let plan = {
             let wh = self.shared.warehouse.read();
             wh.plan_compaction(config)?
         };
         let Some(plan) = plan else {
+            span.record("outcome", "nothing_to_compact");
             return Ok(false);
         };
         let mut wh = self.shared.warehouse.write();
         let installed = wh.install_compaction(plan)?;
         wh.vacuum_segments()?;
+        span.record(
+            "outcome",
+            if installed { "installed" } else { "stale_plan" },
+        );
         Ok(installed)
     }
 
@@ -654,9 +748,38 @@ impl QueryService {
         self.shared.metrics.snapshot()
     }
 
-    /// Every service instrument in Prometheus text exposition format.
+    /// Every service instrument in Prometheus text exposition format,
+    /// followed by the watchdog's folded span-path profile (when one
+    /// is running) and the SLO burn-rate gauges and alert lines. Each
+    /// call feeds a fresh registry snapshot to the SLO engine, so
+    /// scraping this endpoint *is* the SLO evaluation cadence.
     pub fn metrics_text(&self) -> String {
-        self.shared.metrics.render_prometheus()
+        let mut out = self.shared.metrics.render_prometheus();
+        if let Some(watchdog) = &self.watchdog {
+            out.push_str(&watchdog.metrics_text());
+        }
+        out.push_str(&obs::render_status(&self.evaluate_slos()));
+        out
+    }
+
+    /// Evaluate the configured SLOs against the current counters and
+    /// return per-objective burn-rate status. A newly-firing objective
+    /// emits one `slo.burn_alert` event and a flight-recorder dump.
+    pub fn slo_status(&self) -> Vec<SloStatus> {
+        self.evaluate_slos()
+    }
+
+    fn evaluate_slos(&self) -> Vec<SloStatus> {
+        self.shared.slo.observe_and_evaluate(
+            obs::monotonic_us(),
+            self.shared.metrics.registry().snapshot(),
+        )
+    }
+
+    /// Force a flight-recorder dump (operator escape hatch: "grab the
+    /// black box now"). `None` when no global recorder is installed.
+    pub fn flight_dump(&self, reason: &str) -> Option<obs::BlackBox> {
+        obs::trigger_dump(reason, None)
     }
 
     /// Number of cached results.
@@ -693,6 +816,10 @@ impl QueryService {
         // the queued jobs, then exit on the disconnect.
         self.sender = None;
         join_workers(&self.shared);
+        // Stop the sampler last so worker wind-down is still observed.
+        if let Some(watchdog) = self.watchdog.take() {
+            watchdog.shutdown();
+        }
     }
 }
 
@@ -735,10 +862,21 @@ fn spawn_worker(shared: &Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
 fn run_worker(shared: &Arc<Shared>) {
     shared.workers_alive.fetch_add(1, Ordering::AcqRel);
     shared.metrics.add_workers_alive(1);
+    // Publish this worker into the watchdog's active-task table for
+    // the thread's lifetime: span opens/closes and ranked-lock traffic
+    // update the slot passively from here on.
+    let worker_name = thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| "serve-worker".to_string());
+    let _watchdog_slot = obs::register_worker(&worker_name, shared.stall_budget);
     let outcome = catch_unwind(AssertUnwindSafe(|| worker_loop(shared)));
     if outcome.is_err() {
         shared.metrics.record_worker_panic();
         obs::event("serve.worker_panicked");
+        // A thread-level panic (not job containment) is an incident:
+        // snapshot the ring before the respawn muddies the water.
+        obs::trigger_dump("serve.worker_panic", None);
         if shared.accepting.load(Ordering::Acquire) {
             match spawn_worker(shared) {
                 Ok(handle) => {
@@ -770,6 +908,8 @@ fn worker_loop(shared: &Shared) {
         let Ok(job) = shared.receiver.recv() else {
             break;
         };
+        // Queue waits between spans count as liveness, not a stall.
+        obs::heartbeat();
         // A panic inside one job is contained to that job: the caller
         // gets a typed Internal error carrying the trace id, the
         // worker thread lives on. The flight handle is cloned out
@@ -782,7 +922,7 @@ fn worker_loop(shared: &Shared) {
             let detail = panic_detail(payload.as_ref());
             shared.metrics.record_worker_panic();
             obs::event_with("serve.job_panicked", &[("detail", &detail.as_str())]);
-            shared.breaker.record_failure();
+            record_breaker_failure(shared, trace);
             shared.flights.retire(&key);
             flight.complete(Err(ServeError::Internal { detail, trace }));
         }
@@ -847,6 +987,10 @@ fn process_job(shared: &Shared, mut job: Job) {
             let profile = job.profile.finish();
             exec_span.record("rows_scanned", profile.rows_scanned);
             exec_span.record("cells_emitted", profile.cells_emitted);
+            shared.metrics.record_rows_scanned(profile.rows_scanned);
+            shared
+                .metrics
+                .record_segments_pruned(profile.segments_pruned);
             let value = Arc::new(QueryOutcome {
                 payload,
                 profile,
@@ -866,7 +1010,9 @@ fn process_job(shared: &Shared, mut job: Job) {
         Err(e) => {
             // A query-level failure is the query's own problem, not a
             // failure of the serving backend: it does not count
-            // against the breaker.
+            // against the breaker — but it is still worth keeping in
+            // the flight ring.
+            obs::promote_trace();
             shared.metrics.record_failed();
             exec_span.record("outcome", "failed");
             shared.flights.retire(&job.key);
@@ -875,15 +1021,29 @@ fn process_job(shared: &Shared, mut job: Job) {
     }
 }
 
+/// Count one execution failure against the breaker; on the trip edge
+/// (this failure opened it) fire the breaker-opened event and snapshot
+/// the flight recorder with the triggering request's trace front and
+/// center.
+fn record_breaker_failure(shared: &Shared, trace: Option<obs::TraceId>) {
+    if shared.breaker.record_failure() {
+        obs::event("serve.breaker_opened");
+        obs::trigger_dump("serve.breaker_open", trace);
+    }
+}
+
 /// Fail `job` with a typed internal error and count the failure
 /// against the circuit breaker.
 fn fail_job_internal(shared: &Shared, job: &Job, exec_span: &mut obs::SpanGuard, detail: String) {
+    // Promote before anything else so the execution span, the failure
+    // event, and any breaker-trip dump all carry this trace.
+    obs::promote_trace();
     shared.metrics.record_failed();
     exec_span.record("outcome", "internal_failure");
     obs::event_with("serve.internal_failure", &[("detail", &detail.as_str())]);
     // Breaker first, completion last: a caller woken by `complete`
     // must observe the failure it was just handed already counted.
-    shared.breaker.record_failure();
+    record_breaker_failure(shared, job.ctx.map(|c| c.trace));
     shared.flights.retire(&job.key);
     job.flight.complete(Err(ServeError::Internal {
         detail,

@@ -35,6 +35,12 @@ echo "==> lock discipline (static/dynamic conformance, inversion drill)"
 cargo test -q -p analyze --test lock_conformance
 cargo test -q -p obs --test lock_discipline
 
+echo "==> flight recorder drills (breaker/panic/stall/deadline dumps, black-box round-trip)"
+cargo test -q --test flight_recorder
+
+echo "==> SLO engine + burn-rate alerting"
+cargo test -q -p obs slo
+
 echo "==> scan bench (zone-map + footprint pruning, BENCH_scan.json, asserts >=5x)"
 cargo bench -p bench --bench scan
 
