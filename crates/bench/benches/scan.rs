@@ -11,15 +11,22 @@
 //! * **footprint** — zone-map pruning plus footprint-driven column
 //!   pruning (the production default).
 //!
-//! Prints the summary, writes `BENCH_scan.json` (format in
-//! EXPERIMENTS.md P10), asserts the ≥5× pruning win the design
-//! promises, then hands the same closures to criterion.
+//! P12 — vectorized scan scaling: a grouped-aggregate query (SUM FBG
+//! by Gender × Age_Band, no filter, so all 24 segments survive) is
+//! answered by the scalar row-at-a-time loop and by the vectorized
+//! kernels at 1/2/4/8 workers, plus a morsel-size sweep at fixed
+//! workers (methodology in EXPERIMENTS.md P12).
+//!
+//! Prints the summaries, writes `BENCH_scan.json` (formats in
+//! EXPERIMENTS.md P10/P12), asserts the ≥5× pruning win and the ≥2×
+//! kernel win the design promises, then hands the same closures to
+//! criterion.
 
 use bench::write_bench_json;
 use clinical_types::{DataType, FieldDef, Record, Schema, Table, Value};
 use criterion::{criterion_group, criterion_main, Criterion};
 use obs::Json;
-use olap::{Cube, CubeFilter, CubeSpec, ScanOptions};
+use olap::{Aggregate, BuildStrategy, Cube, CubeFilter, CubeSpec, ScanOptions};
 use segstore::{DiskBackend, MemoryBackend, SegmentBackend};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -30,6 +37,11 @@ const YEARS: usize = 24;
 const ROWS_PER_YEAR: usize = 3_000;
 const SELECTIVE_YEAR: &str = "2016";
 
+/// Morsel size used by the pruning-ablation modes (the production
+/// default, spelled out because const items cannot call
+/// `ScanOptions::default`).
+const MORSEL_ROWS: usize = 64 * 1024;
+
 /// Scan modes under test: (name, options).
 const MODES: [(&str, ScanOptions); 3] = [
     (
@@ -38,6 +50,9 @@ const MODES: [(&str, ScanOptions); 3] = [
             zone_pruning: false,
             column_pruning: false,
             segments: false,
+            vectorized: true,
+            morsel_rows: MORSEL_ROWS,
+            workers: None,
         },
     ),
     (
@@ -46,6 +61,9 @@ const MODES: [(&str, ScanOptions); 3] = [
             zone_pruning: true,
             column_pruning: false,
             segments: true,
+            vectorized: true,
+            morsel_rows: MORSEL_ROWS,
+            workers: None,
         },
     ),
     (
@@ -54,6 +72,9 @@ const MODES: [(&str, ScanOptions); 3] = [
             zone_pruning: true,
             column_pruning: true,
             segments: true,
+            vectorized: true,
+            morsel_rows: MORSEL_ROWS,
+            workers: None,
         },
     ),
 ];
@@ -97,6 +118,14 @@ fn year_ordered_warehouse() -> Warehouse {
 
 fn selective_spec() -> CubeSpec {
     CubeSpec::count(vec!["Gender"]).with_filter(CubeFilter::all().equals("Year", SELECTIVE_YEAR))
+}
+
+/// The P12 grouped-aggregate query: no filter, so every segment
+/// survives pruning and the scan itself — filter, group, aggregate —
+/// is what gets measured.
+fn grouped_spec() -> CubeSpec {
+    CubeSpec::measure(vec!["Gender", "Age_Band"], Aggregate::Sum, "FBG")
+        .with_strategy(BuildStrategy::ParallelHash)
 }
 
 fn sealed(backend: Arc<dyn SegmentBackend>) -> Warehouse {
@@ -192,6 +221,8 @@ fn regenerate_summary() -> Vec<(&'static str, Warehouse)> {
         ));
     }
 
+    let scaling = scaling_summary(&backends[0].1);
+
     write_bench_json(
         "BENCH_scan.json",
         &Json::obj([
@@ -207,9 +238,93 @@ fn regenerate_summary() -> Vec<(&'static str, Warehouse)> {
                 "backends",
                 Json::obj(backend_objs.iter().map(|(k, v)| (*k, v.clone()))),
             ),
+            ("scaling", scaling),
         ]),
     );
     backends
+}
+
+/// P12 — grouped-aggregate scan scaling: scalar loop vs vectorized
+/// kernels at matched worker counts, plus a morsel-size sweep.
+/// Returns the JSON object stored under `scaling` in BENCH_scan.json.
+fn scaling_summary(wh: &Warehouse) -> Json {
+    println!("\n=== P12: grouped-aggregate scan — scalar loop vs vectorized kernels ===");
+    let spec = grouped_spec();
+    let n_rows = (YEARS * ROWS_PER_YEAR) as f64;
+    const RUNS: u32 = 20;
+
+    let mut thread_objs = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    for threads in [1usize, 2, 4, 8] {
+        let scalar_opts = ScanOptions {
+            vectorized: false,
+            workers: Some(threads),
+            ..ScanOptions::default()
+        };
+        let kernel_opts = ScanOptions {
+            vectorized: true,
+            workers: Some(threads),
+            ..ScanOptions::default()
+        };
+        let scalar = n_rows / time_mode(wh, &spec, &scalar_opts, RUNS);
+        let kernel = n_rows / time_mode(wh, &spec, &kernel_opts, RUNS);
+        let speedup = kernel / scalar;
+        min_speedup = min_speedup.min(speedup);
+        println!(
+            "{threads:>2} workers  scalar {scalar:>14.0} rows/s | kernel {kernel:>14.0} rows/s \
+             | {speedup:.1}x"
+        );
+        thread_objs.push(Json::obj([
+            ("threads", Json::Int(threads as i64)),
+            ("scalar_rows_per_sec", Json::Float(scalar)),
+            ("kernel_rows_per_sec", Json::Float(kernel)),
+            ("kernel_speedup", Json::Float(speedup)),
+        ]));
+    }
+    // The acceptance bar: the kernels must at least double grouped
+    // scan throughput over the pre-kernel scalar loop at every
+    // matched worker count (the check.sh gate re-reads this from
+    // BENCH_scan.json).
+    assert!(
+        min_speedup >= 2.0,
+        "vectorized kernels below 2x the scalar loop (min {min_speedup:.2}x)"
+    );
+
+    // Morsel-size sweep at fixed workers: segments hold 3 000 rows,
+    // so sizes ≥ 3 000 collapse to one morsel per segment and the
+    // sweep exposes pure scheduling overhead below that.
+    let mut morsel_objs = Vec::new();
+    for morsel_rows in [375usize, 750, 1_500, 3_000, MORSEL_ROWS] {
+        let options = ScanOptions {
+            vectorized: true,
+            morsel_rows,
+            workers: Some(4),
+            ..ScanOptions::default()
+        };
+        let rows_per_sec = n_rows / time_mode(wh, &spec, &options, RUNS);
+        let (_, stats) = Cube::build_with_options(wh, &spec, &options).expect("cube");
+        println!(
+            "morsel {morsel_rows:>6} rows  {rows_per_sec:>14.0} rows/s  \
+             ({} morsels)",
+            stats.morsels_executed
+        );
+        morsel_objs.push(Json::obj([
+            ("morsel_rows", Json::Int(morsel_rows as i64)),
+            ("rows_per_sec", Json::Float(rows_per_sec)),
+            ("morsels_executed", Json::Int(stats.morsels_executed as i64)),
+        ]));
+    }
+
+    Json::obj([
+        (
+            "spec",
+            Json::Str("SUM(FBG) by Gender x Age_Band, ParallelHash".into()),
+        ),
+        ("runs", Json::Int(i64::from(RUNS))),
+        ("min_kernel_speedup", Json::Float(min_speedup)),
+        ("threads", Json::Arr(thread_objs)),
+        ("morsel_sweep", Json::Arr(morsel_objs)),
+    ])
 }
 
 fn bench_scan(c: &mut Criterion) {
@@ -225,6 +340,22 @@ fn bench_scan(c: &mut Criterion) {
                 })
             });
         }
+    }
+    let grouped = grouped_spec();
+    for (name, vectorized) in [("scalar", false), ("kernel", true)] {
+        let options = ScanOptions {
+            vectorized,
+            workers: Some(4),
+            ..ScanOptions::default()
+        };
+        c.bench_function(&format!("scan/scaling/{name}_w4"), |b| {
+            b.iter(|| {
+                black_box(
+                    Cube::build_with_options(&backends[0].1, black_box(&grouped), &options)
+                        .expect("cube"),
+                )
+            })
+        });
     }
     std::fs::remove_dir_all(disk_dir()).ok();
 }

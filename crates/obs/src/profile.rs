@@ -68,6 +68,12 @@ pub struct QueryProfile {
     pub segments_pruned: u64,
     /// Output cells produced by the aggregate phase.
     pub cells_emitted: u64,
+    /// Morsels the vectorized scan claimed from the work queue (0 for
+    /// scalar and legacy scans).
+    pub morsels_executed: u64,
+    /// Mean rows per executed morsel (0 when no morsels ran) — the
+    /// effective scan granularity after segment-boundary clipping.
+    pub rows_per_morsel: u64,
     /// End-to-end duration from builder start to finish (µs).
     pub total_us: u64,
     /// The trace the execution ran under, when tracing was enabled.
@@ -113,6 +119,8 @@ impl QueryProfile {
             ("rows_scanned", Json::from(self.rows_scanned)),
             ("segments_pruned", Json::from(self.segments_pruned)),
             ("cells_emitted", Json::from(self.cells_emitted)),
+            ("morsels_executed", Json::from(self.morsels_executed)),
+            ("rows_per_morsel", Json::from(self.rows_per_morsel)),
             ("total_us", Json::from(self.total_us)),
         ];
         if let Some(trace) = self.trace {
@@ -144,6 +152,15 @@ impl QueryProfile {
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             cells_emitted: value.get("cells_emitted")?.as_u64()?,
+            // Absent before morsel-driven scans; read tolerantly.
+            morsels_executed: value
+                .get("morsels_executed")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            rows_per_morsel: value
+                .get("rows_per_morsel")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             total_us: value.get("total_us")?.as_u64()?,
             trace: value.get("trace").and_then(Json::as_u64),
         })
@@ -154,8 +171,12 @@ impl fmt::Display for QueryProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "Query Profile  (total {}µs, {} rows scanned, {} segments pruned, {} cells emitted)",
-            self.total_us, self.rows_scanned, self.segments_pruned, self.cells_emitted
+            "Query Profile  (total {}µs, {} rows scanned, {} segments pruned, {} morsels, {} cells emitted)",
+            self.total_us,
+            self.rows_scanned,
+            self.segments_pruned,
+            self.morsels_executed,
+            self.cells_emitted
         )?;
         let total = self.total_us.max(1) as f64;
         for (phase, us) in &self.phases {
@@ -229,6 +250,14 @@ impl ProfileBuilder {
         self.profile.cells_emitted = cells;
     }
 
+    /// Set the morsel volume counters from a scan's morsel count and
+    /// the rows it covered: `rows_per_morsel` is the mean morsel size
+    /// after segment-boundary clipping (0 when no morsels ran).
+    pub fn morsels(&mut self, executed: u64, rows_covered: u64) {
+        self.profile.morsels_executed = executed;
+        self.profile.rows_per_morsel = rows_covered.checked_div(executed).unwrap_or(0);
+    }
+
     /// µs elapsed since [`ProfileBuilder::start`] — the sanctioned
     /// read for deadline-style checks inside profiled sections.
     pub fn elapsed_us(&self) -> u64 {
@@ -285,6 +314,8 @@ mod tests {
             rows_scanned: 2500,
             segments_pruned: 3,
             cells_emitted: 12,
+            morsels_executed: 4,
+            rows_per_morsel: 625,
             total_us: 1100,
             trace: Some(3),
         };
@@ -292,6 +323,7 @@ mod tests {
         assert!(text.contains("parse"));
         assert!(text.contains("execute"));
         assert!(text.contains("2500 rows scanned"));
+        assert!(text.contains("4 morsels"));
         assert!(text.contains("(overhead)"));
         assert!(text.contains("90.0%") || text.contains("81.8%"), "{text}");
     }
@@ -310,6 +342,8 @@ mod tests {
             rows_scanned: 999,
             segments_pruned: 7,
             cells_emitted: 42,
+            morsels_executed: 3,
+            rows_per_morsel: 333,
             total_us: 510,
             trace: None,
         };
@@ -318,6 +352,31 @@ mod tests {
             QueryProfile::from_json(&Json::parse(&json).unwrap()),
             Some(profile)
         );
+    }
+
+    #[test]
+    fn morsel_setter_computes_mean_rows() {
+        let mut pb = ProfileBuilder::start();
+        pb.morsels(4, 1000);
+        let profile = pb.finish();
+        assert_eq!(profile.morsels_executed, 4);
+        assert_eq!(profile.rows_per_morsel, 250);
+
+        let mut none = ProfileBuilder::start();
+        none.morsels(0, 0);
+        let profile = none.finish();
+        assert_eq!(profile.rows_per_morsel, 0);
+    }
+
+    #[test]
+    fn profiles_without_morsel_fields_decode_to_zero() {
+        // Serialized by a pre-morsel build: fields absent entirely.
+        let json =
+            Json::parse("{\"phases\":[],\"rows_scanned\":5,\"cells_emitted\":1,\"total_us\":9}")
+                .unwrap();
+        let profile = QueryProfile::from_json(&json).unwrap();
+        assert_eq!(profile.morsels_executed, 0);
+        assert_eq!(profile.rows_per_morsel, 0);
     }
 
     #[test]

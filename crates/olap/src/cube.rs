@@ -13,8 +13,9 @@
 //! [`crate::QueryBuilder`].
 
 use crate::aggregate::{Aggregate, CellStats, MeasureRef};
+use crate::kernels::{AggLanes, GroupLayout, KeyLut, LaneKind, MorselQueue, SelectionBitmap};
 use clinical_types::{Error, Result, Value};
-use segstore::{ColumnSet, SegmentMeta};
+use segstore::{ColumnSet, Segment, SegmentMeta};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Range;
 use std::sync::Arc;
@@ -303,6 +304,7 @@ impl Cube {
                     segments_total: warehouse.segments().len() as u64,
                     segments_pruned: 0,
                     rows_scanned: inputs.n_rows() as u64,
+                    morsels_executed: 0,
                 };
                 (cells, stats)
             }
@@ -729,6 +731,9 @@ pub struct ScanStats {
     /// Fact rows actually visited (surviving segments plus the
     /// mutable tail; the whole fact table on the legacy path).
     pub rows_scanned: u64,
+    /// Morsels the vectorized path claimed from the work queue (0 on
+    /// the scalar and legacy paths).
+    pub morsels_executed: u64,
 }
 
 /// Toggles for the segmented scan — the ablation axes of the scan
@@ -743,6 +748,18 @@ pub struct ScanOptions {
     /// Permit the segmented path at all; `false` forces the legacy
     /// whole-column scan (the bench baseline).
     pub segments: bool,
+    /// Run surviving segments through the vectorized kernels
+    /// (selection bitmaps, dense group ids, aggregate lanes) instead
+    /// of the row-at-a-time scalar loop. The scan silently falls back
+    /// to the scalar loop when the dense group domain would exceed
+    /// [`crate::kernels::MAX_DENSE_GROUPS`].
+    pub vectorized: bool,
+    /// Rows per morsel on the vectorized path (clamped to ≥ 1).
+    pub morsel_rows: usize,
+    /// Worker-thread override for [`BuildStrategy::ParallelHash`]
+    /// builds; `None` sizes the pool from the machine's available
+    /// parallelism (clamped to 8, the bench's thread-sweep knob).
+    pub workers: Option<usize>,
 }
 
 impl Default for ScanOptions {
@@ -751,6 +768,9 @@ impl Default for ScanOptions {
             zone_pruning: true,
             column_pruning: true,
             segments: true,
+            vectorized: true,
+            morsel_rows: crate::kernels::DEFAULT_MORSEL_ROWS,
+            workers: None,
         }
     }
 }
@@ -772,6 +792,44 @@ struct SegmentedScan<'a> {
     metas: Vec<Arc<SegmentMeta>>,
     watermark: usize,
     zone_pruning: bool,
+    vectorized: bool,
+    morsel_rows: usize,
+    workers: Option<usize>,
+}
+
+/// Surrogate-key cell map produced by a segment scan, before keys are
+/// translated to attribute values.
+type RawCells = HashMap<Vec<u32>, CellStats>;
+
+/// One morsel worker's accumulation state: its aggregate lanes plus
+/// the selection/group-id scratch vectors reused across morsels.
+struct KernelState {
+    lanes: AggLanes,
+    sel: Vec<u32>,
+    gids: Vec<u32>,
+}
+
+/// Dense grouping over the *distinct* dimensions of the axis list.
+/// Axes drawn from the same dimension table share one surrogate key
+/// per row, so they share one radix component: grouping `Gender ×
+/// Age_Band` when both live in the personal dimension costs that
+/// dimension's cardinality once, not its square — which keeps the
+/// paper model's multi-attribute dimensions inside
+/// [`crate::kernels::MAX_DENSE_GROUPS`].
+struct DenseGrouping {
+    layout: GroupLayout,
+    /// Dimension column name per layout slot (first axis wins).
+    slot_dims: Vec<String>,
+    /// Axis index → layout slot; repeated dimensions repeat a slot.
+    axis_slots: Vec<usize>,
+}
+
+impl DenseGrouping {
+    /// Expand a layout slot-key tuple back to the per-axis surrogate
+    /// key tuple the scalar translate step expects.
+    fn axis_keys(&self, slot_keys: &[u32]) -> Vec<u32> {
+        self.axis_slots.iter().map(|&s| slot_keys[s]).collect()
+    }
 }
 
 impl<'a> SegmentedScan<'a> {
@@ -904,6 +962,9 @@ impl<'a> SegmentedScan<'a> {
             metas,
             watermark: seg.watermark(),
             zone_pruning: options.zone_pruning,
+            vectorized: options.vectorized,
+            morsel_rows: options.morsel_rows,
+            workers: options.workers,
         }))
     }
 
@@ -1002,9 +1063,208 @@ impl<'a> SegmentedScan<'a> {
         Ok(cells)
     }
 
-    /// Run the scan: prune on zone maps, scan survivors (in parallel
-    /// under [`BuildStrategy::ParallelHash`]), then fold the mutable
-    /// tail through the legacy row path.
+    /// Dense grouping over the spec's axes, or `None` when any axis
+    /// dimension is unresolvable/empty or the dense domain (over
+    /// *distinct* dimensions — same-dimension axes share a radix
+    /// slot) exceeds [`crate::kernels::MAX_DENSE_GROUPS`] — the
+    /// scalar hash path handles those.
+    fn dense_grouping(&self) -> Option<DenseGrouping> {
+        let dims = self.warehouse.dimensions();
+        let mut slot_di: Vec<usize> = Vec::new();
+        let mut slot_dims: Vec<String> = Vec::new();
+        let mut cards: Vec<u32> = Vec::new();
+        let mut axis_slots = Vec::with_capacity(self.axes.len());
+        for (dim, di, _) in &self.axes {
+            let slot = match slot_di.iter().position(|d| d == di) {
+                Some(s) => s,
+                None => {
+                    slot_di.push(*di);
+                    slot_dims.push(dim.clone());
+                    cards.push(dims.get(*di).map(|d| d.len() as u32)?);
+                    slot_di.len() - 1
+                }
+            };
+            axis_slots.push(slot);
+        }
+        Some(DenseGrouping {
+            layout: GroupLayout::try_new(&cards)?,
+            slot_dims,
+            axis_slots,
+        })
+    }
+
+    /// Vectorized scan of one morsel: fold every predicate into a
+    /// selection bitmap, compose dense group ids for the survivors,
+    /// then stream them into the worker's aggregate lanes. The
+    /// scratch vectors in `state` are reused across morsels.
+    fn scan_morsel(
+        &self,
+        segment: &Segment,
+        rows: Range<usize>,
+        grouping: &DenseGrouping,
+        luts: &[(String, KeyLut)],
+        state: &mut KernelState,
+    ) -> Result<()> {
+        let slice = segment.slice(rows)?;
+        let missing = |what: &str| Error::invalid(format!("segment slice lacks column `{what}`"));
+        let mut bitmap = SelectionBitmap::all(slice.len());
+        for (dim, lut) in luts {
+            bitmap.and_key_in(slice.key_slice(dim).ok_or_else(|| missing(dim))?, lut);
+        }
+        for (name, lo, hi) in self.spec.filter.measure_conditions() {
+            let m = slice.measure_slice(name).ok_or_else(|| missing(name))?;
+            bitmap.and_measure_between(m.values, m.valid, *lo, *hi);
+        }
+        let KernelState { lanes, sel, gids } = state;
+        sel.clear();
+        bitmap.collect_into(sel);
+        if sel.is_empty() {
+            return Ok(());
+        }
+        let slot_keys = grouping
+            .slot_dims
+            .iter()
+            .map(|dim| slice.key_slice(dim).ok_or_else(|| missing(dim)))
+            .collect::<Result<Vec<_>>>()?;
+        gids.clear();
+        grouping.layout.compose(&slot_keys, sel, gids);
+        match &self.spec.measure {
+            MeasureRef::RowCount => lanes.accumulate_rows(gids),
+            MeasureRef::Measure(name) => {
+                let m = slice.measure_slice(name).ok_or_else(|| missing(name))?;
+                lanes.accumulate_measure(gids, sel, m.values, m.valid);
+            }
+            MeasureRef::DistinctDegenerate(name) => {
+                let vals = slice.degenerate_slice(name).ok_or_else(|| missing(name))?;
+                lanes.accumulate_distinct(gids, sel, vals);
+            }
+        }
+        Ok(())
+    }
+
+    /// Kernel path over the surviving segments: plan morsels into a
+    /// shared queue, let workers claim them dynamically, merge lanes,
+    /// and decode occupied group ids back to surrogate-key tuples.
+    /// `Ok(None)` means "use the scalar loop" (vectorization disabled
+    /// or the group domain is too large for dense lanes).
+    fn vectorized_cells(&self, survivors: &[&Arc<SegmentMeta>]) -> Result<Option<(RawCells, u64)>> {
+        if !self.vectorized || survivors.is_empty() {
+            return Ok(None);
+        }
+        let grouping = match self.dense_grouping() {
+            Some(g) => g,
+            None => return Ok(None),
+        };
+        // Filter sets become packed LUTs; keys past the largest
+        // allowed key are non-members by construction, so the LUT
+        // domain only needs to reach that far.
+        let luts: Vec<(String, KeyLut)> = self
+            .key_filters
+            .iter()
+            .map(|(dim, allowed)| {
+                let domain = allowed.iter().next_back().map_or(0, |k| k + 1);
+                (dim.clone(), KeyLut::new(domain, allowed.iter().copied()))
+            })
+            .collect();
+        let kind = match &self.spec.measure {
+            MeasureRef::RowCount => LaneKind::Rows,
+            MeasureRef::Measure(_) => LaneKind::Measure,
+            MeasureRef::DistinctDegenerate(_) => LaneKind::Distinct,
+        };
+        let segment_rows: Vec<usize> = survivors.iter().map(|m| m.rows as usize).collect();
+        let queue = MorselQueue::plan(&segment_rows, self.morsel_rows);
+        let worker_count = if self.spec.strategy == BuildStrategy::ParallelHash {
+            self.workers
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(4)
+                })
+                .clamp(1, 8)
+                .min(queue.len().max(1))
+        } else {
+            1
+        };
+        // One worker's life: claim a morsel, reuse (or fetch) its
+        // segment, run the kernels, repeat until the queue is dry.
+        // The per-worker segment memo makes consecutive morsels of
+        // one segment a single fetch even on cold backends.
+        let run_worker = |worker: usize,
+                          ctx: Option<obs::SpanContext>|
+         -> Result<(AggLanes, u64)> {
+            let _watchdog = obs::task_scope("olap.morsel_scan", std::time::Duration::from_secs(60));
+            let mut span = obs::span_child_of("olap.morsel_worker", ctx);
+            span.record("worker", worker);
+            let mut state = KernelState {
+                lanes: AggLanes::new(kind, grouping.layout.groups()),
+                sel: Vec::new(),
+                gids: Vec::new(),
+            };
+            let mut executed = 0u64;
+            let mut rows_seen = 0u64;
+            let mut cached: Option<(usize, Arc<Segment>)> = None;
+            while let Some(m) = queue.pop() {
+                let segment = match &cached {
+                    Some((s, seg)) if *s == m.segment => Arc::clone(seg),
+                    _ => {
+                        fault::point("olap.segment_scan")
+                            .map_err(|e| Error::invalid(e.to_string()))?;
+                        let meta = survivors[m.segment];
+                        let seg = self.warehouse.fetch_segment(meta.id, &self.columns)?;
+                        cached = Some((m.segment, Arc::clone(&seg)));
+                        seg
+                    }
+                };
+                let mut morsel_span = obs::span("olap.morsel");
+                morsel_span.record("segment", survivors[m.segment].id);
+                morsel_span.record("rows", m.rows.len());
+                self.scan_morsel(&segment, m.rows.clone(), &grouping, &luts, &mut state)?;
+                rows_seen += m.rows.len() as u64;
+                executed += 1;
+            }
+            span.record("morsels", executed);
+            span.record("rows", rows_seen);
+            Ok((state.lanes, executed))
+        };
+        let (lanes, executed) = if worker_count <= 1 {
+            run_worker(0, obs::current_context())?
+        } else {
+            let ctx = obs::current_context();
+            let run_worker = &run_worker;
+            let results = crossbeam::scope(|scope| {
+                let handles: Vec<_> = (0..worker_count)
+                    .map(|w| scope.spawn(move |_| run_worker(w, ctx)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join())
+                    .collect::<std::thread::Result<Vec<_>>>()
+            })
+            .and_then(|inner| inner)
+            .map_err(|_| Error::invalid("morsel worker panicked"))?
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
+            let mut merged = AggLanes::new(kind, grouping.layout.groups());
+            let mut total = 0u64;
+            for (worker_lanes, n) in results {
+                merged.merge(worker_lanes);
+                total += n;
+            }
+            (merged, total)
+        };
+        let cells = lanes.into_cells();
+        let mut raw = HashMap::with_capacity(cells.len());
+        for (gid, stats) in cells {
+            raw.insert(grouping.axis_keys(&grouping.layout.decode(gid)), stats);
+        }
+        Ok(Some((raw, executed)))
+    }
+
+    /// Run the scan: prune on zone maps, run survivors through the
+    /// vectorized kernels (morsel-parallel under
+    /// [`BuildStrategy::ParallelHash`]) with the scalar row loop as
+    /// fallback, then fold the mutable tail through the legacy row
+    /// path.
     fn execute(&self) -> Result<(HashMap<Vec<Value>, CellStats>, ScanStats)> {
         let survivors: Vec<&Arc<SegmentMeta>> = self
             .metas
@@ -1015,54 +1275,69 @@ impl<'a> SegmentedScan<'a> {
             segments_total: self.metas.len() as u64,
             segments_pruned: (self.metas.len() - survivors.len()) as u64,
             rows_scanned: survivors.iter().map(|m| m.rows).sum(),
+            morsels_executed: 0,
         };
         let track = self.track_distinct();
-        let partials: Vec<HashMap<Vec<u32>, CellStats>> =
-            if self.spec.strategy == BuildStrategy::ParallelHash && survivors.len() > 1 {
-                let workers = std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(4)
-                    .clamp(1, 8)
-                    .min(survivors.len());
-                let chunk = survivors.len().div_ceil(workers);
-                let ctx = obs::current_context();
-                crossbeam::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (w, batch) in survivors.chunks(chunk).enumerate() {
-                        handles.push(scope.spawn(move |_| -> Result<Vec<_>> {
-                            let mut span = obs::span_child_of("olap.cube_build_worker", ctx);
-                            span.record("worker", w);
-                            span.record("segments", batch.len());
-                            batch.iter().map(|m| self.scan_segment(m)).collect()
-                        }));
-                    }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join())
-                        .collect::<std::thread::Result<Vec<_>>>()
-                })
-                .and_then(|inner| inner)
-                .map_err(|_| Error::invalid("segment scan worker panicked"))?
-                .into_iter()
-                .collect::<Result<Vec<Vec<_>>>>()?
-                .into_iter()
-                .flatten()
-                .collect()
-            } else {
-                survivors
-                    .iter()
-                    .map(|m| self.scan_segment(m))
-                    .collect::<Result<Vec<_>>>()?
-            };
-        let mut raw_cells: HashMap<Vec<u32>, CellStats> = HashMap::new();
-        for partial in partials {
-            for (key, partial_cell) in partial {
-                raw_cells
-                    .entry(key)
-                    .or_insert_with(|| CellStats::new(track))
-                    .merge(&partial_cell);
+        let raw_cells: HashMap<Vec<u32>, CellStats> = match self.vectorized_cells(&survivors)? {
+            Some((cells, morsels)) => {
+                stats.morsels_executed = morsels;
+                cells
             }
-        }
+            None => {
+                let partials: Vec<HashMap<Vec<u32>, CellStats>> =
+                    if self.spec.strategy == BuildStrategy::ParallelHash && survivors.len() > 1 {
+                        let workers = self
+                            .workers
+                            .unwrap_or_else(|| {
+                                std::thread::available_parallelism()
+                                    .map(std::num::NonZeroUsize::get)
+                                    .unwrap_or(4)
+                            })
+                            .clamp(1, 8)
+                            .min(survivors.len());
+                        let chunk = survivors.len().div_ceil(workers);
+                        let ctx = obs::current_context();
+                        crossbeam::scope(|scope| {
+                            let mut handles = Vec::new();
+                            for (w, batch) in survivors.chunks(chunk).enumerate() {
+                                handles.push(scope.spawn(move |_| -> Result<Vec<_>> {
+                                    let mut span =
+                                        obs::span_child_of("olap.cube_build_worker", ctx);
+                                    span.record("worker", w);
+                                    span.record("segments", batch.len());
+                                    batch.iter().map(|m| self.scan_segment(m)).collect()
+                                }));
+                            }
+                            handles
+                                .into_iter()
+                                .map(|h| h.join())
+                                .collect::<std::thread::Result<Vec<_>>>()
+                        })
+                        .and_then(|inner| inner)
+                        .map_err(|_| Error::invalid("segment scan worker panicked"))?
+                        .into_iter()
+                        .collect::<Result<Vec<Vec<_>>>>()?
+                        .into_iter()
+                        .flatten()
+                        .collect()
+                    } else {
+                        survivors
+                            .iter()
+                            .map(|m| self.scan_segment(m))
+                            .collect::<Result<Vec<_>>>()?
+                    };
+                let mut merged: HashMap<Vec<u32>, CellStats> = HashMap::new();
+                for partial in partials {
+                    for (key, partial_cell) in partial {
+                        merged
+                            .entry(key)
+                            .or_insert_with(|| CellStats::new(track))
+                            .merge(&partial_cell);
+                    }
+                }
+                merged
+            }
+        };
 
         // Translate each surrogate-key group to attribute values —
         // once per cell, not once per row.
@@ -1620,7 +1895,7 @@ mod tests {
         let ablated = ScanOptions {
             zone_pruning: false,
             column_pruning: false,
-            segments: true,
+            ..ScanOptions::default()
         };
         let (cube, stats) = Cube::build_with_options(&wh, &spec, &ablated).unwrap();
         assert_eq!(cube, legacy(&wh, &spec).0);
@@ -1657,6 +1932,186 @@ mod tests {
         let (cube, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
         assert_eq!(cube, legacy(&wh, &spec).0);
         assert_eq!(stats.rows_scanned, wh.n_facts() as u64);
+    }
+
+    #[test]
+    fn vectorized_and_scalar_segment_paths_agree() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        let scalar_options = ScanOptions {
+            vectorized: false,
+            ..ScanOptions::default()
+        };
+        let specs = [
+            CubeSpec::count(vec!["Gender", "Age_Band"]),
+            CubeSpec::measure(vec!["Age_Band"], Aggregate::Sum, "FBG"),
+            CubeSpec::measure(vec!["Gender"], Aggregate::Max, "FBG"),
+            CubeSpec::distinct(vec!["DiabetesStatus"], "PatientId"),
+            CubeSpec::distinct(vec!["Gender"], "PatientId").with_filter(
+                CubeFilter::all()
+                    .equals("DiabetesStatus", "no")
+                    .measure_between("FBG", 4.5, 6.5),
+            ),
+        ];
+        for spec in specs {
+            let (vec_cube, vec_stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+            let (scalar_cube, scalar_stats) =
+                Cube::build_with_options(&wh, &spec, &scalar_options).unwrap();
+            assert_eq!(vec_cube, scalar_cube, "spec {}", spec.fingerprint());
+            assert_eq!(
+                vec_cube,
+                legacy(&wh, &spec).0,
+                "spec {}",
+                spec.fingerprint()
+            );
+            assert!(vec_stats.morsels_executed > 0, "kernel path must run");
+            assert_eq!(scalar_stats.morsels_executed, 0, "scalar path claims none");
+            assert_eq!(vec_stats.rows_scanned, scalar_stats.rows_scanned);
+            assert_eq!(vec_stats.segments_pruned, scalar_stats.segments_pruned);
+        }
+    }
+
+    #[test]
+    fn morsel_size_controls_queue_granularity() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh); // 3 segments × 8 rows
+        let spec = CubeSpec::measure(vec!["Gender", "Age_Band"], Aggregate::Sum, "FBG");
+        let fine = ScanOptions {
+            morsel_rows: 4,
+            ..ScanOptions::default()
+        };
+        let (cube, stats) = Cube::build_with_options(&wh, &spec, &fine).unwrap();
+        assert_eq!(cube, legacy(&wh, &spec).0);
+        assert_eq!(stats.morsels_executed, 6, "8-row segments split into two");
+
+        let coarse = ScanOptions {
+            morsel_rows: 1 << 20,
+            ..ScanOptions::default()
+        };
+        let (cube2, stats2) = Cube::build_with_options(&wh, &spec, &coarse).unwrap();
+        assert_eq!(cube2, cube);
+        assert_eq!(stats2.morsels_executed, 3, "one morsel per segment");
+    }
+
+    #[test]
+    fn morsel_workers_agree_with_sequential_build() {
+        let mut wh = banded_warehouse();
+        compact_small(&mut wh);
+        // Dyadic FBG values make per-group sums order-insensitive, so
+        // any morsel-to-worker assignment must reproduce the
+        // sequential cube exactly.
+        let spec = CubeSpec::measure(vec!["Gender", "Age_Band"], Aggregate::Sum, "FBG")
+            .with_strategy(BuildStrategy::ParallelHash);
+        for workers in [1usize, 2, 4, 8] {
+            let options = ScanOptions {
+                morsel_rows: 4,
+                workers: Some(workers),
+                ..ScanOptions::default()
+            };
+            let (cube, stats) = Cube::build_with_options(&wh, &spec, &options).unwrap();
+            assert_eq!(cube, legacy(&wh, &spec).0, "{workers} workers");
+            assert_eq!(stats.morsels_executed, 6);
+        }
+    }
+
+    #[test]
+    fn oversized_group_domain_falls_back_to_scalar_loop() {
+        // Two ~300-value dimensions: the dense domain (300 × 300 =
+        // 90 000) exceeds MAX_DENSE_GROUPS, so the build must take the
+        // scalar hash path — and still agree with the legacy build.
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["M"], vec![]),
+            vec![
+                DimensionDef::new("D1", vec!["A"]),
+                DimensionDef::new("D2", vec!["B"]),
+            ],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::nullable("A", DataType::Text),
+            FieldDef::nullable("B", DataType::Text),
+            FieldDef::nullable("M", DataType::Float),
+        ])
+        .unwrap();
+        let rows: Vec<Record> = (0..300)
+            .map(|i| {
+                Record::new(vec![
+                    format!("a{i}").into(),
+                    format!("b{i}").into(),
+                    (i as f64 * 0.25).into(),
+                ])
+            })
+            .collect();
+        let mut wh = Warehouse::load(
+            &LoadPlan::from_star(star),
+            &Table::from_rows(schema, rows).unwrap(),
+        )
+        .unwrap();
+        wh.compact_with(&warehouse::CompactionConfig {
+            target_rows_per_segment: 100,
+            sort: true,
+        })
+        .unwrap();
+
+        let wide = CubeSpec::measure(vec!["A", "B"], Aggregate::Sum, "M");
+        let (cube, stats) = Cube::build_with_stats(&wh, &wide).unwrap();
+        assert_eq!(cube, legacy(&wh, &wide).0);
+        assert_eq!(
+            stats.morsels_executed, 0,
+            "dense lanes must refuse 90k groups"
+        );
+
+        let narrow = CubeSpec::measure(vec!["B"], Aggregate::Sum, "M");
+        let (cube2, stats2) = Cube::build_with_stats(&wh, &narrow).unwrap();
+        assert_eq!(cube2, legacy(&wh, &narrow).0);
+        assert!(stats2.morsels_executed > 0, "150 groups fit dense lanes");
+    }
+
+    #[test]
+    fn same_dimension_axes_share_one_radix_slot() {
+        // Both axes live in one 300-tuple dimension (the paper model's
+        // shape: Gender and Age_Band share the personal dimension).
+        // Squaring the cardinality would blow MAX_DENSE_GROUPS; the
+        // shared radix slot keeps the dense domain at 300, so the
+        // vectorized path must run — and agree with the legacy build.
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["M"], vec![]),
+            vec![DimensionDef::new("D", vec!["A", "B"])],
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::nullable("A", DataType::Text),
+            FieldDef::nullable("B", DataType::Text),
+            FieldDef::nullable("M", DataType::Float),
+        ])
+        .unwrap();
+        let rows: Vec<Record> = (0..300)
+            .map(|i| {
+                Record::new(vec![
+                    format!("a{i}").into(),
+                    format!("b{i}").into(),
+                    (i as f64 * 0.25).into(),
+                ])
+            })
+            .collect();
+        let mut wh = Warehouse::load(
+            &LoadPlan::from_star(star),
+            &Table::from_rows(schema, rows).unwrap(),
+        )
+        .unwrap();
+        wh.compact_with(&warehouse::CompactionConfig {
+            target_rows_per_segment: 100,
+            sort: true,
+        })
+        .unwrap();
+
+        let spec = CubeSpec::measure(vec!["A", "B"], Aggregate::Sum, "M");
+        let (cube, stats) = Cube::build_with_stats(&wh, &spec).unwrap();
+        assert_eq!(cube, legacy(&wh, &spec).0);
+        assert!(
+            stats.morsels_executed > 0,
+            "same-dimension axes must stay on the kernel path: {stats:?}"
+        );
     }
 
     #[test]

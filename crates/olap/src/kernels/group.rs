@@ -1,0 +1,171 @@
+//! Dictionary-coded group-key composition.
+//!
+//! Cube axes are dictionary-coded surrogate keys, so a group key is a
+//! small coordinate tuple `(k₀, k₁, …)` drawn from a bounded domain.
+//! When the product of per-axis cardinalities is modest, the tuple
+//! collapses to a single dense integer by mixed-radix arithmetic —
+//! `gid = k₀ + c₀·k₁ + c₀·c₁·k₂ + …` — and grouping becomes array
+//! indexing instead of hashing a `Vec<u32>` per row.
+
+/// Upper bound on the dense group domain (product of per-axis
+/// cardinalities). Beyond this the flat accumulator lanes would waste
+/// more memory than hashing costs, so callers fall back to the
+/// hash-based scalar path.
+pub const MAX_DENSE_GROUPS: usize = 1 << 16;
+
+/// Mixed-radix layout mapping axis-key tuples to dense group ids.
+///
+/// ```
+/// use olap::kernels::GroupLayout;
+///
+/// // Two axes: Gender (cardinality 2) and Age_Band (cardinality 3).
+/// let layout = GroupLayout::try_new(&[2, 3]).unwrap();
+/// assert_eq!(layout.groups(), 6);
+///
+/// let gender = [0u32, 1, 0];
+/// let age = [2u32, 0, 1];
+/// let sel = [0u32, 1, 2]; // all three rows selected
+/// let mut gids = Vec::new();
+/// layout.compose(&[&gender, &age], &sel, &mut gids);
+/// assert_eq!(gids, vec![4, 1, 2]); // gid = gender + 2 * age
+///
+/// assert_eq!(layout.decode(4), vec![0, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupLayout {
+    cardinalities: Vec<u32>,
+    strides: Vec<usize>,
+    groups: usize,
+}
+
+impl GroupLayout {
+    /// Build a layout from per-axis key cardinalities (each axis's
+    /// keys must lie in `0..cardinality`). Returns `None` when any
+    /// axis is empty or the dense domain would exceed
+    /// [`MAX_DENSE_GROUPS`] — the caller's cue to use the hash path.
+    pub fn try_new(cardinalities: &[u32]) -> Option<Self> {
+        let mut strides = Vec::with_capacity(cardinalities.len());
+        let mut groups: usize = 1;
+        for &card in cardinalities {
+            if card == 0 {
+                return None;
+            }
+            strides.push(groups);
+            groups = groups.checked_mul(card as usize)?;
+            if groups > MAX_DENSE_GROUPS {
+                return None;
+            }
+        }
+        Some(GroupLayout {
+            cardinalities: cardinalities.to_vec(),
+            strides,
+            groups,
+        })
+    }
+
+    /// Size of the dense group domain.
+    #[inline]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of axes in the layout.
+    #[inline]
+    pub fn axes(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Compose dense group ids for the selected rows.
+    ///
+    /// `axis_keys` holds one full-morsel key slice per axis (same
+    /// order as the cardinalities given to [`GroupLayout::try_new`]);
+    /// `sel` is the selection vector of surviving row indices. One
+    /// `gid` is appended to `out` per selected row, in selection
+    /// order. Keys outside an axis's cardinality are clamped into
+    /// range (they cannot occur for well-formed dictionaries; the
+    /// clamp keeps the kernel memory-safe without a panic path).
+    pub fn compose(&self, axis_keys: &[&[u32]], sel: &[u32], out: &mut Vec<u32>) {
+        out.reserve(sel.len());
+        for &row in sel {
+            let mut gid: usize = 0;
+            for (a, &keys) in axis_keys.iter().enumerate() {
+                let card = self.cardinalities[a];
+                let k = keys
+                    .get(row as usize)
+                    .copied()
+                    .unwrap_or(0)
+                    .min(card.saturating_sub(1));
+                gid += self.strides[a] * k as usize;
+            }
+            out.push(gid as u32);
+        }
+    }
+
+    /// Recover the per-axis key tuple for a dense group id (used once
+    /// per *group* at finalisation, never per row).
+    pub fn decode(&self, gid: u32) -> Vec<u32> {
+        let mut keys = Vec::with_capacity(self.cardinalities.len());
+        let mut rest = gid as usize;
+        for &card in &self.cardinalities {
+            keys.push((rest % card as usize) as u32);
+            rest /= card as usize;
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_and_decode_round_trip() {
+        let layout = GroupLayout::try_new(&[3, 4, 5]).unwrap();
+        assert_eq!(layout.groups(), 60);
+        for gid in 0..60u32 {
+            let keys = layout.decode(gid);
+            let slices: Vec<Vec<u32>> = keys.iter().map(|&k| vec![k]).collect();
+            let refs: Vec<&[u32]> = slices.iter().map(|s| s.as_slice()).collect();
+            let mut out = Vec::new();
+            layout.compose(&refs, &[0], &mut out);
+            assert_eq!(out, vec![gid]);
+        }
+    }
+
+    #[test]
+    fn zero_axes_is_a_single_group() {
+        let layout = GroupLayout::try_new(&[]).unwrap();
+        assert_eq!(layout.groups(), 1);
+        assert_eq!(layout.axes(), 0);
+        let mut out = Vec::new();
+        layout.compose(&[], &[0, 1, 2], &mut out);
+        assert_eq!(out, vec![0, 0, 0]);
+        assert_eq!(layout.decode(0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn oversized_domain_is_rejected() {
+        assert!(GroupLayout::try_new(&[1 << 10, 1 << 10]).is_none());
+        assert!(GroupLayout::try_new(&[u32::MAX, u32::MAX]).is_none());
+        assert!(GroupLayout::try_new(&[4, 0]).is_none());
+        assert!(GroupLayout::try_new(&[1 << 16]).is_some());
+    }
+
+    #[test]
+    fn compose_follows_selection_order() {
+        let layout = GroupLayout::try_new(&[4]).unwrap();
+        let keys = [3u32, 1, 2, 0];
+        let mut out = Vec::new();
+        layout.compose(&[&keys], &[3, 0, 1], &mut out);
+        assert_eq!(out, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn out_of_range_keys_are_clamped_not_panicking() {
+        let layout = GroupLayout::try_new(&[2]).unwrap();
+        let keys = [7u32];
+        let mut out = Vec::new();
+        layout.compose(&[&keys], &[0], &mut out);
+        assert_eq!(out, vec![1]);
+    }
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! OLAP over the clinical data warehouse — the analytical half of the
 //! paper's Reporting component (§IV), plus the Prediction-supporting
@@ -24,6 +24,10 @@
 //!   report requests against the `analyze` catalog before execution,
 //!   and resolves each query shape's dimension footprint for
 //!   cross-epoch result reuse.
+//! * [`kernels`] — vectorized execution kernels: selection-bitmap
+//!   filters, dictionary-coded group-id composition, fixed-width
+//!   aggregate lanes and the morsel-driven work queue behind
+//!   segmented cube builds.
 //!
 //! Cubes are *incrementally maintainable*: [`Cube::apply_delta`] folds
 //! a warehouse [`warehouse::DeltaSummary`]'s appended fact rows into
@@ -34,6 +38,7 @@
 pub mod aggregate;
 pub mod builder;
 pub mod cube;
+pub mod kernels;
 pub mod mdx;
 pub mod pivot;
 pub mod report;

@@ -158,6 +158,7 @@ pub fn execute_query_profiled(
     })?;
     profile.rows_scanned(stats.rows_scanned);
     profile.segments_pruned(stats.segments_pruned);
+    profile.morsels(stats.morsels_executed, stats.rows_scanned);
 
     let pivot = profile.time(obs::Phase::Aggregate, || -> Result<PivotTable> {
         let mut pivot = PivotTable::from_cube(&cube, &rows.attribute, &cols.attribute)?;

@@ -30,5 +30,5 @@ pub use backend::{DiskBackend, MemoryBackend, SegmentBackend};
 pub use encode::{
     decode_segment, decode_segment_meta, encode_segment, SEGMENT_MAGIC, SEGMENT_VERSION,
 };
-pub use segment::{ColumnSet, Segment, SegmentMeta};
+pub use segment::{ColumnSet, KeyDictView, MeasureSlice, Segment, SegmentMeta, SegmentSlice};
 pub use zone::{KeyZone, MeasureZone, DISTINCT_KEY_CAP};

@@ -39,6 +39,7 @@ pub struct ServeMetrics {
     retries: Counter,
     rows_scanned: Counter,
     segments_pruned: Counter,
+    morsels_executed: Counter,
     workers_alive: Gauge,
     latency: Arc<Histogram>,
 }
@@ -73,6 +74,7 @@ impl ServeMetrics {
             retries: registry.counter("serve_retries_total"),
             rows_scanned: registry.counter("serve_rows_scanned_total"),
             segments_pruned: registry.counter("serve_segments_pruned_total"),
+            morsels_executed: registry.counter("serve_morsels_executed_total"),
             workers_alive: registry.gauge("serve_workers_alive"),
             latency: registry.histogram("serve_latency_us", &BUCKET_BOUNDS_US),
             registry,
@@ -186,6 +188,12 @@ impl ServeMetrics {
         self.segments_pruned.add(n);
     }
 
+    /// Record the morsels one execution's vectorized scan claimed
+    /// (from its query profile; 0 for scalar/legacy scans).
+    pub fn record_morsels_executed(&self, n: u64) {
+        self.morsels_executed.add(n);
+    }
+
     /// Set the live-worker gauge.
     pub fn set_workers_alive(&self, n: i64) {
         self.workers_alive.set(n);
@@ -235,6 +243,7 @@ impl ServeMetrics {
             retries: self.retries.get(),
             rows_scanned: self.rows_scanned.get(),
             segments_pruned: self.segments_pruned.get(),
+            morsels_executed: self.morsels_executed.get(),
             workers_alive: self.workers_alive.get(),
             latency_us_sum: self.latency.sum(),
             latency_buckets: std::array::from_fn(|i| counts.get(i).copied().unwrap_or(0)),
@@ -287,6 +296,8 @@ pub struct MetricsSnapshot {
     pub rows_scanned: u64,
     /// Segments skipped by zone-map pruning across executions.
     pub segments_pruned: u64,
+    /// Morsels claimed by vectorized scans across executions.
+    pub morsels_executed: u64,
     /// Worker threads currently alive.
     pub workers_alive: i64,
     /// Sum of recorded latencies (µs).
@@ -340,6 +351,63 @@ impl MetricsSnapshot {
     /// Estimated 99th-percentile latency.
     pub fn p99(&self) -> Option<Duration> {
         self.latency_percentile(0.99)
+    }
+
+    /// Counter-wise difference against an earlier snapshot of the
+    /// same service: what happened *between* the two snapshots.
+    ///
+    /// This is how the serve bench isolates one measurement block —
+    /// snapshot before, run the block, subtract — so percentiles and
+    /// rates come from that block's histogram alone instead of
+    /// carrying every warm-up and prior thread level along.
+    /// `workers_alive` is a gauge, not a counter, and is taken from
+    /// `self` unchanged.
+    pub fn since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            hits: self.hits.saturating_sub(baseline.hits),
+            reused_cross_epoch: self
+                .reused_cross_epoch
+                .saturating_sub(baseline.reused_cross_epoch),
+            patched_incremental: self
+                .patched_incremental
+                .saturating_sub(baseline.patched_incremental),
+            delta_log_aged_out: self
+                .delta_log_aged_out
+                .saturating_sub(baseline.delta_log_aged_out),
+            misses: self.misses.saturating_sub(baseline.misses),
+            coalesced: self.coalesced.saturating_sub(baseline.coalesced),
+            rejected: self.rejected.saturating_sub(baseline.rejected),
+            rejected_invalid: self
+                .rejected_invalid
+                .saturating_sub(baseline.rejected_invalid),
+            executed: self.executed.saturating_sub(baseline.executed),
+            deadline_exceeded: self
+                .deadline_exceeded
+                .saturating_sub(baseline.deadline_exceeded),
+            failed: self.failed.saturating_sub(baseline.failed),
+            worker_panics: self.worker_panics.saturating_sub(baseline.worker_panics),
+            worker_respawned: self
+                .worker_respawned
+                .saturating_sub(baseline.worker_respawned),
+            worker_respawn_failed: self
+                .worker_respawn_failed
+                .saturating_sub(baseline.worker_respawn_failed),
+            served_stale: self.served_stale.saturating_sub(baseline.served_stale),
+            breaker_open: self.breaker_open.saturating_sub(baseline.breaker_open),
+            retries: self.retries.saturating_sub(baseline.retries),
+            rows_scanned: self.rows_scanned.saturating_sub(baseline.rows_scanned),
+            segments_pruned: self
+                .segments_pruned
+                .saturating_sub(baseline.segments_pruned),
+            morsels_executed: self
+                .morsels_executed
+                .saturating_sub(baseline.morsels_executed),
+            workers_alive: self.workers_alive,
+            latency_us_sum: self.latency_us_sum.saturating_sub(baseline.latency_us_sum),
+            latency_buckets: std::array::from_fn(|i| {
+                self.latency_buckets[i].saturating_sub(baseline.latency_buckets[i])
+            }),
+        }
     }
 }
 
@@ -453,6 +521,33 @@ mod tests {
         assert!(text.contains("serve_delta_log_aged_out_total 1"));
         let s = m.snapshot();
         assert_eq!((s.rows_scanned, s.segments_pruned), (2500, 3));
+    }
+
+    #[test]
+    fn since_isolates_one_measurement_block() {
+        let m = ServeMetrics::default();
+        // Warm-up traffic that must not leak into the block.
+        m.record_miss();
+        m.record_executed();
+        m.record_latency(Duration::from_millis(500));
+        let baseline = m.snapshot();
+
+        m.record_hit();
+        m.record_hit();
+        m.record_morsels_executed(6);
+        m.record_latency(Duration::from_micros(50));
+        m.record_latency(Duration::from_micros(60));
+        let block = m.snapshot().since(&baseline);
+
+        assert_eq!(block.hits, 2);
+        assert_eq!(block.misses, 0, "warm-up miss excluded");
+        assert_eq!(block.morsels_executed, 6);
+        assert_eq!(block.latency_buckets, [2, 0, 0, 0, 0, 0]);
+        let p95 = block.p95().unwrap();
+        assert!(
+            p95 < Duration::from_millis(1),
+            "warm-up 500ms excluded: {p95:?}"
+        );
     }
 
     #[test]

@@ -112,6 +112,7 @@ impl QueryRequest {
                     profile.time(Phase::Execute, || Cube::build_with_stats(warehouse, spec))?;
                 profile.rows_scanned(stats.rows_scanned);
                 profile.segments_pruned(stats.segments_pruned);
+                profile.morsels(stats.morsels_executed, stats.rows_scanned);
                 let result = profile.time(Phase::Aggregate, || CubeResult::from_cube(&cube));
                 profile.cells_emitted(result.cells.len() as u64);
                 let retained = Cube::supports_incremental(spec).then_some(cube);

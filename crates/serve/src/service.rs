@@ -987,10 +987,14 @@ fn process_job(shared: &Shared, mut job: Job) {
             let profile = job.profile.finish();
             exec_span.record("rows_scanned", profile.rows_scanned);
             exec_span.record("cells_emitted", profile.cells_emitted);
+            exec_span.record("morsels", profile.morsels_executed);
             shared.metrics.record_rows_scanned(profile.rows_scanned);
             shared
                 .metrics
                 .record_segments_pruned(profile.segments_pruned);
+            shared
+                .metrics
+                .record_morsels_executed(profile.morsels_executed);
             let value = Arc::new(QueryOutcome {
                 payload,
                 profile,

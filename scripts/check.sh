@@ -41,7 +41,19 @@ cargo test -q --test flight_recorder
 echo "==> SLO engine + burn-rate alerting"
 cargo test -q -p obs slo
 
-echo "==> scan bench (zone-map + footprint pruning, BENCH_scan.json, asserts >=5x)"
+echo "==> rustdoc gate (olap + segstore, -D warnings, deny(missing_docs))"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p olap -p segstore
+
+echo "==> scan bench (zone-map + footprint pruning >=5x, kernel vs scalar >=2x, BENCH_scan.json)"
 cargo bench -p bench --bench scan
+
+echo "==> kernel-bench gate (BENCH_scan.json scaling: vectorized >=2x scalar at every thread count)"
+python3 - <<'EOF'
+import json
+scaling = json.load(open("BENCH_scan.json"))["scaling"]
+speedup = scaling["min_kernel_speedup"]
+assert speedup >= 2.0, f"kernel speedup regressed: min {speedup:.2f}x < 2x"
+print(f"    min kernel speedup {speedup:.1f}x across thread sweep — ok")
+EOF
 
 echo "All checks passed."
