@@ -183,6 +183,19 @@ impl DdDgms {
         serve::QueryService::new(self.warehouse.clone(), config)
     }
 
+    /// Start a *replicated* serve tier over a snapshot of the
+    /// warehouse: a primary write head publishing every mutation to a
+    /// durable oplog, plus epoch-aware read replicas behind a
+    /// [`serve::ReplicaRouter`] with failover. Queries route only to
+    /// replicas that have fully applied the primary's current epoch;
+    /// when none has, the result is explicitly stale-marked.
+    pub fn serve_replicated(
+        &self,
+        config: serve::RouterConfig,
+    ) -> serve::ServeResult<serve::ReplicaRouter> {
+        serve::ReplicaRouter::new(self.warehouse.clone(), config)
+    }
+
     /// Force a flight-recorder dump through the globally installed
     /// recorder (the operator's "grab the black box now" lever on the
     /// whole system, not one service). `None` when no recorder is

@@ -277,6 +277,10 @@ pub fn export_into(registry: &MetricsRegistry) {
     }
 }
 
+pub mod retry;
+
+pub use retry::RetryPolicy;
+
 /// Helpers for tests that arm process-global failpoints.
 pub mod test_support {
     use std::sync::{Mutex, MutexGuard, OnceLock};

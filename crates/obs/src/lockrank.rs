@@ -55,31 +55,45 @@ pub enum LockRank {
     FlightSlot = 1,
     /// `serve` circuit-breaker state.
     Breaker = 2,
+    /// The replica-router registry (the set of live replica handles).
+    /// Held only to snapshot or mutate the set — never across a
+    /// dispatched query.
+    Router = 3,
+    /// A replica's oplog tail cursor, held across the whole catch-up
+    /// replay (which takes the follower's warehouse write lock per
+    /// record) so applied epochs advance in log order.
+    Replication = 4,
     /// `serve` worker-pool join handles.
-    Pool = 3,
+    Pool = 5,
     /// The warehouse reader–writer lock (epoch state, segment sets).
-    Warehouse = 4,
+    Warehouse = 6,
     /// The per-epoch semantic catalog cache.
-    Catalog = 5,
+    Catalog = 7,
     /// Result-cache shards (acquired under the warehouse read lock
     /// during delta revalidation).
-    Cache = 6,
+    Cache = 8,
     /// Segment-backend registries (acquired under the warehouse lock
     /// during scans and compaction).
-    SegmentSet = 7,
+    SegmentSet = 9,
     /// The OLTP heap lock.
-    Heap = 8,
+    Heap = 10,
     /// OLTP secondary-index maps (filled under the heap read lock).
-    Index = 9,
-    /// The write-ahead-log writer — the innermost lock in the stack.
-    Wal = 10,
+    Index = 11,
+    /// The write-ahead-log writer.
+    Wal = 12,
+    /// The durable oplog writer — appended to under the primary's
+    /// warehouse write lock (and read under a replica's cursor lock),
+    /// making it the innermost lock in the stack.
+    Oplog = 13,
 }
 
 /// Every rank in ascending acquisition order.
-pub const ALL_RANKS: [LockRank; 11] = [
+pub const ALL_RANKS: [LockRank; 14] = [
     LockRank::Admission,
     LockRank::FlightSlot,
     LockRank::Breaker,
+    LockRank::Router,
+    LockRank::Replication,
     LockRank::Pool,
     LockRank::Warehouse,
     LockRank::Catalog,
@@ -88,6 +102,7 @@ pub const ALL_RANKS: [LockRank; 11] = [
     LockRank::Heap,
     LockRank::Index,
     LockRank::Wal,
+    LockRank::Oplog,
 ];
 
 impl LockRank {
@@ -98,6 +113,8 @@ impl LockRank {
             LockRank::Admission => "Admission",
             LockRank::FlightSlot => "FlightSlot",
             LockRank::Breaker => "Breaker",
+            LockRank::Router => "Router",
+            LockRank::Replication => "Replication",
             LockRank::Pool => "Pool",
             LockRank::Warehouse => "Warehouse",
             LockRank::Catalog => "Catalog",
@@ -106,6 +123,7 @@ impl LockRank {
             LockRank::Heap => "Heap",
             LockRank::Index => "Index",
             LockRank::Wal => "Wal",
+            LockRank::Oplog => "Oplog",
         }
     }
 
@@ -478,7 +496,7 @@ mod tests {
             prev = Some(r);
         }
         assert_eq!(LockRank::parse("NoSuchRank"), None);
-        assert_eq!(LockRank::Warehouse.to_string(), "Warehouse=4");
+        assert_eq!(LockRank::Warehouse.to_string(), "Warehouse=6");
     }
 
     #[test]

@@ -111,7 +111,7 @@ proptest! {
     /// Any strictly-ascending acquisition sequence — arbitrary subset
     /// of the rank table, arbitrary length — passes the checker.
     #[test]
-    fn rank_consistent_sequences_never_trip(picks in proptest::collection::vec(0usize..11, 1..8)) {
+    fn rank_consistent_sequences_never_trip(picks in proptest::collection::vec(0usize..ALL_RANKS.len(), 1..8)) {
         set_rank_checks(true);
         let mut ranks: Vec<LockRank> = picks.iter().map(|&i| ALL_RANKS[i]).collect();
         ranks.sort();
@@ -135,7 +135,7 @@ proptest! {
     /// …and any sequence containing a descent (or a repeat) trips it
     /// at exactly the first non-ascending acquisition.
     #[test]
-    fn non_ascending_sequences_always_trip(picks in proptest::collection::vec(0usize..11, 2..8)) {
+    fn non_ascending_sequences_always_trip(picks in proptest::collection::vec(0usize..ALL_RANKS.len(), 2..8)) {
         set_rank_checks(true);
         let ranks: Vec<LockRank> = picks.iter().map(|&i| ALL_RANKS[i]).collect();
         let ascending = ranks.windows(2).all(|w| w[0] < w[1]);

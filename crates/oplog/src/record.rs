@@ -1,0 +1,373 @@
+//! Oplog positions and the framed record codec.
+//!
+//! A record on the wire is
+//!
+//! ```text
+//! [epoch u64le][seq u64le][payload_len u32le][payload][crc32 u32le]
+//! ```
+//!
+//! with the CRC-32 (the same IEEE polynomial as the OLTP WAL,
+//! [`oltp::encoding::crc32`]) covering everything before it. The
+//! payload opens with a kind tag and reuses the OLTP self-describing
+//! row codec for values, so the oplog inherits the WAL's corruption
+//! and torn-write detection properties instead of inventing a second
+//! framing discipline.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use clinical_types::{DataType, Error, FieldDef, Record, Result, Schema, Table};
+use oltp::encoding::{crc32, decode_row, encode_row};
+use warehouse::WarehouseChange;
+
+/// A position in the oplog: the epoch a record lands the warehouse on
+/// and its log sequence number. Both components are strictly monotone
+/// over the life of a log, so ordering by `(epoch, seq)` is total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogPos {
+    /// Warehouse epoch after this record is applied.
+    pub epoch: u64,
+    /// 1-based log sequence number.
+    pub seq: u64,
+}
+
+impl LogPos {
+    /// The cursor of a replica that has applied nothing yet.
+    pub fn start() -> LogPos {
+        LogPos { epoch: 0, seq: 0 }
+    }
+}
+
+impl std::fmt::Display for LogPos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}s{}", self.epoch, self.seq)
+    }
+}
+
+/// One sequenced change: the position it lands on and the mutation.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// Where in the log (and on which epoch) this record sits.
+    pub pos: LogPos,
+    /// The replayable mutation.
+    pub change: WarehouseChange,
+}
+
+const KIND_APPEND: u8 = 0;
+const KIND_FEEDBACK: u8 = 1;
+const KIND_REWRITE: u8 = 2;
+
+fn dtype_tag(dtype: DataType) -> u8 {
+    match dtype {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Bool => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn tag_dtype(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Bool,
+        4 => DataType::Date,
+        other => return Err(Error::invalid(format!("unknown dtype tag {other}"))),
+    })
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(Error::invalid("payload truncated in string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(Error::invalid("payload truncated in string body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    std::str::from_utf8(&raw)
+        .map(str::to_string)
+        .map_err(|_| Error::invalid("invalid UTF-8 in oplog string"))
+}
+
+fn put_row(buf: &mut BytesMut, record: &Record) {
+    let row = encode_row(record);
+    buf.put_u32_le(row.len() as u32);
+    buf.put_slice(&row);
+}
+
+fn get_row(buf: &mut Bytes) -> Result<Record> {
+    if buf.remaining() < 4 {
+        return Err(Error::invalid("payload truncated in row length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(Error::invalid("payload truncated in row body"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    decode_row(&raw)
+}
+
+/// Encode a change into its oplog payload (kind tag + body).
+pub fn encode_change(change: &WarehouseChange) -> Bytes {
+    let mut buf = BytesMut::new();
+    match change {
+        WarehouseChange::Append(table) => {
+            buf.put_u8(KIND_APPEND);
+            let fields = table.schema().fields();
+            buf.put_u16_le(fields.len() as u16);
+            for field in fields {
+                put_str(&mut buf, &field.name);
+                buf.put_u8(dtype_tag(field.dtype));
+                buf.put_u8(u8::from(field.nullable));
+            }
+            buf.put_u32_le(table.len() as u32);
+            for row in table.rows() {
+                put_row(&mut buf, row);
+            }
+        }
+        WarehouseChange::Feedback {
+            dimension,
+            attribute,
+            labels,
+        } => {
+            buf.put_u8(KIND_FEEDBACK);
+            put_str(&mut buf, dimension);
+            put_str(&mut buf, attribute);
+            put_row(&mut buf, &Record::new(labels.clone()));
+        }
+        WarehouseChange::Rewrite => buf.put_u8(KIND_REWRITE),
+    }
+    buf.freeze()
+}
+
+/// Decode an oplog payload back into the change it captured.
+pub fn decode_change(payload: &Bytes) -> Result<WarehouseChange> {
+    let mut buf = payload.clone();
+    if buf.remaining() < 1 {
+        return Err(Error::invalid("empty oplog payload"));
+    }
+    let change = match buf.get_u8() {
+        KIND_APPEND => {
+            if buf.remaining() < 2 {
+                return Err(Error::invalid("payload truncated in field count"));
+            }
+            let nfields = buf.get_u16_le() as usize;
+            let mut fields = Vec::with_capacity(nfields);
+            for _ in 0..nfields {
+                let name = get_str(&mut buf)?;
+                if buf.remaining() < 2 {
+                    return Err(Error::invalid("payload truncated in field flags"));
+                }
+                let dtype = tag_dtype(buf.get_u8())?;
+                let nullable = buf.get_u8() != 0;
+                fields.push(if nullable {
+                    FieldDef::nullable(name, dtype)
+                } else {
+                    FieldDef::required(name, dtype)
+                });
+            }
+            let schema = Schema::new(fields)?;
+            if buf.remaining() < 4 {
+                return Err(Error::invalid("payload truncated in row count"));
+            }
+            let nrows = buf.get_u32_le() as usize;
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                rows.push(get_row(&mut buf)?);
+            }
+            WarehouseChange::Append(Table::from_rows(schema, rows)?)
+        }
+        KIND_FEEDBACK => {
+            let dimension = get_str(&mut buf)?;
+            let attribute = get_str(&mut buf)?;
+            let labels = get_row(&mut buf)?.into_values();
+            WarehouseChange::Feedback {
+                dimension,
+                attribute,
+                labels,
+            }
+        }
+        KIND_REWRITE => WarehouseChange::Rewrite,
+        other => return Err(Error::invalid(format!("unknown change kind {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(Error::invalid("trailing bytes after oplog payload"));
+    }
+    Ok(change)
+}
+
+/// Size of the fixed frame prefix: epoch + seq + payload length.
+pub(crate) const FRAME_PREFIX: usize = 8 + 8 + 4;
+
+/// Encode one record into its on-disk frame (prefix, payload, CRC).
+pub fn encode_frame(record: &LogRecord) -> Vec<u8> {
+    let payload = encode_change(&record.change);
+    let mut out = Vec::with_capacity(FRAME_PREFIX + payload.len() + 4);
+    out.extend_from_slice(&record.pos.epoch.to_le_bytes());
+    out.extend_from_slice(&record.pos.seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    out
+}
+
+/// Decode the frame starting at `buf[at..]`. Returns the record and
+/// the offset one past its CRC, or `None` when the bytes from `at` on
+/// are torn or corrupt (the caller truncates there).
+pub fn decode_frame(buf: &[u8], at: usize) -> Option<(LogRecord, usize)> {
+    let rest = buf.get(at..)?;
+    if rest.len() < FRAME_PREFIX + 4 {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(rest[0..8].try_into().ok()?);
+    let seq = u64::from_le_bytes(rest[8..16].try_into().ok()?);
+    let payload_len = u32::from_le_bytes(rest[16..20].try_into().ok()?) as usize;
+    let total = FRAME_PREFIX + payload_len;
+    if rest.len() < total + 4 {
+        return None;
+    }
+    let stored = u32::from_le_bytes(rest[total..total + 4].try_into().ok()?);
+    if crc32(&rest[..total]) != stored {
+        return None;
+    }
+    let payload = Bytes::from(&rest[FRAME_PREFIX..total]);
+    let change = decode_change(&payload).ok()?;
+    Some((
+        LogRecord {
+            pos: LogPos { epoch, seq },
+            change,
+        },
+        at + total + 4,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::Value;
+    use proptest::prelude::*;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            FieldDef::required("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+            FieldDef::nullable("Recheck", DataType::Bool),
+        ])
+        .unwrap();
+        Table::from_rows(
+            schema,
+            vec![
+                Record::new(vec![5.0.into(), "very good".into(), Value::Bool(false)]),
+                Record::new(vec![8.1.into(), "Diabetic".into(), Value::Null]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_same_change(a: &WarehouseChange, b: &WarehouseChange) {
+        match (a, b) {
+            (WarehouseChange::Append(x), WarehouseChange::Append(y)) => {
+                assert_eq!(x.schema().fields(), y.schema().fields());
+                assert_eq!(x.rows(), y.rows());
+            }
+            (
+                WarehouseChange::Feedback {
+                    dimension: d1,
+                    attribute: a1,
+                    labels: l1,
+                },
+                WarehouseChange::Feedback {
+                    dimension: d2,
+                    attribute: a2,
+                    labels: l2,
+                },
+            ) => {
+                assert_eq!((d1, a1, l1), (d2, a2, l2));
+            }
+            (WarehouseChange::Rewrite, WarehouseChange::Rewrite) => {}
+            (a, b) => panic!("kind mismatch: {} vs {}", a.kind_name(), b.kind_name()),
+        }
+    }
+
+    #[test]
+    fn append_round_trips() {
+        let change = WarehouseChange::Append(sample_table());
+        let decoded = decode_change(&encode_change(&change)).unwrap();
+        assert_same_change(&change, &decoded);
+    }
+
+    #[test]
+    fn feedback_and_rewrite_round_trip() {
+        let change = WarehouseChange::Feedback {
+            dimension: "Clinician Review".into(),
+            attribute: "RiskFlag".into(),
+            labels: vec!["low".into(), Value::Null, "act".into()],
+        };
+        assert_same_change(&change, &decode_change(&encode_change(&change)).unwrap());
+        assert_same_change(
+            &WarehouseChange::Rewrite,
+            &decode_change(&encode_change(&WarehouseChange::Rewrite)).unwrap(),
+        );
+    }
+
+    #[test]
+    fn frame_round_trips_and_reports_end() {
+        let record = LogRecord {
+            pos: LogPos { epoch: 7, seq: 3 },
+            change: WarehouseChange::Append(sample_table()),
+        };
+        let frame = encode_frame(&record);
+        let (decoded, end) = decode_frame(&frame, 0).unwrap();
+        assert_eq!(decoded.pos, record.pos);
+        assert_eq!(end, frame.len());
+        assert_same_change(&decoded.change, &record.change);
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_rejected() {
+        let record = LogRecord {
+            pos: LogPos { epoch: 1, seq: 1 },
+            change: WarehouseChange::Rewrite,
+        };
+        let frame = encode_frame(&record);
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut], 0).is_none(), "cut {cut}");
+        }
+        for flip in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[flip] ^= 0x40;
+            assert!(decode_frame(&bad, 0).is_none(), "flip {flip} accepted");
+        }
+    }
+
+    #[test]
+    fn positions_order_by_epoch_then_seq() {
+        let a = LogPos { epoch: 3, seq: 10 };
+        let b = LogPos { epoch: 4, seq: 11 };
+        assert!(a < b);
+        assert!(LogPos::start() < a);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_feedback_labels_round_trip(
+            labels in proptest::collection::vec(".*", 0..6),
+            dim in ".{1,12}",
+            attr in ".{1,12}",
+        ) {
+            let change = WarehouseChange::Feedback {
+                dimension: dim,
+                attribute: attr,
+                labels: labels.into_iter().map(Value::Text).collect(),
+            };
+            let decoded = decode_change(&encode_change(&change)).unwrap();
+            assert_same_change(&change, &decoded);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! A read replica: a follower warehouse plus an oplog cursor.
+//!
+//! The replica owns a [`Warehouse`] seeded from a primary snapshot and
+//! advances it by replaying the oplog tail through
+//! [`Warehouse::apply_change`]. Its `applied_epoch` is therefore
+//! always the epoch of the last *fully* applied record — the routing
+//! invariant upstream layers rely on. When the log has been truncated
+//! past its cursor the replica cannot replay its way forward; it
+//! degrades to a snapshot re-seed ([`Replica::reseed`]) and resumes
+//! tailing from there.
+
+use crate::log::{Oplog, OplogError};
+use crate::record::LogPos;
+use fault::RetryPolicy;
+use std::sync::Arc;
+use warehouse::Warehouse;
+
+/// A follower warehouse that tails the oplog.
+pub struct Replica {
+    warehouse: Warehouse,
+    log: Arc<Oplog>,
+    cursor: LogPos,
+    retry: RetryPolicy,
+}
+
+impl Replica {
+    /// Seed a replica from a snapshot of the primary: clone its
+    /// warehouse and position the cursor at the snapshot's epoch.
+    /// Fails with [`OplogError::Truncated`] when the snapshot is
+    /// already behind the log's truncation horizon.
+    pub fn seed(primary: &Warehouse, log: Arc<Oplog>) -> Result<Replica, OplogError> {
+        let cursor = log.cursor_at(primary.epoch())?;
+        Ok(Replica {
+            warehouse: primary.clone(),
+            log,
+            cursor,
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// Replace the catch-up retry policy (deterministic in tests).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Replica {
+        self.retry = retry;
+        self
+    }
+
+    /// Replay every record past the cursor, retrying transient tail
+    /// failures under the shared [`RetryPolicy`]. Returns the number
+    /// of records applied. [`OplogError::Truncated`] means the replica
+    /// fell behind the horizon and the caller must [`Replica::reseed`]
+    /// from a fresh primary snapshot.
+    pub fn catch_up(&mut self) -> Result<usize, OplogError> {
+        let log = Arc::clone(&self.log);
+        let cursor = self.cursor;
+        let (tail, retries) = self.retry.run(|| log.tail_from(cursor));
+        let tail = tail?;
+        let mut applied = 0usize;
+        for record in tail {
+            fault::point("replica.apply")?;
+            self.warehouse
+                .apply_change(&record.change, record.pos.epoch)?;
+            // Cursor advances only after the record applied in full:
+            // a crash between records resumes exactly here, and the
+            // epoch exposed below never names a half-applied record.
+            self.cursor = record.pos;
+            applied += 1;
+        }
+        if applied > 0 || retries > 0 {
+            obs::event_with(
+                "replica.catch_up",
+                &[
+                    ("applied", &applied),
+                    ("retries", &retries),
+                    ("epoch", &self.applied_epoch()),
+                ],
+            );
+        }
+        Ok(applied)
+    }
+
+    /// Degrade to a snapshot re-seed: adopt a fresh clone of the
+    /// primary and reposition the cursor at its epoch. The recovery
+    /// path for a replica behind the truncation horizon.
+    pub fn reseed(&mut self, primary: &Warehouse) -> Result<(), OplogError> {
+        let cursor = self.log.cursor_at(primary.epoch())?;
+        self.warehouse = primary.clone();
+        self.cursor = cursor;
+        obs::event_with("replica.reseed", &[("epoch", &self.warehouse.epoch())]);
+        Ok(())
+    }
+
+    /// The epoch of the last fully applied change.
+    pub fn applied_epoch(&self) -> u64 {
+        self.warehouse.epoch()
+    }
+
+    /// How many retained log records the replica still has to apply.
+    pub fn lag_records(&self) -> usize {
+        self.log
+            .tail_from(self.cursor)
+            .map(|tail| tail.len())
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Read access to the follower warehouse.
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.warehouse
+    }
+
+    /// The replica's current log cursor.
+    pub fn cursor(&self) -> LogPos {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clinical_types::{DataType, FieldDef, Record, Schema, Table};
+    use warehouse::{DimensionDef, FactDef, LoadPlan, StarSchema, WarehouseChange};
+
+    fn table(rows: &[(f64, &str)]) -> Table {
+        let schema = Schema::new(vec![
+            FieldDef::nullable("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+        ])
+        .unwrap();
+        let rows = rows
+            .iter()
+            .map(|&(v, b)| Record::new(vec![v.into(), b.into()]))
+            .collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    fn primary() -> Warehouse {
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["FBG"], vec![]),
+            vec![DimensionDef::new("Bloods", vec!["FBG_Band"])],
+        )
+        .unwrap();
+        let seed = table(&[(5.0, "very good"), (8.0, "Diabetic")]);
+        Warehouse::load(&LoadPlan::from_star(star), &seed).unwrap()
+    }
+
+    /// Mutate the primary and publish the change, the way the serve
+    /// tier does under its warehouse write lock.
+    fn publish_append(primary: &mut Warehouse, log: &Oplog, batch: Table) {
+        primary.append(&batch).unwrap();
+        log.append(&WarehouseChange::Append(batch), primary.epoch())
+            .unwrap();
+    }
+
+    #[test]
+    fn replica_catches_up_to_the_primary() {
+        let log = Arc::new(Oplog::in_memory());
+        let mut primary = primary();
+        let mut replica = Replica::seed(&primary, Arc::clone(&log)).unwrap();
+
+        publish_append(&mut primary, &log, table(&[(6.5, "preDiabetic")]));
+        publish_append(&mut primary, &log, table(&[(7.2, "Diabetic")]));
+        assert!(replica.applied_epoch() < primary.epoch());
+        assert_eq!(replica.lag_records(), 2);
+
+        assert_eq!(replica.catch_up().unwrap(), 2);
+        assert_eq!(replica.applied_epoch(), primary.epoch());
+        assert_eq!(replica.warehouse().n_facts(), primary.n_facts());
+        assert_eq!(replica.catch_up().unwrap(), 0, "idempotent when current");
+    }
+
+    #[test]
+    fn transient_tail_faults_are_retried() {
+        let _guard = fault::test_support::fault_lock();
+        let log = Arc::new(Oplog::in_memory());
+        let mut primary = primary();
+        let mut replica = Replica::seed(&primary, Arc::clone(&log))
+            .unwrap()
+            .with_retry(RetryPolicy {
+                attempts: 3,
+                base_delay: std::time::Duration::from_micros(1),
+                jitter_seed: 7,
+            });
+        publish_append(&mut primary, &log, table(&[(6.5, "preDiabetic")]));
+
+        let _armed = fault::arm("oplog.tail", fault::Trigger::Once, fault::FaultKind::Error);
+        assert_eq!(replica.catch_up().unwrap(), 1, "retry rode out the fault");
+        assert_eq!(replica.applied_epoch(), primary.epoch());
+    }
+
+    #[test]
+    fn apply_fault_halts_before_the_record() {
+        let _guard = fault::test_support::fault_lock();
+        let log = Arc::new(Oplog::in_memory());
+        let mut primary = primary();
+        let mut replica = Replica::seed(&primary, Arc::clone(&log)).unwrap();
+        publish_append(&mut primary, &log, table(&[(6.5, "preDiabetic")]));
+        let before = replica.applied_epoch();
+
+        let armed = fault::arm(
+            "replica.apply",
+            fault::Trigger::Once,
+            fault::FaultKind::Error,
+        );
+        assert!(matches!(replica.catch_up(), Err(OplogError::Faulted(_))));
+        assert_eq!(replica.applied_epoch(), before, "no partial epoch exposed");
+        drop(armed);
+
+        assert_eq!(replica.catch_up().unwrap(), 1, "resumes from the cursor");
+        assert_eq!(replica.applied_epoch(), primary.epoch());
+    }
+
+    #[test]
+    fn behind_the_horizon_means_reseed() {
+        let log = Arc::new(Oplog::in_memory());
+        let mut primary = primary();
+        let mut replica = Replica::seed(&primary, Arc::clone(&log)).unwrap();
+
+        publish_append(&mut primary, &log, table(&[(6.5, "preDiabetic")]));
+        publish_append(&mut primary, &log, table(&[(7.2, "Diabetic")]));
+        publish_append(&mut primary, &log, table(&[(4.9, "very good")]));
+        // Age out everything before the newest epoch while the replica
+        // is still at its seed cursor.
+        log.truncate_before(primary.epoch()).unwrap();
+
+        let err = replica.catch_up().unwrap_err();
+        assert!(matches!(err, OplogError::Truncated { .. }));
+
+        replica.reseed(&primary).unwrap();
+        assert_eq!(replica.applied_epoch(), primary.epoch());
+        assert_eq!(replica.warehouse().n_facts(), primary.n_facts());
+        // And tailing resumes normally afterwards.
+        publish_append(&mut primary, &log, table(&[(6.0, "good")]));
+        assert_eq!(replica.catch_up().unwrap(), 1);
+        assert_eq!(replica.applied_epoch(), primary.epoch());
+    }
+}

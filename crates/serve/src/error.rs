@@ -34,6 +34,17 @@ pub enum ServeError {
         /// Trace of the abandoned request, when one was recorded.
         trace: Option<TraceId>,
     },
+    /// The per-user admission quota rejected the request: this
+    /// session's token bucket is empty. Other sessions are unaffected
+    /// (distinct from [`ServeError::Overloaded`], which is aggregate
+    /// back-pressure). Nothing was executed; the caller should pace
+    /// itself and retry.
+    QuotaExceeded {
+        /// The session key whose bucket ran dry.
+        session: String,
+        /// Trace of the rejected request, when one was recorded.
+        trace: Option<TraceId>,
+    },
     /// The service is draining and no longer accepts work.
     ShuttingDown,
     /// The semantic analyzer rejected the request at admission:
@@ -70,6 +81,7 @@ impl ServeError {
         match self {
             ServeError::Overloaded { trace, .. }
             | ServeError::DeadlineExceeded { trace, .. }
+            | ServeError::QuotaExceeded { trace, .. }
             | ServeError::Invalid { trace, .. }
             | ServeError::Internal { trace, .. } => *trace,
             ServeError::ShuttingDown | ServeError::Query(_) => None,
@@ -95,6 +107,13 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "deadline of {deadline:?} exceeded{}",
+                    trace_suffix(trace)
+                )
+            }
+            ServeError::QuotaExceeded { session, trace } => {
+                write!(
+                    f,
+                    "per-user quota exceeded for session `{session}`{}",
                     trace_suffix(trace)
                 )
             }

@@ -28,6 +28,7 @@ pub struct ServeMetrics {
     coalesced: Counter,
     rejected: Counter,
     rejected_invalid: Counter,
+    quota_rejected: Counter,
     executed: Counter,
     deadline_exceeded: Counter,
     failed: Counter,
@@ -63,6 +64,7 @@ impl ServeMetrics {
             coalesced: registry.counter("serve_coalesced_total"),
             rejected: registry.counter("serve_rejected_total"),
             rejected_invalid: registry.counter("serve_rejected_invalid_total"),
+            quota_rejected: registry.counter("serve_quota_rejected_total"),
             executed: registry.counter("serve_executed_total"),
             deadline_exceeded: registry.counter("serve_deadline_exceeded_total"),
             failed: registry.counter("serve_failed_total"),
@@ -126,6 +128,12 @@ impl ServeMetrics {
     /// from load shedding: the request was wrong, not unlucky).
     pub fn record_rejected_invalid(&self) {
         self.rejected_invalid.inc();
+    }
+
+    /// Record a request rejected by a per-user admission quota (the
+    /// session's token bucket ran dry; other sessions unaffected).
+    pub fn record_quota_rejected(&self) {
+        self.quota_rejected.inc();
     }
 
     /// Record a worker-side execution.
@@ -232,6 +240,7 @@ impl ServeMetrics {
             coalesced: self.coalesced.get(),
             rejected: self.rejected.get(),
             rejected_invalid: self.rejected_invalid.get(),
+            quota_rejected: self.quota_rejected.get(),
             executed: self.executed.get(),
             deadline_exceeded: self.deadline_exceeded.get(),
             failed: self.failed.get(),
@@ -273,6 +282,8 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Requests the semantic analyzer rejected at admission.
     pub rejected_invalid: u64,
+    /// Requests rejected by per-user admission quotas.
+    pub quota_rejected: u64,
     /// Executions performed by the worker pool.
     pub executed: u64,
     /// Requests whose caller gave up on its deadline.
@@ -380,6 +391,7 @@ impl MetricsSnapshot {
             rejected_invalid: self
                 .rejected_invalid
                 .saturating_sub(baseline.rejected_invalid),
+            quota_rejected: self.quota_rejected.saturating_sub(baseline.quota_rejected),
             executed: self.executed.saturating_sub(baseline.executed),
             deadline_exceeded: self
                 .deadline_exceeded

@@ -1,0 +1,137 @@
+//! Per-user admission quotas: token buckets ahead of the queue.
+//!
+//! The bounded work queue protects the service from *aggregate*
+//! overload, but one chatty session (a runaway dashboard, a student
+//! script in a loop) can starve everyone else while staying inside the
+//! queue bound. A token bucket per session key caps each user's
+//! sustained rate before their requests ever touch the cache, the
+//! single-flight table or the queue, turning per-user abuse into a
+//! typed [`crate::ServeError::QuotaExceeded`] instead of collateral
+//! [`crate::ServeError::Overloaded`] for innocent bystanders.
+//!
+//! Buckets refill continuously from the `obs` monotonic clock, so
+//! admission is deterministic given the clock — no background refill
+//! thread to schedule or drain.
+
+use obs::{LockRank, RankedMutex};
+use std::collections::HashMap;
+
+/// Token-bucket parameters applied to every session key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuotaConfig {
+    /// Bucket capacity: the burst a session may spend at once.
+    pub capacity: f64,
+    /// Sustained refill rate, tokens per second.
+    pub refill_per_sec: f64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            capacity: 32.0,
+            refill_per_sec: 16.0,
+        }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last_us: u64,
+}
+
+/// Per-session token buckets, keyed by an opaque session string.
+pub struct AdmissionQuotas {
+    config: QuotaConfig,
+    /// Rank `Admission`: taken first on the request path and released
+    /// before any other serving lock.
+    buckets: RankedMutex<HashMap<String, Bucket>>,
+}
+
+impl AdmissionQuotas {
+    /// Fresh quota table under `config`.
+    pub fn new(config: QuotaConfig) -> AdmissionQuotas {
+        AdmissionQuotas {
+            config,
+            buckets: RankedMutex::new(LockRank::Admission, "serve.quota.buckets", HashMap::new()),
+        }
+    }
+
+    /// Spend one token from `session`'s bucket; `false` means the
+    /// session is over quota and the request must be rejected.
+    pub fn try_admit(&self, session: &str) -> bool {
+        self.try_admit_at(session, obs::monotonic_us())
+    }
+
+    /// [`Self::try_admit`] with the clock supplied (deterministic
+    /// tests).
+    pub fn try_admit_at(&self, session: &str, now_us: u64) -> bool {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(session.to_string()).or_insert(Bucket {
+            tokens: self.config.capacity,
+            last_us: now_us,
+        });
+        let elapsed_s = now_us.saturating_sub(bucket.last_us) as f64 / 1_000_000.0;
+        bucket.tokens =
+            (bucket.tokens + elapsed_s * self.config.refill_per_sec).min(self.config.capacity);
+        bucket.last_us = now_us;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of sessions currently tracked.
+    pub fn sessions(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quotas(capacity: f64, refill: f64) -> AdmissionQuotas {
+        AdmissionQuotas::new(QuotaConfig {
+            capacity,
+            refill_per_sec: refill,
+        })
+    }
+
+    #[test]
+    fn burst_up_to_capacity_then_rejected() {
+        let q = quotas(3.0, 1.0);
+        assert!(q.try_admit_at("alice", 0));
+        assert!(q.try_admit_at("alice", 0));
+        assert!(q.try_admit_at("alice", 0));
+        assert!(!q.try_admit_at("alice", 0), "burst spent");
+    }
+
+    #[test]
+    fn refill_restores_admission() {
+        let q = quotas(1.0, 2.0);
+        assert!(q.try_admit_at("alice", 0));
+        assert!(!q.try_admit_at("alice", 100_000), "0.2 tokens < 1");
+        assert!(q.try_admit_at("alice", 600_000), "1.2 tokens refilled");
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let q = quotas(1.0, 0.0);
+        assert!(q.try_admit_at("alice", 0));
+        assert!(!q.try_admit_at("alice", 0));
+        assert!(q.try_admit_at("bob", 0), "bob has his own bucket");
+        assert_eq!(q.sessions(), 2);
+    }
+
+    #[test]
+    fn refill_never_exceeds_capacity() {
+        let q = quotas(2.0, 100.0);
+        assert!(q.try_admit_at("alice", 0));
+        // A long idle refills to capacity, not beyond.
+        assert!(q.try_admit_at("alice", 60_000_000));
+        assert!(q.try_admit_at("alice", 60_000_000));
+        assert!(!q.try_admit_at("alice", 60_000_000));
+    }
+}

@@ -1,168 +1,8 @@
 //! Bounded retry with deterministic jittered exponential backoff.
 //!
-//! Transient faults (an injected I/O hiccup, a briefly unavailable
-//! warehouse) should not fail a request that a second attempt would
-//! serve. The policy here is deliberately small: a fixed number of
-//! attempts, exponential backoff between them, and *deterministic*
-//! jitter — the jitter sequence is derived from a seed with an
-//! xorshift generator, so a test (or a replayed incident) sees the
-//! exact same sleep schedule every run.
+//! The implementation lives in [`fault::retry`] so the serve request
+//! paths and the oplog replication catch-up loop share one policy
+//! (one jitter generator, one backoff curve) instead of drifting
+//! copies; this module re-exports it under the historical path.
 
-use std::time::Duration;
-
-/// Retry schedule for transient failures on the serve path.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total attempts, including the first (`1` = no retries).
-    pub attempts: u32,
-    /// Backoff before the first retry; doubled each further retry.
-    pub base_delay: Duration,
-    /// Seed for the deterministic jitter sequence.
-    pub jitter_seed: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            attempts: 3,
-            base_delay: Duration::from_micros(200),
-            jitter_seed: 0x5EED_CAFE,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy that never retries (single attempt, no sleeps).
-    pub fn none() -> Self {
-        RetryPolicy {
-            attempts: 1,
-            base_delay: Duration::ZERO,
-            jitter_seed: 0,
-        }
-    }
-
-    /// Backoff before retry `retry` (0-based): `base * 2^retry` plus
-    /// up to 50% deterministic jitter.
-    pub fn backoff(&self, retry: u32) -> Duration {
-        let base = self.base_delay.saturating_mul(1u32 << retry.min(16));
-        if base.is_zero() {
-            return base;
-        }
-        let mut x = self
-            .jitter_seed
-            .wrapping_add(u64::from(retry))
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            | 1;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        let jitter_nanos = (base.as_nanos() as u64 / 2)
-            .checked_rem(u64::MAX)
-            .unwrap_or(0);
-        let jitter = if jitter_nanos == 0 {
-            0
-        } else {
-            x % jitter_nanos
-        };
-        base + Duration::from_nanos(jitter)
-    }
-
-    /// Run `op` under this policy. Returns the first success, or the
-    /// last error once attempts are exhausted, together with the
-    /// number of retries actually performed (for metrics).
-    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> (Result<T, E>, u32) {
-        let attempts = self.attempts.max(1);
-        let mut retries = 0;
-        loop {
-            match op() {
-                Ok(v) => return (Ok(v), retries),
-                Err(e) if retries + 1 >= attempts => return (Err(e), retries),
-                Err(_) => {
-                    std::thread::sleep(self.backoff(retries));
-                    retries += 1;
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn first_success_means_no_retries() {
-        let policy = RetryPolicy::default();
-        let (result, retries) = policy.run(|| Ok::<_, ()>(42));
-        assert_eq!(result, Ok(42));
-        assert_eq!(retries, 0);
-    }
-
-    #[test]
-    fn transient_failure_is_retried_to_success() {
-        let policy = RetryPolicy {
-            base_delay: Duration::from_micros(1),
-            ..RetryPolicy::default()
-        };
-        let mut calls = 0;
-        let (result, retries) = policy.run(|| {
-            calls += 1;
-            if calls < 3 {
-                Err("transient")
-            } else {
-                Ok(calls)
-            }
-        });
-        assert_eq!(result, Ok(3));
-        assert_eq!(retries, 2);
-    }
-
-    #[test]
-    fn exhausted_attempts_return_last_error() {
-        let policy = RetryPolicy {
-            attempts: 2,
-            base_delay: Duration::from_micros(1),
-            ..RetryPolicy::default()
-        };
-        let mut calls = 0;
-        let (result, retries) = policy.run(|| -> Result<(), _> {
-            calls += 1;
-            Err(calls)
-        });
-        assert_eq!(result, Err(2));
-        assert_eq!(retries, 1);
-        assert_eq!(calls, 2);
-    }
-
-    #[test]
-    fn backoff_is_exponential_and_deterministic() {
-        let policy = RetryPolicy::default();
-        let again = RetryPolicy::default();
-        for retry in 0..4 {
-            assert_eq!(policy.backoff(retry), again.backoff(retry));
-            let floor = policy.base_delay * (1 << retry);
-            assert!(policy.backoff(retry) >= floor);
-            // Jitter is bounded by 50% of the exponential base.
-            assert!(policy.backoff(retry) < floor + floor / 2 + Duration::from_nanos(1));
-        }
-        let reseeded = RetryPolicy {
-            jitter_seed: 7,
-            ..RetryPolicy::default()
-        };
-        assert_ne!(reseeded.backoff(1), policy.backoff(1));
-    }
-
-    #[test]
-    fn none_policy_never_sleeps() {
-        let policy = RetryPolicy::none();
-        assert_eq!(policy.backoff(0), Duration::ZERO);
-        let mut calls = 0;
-        let (result, retries) = policy.run(|| -> Result<(), _> {
-            calls += 1;
-            Err("hard")
-        });
-        assert!(result.is_err());
-        assert_eq!(retries, 0);
-        assert_eq!(calls, 1);
-    }
-}
+pub use fault::RetryPolicy;

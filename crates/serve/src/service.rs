@@ -32,6 +32,7 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::error::{ServeError, ServeResult};
 use crate::flight::{Flight, FlightRole, FlightTable};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::quota::{AdmissionQuotas, QuotaConfig};
 use crate::request::{CubeResult, OutcomePayload, QueryOutcome, QueryRequest, ReportSpec};
 use crate::retry::RetryPolicy;
 use analyze::Catalog;
@@ -42,12 +43,13 @@ use obs::{
     SpanContext, Watchdog, WatchdogConfig,
 };
 use olap::{Cube, CubeSpec};
+use oplog::Oplog;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
-use warehouse::{ChangeSet, CompactionConfig, DeltaSummary, Warehouse};
+use warehouse::{ChangeSet, CompactionConfig, DeltaSummary, Warehouse, WarehouseChange};
 
 /// Tuning knobs for [`QueryService`].
 #[derive(Debug, Clone)]
@@ -93,6 +95,16 @@ pub struct ServeConfig {
     /// [`QueryService::slo_status`] call (scrape-driven, like
     /// Prometheus recording rules).
     pub slos: Vec<SloSpec>,
+    /// Per-user admission quota enforced by
+    /// [`QueryService::execute_for`] ahead of the bounded queue;
+    /// `None` disables per-session limiting (the aggregate queue bound
+    /// still applies).
+    pub quota: Option<QuotaConfig>,
+    /// Failure-domain label for this service instance, attributed on
+    /// breaker-trip events and flight-recorder dumps. The write head
+    /// is conventionally `"primary"`; the replica router labels each
+    /// follower `"replica-N"`.
+    pub domain: String,
 }
 
 /// The stock objectives: 99% of requests under 100 ms, and a 99.9%
@@ -126,6 +138,8 @@ impl Default for ServeConfig {
             watchdog_interval: Duration::from_millis(25),
             worker_stall_budget: Duration::from_secs(10),
             slos: default_slos(),
+            quota: None,
+            domain: "primary".to_string(),
         }
     }
 }
@@ -213,6 +227,14 @@ struct Shared {
     slo: SloEngine,
     /// Stall budget handed to each worker's watchdog registration.
     stall_budget: Duration,
+    /// Per-session token buckets, when the config asked for them.
+    /// Checked by `execute_for` before any other shared state.
+    quotas: Option<AdmissionQuotas>,
+    /// Failure-domain label attributed on breaker-trip telemetry.
+    domain: String,
+    /// Durable change feed this service publishes mutations to, when
+    /// it is the write head of a replica set.
+    oplog: Option<Arc<Oplog>>,
 }
 
 impl Shared {
@@ -255,6 +277,27 @@ impl QueryService {
     /// are joined before returning, so a failed construction leaks
     /// nothing.
     pub fn new(warehouse: Warehouse, config: ServeConfig) -> ServeResult<QueryService> {
+        Self::build(warehouse, config, None)
+    }
+
+    /// Start a service that additionally publishes every mutation to
+    /// `log` as a replicated change feed — the write head of a replica
+    /// set. Followers tail the log (see `oplog::Replica` and the
+    /// replica router) and re-derive the same warehouse state at the
+    /// same epochs. Failure behaviour is that of [`Self::new`].
+    pub fn new_with_oplog(
+        warehouse: Warehouse,
+        config: ServeConfig,
+        log: Arc<Oplog>,
+    ) -> ServeResult<QueryService> {
+        Self::build(warehouse, config, Some(log))
+    }
+
+    fn build(
+        warehouse: Warehouse,
+        config: ServeConfig,
+        oplog: Option<Arc<Oplog>>,
+    ) -> ServeResult<QueryService> {
         let catalog = (
             warehouse.epoch(),
             Arc::new(Catalog::from_warehouse(&warehouse)),
@@ -276,6 +319,9 @@ impl QueryService {
             worker_seq: AtomicUsize::new(0),
             slo: SloEngine::new(config.slos.clone()),
             stall_budget: config.worker_stall_budget,
+            quotas: config.quota.clone().map(AdmissionQuotas::new),
+            domain: config.domain.clone(),
+            oplog,
         });
         // Feed this service's counters into the global flight recorder
         // (if one is installed): the watchdog polls the source and the
@@ -359,6 +405,27 @@ impl QueryService {
     /// ```
     pub fn execute(&self, request: &QueryRequest) -> ServeResult<Served> {
         self.execute_with_deadline(request, self.default_deadline)
+    }
+
+    /// Serve `request` on behalf of `session`, spending one token from
+    /// the session's admission quota first. An empty bucket rejects
+    /// with [`ServeError::QuotaExceeded`] before the request touches
+    /// the cache, the single-flight table or the queue — one chatty
+    /// session cannot convert its excess into [`ServeError::Overloaded`]
+    /// for everyone else. Without a configured quota this is exactly
+    /// [`Self::execute`].
+    pub fn execute_for(&self, session: &str, request: &QueryRequest) -> ServeResult<Served> {
+        if let Some(quotas) = &self.shared.quotas {
+            if !quotas.try_admit(session) {
+                self.shared.metrics.record_quota_rejected();
+                obs::event_with("serve.quota_rejected", &[("session", &session)]);
+                return Err(ServeError::QuotaExceeded {
+                    session: session.to_string(),
+                    trace: None,
+                });
+            }
+        }
+        self.execute(request)
     }
 
     /// Serve `request`, giving up (with
@@ -659,6 +726,11 @@ impl QueryService {
     pub fn append(&self, table: &Table) -> ServeResult<usize> {
         let mut wh = self.shared.warehouse.write();
         let appended = wh.append(table)?;
+        publish_change(
+            &self.shared,
+            &WarehouseChange::Append(table.clone()),
+            wh.epoch(),
+        );
         Ok(appended)
     }
 
@@ -673,7 +745,16 @@ impl QueryService {
         labels: Vec<Value>,
     ) -> ServeResult<()> {
         let mut wh = self.shared.warehouse.write();
-        wh.add_feedback_dimension(dimension, attribute, labels)?;
+        wh.add_feedback_dimension(dimension, attribute, labels.clone())?;
+        publish_change(
+            &self.shared,
+            &WarehouseChange::Feedback {
+                dimension: dimension.to_string(),
+                attribute: attribute.to_string(),
+                labels,
+            },
+            wh.epoch(),
+        );
         Ok(())
     }
 
@@ -684,6 +765,7 @@ impl QueryService {
         let mut wh = self.shared.warehouse.write();
         wh.bump_epoch();
         let epoch = wh.epoch();
+        publish_change(&self.shared, &WarehouseChange::Rewrite, epoch);
         drop(wh);
         self.shared.cache.purge_older_than(epoch);
     }
@@ -726,11 +808,48 @@ impl QueryService {
         let mut wh = self.shared.warehouse.write();
         let installed = wh.install_compaction(plan)?;
         wh.vacuum_segments()?;
+        if installed {
+            // A compaction preserves logical content, so followers may
+            // replay it as a bare epoch bump (`Rewrite`) over their own
+            // row store — same rows, same epoch, same answers.
+            publish_change(&self.shared, &WarehouseChange::Rewrite, wh.epoch());
+        }
         span.record(
             "outcome",
             if installed { "installed" } else { "stale_plan" },
         );
         Ok(installed)
+    }
+
+    /// Apply a replicated change tailed from the oplog, advancing this
+    /// follower's epoch to exactly `to_epoch`. The follower-side half
+    /// of replication: the router's pump applies records in log order,
+    /// and the warehouse rejects stale or out-of-order epochs, so a
+    /// replica can never expose an epoch it has not fully applied.
+    pub fn apply_change(&self, change: &WarehouseChange, to_epoch: u64) -> ServeResult<()> {
+        let mut wh = self.shared.warehouse.write();
+        wh.apply_change(change, to_epoch)?;
+        Ok(())
+    }
+
+    /// Replace this follower's warehouse with `snapshot` (a clone of
+    /// the primary) after falling behind the oplog truncation horizon.
+    /// Cached results older than the snapshot's epoch are purged:
+    /// nothing provable connects them to the re-seeded state.
+    pub fn reseed(&self, snapshot: Warehouse) {
+        let epoch = snapshot.epoch();
+        {
+            let mut wh = self.shared.warehouse.write();
+            *wh = snapshot;
+        }
+        self.shared.cache.purge_older_than(epoch);
+        obs::event_with("serve.reseeded", &[("epoch", &epoch)]);
+    }
+
+    /// Jobs currently waiting in the admission queue — the router's
+    /// load signal for power-of-two-choices replica placement.
+    pub fn queue_len(&self) -> usize {
+        self.shared.receiver.len()
     }
 
     /// Run `f` against the live warehouse under the read lock.
@@ -1031,8 +1150,47 @@ fn process_job(shared: &Shared, mut job: Job) {
 /// center.
 fn record_breaker_failure(shared: &Shared, trace: Option<obs::TraceId>) {
     if shared.breaker.record_failure() {
-        obs::event("serve.breaker_opened");
+        // Attribute the trip to this failure domain at the epoch it
+        // had applied when it tripped: the event lands in the ring
+        // just before the dump is cut, so the black box answers
+        // "which replica, how far behind" on its own.
+        let applied_epoch = shared.warehouse.read().epoch();
+        obs::event_with(
+            "serve.breaker_opened",
+            &[
+                ("replica", &shared.domain.as_str()),
+                ("applied_epoch", &applied_epoch),
+            ],
+        );
         obs::trigger_dump("serve.breaker_open", trace);
+    }
+}
+
+/// Publish a replicated change to the oplog at `epoch` — the epoch the
+/// primary just minted for it, while still holding the warehouse write
+/// lock so log order equals epoch order. Transient append faults are
+/// retried; exhausted retries record the epoch as a *gap* instead: the
+/// log's horizon advances past it, so followers observe `Truncated`
+/// and re-seed from a primary snapshot rather than silently diverging.
+fn publish_change(shared: &Shared, change: &WarehouseChange, epoch: u64) {
+    let Some(log) = shared.oplog.as_ref() else {
+        return;
+    };
+    let (appended, retries) = shared.retry.run(|| log.append(change, epoch));
+    if retries > 0 {
+        shared.metrics.record_retries(u64::from(retries));
+    }
+    if let Err(e) = appended {
+        obs::event_with(
+            "serve.oplog_publish_failed",
+            &[("epoch", &epoch), ("error", &e.to_string().as_str())],
+        );
+        if let Err(gap) = log.mark_gap(epoch) {
+            obs::event_with(
+                "serve.oplog_gap_failed",
+                &[("epoch", &epoch), ("error", &gap.to_string().as_str())],
+            );
+        }
     }
 }
 
@@ -1225,6 +1383,67 @@ mod tests {
         assert_eq!(m.rejected_invalid, 1);
         assert_eq!(m.failed, 0);
         assert_eq!(m.executed, 1);
+    }
+
+    #[test]
+    fn per_user_quota_rejects_with_typed_error() {
+        let svc = QueryService::new(
+            small_warehouse(),
+            ServeConfig {
+                quota: Some(QuotaConfig {
+                    capacity: 1.0,
+                    refill_per_sec: 0.0,
+                }),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(svc.execute_for("alice", &fbg_by_band()).is_ok());
+        let err = svc.execute_for("alice", &fbg_by_band()).unwrap_err();
+        match err {
+            ServeError::QuotaExceeded { session, .. } => assert_eq!(session, "alice"),
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // Only alice is throttled; the rejection is counted.
+        assert!(svc.execute_for("bob", &fbg_by_band()).is_ok());
+        assert_eq!(svc.metrics().quota_rejected, 1);
+    }
+
+    #[test]
+    fn primary_publishes_every_mutation_kind_to_the_oplog() {
+        let log = Arc::new(Oplog::in_memory());
+        let svc = QueryService::new_with_oplog(
+            small_warehouse(),
+            ServeConfig::default(),
+            Arc::clone(&log),
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            FieldDef::nullable("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+            FieldDef::nullable("Gender", DataType::Text),
+        ])
+        .unwrap();
+        let rows = vec![vec![7.0.into(), "preDiabetic".into(), "F".into()]];
+        let table = Table::from_rows(schema, rows.into_iter().map(Record::new).collect()).unwrap();
+        svc.append(&table).unwrap();
+        svc.add_feedback_dimension(
+            "Review",
+            "Flag",
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        )
+        .unwrap();
+        svc.invalidate_all();
+        assert_eq!(log.len(), 3);
+        let tail = log.tail_from(oplog::LogPos::start()).unwrap();
+        assert_eq!(
+            tail.iter()
+                .map(|r| r.change.kind_name())
+                .collect::<Vec<_>>(),
+            vec!["append", "feedback", "rewrite"]
+        );
+        // Log order is epoch order, ending at the primary's epoch.
+        assert_eq!(tail.last().unwrap().pos.epoch, svc.epoch());
     }
 
     #[test]

@@ -27,6 +27,33 @@ impl Warehouse {
         attribute: &str,
         labels: Vec<Value>,
     ) -> Result<()> {
+        let touched = self.install_feedback_dimension(dimension, attribute, labels)?;
+        // The delta touches only the new dimension and appends no fact
+        // rows: queries that never read it can keep their results.
+        let n = self.n_facts();
+        self.record_mutation(DeltaKind::Feedback, touched, n..n, false);
+        obs::event_with(
+            "warehouse.epoch_bump",
+            &[
+                ("cause", &"feedback_dimension"),
+                ("epoch", &self.epoch()),
+                ("dimension", &dimension),
+            ],
+        );
+        Ok(())
+    }
+
+    /// The structural half of [`Self::add_feedback_dimension`]: build
+    /// and attach the dimension but record no delta and advance no
+    /// epoch (the caller mints the epoch — locally for direct calls,
+    /// primary-assigned for oplog replay). Returns the touched
+    /// dimension set for the delta record.
+    pub(crate) fn install_feedback_dimension(
+        &mut self,
+        dimension: &str,
+        attribute: &str,
+        labels: Vec<Value>,
+    ) -> Result<BTreeSet<String>> {
         if labels.len() != self.n_facts() {
             return Err(Error::invalid(format!(
                 "feedback dimension `{dimension}` has {} labels for {} facts",
@@ -58,20 +85,7 @@ impl Warehouse {
         fact.dim_names.push(dimension.to_string());
         fact.dim_keys.push(keys);
         fact.validate()?;
-        // The delta touches only the new dimension and appends no fact
-        // rows: queries that never read it can keep their results.
-        let touched: BTreeSet<String> = [dimension.to_string()].into_iter().collect();
-        let n = self.n_facts();
-        self.record_mutation(DeltaKind::Feedback, touched, n..n, false);
-        obs::event_with(
-            "warehouse.epoch_bump",
-            &[
-                ("cause", &"feedback_dimension"),
-                ("epoch", &self.epoch()),
-                ("dimension", &dimension),
-            ],
-        );
-        Ok(())
+        Ok([dimension.to_string()].into_iter().collect())
     }
 
     /// Append a feedback dimension whose label for each fact row is

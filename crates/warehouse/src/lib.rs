@@ -39,11 +39,13 @@ pub mod delta;
 pub mod feedback;
 pub mod loader;
 pub mod model;
+pub mod replication;
 pub mod segments;
 pub mod storage;
 
 pub use delta::{ChangeSet, DeltaKind, DeltaLog, DeltaSummary, DELTA_LOG_CAPACITY};
 pub use loader::{LoadPlan, Warehouse};
 pub use model::{discri_model, fig1_model, DimensionDef, FactDef, Hierarchy, StarSchema};
+pub use replication::WarehouseChange;
 pub use segments::{CompactionConfig, CompactionPlan, SegmentSet};
 pub use storage::{DimensionTable, FactTable, MeasureColumn, SurrogateKey};

@@ -18,6 +18,13 @@ fn next_epoch() -> u64 {
     NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Tell the epoch allocator that `epoch` exists somewhere in the
+/// process (e.g. replayed from a durable oplog written by an earlier
+/// process), so freshly minted epochs stay strictly above it.
+pub(crate) fn observe_epoch(epoch: u64) {
+    NEXT_EPOCH.fetch_max(epoch.saturating_add(1), Ordering::Relaxed);
+}
+
 /// Injected faults surface as ordinary invalid-input errors so every
 /// caller's existing error path exercises the failure.
 pub(crate) fn map_fault(e: fault::FaultError) -> Error {
@@ -196,6 +203,29 @@ impl Warehouse {
     /// the append is rejected); new dimension tuples are interned,
     /// existing ones reuse their surrogate keys.
     pub fn append(&mut self, table: &Table) -> Result<usize> {
+        let (grown, appended) = self.append_rows(table)?;
+        self.record_mutation(DeltaKind::Append, grown, appended, false);
+        obs::event_with(
+            "warehouse.epoch_bump",
+            &[
+                ("cause", &"append"),
+                ("epoch", &self.epoch),
+                ("rows", &table.len()),
+            ],
+        );
+        Ok(table.len())
+    }
+
+    /// The row-insertion half of [`Self::append`]: validate, intern
+    /// and extend, but record no delta and advance no epoch. Returns
+    /// the dimensions that grew and the appended fact-row range, which
+    /// the caller folds into whichever delta record it is minting
+    /// (a locally-numbered epoch for direct appends, a primary-minted
+    /// one for oplog replay).
+    pub(crate) fn append_rows(
+        &mut self,
+        table: &Table,
+    ) -> Result<(BTreeSet<String>, Range<usize>)> {
         // The failpoint sits before the first mutation, so an injected
         // append failure leaves the previous epoch fully queryable.
         fault::point("warehouse.append").map_err(map_fault)?;
@@ -261,21 +291,7 @@ impl Warehouse {
             .filter(|(d, &before)| d.len() > before)
             .map(|(d, _)| d.name.clone())
             .collect();
-        self.record_mutation(
-            DeltaKind::Append,
-            grown,
-            rows_before..self.fact.len(),
-            false,
-        );
-        obs::event_with(
-            "warehouse.epoch_bump",
-            &[
-                ("cause", &"append"),
-                ("epoch", &self.epoch),
-                ("rows", &table.len()),
-            ],
-        );
-        Ok(table.len())
+        Ok((grown, rows_before..self.fact.len()))
     }
 
     /// The warehouse's data epoch. Strictly increases across mutations
@@ -438,8 +454,26 @@ impl Warehouse {
         appended: Range<usize>,
         rewrote_existing: bool,
     ) {
+        let to_epoch = next_epoch();
+        self.record_mutation_at(kind, dimensions, appended, rewrote_existing, to_epoch);
+    }
+
+    /// [`Self::record_mutation`] with the target epoch supplied by the
+    /// caller instead of minted locally — the replication path, where
+    /// a follower must land on exactly the epoch the primary assigned
+    /// to the change. The allocator is advanced past `to_epoch` so
+    /// locally minted epochs never collide with replayed ones.
+    pub(crate) fn record_mutation_at(
+        &mut self,
+        kind: DeltaKind,
+        dimensions: BTreeSet<String>,
+        appended: Range<usize>,
+        rewrote_existing: bool,
+        to_epoch: u64,
+    ) {
+        observe_epoch(to_epoch);
         let from_epoch = self.epoch;
-        self.epoch = next_epoch();
+        self.epoch = to_epoch;
         // Graceful degradation: when recording the precise delta is
         // made to fail, fall back to a conservative full-rewrite
         // summary. Caches then invalidate instead of patching —

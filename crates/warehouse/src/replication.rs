@@ -1,0 +1,251 @@
+//! Replicated application of warehouse mutations.
+//!
+//! The delta log ([`crate::delta`]) says *what region* of the
+//! warehouse a mutation touched; it deliberately does not carry the
+//! data. A replica that wants to reach the primary's state therefore
+//! needs the mutation itself — the appended table, the feedback
+//! labels — replayable at exactly the epoch the primary assigned.
+//! [`WarehouseChange`] is that self-contained mutation record, and
+//! [`Warehouse::apply_change`] replays one onto a follower, landing
+//! the follower on the primary-minted epoch so caches, catalogs and
+//! routers on both sides speak one epoch vocabulary.
+//!
+//! The invariant the serve tier's router depends on falls out of the
+//! shape of this API: a follower's epoch only advances *after* a
+//! change has been applied in full (one change = one epoch = one
+//! atomic `apply_change` call that either mutates and advances or
+//! errors and leaves the previous epoch fully queryable). A replica
+//! can therefore never expose a partially-applied epoch.
+
+use crate::delta::DeltaKind;
+use crate::loader::Warehouse;
+use clinical_types::{Error, Result, Table, Value};
+use std::collections::BTreeSet;
+
+/// One primary-side mutation, carrying everything a follower needs to
+/// reproduce it byte-for-byte.
+#[derive(Debug, Clone)]
+pub enum WarehouseChange {
+    /// Rows appended via [`Warehouse::append`] — the transformed
+    /// source table, re-interned identically on the follower.
+    Append(Table),
+    /// A clinician-feedback dimension added via
+    /// [`Warehouse::add_feedback_dimension`].
+    Feedback {
+        /// New dimension name.
+        dimension: String,
+        /// Its single attribute.
+        attribute: String,
+        /// One label per existing fact row.
+        labels: Vec<Value>,
+    },
+    /// A conservative [`Warehouse::bump_epoch`]-style rewrite marker:
+    /// no payload, but every cached result derived from an earlier
+    /// epoch is invalid.
+    Rewrite,
+}
+
+impl WarehouseChange {
+    /// Short kind tag for events and framing.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WarehouseChange::Append(_) => "append",
+            WarehouseChange::Feedback { .. } => "feedback",
+            WarehouseChange::Rewrite => "rewrite",
+        }
+    }
+}
+
+impl Warehouse {
+    /// Replay one primary-side `change` onto this follower, landing on
+    /// the primary-assigned `to_epoch`.
+    ///
+    /// Fails (leaving the follower untouched at its previous epoch)
+    /// when `to_epoch` does not advance the follower — replaying a
+    /// change twice, or out of order, is always a caller bug worth
+    /// surfacing rather than masking. The epoch allocator is advanced
+    /// past `to_epoch`, so epochs minted locally afterwards can never
+    /// collide with replayed ones (even when the log was written by an
+    /// earlier process).
+    pub fn apply_change(&mut self, change: &WarehouseChange, to_epoch: u64) -> Result<()> {
+        if to_epoch <= self.epoch() {
+            return Err(Error::invalid(format!(
+                "replicated change targets epoch {to_epoch} but the follower is already at {}",
+                self.epoch()
+            )));
+        }
+        match change {
+            WarehouseChange::Append(table) => {
+                let (grown, appended) = self.append_rows(table)?;
+                self.record_mutation_at(DeltaKind::Append, grown, appended, false, to_epoch);
+            }
+            WarehouseChange::Feedback {
+                dimension,
+                attribute,
+                labels,
+            } => {
+                let touched =
+                    self.install_feedback_dimension(dimension, attribute, labels.clone())?;
+                let n = self.n_facts();
+                self.record_mutation_at(DeltaKind::Feedback, touched, n..n, false, to_epoch);
+            }
+            WarehouseChange::Rewrite => {
+                let all: BTreeSet<String> =
+                    self.dimensions().iter().map(|d| d.name.clone()).collect();
+                let n = self.n_facts();
+                self.record_mutation_at(DeltaKind::Rewrite, all, n..n, true, to_epoch);
+            }
+        }
+        obs::event_with(
+            "warehouse.replicated_apply",
+            &[("kind", &change.kind_name()), ("epoch", &to_epoch)],
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::LoadPlan;
+    use crate::model::{DimensionDef, FactDef, StarSchema};
+    use clinical_types::{DataType, FieldDef, Record, Schema};
+
+    fn table(rows: &[(f64, &str)]) -> Table {
+        let schema = Schema::new(vec![
+            FieldDef::nullable("FBG", DataType::Float),
+            FieldDef::nullable("FBG_Band", DataType::Text),
+        ])
+        .unwrap();
+        let rows = rows
+            .iter()
+            .map(|&(v, b)| Record::new(vec![v.into(), b.into()]))
+            .collect();
+        Table::from_rows(schema, rows).unwrap()
+    }
+
+    fn pair() -> (Warehouse, Warehouse) {
+        let star = StarSchema::new(
+            FactDef::new("Facts", vec!["FBG"], vec![]),
+            vec![DimensionDef::new("Bloods", vec!["FBG_Band"])],
+        )
+        .unwrap();
+        let seed = table(&[(5.0, "very good"), (8.0, "Diabetic")]);
+        let primary = Warehouse::load(&LoadPlan::from_star(star), &seed).unwrap();
+        let follower = primary.clone();
+        (primary, follower)
+    }
+
+    #[test]
+    fn replayed_append_matches_the_primary() {
+        let (mut primary, mut follower) = pair();
+        let batch = table(&[(6.5, "preDiabetic")]);
+        primary.append(&batch).unwrap();
+        follower
+            .apply_change(&WarehouseChange::Append(batch), primary.epoch())
+            .unwrap();
+        assert_eq!(follower.epoch(), primary.epoch());
+        assert_eq!(follower.n_facts(), primary.n_facts());
+        let cols = |wh: &Warehouse| -> Vec<String> {
+            wh.attribute_column("FBG_Band")
+                .unwrap()
+                .iter()
+                .map(|v| v.to_string())
+                .collect()
+        };
+        assert_eq!(cols(&follower), cols(&primary));
+        // The follower's delta chain mirrors the primary's.
+        let from = primary.deltas_since(0);
+        assert_eq!(from, None, "foreign epoch still rejected");
+    }
+
+    #[test]
+    fn replayed_feedback_matches_and_keeps_delta_chain() {
+        let (mut primary, mut follower) = pair();
+        let before = primary.epoch();
+        primary
+            .add_feedback_dimension("Review", "Flag", vec!["a".into(), "b".into()])
+            .unwrap();
+        follower
+            .apply_change(
+                &WarehouseChange::Feedback {
+                    dimension: "Review".into(),
+                    attribute: "Flag".into(),
+                    labels: vec!["a".into(), "b".into()],
+                },
+                primary.epoch(),
+            )
+            .unwrap();
+        assert_eq!(follower.epoch(), primary.epoch());
+        assert_eq!(
+            follower.deltas_since(before).unwrap(),
+            primary.deltas_since(before).unwrap(),
+            "follower delta chain mirrors the primary's"
+        );
+    }
+
+    #[test]
+    fn stale_or_duplicate_epochs_are_rejected_atomically() {
+        let (mut primary, mut follower) = pair();
+        let batch = table(&[(6.5, "preDiabetic")]);
+        primary.append(&batch).unwrap();
+        follower
+            .apply_change(&WarehouseChange::Append(batch.clone()), primary.epoch())
+            .unwrap();
+        let facts = follower.n_facts();
+        let epoch = follower.epoch();
+        // Replaying the same change again must not double-apply.
+        let err = follower
+            .apply_change(&WarehouseChange::Append(batch), primary.epoch())
+            .unwrap_err();
+        assert!(err.to_string().contains("already at"));
+        assert_eq!(follower.n_facts(), facts);
+        assert_eq!(follower.epoch(), epoch);
+    }
+
+    #[test]
+    fn failed_apply_leaves_the_previous_epoch_queryable() {
+        let (primary, mut follower) = pair();
+        let epoch = follower.epoch();
+        // Wrong label count: the structural half fails before any
+        // epoch motion.
+        let err = follower.apply_change(
+            &WarehouseChange::Feedback {
+                dimension: "Review".into(),
+                attribute: "Flag".into(),
+                labels: vec!["only one".into()],
+            },
+            primary.epoch() + 10,
+        );
+        assert!(err.is_err());
+        assert_eq!(follower.epoch(), epoch, "no partially-applied epoch");
+        assert_eq!(follower.dimensions().len(), 1);
+    }
+
+    #[test]
+    fn rewrite_marker_invalidates_like_bump_epoch() {
+        let (primary, mut follower) = pair();
+        let before = follower.epoch();
+        follower
+            .apply_change(&WarehouseChange::Rewrite, primary.epoch() + 7)
+            .unwrap();
+        let deltas = follower.deltas_since(before).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].rewrote_existing);
+    }
+
+    #[test]
+    fn locally_minted_epochs_stay_above_replayed_ones() {
+        let (primary, mut follower) = pair();
+        let high = primary.epoch() + 1000;
+        follower
+            .apply_change(&WarehouseChange::Rewrite, high)
+            .unwrap();
+        let mut other = primary.clone();
+        other.bump_epoch();
+        assert!(
+            other.epoch() > high,
+            "allocator must advance past observed epochs"
+        );
+    }
+}

@@ -44,6 +44,12 @@ cargo test -q -p obs slo
 echo "==> rustdoc gate (olap + segstore, -D warnings, deny(missing_docs))"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q -p olap -p segstore
 
+echo "==> replication chaos drills (kill/lag/truncate/torn-tail, proptest convergence)"
+cargo test -q --test replication_chaos
+
+echo "==> oplog unit suite (framing, torn-tail recovery, truncation, gap semantics)"
+cargo test -q -p oplog
+
 echo "==> scan bench (zone-map + footprint pruning >=5x, kernel vs scalar >=2x, BENCH_scan.json)"
 cargo bench -p bench --bench scan
 
@@ -54,6 +60,21 @@ scaling = json.load(open("BENCH_scan.json"))["scaling"]
 speedup = scaling["min_kernel_speedup"]
 assert speedup >= 2.0, f"kernel speedup regressed: min {speedup:.2f}x < 2x"
 print(f"    min kernel speedup {speedup:.1f}x across thread sweep — ok")
+EOF
+
+echo "==> serve bench (cold/warm, degraded mode, recorder overhead, replicated fan-out, BENCH_serve.json)"
+cargo bench -p bench --bench serve
+
+echo "==> replication gate (BENCH_serve.json: 4-replica rps >= 1.5x single replica, zero lost on failover)"
+python3 - <<'EOF'
+import json
+rep = json.load(open("BENCH_serve.json"))["replicated"]
+by = {r["replicas"]: r["rps"] for r in rep["sweep"]}
+scaling = by[4] / by[1]
+assert scaling >= 1.5, f"replica fan-out scaling regressed: {scaling:.2f}x < 1.5x"
+fo = rep["failover"]
+assert fo["requests"] > 0 and fo["p99_us"] > 0, f"failover drill produced no latencies: {fo}"
+print(f"    4-replica scaling {scaling:.2f}x; failover p99 {fo['p99_us']} us over {fo['requests']} requests — ok")
 EOF
 
 echo "All checks passed."

@@ -169,6 +169,17 @@ impl<T> Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Number of items currently queued (a load signal, racy by
+    /// nature — the real crossbeam exposes the same).
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Dequeue, blocking until an item arrives or all senders leave.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut state = self.shared.lock();
